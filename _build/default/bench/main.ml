@@ -1,0 +1,631 @@
+(* Benchmark and experiment harness.
+
+   The paper has no empirical tables (it is a specification paper); the
+   quantitative claims it makes are the Section 8 analytical bounds and
+   the conditional properties of Sections 3/4/7. Each X-section below
+   regenerates one of those claims as a paper-vs-measured series (see
+   DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+   results); the M-section holds bechamel micro-benchmarks of the core
+   machinery.
+
+   Run with: dune exec bench/main.exe            (full run)
+             dune exec bench/main.exe -- --quick (skip micro-benchmarks) *)
+
+open Gcs_core
+open Gcs_impl
+
+let delta = 1.0
+
+let mk_vs_config ?(pi = 8.0) ?(mu = 10.0) n =
+  let procs = Proc.all ~n in
+  { Vs_node.procs; p0 = procs; pi; mu; delta }
+
+let workload ~senders ~from_time ~spacing ~count ~tag =
+  List.concat_map
+    (fun (i, p) ->
+      List.init count (fun k ->
+          ( from_time +. (float_of_int k *. spacing) +. (0.19 *. float_of_int i),
+            p,
+            Printf.sprintf "%s%d.%d" tag p k )))
+    (List.mapi (fun i p -> (i, p)) senders)
+
+let partition_at t parts =
+  List.map (fun e -> (t, e)) (Fstatus.partition_events ~parts)
+
+let heal_at procs t = List.map (fun e -> (t, e)) (Fstatus.heal_events ~procs)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let maxf = function [] -> nan | x :: xs -> List.fold_left max x xs
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* X6: view stabilization time after a partition vs the Section 8 bound
+   b = 9d + max(pi + (n+3)d, mu). *)
+
+let x6 () =
+  header "X6: view stabilization after partition (measured vs b)";
+  row "%4s %6s %12s %12s %12s\n" "n" "|Q|" "measured" "paper b" "impl b";
+  List.iter
+    (fun n ->
+      let config = mk_vs_config n in
+      let procs = config.Vs_node.procs in
+      let q = List.filteri (fun i _ -> i < (n / 2) + 1) procs in
+      let rest = List.filter (fun p -> not (List.mem p q)) procs in
+      let measured =
+        List.filter_map
+          (fun seed ->
+            let failures = partition_at 100.0 [ q; rest ] in
+            let run =
+              Vs_service.run config ~workload:[] ~failures ~until:400.0 ~seed
+            in
+            Option.map
+              (fun t -> t -. 100.0)
+              (Vs_service.stabilized_view_time ~q run))
+          [ 1; 2; 3; 4; 5 ]
+      in
+      let q_config = { config with Vs_node.procs = q } in
+      row "%4d %6d %12.2f %12.2f %12.2f\n" n (List.length q) (mean measured)
+        (Vs_node.paper_b q_config) (Vs_node.impl_b config))
+    [ 3; 4; 5; 6; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* X7: steady-state safe-delivery latency vs d = 2pi + n*delta. *)
+
+let safe_latencies config run =
+  let q = config.Vs_node.procs in
+  let nq = List.length q in
+  let sends = Hashtbl.create 256 in
+  let safes = Hashtbl.create 256 in
+  List.iter
+    (fun (t, a) ->
+      match a with
+      | Vs_action.Gpsnd { sender; msg } ->
+          if not (Hashtbl.mem sends (sender, msg)) then
+            Hashtbl.replace sends (sender, msg) t
+      | Vs_action.Safe { src; msg; _ } ->
+          let last, count =
+            match Hashtbl.find_opt safes (src, msg) with
+            | Some (last, count) -> (max last t, count + 1)
+            | None -> (t, 1)
+          in
+          Hashtbl.replace safes (src, msg) (last, count)
+      | _ -> ())
+    (Timed.actions run.Vs_service.trace);
+  Hashtbl.fold
+    (fun key t0 acc ->
+      match Hashtbl.find_opt safes key with
+      | Some (last, count) when count = nq -> (last -. t0) :: acc
+      | _ -> acc)
+    sends []
+
+let x7 () =
+  header "X7: safe-delivery latency (measured vs d = 2pi + n*delta)";
+  row "%4s %6s %10s %10s %10s %10s\n" "n" "pi" "mean" "max" "paper d" "impl d";
+  let run_one config seed =
+    let wl =
+      workload ~senders:config.Vs_node.procs ~from_time:5.0 ~spacing:9.0
+        ~count:10 ~tag:"m"
+    in
+    safe_latencies config
+      (Vs_service.run config ~workload:wl ~failures:[] ~until:400.0 ~seed)
+  in
+  List.iter
+    (fun n ->
+      let config = mk_vs_config n in
+      let lats = List.concat_map (run_one config) [ 1; 2; 3 ] in
+      row "%4d %6.1f %10.2f %10.2f %10.2f %10.2f\n" n config.Vs_node.pi
+        (mean lats) (maxf lats) (Vs_node.paper_d config)
+        (Vs_node.impl_d config))
+    [ 2; 3; 4; 5; 6 ];
+  List.iter
+    (fun pi ->
+      let config = mk_vs_config ~pi 5 in
+      let lats = List.concat_map (run_one config) [ 1; 2; 3 ] in
+      row "%4d %6.1f %10.2f %10.2f %10.2f %10.2f\n" 5 pi (mean lats)
+        (maxf lats) (Vs_node.paper_d config) (Vs_node.impl_d config))
+    [ 6.0; 10.0; 14.0; 18.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* X8: end-to-end TO delivery latency (Theorem 7.1: TO(b + d, d, Q)). *)
+
+let to_latencies run =
+  let sends = Hashtbl.create 256 in
+  let last_delivery = Hashtbl.create 256 in
+  let counts = Hashtbl.create 256 in
+  List.iter
+    (fun (t, a) ->
+      match a with
+      | To_action.Bcast (p, v) ->
+          if not (Hashtbl.mem sends (p, v)) then Hashtbl.replace sends (p, v) t
+      | To_action.Brcv { src; value; _ } ->
+          let key = (src, value) in
+          Hashtbl.replace last_delivery key
+            (max t
+               (Option.value ~default:neg_infinity
+                  (Hashtbl.find_opt last_delivery key)));
+          Hashtbl.replace counts key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+      | To_action.To_order _ -> ())
+    (Timed.actions (To_service.client_trace run));
+  (sends, last_delivery, counts)
+
+let x8 () =
+  header "X8: end-to-end TO latency after stabilization (Theorem 7.1)";
+  row "%4s %10s %10s %14s %14s\n" "n" "mean" "max" "bound b'=b+d" "bound d'";
+  List.iter
+    (fun n ->
+      let vs_config = mk_vs_config n in
+      let config = To_service.make_config vs_config in
+      let procs = vs_config.Vs_node.procs in
+      let lats =
+        List.concat_map
+          (fun seed ->
+            let wl =
+              workload ~senders:procs ~from_time:5.0 ~spacing:11.0 ~count:8
+                ~tag:"v"
+            in
+            let run =
+              To_service.run config ~workload:wl ~failures:[] ~until:500.0 ~seed
+            in
+            let sends, last_delivery, counts = to_latencies run in
+            Hashtbl.fold
+              (fun key t0 acc ->
+                match
+                  (Hashtbl.find_opt last_delivery key, Hashtbl.find_opt counts key)
+                with
+                | Some t1, Some c when c = n -> (t1 -. t0) :: acc
+                | _ -> acc)
+              sends [])
+          [ 1; 2; 3 ]
+      in
+      row "%4d %10.2f %10.2f %14.2f %14.2f\n" n (mean lats) (maxf lats)
+        (Vs_node.impl_b vs_config +. Vs_node.impl_d vs_config)
+        (Vs_node.impl_d vs_config +. (4.0 *. delta)))
+    [ 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* X9: recovery (state exchange) after a merge: catch-up time of the
+   minority as a function of the backlog accumulated by the majority.
+   State transfer rides in the summaries, so catch-up should be a few
+   token rounds, nearly independent of the backlog. *)
+
+let x9 () =
+  header "X9: post-merge catch-up time vs backlog size";
+  row "%10s %12s %14s\n" "backlog" "catch-up" "(deliveries)";
+  let n = 5 in
+  let vs_config = mk_vs_config n in
+  let config = To_service.make_config vs_config in
+  let procs = vs_config.Vs_node.procs in
+  let majority = [ 0; 1; 2 ] and minority = [ 3; 4 ] in
+  List.iter
+    (fun backlog ->
+      let heal_time = 100.0 +. (float_of_int backlog *. 1.0) in
+      let wl =
+        List.init backlog (fun k ->
+            ( 60.0 +. (float_of_int k *. 0.7),
+              List.nth majority (k mod 3),
+              Printf.sprintf "b%d" k ))
+      in
+      let failures =
+        partition_at 40.0 [ majority; minority ] @ heal_at procs heal_time
+      in
+      let until = heal_time +. 300.0 in
+      let run = To_service.run config ~workload:wl ~failures ~until ~seed:5 in
+      let last =
+        List.fold_left
+          (fun acc (t, a) ->
+            match a with
+            | To_action.Brcv { dst; _ } when List.mem dst minority -> max acc t
+            | _ -> acc)
+          neg_infinity
+          (Timed.actions (To_service.client_trace run))
+      in
+      let minority_deliveries =
+        List.length
+          (List.filter
+             (fun (_, a) ->
+               match a with
+               | To_action.Brcv { dst; _ } -> List.mem dst minority
+               | _ -> false)
+             (Timed.actions (To_service.client_trace run)))
+      in
+      row "%10d %12.2f %14d\n" backlog
+        (if last = neg_infinity then nan else last -. heal_time)
+        minority_deliveries)
+    [ 10; 50; 100; 200 ]
+
+(* ------------------------------------------------------------------ *)
+(* X10: protocol comparison: steady-state latency and availability
+   under a partition that isolates the sequencer. *)
+
+let x10 () =
+  header "X10: comparison with baselines";
+  let n = 4 in
+  let vs_config = mk_vs_config ~pi:6.0 ~mu:8.0 n in
+  let procs = vs_config.Vs_node.procs in
+  let to_config = To_service.make_config vs_config in
+  let ss_config =
+    To_service.make_config ~stable_storage_latency:3.0 vs_config
+  in
+  let seq_config = Gcs_baseline.Sequencer.make_config ~procs in
+  let wl = workload ~senders:procs ~from_time:5.0 ~spacing:10.0 ~count:8 ~tag:"c" in
+  let mean_latency actions =
+    let sends = Hashtbl.create 64 in
+    let total = ref 0.0 and count = ref 0 in
+    List.iter
+      (fun (t, a) ->
+        match a with
+        | To_action.Bcast (p, v) -> Hashtbl.replace sends (p, v) t
+        | To_action.Brcv { src; value; _ } -> (
+            match Hashtbl.find_opt sends (src, value) with
+            | Some t0 ->
+                total := !total +. (t -. t0);
+                incr count
+            | None -> ())
+        | To_action.To_order _ -> ())
+      actions;
+    if !count = 0 then nan else !total /. float_of_int !count
+  in
+  let vstoto_run = To_service.run to_config ~workload:wl ~failures:[] ~until:400.0 ~seed:3 in
+  let ss_run = To_service.run ss_config ~workload:wl ~failures:[] ~until:400.0 ~seed:3 in
+  let seq_run =
+    Gcs_baseline.Sequencer.run ~delta seq_config ~workload:wl ~failures:[]
+      ~until:400.0 ~seed:3
+  in
+  let lamport_config = { Gcs_baseline.Lamport_to.procs } in
+  let lamport_run =
+    Gcs_baseline.Lamport_to.run ~delta lamport_config ~workload:wl ~failures:[]
+      ~until:400.0 ~seed:3
+  in
+  row "%-28s %12s %16s\n" "protocol" "latency" "deliveries";
+  row "%-28s %12.2f %16d\n" "fixed sequencer"
+    (mean_latency (Timed.actions seq_run.Gcs_baseline.Sequencer.trace))
+    (Gcs_baseline.Sequencer.deliveries seq_run);
+  row "%-28s %12.2f %16d\n" "lamport timestamps"
+    (mean_latency (Timed.actions lamport_run.Gcs_baseline.Lamport_to.trace))
+    (Gcs_baseline.Lamport_to.deliveries lamport_run);
+  row "%-28s %12.2f %16d\n" "VStoTO"
+    (mean_latency (Timed.actions (To_service.client_trace vstoto_run)))
+    (To_service.deliveries vstoto_run);
+  row "%-28s %12.2f %16d\n" "VStoTO + stable storage"
+    (mean_latency (Timed.actions (To_service.client_trace ss_run)))
+    (To_service.deliveries ss_run);
+  let failures = partition_at 30.0 [ [ 0 ]; [ 1; 2; 3 ] ] in
+  let wl2 = workload ~senders:[ 1; 2; 3 ] ~from_time:60.0 ~spacing:9.0 ~count:6 ~tag:"a" in
+  let seq_part =
+    Gcs_baseline.Sequencer.run ~delta seq_config ~workload:wl2 ~failures
+      ~until:500.0 ~seed:4
+  in
+  let vstoto_part = To_service.run to_config ~workload:wl2 ~failures ~until:500.0 ~seed:4 in
+  let lamport_part =
+    Gcs_baseline.Lamport_to.run ~delta lamport_config ~workload:wl2 ~failures
+      ~until:500.0 ~seed:4
+  in
+  row "\nwith processor 0 isolated (majority of 3 still connected):\n";
+  row "%-28s %16d\n" "fixed sequencer deliveries"
+    (Gcs_baseline.Sequencer.deliveries seq_part);
+  row "%-28s %16d\n" "lamport deliveries"
+    (Gcs_baseline.Lamport_to.deliveries lamport_part);
+  row "%-28s %16d\n" "VStoTO deliveries"
+    (To_service.deliveries vstoto_part)
+
+(* ------------------------------------------------------------------ *)
+(* X11: capricious view changes stop after stabilization (difference 7
+   in Section 1). *)
+
+let x11 () =
+  header "X11: view churn before vs after stabilization";
+  let n = 5 in
+  let config = mk_vs_config n in
+  let procs = config.Vs_node.procs in
+  let prng = Gcs_stdx.Prng.create 17 in
+  let flaps =
+    List.concat
+      (List.init 14 (fun i ->
+           let t = 20.0 +. (float_of_int i *. 20.0) in
+           let p = Gcs_stdx.Prng.pick_exn prng procs in
+           let q = Gcs_stdx.Prng.pick_exn prng procs in
+           if Proc.equal p q then [ (t, Fstatus.Proc_status (p, Fstatus.Ugly)) ]
+           else
+             [
+               (t, Fstatus.Link_status (p, q, Fstatus.Bad));
+               (t +. 10.0, Fstatus.Link_status (p, q, Fstatus.Good));
+             ]))
+  in
+  let failures = flaps @ heal_at procs 320.0 in
+  let run = Vs_service.run config ~workload:[] ~failures ~until:700.0 ~seed:17 in
+  let cutoff = 320.0 +. Vs_node.impl_b config in
+  let before, after =
+    List.fold_left
+      (fun (b, a) (t, action) ->
+        match action with
+        | Vs_action.Newview _ -> if t <= cutoff then (b + 1, a) else (b, a + 1)
+        | _ -> (b, a))
+      (0, 0)
+      (Timed.actions run.Vs_service.trace)
+  in
+  row "newview events during churn (t <= %.1f): %d\n" cutoff before;
+  row "newview events after stabilization:      %d   (paper: must be 0)\n" after
+
+(* ------------------------------------------------------------------ *)
+(* X12: the token stays bounded (pruning of the safe prefix) and the
+   amortized message cost per delivered value. *)
+
+let x12 () =
+  header "X12: token size and message cost (ablation: pruning works)";
+  row "%6s %14s %16s %18s\n" "n" "max token" "messages sent" "packets/delivery";
+  List.iter
+    (fun n ->
+      let config = mk_vs_config n in
+      let wl =
+        workload ~senders:config.Vs_node.procs ~from_time:5.0 ~spacing:3.0
+          ~count:40 ~tag:"t"
+      in
+      let run = Vs_service.run config ~workload:wl ~failures:[] ~until:600.0 ~seed:9 in
+      let max_entries =
+        Proc.Map.fold
+          (fun _ st acc -> max (Vs_node.max_token_entries st) acc)
+          run.Vs_service.final_states 0
+      in
+      let deliveries =
+        List.length
+          (List.filter
+             (fun (_, a) ->
+               match a with Vs_action.Gprcv _ -> true | _ -> false)
+             (Timed.actions run.Vs_service.trace))
+      in
+      let per_delivery =
+        if deliveries = 0 then nan
+        else float_of_int run.Vs_service.packets_sent /. float_of_int deliveries
+      in
+      row "%6d %14d %16d %18.2f\n" n max_entries run.Vs_service.packets_sent
+        per_delivery)
+    [ 3; 5; 7 ]
+
+(* X13: jitter ablation — fixed delta delivery vs jittered (delta/2, delta]. *)
+
+let x13 () =
+  header "X13: jitter ablation (safe latency, fixed vs jittered links)";
+  row "%10s %10s %10s %10s\n" "links" "mean" "max" "paper d";
+  let config = mk_vs_config 5 in
+  let wl =
+    workload ~senders:config.Vs_node.procs ~from_time:5.0 ~spacing:9.0
+      ~count:10 ~tag:"j"
+  in
+  List.iter
+    (fun (label, jitter) ->
+      let engine =
+        { (Gcs_sim.Engine.default_config ~delta:config.Vs_node.delta) with
+          Gcs_sim.Engine.jitter }
+      in
+      let lats =
+        List.concat_map
+          (fun seed ->
+            safe_latencies config
+              (Vs_service.run ~engine config ~workload:wl ~failures:[]
+                 ~until:400.0 ~seed))
+          [ 1; 2; 3 ]
+      in
+      row "%10s %10.2f %10.2f %10.2f\n" label (mean lats) (maxf lats)
+        (Vs_node.paper_d config))
+    [ ("fixed", false); ("jittered", true) ]
+
+(* X14: three-round vs one-round membership (Section 8, footnote 7) —
+   the one-round alternative stabilizes less quickly. *)
+
+let x14 () =
+  header "X14: membership protocol ablation (stabilization after heal)";
+  row "%-14s %14s %16s\n" "protocol" "stabilization" "newviews (churn)";
+  let n = 5 in
+  let config = mk_vs_config n in
+  let procs = config.Vs_node.procs in
+  let measure protocol =
+    let samples =
+      List.filter_map
+        (fun seed ->
+          let failures =
+            partition_at 60.0 [ [ 0; 1; 2 ]; [ 3; 4 ] ] @ heal_at procs 200.0
+          in
+          let run =
+            Vs_service.run ~protocol config ~workload:[] ~failures ~until:900.0
+              ~seed
+          in
+          Option.map
+            (fun t -> (t -. 200.0, Vs_service.views_installed_total run))
+            (Vs_service.stabilized_view_time ~q:procs run))
+        [ 1; 2; 3; 4; 5 ]
+    in
+    ( mean (List.map fst samples),
+      mean (List.map (fun (_, v) -> float_of_int v) samples) )
+  in
+  let t3, v3 = measure Vs_node.Three_round in
+  let t1, v1 = measure Vs_node.One_round in
+  row "%-14s %14.2f %16.1f\n" "three-round" t3 v3;
+  row "%-14s %14.2f %16.1f\n" "one-round" t1 v1
+
+(* X16: throughput — the token batches, so the ring absorbs offered load
+   with nearly flat latency until the token itself becomes the byte
+   bottleneck (not modelled: we count entries, not bytes). *)
+
+let x16 () =
+  header "X16: offered load sweep (n=5)";
+  row "%14s %14s %12s\n" "msgs/time-unit" "delivered/unit" "mean lat";
+  let n = 5 in
+  let config = mk_vs_config n in
+  let duration = 300.0 in
+  List.iter
+    (fun spacing ->
+      let count = int_of_float (duration /. spacing) in
+      let wl =
+        workload ~senders:config.Vs_node.procs ~from_time:5.0 ~spacing ~count
+          ~tag:"l"
+      in
+      let vs_to_config = To_service.make_config config in
+      let run =
+        To_service.run vs_to_config ~workload:wl ~failures:[]
+          ~until:(duration +. 100.0) ~seed:2
+      in
+      let actions = Timed.actions (To_service.client_trace run) in
+      let deliveries =
+        List.length
+          (List.filter
+             (fun (_, a) -> match a with To_action.Brcv _ -> true | _ -> false)
+             actions)
+      in
+      let sends = Hashtbl.create 256 in
+      let lat_total = ref 0.0 and lat_count = ref 0 in
+      List.iter
+        (fun (t, a) ->
+          match a with
+          | To_action.Bcast (p, v) -> Hashtbl.replace sends (p, v) t
+          | To_action.Brcv { src; value; _ } -> (
+              match Hashtbl.find_opt sends (src, value) with
+              | Some t0 ->
+                  lat_total := !lat_total +. (t -. t0);
+                  incr lat_count
+              | None -> ())
+          | To_action.To_order _ -> ())
+        actions;
+      let offered = float_of_int (count * n) /. duration in
+      row "%14.2f %14.2f %12.2f\n" offered
+        (float_of_int deliveries /. float_of_int n /. duration)
+        (if !lat_count = 0 then nan
+         else !lat_total /. float_of_int !lat_count))
+    [ 10.0; 5.0; 2.0; 1.0; 0.5 ]
+
+(* ------------------------------------------------------------------ *)
+(* M: bechamel micro-benchmarks. *)
+
+let micro () =
+  header "M: micro-benchmarks (bechamel; time per run)";
+  let open Bechamel in
+  let to_params = { To_machine.procs = Proc.all ~n:4; equal_value = Value.equal } in
+  let to_automaton = To_machine.automaton to_params in
+  let to_state =
+    let s = To_machine.initial to_params in
+    Option.get
+      (to_automaton.Gcs_automata.Automaton.transition s (To_action.Bcast (0, "x")))
+  in
+  let vs_params =
+    { Vs_machine.procs = Proc.all ~n:4; p0 = Proc.all ~n:4;
+      equal_msg = String.equal; weak = false }
+  in
+  let vs_automaton = Vs_machine.automaton vs_params in
+  let vs_state =
+    Option.get
+      (vs_automaton.Gcs_automata.Automaton.transition (Vs_machine.initial vs_params)
+         (Vs_action.Gpsnd { sender = 0; msg = "m" }))
+  in
+  let sys_params =
+    Vstoto_system.make_params ~procs:(Proc.all ~n:4) ~p0:(Proc.all ~n:4)
+      ~quorums:(Quorum.majorities ~n:4) ()
+  in
+  let sys_automaton = Vstoto_system.automaton sys_params in
+  let sys_state =
+    Option.get
+      (sys_automaton.Gcs_automata.Automaton.transition
+         sys_automaton.Gcs_automata.Automaton.initial
+         (Sys_action.Bcast (0, "x")))
+  in
+  let to_trace =
+    List.concat
+      (List.init 100 (fun i ->
+           let v = Printf.sprintf "t%d" i in
+           To_action.Bcast (0, v)
+           :: List.map
+                (fun q -> To_action.Brcv { src = 0; dst = q; value = v })
+                (Proc.all ~n:4)))
+  in
+  let vs_trace_events =
+    List.concat
+      (List.init 60 (fun i ->
+           let m = Printf.sprintf "w%d" i in
+           (Vs_action.Gpsnd { sender = 0; msg = m } : string Vs_action.t)
+           :: List.map
+                (fun q -> Vs_action.Gprcv { src = 0; dst = q; msg = m })
+                (Proc.all ~n:4)))
+  in
+  let eq_workload =
+    List.init 256 (fun i -> (float_of_int (i * 7 mod 97), i))
+  in
+  let sim_config = mk_vs_config 4 in
+  let sim_to_config = To_service.make_config sim_config in
+  let sim_wl = workload ~senders:(Proc.all ~n:4) ~from_time:2.0 ~spacing:5.0 ~count:4 ~tag:"b" in
+  let tests =
+    [
+      Test.make ~name:"TO-machine step"
+        (Staged.stage (fun () ->
+             to_automaton.Gcs_automata.Automaton.transition to_state
+               (To_action.To_order ("x", 0))));
+      Test.make ~name:"VS-machine step"
+        (Staged.stage (fun () ->
+             vs_automaton.Gcs_automata.Automaton.transition vs_state
+               (Vs_action.Vs_order { msg = "m"; sender = 0; viewid = View_id.g0 })));
+      Test.make ~name:"VStoTO-system step"
+        (Staged.stage (fun () ->
+             sys_automaton.Gcs_automata.Automaton.transition sys_state
+               (Sys_action.Label_act (0, "x"))));
+      Test.make ~name:"TO trace checker (500 events)"
+        (Staged.stage (fun () -> To_trace_checker.check to_params to_trace));
+      Test.make ~name:"VS trace checker (300 events)"
+        (Staged.stage (fun () -> Vs_trace_checker.check vs_params vs_trace_events));
+      Test.make ~name:"event queue add+pop (256)"
+        (Staged.stage (fun () ->
+             let q =
+               List.fold_left
+                 (fun q (t, v) -> Gcs_sim.Event_queue.add q ~time:t v)
+                 Gcs_sim.Event_queue.empty eq_workload
+             in
+             let rec drain q =
+               match Gcs_sim.Event_queue.pop q with
+               | Some (_, _, q) -> drain q
+               | None -> ()
+             in
+             drain q));
+      Test.make ~name:"simulated TO service (50 time units)"
+        (Staged.stage (fun () ->
+             To_service.run sim_to_config ~workload:sim_wl ~failures:[]
+               ~until:50.0 ~seed:1));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> row "%-42s %14.1f ns/run\n" name est
+          | _ -> row "%-42s %14s\n" name "(no estimate)")
+        analyzed)
+    tests
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  Printf.printf
+    "Reproduction harness: Fekete, Lynch, Shvartsman -- Specifying and Using \
+     a Partitionable Group Communication Service\n";
+  x6 ();
+  x7 ();
+  x8 ();
+  x9 ();
+  x10 ();
+  x11 ();
+  x12 ();
+  x13 ();
+  x14 ();
+  x16 ();
+  if not quick then micro ();
+  Printf.printf "\ndone.\n"

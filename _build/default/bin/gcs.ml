@@ -1,0 +1,372 @@
+(* gcs: command-line driver for the partitionable group communication
+   reproduction.
+
+     gcs bounds  — print the Section 8 analytical bounds for a configuration
+     gcs run     — simulate the end-to-end TO service under a scenario
+     gcs spec    — random executions of the spec machines with invariant,
+                   trace and simulation checking *)
+
+open Cmdliner
+open Gcs_core
+open Gcs_impl
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of processors.")
+
+let delta_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "delta" ] ~docv:"D" ~doc:"Good-link delay bound δ.")
+
+let pi_arg =
+  Arg.(
+    value & opt float 8.0
+    & info [ "pi" ] ~docv:"PI" ~doc:"Token creation spacing π (must exceed nδ).")
+
+let mu_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "mu" ] ~docv:"MU" ~doc:"Discovery-probe spacing μ.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let until_arg =
+  Arg.(
+    value & opt float 500.0
+    & info [ "until" ] ~docv:"T" ~doc:"Simulated time horizon.")
+
+let mk_config n delta pi mu =
+  let procs = Proc.all ~n in
+  { Vs_node.procs; p0 = procs; pi; mu; delta }
+
+(* ------------------------------ bounds ------------------------------ *)
+
+let bounds_cmd =
+  let run n delta pi mu =
+    let config = mk_config n delta pi mu in
+    Printf.printf "configuration: n=%d delta=%.2f pi=%.2f mu=%.2f\n" n delta pi
+      mu;
+    Printf.printf "paper b  = 9δ + max(π + (n+3)δ, μ)   = %.2f\n"
+      (Vs_node.paper_b config);
+    Printf.printf "paper d  = 2π + nδ                    = %.2f\n"
+      (Vs_node.paper_d config);
+    Printf.printf "impl  b' (this variant, conservative) = %.2f\n"
+      (Vs_node.impl_b config);
+    Printf.printf "impl  d' (this variant, conservative) = %.2f\n"
+      (Vs_node.impl_d config);
+    Printf.printf "token timeout                         = %.2f\n"
+      (Vs_node.token_timeout config)
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the Section 8 analytical bounds.")
+    Term.(const run $ n_arg $ delta_arg $ pi_arg $ mu_arg)
+
+(* ------------------------------- run -------------------------------- *)
+
+let parse_partition spec n =
+  (* "0,1,2/3,4" -> [[0;1;2];[3;4]] *)
+  match spec with
+  | "" -> Ok None
+  | spec -> (
+      try
+        let parts =
+          List.map
+            (fun part ->
+              List.map int_of_string (String.split_on_char ',' part))
+            (String.split_on_char '/' spec)
+        in
+        if List.for_all (List.for_all (fun p -> p >= 0 && p < n)) parts then
+          Ok (Some parts)
+        else Error "partition mentions a processor outside 0..n-1"
+      with Failure _ -> Error "malformed partition spec")
+
+let run_cmd =
+  let partition_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "partition" ] ~docv:"SPEC"
+          ~doc:"Partition specification, e.g. 0,1,2/3,4 (empty: none).")
+  in
+  let split_arg =
+    Arg.(
+      value & opt float 100.0
+      & info [ "split-at" ] ~docv:"T" ~doc:"Time of the partition.")
+  in
+  let heal_arg =
+    Arg.(
+      value & opt float 300.0
+      & info [ "heal-at" ] ~docv:"T"
+          ~doc:"Time of the heal (negative: never heal).")
+  in
+  let messages_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "messages" ] ~docv:"K" ~doc:"Client values per processor.")
+  in
+  let timeline_arg =
+    Arg.(
+      value & flag
+      & info [ "timeline" ] ~doc:"Draw an ASCII timeline of the run.")
+  in
+  let dump_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "dump" ] ~docv:"PREFIX"
+          ~doc:
+            "Write the run's timed traces to PREFIX.to and PREFIX.vs (see \
+             gcs check).")
+  in
+  let run n delta pi mu seed until partition split_at heal_at messages timeline
+      dump =
+    let vs_config = mk_config n delta pi mu in
+    let config = To_service.make_config vs_config in
+    let procs = vs_config.Vs_node.procs in
+    match parse_partition partition n with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 2
+    | Ok parts ->
+        let failures =
+          match parts with
+          | None -> []
+          | Some parts ->
+              List.map
+                (fun e -> (split_at, e))
+                (Fstatus.partition_events ~parts)
+              @
+              if heal_at >= 0.0 then
+                List.map (fun e -> (heal_at, e)) (Fstatus.heal_events ~procs)
+              else []
+        in
+        let workload =
+          List.concat_map
+            (fun p ->
+              List.init messages (fun k ->
+                  ( 10.0 +. (float_of_int k *. 30.0) +. float_of_int p,
+                    p,
+                    Printf.sprintf "v%d.%d" p k )))
+            procs
+        in
+        let run = To_service.run config ~workload ~failures ~until ~seed in
+        Printf.printf "simulated until t=%.1f: %d events, %d packets (%d dropped)\n"
+          until run.To_service.events_processed run.To_service.packets_sent
+          run.To_service.packets_dropped;
+        Printf.printf "client deliveries: %d\n" (To_service.deliveries run);
+        List.iter
+          (fun (t, a) ->
+            match a with
+            | Vs_action.Newview { proc; view } ->
+                Printf.printf "  t=%7.1f newview %s at %d\n" t
+                  (Format.asprintf "%a" View.pp view)
+                  proc
+            | _ -> ())
+          (Timed.actions (To_service.vs_trace run));
+        if timeline then
+          print_string
+            (Gcs_apps.Timeline.of_to_service_run ~procs ~width:100 ~until run);
+        (match To_service.to_conforms config run with
+        | Ok () -> Printf.printf "TO-machine conformance: OK\n"
+        | Error e ->
+            Printf.printf "TO-machine conformance: FAILED (%s)\n"
+              (Format.asprintf "%a" To_trace_checker.pp_error e));
+        (match To_service.vs_conforms config run with
+        | Ok () -> Printf.printf "VS-machine conformance: OK\n"
+        | Error e ->
+            Printf.printf "VS-machine conformance: FAILED (%s)\n"
+              (Format.asprintf "%a" Vs_trace_checker.pp_error e));
+        if dump <> "" then begin
+          let write path contents =
+            let oc = open_out path in
+            output_string oc contents;
+            output_string oc "\n";
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+          in
+          write (dump ^ ".to")
+            (Trace_io.to_to_string (To_service.client_trace run));
+          let vs_as_strings =
+            Timed.map
+              (fun a ->
+                Some
+                  (match a with
+                  | Vs_action.Gpsnd { sender; msg } ->
+                      Vs_action.Gpsnd
+                        { sender; msg = Format.asprintf "%a" Msg.pp msg }
+                  | Vs_action.Gprcv { src; dst; msg } ->
+                      Vs_action.Gprcv
+                        { src; dst; msg = Format.asprintf "%a" Msg.pp msg }
+                  | Vs_action.Safe { src; dst; msg } ->
+                      Vs_action.Safe
+                        { src; dst; msg = Format.asprintf "%a" Msg.pp msg }
+                  | Vs_action.Newview nv -> Vs_action.Newview nv
+                  | Vs_action.Createview v -> Vs_action.Createview v
+                  | Vs_action.Vs_order { msg; sender; viewid } ->
+                      Vs_action.Vs_order
+                        {
+                          msg = Format.asprintf "%a" Msg.pp msg;
+                          sender;
+                          viewid;
+                        }))
+              (To_service.vs_trace run)
+          in
+          write (dump ^ ".vs") (Trace_io.vs_to_string vs_as_strings)
+        end
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Simulate the end-to-end TO service under a failure scenario.")
+    Term.(
+      const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg $ until_arg
+      $ partition_arg $ split_arg $ heal_arg $ messages_arg $ timeline_arg
+      $ dump_arg)
+
+(* ------------------------------- spec ------------------------------- *)
+
+let spec_cmd =
+  let steps_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "steps" ] ~docv:"K" ~doc:"Steps per execution.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "runs" ] ~docv:"K" ~doc:"Number of random executions.")
+  in
+  let run n steps runs seed =
+    let open Gcs_automata in
+    let procs = Proc.all ~n in
+    let params =
+      Vstoto_system.make_params ~procs ~p0:procs
+        ~quorums:(Quorum.majorities ~n) ()
+    in
+    let automaton = Vstoto_system.automaton params in
+    let values = List.init 6 (fun i -> Printf.sprintf "x%d" i) in
+    let scheduler =
+      Scheduler.weighted automaton
+        ~inject:(Vstoto_system.inject params ~values)
+        ~inject_weight:0.3
+    in
+    let failures = ref 0 in
+    for i = 0 to runs - 1 do
+      let prng = Gcs_stdx.Prng.create (seed + i) in
+      let e = Exec.run automaton ~scheduler ~steps ~prng in
+      (match Invariant.first_violation (Vstoto_invariants.all params) e with
+      | None -> ()
+      | Some v ->
+          incr failures;
+          Printf.printf "seed %d: invariant %s violated at step %d: %s\n"
+            (seed + i) v.Invariant.invariant v.Invariant.step_index
+            v.Invariant.detail);
+      match To_simulation.check_execution params e with
+      | Ok () -> ()
+      | Error msg ->
+          incr failures;
+          Printf.printf "seed %d: simulation failure: %s\n" (seed + i) msg
+    done;
+    if !failures = 0 then
+      Printf.printf
+        "%d executions x %d steps: all Section 6 invariants hold and the \
+         forward simulation to TO-machine checks.\n"
+        runs steps
+    else Printf.printf "%d failures.\n" !failures
+  in
+  Cmd.v
+    (Cmd.info "spec"
+       ~doc:
+         "Randomly execute VStoTO over the VS-machine specification, checking \
+          the Section 6 invariants and the forward simulation.")
+    Term.(const run $ n_arg $ steps_arg $ runs_arg $ seed_arg)
+
+(* ------------------------------- check ------------------------------ *)
+
+let check_cmd =
+  let layer_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("to", `To); ("vs", `Vs) ])) None
+      & info [] ~docv:"LAYER" ~doc:"Which specification to check: to or vs.")
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file (see gcs run --dump).")
+  in
+  let p0_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "p0" ] ~docv:"K"
+          ~doc:"Size of the initial membership P0 (default: all).")
+  in
+  let run layer file n p0 =
+    let contents =
+      let ic = open_in file in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    in
+    let procs = Proc.all ~n in
+    let p0 = if p0 < 0 then procs else Proc.all ~n:p0 in
+    match layer with
+    | `To -> (
+        match Trace_io.to_of_string contents with
+        | Error e ->
+            Printf.printf "parse error: %s\n" e;
+            exit 2
+        | Ok trace -> (
+            let params = { To_machine.procs; equal_value = Value.equal } in
+            match
+              To_trace_checker.check params
+                (List.map snd (Timed.actions trace))
+            with
+            | Ok () ->
+                Printf.printf
+                  "%s: %d events, TO-machine conformance OK\n" file
+                  (List.length trace)
+            | Error err ->
+                Printf.printf "%s: REJECTED (%s)\n" file
+                  (Format.asprintf "%a" To_trace_checker.pp_error err);
+                exit 1))
+    | `Vs -> (
+        match Trace_io.vs_of_string contents with
+        | Error e ->
+            Printf.printf "parse error: %s\n" e;
+            exit 2
+        | Ok trace -> (
+            let params =
+              {
+                Vs_machine.procs;
+                p0;
+                equal_msg = String.equal;
+                weak = false;
+              }
+            in
+            match
+              Vs_trace_checker.check params
+                (List.map snd (Timed.actions trace))
+            with
+            | Ok () ->
+                Printf.printf
+                  "%s: %d events, VS-machine conformance OK\n" file
+                  (List.length trace)
+            | Error err ->
+                Printf.printf "%s: REJECTED (%s)\n" file
+                  (Format.asprintf "%a" Vs_trace_checker.pp_error err);
+                exit 1))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Conformance-check a dumped (or externally produced) trace against \
+          TO-machine or VS-machine.")
+    Term.(const run $ layer_arg $ file_arg $ n_arg $ p0_arg)
+
+let () =
+  let doc = "Partitionable group communication service reproduction" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "gcs" ~doc)
+          [ bounds_cmd; run_cmd; spec_cmd; check_cmd ]))

@@ -1,0 +1,1 @@
+examples/air_traffic.ml: Format Fstatus Gcs_apps Gcs_core Gcs_impl Kv_store List Option Proc Rsm Timed To_service Vs_node

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Fstatus Gcs_apps Gcs_core Gcs_impl Gcs_stdx List Printf Proc String Timed To_action To_property To_service To_trace_checker View Vs_action Vs_node

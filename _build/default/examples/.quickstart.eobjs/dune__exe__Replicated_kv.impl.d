@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Format Fstatus Gcs_apps Gcs_baseline Gcs_core Gcs_impl List Option Proc Sequencer To_service Vs_node

@@ -1,0 +1,1 @@
+examples/task_farm.ml: Format Fstatus Gcs_apps Gcs_core Gcs_impl List Printf Proc String Vs_node Vs_service Work_queue

@@ -1,0 +1,1 @@
+examples/trading_floor.ml: Format Fstatus Gcs_apps Gcs_core Gcs_impl List Order_book Proc Rsm Timed To_service To_trace_checker Vs_node

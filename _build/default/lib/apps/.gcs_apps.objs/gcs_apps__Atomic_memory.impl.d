@@ -1,0 +1,1 @@
+lib/apps/atomic_memory.ml: Codec Gcs_core Hashtbl List Map Option Printf Proc String To_action

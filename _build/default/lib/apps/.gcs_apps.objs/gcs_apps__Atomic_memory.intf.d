@@ -1,0 +1,1 @@
+lib/apps/atomic_memory.mli: Gcs_core Proc To_action Value

@@ -1,0 +1,1 @@
+lib/apps/counter.ml: Codec Format Int Option

@@ -1,0 +1,1 @@
+lib/apps/kv_store.ml: Codec Format Map String

@@ -1,0 +1,1 @@
+lib/apps/kv_store.mli: Machine Map String

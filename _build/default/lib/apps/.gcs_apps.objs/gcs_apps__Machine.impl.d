@@ -1,0 +1,1 @@
+lib/apps/machine.ml: Format Gcs_core

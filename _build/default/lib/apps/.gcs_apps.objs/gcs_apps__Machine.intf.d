@@ -1,0 +1,1 @@
+lib/apps/machine.mli: Format Gcs_core

@@ -1,0 +1,1 @@
+lib/apps/order_book.ml: Codec Format List Option

@@ -1,0 +1,1 @@
+lib/apps/rsm.ml: Gcs_core Gcs_stdx List Machine Printf Proc Result Timed To_action Value

@@ -1,0 +1,1 @@
+lib/apps/rsm.mli: Gcs_core Machine Proc Timed To_action Value

@@ -1,0 +1,1 @@
+lib/apps/sc_checker.ml: Array Format Gcs_core Hashtbl List Map Option String

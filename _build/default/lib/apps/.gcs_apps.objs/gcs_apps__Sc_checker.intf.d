@@ -1,0 +1,1 @@
+lib/apps/sc_checker.mli: Format Gcs_core Proc

@@ -1,0 +1,1 @@
+lib/apps/seq_memory.ml: Gcs_core Kv_store List Proc Rsm String Timed To_action

@@ -1,0 +1,1 @@
+lib/apps/seq_memory.mli: Gcs_core Proc Timed To_action Value

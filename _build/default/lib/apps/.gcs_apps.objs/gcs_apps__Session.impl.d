@@ -1,0 +1,1 @@
+lib/apps/session.ml: Codec Gcs_core Gcs_impl Gcs_sim Gcs_stdx Hashtbl List Map Option Proc Sc_checker String Timed To_action To_service Value Vs_node

@@ -1,0 +1,1 @@
+lib/apps/session.mli: Fstatus Gcs_core Gcs_impl Gcs_sim Proc Sc_checker Timed To_action To_service Value

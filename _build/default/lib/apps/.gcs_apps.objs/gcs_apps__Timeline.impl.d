@@ -1,0 +1,1 @@
+lib/apps/timeline.ml: Buffer Bytes Gcs_core Gcs_impl List Printf Proc String Timed To_action To_service Vs_action

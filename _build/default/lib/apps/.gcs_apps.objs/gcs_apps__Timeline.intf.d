@@ -1,0 +1,1 @@
+lib/apps/timeline.mli: Gcs_core Gcs_impl Proc To_service

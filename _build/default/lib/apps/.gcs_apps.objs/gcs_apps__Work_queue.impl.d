@@ -1,0 +1,1 @@
+lib/apps/work_queue.ml: Char Gcs_core Hashtbl List Option Proc String Timed View Vs_action

@@ -1,0 +1,1 @@
+lib/apps/work_queue.mli: Gcs_core Proc Timed View Vs_action

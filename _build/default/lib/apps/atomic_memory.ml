@@ -1,0 +1,71 @@
+open Gcs_core
+
+type op =
+  | Write of { loc : string; value : string }
+  | Read of { loc : string; id : int }
+
+let encode_op = function
+  | Write { loc; value } -> Codec.encode [ "w"; loc; value ]
+  | Read { loc; id } -> Codec.encode [ "r"; loc; Codec.int_field id ]
+
+let decode_op v =
+  match Codec.decode v with
+  | Some [ "w"; loc; value ] -> Some (Write { loc; value })
+  | Some [ "r"; loc; id ] ->
+      Option.map (fun id -> Read { loc; id }) (Codec.int_of_field id)
+  | Some _ | None -> None
+
+let submission proc op time = (time, proc, encode_op op)
+
+type response = { id : int; value : string option }
+
+module Smap = Map.Make (String)
+
+(* Replay the delivered prefix at [proc], collecting responses for every
+   read operation (regardless of submitter — agreement is checked across
+   replicas). *)
+let responses_of_prefix values =
+  let rec go store acc = function
+    | [] -> Ok (List.rev acc)
+    | v :: rest -> (
+        match decode_op v with
+        | Some (Write { loc; value }) -> go (Smap.add loc value store) acc rest
+        | Some (Read { loc; id }) ->
+            go store ({ id; value = Smap.find_opt loc store } :: acc) rest
+        | None -> Error (Printf.sprintf "undecodable operation %S" v))
+  in
+  go Smap.empty [] values
+
+let delivered proc actions =
+  List.filter_map
+    (fun a ->
+      match a with
+      | To_action.Brcv { dst; value; _ } when Proc.equal dst proc -> Some value
+      | _ -> None)
+    actions
+
+let responses_at proc actions = responses_of_prefix (delivered proc actions)
+
+let all_responses_agree procs actions =
+  let tables =
+    List.filter_map
+      (fun p ->
+        match responses_at p actions with
+        | Ok rs -> Some rs
+        | Error _ -> None)
+      procs
+  in
+  List.length tables = List.length procs
+  &&
+  let by_id = Hashtbl.create 64 in
+  List.for_all
+    (fun rs ->
+      List.for_all
+        (fun r ->
+          match Hashtbl.find_opt by_id r.id with
+          | Some v -> Option.equal String.equal v r.value
+          | None ->
+              Hashtbl.replace by_id r.id r.value;
+              true)
+        rs)
+    tables

@@ -1,0 +1,26 @@
+open Gcs_core
+
+(** Atomic (linearizable) shared memory over totally ordered broadcast:
+    {e all} operations, including reads, go through the TO service
+    (footnote 3's alternative). A read is answered when its operation is
+    delivered back at the submitting replica, with the value at that point
+    of the total order — so every replica agrees on every response. *)
+
+type op = Write of { loc : string; value : string } | Read of { loc : string; id : int }
+
+val encode_op : op -> Value.t
+val decode_op : Value.t -> op option
+
+val submission : Proc.t -> op -> float -> float * Proc.t * Value.t
+
+type response = { id : int; value : string option }
+
+val responses_at :
+  Proc.t -> Value.t To_action.t list -> (response list, string) result
+(** Responses to the reads submitted by the given processor, computed from
+    its delivered prefix. *)
+
+val all_responses_agree :
+  Proc.t list -> Value.t To_action.t list -> bool
+(** Every replica computes the same response for every read it has seen —
+    the operational content of atomicity here. *)

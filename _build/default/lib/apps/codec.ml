@@ -1,0 +1,57 @@
+let escape field =
+  let buf = Buffer.create (String.length field + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string buf "%p"
+      | '|' -> Buffer.add_string buf "%b"
+      | c -> Buffer.add_char buf c)
+    field;
+  Buffer.contents buf
+
+let unescape field =
+  let buf = Buffer.create (String.length field) in
+  let n = String.length field in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else
+      match field.[i] with
+      | '%' ->
+          if i + 1 >= n then None
+          else (
+            (match field.[i + 1] with
+            | 'p' -> Buffer.add_char buf '%'
+            | 'b' -> Buffer.add_char buf '|'
+            | _ -> Buffer.add_char buf '\000');
+            match field.[i + 1] with
+            | 'p' | 'b' -> go (i + 2)
+            | _ -> None)
+      | '|' -> None
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0
+
+(* The empty record needs a marker distinct from the singleton empty
+   field: [encode [""] = ""] but [encode [] = "%n"] ("%n" cannot be
+   produced by escaping). *)
+let empty_marker = "%n"
+
+let encode fields =
+  if fields = [] then empty_marker
+  else String.concat "|" (List.map escape fields)
+
+let decode s =
+  if String.equal s empty_marker then Some []
+  else
+  let raw = String.split_on_char '|' s in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | f :: rest -> (
+        match unescape f with Some u -> go (u :: acc) rest | None -> None)
+  in
+  go [] raw
+
+let int_field = string_of_int
+let int_of_field = int_of_string_opt

@@ -1,0 +1,12 @@
+(** Tiny field codec: applications encode their operations into the opaque
+    data values ([A = string]) carried by the broadcast services.
+
+    A record is a list of fields; fields may contain arbitrary bytes. The
+    encoding separates fields with ['|'] and escapes ['%'] and ['|']. *)
+
+val encode : string list -> string
+val decode : string -> string list option
+(** [decode (encode fields) = Some fields]; [None] on malformed input. *)
+
+val int_field : int -> string
+val int_of_field : string -> int option

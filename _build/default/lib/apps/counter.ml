@@ -1,0 +1,18 @@
+type t = int
+type op = Add of int | Reset
+
+let initial = 0
+let apply t = function Add n -> t + n | Reset -> 0
+
+let encode_op = function
+  | Add n -> Codec.encode [ "add"; Codec.int_field n ]
+  | Reset -> Codec.encode [ "reset" ]
+
+let decode_op value =
+  match Codec.decode value with
+  | Some [ "add"; n ] -> Option.map (fun n -> Add n) (Codec.int_of_field n)
+  | Some [ "reset" ] -> Some Reset
+  | Some _ | None -> None
+
+let equal = Int.equal
+let pp = Format.pp_print_int

@@ -1,0 +1,5 @@
+(** A counter machine (simplest replicated state machine). *)
+
+type op = Add of int | Reset
+
+include Machine.S with type op := op and type t = int

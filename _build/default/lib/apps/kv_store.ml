@@ -1,0 +1,32 @@
+module Smap = Map.Make (String)
+
+type t = string Smap.t
+type op = Put of string * string | Del of string
+
+let initial = Smap.empty
+
+let apply t = function
+  | Put (k, v) -> Smap.add k v t
+  | Del k -> Smap.remove k t
+
+let encode_op = function
+  | Put (k, v) -> Codec.encode [ "put"; k; v ]
+  | Del k -> Codec.encode [ "del"; k ]
+
+let decode_op value =
+  match Codec.decode value with
+  | Some [ "put"; k; v ] -> Some (Put (k, v))
+  | Some [ "del"; k ] -> Some (Del k)
+  | Some _ | None -> None
+
+let equal = Smap.equal String.equal
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf (k, v) -> Format.fprintf ppf "%s=%s" k v))
+    (Smap.bindings t)
+
+let get t k = Smap.find_opt k t
+let bindings = Smap.bindings

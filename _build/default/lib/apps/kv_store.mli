@@ -1,0 +1,8 @@
+(** A string key-value store machine. *)
+
+type op = Put of string * string | Del of string
+
+include Machine.S with type op := op and type t = string Map.Make(String).t
+
+val get : t -> string -> string option
+val bindings : t -> (string * string) list

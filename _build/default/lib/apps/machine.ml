@@ -1,0 +1,11 @@
+module type S = sig
+  type t
+  type op
+
+  val initial : t
+  val apply : t -> op -> t
+  val encode_op : op -> Gcs_core.Value.t
+  val decode_op : Gcs_core.Value.t -> op option
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,118 @@
+type side = Buy | Sell
+type order = { id : int; side : side; price : int; qty : int }
+type trade = { taker : int; maker : int; price : int; qty : int }
+
+type t = { bids : order list; asks : order list; trades : trade list }
+
+type op = Submit of order | Cancel of int
+
+let initial = { bids = []; asks = []; trades = [] }
+
+(* Insert preserving price priority (bids descending, asks ascending) with
+   FIFO among equal prices. *)
+let rec insert_bid (o : order) = function
+  | [] -> [ o ]
+  | (head : order) :: rest as book ->
+      if o.price > head.price then o :: book else head :: insert_bid o rest
+
+let rec insert_ask (o : order) = function
+  | [] -> [ o ]
+  | (head : order) :: rest as book ->
+      if o.price < head.price then o :: book else head :: insert_ask o rest
+
+let rec match_buy t (o : order) =
+  match t.asks with
+  | best :: rest when best.price <= o.price && o.qty > 0 ->
+      let qty = min o.qty best.qty in
+      let trade = { taker = o.id; maker = best.id; price = best.price; qty } in
+      let t = { t with trades = trade :: t.trades } in
+      let remaining_maker = { best with qty = best.qty - qty } in
+      let t =
+        if remaining_maker.qty > 0 then { t with asks = remaining_maker :: rest }
+        else { t with asks = rest }
+      in
+      match_buy t { o with qty = o.qty - qty }
+  | _ ->
+      if o.qty > 0 then { t with bids = insert_bid o t.bids } else t
+
+let rec match_sell t (o : order) =
+  match t.bids with
+  | best :: rest when best.price >= o.price && o.qty > 0 ->
+      let qty = min o.qty best.qty in
+      let trade = { taker = o.id; maker = best.id; price = best.price; qty } in
+      let t = { t with trades = trade :: t.trades } in
+      let remaining_maker = { best with qty = best.qty - qty } in
+      let t =
+        if remaining_maker.qty > 0 then { t with bids = remaining_maker :: rest }
+        else { t with bids = rest }
+      in
+      match_sell t { o with qty = o.qty - qty }
+  | _ ->
+      if o.qty > 0 then { t with asks = insert_ask o t.asks } else t
+
+let apply t = function
+  | Submit o -> (
+      match o.side with Buy -> match_buy t o | Sell -> match_sell t o)
+  | Cancel id ->
+      {
+        t with
+        bids = List.filter (fun o -> o.id <> id) t.bids;
+        asks = List.filter (fun o -> o.id <> id) t.asks;
+      }
+
+let encode_op = function
+  | Submit o ->
+      Codec.encode
+        [
+          "o";
+          (match o.side with Buy -> "b" | Sell -> "s");
+          Codec.int_field o.id;
+          Codec.int_field o.price;
+          Codec.int_field o.qty;
+        ]
+  | Cancel id -> Codec.encode [ "c"; Codec.int_field id ]
+
+let decode_op v =
+  match Codec.decode v with
+  | Some [ "o"; side; id; price; qty ] -> (
+      match
+        ( side,
+          Codec.int_of_field id,
+          Codec.int_of_field price,
+          Codec.int_of_field qty )
+      with
+      | "b", Some id, Some price, Some qty ->
+          Some (Submit { id; side = Buy; price; qty })
+      | "s", Some id, Some price, Some qty ->
+          Some (Submit { id; side = Sell; price; qty })
+      | _ -> None)
+  | Some [ "c"; id ] -> Option.map (fun id -> Cancel id) (Codec.int_of_field id)
+  | Some _ | None -> None
+
+let equal_order (a : order) (b : order) = a = b
+let equal_trade (a : trade) (b : trade) = a = b
+
+let equal a b =
+  List.equal equal_order a.bids b.bids
+  && List.equal equal_order a.asks b.asks
+  && List.equal equal_trade a.trades b.trades
+
+let pp_order ppf o =
+  Format.fprintf ppf "#%d %s %d@%d" o.id
+    (match o.side with Buy -> "buy" | Sell -> "sell")
+    o.qty o.price
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>bids: %a@ asks: %a@ trades: %d@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_order)
+    t.bids
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_order)
+    t.asks (List.length t.trades)
+
+let best_bid t = match t.bids with [] -> None | o :: _ -> Some o.price
+let best_ask t = match t.asks with [] -> None | o :: _ -> Some o.price
+let trade_count t = List.length t.trades

@@ -1,0 +1,25 @@
+(** A deterministic limit-order book — the replicated state machine behind
+    the trading-floor example (the paper's NYSE/stock-exchange
+    motivation). Orders are matched price-time priority; determinism makes
+    every replica compute the same book and the same trades from the same
+    operation prefix. *)
+
+type side = Buy | Sell
+
+type order = { id : int; side : side; price : int; qty : int }
+
+type trade = { taker : int; maker : int; price : int; qty : int }
+
+type t = {
+  bids : order list;  (** descending price, then FIFO *)
+  asks : order list;  (** ascending price, then FIFO *)
+  trades : trade list;  (** most recent first *)
+}
+
+type op = Submit of order | Cancel of int
+
+include Machine.S with type op := op and type t := t
+
+val best_bid : t -> int option
+val best_ask : t -> int option
+val trade_count : t -> int

@@ -1,0 +1,64 @@
+open Gcs_core
+
+module Make (M : Machine.S) = struct
+  let delivered_ops proc actions =
+    List.filter_map
+      (fun a ->
+        match a with
+        | To_action.Brcv { dst; value; _ } when Proc.equal dst proc ->
+            Some value
+        | _ -> None)
+      actions
+
+  let replay proc actions =
+    let rec go state applied = function
+      | [] -> Ok (state, applied)
+      | value :: rest -> (
+          match M.decode_op value with
+          | Some op -> go (M.apply state op) (applied + 1) rest
+          | None -> Error (Printf.sprintf "undecodable operation %S" value))
+    in
+    go M.initial 0 (delivered_ops proc actions)
+
+  let state_at proc ~time trace =
+    let actions =
+      List.filter_map
+        (fun (t, a) -> if t <= time then Some a else None)
+        (Timed.actions trace)
+    in
+    Result.map fst (replay proc actions)
+
+  let replica_states procs actions =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match replay p actions with
+          | Ok (state, applied) -> go ((p, state, applied) :: acc) rest
+          | Error e -> Error e)
+    in
+    go [] procs
+
+  let consistent procs actions =
+    let sequences = List.map (fun p -> delivered_ops p actions) procs in
+    let pairwise_prefix =
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun t -> Gcs_stdx.Seqx.consistent ~equal:Value.equal s t)
+            sequences)
+        sequences
+    in
+    pairwise_prefix
+    &&
+    match replica_states procs actions with
+    | Error _ -> false
+    | Ok states ->
+        List.for_all
+          (fun (_, s1, n1) ->
+            List.for_all
+              (fun (_, s2, n2) -> n1 <> n2 || M.equal s1 s2)
+              states)
+          states
+
+  let submit proc op time = (time, proc, M.encode_op op)
+end

@@ -1,0 +1,30 @@
+open Gcs_core
+
+(** Replicated state machines over a totally ordered broadcast trace.
+
+    Replication is an {e interpretation} of a TO client trace: the replica
+    state at processor [q] is the fold of the operations delivered at [q].
+    Because TO delivers a prefix of one total order to every processor,
+    replicas are prefix-consistent — which [consistent] checks directly. *)
+
+module Make (M : Machine.S) : sig
+  val replay :
+    Proc.t -> Value.t To_action.t list -> (M.t * int, string) result
+  (** Replica state and number of applied operations at a processor after
+      the whole trace; [Error] on an undecodable operation. *)
+
+  val state_at :
+    Proc.t -> time:float -> Value.t To_action.t Timed.t -> (M.t, string) result
+  (** Replica state at a processor at a given time. *)
+
+  val replica_states :
+    Proc.t list -> Value.t To_action.t list -> ((Proc.t * M.t * int) list, string) result
+
+  val consistent : Proc.t list -> Value.t To_action.t list -> bool
+  (** Replicas that applied the same number of operations are in the same
+      state, and the per-replica operation sequences are prefixes of a
+      common sequence. *)
+
+  val submit : Proc.t -> M.op -> float -> float * Proc.t * Value.t
+  (** Workload helper: an encoded submission for the simulator. *)
+end

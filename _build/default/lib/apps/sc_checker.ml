@@ -1,0 +1,61 @@
+type op =
+  | Write of { loc : string; value : string }
+  | Read of { loc : string; result : string option }
+
+type history = (Gcs_core.Proc.t * op list) list
+
+module Smap = Map.Make (String)
+
+(* Backtracking search over interleavings: at each step pick a process
+   whose next operation is legal in the current store. Memoization on
+   (per-process positions, relevant store) keeps common cases fast. *)
+let sequentially_consistent history =
+  let processes = Array.of_list (List.map snd history) in
+  let ops = Array.map Array.of_list processes in
+  let n = Array.length ops in
+  let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 ops in
+  let seen = Hashtbl.create 1024 in
+  let key positions store =
+    ( Array.to_list (Array.copy positions),
+      Smap.bindings store )
+  in
+  let rec go positions store remaining =
+    if remaining = 0 then true
+    else
+      let k = key positions store in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        let try_process i =
+          let pos = positions.(i) in
+          if pos >= Array.length ops.(i) then false
+          else
+            match ops.(i).(pos) with
+            | Write { loc; value } ->
+                positions.(i) <- pos + 1;
+                let ok =
+                  go positions (Smap.add loc value store) (remaining - 1)
+                in
+                positions.(i) <- pos;
+                ok
+            | Read { loc; result } ->
+                if Option.equal String.equal (Smap.find_opt loc store) result
+                then begin
+                  positions.(i) <- pos + 1;
+                  let ok = go positions store (remaining - 1) in
+                  positions.(i) <- pos;
+                  ok
+                end
+                else false
+        in
+        let rec any i = i < n && (try_process i || any (i + 1)) in
+        any 0
+      end
+  in
+  go (Array.make n 0) Smap.empty total
+
+let pp_op ppf = function
+  | Write { loc; value } -> Format.fprintf ppf "W(%s:=%s)" loc value
+  | Read { loc; result } ->
+      Format.fprintf ppf "R(%s)=%s" loc
+        (Option.value ~default:"init" result)

@@ -1,0 +1,28 @@
+open Gcs_core
+
+(** A decision procedure for sequential consistency of small read/write
+    histories.
+
+    Footnote 3 of the paper claims the write-through-TO / read-local
+    memory is sequentially consistent. The claim depends on the write's
+    {e return} happening when the totally ordered broadcast delivers the
+    write back to the submitter (so a process's later operations follow
+    its own writes). This checker makes the claim testable: given each
+    process's operation sequence (in program order, with the values reads
+    returned), it searches for a single interleaving that respects every
+    program order and in which each read returns the latest preceding
+    write to its location ([None] = initial value).
+
+    The search is exponential in the worst case; intended for histories of
+    a few dozen operations, as produced by the tests. *)
+
+type op =
+  | Write of { loc : string; value : string }
+  | Read of { loc : string; result : string option }
+
+type history = (Proc.t * op list) list
+(** One entry per process: its operations in program order. *)
+
+val sequentially_consistent : history -> bool
+
+val pp_op : Format.formatter -> op -> unit

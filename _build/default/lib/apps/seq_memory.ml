@@ -1,0 +1,49 @@
+open Gcs_core
+module R = Rsm.Make (Kv_store)
+
+type t = Kv_store.t
+
+let write_submission proc ~loc ~value time =
+  R.submit proc (Kv_store.Put (loc, value)) time
+
+let state_at = R.state_at
+let read = Kv_store.get
+
+type read_event = {
+  proc : Proc.t;
+  time : float;
+  loc : string;
+  result : string option;
+}
+
+let perform_reads trace points =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (proc, time, loc) :: rest -> (
+        match state_at proc ~time trace with
+        | Ok state -> go ({ proc; time; loc; result = read state loc } :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] points
+
+let reads_are_consistent trace reads =
+  let last_write_before proc time loc =
+    List.fold_left
+      (fun acc (t, a) ->
+        match a with
+        | To_action.Brcv { dst; value; _ }
+          when Proc.equal dst proc && t <= time -> (
+            match Kv_store.decode_op value with
+            | Some (Kv_store.Put (l, v)) when String.equal l loc -> Some v
+            | Some (Kv_store.Del l) when String.equal l loc -> None
+            | _ -> acc)
+        | _ -> acc)
+      None (Timed.actions trace)
+  in
+  List.for_all
+    (fun r ->
+      match (r.result, last_write_before r.proc r.time r.loc) with
+      | None, None -> true
+      | Some a, Some b -> String.equal a b
+      | _ -> false)
+    reads

@@ -1,0 +1,40 @@
+open Gcs_core
+
+(** Sequentially consistent shared memory over totally ordered broadcast
+    (footnote 3 of the paper): writes are sent through the TO service and
+    applied on delivery at every replica; reads are served immediately
+    from the local replica. *)
+
+type t
+(** A replica's view of the memory: locations to values. *)
+
+val write_submission :
+  Proc.t -> loc:string -> value:string -> float -> float * Proc.t * Value.t
+(** A timed write submission for the simulator workload. *)
+
+val state_at :
+  Proc.t -> time:float -> Value.t To_action.t Timed.t -> (t, string) result
+
+val read : t -> string -> string option
+(** A local read (performed on the replica state, as footnote 3
+    prescribes). *)
+
+type read_event = {
+  proc : Proc.t;
+  time : float;
+  loc : string;
+  result : string option;
+}
+
+val perform_reads :
+  Value.t To_action.t Timed.t ->
+  (Proc.t * float * string) list ->
+  (read_event list, string) result
+(** Execute local reads at given (processor, time, location) points. *)
+
+val reads_are_consistent :
+  Value.t To_action.t Timed.t -> read_event list -> bool
+(** Every read returns the value of the last write to its location
+    delivered at its processor before the read — the definition of the
+    read-local discipline; combined with the TO total order on writes this
+    yields sequential consistency. *)

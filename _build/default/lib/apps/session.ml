@@ -1,0 +1,222 @@
+open Gcs_core
+open Gcs_impl
+module Smap = Map.Make (String)
+
+type op = Write of { loc : string; value : string } | Read of { loc : string }
+
+type completion = {
+  proc : Proc.t;
+  op : op;
+  result : string option;
+  issued : float;
+  completed : float;
+}
+
+type run = {
+  completions : completion list;
+  to_trace : Value.t To_action.t Timed.t;
+}
+
+(* Session-level wire encoding: a per-process sequence number makes every
+   submitted value unique, so a write completion can be matched
+   unambiguously against the local delivery of that exact value. *)
+let encode_write ~proc ~seq ~loc ~value =
+  Codec.encode [ "sw"; Codec.int_field proc; Codec.int_field seq; loc; value ]
+
+let decode_write v =
+  match Codec.decode v with
+  | Some [ "sw"; _proc; _seq; loc; value ] -> Some (loc, value)
+  | Some _ | None -> None
+
+type node = {
+  base : To_service.node;
+  script : op list;  (* remaining operations *)
+  pending : Value.t option;  (* encoded write awaiting local delivery *)
+  replica : string Smap.t;
+  next_seq : int;
+  issued_at : float;
+}
+
+type out = Base of To_service.out | Done of completion
+
+(* Issue operations until the script blocks on a write (or ends). Reads
+   complete immediately against the local replica. *)
+let rec issue base_handlers config me ~now node acc =
+  match node.script with
+  | [] -> (node, List.rev acc)
+  | Read { loc } :: rest ->
+      let completion =
+        {
+          proc = me;
+          op = Read { loc };
+          result = Smap.find_opt loc node.replica;
+          issued = now;
+          completed = now;
+        }
+      in
+      issue base_handlers config me ~now
+        { node with script = rest }
+        (Gcs_sim.Engine.Output (Done completion) :: acc)
+  | Write { loc; value } :: rest ->
+      let encoded =
+        encode_write ~proc:me ~seq:node.next_seq ~loc ~value
+      in
+      let base', effects =
+        base_handlers.Gcs_sim.Engine.on_input me ~now encoded node.base
+      in
+      let node =
+        {
+          node with
+          base = base';
+          script = rest;
+          pending = Some encoded;
+          next_seq = node.next_seq + 1;
+          issued_at = now;
+        }
+      in
+      (* Keep the base effects; stop issuing until the write completes. *)
+      ( node,
+        List.rev acc
+        @ List.map
+            (fun e ->
+              match e with
+              | Gcs_sim.Engine.Output o -> Gcs_sim.Engine.Output (Base o)
+              | Gcs_sim.Engine.Send s -> Gcs_sim.Engine.Send s
+              | Gcs_sim.Engine.Set_timer t -> Gcs_sim.Engine.Set_timer t
+              | Gcs_sim.Engine.Cancel_timer c -> Gcs_sim.Engine.Cancel_timer c)
+            effects )
+
+(* Route effects coming out of the base service: apply local deliveries to
+   the replica, detect the pending write's completion, re-tag outputs. *)
+let route base_handlers config me ~now (node, effects) =
+  let rec go node acc = function
+    | [] -> (node, List.rev acc)
+    | Gcs_sim.Engine.Output (To_service.Client (To_action.Brcv { src; dst; value }) as o)
+      :: rest
+      when Proc.equal dst me ->
+        let node =
+          match decode_write value with
+          | Some (loc, v) ->
+              { node with replica = Smap.add loc v node.replica }
+          | None -> node
+        in
+        let node, completion_effects =
+          match node.pending with
+          | Some pending when Proc.equal src me && Value.equal pending value ->
+              let completion =
+                match decode_write value with
+                | Some (loc, v) ->
+                    {
+                      proc = me;
+                      op = Write { loc; value = v };
+                      result = None;
+                      issued = node.issued_at;
+                      completed = now;
+                    }
+                | None ->
+                    invalid_arg "session: undecodable pending write"
+              in
+              let node = { node with pending = None } in
+              let node, issued =
+                issue base_handlers config me ~now node []
+              in
+              (node, Gcs_sim.Engine.Output (Done completion) :: issued)
+          | _ -> (node, [])
+        in
+        go node
+          (List.rev_append completion_effects
+             (Gcs_sim.Engine.Output (Base o) :: acc))
+          rest
+    | Gcs_sim.Engine.Output o :: rest ->
+        go node (Gcs_sim.Engine.Output (Base o) :: acc) rest
+    | Gcs_sim.Engine.Send s :: rest -> go node (Gcs_sim.Engine.Send s :: acc) rest
+    | Gcs_sim.Engine.Set_timer t :: rest ->
+        go node (Gcs_sim.Engine.Set_timer t :: acc) rest
+    | Gcs_sim.Engine.Cancel_timer c :: rest ->
+        go node (Gcs_sim.Engine.Cancel_timer c :: acc) rest
+  in
+  go node [] effects
+
+let handlers config =
+  let base = To_service.handlers config in
+  let lift me ~now f node =
+    let base', effects = f node.base in
+    route base config me ~now ({ node with base = base' }, effects)
+  in
+  let on_start me node =
+    lift me ~now:0.0 (base.Gcs_sim.Engine.on_start me) node
+  in
+  let on_input me ~now script node =
+    (* The script arrives as the engine input; start the session. *)
+    let node = { node with script = node.script @ script } in
+    if node.pending = None then issue base config me ~now node []
+    else (node, [])
+  in
+  let on_packet me ~now ~src packet node =
+    lift me ~now (base.Gcs_sim.Engine.on_packet me ~now ~src packet) node
+  in
+  let on_timer me ~now ~id node =
+    lift me ~now (base.Gcs_sim.Engine.on_timer me ~now ~id) node
+  in
+  { Gcs_sim.Engine.on_start; on_input; on_packet; on_timer }
+
+let initial config me =
+  {
+    base = To_service.initial config me;
+    script = [];
+    pending = None;
+    replica = Smap.empty;
+    next_seq = 1;
+    issued_at = 0.0;
+  }
+
+let run ?engine config ~scripts ~failures ~until ~seed =
+  let engine_config =
+    match engine with
+    | Some c -> c
+    | None ->
+        Gcs_sim.Engine.default_config
+          ~delta:config.To_service.vs.Vs_node.delta
+  in
+  let inputs = List.map (fun (p, t0, ops) -> (t0, p, ops)) scripts in
+  let result =
+    Gcs_sim.Engine.run engine_config ~procs:config.To_service.vs.Vs_node.procs
+      ~handlers:(handlers config) ~init:(initial config) ~inputs ~failures
+      ~until
+      ~prng:(Gcs_stdx.Prng.create seed)
+  in
+  let completions =
+    List.filter_map
+      (fun (_, o) -> match o with Done c -> Some c | Base _ -> None)
+      (Timed.actions result.Gcs_sim.Engine.trace)
+  in
+  let to_trace =
+    Timed.map
+      (function
+        | Base (To_service.Client a) -> Some a
+        | Base (To_service.Vs_layer _) | Done _ -> None)
+      result.Gcs_sim.Engine.trace
+  in
+  { completions; to_trace }
+
+let history run =
+  let by_proc = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let ops =
+        Option.value ~default:[] (Hashtbl.find_opt by_proc c.proc)
+      in
+      Hashtbl.replace by_proc c.proc (ops @ [ c ]))
+    run.completions;
+  Hashtbl.fold
+    (fun proc cs acc ->
+      ( proc,
+        List.map
+          (fun c ->
+            match c.op with
+            | Write { loc; value } -> Sc_checker.Write { loc; value }
+            | Read { loc } -> Sc_checker.Read { loc; result = c.result })
+          cs )
+      :: acc)
+    by_proc []
+  |> List.sort compare

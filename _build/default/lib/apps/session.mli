@@ -1,0 +1,46 @@
+open Gcs_core
+open Gcs_impl
+
+(** Interactive client sessions over the TO service, with the operation
+    discipline of footnote 3:
+
+    - a {e write} is submitted through the TO service and {e completes}
+      when the service delivers it back at the submitting processor (the
+      "return value" point of footnote 3) — the session's next operation
+      is issued only then;
+    - a {e read} is served immediately from the local replica and
+      completes at once.
+
+    Each processor runs one scripted session; the run yields per-process
+    operation histories (with the values reads returned) ready for the
+    sequential-consistency decision procedure ({!Sc_checker}). *)
+
+type op = Write of { loc : string; value : string } | Read of { loc : string }
+
+type completion = {
+  proc : Proc.t;
+  op : op;
+  result : string option;  (** reads: the value returned *)
+  issued : float;
+  completed : float;
+}
+
+type run = {
+  completions : completion list;  (** in completion-time order *)
+  to_trace : Value.t To_action.t Timed.t;
+}
+
+val run :
+  ?engine:Gcs_sim.Engine.config ->
+  To_service.config ->
+  scripts:(Proc.t * float * op list) list ->
+  failures:(float * Fstatus.event) list ->
+  until:float ->
+  seed:int ->
+  run
+(** [scripts] gives, per processor, the session start time and its
+    operations in program order. *)
+
+val history : run -> Sc_checker.history
+(** Completed operations per process, in program order, as an SC-checkable
+    history. Sessions cut off mid-run contribute their completed prefix. *)

@@ -1,0 +1,57 @@
+open Gcs_core
+open Gcs_impl
+
+type mark = { time : float; proc : Proc.t; symbol : char }
+
+let render ~procs ~width ~until ~marks ~net_events =
+  let cell time =
+    let c = int_of_float (time /. until *. float_of_int width) in
+    max 0 (min (width - 1) c)
+  in
+  let rows =
+    List.map (fun p -> (p, Bytes.make width '.')) procs
+  in
+  List.iter
+    (fun m ->
+      match List.assoc_opt m.proc rows with
+      | None -> ()
+      | Some row ->
+          let i = cell m.time in
+          if Bytes.get row i <> 'V' then Bytes.set row i m.symbol)
+    (List.sort (fun a b -> compare a.time b.time) marks);
+  let net_row = Bytes.make width ' ' in
+  List.iter (fun t -> Bytes.set net_row (cell t) '!') net_events;
+  let buf = Buffer.create ((List.length procs + 3) * (width + 8)) in
+  Buffer.add_string buf
+    (Printf.sprintf "%5s %s\n" "net" (Bytes.to_string net_row));
+  List.iter
+    (fun (p, row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%5s %s\n" (Printf.sprintf "p%d" p)
+           (Bytes.to_string row)))
+    rows;
+  (* Time scale. *)
+  let scale = Bytes.make width '-' in
+  Buffer.add_string buf (Printf.sprintf "%5s %s\n" "" (Bytes.to_string scale));
+  Buffer.add_string buf
+    (Printf.sprintf "%5s 0%s%.0f\n" ""
+       (String.make (max 1 (width - 1 - String.length (Printf.sprintf "%.0f" until))) ' ')
+       until);
+  Buffer.contents buf
+
+let of_to_service_run ~procs ~width ~until run =
+  let marks = ref [] in
+  let net = ref [] in
+  List.iter
+    (fun (event : To_service.out Timed.event) ->
+      match event.Timed.item with
+      | Timed.Status _ -> net := event.Timed.time :: !net
+      | Timed.Action (To_service.Client (To_action.Bcast (p, _))) ->
+          marks := { time = event.Timed.time; proc = p; symbol = 's' } :: !marks
+      | Timed.Action (To_service.Client (To_action.Brcv { dst; _ })) ->
+          marks := { time = event.Timed.time; proc = dst; symbol = '+' } :: !marks
+      | Timed.Action (To_service.Vs_layer (Vs_action.Newview { proc; _ })) ->
+          marks := { time = event.Timed.time; proc; symbol = 'V' } :: !marks
+      | Timed.Action _ -> ())
+    run.To_service.trace;
+  render ~procs ~width ~until ~marks:!marks ~net_events:!net

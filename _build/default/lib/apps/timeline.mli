@@ -1,0 +1,26 @@
+open Gcs_core
+open Gcs_impl
+
+(** ASCII timelines of simulated runs: one row per processor, time on the
+    horizontal axis — a quick visual of views, traffic and failures for
+    the examples and the CLI.
+
+    Symbols: [s] submission (bcast), [+] client delivery (brcv),
+    [V] view installation, [!] a failure-status change (drawn on the
+    [net] row), [.] nothing. When several events fall into one cell, [V]
+    wins, then the latest event. *)
+
+type mark = { time : float; proc : Proc.t; symbol : char }
+
+val render :
+  procs:Proc.t list ->
+  width:int ->
+  until:float ->
+  marks:mark list ->
+  net_events:float list ->
+  string
+
+val of_to_service_run :
+  procs:Proc.t list -> width:int -> until:float -> To_service.run -> string
+(** Timeline of an end-to-end run: submissions, deliveries, view changes
+    and failure events. *)

@@ -1,0 +1,52 @@
+open Gcs_core
+
+type execution = { task : string; executor : Proc.t; time : float }
+
+let task_hash task =
+  (* FNV-1a, folded to a non-negative int. *)
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFF)
+    task;
+  !h
+
+let owner (view : View.t) task =
+  let members = Proc.Set.elements view.View.set in
+  List.nth members (task_hash task mod List.length members)
+
+let executions ~p0 trace =
+  let current = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace current p (View.initial p0)) p0;
+  List.rev
+    (List.fold_left
+       (fun acc (time, action) ->
+         match action with
+         | Vs_action.Newview { proc; view } ->
+             Hashtbl.replace current proc view;
+             acc
+         | Vs_action.Gprcv { dst; msg = task; _ } -> (
+             match Hashtbl.find_opt current dst with
+             | Some view when Proc.equal (owner view task) dst ->
+                 { task; executor = dst; time } :: acc
+             | _ -> acc)
+         | _ -> acc)
+       []
+       (Timed.actions trace))
+
+let counts_by_executor executions =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace tbl e.executor
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e.executor)))
+    executions;
+  List.sort compare (Hashtbl.fold (fun p c acc -> (p, c) :: acc) tbl [])
+
+let exactly_once ~tasks executions =
+  List.for_all
+    (fun task ->
+      List.length (List.filter (fun e -> String.equal e.task task) executions)
+      = 1)
+    tasks

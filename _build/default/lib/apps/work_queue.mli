@@ -1,0 +1,38 @@
+open Gcs_core
+
+(** View-aware load balancing over the VS service directly (in the spirit
+    of the load-balancing services built on this specification — the
+    papers cited as [24] and [27] in the reproduction target).
+
+    Tasks are multicast through VS. Within a view, the member that owns a
+    task is determined by rank: the view's members are sorted and the task
+    hashes onto one of them. Because all members agree on the view and on
+    the per-view delivery order, ownership needs no coordination, and a
+    view change automatically re-partitions the work among the survivors.
+
+    Semantics (checked in the tests): a member executes a task when VS
+    delivers it and the member owns it in its current view — so within a
+    single stable view every delivered task is executed exactly once, and
+    across a partition each side executes exactly the tasks delivered in
+    its own views. Tasks that die with a view (sent but never ordered) are
+    not executed at all: the service is at-most-once by design, and
+    clients that need more layer retries on top. *)
+
+type execution = { task : string; executor : Proc.t; time : float }
+
+val owner : View.t -> string -> Proc.t
+(** The member of the view that owns a task (rank by sorted member list,
+    selected by a deterministic hash of the task). *)
+
+val task_hash : string -> int
+
+val executions :
+  p0:Proc.t list -> string Vs_action.t Timed.t -> execution list
+(** Interpret a VS timed trace: each delivery of a task at its owner (in
+    the receiving processor's view at that moment) is an execution. *)
+
+val counts_by_executor : execution list -> (Proc.t * int) list
+
+val exactly_once :
+  tasks:string list -> execution list -> bool
+(** Every listed task was executed exactly once. *)

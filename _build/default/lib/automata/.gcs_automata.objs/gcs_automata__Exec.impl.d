@@ -1,0 +1,1 @@
+lib/automata/exec.ml: Automaton Gcs_stdx Kind List

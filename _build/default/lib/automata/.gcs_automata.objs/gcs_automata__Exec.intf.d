@@ -1,0 +1,1 @@
+lib/automata/exec.mli: Automaton Gcs_stdx

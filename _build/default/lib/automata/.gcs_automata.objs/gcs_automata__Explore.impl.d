@@ -1,0 +1,1 @@
+lib/automata/explore.ml: Automaton Hashtbl Invariant List Queue

@@ -1,0 +1,1 @@
+lib/automata/explore.mli: Automaton Invariant

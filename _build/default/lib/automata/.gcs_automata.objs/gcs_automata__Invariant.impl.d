@@ -1,0 +1,1 @@
+lib/automata/invariant.ml: Exec Gcs_stdx

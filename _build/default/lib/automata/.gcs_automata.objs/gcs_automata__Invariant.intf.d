@@ -1,0 +1,1 @@
+lib/automata/invariant.mli: Automaton Exec

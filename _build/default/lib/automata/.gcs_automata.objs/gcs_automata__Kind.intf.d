@@ -1,0 +1,1 @@
+lib/automata/kind.mli: Format

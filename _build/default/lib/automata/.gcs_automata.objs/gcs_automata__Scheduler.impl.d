@@ -1,0 +1,1 @@
+lib/automata/scheduler.ml: Automaton Exec Gcs_stdx

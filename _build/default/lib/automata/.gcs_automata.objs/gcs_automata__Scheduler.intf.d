@@ -1,0 +1,1 @@
+lib/automata/scheduler.mli: Automaton Exec Gcs_stdx

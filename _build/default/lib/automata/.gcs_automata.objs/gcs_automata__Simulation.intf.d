@@ -1,0 +1,1 @@
+lib/automata/simulation.mli: Automaton Exec

@@ -1,0 +1,151 @@
+type ('state, 'action) t = {
+  name : string;
+  initial : 'state;
+  kind : 'action -> Kind.t option;
+  enabled : 'state -> 'action list;
+  transition : 'state -> 'action -> 'state option;
+}
+
+let step_exn t state action =
+  match t.transition state action with
+  | Some state' -> state'
+  | None -> invalid_arg (Printf.sprintf "%s: action not enabled" t.name)
+
+let is_enabled t state action =
+  match t.transition state action with Some _ -> true | None -> false
+
+(* The composed kind of an action performed by several components. *)
+let joint_kind k1 k2 =
+  match (k1, k2) with
+  | None, k | k, None -> k
+  | Some Kind.Output, _ | _, Some Kind.Output -> Some Kind.Output
+  | Some Kind.Input, _ | _, Some Kind.Input -> Some Kind.Input
+  | Some Kind.Internal, Some Kind.Internal -> Some Kind.Internal
+
+(* Transition of one participant: if the action is in its signature it must
+   accept it (components are input-enabled), otherwise its state is kept. *)
+let participate name kind transition state action =
+  match kind action with
+  | None -> Some state
+  | Some _ -> (
+      match transition state action with
+      | Some state' -> Some state'
+      | None -> (
+          match kind action with
+          | Some Kind.Input ->
+              invalid_arg
+                (Printf.sprintf "%s: input action rejected (not input-enabled)"
+                   name)
+          | _ -> None))
+
+let compose ~name a b =
+  let kind action = joint_kind (a.kind action) (b.kind action) in
+  let enabled (sa, sb) = a.enabled sa @ b.enabled sb in
+  let transition (sa, sb) action =
+    if kind action = None then None
+    else
+      (* The action must be locally controlled and enabled in at least one
+         component that controls it, or be an input to the composition. *)
+      let controls c = function
+        | Some Kind.Output | Some Kind.Internal -> c
+        | _ -> false
+      in
+      let a_controls = controls true (a.kind action)
+      and b_controls = controls true (b.kind action) in
+      let locally_ok =
+        (a_controls && is_enabled a sa action)
+        || (b_controls && is_enabled b sb action)
+        || ((not a_controls) && not b_controls)
+        (* pure input to the composition *)
+      in
+      if not locally_ok then None
+      else
+        match
+          ( participate a.name a.kind a.transition sa action,
+            participate b.name b.kind b.transition sb action )
+        with
+        | Some sa', Some sb' -> Some (sa', sb')
+        | _ -> None
+  in
+  { name; initial = (a.initial, b.initial); kind; enabled; transition }
+
+let compose_list ~name components =
+  let kind action =
+    List.fold_left
+      (fun acc c -> joint_kind acc (c.kind action))
+      None components
+  in
+  let enabled states =
+    List.concat (List.map2 (fun c s -> c.enabled s) components states)
+  in
+  let transition states action =
+    if kind action = None then None
+    else
+      let controls c =
+        match c.kind action with
+        | Some Kind.Output | Some Kind.Internal -> true
+        | _ -> false
+      in
+      let locally_ok =
+        List.exists2 (fun c s -> controls c && is_enabled c s action)
+          components states
+        || not (List.exists (fun c -> controls c) components)
+      in
+      if not locally_ok then None
+      else
+        let rec go acc cs ss =
+          match (cs, ss) with
+          | [], [] -> Some (List.rev acc)
+          | c :: cs', s :: ss' -> (
+              match participate c.name c.kind c.transition s action with
+              | Some s' -> go (s' :: acc) cs' ss'
+              | None -> None)
+          | _ -> invalid_arg "compose_list: state/component mismatch"
+        in
+        go [] components states
+  in
+  {
+    name;
+    initial = List.map (fun c -> c.initial) components;
+    kind;
+    enabled;
+    transition;
+  }
+
+let compatible a b ~actions =
+  let ok action =
+    match (a.kind action, b.kind action) with
+    | Some Kind.Output, Some Kind.Output -> false
+    | Some Kind.Internal, Some _ | Some _, Some Kind.Internal -> false
+    | _ -> true
+  in
+  List.for_all ok actions
+
+let hide t pred =
+  let kind action =
+    match t.kind action with
+    | Some Kind.Output when pred action -> Some Kind.Internal
+    | k -> k
+  in
+  { t with kind }
+
+let embed t ~inj ~proj =
+  {
+    name = t.name;
+    initial = t.initial;
+    kind = (fun a -> Option.bind (proj a) t.kind);
+    enabled = (fun s -> List.map inj (t.enabled s));
+    transition =
+      (fun s a ->
+        match proj a with None -> None | Some b -> t.transition s b);
+  }
+
+let with_history t ~init ~update =
+  let kind = t.kind in
+  let enabled (s, _) = t.enabled s in
+  let transition (s, h) action =
+    match t.transition s action with
+    | None -> None
+    | Some s' -> Some (s', update s action s' h)
+  in
+  { name = t.name; initial = (t.initial, init); kind; enabled; transition }

@@ -1,0 +1,71 @@
+(** Untimed I/O automata, represented as first-class values.
+
+    An automaton is a record with a single start state, a signature
+    classifying actions, a finite enumeration of the locally controlled
+    actions enabled in a state, and a (partial) transition function.
+
+    The action type is shared across all automata of a composed system: a
+    system is modelled by one variant type of actions, and each component
+    declares via [kind] which of those actions belong to its signature. *)
+
+type ('state, 'action) t = {
+  name : string;
+  initial : 'state;
+  kind : 'action -> Kind.t option;
+      (** [None] when the action is not in this automaton's signature. *)
+  enabled : 'state -> 'action list;
+      (** Locally controlled actions enabled in the state. Actions whose
+          parameters range over infinite sets (e.g. [createview]) are not
+          enumerated here; schedulers inject them (see {!Scheduler}). *)
+  transition : 'state -> 'action -> 'state option;
+      (** [None] when the action is not enabled in the state. Input actions
+          must always be enabled (input-enabledness). *)
+}
+
+val step_exn : ('s, 'a) t -> 's -> 'a -> 's
+(** Apply a transition, raising [Invalid_argument] when not enabled. *)
+
+val is_enabled : ('s, 'a) t -> 's -> 'a -> bool
+
+val compose : name:string -> ('s1, 'a) t -> ('s2, 'a) t -> ('s1 * 's2, 'a) t
+(** Binary parallel composition. An action in the signature of both
+    components is performed jointly; one in the signature of a single
+    component leaves the other's state unchanged. The composed kind is
+    [Output] if either component outputs the action, otherwise [Input] if
+    either inputs it, otherwise [Internal].
+
+    Precondition (checked by {!compatible}): the components share no output
+    actions, and internal actions of one are not in the signature of the
+    other. Joint transitions where one participant rejects an input action
+    raise [Invalid_argument] — that is a modelling error, since I/O automata
+    are input-enabled. *)
+
+val compose_list : name:string -> ('s, 'a) t list -> ('s list, 'a) t
+(** N-ary composition of same-state-type components (e.g. one automaton per
+    processor). Same conventions as {!compose}. *)
+
+val compatible : ('s1, 'a) t -> ('s2, 'a) t -> actions:'a list -> bool
+(** Check composition compatibility over a sample universe of actions. *)
+
+val hide : ('s, 'a) t -> ('a -> bool) -> ('s, 'a) t
+(** Reclassify matching output actions as internal. *)
+
+val embed :
+  ('s, 'b) t ->
+  inj:('b -> 'a) ->
+  proj:('a -> 'b option) ->
+  ('s, 'a) t
+(** Reindex an automaton's actions into a larger action type: [inj] maps
+    its actions into the system type, [proj] recognizes them back ([None]
+    for foreign actions, which fall outside the embedded automaton's
+    signature). [proj (inj b) = Some b] is required. *)
+
+val with_history :
+  ('s, 'a) t ->
+  init:'h ->
+  update:('s -> 'a -> 's -> 'h -> 'h) ->
+  ('s * 'h, 'a) t
+(** Attach a history variable: [update pre action post h] computes the new
+    history value after each transition. History variables never affect
+    enabling or transitions (they are write-only observers), exactly as in
+    the paper's Section 6. *)

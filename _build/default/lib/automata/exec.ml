@@ -1,0 +1,33 @@
+type ('s, 'a) step = { pre : 's; action : 'a; post : 's }
+type ('s, 'a) execution = { init : 's; steps : ('s, 'a) step list }
+type ('s, 'a) scheduler = 's -> Gcs_stdx.Prng.t -> 'a option
+
+let final e =
+  match List.rev e.steps with [] -> e.init | last :: _ -> last.post
+
+let run automaton ~scheduler ~steps ~prng =
+  let rec go state acc budget =
+    if budget <= 0 then List.rev acc
+    else
+      match scheduler state prng with
+      | None -> List.rev acc
+      | Some action -> (
+          match automaton.Automaton.transition state action with
+          | None -> go state acc (budget - 1)
+          | Some state' ->
+              go state' ({ pre = state; action; post = state' } :: acc)
+                (budget - 1))
+  in
+  { init = automaton.Automaton.initial; steps = go automaton.Automaton.initial [] steps }
+
+let actions e = List.map (fun s -> s.action) e.steps
+
+let trace automaton e =
+  List.filter
+    (fun a ->
+      match automaton.Automaton.kind a with
+      | Some k -> Kind.is_external k
+      | None -> false)
+    (actions e)
+
+let states e = e.init :: List.map (fun s -> s.post) e.steps

@@ -1,0 +1,34 @@
+(** Execution engine for I/O automata.
+
+    Executions are alternating sequences of states and actions; we store
+    them as an initial state plus a list of steps. Nondeterminism (choice
+    among enabled actions, and parameters of injected actions) is resolved
+    by a {!type:scheduler} driven by a deterministic PRNG. *)
+
+type ('s, 'a) step = { pre : 's; action : 'a; post : 's }
+
+type ('s, 'a) execution = { init : 's; steps : ('s, 'a) step list }
+(** Steps in chronological order. *)
+
+type ('s, 'a) scheduler = 's -> Gcs_stdx.Prng.t -> 'a option
+(** Pick the next action to attempt in a state; [None] stops the run. *)
+
+val final : ('s, 'a) execution -> 's
+(** Last state of the execution (the initial state if there are no steps). *)
+
+val run :
+  ('s, 'a) Automaton.t ->
+  scheduler:('s, 'a) scheduler ->
+  steps:int ->
+  prng:Gcs_stdx.Prng.t ->
+  ('s, 'a) execution
+(** Run up to [steps] transitions. A scheduled action that is not enabled is
+    skipped (it costs one scheduling round but adds no step). *)
+
+val actions : ('s, 'a) execution -> 'a list
+
+val trace : ('s, 'a) Automaton.t -> ('s, 'a) execution -> 'a list
+(** External actions only, in order (the trace of the execution). *)
+
+val states : ('s, 'a) execution -> 's list
+(** All states, starting with the initial one. *)

@@ -1,0 +1,90 @@
+type 'a outcome =
+  | Exhausted of { states : int }
+  | Bound_reached of { states : int }
+  | Violation of {
+      states : int;
+      invariant : string;
+      detail : string;
+      path : 'a list;
+    }
+
+let check_invariants invariants state =
+  let rec go = function
+    | [] -> Ok ()
+    | inv :: rest -> (
+        match inv.Invariant.check state with
+        | Ok () -> go rest
+        | Error detail -> Error (inv.Invariant.name, detail))
+  in
+  go invariants
+
+let bfs_with_edges automaton ~inject ~key ~max_states ~invariants ~on_edge =
+  let visited = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let initial = automaton.Automaton.initial in
+  let count = ref 0 in
+  let push state path =
+    let k = key state in
+    if not (Hashtbl.mem visited k) then begin
+      Hashtbl.replace visited k ();
+      incr count;
+      Queue.add (state, path) queue
+    end
+  in
+  match check_invariants invariants initial with
+  | Error (invariant, detail) ->
+      Violation { states = 1; invariant; detail; path = [] }
+  | Ok () -> (
+      push initial [];
+      let result = ref None in
+      (try
+         while !result = None && not (Queue.is_empty queue) do
+           let state, path = Queue.pop queue in
+           let candidates =
+             automaton.Automaton.enabled state @ inject state
+           in
+           List.iter
+             (fun action ->
+               if !result = None then
+                 match automaton.Automaton.transition state action with
+                 | None -> ()
+                 | Some state' -> (
+                     match on_edge state action state' with
+                     | Error detail ->
+                         result :=
+                           Some
+                             (Violation
+                                {
+                                  states = !count;
+                                  invariant = "edge check";
+                                  detail;
+                                  path = List.rev (action :: path);
+                                })
+                     | Ok () -> (
+                         match check_invariants invariants state' with
+                         | Error (invariant, detail) ->
+                             result :=
+                               Some
+                                 (Violation
+                                    {
+                                      states = !count;
+                                      invariant;
+                                      detail;
+                                      path = List.rev (action :: path);
+                                    })
+                         | Ok () ->
+                             if !count < max_states then
+                               push state' (action :: path)
+                             else if not (Hashtbl.mem visited (key state'))
+                             then result := Some (Bound_reached { states = !count })
+                         )))
+             candidates
+         done
+       with Queue.Empty -> ());
+      match !result with
+      | Some outcome -> outcome
+      | None -> Exhausted { states = !count })
+
+let bfs automaton ~inject ~key ~max_states ~invariants =
+  bfs_with_edges automaton ~inject ~key ~max_states ~invariants
+    ~on_edge:(fun _ _ _ -> Ok ())

@@ -1,0 +1,46 @@
+(** Bounded exhaustive state-space exploration (BFS).
+
+    Complements randomized execution ({!Exec}/{!Invariant.check_random})
+    with exhaustive checking for small instances: every state reachable
+    under the automaton's enabled actions plus a finite set of injected
+    actions is visited (up to [max_states]) and checked against the
+    invariants. A violation comes with the action path from the initial
+    state.
+
+    States are deduplicated through a caller-supplied canonical [key]
+    (typically a deterministic serialization — OCaml's polymorphic
+    equality and marshalling are not canonical for balanced-tree maps). *)
+
+type 'a outcome =
+  | Exhausted of { states : int }
+      (** the reachable space was fully explored *)
+  | Bound_reached of { states : int }
+      (** [max_states] was hit with frontier remaining; all visited states
+          passed *)
+  | Violation of {
+      states : int;
+      invariant : string;
+      detail : string;
+      path : 'a list;  (** actions from the initial state *)
+    }
+
+val bfs :
+  ('s, 'a) Automaton.t ->
+  inject:('s -> 'a list) ->
+  key:('s -> string) ->
+  max_states:int ->
+  invariants:'s Invariant.t list ->
+  'a outcome
+(** [inject] supplies input (or parameter-rich internal) candidate actions
+    per state; it must be deterministic and finite. *)
+
+val bfs_with_edges :
+  ('s, 'a) Automaton.t ->
+  inject:('s -> 'a list) ->
+  key:('s -> string) ->
+  max_states:int ->
+  invariants:'s Invariant.t list ->
+  on_edge:('s -> 'a -> 's -> (unit, string) result) ->
+  'a outcome
+(** Like {!bfs} but also runs [on_edge] on every explored transition (e.g.
+    a per-step simulation check); an [Error] is reported as a violation. *)

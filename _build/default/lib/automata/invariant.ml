@@ -1,0 +1,54 @@
+type 's t = { name : string; check : 's -> (unit, string) result }
+
+let make name pred =
+  {
+    name;
+    check = (fun s -> if pred s then Ok () else Error "predicate false");
+  }
+
+let make_explained name check = { name; check }
+
+type 'a violation = {
+  invariant : string;
+  step_index : int;
+  culprit : 'a option;
+  detail : string;
+}
+
+let check_state invariants state step_index culprit =
+  let rec go = function
+    | [] -> None
+    | inv :: rest -> (
+        match inv.check state with
+        | Ok () -> go rest
+        | Error detail ->
+            Some { invariant = inv.name; step_index; culprit; detail })
+  in
+  go invariants
+
+let first_violation invariants (e : ('s, 'a) Exec.execution) =
+  match check_state invariants e.Exec.init 0 None with
+  | Some v -> Some v
+  | None ->
+      let rec go i = function
+        | [] -> None
+        | step :: rest -> (
+            match
+              check_state invariants step.Exec.post i (Some step.Exec.action)
+            with
+            | Some v -> Some v
+            | None -> go (i + 1) rest)
+      in
+      go 1 e.Exec.steps
+
+let check_random automaton ~scheduler ~seeds ~steps invariants =
+  let rec go = function
+    | [] -> None
+    | seed :: rest -> (
+        let prng = Gcs_stdx.Prng.create seed in
+        let e = Exec.run automaton ~scheduler ~steps ~prng in
+        match first_violation invariants e with
+        | Some v -> Some (v, seed)
+        | None -> go rest)
+  in
+  go seeds

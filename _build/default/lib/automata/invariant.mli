@@ -1,0 +1,35 @@
+(** Invariant checking over executions.
+
+    The paper proves its invariants "by induction on the length of an
+    execution"; here we check them on every state of (many, randomized)
+    executions. A violation pinpoints the step index and the action that
+    broke the invariant. *)
+
+type 's t = { name : string; check : 's -> (unit, string) result }
+
+val make : string -> ('s -> bool) -> 's t
+(** Invariant from a boolean predicate (violation message is generic). *)
+
+val make_explained : string -> ('s -> (unit, string) result) -> 's t
+
+type 'a violation = {
+  invariant : string;
+  step_index : int;  (** 0 = initial state, k = after the k-th step *)
+  culprit : 'a option;  (** action of the step leading to the bad state *)
+  detail : string;
+}
+
+val first_violation :
+  's t list -> ('s, 'a) Exec.execution -> 'a violation option
+(** First violation in the execution (checking the initial state and the
+    state after every step), if any. *)
+
+val check_random :
+  ('s, 'a) Automaton.t ->
+  scheduler:('s, 'a) Exec.scheduler ->
+  seeds:int list ->
+  steps:int ->
+  's t list ->
+  ('a violation * int) option
+(** Run one execution per seed; return the first violation together with the
+    seed that produced it. *)

@@ -1,0 +1,12 @@
+type t = Input | Output | Internal
+
+let is_external = function Input | Output -> true | Internal -> false
+
+let is_locally_controlled = function
+  | Output | Internal -> true
+  | Input -> false
+
+let pp ppf = function
+  | Input -> Format.pp_print_string ppf "input"
+  | Output -> Format.pp_print_string ppf "output"
+  | Internal -> Format.pp_print_string ppf "internal"

@@ -1,0 +1,12 @@
+(** Classification of actions in an I/O automaton signature
+    (Lynch & Tuttle; Chapter 8 of Lynch, {e Distributed Algorithms}). *)
+
+type t = Input | Output | Internal
+
+val is_external : t -> bool
+(** Input and output actions are external; internal actions are not. *)
+
+val is_locally_controlled : t -> bool
+(** Output and internal actions are locally controlled. *)
+
+val pp : Format.formatter -> t -> unit

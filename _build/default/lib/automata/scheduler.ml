@@ -1,0 +1,21 @@
+type ('s, 'a) t = ('s, 'a) Exec.scheduler
+
+let enabled_only automaton state prng =
+  Gcs_stdx.Prng.pick prng (automaton.Automaton.enabled state)
+
+let with_injected automaton ~inject state prng =
+  let candidates = automaton.Automaton.enabled state @ inject state prng in
+  Gcs_stdx.Prng.pick prng candidates
+
+let weighted automaton ~inject ~inject_weight state prng =
+  let injected = inject state prng in
+  let enabled = automaton.Automaton.enabled state in
+  let from_injected =
+    injected <> []
+    && (enabled = [] || Gcs_stdx.Prng.float prng < inject_weight)
+  in
+  if from_injected then Gcs_stdx.Prng.pick prng injected
+  else Gcs_stdx.Prng.pick prng enabled
+
+let stop_when pred scheduler state prng =
+  if pred state then None else scheduler state prng

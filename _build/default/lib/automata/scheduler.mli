@@ -1,0 +1,31 @@
+(** Scheduler combinators.
+
+    A scheduler resolves the nondeterminism of an execution: which enabled
+    locally controlled action fires next, and which input (or
+    parameter-rich internal) actions the environment injects. *)
+
+type ('s, 'a) t = ('s, 'a) Exec.scheduler
+
+val enabled_only : ('s, 'a) Automaton.t -> ('s, 'a) t
+(** Uniformly random choice among the enabled locally controlled actions. *)
+
+val with_injected :
+  ('s, 'a) Automaton.t ->
+  inject:('s -> Gcs_stdx.Prng.t -> 'a list) ->
+  ('s, 'a) t
+(** Mix the enabled locally controlled actions with candidate actions
+    proposed by [inject] (environment inputs, or internal actions whose
+    parameters are drawn at random, e.g. [createview]); choose uniformly
+    among the union. Injected candidates that turn out not to be enabled
+    are skipped by the executor. *)
+
+val weighted :
+  ('s, 'a) Automaton.t ->
+  inject:('s -> Gcs_stdx.Prng.t -> 'a list) ->
+  inject_weight:float ->
+  ('s, 'a) t
+(** Like {!with_injected} but picks an injected candidate with probability
+    [inject_weight] (when any exists), an enabled action otherwise. *)
+
+val stop_when : ('s -> bool) -> ('s, 'a) t -> ('s, 'a) t
+(** Stop the run as soon as the predicate holds. *)

@@ -1,0 +1,51 @@
+type 'ca failure = {
+  step_index : int;
+  concrete_action : 'ca option;
+  reason : string;
+}
+
+let run_abstract abstract start actions =
+  let rec go state = function
+    | [] -> Ok state
+    | a :: rest -> (
+        match abstract.Automaton.transition state a with
+        | Some state' -> go state' rest
+        | None -> Error "abstract action not enabled")
+  in
+  go start actions
+
+let check_execution ~abstract ~f ~corresponds ~equal_abs
+    (e : ('cs, 'ca) Exec.execution) =
+  if not (equal_abs (f e.Exec.init) abstract.Automaton.initial) then
+    Error
+      {
+        step_index = 0;
+        concrete_action = None;
+        reason = "f(initial) differs from abstract initial state";
+      }
+  else
+    let rec go i = function
+      | [] -> Ok ()
+      | step :: rest -> (
+          let abs_actions =
+            corresponds step.Exec.pre step.Exec.action step.Exec.post
+          in
+          match run_abstract abstract (f step.Exec.pre) abs_actions with
+          | Error reason ->
+              Error
+                {
+                  step_index = i;
+                  concrete_action = Some step.Exec.action;
+                  reason;
+                }
+          | Ok abs_final ->
+              if equal_abs abs_final (f step.Exec.post) then go (i + 1) rest
+              else
+                Error
+                  {
+                    step_index = i;
+                    concrete_action = Some step.Exec.action;
+                    reason = "abstract state mismatch after emulation";
+                  })
+    in
+    go 1 e.Exec.steps

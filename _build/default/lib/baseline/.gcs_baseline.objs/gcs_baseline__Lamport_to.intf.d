@@ -1,0 +1,1 @@
+lib/baseline/lamport_to.mli: Fstatus Gcs_core Gcs_sim Proc Timed To_action To_trace_checker Value

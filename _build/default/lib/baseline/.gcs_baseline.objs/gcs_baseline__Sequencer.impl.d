@@ -1,0 +1,1 @@
+lib/baseline/sequencer.ml: Engine Gcs_core Gcs_sim Gcs_stdx List Proc Timed To_action To_machine To_trace_checker Value

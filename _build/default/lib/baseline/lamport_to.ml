@@ -1,0 +1,126 @@
+open Gcs_core
+open Gcs_sim
+
+type config = { procs : Proc.t list }
+
+type ts = { clock : int; origin : Proc.t }
+
+let ts_compare a b =
+  match Int.compare a.clock b.clock with
+  | 0 -> Proc.compare a.origin b.origin
+  | c -> c
+
+type packet =
+  | Data of { ts : ts; origin : Proc.t; value : Value.t }
+  | Ack of { clock : int }
+
+type node = {
+  me : Proc.t;
+  clock : int;
+  buffered : (ts * Proc.t * Value.t) list;  (* sorted by timestamp *)
+  heard : int Proc.Map.t;  (* highest clock heard from each processor *)
+}
+
+type run = {
+  trace : Value.t To_action.t Timed.t;
+  packets_sent : int;
+  packets_dropped : int;
+}
+
+let initial me =
+  { me; clock = 0; buffered = []; heard = Proc.Map.empty }
+
+let heard_of node p =
+  match Proc.Map.find_opt p node.heard with Some c -> c | None -> -1
+
+let rec insert entry = function
+  | [] -> [ entry ]
+  | ((ts', _, _) as head) :: rest ->
+      let ts, _, _ = entry in
+      if ts_compare ts ts' < 0 then entry :: head :: rest
+      else head :: insert entry rest
+
+(* Deliver buffered messages while the head is stable: every other
+   processor has been heard from beyond its timestamp. *)
+let rec drain config node =
+  match node.buffered with
+  | (ts, origin, value) :: rest
+    when List.for_all
+           (fun p -> Proc.equal p node.me || heard_of node p > ts.clock)
+           config.procs ->
+      let node = { node with buffered = rest } in
+      let node, effects = drain config node in
+      ( node,
+        Engine.Output (To_action.Brcv { src = origin; dst = node.me; value })
+        :: effects )
+  | _ -> (node, [])
+
+let broadcast config packet =
+  List.map (fun dst -> Engine.Send { dst; packet }) config.procs
+
+let handlers config =
+  let on_start _me node = (node, []) in
+  let on_input me ~now:_ value node =
+    let clock = node.clock + 1 in
+    let ts = { clock; origin = me } in
+    let node = { node with clock } in
+    ( node,
+      Engine.Output (To_action.Bcast (me, value))
+      :: broadcast config (Data { ts; origin = me; value }) )
+  in
+  let on_packet me ~now:_ ~src packet node =
+    match packet with
+    | Data { ts; origin; value } ->
+        let clock = max node.clock ts.clock + 1 in
+        let node =
+          {
+            node with
+            clock;
+            buffered = insert (ts, origin, value) node.buffered;
+            heard = Proc.Map.add src (max (heard_of node src) ts.clock) node.heard;
+          }
+        in
+        ignore me;
+        let node, delivered = drain config node in
+        (* Everyone (including the origin, on its self-delivery) announces
+           its advanced clock, which is what lets others deliver. *)
+        (node, broadcast config (Ack { clock }) @ delivered)
+    | Ack { clock } ->
+        let node =
+          {
+            node with
+            clock = max node.clock clock;
+            heard = Proc.Map.add src (max (heard_of node src) clock) node.heard;
+          }
+        in
+        drain config node
+  in
+  let on_timer _me ~now:_ ~id:_ node = (node, []) in
+  { Engine.on_start; on_input; on_packet; on_timer }
+
+let run ?engine ~delta config ~workload ~failures ~until ~seed =
+  let engine_config =
+    match engine with
+    | Some c -> c
+    | None -> { (Engine.default_config ~delta) with Engine.fifo = true }
+  in
+  let result =
+    Engine.run engine_config ~procs:config.procs ~handlers:(handlers config)
+      ~init:initial ~inputs:workload ~failures ~until
+      ~prng:(Gcs_stdx.Prng.create seed)
+  in
+  {
+    trace = result.Engine.trace;
+    packets_sent = result.Engine.packets_sent;
+    packets_dropped = result.Engine.packets_dropped;
+  }
+
+let to_conforms config r =
+  let params = { To_machine.procs = config.procs; equal_value = Value.equal } in
+  To_trace_checker.check params (List.map snd (Timed.actions r.trace))
+
+let deliveries r =
+  List.length
+    (List.filter
+       (fun (_, a) -> match a with To_action.Brcv _ -> true | _ -> false)
+       (Timed.actions r.trace))

@@ -1,0 +1,39 @@
+open Gcs_core
+
+(** Baseline: decentralized total order by Lamport timestamps with
+    all-to-all acknowledgements (the classic ABCAST-style construction in
+    the Isis lineage the paper departs from).
+
+    Every submission is broadcast with a (Lamport clock, origin) timestamp;
+    receivers acknowledge with their own clock; a buffered message is
+    delivered once it has the smallest timestamp and every {e other}
+    processor has been heard from with a larger clock. Latency is ~2δ —
+    better than the token ring — but the protocol requires hearing from
+    {e all} processors, so a single crash or partition stalls every
+    delivery everywhere: the opposite end of the availability spectrum
+    from the paper's partitionable service.
+
+    The algorithm assumes FIFO channels (a later acknowledgement must not
+    overtake an earlier data message); the default engine configuration
+    here turns the simulator's FIFO-links option on. *)
+
+type config = { procs : Proc.t list }
+
+type run = {
+  trace : Value.t To_action.t Timed.t;
+  packets_sent : int;
+  packets_dropped : int;
+}
+
+val run :
+  ?engine:Gcs_sim.Engine.config ->
+  delta:float ->
+  config ->
+  workload:(float * Proc.t * Value.t) list ->
+  failures:(float * Fstatus.event) list ->
+  until:float ->
+  seed:int ->
+  run
+
+val to_conforms : config -> run -> (unit, To_trace_checker.error) result
+val deliveries : run -> int

@@ -1,0 +1,107 @@
+open Gcs_core
+open Gcs_sim
+
+type config = { procs : Proc.t list; sequencer : Proc.t }
+
+let make_config ~procs =
+  { procs; sequencer = List.fold_left min (List.hd procs) procs }
+
+type packet =
+  | Request of { origin : Proc.t; value : Value.t }
+  | Ordered of { seq : int; origin : Proc.t; value : Value.t }
+
+type node = {
+  me : Proc.t;
+  next_seq : int;  (* sequencer only: next number to assign *)
+  next_deliver : int;  (* next sequence number to deliver *)
+  pending : (int * Proc.t * Value.t) list;  (* out-of-order buffer *)
+}
+
+type run = {
+  trace : Value.t To_action.t Timed.t;
+  packets_sent : int;
+  packets_dropped : int;
+}
+
+let initial me = { me; next_seq = 1; next_deliver = 1; pending = [] }
+
+(* Deliver every buffered message that is next in sequence. *)
+let rec drain node =
+  match
+    List.find_opt (fun (seq, _, _) -> seq = node.next_deliver) node.pending
+  with
+  | None -> (node, [])
+  | Some ((seq, origin, value) as entry) ->
+      let node =
+        {
+          node with
+          next_deliver = seq + 1;
+          pending = List.filter (fun e -> e <> entry) node.pending;
+        }
+      in
+      let node, rest = drain node in
+      ( node,
+        Engine.Output (To_action.Brcv { src = origin; dst = node.me; value })
+        :: rest )
+
+let handlers config =
+  let on_start _me node = (node, []) in
+  let on_input me ~now:_ value node =
+    let record = Engine.Output (To_action.Bcast (me, value)) in
+    ( node,
+      [
+        record;
+        Engine.Send
+          {
+            dst = config.sequencer;
+            packet = Request { origin = me; value };
+          };
+      ] )
+  in
+  let on_packet me ~now:_ ~src:_ packet node =
+    match packet with
+    | Request { origin; value } ->
+        if not (Proc.equal me config.sequencer) then (node, [])
+        else
+          let seq = node.next_seq in
+          let node = { node with next_seq = seq + 1 } in
+          ( node,
+            List.map
+              (fun dst ->
+                Engine.Send { dst; packet = Ordered { seq; origin; value } })
+              config.procs )
+    | Ordered { seq; origin; value } ->
+        if seq < node.next_deliver then (node, [])
+        else
+          let node =
+            { node with pending = (seq, origin, value) :: node.pending }
+          in
+          drain node
+  in
+  let on_timer _me ~now:_ ~id:_ node = (node, []) in
+  { Engine.on_start; on_input; on_packet; on_timer }
+
+let run ?engine ~delta config ~workload ~failures ~until ~seed =
+  let engine_config =
+    match engine with Some c -> c | None -> Engine.default_config ~delta
+  in
+  let result =
+    Engine.run engine_config ~procs:config.procs ~handlers:(handlers config)
+      ~init:initial ~inputs:workload ~failures ~until
+      ~prng:(Gcs_stdx.Prng.create seed)
+  in
+  {
+    trace = result.Engine.trace;
+    packets_sent = result.Engine.packets_sent;
+    packets_dropped = result.Engine.packets_dropped;
+  }
+
+let to_conforms config r =
+  let params = { To_machine.procs = config.procs; equal_value = Value.equal } in
+  To_trace_checker.check params (List.map snd (Timed.actions r.trace))
+
+let deliveries r =
+  List.length
+    (List.filter
+       (fun (_, a) -> match a with To_action.Brcv _ -> true | _ -> false)
+       (Timed.actions r.trace))

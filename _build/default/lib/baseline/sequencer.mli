@@ -1,0 +1,35 @@
+open Gcs_core
+
+(** Baseline: fixed-sequencer totally ordered broadcast.
+
+    Every submission is forwarded to a distinguished sequencer (processor
+    0), which assigns consecutive sequence numbers and broadcasts; each
+    node delivers in sequence-number order. In a well-behaved network this
+    is the latency floor (2 hops + reorder buffering), but it is not
+    partition-tolerant: nodes cut off from the sequencer stall, and there
+    is no reconciliation — exactly the design point the paper's
+    partitionable service improves on. *)
+
+type config = { procs : Proc.t list; sequencer : Proc.t }
+
+val make_config : procs:Proc.t list -> config
+(** Sequencer defaults to the smallest processor id. *)
+
+type run = {
+  trace : Value.t To_action.t Timed.t;
+  packets_sent : int;
+  packets_dropped : int;
+}
+
+val run :
+  ?engine:Gcs_sim.Engine.config ->
+  delta:float ->
+  config ->
+  workload:(float * Proc.t * Value.t) list ->
+  failures:(float * Fstatus.event) list ->
+  until:float ->
+  seed:int ->
+  run
+
+val to_conforms : config -> run -> (unit, To_trace_checker.error) result
+val deliveries : run -> int

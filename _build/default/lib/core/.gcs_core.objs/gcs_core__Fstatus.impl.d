@@ -1,0 +1,1 @@
+lib/core/fstatus.ml: Format List Map Proc

@@ -1,0 +1,1 @@
+lib/core/fstatus.mli: Format Proc

@@ -1,0 +1,1 @@
+lib/core/label.mli: Format Map Proc Set View_id

@@ -1,0 +1,1 @@
+lib/core/state_key.ml: Buffer Label List Msg Printf Proc String Summary View View_id Vs_machine Vstoto Vstoto_system

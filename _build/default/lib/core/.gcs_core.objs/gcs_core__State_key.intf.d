@@ -1,0 +1,1 @@
+lib/core/state_key.mli: Label Msg Summary View_id Vs_machine Vstoto Vstoto_system

@@ -1,0 +1,1 @@
+lib/core/summary.ml: Format Gcs_stdx Int Label List Proc Value View_id

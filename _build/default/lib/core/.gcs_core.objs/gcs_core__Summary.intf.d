@@ -1,0 +1,1 @@
+lib/core/summary.mli: Format Label Proc Value View_id

@@ -1,0 +1,1 @@
+lib/core/sys_action.ml: Format Gcs_automata List Msg Proc Value View Vs_action

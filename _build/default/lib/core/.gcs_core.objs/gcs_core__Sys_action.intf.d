@@ -1,0 +1,1 @@
+lib/core/sys_action.mli: Format Gcs_automata Msg Proc Value Vs_action

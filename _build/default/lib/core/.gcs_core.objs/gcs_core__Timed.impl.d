@@ -1,0 +1,1 @@
+lib/core/timed.ml: Fstatus List

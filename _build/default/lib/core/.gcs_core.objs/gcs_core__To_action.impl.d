@@ -1,0 +1,1 @@
+lib/core/to_action.ml: Format Gcs_automata List Proc

@@ -1,0 +1,1 @@
+lib/core/to_action.mli: Format Gcs_automata Proc

@@ -1,0 +1,1 @@
+lib/core/to_machine.ml: Automaton Format Gcs_automata Gcs_stdx Invariant List Proc To_action

@@ -1,0 +1,1 @@
+lib/core/to_machine.mli: Format Gcs_automata Proc To_action

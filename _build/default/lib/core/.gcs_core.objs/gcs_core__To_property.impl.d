@@ -1,0 +1,1 @@
+lib/core/to_property.ml: Format Fstatus Gcs_stdx Hashtbl List Printf Proc Result Timed To_action Value

@@ -1,0 +1,1 @@
+lib/core/to_property.mli: Format Proc Timed To_action Value

@@ -1,0 +1,1 @@
+lib/core/to_simulation.ml: Format Gcs_automata Gcs_stdx Label List Printf Proc Sys_action To_action To_machine Value Vstoto Vstoto_system

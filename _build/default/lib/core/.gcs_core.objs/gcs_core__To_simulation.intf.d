@@ -1,0 +1,1 @@
+lib/core/to_simulation.mli: Gcs_automata Sys_action To_action To_machine Value Vstoto_system

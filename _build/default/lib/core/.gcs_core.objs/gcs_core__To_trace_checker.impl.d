@@ -1,0 +1,1 @@
+lib/core/to_trace_checker.ml: Format Gcs_stdx Proc To_action To_machine

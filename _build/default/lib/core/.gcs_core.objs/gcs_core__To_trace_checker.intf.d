@@ -1,0 +1,1 @@
+lib/core/to_trace_checker.mli: Format Proc To_action To_machine

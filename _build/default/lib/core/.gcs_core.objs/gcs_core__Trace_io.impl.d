@@ -1,0 +1,1 @@
+lib/core/trace_io.ml: Buffer Fstatus List Printf Proc String Timed To_action View View_id Vs_action

@@ -1,0 +1,1 @@
+lib/core/view.ml: Format Proc View_id

@@ -1,0 +1,1 @@
+lib/core/view_id.ml: Format Int Map Proc Set

@@ -1,0 +1,1 @@
+lib/core/view_id.mli: Format Map Proc Set

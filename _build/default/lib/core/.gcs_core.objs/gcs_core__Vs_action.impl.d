@@ -1,0 +1,1 @@
+lib/core/vs_action.ml: Format Gcs_automata List Proc View View_id

@@ -1,0 +1,1 @@
+lib/core/vs_action.mli: Format Gcs_automata Proc View View_id

@@ -1,0 +1,1 @@
+lib/core/vs_gap_machine.ml: Automaton Gcs_automata Gcs_stdx Int Invariant List Proc Set View View_id Vs_action Vs_machine

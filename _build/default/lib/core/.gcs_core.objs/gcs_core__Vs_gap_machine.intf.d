@@ -1,0 +1,1 @@
+lib/core/vs_gap_machine.mli: Gcs_automata Gcs_stdx Proc Set View_id Vs_action Vs_machine

@@ -1,0 +1,1 @@
+lib/core/vs_machine.ml: Automaton Gcs_automata Gcs_stdx Invariant List Map Proc View View_id Vs_action

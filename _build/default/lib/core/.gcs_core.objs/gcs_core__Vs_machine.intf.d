@@ -1,0 +1,1 @@
+lib/core/vs_machine.mli: Gcs_automata Gcs_stdx Map Proc View_id Vs_action

@@ -1,0 +1,1 @@
+lib/core/vs_property.ml: Format Fstatus Gcs_stdx Hashtbl List Printf Proc Result Timed View Vs_action

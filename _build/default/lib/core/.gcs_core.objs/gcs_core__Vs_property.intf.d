@@ -1,0 +1,1 @@
+lib/core/vs_property.mli: Format Proc Timed View Vs_action

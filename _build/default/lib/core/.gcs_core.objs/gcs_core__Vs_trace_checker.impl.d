@@ -1,0 +1,1 @@
+lib/core/vs_trace_checker.ml: Format Gcs_stdx List Proc Result View View_id Vs_action Vs_machine

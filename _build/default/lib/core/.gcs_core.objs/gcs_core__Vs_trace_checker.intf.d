@@ -1,0 +1,1 @@
+lib/core/vs_trace_checker.mli: Format Proc View_id Vs_action Vs_machine

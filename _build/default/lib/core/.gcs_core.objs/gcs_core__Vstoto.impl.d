@@ -1,0 +1,1 @@
+lib/core/vstoto.ml: Automaton Format Gcs_automata Gcs_stdx Label List Msg Option Printf Proc Quorum Summary Sys_action Value View View_id Vs_action

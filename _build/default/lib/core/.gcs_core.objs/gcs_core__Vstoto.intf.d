@@ -1,0 +1,1 @@
+lib/core/vstoto.mli: Format Gcs_automata Label Proc Quorum Summary Sys_action Value View View_id

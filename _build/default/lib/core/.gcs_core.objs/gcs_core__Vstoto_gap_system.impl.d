@@ -1,0 +1,1 @@
+lib/core/vstoto_gap_system.ml: Automaton Gcs_automata Gcs_stdx List Msg Proc Quorum Sys_action Vs_action Vs_gap_machine Vstoto

@@ -1,0 +1,1 @@
+lib/core/vstoto_gap_system.mli: Gcs_automata Gcs_stdx Msg Proc Quorum Sys_action Value Vs_gap_machine Vstoto

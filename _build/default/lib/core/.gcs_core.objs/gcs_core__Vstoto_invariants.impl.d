@@ -1,0 +1,1 @@
+lib/core/vstoto_invariants.ml: Array Format Gcs_automata Gcs_stdx Hashtbl Invariant Label List Msg Option Proc Quorum Summary View View_id Vs_machine Vstoto Vstoto_system

@@ -1,0 +1,1 @@
+lib/core/vstoto_invariants.mli: Gcs_automata Vstoto_system

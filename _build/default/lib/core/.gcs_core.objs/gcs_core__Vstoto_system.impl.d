@@ -1,0 +1,1 @@
+lib/core/vstoto_system.ml: Automaton Gcs_automata Gcs_stdx Label List Msg Option Proc Quorum Summary Sys_action Value View View_id Vs_action Vs_machine Vstoto

@@ -1,0 +1,1 @@
+lib/core/vstoto_system.mli: Gcs_automata Gcs_stdx Label Msg Proc Quorum Summary Sys_action Value View_id Vs_machine Vstoto

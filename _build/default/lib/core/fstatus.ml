@@ -1,0 +1,62 @@
+type t = Good | Bad | Ugly
+
+type event =
+  | Proc_status of Proc.t * t
+  | Link_status of Proc.t * Proc.t * t
+
+let equal a b =
+  match (a, b) with
+  | Good, Good | Bad, Bad | Ugly, Ugly -> true
+  | (Good | Bad | Ugly), _ -> false
+
+let pp ppf = function
+  | Good -> Format.pp_print_string ppf "good"
+  | Bad -> Format.pp_print_string ppf "bad"
+  | Ugly -> Format.pp_print_string ppf "ugly"
+
+let pp_event ppf = function
+  | Proc_status (p, s) -> Format.fprintf ppf "%a_%a" pp s Proc.pp p
+  | Link_status (p, q, s) ->
+      Format.fprintf ppf "%a_{%a,%a}" pp s Proc.pp p Proc.pp q
+
+module Link_map = Map.Make (struct
+  type t = Proc.t * Proc.t
+
+  let compare (a, b) (c, d) =
+    match Proc.compare a c with 0 -> Proc.compare b d | x -> x
+end)
+
+type tracker = { procs : t Proc.Map.t; links : t Link_map.t }
+
+let initial = { procs = Proc.Map.empty; links = Link_map.empty }
+
+let apply tracker = function
+  | Proc_status (p, s) -> { tracker with procs = Proc.Map.add p s tracker.procs }
+  | Link_status (p, q, s) ->
+      { tracker with links = Link_map.add (p, q) s tracker.links }
+
+let proc_status tracker p =
+  match Proc.Map.find_opt p tracker.procs with Some s -> s | None -> Good
+
+let link_status tracker p q =
+  match Link_map.find_opt (p, q) tracker.links with Some s -> s | None -> Good
+
+let partition_events ~parts =
+  let all = List.concat parts in
+  let proc_events = List.map (fun p -> Proc_status (p, Good)) all in
+  let part_of p = List.find (fun part -> List.mem p part) parts in
+  let link_events =
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (fun q ->
+            if Proc.equal p q then None
+            else
+              let s = if List.mem q (part_of p) then Good else Bad in
+              Some (Link_status (p, q, s)))
+          all)
+      all
+  in
+  proc_events @ link_events
+
+let heal_events ~procs = partition_events ~parts:[ procs ]

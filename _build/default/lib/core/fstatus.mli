@@ -1,0 +1,35 @@
+(** Failure statuses and failure-status events (Figure 4).
+
+    A {e good} processor takes enabled steps immediately; a {e bad} one is
+    stopped; an {e ugly} one runs at nondeterministic speed. A good channel
+    delivers within a fixed time δ; a bad channel delivers nothing; an ugly
+    channel may or may not deliver, with no timing bound. *)
+
+type t = Good | Bad | Ugly
+
+type event =
+  | Proc_status of Proc.t * t  (** [good_p] / [bad_p] / [ugly_p] *)
+  | Link_status of Proc.t * Proc.t * t
+      (** [good_{p,q}] / [bad_{p,q}] / [ugly_{p,q}] — directed (p → q) *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_event : Format.formatter -> event -> unit
+
+(** Mutable-free tracking of the statuses implied by a sequence of events:
+    the status of a location or pair is determined by the last event for it
+    (default [Good], as in Section 3.2). *)
+
+type tracker
+
+val initial : tracker
+val apply : tracker -> event -> tracker
+val proc_status : tracker -> Proc.t -> t
+val link_status : tracker -> Proc.t -> Proc.t -> t
+
+val partition_events : parts:Proc.t list list -> event list
+(** Events establishing a clean partition: links within a part good, links
+    across parts bad (both directions), all processors good. *)
+
+val heal_events : procs:Proc.t list -> event list
+(** Events making every processor and every link good. *)

@@ -1,0 +1,25 @@
+type t = { id : View_id.t; seqno : int; origin : Proc.t }
+
+let make ~id ~seqno ~origin = { id; seqno; origin }
+
+let compare a b =
+  match View_id.compare a.id b.id with
+  | 0 -> (
+      match Int.compare a.seqno b.seqno with
+      | 0 -> Proc.compare a.origin b.origin
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf l =
+  Format.fprintf ppf "<%a:%d:%a>" View_id.pp l.id l.seqno Proc.pp l.origin
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,12 @@
+(** Labels — the set [L = G × N⁺ × P] of Figure 8, ordered
+    lexicographically by (view id, sequence number, origin). *)
+
+type t = { id : View_id.t; seqno : int; origin : Proc.t }
+
+val make : id:View_id.t -> seqno:int -> origin:Proc.t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

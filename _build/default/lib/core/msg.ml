@@ -1,0 +1,21 @@
+type t = App of Label.t * Value.t | Summary of Summary.t
+
+let equal a b =
+  match (a, b) with
+  | App (l, v), App (l', v') -> Label.equal l l' && Value.equal v v'
+  | Summary x, Summary y -> Summary.equal x y
+  | (App _ | Summary _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | App (l, v), App (l', v') -> (
+      match Label.compare l l' with 0 -> Value.compare v v' | c -> c)
+  | Summary x, Summary y -> Summary.compare x y
+  | App _, Summary _ -> -1
+  | Summary _, App _ -> 1
+
+let pp ppf = function
+  | App (l, v) -> Format.fprintf ppf "app(%a=%a)" Label.pp l Value.pp v
+  | Summary x -> Format.fprintf ppf "sum%a" Summary.pp x
+
+let is_summary = function Summary _ -> true | App _ -> false

@@ -1,0 +1,9 @@
+(** Messages exchanged by VStoTO processes through the VS service:
+    labelled application values [(L × A)] or state-exchange [summaries]. *)
+
+type t = App of Label.t * Value.t | Summary of Summary.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val is_summary : t -> bool

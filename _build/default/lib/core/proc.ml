@@ -1,0 +1,18 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp = Format.pp_print_int
+let all ~n = List.init n (fun p -> p)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let set_of_list ps = Set.of_list ps
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       pp)
+    (Set.elements s)

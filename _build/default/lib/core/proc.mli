@@ -1,0 +1,18 @@
+(** Processor identifiers — the totally ordered finite set [P] of the paper.
+
+    Processors are numbered [0 .. n-1]. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val all : n:int -> t list
+(** The processor set [P] for a system of [n] processors: [0 .. n-1]. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t
+val pp_set : Format.formatter -> Set.t -> unit

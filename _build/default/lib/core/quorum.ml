@@ -1,0 +1,39 @@
+type t =
+  | Explicit of Proc.Set.t list
+  | Majorities of int
+  | Weighted of int Proc.Map.t * int  (* weights, total *)
+
+let pairwise_intersecting sets =
+  let intersects a b = not (Proc.Set.is_empty (Proc.Set.inter a b)) in
+  let rec go = function
+    | [] -> true
+    | s :: rest -> List.for_all (intersects s) rest && go rest
+  in
+  go sets
+
+let of_sets sets =
+  if sets = [] then Error "empty quorum system"
+  else if not (pairwise_intersecting sets) then
+    Error "quorum sets must pairwise intersect"
+  else Ok (Explicit sets)
+
+let majorities ~n =
+  assert (n > 0);
+  Majorities n
+
+let weighted_majorities ~weights =
+  let total = Proc.Map.fold (fun _ w acc -> w + acc) weights 0 in
+  Weighted (weights, total)
+
+let is_quorum t s =
+  match t with
+  | Explicit sets -> List.exists (fun q -> Proc.Set.subset q s) sets
+  | Majorities n -> 2 * Proc.Set.cardinal s > n
+  | Weighted (weights, total) ->
+      let weight_of p =
+        match Proc.Map.find_opt p weights with Some w -> w | None -> 0
+      in
+      let weight = Proc.Set.fold (fun p acc -> weight_of p + acc) s 0 in
+      2 * weight > total
+
+let contains_quorum = is_quorum

@@ -1,0 +1,27 @@
+(** Quorum systems — the set [Q] of Section 5.
+
+    Every pair of quorums intersects; a view is {e primary} when its
+    membership contains a quorum. *)
+
+type t
+
+val of_sets : Proc.Set.t list -> (t, string) result
+(** Build a quorum system from explicit sets; [Error] if some pair of sets
+    fails to intersect or the list is empty. *)
+
+val majorities : n:int -> t
+(** The majority quorum system over processors [0..n-1]: a set is a quorum
+    iff it contains strictly more than [n/2] processors. *)
+
+val weighted_majorities : weights:int Proc.Map.t -> t
+(** Quorums are the sets holding a strict majority of the total weight. *)
+
+val is_quorum : t -> Proc.Set.t -> bool
+(** Does the set contain a quorum? (For the intensional systems this tests
+    the defining predicate; for explicit systems, superset of some set.) *)
+
+val contains_quorum : t -> Proc.Set.t -> bool
+(** Alias of {!is_quorum}, matching the paper's phrase "contains a
+    quorum". *)
+
+val pairwise_intersecting : Proc.Set.t list -> bool

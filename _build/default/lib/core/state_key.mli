@@ -1,0 +1,15 @@
+(** Canonical string serializations of states, for the exhaustive explorer
+    ({!Gcs_automata.Explore}).
+
+    Keys are built from [Map.bindings]/[Set.elements], which are sorted,
+    so two structurally equal states always produce the same key (OCaml's
+    polymorphic comparison and marshalling are not canonical for
+    balanced-tree maps). *)
+
+val view_id : View_id.t -> string
+val label : Label.t -> string
+val summary : Summary.t -> string
+val msg : Msg.t -> string
+val vs_state : msg:('m -> string) -> 'm Vs_machine.state -> string
+val node_state : Vstoto.state -> string
+val system_state : Vstoto_system.state -> string

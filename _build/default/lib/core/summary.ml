@@ -1,0 +1,74 @@
+type t = {
+  con : Value.t Label.Map.t;
+  ord : Label.t list;
+  next : int;
+  high : View_id.t option;
+}
+
+let make ~con ~ord ~next ~high = { con; ord; next; high }
+
+let equal a b =
+  Label.Map.equal Value.equal a.con b.con
+  && List.equal Label.equal a.ord b.ord
+  && Int.equal a.next b.next
+  && View_id.compare_opt a.high b.high = 0
+
+let compare a b =
+  let c = Label.Map.compare Value.compare a.con b.con in
+  if c <> 0 then c
+  else
+    let c = List.compare Label.compare a.ord b.ord in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.next b.next in
+      if c <> 0 then c else View_id.compare_opt a.high b.high
+
+let pp ppf x =
+  Format.fprintf ppf "@[<h>{con:%d labels; ord:[%a]; next:%d; high:%a}@]"
+    (Label.Map.cardinal x.con)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Label.pp)
+    x.ord x.next
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "_|_")
+       View_id.pp)
+    x.high
+
+let confirm x = Gcs_stdx.Seqx.take (min (x.next - 1) (List.length x.ord)) x.ord
+
+let knowncontent y =
+  Proc.Map.fold
+    (fun _ x acc ->
+      Label.Map.union (fun _ first _second -> Some first) acc x.con)
+    y Label.Map.empty
+
+let maxprimary y =
+  Proc.Map.fold
+    (fun _ x acc -> if View_id.lt_opt acc x.high then x.high else acc)
+    y None
+
+let reps y =
+  let top = maxprimary y in
+  Proc.Map.fold
+    (fun q x acc -> if View_id.compare_opt x.high top = 0 then q :: acc else acc)
+    y []
+
+let chosenrep y =
+  match reps y with
+  | [] -> invalid_arg "Summary.chosenrep: empty gotstate"
+  | qs -> List.fold_left max (List.hd qs) qs
+
+let shortorder y = (Proc.Map.find (chosenrep y) y).ord
+
+let fullorder y =
+  let short = shortorder y in
+  let in_short = Label.Set.of_list short in
+  let remaining =
+    Label.Map.fold
+      (fun l _ acc -> if Label.Set.mem l in_short then acc else l :: acc)
+      (knowncontent y) []
+  in
+  short @ List.sort Label.compare remaining
+
+let maxnextconfirm y = Proc.Map.fold (fun _ x acc -> max x.next acc) y 1

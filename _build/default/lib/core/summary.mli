@@ -1,0 +1,55 @@
+(** Summaries and the operations of Figure 8.
+
+    A summary is the state-exchange record
+    [⟨con, ord, next, high⟩ : P(L×A) × L* × N⁺ × G⊥]. *)
+
+type t = {
+  con : Value.t Label.Map.t;  (** content: a partial function [L → A] *)
+  ord : Label.t list;  (** tentative total order of labels *)
+  next : int;  (** index of the next label to confirm (1-based) *)
+  high : View_id.t option;  (** highest established primary, or ⊥ *)
+}
+
+val make :
+  con:Value.t Label.Map.t ->
+  ord:Label.t list ->
+  next:int ->
+  high:View_id.t option ->
+  t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val confirm : t -> Label.t list
+(** [x.confirm]: the prefix of [x.ord] of length
+    [min (x.next - 1) (length x.ord)]. *)
+
+(** The following operate on [Y], a partial function from processor ids to
+    summaries (the [gotstate] component), represented as a map. They are
+    only meaningful when [Y] is non-empty. *)
+
+val knowncontent : t Proc.Map.t -> Value.t Label.Map.t
+(** Union of the [con] components. When two summaries disagree on a label's
+    value the first binding wins — invariants guarantee this never happens
+    in reachable states. *)
+
+val maxprimary : t Proc.Map.t -> View_id.t option
+(** Greatest [high] component. *)
+
+val reps : t Proc.Map.t -> Proc.t list
+(** Members whose [high] equals [maxprimary]. *)
+
+val chosenrep : t Proc.Map.t -> Proc.t
+(** A consistently chosen representative: the one with the greatest
+    processor id (any deterministic rule works, per the paper). *)
+
+val shortorder : t Proc.Map.t -> Label.t list
+(** The [ord] of the chosen representative. *)
+
+val fullorder : t Proc.Map.t -> Label.t list
+(** [shortorder Y] followed by the remaining labels of
+    [dom (knowncontent Y)] in label order. *)
+
+val maxnextconfirm : t Proc.Map.t -> int
+(** Greatest reported [next]. *)

@@ -1,0 +1,54 @@
+type t =
+  | Bcast of Proc.t * Value.t
+  | Brcv of { src : Proc.t; dst : Proc.t; value : Value.t }
+  | Label_act of Proc.t * Value.t
+  | Confirm of Proc.t
+  | Vs of Msg.t Vs_action.t
+
+let equal a b =
+  match (a, b) with
+  | Bcast (p, x), Bcast (q, y) -> Proc.equal p q && Value.equal x y
+  | Brcv a, Brcv b ->
+      Proc.equal a.src b.src && Proc.equal a.dst b.dst
+      && Value.equal a.value b.value
+  | Label_act (p, x), Label_act (q, y) -> Proc.equal p q && Value.equal x y
+  | Confirm p, Confirm q -> Proc.equal p q
+  | Vs a, Vs b -> Vs_action.equal ~equal_msg:Msg.equal a b
+  | (Bcast _ | Brcv _ | Label_act _ | Confirm _ | Vs _), _ -> false
+
+let pp ppf = function
+  | Bcast (p, a) -> Format.fprintf ppf "bcast(%a)_%a" Value.pp a Proc.pp p
+  | Brcv { src; dst; value } ->
+      Format.fprintf ppf "brcv(%a)_{%a,%a}" Value.pp value Proc.pp src Proc.pp
+        dst
+  | Label_act (p, a) -> Format.fprintf ppf "label(%a)_%a" Value.pp a Proc.pp p
+  | Confirm p -> Format.fprintf ppf "confirm_%a" Proc.pp p
+  | Vs a -> Vs_action.pp Msg.pp ppf a
+
+let vstoto_kind ~me action =
+  let open Gcs_automata.Kind in
+  match action with
+  | Bcast (p, _) -> if Proc.equal p me then Some Input else None
+  | Brcv { dst; _ } -> if Proc.equal dst me then Some Output else None
+  | Label_act (p, _) -> if Proc.equal p me then Some Internal else None
+  | Confirm p -> if Proc.equal p me then Some Internal else None
+  | Vs (Vs_action.Gpsnd { sender; _ }) ->
+      if Proc.equal sender me then Some Output else None
+  | Vs (Vs_action.Gprcv { dst; _ }) | Vs (Vs_action.Safe { dst; _ }) ->
+      if Proc.equal dst me then Some Input else None
+  | Vs (Vs_action.Newview { proc; view }) ->
+      if Proc.equal proc me && View.mem proc view then Some Input else None
+  | Vs (Vs_action.Createview _) | Vs (Vs_action.Vs_order _) -> None
+
+let system_kind ~procs action =
+  let open Gcs_automata.Kind in
+  let known p = List.mem p procs in
+  match action with
+  | Bcast (p, _) -> if known p then Some Input else None
+  | Brcv { src; dst; _ } ->
+      if known src && known dst then Some Output else None
+  | Label_act (p, _) | Confirm p -> if known p then Some Internal else None
+  | Vs a -> (
+      match Vs_action.kind ~procs a with
+      | Some _ -> Some Internal (* the VS interface is hidden *)
+      | None -> None)

@@ -1,0 +1,22 @@
+(** Actions of the composed VStoTO-system: the client interface
+    ([bcast]/[brcv]), the internal actions of the VStoTO processes
+    ([label]/[confirm]) and the actions of the underlying VS service. *)
+
+type t =
+  | Bcast of Proc.t * Value.t  (** client submission at a processor *)
+  | Brcv of { src : Proc.t; dst : Proc.t; value : Value.t }
+      (** client delivery at [dst] of a value originating at [src] *)
+  | Label_act of Proc.t * Value.t  (** [label(a)_p] *)
+  | Confirm of Proc.t  (** [confirm_p] *)
+  | Vs of Msg.t Vs_action.t  (** VS-layer action *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val vstoto_kind : me:Proc.t -> t -> Gcs_automata.Kind.t option
+(** Signature of the automaton [VStoTO_p] for [p = me] (Figure 9). *)
+
+val system_kind : procs:Proc.t list -> t -> Gcs_automata.Kind.t option
+(** Signature of the composed VStoTO-system with the VS-layer interface
+    actions hidden: [bcast] input, [brcv] output, everything else
+    internal. *)

@@ -1,0 +1,48 @@
+type 'a item = Action of 'a | Status of Fstatus.event
+type 'a event = { time : float; item : 'a item }
+type 'a t = 'a event list
+
+let action time a = { time; item = Action a }
+let status time s = { time; item = Status s }
+
+let actions t =
+  List.filter_map
+    (fun e -> match e.item with Action a -> Some (e.time, a) | Status _ -> None)
+    t
+
+let statuses t =
+  List.filter_map
+    (fun e -> match e.item with Status s -> Some (e.time, s) | Action _ -> None)
+    t
+
+let is_time_ordered t =
+  let rec go last = function
+    | [] -> true
+    | e :: rest -> e.time >= last && go e.time rest
+  in
+  go neg_infinity t
+
+let involves locations = function
+  | Fstatus.Proc_status (p, _) -> List.mem p locations
+  | Fstatus.Link_status (p, q, _) -> List.mem p locations || List.mem q locations
+
+let last_status_time_involving locations t =
+  List.fold_left
+    (fun acc (time, s) -> if involves locations s then max acc time else acc)
+    0.0 (statuses t)
+
+let tracker_at time t =
+  List.fold_left
+    (fun acc (when_, s) -> if when_ <= time then Fstatus.apply acc s else acc)
+    Fstatus.initial (statuses t)
+
+let map f t =
+  List.filter_map
+    (fun e ->
+      match e.item with
+      | Action a -> (
+          match f a with
+          | Some b -> Some { time = e.time; item = Action b }
+          | None -> None)
+      | Status s -> Some { time = e.time; item = Status s })
+    t

@@ -1,0 +1,26 @@
+(** Timed traces: sequences of timestamped actions interleaved with
+    failure-status events, as consumed by the conditional performance and
+    fault-tolerance properties (Sections 3.2 and 4.2). *)
+
+type 'a item = Action of 'a | Status of Fstatus.event
+
+type 'a event = { time : float; item : 'a item }
+
+type 'a t = 'a event list
+(** Events in nondecreasing time order. *)
+
+val action : float -> 'a -> 'a event
+val status : float -> Fstatus.event -> 'a event
+val actions : 'a t -> (float * 'a) list
+val statuses : 'a t -> (float * Fstatus.event) list
+val is_time_ordered : 'a t -> bool
+
+val last_status_time_involving : Proc.t list -> 'a t -> float
+(** Time of the last failure-status event for a location in the set or a
+    pair including one; 0.0 if there is none. *)
+
+val tracker_at : float -> 'a t -> Fstatus.tracker
+(** Failure statuses implied by all status events at or before a time. *)
+
+val map : ('a -> 'b option) -> 'a t -> 'b t
+(** Filter-map over actions, keeping status events. *)

@@ -1,0 +1,35 @@
+type 'a t =
+  | Bcast of Proc.t * 'a
+  | Brcv of { src : Proc.t; dst : Proc.t; value : 'a }
+  | To_order of 'a * Proc.t
+
+let kind ~procs action =
+  let known p = List.mem p procs in
+  match action with
+  | Bcast (p, _) -> if known p then Some Gcs_automata.Kind.Input else None
+  | Brcv { src; dst; _ } ->
+      if known src && known dst then Some Gcs_automata.Kind.Output else None
+  | To_order (_, p) ->
+      if known p then Some Gcs_automata.Kind.Internal else None
+
+let is_external ~procs action =
+  match kind ~procs action with
+  | Some k -> Gcs_automata.Kind.is_external k
+  | None -> false
+
+let equal ~equal_value a b =
+  match (a, b) with
+  | Bcast (p, x), Bcast (q, y) -> Proc.equal p q && equal_value x y
+  | Brcv a, Brcv b ->
+      Proc.equal a.src b.src && Proc.equal a.dst b.dst
+      && equal_value a.value b.value
+  | To_order (x, p), To_order (y, q) -> equal_value x y && Proc.equal p q
+  | (Bcast _ | Brcv _ | To_order _), _ -> false
+
+let pp pp_value ppf = function
+  | Bcast (p, a) -> Format.fprintf ppf "bcast(%a)_%a" pp_value a Proc.pp p
+  | Brcv { src; dst; value } ->
+      Format.fprintf ppf "brcv(%a)_{%a,%a}" pp_value value Proc.pp src Proc.pp
+        dst
+  | To_order (a, p) ->
+      Format.fprintf ppf "to-order(%a,%a)" pp_value a Proc.pp p

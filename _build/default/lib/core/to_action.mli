@@ -1,0 +1,18 @@
+(** Actions of the totally ordered broadcast specification TO-machine
+    (Figure 3), parametric in the data-value type. *)
+
+type 'a t =
+  | Bcast of Proc.t * 'a  (** [bcast(a)_p]: client submission at [p] *)
+  | Brcv of { src : Proc.t; dst : Proc.t; value : 'a }
+      (** [brcv(a)_{p,q}]: delivery at [dst] of a value sent at [src] *)
+  | To_order of 'a * Proc.t  (** internal placement into the total order *)
+
+val kind : procs:Proc.t list -> 'a t -> Gcs_automata.Kind.t option
+(** Signature of TO-machine over processor set [procs]; [None] for actions
+    mentioning processors outside [procs]. *)
+
+val is_external : procs:Proc.t list -> 'a t -> bool
+val equal : equal_value:('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,101 @@
+open Gcs_automata
+
+type 'a state = {
+  queue : ('a * Proc.t) list;
+  pending : 'a list Proc.Map.t;
+  next : int Proc.Map.t;
+}
+
+type 'a params = { procs : Proc.t list; equal_value : 'a -> 'a -> bool }
+
+let pending_of state p =
+  match Proc.Map.find_opt p state.pending with Some q -> q | None -> []
+
+let next_of state p =
+  match Proc.Map.find_opt p state.next with Some n -> n | None -> 1
+
+let initial (_ : 'a params) =
+  { queue = []; pending = Proc.Map.empty; next = Proc.Map.empty }
+
+let transition params state action =
+  match action with
+  | To_action.Bcast (p, a) ->
+      let pending =
+        Proc.Map.add p (pending_of state p @ [ a ]) state.pending
+      in
+      Some { state with pending }
+  | To_action.To_order (a, p) -> (
+      match pending_of state p with
+      | head :: rest when params.equal_value head a ->
+          Some
+            {
+              state with
+              pending = Proc.Map.add p rest state.pending;
+              queue = state.queue @ [ (a, p) ];
+            }
+      | _ -> None)
+  | To_action.Brcv { src; dst; value } -> (
+      match Gcs_stdx.Seqx.nth1 state.queue (next_of state dst) with
+      | Some (a, p) when params.equal_value a value && Proc.equal p src ->
+          Some { state with next = Proc.Map.add dst (next_of state dst + 1) state.next }
+      | _ -> None)
+
+let enabled params state =
+  let to_orders =
+    List.filter_map
+      (fun p ->
+        match pending_of state p with
+        | a :: _ -> Some (To_action.To_order (a, p))
+        | [] -> None)
+      params.procs
+  in
+  let brcvs =
+    List.filter_map
+      (fun q ->
+        match Gcs_stdx.Seqx.nth1 state.queue (next_of state q) with
+        | Some (a, p) -> Some (To_action.Brcv { src = p; dst = q; value = a })
+        | None -> None)
+      params.procs
+  in
+  to_orders @ brcvs
+
+let automaton params =
+  {
+    Automaton.name = "TO-machine";
+    initial = initial params;
+    kind = To_action.kind ~procs:params.procs;
+    enabled = enabled params;
+    transition = transition params;
+  }
+
+let equal_state params a b =
+  let equal_entry (x, p) (y, q) = params.equal_value x y && Proc.equal p q in
+  List.equal equal_entry a.queue b.queue
+  && List.for_all
+       (fun p ->
+         List.equal params.equal_value (pending_of a p) (pending_of b p)
+         && next_of a p = next_of b p)
+       params.procs
+
+let pp_state pp_value ppf state =
+  let pp_entry ppf (a, p) =
+    Format.fprintf ppf "(%a,%a)" pp_value a Proc.pp p
+  in
+  Format.fprintf ppf "@[<v>queue: [%a]@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_entry)
+    state.queue
+
+let invariants params =
+  [
+    Invariant.make "TO: next pointers within queue bounds" (fun s ->
+        List.for_all
+          (fun p -> next_of s p >= 1 && next_of s p <= List.length s.queue + 1)
+          params.procs);
+    Invariant.make "TO: pending and next domains within P" (fun s ->
+        Proc.Map.for_all (fun p _ -> List.mem p params.procs) s.pending
+        && Proc.Map.for_all (fun p _ -> List.mem p params.procs) s.next);
+    Invariant.make "TO: queue origins within P" (fun s ->
+        List.for_all (fun (_, p) -> List.mem p params.procs) s.queue);
+  ]

@@ -1,0 +1,27 @@
+(** TO-machine (Figure 3): the abstract state machine for totally ordered
+    broadcast. *)
+
+type 'a state = {
+  queue : ('a * Proc.t) list;
+      (** the global total order of ⟨value, origin⟩ pairs *)
+  pending : 'a list Proc.Map.t;
+      (** per-origin values submitted but not yet ordered *)
+  next : int Proc.Map.t;  (** 1-based delivery index per destination *)
+}
+
+type 'a params = { procs : Proc.t list; equal_value : 'a -> 'a -> bool }
+
+val initial : 'a params -> 'a state
+
+val automaton :
+  'a params -> ('a state, 'a To_action.t) Gcs_automata.Automaton.t
+
+val equal_state : 'a params -> 'a state -> 'a state -> bool
+
+val pp_state :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a state -> unit
+
+val invariants :
+  'a params -> 'a state Gcs_automata.Invariant.t list
+(** Structural well-formedness facts of TO-machine (next pointers bounded
+    by the queue, domains within [procs]). *)

@@ -1,0 +1,152 @@
+type violation = {
+  value : Value.t;
+  origin : Proc.t;
+  missing_at : Proc.t;
+  deadline : float;
+  kind : string;
+}
+
+type report = {
+  premise : (unit, string) result;
+  stabilization_time : float;
+  obligations : int;
+  violations : violation list;
+  max_latency : float;
+}
+
+let check_premise ~q ~procs trace l =
+  let tracker = Timed.tracker_at l trace in
+  let in_q p = List.mem p q in
+  let bad_pair () =
+    List.find_map
+      (fun p ->
+        List.find_map
+          (fun p' ->
+            if Proc.equal p p' then None
+            else if
+              in_q p && in_q p'
+              && not (Fstatus.equal (Fstatus.link_status tracker p p') Good)
+            then Some (Printf.sprintf "link (%d,%d) within Q not good" p p')
+            else if
+              in_q p && (not (in_q p'))
+              && not (Fstatus.equal (Fstatus.link_status tracker p p') Bad)
+            then Some (Printf.sprintf "link (%d,%d) leaving Q not bad" p p')
+            else None)
+          procs)
+      procs
+  in
+  let bad_proc =
+    List.find_map
+      (fun p ->
+        if in_q p && not (Fstatus.equal (Fstatus.proc_status tracker p) Good)
+        then Some (Printf.sprintf "processor %d in Q not good" p)
+        else None)
+      procs
+  in
+  match bad_proc with
+  | Some msg -> Error msg
+  | None -> ( match bad_pair () with Some msg -> Error msg | None -> Ok ())
+
+let check ~b ~d ~q ~horizon trace =
+  let actions = Timed.actions trace in
+  let procs =
+    let mentioned =
+      List.concat_map
+        (fun (_, a) ->
+          match a with
+          | To_action.Bcast (p, _) -> [ p ]
+          | To_action.Brcv { src; dst; _ } -> [ src; dst ]
+          | To_action.To_order (_, p) -> [ p ])
+        actions
+    in
+    Gcs_stdx.Seqx.dedup_sorted ~compare:Proc.compare (q @ mentioned)
+  in
+  let l = Timed.last_status_time_involving q trace in
+  let premise = check_premise ~q ~procs trace l in
+  (* Delivery times per (value, origin, destination). *)
+  let deliveries = Hashtbl.create 256 in
+  List.iter
+    (fun (time, a) ->
+      match a with
+      | To_action.Brcv { src; dst; value } ->
+          let key = (value, src, dst) in
+          if not (Hashtbl.mem deliveries key) then
+            Hashtbl.replace deliveries key time
+      | _ -> ())
+    actions;
+  (* Obligations from clause (b): values sent from Q. *)
+  let sends =
+    List.filter_map
+      (fun (time, a) ->
+        match a with
+        | To_action.Bcast (p, v) when List.mem p q -> Some (time, p, v)
+        | _ -> None)
+      actions
+  in
+  (* Distinct (value, origin) requirement for unambiguous matching. *)
+  let dup =
+    let seen = Hashtbl.create 64 in
+    List.exists
+      (fun (_, p, v) ->
+        if Hashtbl.mem seen (p, v) then true
+        else (
+          Hashtbl.replace seen (p, v) ();
+          false))
+      sends
+  in
+  let premise =
+    match premise with
+    | Error _ as e -> e
+    | Ok () ->
+        if dup then Error "workload has duplicate (origin, value) pairs"
+        else Ok ()
+  in
+  (* Obligations from clause (c): values delivered to some member of Q. *)
+  let relayed =
+    Hashtbl.fold
+      (fun (value, src, dst) time acc ->
+        if List.mem dst q then (time, src, value) :: acc else acc)
+      deliveries []
+  in
+  let obligations = ref 0 in
+  let violations = ref [] in
+  let max_latency = ref 0.0 in
+  let enforce kind (t, origin, value) =
+    let deadline = max t (l +. b) +. d in
+    if deadline <= horizon then
+      List.iter
+        (fun member ->
+          incr obligations;
+          match Hashtbl.find_opt deliveries (value, origin, member) with
+          | Some dt ->
+              if dt > deadline then
+                violations :=
+                  { value; origin; missing_at = member; deadline; kind }
+                  :: !violations
+              else if kind = "sent" && t >= l +. b then
+                max_latency := max !max_latency (dt -. t)
+          | None ->
+              violations :=
+                { value; origin; missing_at = member; deadline; kind }
+                :: !violations)
+        q
+  in
+  List.iter (enforce "sent") sends;
+  List.iter (enforce "relayed") relayed;
+  {
+    premise;
+    stabilization_time = l;
+    obligations = !obligations;
+    violations = List.rev !violations;
+    max_latency = !max_latency;
+  }
+
+let holds report = Result.is_ok report.premise && report.violations = []
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>premise: %s@ l=%.3f obligations=%d violations=%d max_latency=%.3f@]"
+    (match r.premise with Ok () -> "holds" | Error e -> "vacuous: " ^ e)
+    r.stabilization_time r.obligations
+    (List.length r.violations)
+    r.max_latency

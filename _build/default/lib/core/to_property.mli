@@ -1,0 +1,50 @@
+(** Checker for TO-property(b, d, Q) (Figure 5).
+
+    Given a finite timed trace (an observation window of an admissible
+    execution) with failure-status events, the checker:
+    - determines the stabilization point [l]: the time of the last failure
+      event involving [Q];
+    - verifies the premise: after [l], every location in [Q] and every pair
+      within [Q] is good, and every pair leaving [Q] is bad;
+    - enforces the conclusion with [l' = b] (the weakest admissible choice):
+      every value sent from [Q] at time [t] must be delivered at all members
+      of [Q] by [max t (l + b) + d], and every value delivered to a member
+      of [Q] at [t] likewise.
+
+    Deadlines beyond [horizon] (the end of the observation window) are not
+    enforced — the trace is a finite prefix. Values are matched to their
+    deliveries by (value, origin); the workload must use distinct values
+    per origin (checked). *)
+
+type violation = {
+  value : Value.t;
+  origin : Proc.t;
+  missing_at : Proc.t;
+  deadline : float;
+  kind : string;  (** "sent" (clause b) or "relayed" (clause c) *)
+}
+
+type report = {
+  premise : (unit, string) result;
+      (** [Error] explains why the stabilization premise does not hold
+          (the property is then vacuous). *)
+  stabilization_time : float;  (** the point [l] *)
+  obligations : int;  (** (value, member) pairs with enforceable deadlines *)
+  violations : violation list;
+  max_latency : float;
+      (** worst send-to-last-member-delivery latency among values sent
+          after [l + b]; [0.0] if none *)
+}
+
+val check :
+  b:float ->
+  d:float ->
+  q:Proc.t list ->
+  horizon:float ->
+  Value.t To_action.t Timed.t ->
+  report
+
+val holds : report -> bool
+(** Premise holds and there are no violations. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,90 @@
+let abstract_params (params : Vstoto_system.params) =
+  { To_machine.procs = params.procs; equal_value = Value.equal }
+
+let allcontent_exn params state =
+  match Vstoto_system.allcontent params state with
+  | Some m -> m
+  | None -> invalid_arg "to_simulation: allcontent is not a function"
+
+let allconfirm_exn params state =
+  match Vstoto_system.allconfirm params state with
+  | Some s -> s
+  | None -> invalid_arg "to_simulation: inconsistent confirm prefixes"
+
+let f params state =
+  let content = allcontent_exn params state in
+  let confirmed = allconfirm_exn params state in
+  let value_of l =
+    match Label.Map.find_opt l content with
+    | Some v -> v
+    | None -> invalid_arg "to_simulation: confirmed label without content"
+  in
+  let queue = List.map (fun l -> (value_of l, l.Label.origin)) confirmed in
+  let confirmed_set = Label.Set.of_list confirmed in
+  let pending_for p =
+    let unconfirmed =
+      Label.Map.fold
+        (fun l v acc ->
+          if Proc.equal l.Label.origin p && not (Label.Set.mem l confirmed_set)
+          then (l, v) :: acc
+          else acc)
+        content []
+    in
+    let sorted =
+      List.sort (fun (l, _) (l', _) -> Label.compare l l') unconfirmed
+    in
+    List.map snd sorted @ (Vstoto_system.node state p).Vstoto.delay
+  in
+  let pending =
+    List.fold_left
+      (fun acc p -> Proc.Map.add p (pending_for p) acc)
+      Proc.Map.empty params.procs
+  in
+  let next =
+    List.fold_left
+      (fun acc p ->
+        Proc.Map.add p (Vstoto_system.node state p).Vstoto.nextreport acc)
+      Proc.Map.empty params.procs
+  in
+  { To_machine.queue; pending; next }
+
+let newly_confirmed params pre post =
+  let before = allconfirm_exn params pre in
+  let after = allconfirm_exn params post in
+  if Gcs_stdx.Seqx.is_prefix ~equal:Label.equal before after then
+    Gcs_stdx.Seqx.drop (List.length before) after
+  else invalid_arg "to_simulation: allconfirm shrank"
+
+let corresponds params pre action post =
+  match action with
+  | Sys_action.Bcast (p, a) -> [ To_action.Bcast (p, a) ]
+  | Sys_action.Brcv { src; dst; value } ->
+      [ To_action.Brcv { src; dst; value } ]
+  | Sys_action.Label_act _ | Sys_action.Confirm _ | Sys_action.Vs _ ->
+      let content = allcontent_exn params post in
+      List.map
+        (fun l ->
+          match Label.Map.find_opt l content with
+          | Some v -> To_action.To_order (v, l.Label.origin)
+          | None ->
+              invalid_arg "to_simulation: confirmed label without content")
+        (newly_confirmed params pre post)
+
+let check_execution params execution =
+  let abstract = To_machine.automaton (abstract_params params) in
+  let equal_abs = To_machine.equal_state (abstract_params params) in
+  match
+    Gcs_automata.Simulation.check_execution ~abstract ~f:(f params)
+      ~corresponds:(corresponds params) ~equal_abs execution
+  with
+  | Ok () -> Ok ()
+  | Error failure ->
+      let action_str =
+        match failure.Gcs_automata.Simulation.concrete_action with
+        | Some a -> Format.asprintf "%a" Sys_action.pp a
+        | None -> "(initial state)"
+      in
+      Error
+        (Printf.sprintf "simulation fails at step %d on %s: %s"
+           failure.Gcs_automata.Simulation.step_index action_str
+           failure.Gcs_automata.Simulation.reason)

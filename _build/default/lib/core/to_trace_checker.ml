@@ -1,0 +1,67 @@
+type 'a t = {
+  params : 'a To_machine.params;
+  unordered : 'a list Proc.Map.t;  (* bcast values not yet forced into queue *)
+  queue : ('a * Proc.t) list;
+  next : int Proc.Map.t;
+}
+
+type error = { index : int; reason : string }
+
+let create params =
+  { params; unordered = Proc.Map.empty; queue = []; next = Proc.Map.empty }
+
+let unordered_of t p =
+  match Proc.Map.find_opt p t.unordered with Some s -> s | None -> []
+
+let next_of t p =
+  match Proc.Map.find_opt p t.next with Some n -> n | None -> 1
+
+let step t action =
+  match action with
+  | To_action.Bcast (p, a) ->
+      Ok
+        {
+          t with
+          unordered = Proc.Map.add p (unordered_of t p @ [ a ]) t.unordered;
+        }
+  | To_action.To_order _ -> Error "internal to-order event in external trace"
+  | To_action.Brcv { src; dst; value } -> (
+      let i = next_of t dst in
+      let deliver t =
+        Ok { t with next = Proc.Map.add dst (i + 1) t.next }
+      in
+      match Gcs_stdx.Seqx.nth1 t.queue i with
+      | Some (a, p) ->
+          if t.params.To_machine.equal_value a value && Proc.equal p src then
+            deliver t
+          else Error "brcv disagrees with the forced total order"
+      | None -> (
+          (* i = |queue| + 1: force a new queue entry from src's oldest
+             unordered bcast. *)
+          match unordered_of t src with
+          | head :: rest when t.params.To_machine.equal_value head value ->
+              deliver
+                {
+                  t with
+                  unordered = Proc.Map.add src rest t.unordered;
+                  queue = t.queue @ [ (value, src) ];
+                }
+          | head :: _ when not (t.params.To_machine.equal_value head value) ->
+              Error "brcv out of per-sender submission order"
+          | _ -> Error "brcv with no corresponding bcast"))
+
+let check params actions =
+  let rec go t i = function
+    | [] -> Ok ()
+    | action :: rest -> (
+        match step t action with
+        | Ok t' -> go t' (i + 1) rest
+        | Error reason -> Error { index = i; reason })
+  in
+  go (create params) 0 actions
+
+let queue t = t.queue
+let delivered t p = Gcs_stdx.Seqx.take (next_of t p - 1) t.queue
+
+let pp_error ppf e =
+  Format.fprintf ppf "event %d: %s" e.index e.reason

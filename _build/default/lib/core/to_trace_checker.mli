@@ -1,0 +1,29 @@
+(** Trace checker for TO-machine.
+
+    Decides whether a sequence of external actions ([bcast]/[brcv]) is a
+    trace of TO-machine. The check is greedy and deterministic: the [i]-th
+    element of the abstract [queue] is forced by whichever [brcv] first
+    consumes index [i], and the per-sender FIFO discipline of [pending]
+    forces which value that must be. Greedy checking is therefore sound and
+    complete. *)
+
+type 'a t
+
+type error = { index : int; reason : string }
+(** [index] is the 0-based position of the offending event. *)
+
+val create : 'a To_machine.params -> 'a t
+
+val step : 'a t -> 'a To_action.t -> ('a t, string) result
+(** Process one external event. Internal [To_order] events are rejected:
+    traces contain external actions only. *)
+
+val check : 'a To_machine.params -> 'a To_action.t list -> (unit, error) result
+
+val queue : 'a t -> ('a * Proc.t) list
+(** The total order forced by the events seen so far. *)
+
+val delivered : 'a t -> Proc.t -> ('a * Proc.t) list
+(** Prefix of {!queue} delivered at a destination so far. *)
+
+val pp_error : Format.formatter -> error -> unit

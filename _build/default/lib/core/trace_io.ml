@@ -1,0 +1,227 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' -> Buffer.add_string buf "%s"
+      | '\n' -> Buffer.add_string buf "%n"
+      | '%' -> Buffer.add_string buf "%p"
+      | ',' -> Buffer.add_string buf "%c"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else
+      match s.[i] with
+      | '%' ->
+          if i + 1 >= n then None
+          else (
+            (match s.[i + 1] with
+            | 's' -> Buffer.add_char buf ' '
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'p' -> Buffer.add_char buf '%'
+            | 'c' -> Buffer.add_char buf ','
+            | _ -> ());
+            match s.[i + 1] with
+            | 's' | 'n' | 'p' | 'c' -> go (i + 2)
+            | _ -> None)
+      | ' ' | '\n' -> None
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0
+
+let status_to_string = function
+  | Fstatus.Good -> "good"
+  | Fstatus.Bad -> "bad"
+  | Fstatus.Ugly -> "ugly"
+
+let status_of_string = function
+  | "good" -> Some Fstatus.Good
+  | "bad" -> Some Fstatus.Bad
+  | "ugly" -> Some Fstatus.Ugly
+  | _ -> None
+
+let event_to_string item =
+  match item with
+  | Timed.Status (Fstatus.Proc_status (p, s)) ->
+      Printf.sprintf "status proc %d %s" p (status_to_string s)
+  | Timed.Status (Fstatus.Link_status (p, q, s)) ->
+      Printf.sprintf "status link %d %d %s" p q (status_to_string s)
+  | Timed.Action _ -> assert false (* handled by the callers *)
+
+let line time body = Printf.sprintf "%.6f %s" time body
+
+let to_to_string trace =
+  String.concat "\n"
+    (List.map
+       (fun (e : _ Timed.event) ->
+         match e.Timed.item with
+         | Timed.Status _ -> line e.Timed.time (event_to_string e.Timed.item)
+         | Timed.Action (To_action.Bcast (p, v)) ->
+             line e.Timed.time (Printf.sprintf "bcast %d %s" p (escape v))
+         | Timed.Action (To_action.Brcv { src; dst; value }) ->
+             line e.Timed.time
+               (Printf.sprintf "brcv %d %d %s" src dst (escape value))
+         | Timed.Action (To_action.To_order (v, p)) ->
+             line e.Timed.time (Printf.sprintf "toorder %d %s" p (escape v)))
+       trace)
+
+let vs_to_string trace =
+  String.concat "\n"
+    (List.map
+       (fun (e : _ Timed.event) ->
+         match e.Timed.item with
+         | Timed.Status _ -> line e.Timed.time (event_to_string e.Timed.item)
+         | Timed.Action (Vs_action.Gpsnd { sender; msg }) ->
+             line e.Timed.time
+               (Printf.sprintf "gpsnd %d %s" sender (escape msg))
+         | Timed.Action (Vs_action.Gprcv { src; dst; msg }) ->
+             line e.Timed.time
+               (Printf.sprintf "gprcv %d %d %s" src dst (escape msg))
+         | Timed.Action (Vs_action.Safe { src; dst; msg }) ->
+             line e.Timed.time
+               (Printf.sprintf "safe %d %d %s" src dst (escape msg))
+         | Timed.Action (Vs_action.Newview { proc; view }) ->
+             line e.Timed.time
+               (Printf.sprintf "newview %d %d.%d %s" proc view.View.id.View_id.num
+                  view.View.id.View_id.origin
+                  (String.concat ","
+                     (List.map string_of_int (Proc.Set.elements view.View.set))))
+         | Timed.Action (Vs_action.Createview view) ->
+             line e.Timed.time
+               (Printf.sprintf "createview %d.%d %s" view.View.id.View_id.num
+                  view.View.id.View_id.origin
+                  (String.concat ","
+                     (List.map string_of_int (Proc.Set.elements view.View.set))))
+         | Timed.Action (Vs_action.Vs_order { msg; sender; viewid }) ->
+             line e.Timed.time
+               (Printf.sprintf "vsorder %d %d.%d %s" sender viewid.View_id.num
+                  viewid.View_id.origin (escape msg)))
+       trace)
+
+(* ---------------- parsing ---------------- *)
+
+let parse_int s = int_of_string_opt s
+let parse_float s = float_of_string_opt s
+
+let parse_view_id s =
+  match String.split_on_char '.' s with
+  | [ num; origin ] -> (
+      match (parse_int num, parse_int origin) with
+      | Some num, Some origin -> Some (View_id.make ~num ~origin)
+      | _ -> None)
+  | _ -> None
+
+let parse_members s =
+  let parts = if s = "" then [] else String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | x :: rest -> (
+        match parse_int x with Some p -> go (p :: acc) rest | None -> None)
+  in
+  go [] parts
+
+let parse_status_line time words =
+  match words with
+  | [ "proc"; p; s ] -> (
+      match (parse_int p, status_of_string s) with
+      | Some p, Some s -> Ok (Timed.status time (Fstatus.Proc_status (p, s)))
+      | _ -> Error "malformed proc status")
+  | [ "link"; p; q; s ] -> (
+      match (parse_int p, parse_int q, status_of_string s) with
+      | Some p, Some q, Some s ->
+          Ok (Timed.status time (Fstatus.Link_status (p, q, s)))
+      | _ -> Error "malformed link status")
+  | _ -> Error "malformed status line"
+
+let parse_lines parse_action text =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  let rec go acc i = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match String.split_on_char ' ' l with
+        | time :: "status" :: words -> (
+            match parse_float time with
+            | None -> Error (Printf.sprintf "line %d: bad time" i)
+            | Some t -> (
+                match parse_status_line t words with
+                | Ok e -> go (e :: acc) (i + 1) rest
+                | Error msg -> Error (Printf.sprintf "line %d: %s" i msg)))
+        | time :: words -> (
+            match parse_float time with
+            | None -> Error (Printf.sprintf "line %d: bad time" i)
+            | Some t -> (
+                match parse_action t words with
+                | Ok e -> go (e :: acc) (i + 1) rest
+                | Error msg -> Error (Printf.sprintf "line %d: %s" i msg)))
+        | [] -> go acc (i + 1) rest)
+  in
+  go [] 1 lines
+
+let to_of_string text =
+  parse_lines
+    (fun t words ->
+      match words with
+      | [ "bcast"; p; v ] -> (
+          match (parse_int p, unescape v) with
+          | Some p, Some v -> Ok (Timed.action t (To_action.Bcast (p, v)))
+          | _ -> Error "malformed bcast")
+      | [ "brcv"; src; dst; v ] -> (
+          match (parse_int src, parse_int dst, unescape v) with
+          | Some src, Some dst, Some value ->
+              Ok (Timed.action t (To_action.Brcv { src; dst; value }))
+          | _ -> Error "malformed brcv")
+      | [ "toorder"; p; v ] -> (
+          match (parse_int p, unescape v) with
+          | Some p, Some v -> Ok (Timed.action t (To_action.To_order (v, p)))
+          | _ -> Error "malformed toorder")
+      | _ -> Error "unknown TO event")
+    text
+
+let vs_of_string text =
+  parse_lines
+    (fun t words ->
+      match words with
+      | [ "gpsnd"; p; m ] -> (
+          match (parse_int p, unescape m) with
+          | Some sender, Some msg ->
+              Ok (Timed.action t (Vs_action.Gpsnd { sender; msg }))
+          | _ -> Error "malformed gpsnd")
+      | [ "gprcv"; src; dst; m ] -> (
+          match (parse_int src, parse_int dst, unescape m) with
+          | Some src, Some dst, Some msg ->
+              Ok (Timed.action t (Vs_action.Gprcv { src; dst; msg }))
+          | _ -> Error "malformed gprcv")
+      | [ "safe"; src; dst; m ] -> (
+          match (parse_int src, parse_int dst, unescape m) with
+          | Some src, Some dst, Some msg ->
+              Ok (Timed.action t (Vs_action.Safe { src; dst; msg }))
+          | _ -> Error "malformed safe")
+      | [ "newview"; p; id; members ] -> (
+          match (parse_int p, parse_view_id id, parse_members members) with
+          | Some proc, Some id, Some members ->
+              Ok
+                (Timed.action t
+                   (Vs_action.Newview { proc; view = View.make id members }))
+          | _ -> Error "malformed newview")
+      | [ "createview"; id; members ] -> (
+          match (parse_view_id id, parse_members members) with
+          | Some id, Some members ->
+              Ok (Timed.action t (Vs_action.Createview (View.make id members)))
+          | _ -> Error "malformed createview")
+      | [ "vsorder"; p; id; m ] -> (
+          match (parse_int p, parse_view_id id, unescape m) with
+          | Some sender, Some viewid, Some msg ->
+              Ok (Timed.action t (Vs_action.Vs_order { msg; sender; viewid }))
+          | _ -> Error "malformed vsorder")
+      | _ -> Error "unknown VS event")
+    text

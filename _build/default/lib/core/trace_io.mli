@@ -1,0 +1,34 @@
+(** Plain-text serialization of timed traces, so runs can be dumped to a
+    file and conformance-checked later (or produced by an external system
+    and validated against the specifications).
+
+    Format: one event per line,
+    [<time> <event>], where [<event>] is one of
+
+    {v
+    status proc <p> good|bad|ugly
+    status link <p> <q> good|bad|ugly
+    bcast <p> <value>
+    brcv <src> <dst> <value>
+    gpsnd <p> <value>
+    gprcv <src> <dst> <value>
+    safe <src> <dst> <value>
+    newview <p> <num>.<origin> <m1,m2,...>
+    v}
+
+    Values are %-escaped (space, newline, percent), so arbitrary strings
+    round-trip. The VS form carries string messages (applications decide
+    their own encoding inside the message). *)
+
+val escape : string -> string
+val unescape : string -> string option
+
+(** {2 TO-level traces} *)
+
+val to_to_string : Value.t To_action.t Timed.t -> string
+val to_of_string : string -> (Value.t To_action.t Timed.t, string) result
+
+(** {2 VS-level traces (string messages)} *)
+
+val vs_to_string : string Vs_action.t Timed.t -> string
+val vs_of_string : string -> (string Vs_action.t Timed.t, string) result

@@ -1,0 +1,5 @@
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let pp ppf v = Format.fprintf ppf "%S" v

@@ -1,0 +1,10 @@
+(** Client data values — the set [A] of the paper.
+
+    Applications encode their operations into strings (see [Gcs_apps] for
+    codecs); the group-communication layers never inspect values. *)
+
+type t = string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+type t = { id : View_id.t; set : Proc.Set.t }
+
+let make id members = { id; set = Proc.set_of_list members }
+let initial p0 = make View_id.g0 p0
+
+let compare a b =
+  match View_id.compare a.id b.id with
+  | 0 -> Proc.Set.compare a.set b.set
+  | c -> c
+
+let equal a b = compare a b = 0
+let mem p v = Proc.Set.mem p v.set
+let pp ppf v = Format.fprintf ppf "%a%a" View_id.pp v.id Proc.pp_set v.set

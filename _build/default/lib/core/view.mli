@@ -1,0 +1,13 @@
+(** Views — pairs of a view identifier and a membership set
+    ([views = G × P(P)] in the paper). *)
+
+type t = { id : View_id.t; set : Proc.Set.t }
+
+val make : View_id.t -> Proc.t list -> t
+val initial : Proc.t list -> t
+(** [initial p0] is the distinguished initial view [v0 = (g0, P0)]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val mem : Proc.t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type t = { num : int; origin : Proc.t }
+
+let g0 = { num = 0; origin = 0 }
+let make ~num ~origin = { num; origin }
+
+let compare a b =
+  match Int.compare a.num b.num with
+  | 0 -> Proc.compare a.origin b.origin
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf g = Format.fprintf ppf "g%d.%d" g.num g.origin
+
+let compare_opt a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some a, Some b -> compare a b
+
+let lt_opt a b = compare_opt a b < 0
+let le_opt a b = compare_opt a b <= 0
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,25 @@
+(** View identifiers — the totally ordered set [G] with initial element
+    [g0].
+
+    An identifier is a pair (number, origin), ordered lexicographically.
+    The initial identifier [g0] is [(0, 0)]; identifiers generated at
+    runtime carry the proposing processor as their origin and a number
+    [>= 1], which makes them unique and larger than [g0] — exactly the
+    "stable sequence number, processor id" scheme of Section 8. *)
+
+type t = { num : int; origin : Proc.t }
+
+val g0 : t
+val make : num:int -> origin:Proc.t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val compare_opt : t option -> t option -> int
+(** Order on [G⊥]: [None] (⊥) is less than every identifier. *)
+
+val lt_opt : t option -> t option -> bool
+val le_opt : t option -> t option -> bool
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,61 @@
+type 'm t =
+  | Gpsnd of { sender : Proc.t; msg : 'm }
+  | Gprcv of { src : Proc.t; dst : Proc.t; msg : 'm }
+  | Safe of { src : Proc.t; dst : Proc.t; msg : 'm }
+  | Newview of { proc : Proc.t; view : View.t }
+  | Createview of View.t
+  | Vs_order of { msg : 'm; sender : Proc.t; viewid : View_id.t }
+
+let kind ~procs action =
+  let known p = List.mem p procs in
+  match action with
+  | Gpsnd { sender; _ } ->
+      if known sender then Some Gcs_automata.Kind.Input else None
+  | Gprcv { src; dst; _ } | Safe { src; dst; _ } ->
+      if known src && known dst then Some Gcs_automata.Kind.Output else None
+  | Newview { proc; view } ->
+      if known proc && View.mem proc view then Some Gcs_automata.Kind.Output
+      else None
+  | Createview view ->
+      if Proc.Set.for_all known view.View.set then
+        Some Gcs_automata.Kind.Internal
+      else None
+  | Vs_order { sender; _ } ->
+      if known sender then Some Gcs_automata.Kind.Internal else None
+
+let is_external ~procs action =
+  match kind ~procs action with
+  | Some k -> Gcs_automata.Kind.is_external k
+  | None -> false
+
+let equal ~equal_msg a b =
+  match (a, b) with
+  | Gpsnd a, Gpsnd b -> Proc.equal a.sender b.sender && equal_msg a.msg b.msg
+  | Gprcv a, Gprcv b ->
+      Proc.equal a.src b.src && Proc.equal a.dst b.dst
+      && equal_msg a.msg b.msg
+  | Safe a, Safe b ->
+      Proc.equal a.src b.src && Proc.equal a.dst b.dst
+      && equal_msg a.msg b.msg
+  | Newview a, Newview b ->
+      Proc.equal a.proc b.proc && View.equal a.view b.view
+  | Createview a, Createview b -> View.equal a b
+  | Vs_order a, Vs_order b ->
+      equal_msg a.msg b.msg && Proc.equal a.sender b.sender
+      && View_id.equal a.viewid b.viewid
+  | (Gpsnd _ | Gprcv _ | Safe _ | Newview _ | Createview _ | Vs_order _), _ ->
+      false
+
+let pp pp_msg ppf = function
+  | Gpsnd { sender; msg } ->
+      Format.fprintf ppf "gpsnd(%a)_%a" pp_msg msg Proc.pp sender
+  | Gprcv { src; dst; msg } ->
+      Format.fprintf ppf "gprcv(%a)_{%a,%a}" pp_msg msg Proc.pp src Proc.pp dst
+  | Safe { src; dst; msg } ->
+      Format.fprintf ppf "safe(%a)_{%a,%a}" pp_msg msg Proc.pp src Proc.pp dst
+  | Newview { proc; view } ->
+      Format.fprintf ppf "newview(%a)_%a" View.pp view Proc.pp proc
+  | Createview view -> Format.fprintf ppf "createview(%a)" View.pp view
+  | Vs_order { msg; sender; viewid } ->
+      Format.fprintf ppf "vs-order(%a,%a,%a)" pp_msg msg Proc.pp sender
+        View_id.pp viewid

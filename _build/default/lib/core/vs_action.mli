@@ -1,0 +1,22 @@
+(** Actions of the view-synchronous group communication specification
+    VS-machine (Figure 6), parametric in the message type [M]. *)
+
+type 'm t =
+  | Gpsnd of { sender : Proc.t; msg : 'm }  (** [gpsnd(m)_p] *)
+  | Gprcv of { src : Proc.t; dst : Proc.t; msg : 'm }  (** [gprcv(m)_{p,q}] *)
+  | Safe of { src : Proc.t; dst : Proc.t; msg : 'm }  (** [safe(m)_{p,q}] *)
+  | Newview of { proc : Proc.t; view : View.t }  (** [newview(v)_p] *)
+  | Createview of View.t  (** internal view creation *)
+  | Vs_order of { msg : 'm; sender : Proc.t; viewid : View_id.t }
+      (** internal per-view ordering *)
+
+val kind : procs:Proc.t list -> 'm t -> Gcs_automata.Kind.t option
+(** The signature constraint [p ∈ v.set] for [newview(v)_p] is enforced
+    here: a [Newview] whose processor is not a member is outside the
+    signature. *)
+
+val is_external : procs:Proc.t list -> 'm t -> bool
+val equal : equal_msg:('m -> 'm -> bool) -> 'm t -> 'm t -> bool
+
+val pp :
+  (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit

@@ -1,0 +1,270 @@
+open Gcs_automata
+module Pg_map = Vs_machine.Pg_map
+module Int_set = Set.Make (Int)
+
+type 'm state = {
+  created : Proc.Set.t View_id.Map.t;
+  current_viewid : View_id.t option Proc.Map.t;
+  pending : 'm list Pg_map.t;
+  queue : ('m * Proc.t) list View_id.Map.t;
+  delivered : Int_set.t Pg_map.t;
+  next_safe : int Pg_map.t;
+}
+
+type 'm params = {
+  procs : Proc.t list;
+  p0 : Proc.t list;
+  equal_msg : 'm -> 'm -> bool;
+}
+
+let current_of state p =
+  match Proc.Map.find_opt p state.current_viewid with
+  | Some g -> g
+  | None -> None
+
+let pending_of state p g =
+  match Pg_map.find_opt (p, g) state.pending with Some s -> s | None -> []
+
+let queue_of state g =
+  match View_id.Map.find_opt g state.queue with Some s -> s | None -> []
+
+let delivered_of state p g =
+  match Pg_map.find_opt (p, g) state.delivered with
+  | Some s -> s
+  | None -> Int_set.empty
+
+let next_safe_of state p g =
+  match Pg_map.find_opt (p, g) state.next_safe with Some n -> n | None -> 1
+
+let member_set state g = View_id.Map.find_opt g state.created
+
+let prefix_point set =
+  let rec go k = if Int_set.mem (k + 1) set then go (k + 1) else k in
+  go 0
+
+let max_position set =
+  match Int_set.max_elt_opt set with Some m -> m | None -> 0
+
+let initial params =
+  let p0 = Proc.set_of_list params.p0 in
+  {
+    created = View_id.Map.singleton View_id.g0 p0;
+    current_viewid =
+      List.fold_left
+        (fun acc p ->
+          Proc.Map.add p
+            (if Proc.Set.mem p p0 then Some View_id.g0 else None)
+            acc)
+        Proc.Map.empty params.procs;
+    pending = Pg_map.empty;
+    queue = View_id.Map.empty;
+    delivered = Pg_map.empty;
+    next_safe = Pg_map.empty;
+  }
+
+let transition params state action =
+  match action with
+  | Vs_action.Createview v ->
+      if
+        View_id.Map.for_all
+          (fun g _ -> View_id.compare v.View.id g > 0)
+          state.created
+      then
+        Some
+          {
+            state with
+            created = View_id.Map.add v.View.id v.View.set state.created;
+          }
+      else None
+  | Vs_action.Newview { proc = p; view = v } -> (
+      match member_set state v.View.id with
+      | Some s
+        when Proc.Set.equal s v.View.set
+             && View_id.lt_opt (current_of state p) (Some v.View.id) ->
+          Some
+            {
+              state with
+              current_viewid =
+                Proc.Map.add p (Some v.View.id) state.current_viewid;
+            }
+      | _ -> None)
+  | Vs_action.Gpsnd { sender = p; msg = m } -> (
+      match current_of state p with
+      | None -> Some state
+      | Some g ->
+          Some
+            {
+              state with
+              pending =
+                Pg_map.add (p, g) (pending_of state p g @ [ m ]) state.pending;
+            })
+  | Vs_action.Vs_order { msg = m; sender = p; viewid = g } -> (
+      match pending_of state p g with
+      | head :: rest when params.equal_msg head m ->
+          Some
+            {
+              state with
+              pending = Pg_map.add (p, g) rest state.pending;
+              queue =
+                View_id.Map.add g (queue_of state g @ [ (m, p) ]) state.queue;
+            }
+      | _ -> None)
+  | Vs_action.Gprcv { src = p; dst = q; msg = m } -> (
+      match current_of state q with
+      | None -> None
+      | Some g ->
+          (* Deliver any position beyond the last delivered one whose entry
+             matches — positions increase monotonically but may skip. *)
+          let dset = delivered_of state q g in
+          let from = max_position dset in
+          let entries = queue_of state g in
+          let rec find i = function
+            | [] -> None
+            | (m', p') :: rest ->
+                if i > from && params.equal_msg m' m && Proc.equal p' p then
+                  Some i
+                else find (i + 1) rest
+          in
+          (match find 1 entries with
+          | Some i ->
+              Some
+                {
+                  state with
+                  delivered = Pg_map.add (q, g) (Int_set.add i dset) state.delivered;
+                }
+          | None -> None))
+  | Vs_action.Safe { src = p; dst = q; msg = m } -> (
+      match current_of state q with
+      | None -> None
+      | Some g -> (
+          match member_set state g with
+          | None -> None
+          | Some s -> (
+              let j = next_safe_of state q g in
+              match Gcs_stdx.Seqx.nth1 (queue_of state g) j with
+              | Some (m', p')
+                when params.equal_msg m' m && Proc.equal p' p
+                     && Proc.Set.for_all
+                          (fun r -> prefix_point (delivered_of state r g) >= j)
+                          s ->
+                  Some
+                    {
+                      state with
+                      next_safe = Pg_map.add (q, g) (j + 1) state.next_safe;
+                    }
+              | _ -> None)))
+
+let enabled params state =
+  let newviews =
+    View_id.Map.fold
+      (fun g s acc ->
+        Proc.Set.fold
+          (fun p acc ->
+            if View_id.lt_opt (current_of state p) (Some g) then
+              Vs_action.Newview { proc = p; view = { View.id = g; set = s } }
+              :: acc
+            else acc)
+          s acc)
+      state.created []
+  in
+  let vs_orders =
+    Pg_map.fold
+      (fun (p, g) pending acc ->
+        match pending with
+        | m :: _ ->
+            Vs_action.Vs_order { msg = m; sender = p; viewid = g } :: acc
+        | [] -> acc)
+      state.pending []
+  in
+  let gprcvs =
+    List.concat_map
+      (fun q ->
+        match current_of state q with
+        | None -> []
+        | Some g ->
+            let from = max_position (delivered_of state q g) in
+            let entries = queue_of state g in
+            List.filteri (fun i _ -> i + 1 > from) entries
+            |> List.map (fun (m, p) ->
+                   Vs_action.Gprcv { src = p; dst = q; msg = m }))
+      params.procs
+  in
+  let safes =
+    List.filter_map
+      (fun q ->
+        match current_of state q with
+        | None -> None
+        | Some g -> (
+            match member_set state g with
+            | None -> None
+            | Some s -> (
+                let j = next_safe_of state q g in
+                match Gcs_stdx.Seqx.nth1 (queue_of state g) j with
+                | Some (m, p)
+                  when Proc.Set.for_all
+                         (fun r -> prefix_point (delivered_of state r g) >= j)
+                         s ->
+                    Some (Vs_action.Safe { src = p; dst = q; msg = m })
+                | _ -> None)))
+      params.procs
+  in
+  newviews @ vs_orders @ gprcvs @ safes
+
+let automaton params =
+  {
+    Automaton.name = "VSgap-machine";
+    initial = initial params;
+    kind = Vs_action.kind ~procs:params.procs;
+    enabled = enabled params;
+    transition = transition params;
+  }
+
+let inject_createview params state prng =
+  let fresh_num =
+    1 + View_id.Map.fold (fun g _ acc -> max g.View_id.num acc) state.created 0
+  in
+  let origin = Gcs_stdx.Prng.pick_exn prng params.procs in
+  let members =
+    match Gcs_stdx.Prng.subset prng params.procs with
+    | [] -> [ origin ]
+    | ms -> ms
+  in
+  [
+    Vs_action.Createview
+      (View.make (View_id.make ~num:fresh_num ~origin) members);
+  ]
+
+let invariants params =
+  [
+    Invariant.make "gap: delivered positions within the queue" (fun s ->
+        Pg_map.for_all
+          (fun (_, g) dset ->
+            max_position dset <= List.length (queue_of s g))
+          s.delivered);
+    Invariant.make "gap: safe frontier under every member's prefix point"
+      (fun s ->
+        Pg_map.for_all
+          (fun (q, g) j ->
+            ignore q;
+            match member_set s g with
+            | None -> j = 1
+            | Some members ->
+                Proc.Set.for_all
+                  (fun r -> prefix_point (delivered_of s r g) >= j - 1)
+                  members)
+          s.next_safe);
+    Invariant.make "gap: current views are created" (fun s ->
+        List.for_all
+          (fun p ->
+            match current_of s p with
+            | None -> true
+            | Some g -> View_id.Map.mem g s.created)
+          params.procs);
+    Invariant.make "gap: delivery only in views the processor reached"
+      (fun s ->
+        Pg_map.for_all
+          (fun (q, g) dset ->
+            Int_set.is_empty dset
+            || View_id.le_opt (Some g) (current_of s q))
+          s.delivered);
+  ]

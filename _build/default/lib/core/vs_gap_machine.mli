@@ -1,0 +1,55 @@
+(** The footnote-5 variant of the VS specification: per-view total order
+    with {e gaps} allowed in delivery.
+
+    Footnote 5 observes that the prefix-delivery property of VS-machine is
+    stronger than what common group communication systems provide, and
+    that VStoTO only needs the weaker guarantee: messages are totally
+    ordered within each view, deliveries at each processor follow that
+    order but may skip messages, and a [safe] notification for a message
+    implies that every member has delivered the {e entire prefix} up to
+    that message. Because VStoTO advances its stable order only on [safe],
+    this suffices for TO (checked in the tests).
+
+    Differences from {!Vs_machine}:
+    - [gprcv] may deliver any not-yet-passed queue position (monotonically
+      increasing positions per processor and view, gaps allowed);
+    - [safe] at [q] for position [j] requires every member to have
+      delivered all of positions [1..j]. *)
+
+module Pg_map = Vs_machine.Pg_map
+module Int_set : Set.S with type elt = int
+
+type 'm state = {
+  created : Proc.Set.t View_id.Map.t;
+  current_viewid : View_id.t option Proc.Map.t;
+  pending : 'm list Pg_map.t;
+  queue : ('m * Proc.t) list View_id.Map.t;
+  delivered : Int_set.t Pg_map.t;  (** positions delivered, per (q, g) *)
+  next_safe : int Pg_map.t;
+}
+
+type 'm params = {
+  procs : Proc.t list;
+  p0 : Proc.t list;
+  equal_msg : 'm -> 'm -> bool;
+}
+
+val current_of : 'm state -> Proc.t -> View_id.t option
+val queue_of : 'm state -> View_id.t -> ('m * Proc.t) list
+val delivered_of : 'm state -> Proc.t -> View_id.t -> Int_set.t
+
+val prefix_point : Int_set.t -> int
+(** Largest [k] such that positions [1..k] are all in the set. *)
+
+val initial : 'm params -> 'm state
+
+val automaton :
+  'm params -> ('m state, 'm Vs_action.t) Gcs_automata.Automaton.t
+
+val inject_createview :
+  'm params -> 'm state -> Gcs_stdx.Prng.t -> 'm Vs_action.t list
+
+val invariants : 'm params -> 'm state Gcs_automata.Invariant.t list
+(** Gap-variant analogues of the Lemma 4.1 structure: safe frontier below
+    every member's prefix point, delivered positions within the queue,
+    monotone view ids. *)

@@ -1,0 +1,315 @@
+open Gcs_automata
+
+module Pg_ord = struct
+  type t = Proc.t * View_id.t
+
+  let compare (p, g) (q, h) =
+    match Proc.compare p q with 0 -> View_id.compare g h | c -> c
+end
+
+module Pg_map = Map.Make (Pg_ord)
+
+type 'm state = {
+  created : Proc.Set.t View_id.Map.t;
+  current_viewid : View_id.t option Proc.Map.t;
+  pending : 'm list Pg_map.t;
+  queue : ('m * Proc.t) list View_id.Map.t;
+  next : int Pg_map.t;
+  next_safe : int Pg_map.t;
+}
+
+type 'm params = {
+  procs : Proc.t list;
+  p0 : Proc.t list;
+  equal_msg : 'm -> 'm -> bool;
+  weak : bool;
+}
+
+let current_of state p =
+  match Proc.Map.find_opt p state.current_viewid with
+  | Some g -> g
+  | None -> None
+
+let pending_of state p g =
+  match Pg_map.find_opt (p, g) state.pending with Some s -> s | None -> []
+
+let queue_of state g =
+  match View_id.Map.find_opt g state.queue with Some s -> s | None -> []
+
+let next_of state p g =
+  match Pg_map.find_opt (p, g) state.next with Some n -> n | None -> 1
+
+let next_safe_of state p g =
+  match Pg_map.find_opt (p, g) state.next_safe with Some n -> n | None -> 1
+
+let created_viewids state =
+  List.map fst (View_id.Map.bindings state.created)
+
+let member_set state g = View_id.Map.find_opt g state.created
+
+let initial params =
+  let p0 = Proc.set_of_list params.p0 in
+  {
+    created = View_id.Map.singleton View_id.g0 p0;
+    current_viewid =
+      List.fold_left
+        (fun acc p ->
+          Proc.Map.add p
+            (if Proc.Set.mem p p0 then Some View_id.g0 else None)
+            acc)
+        Proc.Map.empty params.procs;
+    pending = Pg_map.empty;
+    queue = View_id.Map.empty;
+    next = Pg_map.empty;
+    next_safe = Pg_map.empty;
+  }
+
+(* Precondition of createview: fresh id (weak) or greater than all (strict). *)
+let createview_enabled params state (v : View.t) =
+  if params.weak then not (View_id.Map.mem v.View.id state.created)
+  else
+    View_id.Map.for_all
+      (fun g _ -> View_id.compare v.View.id g > 0)
+      state.created
+
+let transition params state action =
+  match action with
+  | Vs_action.Createview v ->
+      if createview_enabled params state v then
+        Some
+          { state with created = View_id.Map.add v.View.id v.View.set state.created }
+      else None
+  | Vs_action.Newview { proc = p; view = v } -> (
+      match member_set state v.View.id with
+      | Some s
+        when Proc.Set.equal s v.View.set
+             && View_id.lt_opt (current_of state p) (Some v.View.id) ->
+          Some
+            {
+              state with
+              current_viewid =
+                Proc.Map.add p (Some v.View.id) state.current_viewid;
+            }
+      | _ -> None)
+  | Vs_action.Gpsnd { sender = p; msg = m } -> (
+      (* Input: always enabled; a message sent with current view ⊥ is
+         silently dropped. *)
+      match current_of state p with
+      | None -> Some state
+      | Some g ->
+          Some
+            {
+              state with
+              pending = Pg_map.add (p, g) (pending_of state p g @ [ m ]) state.pending;
+            })
+  | Vs_action.Vs_order { msg = m; sender = p; viewid = g } -> (
+      match pending_of state p g with
+      | head :: rest when params.equal_msg head m ->
+          Some
+            {
+              state with
+              pending = Pg_map.add (p, g) rest state.pending;
+              queue = View_id.Map.add g (queue_of state g @ [ (m, p) ]) state.queue;
+            }
+      | _ -> None)
+  | Vs_action.Gprcv { src = p; dst = q; msg = m } -> (
+      match current_of state q with
+      | None -> None
+      | Some g -> (
+          match Gcs_stdx.Seqx.nth1 (queue_of state g) (next_of state q g) with
+          | Some (m', p') when params.equal_msg m' m && Proc.equal p' p ->
+              Some
+                {
+                  state with
+                  next = Pg_map.add (q, g) (next_of state q g + 1) state.next;
+                }
+          | _ -> None))
+  | Vs_action.Safe { src = p; dst = q; msg = m } -> (
+      match current_of state q with
+      | None -> None
+      | Some g -> (
+          match member_set state g with
+          | None -> None
+          | Some s -> (
+              let idx = next_safe_of state q g in
+              match Gcs_stdx.Seqx.nth1 (queue_of state g) idx with
+              | Some (m', p')
+                when params.equal_msg m' m && Proc.equal p' p
+                     && Proc.Set.for_all (fun r -> next_of state r g > idx) s
+                ->
+                  Some
+                    {
+                      state with
+                      next_safe = Pg_map.add (q, g) (idx + 1) state.next_safe;
+                    }
+              | _ -> None)))
+
+let enabled params state =
+  let newviews =
+    View_id.Map.fold
+      (fun g s acc ->
+        Proc.Set.fold
+          (fun p acc ->
+            if View_id.lt_opt (current_of state p) (Some g) then
+              Vs_action.Newview { proc = p; view = { View.id = g; set = s } }
+              :: acc
+            else acc)
+          s acc)
+      state.created []
+  in
+  let vs_orders =
+    Pg_map.fold
+      (fun (p, g) pending acc ->
+        match pending with
+        | m :: _ -> Vs_action.Vs_order { msg = m; sender = p; viewid = g } :: acc
+        | [] -> acc)
+      state.pending []
+  in
+  let gprcvs =
+    List.filter_map
+      (fun q ->
+        match current_of state q with
+        | None -> None
+        | Some g -> (
+            match Gcs_stdx.Seqx.nth1 (queue_of state g) (next_of state q g) with
+            | Some (m, p) -> Some (Vs_action.Gprcv { src = p; dst = q; msg = m })
+            | None -> None))
+      params.procs
+  in
+  let safes =
+    List.filter_map
+      (fun q ->
+        match current_of state q with
+        | None -> None
+        | Some g -> (
+            match member_set state g with
+            | None -> None
+            | Some s -> (
+                let idx = next_safe_of state q g in
+                match Gcs_stdx.Seqx.nth1 (queue_of state g) idx with
+                | Some (m, p)
+                  when Proc.Set.for_all (fun r -> next_of state r g > idx) s ->
+                    Some (Vs_action.Safe { src = p; dst = q; msg = m })
+                | _ -> None)))
+      params.procs
+  in
+  newviews @ vs_orders @ gprcvs @ safes
+
+let automaton params =
+  {
+    Automaton.name = (if params.weak then "WeakVS-machine" else "VS-machine");
+    initial = initial params;
+    kind = Vs_action.kind ~procs:params.procs;
+    enabled = enabled params;
+    transition = transition params;
+  }
+
+(* Lemma 4.1, parts 1-14. Part 1 (unique membership per id) is structural
+   in our representation (created is a map), so we check id uniqueness of
+   the paper's set-of-pairs reading trivially and focus on the rest. *)
+let invariants params =
+  let for_all_procs f s = List.for_all (fun p -> f s p) params.procs in
+  let created s g = View_id.Map.mem g s.created in
+  [
+    Invariant.make "L4.1(2): current-viewid[p] ∈ created-viewids" (fun s ->
+        for_all_procs
+          (fun s p ->
+            match current_of s p with
+            | None -> true
+            | Some g -> created s g)
+          s);
+    Invariant.make "L4.1(3): p ∈ S for p's current view (g,S)" (fun s ->
+        for_all_procs
+          (fun s p ->
+            match current_of s p with
+            | None -> true
+            | Some g -> (
+                match member_set s g with
+                | Some members -> Proc.Set.mem p members
+                | None -> false))
+          s);
+    Invariant.make "L4.1(4): pending[p,g] ≠ λ ⇒ g ∈ created-viewids" (fun s ->
+        Pg_map.for_all
+          (fun (_, g) pending -> pending = [] || created s g)
+          s.pending);
+    Invariant.make "L4.1(5): pending[p,g] ≠ λ ⇒ current-viewid[p] ≠ ⊥"
+      (fun s ->
+        Pg_map.for_all
+          (fun (p, _) pending -> pending = [] || current_of s p <> None)
+          s.pending);
+    Invariant.make "L4.1(6): pending[p,g] ≠ λ ⇒ g ≤ current-viewid[p]"
+      (fun s ->
+        Pg_map.for_all
+          (fun (p, g) pending ->
+            pending = [] || View_id.le_opt (Some g) (current_of s p))
+          s.pending);
+    Invariant.make "L4.1(7): queue[g] ≠ λ ⇒ g ∈ created-viewids" (fun s ->
+        View_id.Map.for_all (fun g q -> q = [] || created s g) s.queue);
+    Invariant.make "L4.1(8): (m,p) ∈ queue[g] ⇒ current-viewid[p] ≠ ⊥"
+      (fun s ->
+        View_id.Map.for_all
+          (fun _ q -> List.for_all (fun (_, p) -> current_of s p <> None) q)
+          s.queue);
+    Invariant.make "L4.1(9): (m,p) ∈ queue[g] ⇒ g ≤ current-viewid[p]"
+      (fun s ->
+        View_id.Map.for_all
+          (fun g q ->
+            List.for_all
+              (fun (_, p) -> View_id.le_opt (Some g) (current_of s p))
+              q)
+          s.queue);
+    Invariant.make "L4.1(10): next[p,g] ≤ |queue[g]| + 1" (fun s ->
+        Pg_map.for_all
+          (fun (_, g) n -> n <= List.length (queue_of s g) + 1)
+          s.next);
+    Invariant.make "L4.1(11): next-safe[p,g] ≤ |queue[g]| + 1" (fun s ->
+        Pg_map.for_all
+          (fun (_, g) n -> n <= List.length (queue_of s g) + 1)
+          s.next_safe);
+    Invariant.make "L4.1(12): next-safe[p,g] ≤ next[p,g]" (fun s ->
+        Pg_map.for_all
+          (fun (p, g) n -> n <= next_of s p g)
+          s.next_safe);
+    Invariant.make "L4.1(13): next[p,g] ≠ 1 ⇒ p ∈ S for (g,S) ∈ created"
+      (fun s ->
+        Pg_map.for_all
+          (fun (p, g) n ->
+            n = 1
+            ||
+            match member_set s g with
+            | Some members -> Proc.Set.mem p members
+            | None -> false)
+          s.next);
+    Invariant.make "L4.1(14): next-safe[p,g] ≠ 1 ⇒ p ∈ S for (g,S) ∈ created"
+      (fun s ->
+        Pg_map.for_all
+          (fun (p, g) n ->
+            n = 1
+            ||
+            match member_set s g with
+            | Some members -> Proc.Set.mem p members
+            | None -> false)
+          s.next_safe);
+    Invariant.make "L4.1(1): view identifiers uniquely determine membership"
+      (fun s ->
+        (* Structural with a map; additionally g0's membership is P0. *)
+        match member_set s View_id.g0 with
+        | Some members -> Proc.Set.equal members (Proc.set_of_list params.p0)
+        | None -> false);
+  ]
+
+let inject_createview params state prng =
+  let fresh_num =
+    1
+    + View_id.Map.fold (fun g _ acc -> max g.View_id.num acc) state.created 0
+  in
+  let origin = Gcs_stdx.Prng.pick_exn prng params.procs in
+  let members =
+    match Gcs_stdx.Prng.subset prng params.procs with
+    | [] -> [ origin ]
+    | ms -> ms
+  in
+  [
+    Vs_action.Createview
+      (View.make (View_id.make ~num:fresh_num ~origin) members);
+  ]

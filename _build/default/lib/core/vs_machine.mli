@@ -1,0 +1,55 @@
+(** VS-machine (Figure 6): the abstract state machine for partitionable
+    view-synchronous group communication, and the WeakVS-machine variant
+    (Section 4.1, Remark). *)
+
+module Pg_map : Map.S with type key = Proc.t * View_id.t
+
+type 'm state = {
+  created : Proc.Set.t View_id.Map.t;
+      (** the set [created ⊆ views], keyed by view identifier (identifiers
+          are unique in reachable states of both variants) *)
+  current_viewid : View_id.t option Proc.Map.t;  (** [G⊥] per processor *)
+  pending : 'm list Pg_map.t;  (** per (sender, view id) *)
+  queue : ('m * Proc.t) list View_id.Map.t;  (** per view id *)
+  next : int Pg_map.t;  (** 1-based delivery index per (dest, view id) *)
+  next_safe : int Pg_map.t;  (** 1-based safe index per (dest, view id) *)
+}
+
+type 'm params = {
+  procs : Proc.t list;
+  p0 : Proc.t list;  (** membership of the initial view [v0 = (g0, P0)] *)
+  equal_msg : 'm -> 'm -> bool;
+  weak : bool;
+      (** when true, [createview] only requires a fresh identifier
+          (WeakVS-machine); when false it requires a greater-than-all
+          identifier (VS-machine) *)
+}
+
+(** Accessors with the spec's default values for missing keys. *)
+
+val current_of : 'm state -> Proc.t -> View_id.t option
+val pending_of : 'm state -> Proc.t -> View_id.t -> 'm list
+val queue_of : 'm state -> View_id.t -> ('m * Proc.t) list
+val next_of : 'm state -> Proc.t -> View_id.t -> int
+val next_safe_of : 'm state -> Proc.t -> View_id.t -> int
+val created_viewids : 'm state -> View_id.t list
+val member_set : 'm state -> View_id.t -> Proc.Set.t option
+
+val initial : 'm params -> 'm state
+
+val automaton :
+  'm params -> ('m state, 'm Vs_action.t) Gcs_automata.Automaton.t
+
+val invariants :
+  'm params -> 'm state Gcs_automata.Invariant.t list
+(** The fourteen invariants of Lemma 4.1, each as a named checkable
+    predicate. *)
+
+val inject_createview :
+  'm params ->
+  'm state ->
+  Gcs_stdx.Prng.t ->
+  'm Vs_action.t list
+(** Propose a random [createview] with a fresh identifier greater than all
+    created ones and a random non-empty membership — for use in scheduler
+    injection. *)

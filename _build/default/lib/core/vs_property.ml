@@ -1,0 +1,233 @@
+type violation = {
+  what : string;
+  deadline : float;
+  at : Proc.t option;
+}
+
+type 'm report = {
+  premise : (unit, string) result;
+  stabilization_time : float;
+  last_newview_time : float;
+  final_view : View.t option;
+  obligations : int;
+  violations : violation list;
+  max_safe_latency : float;
+}
+
+let check_premise ~q ~procs trace l =
+  let tracker = Timed.tracker_at l trace in
+  let in_q p = List.mem p q in
+  let bad_proc =
+    List.find_map
+      (fun p ->
+        if in_q p && not (Fstatus.equal (Fstatus.proc_status tracker p) Good)
+        then Some (Printf.sprintf "processor %d in Q not good" p)
+        else None)
+      procs
+  in
+  match bad_proc with
+  | Some msg -> Error msg
+  | None ->
+      let bad_pair =
+        List.find_map
+          (fun p ->
+            List.find_map
+              (fun p' ->
+                if Proc.equal p p' then None
+                else if
+                  in_q p && in_q p'
+                  && not
+                       (Fstatus.equal (Fstatus.link_status tracker p p') Good)
+                then Some (Printf.sprintf "link (%d,%d) within Q not good" p p')
+                else if
+                  in_q p
+                  && (not (in_q p'))
+                  && not (Fstatus.equal (Fstatus.link_status tracker p p') Bad)
+                then Some (Printf.sprintf "link (%d,%d) leaving Q not bad" p p')
+                else None)
+              procs)
+          procs
+      in
+      (match bad_pair with Some msg -> Error msg | None -> Ok ())
+
+let check ~b ~d ~q ~p0 ~horizon ~equal_msg ~pp_msg trace =
+  let v0 = View.initial p0 in
+  let actions = Timed.actions trace in
+  let procs =
+    let mentioned =
+      List.concat_map
+        (fun (_, a) ->
+          match a with
+          | Vs_action.Gpsnd { sender; _ } -> [ sender ]
+          | Vs_action.Gprcv { src; dst; _ } | Vs_action.Safe { src; dst; _ } ->
+              [ src; dst ]
+          | Vs_action.Newview { proc; _ } -> [ proc ]
+          | Vs_action.Createview _ -> []
+          | Vs_action.Vs_order { sender; _ } -> [ sender ])
+        actions
+    in
+    Gcs_stdx.Seqx.dedup_sorted ~compare:Proc.compare (q @ mentioned)
+  in
+  let l = Timed.last_status_time_involving q trace in
+  let premise = check_premise ~q ~procs trace l in
+  (* Track each member's current view over time; record last newview times
+     and final views of members of Q. *)
+  let final_views = Hashtbl.create 16 in
+  List.iter
+    (fun p -> if List.mem p p0 then Hashtbl.replace final_views p v0)
+    q;
+  let last_newview = ref 0.0 in
+  List.iter
+    (fun (time, a) ->
+      match a with
+      | Vs_action.Newview { proc; view } ->
+          if List.mem proc q then begin
+            last_newview := max !last_newview time;
+            Hashtbl.replace final_views proc view
+          end
+      | _ -> ())
+    actions;
+  let q_set = Proc.set_of_list q in
+  let final_view, view_violation =
+    let views = List.filter_map (Hashtbl.find_opt final_views) q in
+    match views with
+    | [] -> (None, Some "no member of Q ever installed a view")
+    | v :: rest ->
+        if
+          List.length views = List.length q
+          && List.for_all (View.equal v) rest
+          && Proc.Set.equal v.View.set q_set
+        then (Some v, None)
+        else (None, Some "final views of Q disagree or are not exactly Q")
+  in
+  let violations = ref [] in
+  (match view_violation with
+  | Some what when Result.is_ok premise ->
+      violations := [ { what; deadline = l +. b; at = None } ]
+  | _ -> ());
+  if Result.is_ok premise && !last_newview > l +. b then
+    violations :=
+      {
+        what =
+          Printf.sprintf "a newview at %.3f is later than l+b = %.3f"
+            !last_newview (l +. b);
+        deadline = l +. b;
+        at = None;
+      }
+      :: !violations;
+  (* Clause (d): messages sent from Q in the final view. We reconstruct
+     each sender's current view at send time from its newview events. *)
+  let obligations = ref 0 in
+  let max_safe_latency = ref 0.0 in
+  (match final_view with
+  | None -> ()
+  | Some fv ->
+      let current = Hashtbl.create 16 in
+      let safes = Hashtbl.create 256 in
+      List.iter
+        (fun (time, a) ->
+          match a with
+          | Vs_action.Newview { proc; view } ->
+              Hashtbl.replace current proc view
+          | Vs_action.Safe { src; dst; msg } ->
+              let key = (src, dst, Format.asprintf "%a" pp_msg msg) in
+              if not (Hashtbl.mem safes key) then Hashtbl.replace safes key time
+          | _ -> ())
+        actions;
+      let sent_in_final_view =
+        List.filter_map
+          (fun (time, a) ->
+            match a with
+            | Vs_action.Gpsnd { sender; msg } when List.mem sender q -> (
+                (* recompute the sender's view at this time *)
+                let initial =
+                  if List.mem sender p0 then Some v0 else None
+                in
+                let view_at =
+                  List.fold_left
+                    (fun acc (t', a') ->
+                      match a' with
+                      | Vs_action.Newview { proc; view }
+                        when Proc.equal proc sender && t' <= time ->
+                          Some view
+                      | _ -> acc)
+                    initial actions
+                in
+                match view_at with
+                | Some v when View.equal v fv -> Some (time, sender, msg)
+                | _ -> None)
+            | _ -> None)
+          actions
+      in
+      (* Uniqueness of (sender, message) among obligations. *)
+      let seen = Hashtbl.create 64 in
+      let dup =
+        List.exists
+          (fun (_, p, m) ->
+            let key = (p, Format.asprintf "%a" pp_msg m) in
+            if Hashtbl.mem seen key then true
+            else (
+              Hashtbl.replace seen key ();
+              false))
+          sent_in_final_view
+      in
+      ignore equal_msg;
+      if dup then
+        violations :=
+          {
+            what = "workload repeats a (sender, message) pair in final view";
+            deadline = 0.0;
+            at = None;
+          }
+          :: !violations
+      else
+        List.iter
+          (fun (t, sender, msg) ->
+            let deadline = max t (l +. b) +. d in
+            if deadline <= horizon then begin
+              let key_str = Format.asprintf "%a" pp_msg msg in
+              let latest = ref 0.0 in
+              List.iter
+                (fun member ->
+                  incr obligations;
+                  match Hashtbl.find_opt safes (sender, member, key_str) with
+                  | Some ts when ts <= deadline -> latest := max !latest ts
+                  | Some _ | None ->
+                      violations :=
+                        {
+                          what =
+                            Printf.sprintf "message %s from %d not safe in time"
+                              key_str sender;
+                          deadline;
+                          at = Some member;
+                        }
+                        :: !violations)
+                q;
+              if t >= l +. b then
+                max_safe_latency := max !max_safe_latency (!latest -. t)
+            end)
+          sent_in_final_view);
+  {
+    premise;
+    stabilization_time = l;
+    last_newview_time = !last_newview;
+    final_view;
+    obligations = !obligations;
+    violations = List.rev !violations;
+    max_safe_latency = !max_safe_latency;
+  }
+
+let holds report = Result.is_ok report.premise && report.violations = []
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>premise: %s@ l=%.3f last_newview=%.3f final_view=%s obligations=%d \
+     violations=%d max_safe_latency=%.3f@]"
+    (match r.premise with Ok () -> "holds" | Error e -> "vacuous: " ^ e)
+    r.stabilization_time r.last_newview_time
+    (match r.final_view with
+    | Some v -> Format.asprintf "%a" View.pp v
+    | None -> "-")
+    r.obligations
+    (List.length r.violations)
+    r.max_safe_latency

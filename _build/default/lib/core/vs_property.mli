@@ -1,0 +1,50 @@
+(** Checker for VS-property(b, d, Q) (Figure 7).
+
+    Given a finite timed trace of VS external actions with failure-status
+    events:
+    - [l] is the time of the last failure event involving [Q]; the premise
+      requires that after [l] all of [Q] (and pairs within [Q]) are good
+      and pairs leaving [Q] are bad;
+    - clause (a)/(b): the last [newview] at a member of [Q] must occur by
+      [l + b];
+    - clause (c): the latest views of all members of [Q] must agree and
+      have membership exactly [Q] (members of [P0] that never installed a
+      view count as holding the default initial view [v0]);
+    - clause (d): every message sent from a member of [Q] while in that
+      final view at time [t] must have [safe] events at all members of [Q]
+      by [max t (l + b) + d].
+
+    Messages are matched by (sender, message); the workload must not send
+    the same message twice from one sender (checked). Deadlines beyond
+    [horizon] are not enforced. *)
+
+type violation = {
+  what : string;
+  deadline : float;
+  at : Proc.t option;
+}
+
+type 'm report = {
+  premise : (unit, string) result;
+  stabilization_time : float;  (** l *)
+  last_newview_time : float;  (** among members of Q *)
+  final_view : View.t option;  (** the agreed view, when clause (c) holds *)
+  obligations : int;
+  violations : violation list;
+  max_safe_latency : float;
+      (** worst send-to-last-safe latency for messages sent after [l+b] *)
+}
+
+val check :
+  b:float ->
+  d:float ->
+  q:Proc.t list ->
+  p0:Proc.t list ->
+  horizon:float ->
+  equal_msg:('m -> 'm -> bool) ->
+  pp_msg:(Format.formatter -> 'm -> unit) ->
+  'm Vs_action.t Timed.t ->
+  'm report
+
+val holds : 'm report -> bool
+val pp_report : Format.formatter -> 'm report -> unit

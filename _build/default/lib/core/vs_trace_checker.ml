@@ -1,0 +1,182 @@
+module Pg_map = Vs_machine.Pg_map
+
+type 'm t = {
+  params : 'm Vs_machine.params;
+  current : View_id.t option Proc.Map.t;
+  view_sets : Proc.Set.t View_id.Map.t;
+  unordered : ('m * int) list Pg_map.t;
+      (* sent messages (with gpsnd event index) not yet forced into queue *)
+  queue : ('m * Proc.t * int) list View_id.Map.t;
+      (* forced per-view order; entries carry the causing gpsnd index *)
+  next : int Pg_map.t;
+  next_safe : int Pg_map.t;
+  events_seen : int;
+  cause_rev : (int * int) list;
+}
+
+type error = { index : int; reason : string }
+
+let create params =
+  let p0 = Proc.set_of_list params.Vs_machine.p0 in
+  {
+    params;
+    current =
+      List.fold_left
+        (fun acc p ->
+          Proc.Map.add p
+            (if Proc.Set.mem p p0 then Some View_id.g0 else None)
+            acc)
+        Proc.Map.empty params.Vs_machine.procs;
+    view_sets = View_id.Map.singleton View_id.g0 p0;
+    unordered = Pg_map.empty;
+    queue = View_id.Map.empty;
+    next = Pg_map.empty;
+    next_safe = Pg_map.empty;
+    events_seen = 0;
+    cause_rev = [];
+  }
+
+let current_view t p =
+  match Proc.Map.find_opt p t.current with Some g -> g | None -> None
+
+let view_members t g = View_id.Map.find_opt g t.view_sets
+
+let unordered_of t p g =
+  match Pg_map.find_opt (p, g) t.unordered with Some s -> s | None -> []
+
+let raw_queue_of t g =
+  match View_id.Map.find_opt g t.queue with Some s -> s | None -> []
+
+let queue_of t g = List.map (fun (m, p, _) -> (m, p)) (raw_queue_of t g)
+
+let next_of t p g =
+  match Pg_map.find_opt (p, g) t.next with Some n -> n | None -> 1
+
+let next_safe_of t p g =
+  match Pg_map.find_opt (p, g) t.next_safe with Some n -> n | None -> 1
+
+let received_count t p g = next_of t p g - 1
+let cause t = List.rev t.cause_rev
+
+let equal_msg t = t.params.Vs_machine.equal_msg
+
+(* Force queue[g] index i to be (m, src), extending from src's oldest
+   unordered message when needed; returns the updated state and the gpsnd
+   index of the entry. *)
+let force_queue_entry t g i ~src ~msg =
+  let q = raw_queue_of t g in
+  match Gcs_stdx.Seqx.nth1 q i with
+  | Some (m, p, gpsnd_idx) ->
+      if equal_msg t m msg && Proc.equal p src then Ok (t, gpsnd_idx)
+      else Error "delivery disagrees with the forced per-view order"
+  | None -> (
+      if i <> List.length q + 1 then
+        Error "delivery index beyond the forced per-view order"
+      else
+        match unordered_of t src g with
+        | (m, gpsnd_idx) :: rest when equal_msg t m msg ->
+            let t =
+              {
+                t with
+                unordered = Pg_map.add (src, g) rest t.unordered;
+                queue =
+                  View_id.Map.add g (q @ [ (msg, src, gpsnd_idx) ]) t.queue;
+              }
+            in
+            Ok (t, gpsnd_idx)
+        | (_, _) :: _ -> Error "delivery out of per-sender send order"
+        | [] -> Error "delivery with no corresponding gpsnd in this view")
+
+let step t action =
+  let idx = t.events_seen in
+  let bump t = { t with events_seen = idx + 1 } in
+  match action with
+  | Vs_action.Createview _ | Vs_action.Vs_order _ ->
+      Error "internal event in external trace"
+  | Vs_action.Gpsnd { sender = p; msg = m } -> (
+      match current_view t p with
+      | None -> Ok (bump t) (* sent before any view: silently dropped *)
+      | Some g ->
+          Ok
+            (bump
+               {
+                 t with
+                 unordered =
+                   Pg_map.add (p, g)
+                     (unordered_of t p g @ [ (m, idx) ])
+                     t.unordered;
+               }))
+  | Vs_action.Newview { proc = p; view = v } -> (
+      if not (View.mem p v) then Error "newview at a non-member"
+      else if not (View_id.lt_opt (current_view t p) (Some v.View.id)) then
+        Error "newview violates per-processor view-id monotonicity"
+      else
+        match view_members t v.View.id with
+        | Some s when not (Proc.Set.equal s v.View.set) ->
+            Error "two views with the same identifier and different sets"
+        | _ ->
+            Ok
+              (bump
+                 {
+                   t with
+                   current = Proc.Map.add p (Some v.View.id) t.current;
+                   view_sets = View_id.Map.add v.View.id v.View.set t.view_sets;
+                 }))
+  | Vs_action.Gprcv { src; dst; msg } -> (
+      match current_view t dst with
+      | None -> Error "gprcv at a processor with no view"
+      | Some g -> (
+          let i = next_of t dst g in
+          match force_queue_entry t g i ~src ~msg with
+          | Error e -> Error e
+          | Ok (t, gpsnd_idx) ->
+              Ok
+                (bump
+                   {
+                     t with
+                     next = Pg_map.add (dst, g) (i + 1) t.next;
+                     cause_rev = (idx, gpsnd_idx) :: t.cause_rev;
+                   })))
+  | Vs_action.Safe { src; dst; msg } -> (
+      match current_view t dst with
+      | None -> Error "safe at a processor with no view"
+      | Some g -> (
+          match view_members t g with
+          | None -> Error "safe in an unknown view"
+          | Some members -> (
+              let j = next_safe_of t dst g in
+              match Gcs_stdx.Seqx.nth1 (raw_queue_of t g) j with
+              | None -> Error "safe for a message not yet ordered"
+              | Some (m, p, gpsnd_idx) ->
+                  if not (equal_msg t m msg && Proc.equal p src) then
+                    Error "safe disagrees with the forced per-view order"
+                  else if
+                    not
+                      (Proc.Set.for_all
+                         (fun r -> next_of t r g > j)
+                         members)
+                  then
+                    Error
+                      "safe before delivery at every member of the view"
+                  else
+                    Ok
+                      (bump
+                         {
+                           t with
+                           next_safe = Pg_map.add (dst, g) (j + 1) t.next_safe;
+                           cause_rev = (idx, gpsnd_idx) :: t.cause_rev;
+                         }))))
+
+let check_full params actions =
+  let rec go t i = function
+    | [] -> Ok t
+    | action :: rest -> (
+        match step t action with
+        | Ok t' -> go t' (i + 1) rest
+        | Error reason -> Error { index = i; reason })
+  in
+  go (create params) 0 actions
+
+let check params actions = Result.map (fun _ -> ()) (check_full params actions)
+
+let pp_error ppf e = Format.fprintf ppf "event %d: %s" e.index e.reason

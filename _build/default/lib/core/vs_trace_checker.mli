@@ -1,0 +1,49 @@
+(** Trace checker for VS-machine.
+
+    Decides whether a sequence of external actions
+    ([gpsnd]/[gprcv]/[safe]/[newview]) is a trace of VS-machine. As for TO,
+    the per-view queues are forced greedily, which is sound and complete
+    (the [i]-th entry of [queue\[g\]] is determined by the first receiver to
+    consume index [i], and per-sender FIFO determines the message).
+
+    Because WeakVS-machine and VS-machine have the same finite traces
+    (Section 4.1, Remark), the checker does not constrain the global order
+    in which view identifiers first appear — only per-processor
+    monotonicity and the functionality of the [created] set.
+
+    The checker also constructs the [cause] function of Lemma 4.2: each
+    accepted [gprcv]/[safe] event is mapped to the index of the [gpsnd]
+    event that caused it, enabling direct tests of message integrity,
+    no-duplication, no-reordering and the prefix (no-losses) property. *)
+
+type 'm t
+
+type error = { index : int; reason : string }
+
+val create : 'm Vs_machine.params -> 'm t
+
+val step : 'm t -> 'm Vs_action.t -> ('m t, string) result
+(** Process one external event; internal events are rejected. *)
+
+val check :
+  'm Vs_machine.params -> 'm Vs_action.t list -> (unit, error) result
+
+val check_full :
+  'm Vs_machine.params -> 'm Vs_action.t list -> ('m t, error) result
+(** Like {!check} but returns the final checker state on success. *)
+
+val cause : 'm t -> (int * int) list
+(** Pairs [(event_index, cause_index)]: each accepted [gprcv] or [safe]
+    event paired with the index of its causing [gpsnd], in event order.
+    Indices are 0-based positions in the processed trace. *)
+
+val current_view : 'm t -> Proc.t -> View_id.t option
+val view_members : 'm t -> View_id.t -> Proc.Set.t option
+
+val queue_of : 'm t -> View_id.t -> ('m * Proc.t) list
+(** The forced per-view total order. *)
+
+val received_count : 'm t -> Proc.t -> View_id.t -> int
+(** Number of [gprcv] events at a processor within a view. *)
+
+val pp_error : Format.formatter -> error -> unit

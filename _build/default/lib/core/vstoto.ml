@@ -1,0 +1,319 @@
+open Gcs_automata
+
+type status = Normal | Send | Collect
+
+type state = {
+  current : View.t option;
+  status : status;
+  content : Value.t Label.Map.t;
+  nextseqno : int;
+  buffer : Label.t list;
+  order : Label.t list;
+  nextconfirm : int;
+  nextreport : int;
+  highprimary : View_id.t option;
+  delay : Value.t list;
+  gotstate : Summary.t Proc.Map.t;
+  safe_exch : Proc.Set.t;
+  safe_labels : Label.Set.t;
+}
+
+type params = {
+  me : Proc.t;
+  p0 : Proc.t list;
+  quorums : Quorum.t;
+  literal_figure_10 : bool;
+}
+
+let default_params ~me ~p0 ~quorums =
+  { me; p0; quorums; literal_figure_10 = false }
+
+let initial params =
+  let in_p0 = List.mem params.me params.p0 in
+  {
+    current = (if in_p0 then Some (View.initial params.p0) else None);
+    status = Normal;
+    content = Label.Map.empty;
+    nextseqno = 1;
+    buffer = [];
+    order = [];
+    nextconfirm = 1;
+    nextreport = 1;
+    highprimary = (if in_p0 then Some View_id.g0 else None);
+    delay = [];
+    gotstate = Proc.Map.empty;
+    safe_exch = Proc.Set.empty;
+    safe_labels = Label.Set.empty;
+  }
+
+let primary params state =
+  match state.current with
+  | None -> false
+  | Some v -> Quorum.contains_quorum params.quorums v.View.set
+
+let summary_of_state state =
+  Summary.make ~con:state.content ~ord:state.order ~next:state.nextconfirm
+    ~high:state.highprimary
+
+(* Completion of the state exchange: the processor "establishes" the view
+   and resumes normal processing. *)
+let establish params state =
+  let nextconfirm = Summary.maxnextconfirm state.gotstate in
+  let state =
+    if primary params state then
+      {
+        state with
+        nextconfirm;
+        order = Summary.fullorder state.gotstate;
+        highprimary = Some (Option.get state.current).View.id;
+        status = Normal;
+      }
+    else
+      {
+        state with
+        nextconfirm;
+        order = Summary.shortorder state.gotstate;
+        highprimary = Summary.maxprimary state.gotstate;
+        status = Normal;
+      }
+  in
+  state
+
+let transition params state action =
+  match action with
+  | Sys_action.Bcast (p, a) ->
+      assert (Proc.equal p params.me);
+      Some { state with delay = state.delay @ [ a ] }
+  | Sys_action.Label_act (p, a) -> (
+      if not (Proc.equal p params.me) then None
+      else
+        match (state.delay, state.current) with
+        | head :: rest, Some v
+          when Value.equal head a
+               && (params.literal_figure_10 || state.status = Normal) ->
+            let l =
+              Label.make ~id:v.View.id ~seqno:state.nextseqno ~origin:p
+            in
+            Some
+              {
+                state with
+                content = Label.Map.add l a state.content;
+                buffer = state.buffer @ [ l ];
+                nextseqno = state.nextseqno + 1;
+                delay = rest;
+              }
+        | _ -> None)
+  | Sys_action.Vs (Vs_action.Gpsnd { sender; msg }) -> (
+      if not (Proc.equal sender params.me) then None
+      else
+        match msg with
+        | Msg.App (l, a) -> (
+            match state.buffer with
+            | head :: rest
+              when state.status = Normal && Label.equal head l
+                   && Label.Map.find_opt l state.content
+                      = Some a ->
+                Some { state with buffer = rest }
+            | _ -> None)
+        | Msg.Summary x ->
+            if
+              state.status = Send
+              && Summary.equal x (summary_of_state state)
+            then Some { state with status = Collect }
+            else None)
+  | Sys_action.Vs (Vs_action.Gprcv { dst; msg; src }) -> (
+      if not (Proc.equal dst params.me) then None
+      else
+        match msg with
+        | Msg.App (l, a) ->
+            let state =
+              { state with content = Label.Map.add l a state.content }
+            in
+            if primary params state then
+              Some { state with order = state.order @ [ l ] }
+            else Some state
+        | Msg.Summary x ->
+            let state =
+              {
+                state with
+                content =
+                  Label.Map.union
+                    (fun _ v _ -> Some v)
+                    state.content x.Summary.con;
+                gotstate = Proc.Map.add src x state.gotstate;
+              }
+            in
+            let complete =
+              match state.current with
+              | Some v ->
+                  Proc.Set.equal
+                    (Proc.Map.fold
+                       (fun q _ acc -> Proc.Set.add q acc)
+                       state.gotstate Proc.Set.empty)
+                    v.View.set
+              | None -> false
+            in
+            if complete && state.status = Collect then
+              Some (establish params state)
+            else Some state)
+  | Sys_action.Vs (Vs_action.Safe { dst; msg; src }) -> (
+      if not (Proc.equal dst params.me) then None
+      else
+        match msg with
+        | Msg.App (l, _) ->
+            if primary params state then
+              Some
+                { state with safe_labels = Label.Set.add l state.safe_labels }
+            else Some state
+        | Msg.Summary _ ->
+            let safe_exch = Proc.Set.add src state.safe_exch in
+            let state = { state with safe_exch } in
+            let all_safe =
+              match state.current with
+              | Some v -> Proc.Set.equal safe_exch v.View.set
+              | None -> false
+            in
+            if all_safe && primary params state then begin
+              assert (not (Proc.Map.is_empty state.gotstate));
+              Some
+                {
+                  state with
+                  safe_labels =
+                    List.fold_left
+                      (fun acc l -> Label.Set.add l acc)
+                      state.safe_labels
+                      (Summary.fullorder state.gotstate);
+                }
+            end
+            else Some state)
+  | Sys_action.Confirm p -> (
+      if not (Proc.equal p params.me) then None
+      else
+        match Gcs_stdx.Seqx.nth1 state.order state.nextconfirm with
+        | Some l when primary params state && Label.Set.mem l state.safe_labels
+          ->
+            Some { state with nextconfirm = state.nextconfirm + 1 }
+        | _ -> None)
+  | Sys_action.Brcv { src; dst; value } -> (
+      if not (Proc.equal dst params.me) then None
+      else if state.nextreport >= state.nextconfirm then None
+      else
+        match Gcs_stdx.Seqx.nth1 state.order state.nextreport with
+        | Some l
+          when Label.Map.find_opt l state.content = Some value
+               && Proc.equal l.Label.origin src ->
+            Some { state with nextreport = state.nextreport + 1 }
+        | _ -> None)
+  | Sys_action.Vs (Vs_action.Newview { proc; view }) ->
+      if not (Proc.equal proc params.me) then None
+      else
+        Some
+          {
+            state with
+            current = Some view;
+            nextseqno = 1;
+            buffer = [];
+            gotstate = Proc.Map.empty;
+            safe_exch = Proc.Set.empty;
+            safe_labels = Label.Set.empty;
+            status = Send;
+          }
+  | Sys_action.Vs (Vs_action.Createview _)
+  | Sys_action.Vs (Vs_action.Vs_order _) ->
+      None
+
+let enabled params state =
+  let me = params.me in
+  let labels =
+    match (state.delay, state.current) with
+    | a :: _, Some _
+      when params.literal_figure_10 || state.status = Normal ->
+        [ Sys_action.Label_act (me, a) ]
+    | _ -> []
+  in
+  let gpsnd_app =
+    match state.buffer with
+    | l :: _ when state.status = Normal -> (
+        match Label.Map.find_opt l state.content with
+        | Some a ->
+            [
+              Sys_action.Vs
+                (Vs_action.Gpsnd { sender = me; msg = Msg.App (l, a) });
+            ]
+        | None -> [])
+    | _ -> []
+  in
+  let gpsnd_summary =
+    if state.status = Send then
+      [
+        Sys_action.Vs
+          (Vs_action.Gpsnd
+             { sender = me; msg = Msg.Summary (summary_of_state state) });
+      ]
+    else []
+  in
+  let confirms =
+    match Gcs_stdx.Seqx.nth1 state.order state.nextconfirm with
+    | Some l when primary params state && Label.Set.mem l state.safe_labels ->
+        [ Sys_action.Confirm me ]
+    | _ -> []
+  in
+  let brcvs =
+    if state.nextreport < state.nextconfirm then
+      match Gcs_stdx.Seqx.nth1 state.order state.nextreport with
+      | Some l -> (
+          match Label.Map.find_opt l state.content with
+          | Some a ->
+              [
+                Sys_action.Brcv
+                  { src = l.Label.origin; dst = me; value = a };
+              ]
+          | None -> [])
+      | None -> []
+    else []
+  in
+  labels @ gpsnd_app @ gpsnd_summary @ confirms @ brcvs
+
+let automaton params =
+  {
+    Automaton.name = Printf.sprintf "VStoTO_%d" params.me;
+    initial = initial params;
+    kind = Sys_action.vstoto_kind ~me:params.me;
+    enabled = enabled params;
+    transition = transition params;
+  }
+
+let equal_state a b =
+  (match (a.current, b.current) with
+  | None, None -> true
+  | Some v, Some w -> View.equal v w
+  | _ -> false)
+  && a.status = b.status
+  && Label.Map.equal Value.equal a.content b.content
+  && a.nextseqno = b.nextseqno
+  && List.equal Label.equal a.buffer b.buffer
+  && List.equal Label.equal a.order b.order
+  && a.nextconfirm = b.nextconfirm
+  && a.nextreport = b.nextreport
+  && View_id.compare_opt a.highprimary b.highprimary = 0
+  && List.equal Value.equal a.delay b.delay
+  && Proc.Map.equal Summary.equal a.gotstate b.gotstate
+  && Proc.Set.equal a.safe_exch b.safe_exch
+  && Label.Set.equal a.safe_labels b.safe_labels
+
+let pp_status ppf = function
+  | Normal -> Format.pp_print_string ppf "normal"
+  | Send -> Format.pp_print_string ppf "send"
+  | Collect -> Format.pp_print_string ppf "collect"
+
+let pp_state ppf s =
+  Format.fprintf ppf
+    "@[<v>current=%a status=%a nextconfirm=%d nextreport=%d order=[%a]@]"
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "_|_")
+       View.pp)
+    s.current pp_status s.status s.nextconfirm s.nextreport
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Label.pp)
+    s.order

@@ -1,0 +1,56 @@
+(** The VStoTO algorithm (Figures 9 and 10): one automaton per processor,
+    implementing totally ordered broadcast on top of a view-synchronous
+    group communication service.
+
+    Known correction (documented in DESIGN.md): the [label] action carries
+    the additional precondition [status = normal], matching the Section 5
+    prose ("normal processing of new client messages is allowed to resume"
+    only after the state exchange completes). With the literal Figure 10
+    precondition, a value labelled between [newview] and the summary send
+    enters the summary's [con] component; [fullorder] then orders it at
+    view establishment, and its later VS delivery appends it to [order] a
+    second time, which leads to double client delivery. Setting
+    [literal_figure_10 = true] in {!type:params} reproduces the literal
+    (buggy) behaviour; the test suite demonstrates the resulting violation
+    of TO. *)
+
+type status = Normal | Send | Collect
+
+type state = {
+  current : View.t option;
+  status : status;
+  content : Value.t Label.Map.t;
+  nextseqno : int;
+  buffer : Label.t list;
+  order : Label.t list;
+  nextconfirm : int;
+  nextreport : int;
+  highprimary : View_id.t option;
+  delay : Value.t list;
+  gotstate : Summary.t Proc.Map.t;
+  safe_exch : Proc.Set.t;
+  safe_labels : Label.Set.t;
+}
+
+type params = {
+  me : Proc.t;
+  p0 : Proc.t list;
+  quorums : Quorum.t;
+  literal_figure_10 : bool;
+      (** allow [label] in any status, as the figure literally reads *)
+}
+
+val default_params : me:Proc.t -> p0:Proc.t list -> quorums:Quorum.t -> params
+
+val initial : params -> state
+
+val primary : params -> state -> bool
+(** The derived variable: [current ≠ ⊥ ∧ ∃Q ∈ Q: Q ⊆ current.set]. *)
+
+val summary_of_state : state -> Summary.t
+(** [⟨content, order, nextconfirm, highprimary⟩]. *)
+
+val automaton : params -> (state, Sys_action.t) Gcs_automata.Automaton.t
+
+val equal_state : state -> state -> bool
+val pp_state : Format.formatter -> state -> unit

@@ -1,0 +1,32 @@
+(** VStoTO composed with the footnote-5 gap-delivery VS variant
+    ({!Vs_gap_machine}).
+
+    Footnote 5 claims the weaker service suffices for the total order
+    application because VStoTO updates its stable order only after a
+    message becomes safe, and safety implies prefix-complete delivery.
+    This module provides the composition so the tests can check that the
+    client traces still satisfy TO-machine. *)
+
+type state = {
+  vs : Msg.t Vs_gap_machine.state;
+  nodes : Vstoto.state Proc.Map.t;
+}
+
+type params = {
+  procs : Proc.t list;
+  p0 : Proc.t list;
+  quorums : Quorum.t;
+}
+
+val make_params :
+  procs:Proc.t list -> p0:Proc.t list -> quorums:Quorum.t -> unit -> params
+
+val node : state -> Proc.t -> Vstoto.state
+val automaton : params -> (state, Sys_action.t) Gcs_automata.Automaton.t
+
+val inject :
+  params ->
+  values:Value.t list ->
+  state ->
+  Gcs_stdx.Prng.t ->
+  Sys_action.t list

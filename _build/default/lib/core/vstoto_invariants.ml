@@ -1,0 +1,669 @@
+open Gcs_automata
+module Pg_map = Vs_machine.Pg_map
+
+type ctx = {
+  params : Vstoto_system.params;
+  state : Vstoto_system.state;
+  entries : (Proc.t * View_id.t * Summary.t) list;
+      (* (p, g, x) with x ∈ allstate[p,g] *)
+}
+
+let ctx_of params state =
+  { params; state; entries = Vstoto_system.allstate_entries params state }
+
+let node c p = Vstoto_system.node c.state p
+let vs c = c.state.Vstoto_system.vs
+let procs c = c.params.Vstoto_system.procs
+
+let current_id c p = (* current.id_p as G⊥ *)
+  match (node c p).Vstoto.current with
+  | Some v -> Some v.View.id
+  | None -> None
+
+let current_set c p =
+  match (node c p).Vstoto.current with
+  | Some v -> Some v.View.set
+  | None -> None
+
+let is_primary c p =
+  Vstoto.primary (Vstoto_system.node_params c.params p) (node c p)
+
+let created_views c =
+  View_id.Map.bindings (vs c).Vs_machine.created
+
+(* All view identifiers mentioned anywhere, for bounded quantification. *)
+let all_viewids c =
+  let ids = List.map fst (created_views c) in
+  let ids =
+    Pg_map.fold (fun (_, g) _ acc -> g :: acc) (vs c).Vs_machine.pending ids
+  in
+  let ids =
+    View_id.Map.fold (fun g _ acc -> g :: acc) (vs c).Vs_machine.queue ids
+  in
+  Gcs_stdx.Seqx.dedup_sorted ~compare:View_id.compare ids
+
+let allstate c = List.map (fun (_, _, x) -> x) c.entries
+let allstate_pg c p g =
+  List.filter_map
+    (fun (p', g', x) ->
+      if Proc.equal p p' && View_id.equal g g' then Some x else None)
+    c.entries
+
+let established c p g = Vstoto_system.established c.state p g
+let buildorder c p g = Vstoto_system.buildorder c.state p g
+
+let summary_is_own_state c p x =
+  Summary.equal x (Vstoto.summary_of_state (node c p))
+
+let label_prefix = Gcs_stdx.Seqx.is_prefix ~equal:Label.equal
+
+let ok = Ok ()
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let check_all f xs =
+  let rec go = function
+    | [] -> ok
+    | x :: rest -> ( match f x with Ok () -> go rest | e -> e)
+  in
+  go xs
+
+(* ------------------------------------------------------------------ *)
+
+let l6_1 c =
+  check_all
+    (fun p ->
+      let vs_cur = Vs_machine.current_of (vs c) p in
+      let node_cur = (node c p).Vstoto.current in
+      match (node_cur, vs_cur) with
+      | None, None -> ok
+      | Some v, Some g ->
+          if not (View_id.equal v.View.id g) then
+            fail "p=%d: current.id_p ≠ current-viewid[p]" p
+          else (
+            match Vs_machine.member_set (vs c) v.View.id with
+            | Some s when Proc.Set.equal s v.View.set -> ok
+            | _ -> fail "p=%d: current_p not in created" p)
+      | _ -> fail "p=%d: ⊥-ness of current_p and current-viewid[p] differ" p)
+    (procs c)
+
+let l6_2 c =
+  check_all
+    (fun p ->
+      if (node c p).Vstoto.current = None && (node c p).Vstoto.status <> Vstoto.Normal
+      then fail "p=%d: current = ⊥ but status ≠ normal" p
+      else ok)
+    (procs c)
+
+let l6_3 c =
+  let check_label where p g_expected (l : Label.t) =
+    if not (Proc.equal l.Label.origin p) then
+      fail "%s: label origin %d ≠ sender %d" where l.Label.origin p
+    else
+      match g_expected with
+      | Some g when View_id.equal l.Label.id g -> ok
+      | _ -> fail "%s: label view %a ≠ expected" where View_id.pp l.Label.id
+  in
+  let buffers =
+    check_all
+      (fun p ->
+        check_all
+          (fun l ->
+            if (node c p).Vstoto.current = None then
+              fail "p=%d: nonempty buffer with current = ⊥" p
+            else check_label "buffer" p (current_id c p) l)
+          (node c p).Vstoto.buffer)
+      (procs c)
+  in
+  match buffers with
+  | Error _ as e -> e
+  | Ok () -> (
+      let pendings =
+        Pg_map.fold
+          (fun (p, g) msgs acc ->
+            match acc with
+            | Error _ -> acc
+            | Ok () ->
+                check_all
+                  (fun m ->
+                    match m with
+                    | Msg.App (l, _) -> check_label "pending" p (Some g) l
+                    | Msg.Summary _ -> ok)
+                  msgs)
+          (vs c).Vs_machine.pending ok
+      in
+      match pendings with
+      | Error _ as e -> e
+      | Ok () ->
+          View_id.Map.fold
+            (fun g entries acc ->
+              match acc with
+              | Error _ -> acc
+              | Ok () ->
+                  check_all
+                    (fun (m, p) ->
+                      match m with
+                      | Msg.App (l, _) -> check_label "queue" p (Some g) l
+                      | Msg.Summary _ -> ok)
+                    entries)
+            (vs c).Vs_machine.queue ok)
+
+let l6_4 c =
+  let pairs = Vstoto_system.allcontent_pairs c.params c.state in
+  check_all
+    (fun (l, _) ->
+      let p = l.Label.origin in
+      match current_id c p with
+      | None -> fail "label %a exists but origin has current = ⊥" Label.pp l
+      | Some g ->
+          let bound =
+            Label.make ~id:g ~seqno:(node c p).Vstoto.nextseqno ~origin:p
+          in
+          if Label.compare l bound < 0 then ok
+          else
+            fail "label %a ≥ (current.id,nextseqno,p) = %a" Label.pp l
+              Label.pp bound)
+    pairs
+
+let l6_5 c =
+  match Vstoto_system.allcontent c.params c.state with
+  | Some _ -> ok
+  | None -> fail "allcontent is not a function"
+
+let l6_6 c =
+  check_all
+    (fun p ->
+      check_all
+        (fun l ->
+          if Label.Map.mem l (node c p).Vstoto.content then ok
+          else fail "p=%d: buffered label %a not in content" p Label.pp l)
+        (node c p).Vstoto.buffer)
+    (procs c)
+
+let l6_7 c =
+  (* For p and g with current_p = ⊥ or current.id_p < g. *)
+  let applies p g = View_id.lt_opt (current_id c p) (Some g) in
+  let gs = all_viewids c in
+  check_all
+    (fun p ->
+      check_all
+        (fun g ->
+          if not (applies p g) then ok
+          else if Vs_machine.pending_of (vs c) p g <> [] then
+            fail "6.7(1): pending[%d,%a] ≠ λ" p View_id.pp g
+          else if
+            List.exists
+              (fun (_, p') -> Proc.equal p p')
+              (Vs_machine.queue_of (vs c) g)
+          then fail "6.7(2): message from %d in queue[%a]" p View_id.pp g
+          else
+            let bad_gotstate =
+              List.exists
+                (fun q ->
+                  match current_id c q with
+                  | Some gq when View_id.equal gq g ->
+                      Proc.Map.mem p (node c q).Vstoto.gotstate
+                  | _ -> false)
+                (procs c)
+            in
+            if bad_gotstate then
+              fail "6.7(3): gotstate entry for %d in view %a" p View_id.pp g
+            else if allstate_pg c p g <> [] then
+              fail "6.7(4): allstate[%d,%a] ≠ ∅" p View_id.pp g
+            else
+              let has_label_pair con =
+                Label.Map.exists
+                  (fun l _ ->
+                    View_id.equal l.Label.id g && Proc.equal l.Label.origin p)
+                  con
+              in
+              if List.exists (fun x -> has_label_pair x.Summary.con) (allstate c)
+              then fail "6.7(5): ⟨⟨%a,*,%d⟩,*⟩ in some summary" View_id.pp g p
+              else if
+                List.exists
+                  (fun q -> has_label_pair (node c q).Vstoto.content)
+                  (procs c)
+              then fail "6.7(6): ⟨⟨%a,*,%d⟩,*⟩ in some content" View_id.pp g p
+              else ok)
+        gs)
+    (procs c)
+
+let l6_8 c =
+  check_all
+    (fun p ->
+      match ((node c p).Vstoto.status, current_id c p) with
+      | Vstoto.Send, Some g ->
+          if Vs_machine.pending_of (vs c) p g <> [] then
+            fail "6.8(1): pending[%d,%a] ≠ λ while send" p View_id.pp g
+          else if
+            List.exists
+              (fun (_, p') -> Proc.equal p p')
+              (Vs_machine.queue_of (vs c) g)
+          then fail "6.8(2): message from %d in queue[%a] while send" p View_id.pp g
+          else
+            let bad_gotstate =
+              List.exists
+                (fun q ->
+                  match current_id c q with
+                  | Some gq when View_id.equal gq g ->
+                      Proc.Map.mem p (node c q).Vstoto.gotstate
+                  | _ -> false)
+                (procs c)
+            in
+            if bad_gotstate then
+              fail "6.8(3): gotstate entry for %d while send" p
+            else
+              let has_label_pair con =
+                Label.Map.exists
+                  (fun l _ ->
+                    View_id.equal l.Label.id g && Proc.equal l.Label.origin p)
+                  con
+              in
+              let bad_summary =
+                List.exists
+                  (fun x ->
+                    (not (summary_is_own_state c p x))
+                    && has_label_pair x.Summary.con)
+                  (allstate c)
+              in
+              if bad_summary then
+                fail "6.8(4): ⟨⟨%a,*,%d⟩,*⟩ in a foreign summary while send"
+                  View_id.pp g p
+              else
+                let bad_content =
+                  List.exists
+                    (fun q ->
+                      (not (Proc.equal q p))
+                      && has_label_pair (node c q).Vstoto.content)
+                    (procs c)
+                in
+                if bad_content then
+                  fail "6.8(5): ⟨⟨%a,*,%d⟩,*⟩ in content of another node"
+                    View_id.pp g p
+                else ok
+      | _ -> ok)
+    (procs c)
+
+let l6_9 c =
+  check_all
+    (fun p ->
+      match ((node c p).Vstoto.status, current_id c p) with
+      | Vstoto.Collect, Some g ->
+          let n = node c p in
+          check_all
+            (fun x ->
+              if
+                not
+                  (Label.Map.for_all
+                     (fun l v ->
+                       Label.Map.find_opt l n.Vstoto.content = Some v)
+                     x.Summary.con)
+              then fail "6.9(1): x.con ⊄ content_%d" p
+              else if not (List.equal Label.equal x.Summary.ord n.Vstoto.order)
+              then fail "6.9(2): x.ord ≠ order_%d" p
+              else if x.Summary.next <> n.Vstoto.nextconfirm then
+                fail "6.9(3): x.next ≠ nextconfirm_%d" p
+              else if
+                View_id.compare_opt x.Summary.high n.Vstoto.highprimary <> 0
+              then fail "6.9(4): x.high ≠ highprimary_%d" p
+              else ok)
+            (allstate_pg c p g)
+      | _ -> ok)
+    (procs c)
+
+let l6_10 c =
+  check_all
+    (fun p ->
+      let part1 =
+        check_all
+          (fun (g, _) ->
+            if established c p g && not (View_id.le_opt (Some g) (current_id c p))
+            then fail "6.10(1): established[%d,%a] but current.id < g" p View_id.pp g
+            else ok)
+          (created_views c)
+      in
+      match part1 with
+      | Error _ as e -> e
+      | Ok () -> (
+          match current_id c p with
+          | None -> ok
+          | Some g ->
+              let lhs = established c p g in
+              let rhs = (node c p).Vstoto.status = Vstoto.Normal in
+              if lhs = rhs then ok
+              else
+                fail
+                  "6.10(2): established[%d,current]=%b but status-normal=%b" p
+                  lhs rhs))
+    (procs c)
+
+let l6_11 c =
+  let part123 =
+    check_all
+      (fun p ->
+        match current_id c p with
+        | None -> ok
+        | Some g ->
+            let hp = (node c p).Vstoto.highprimary in
+            if established c p g then
+              if is_primary c p then
+                if View_id.compare_opt hp (Some g) = 0 then ok
+                else fail "6.11(1): p=%d highprimary ≠ current.id" p
+              else if View_id.lt_opt hp (Some g) then ok
+              else fail "6.11(2): p=%d highprimary ≥ current.id (non-primary)" p
+            else if View_id.lt_opt hp (Some g) then ok
+            else fail "6.11(3): p=%d highprimary ≥ current.id (unestablished)" p)
+      (procs c)
+  in
+  match part123 with
+  | Error _ as e -> e
+  | Ok () -> (
+      let part4 =
+        check_all
+          (fun p ->
+            Proc.Map.fold
+              (fun _q x acc ->
+                match acc with
+                | Error _ -> acc
+                | Ok () ->
+                    if View_id.lt_opt x.Summary.high (current_id c p) then ok
+                    else fail "6.11(4): gotstate summary high ≥ current at %d" p)
+              (node c p).Vstoto.gotstate ok)
+          (procs c)
+      in
+      match part4 with
+      | Error _ as e -> e
+      | Ok () ->
+          let check_msg g m =
+            match m with
+            | Msg.Summary x ->
+                if View_id.lt_opt x.Summary.high (Some g) then ok
+                else fail "6.11(5/6): summary with high ≥ %a in transit" View_id.pp g
+            | Msg.App _ -> ok
+          in
+          let in_queue =
+            View_id.Map.fold
+              (fun g entries acc ->
+                match acc with
+                | Error _ -> acc
+                | Ok () -> check_all (fun (m, _) -> check_msg g m) entries)
+              (vs c).Vs_machine.queue ok
+          in
+          (match in_queue with
+          | Error _ as e -> e
+          | Ok () ->
+              Pg_map.fold
+                (fun (_, g) msgs acc ->
+                  match acc with
+                  | Error _ -> acc
+                  | Ok () -> check_all (check_msg g) msgs)
+                (vs c).Vs_machine.pending ok))
+
+let l6_12 c =
+  check_all
+    (fun (p, g, x) ->
+      if not (View_id.le_opt x.Summary.high (Some g)) then
+        fail "6.12(1): x.high > g for x ∈ allstate[%d,%a]" p View_id.pp g
+      else if not (View_id.le_opt x.Summary.high (current_id c p)) then
+        fail "6.12(2): x.high > current.id_%d" p
+      else ok)
+    c.entries
+
+let quorum_views c =
+  List.filter
+    (fun (_, s) -> Quorum.contains_quorum c.params.Vstoto_system.quorums s)
+    (created_views c)
+
+let l6_13 c =
+  check_all
+    (fun (g, _) ->
+      check_all
+        (fun p ->
+          if
+            established c p g
+            && View_id.lt_opt (Some g) (current_id c p)
+            && not (View_id.le_opt (Some g) (node c p).Vstoto.highprimary)
+          then fail "6.13: highprimary_%d < established primary %a" p View_id.pp g
+          else ok)
+        (procs c))
+    (quorum_views c)
+
+let l6_14 c =
+  check_all
+    (fun (g, _) ->
+      check_all
+        (fun (p, w, x) ->
+          if
+            established c p g
+            && View_id.compare w g > 0
+            && not (View_id.le_opt (Some g) x.Summary.high)
+          then
+            fail "6.14: x ∈ allstate[%d,%a] with x.high < established %a" p
+              View_id.pp w View_id.pp g
+          else ok)
+        c.entries)
+    (quorum_views c)
+
+let l6_15 c =
+  check_all
+    (fun p ->
+      match current_id c p with
+      | Some g when not (established c p g) ->
+          check_all
+            (fun x ->
+              if View_id.compare_opt x.Summary.high (Some g) = 0 then
+                fail "6.15: x.high = %a before establishment at %d" View_id.pp g p
+              else ok)
+            (allstate_pg c p g)
+      | _ -> ok)
+    (procs c)
+
+let l6_16 c =
+  check_all
+    (fun (p, g, x) ->
+      match x.Summary.high with
+      | None ->
+          if x.Summary.ord = [] && x.Summary.next = 1 then ok
+          else fail "6.16(⊥): high = ⊥ but ord ≠ λ or next ≠ 1 (at %d)" p
+      | Some h -> (
+          match Vs_machine.member_set (vs c) h with
+          | None -> fail "6.16: x.high = %a not created" View_id.pp h
+          | Some members ->
+              let witness q =
+                Proc.Set.mem q members
+                && established c q h
+                && List.equal Label.equal x.Summary.ord (buildorder c q h)
+                && (View_id.equal h g
+                   || View_id.lt_opt (Some h) (current_id c q))
+              in
+              if List.exists witness (procs c) then ok
+              else
+                fail "6.16: no witness for summary with high=%a in allstate[%d,%a]"
+                  View_id.pp h p View_id.pp g))
+    c.entries
+
+let l6_17 c =
+  check_all
+    (fun (g, members) ->
+      check_all
+        (fun p ->
+          if established c p g then
+            check_all
+              (fun q ->
+                if View_id.le_opt (Some g) (current_id c q) then ok
+                else
+                  fail "6.17: member %d behind established view %a" q
+                    View_id.pp g)
+              (Proc.Set.elements members)
+          else ok)
+        (procs c))
+    (created_views c)
+
+let cor6_19 c =
+  check_all
+    (fun (g, members) ->
+      let member_list = Proc.Set.elements members in
+      if not (List.for_all (fun p -> established c p g) member_list) then ok
+      else
+        let sigma =
+          match List.map (fun p -> buildorder c p g) member_list with
+          | [] -> []
+          | first :: rest ->
+              List.fold_left
+                (Gcs_stdx.Seqx.longest_common_prefix ~equal:Label.equal)
+                first rest
+        in
+        check_all
+          (fun x ->
+            if View_id.le_opt (Some g) x.Summary.high then
+              if label_prefix sigma x.Summary.ord then ok
+              else
+                fail "6.19: common prefix of primary %a not in x.ord" View_id.pp
+                  g
+            else ok)
+          (allstate c))
+    (quorum_views c)
+
+let l6_20 c =
+  check_all
+    (fun p ->
+      let n = node c p in
+      if Label.Set.is_empty n.Vstoto.safe_labels then ok
+      else if not (is_primary c p) then
+        fail "6.20: nonempty safe-labels at non-primary %d" p
+      else
+        let ord = n.Vstoto.order in
+        check_all
+          (fun l ->
+            match Gcs_stdx.Seqx.index_of ~equal:Label.equal l ord with
+            | None ->
+                (* A safe label not (yet) in order: possible only for
+                   labels adopted via the safe-summary path; they are in
+                   order by construction. Flag it. *)
+                fail "6.20: safe label %a not in order_%d" Label.pp l p
+            | Some i ->
+                let sigma = Gcs_stdx.Seqx.take i ord in
+                let g = (Option.get n.Vstoto.current).View.id in
+                check_all
+                  (fun q ->
+                    if label_prefix sigma (buildorder c q g) then ok
+                    else
+                      fail
+                        "6.20: prefix to safe %a not in buildorder[%d,%a]"
+                        Label.pp l q View_id.pp g)
+                  (Proc.Set.elements (Option.get (current_set c p))))
+          (Label.Set.elements n.Vstoto.safe_labels))
+    (procs c)
+
+let l6_21 c =
+  match Vstoto_system.allcontent c.params c.state with
+  | None -> fail "allcontent not a function"
+  | Some content ->
+      check_all
+        (fun x ->
+          let ord = Array.of_list x.Summary.ord in
+          let seen_position = Hashtbl.create 16 in
+          Array.iteri (fun i l -> Hashtbl.replace seen_position l i) ord;
+          let check_at i' l' =
+            (* every smaller same-origin label in allcontent appears
+               earlier in x.ord *)
+            Label.Map.fold
+              (fun l _ acc ->
+                match acc with
+                | Error _ -> acc
+                | Ok () ->
+                    if
+                      Proc.equal l.Label.origin l'.Label.origin
+                      && Label.compare l l' < 0
+                    then
+                      match Hashtbl.find_opt seen_position l with
+                      | Some i when i < i' -> ok
+                      | _ ->
+                          fail "6.21: %a ordered without earlier %a" Label.pp
+                            l' Label.pp l
+                    else ok)
+              content ok
+          in
+          let rec go i =
+            if i >= Array.length ord then ok
+            else
+              match check_at i ord.(i) with
+              | Ok () -> go (i + 1)
+              | e -> e
+          in
+          go 0)
+        (allstate c)
+
+let l6_22 c =
+  check_all
+    (fun x ->
+      let confirm = Summary.confirm x in
+      let part2 =
+        if x.Summary.next <= List.length x.Summary.ord + 1 then ok
+        else fail "6.22(2): x.next > |x.ord| + 1"
+      in
+      match part2 with
+      | Error _ as e -> e
+      | Ok () ->
+          if confirm = [] then ok
+          else
+            let witness (g, members) =
+              View_id.le_opt (Some g) x.Summary.high
+              && Quorum.contains_quorum c.params.Vstoto_system.quorums members
+              && Proc.Set.for_all
+                   (fun q ->
+                     established c q g
+                     && label_prefix confirm (buildorder c q g))
+                   members
+            in
+            if List.exists witness (created_views c) then ok
+            else fail "6.22(1): no established quorum view covers x.confirm")
+    (allstate c)
+
+let cor6_23 c =
+  check_all
+    (fun x1 ->
+      check_all
+        (fun x2 ->
+          if View_id.le_opt x1.Summary.high x2.Summary.high then
+            if label_prefix (Summary.confirm x1) x2.Summary.ord then ok
+            else fail "6.23: x1.confirm not a prefix of x2.ord"
+          else ok)
+        (allstate c))
+    (allstate c)
+
+let cor6_24 c =
+  match Vstoto_system.allconfirm c.params c.state with
+  | Some _ -> ok
+  | None -> fail "6.24: confirm prefixes inconsistent"
+
+(* ------------------------------------------------------------------ *)
+
+let all params =
+  let with_ctx f state = f (ctx_of params state) in
+  [
+    Invariant.make_explained "L6.1: node/VS current view agreement" (with_ctx l6_1);
+    Invariant.make_explained "L6.2: current=⊥ ⇒ status=normal" (with_ctx l6_2);
+    Invariant.make_explained "L6.3: labels carry sender and view" (with_ctx l6_3);
+    Invariant.make_explained "L6.4: labels below (current,nextseqno,p)" (with_ctx l6_4);
+    Invariant.make_explained "L6.5: allcontent is a function" (with_ctx l6_5);
+    Invariant.make_explained "L6.6: buffered labels have content" (with_ctx l6_6);
+    Invariant.make_explained "L6.7: no traces ahead of current view" (with_ctx l6_7);
+    Invariant.make_explained "L6.8: send status ⇒ nothing sent yet" (with_ctx l6_8);
+    Invariant.make_explained "L6.9: collect status summary agreement" (with_ctx l6_9);
+    Invariant.make_explained "L6.10: established vs status" (with_ctx l6_10);
+    Invariant.make_explained "L6.11: highprimary upper bounds" (with_ctx l6_11);
+    Invariant.make_explained "L6.12: x.high ≤ g and ≤ current" (with_ctx l6_12);
+    Invariant.make_explained "L6.13: highprimary lower bound (local)" (with_ctx l6_13);
+    Invariant.make_explained "L6.14: highprimary lower bound (allstate)" (with_ctx l6_14);
+    Invariant.make_explained "L6.15: no self-high before establishment" (with_ctx l6_15);
+    Invariant.make_explained "L6.16: summaries have establishment witnesses" (with_ctx l6_16);
+    Invariant.make_explained "L6.17: members reach established views" (with_ctx l6_17);
+    Invariant.make_explained "C6.19: established primary prefixes persist" (with_ctx cor6_19);
+    Invariant.make_explained "L6.20: safe labels shared by members" (with_ctx l6_20);
+    Invariant.make_explained "L6.21: ord closed under sent-before" (with_ctx l6_21);
+    Invariant.make_explained "L6.22: confirm covered by quorum view" (with_ctx l6_22);
+    Invariant.make_explained "C6.23: confirm ≼ higher ord" (with_ctx cor6_23);
+    Invariant.make_explained "C6.24: confirm prefixes consistent" (with_ctx cor6_24);
+  ]
+
+let names params = List.map (fun i -> i.Invariant.name) (all params)

@@ -1,0 +1,19 @@
+(** The invariants of Section 6.1 (Lemmas 6.1 through 6.24 and the
+    corollaries), each as a checkable predicate on VStoTO-system states.
+
+    Two refinements relative to the paper's statements, documented in
+    DESIGN.md:
+    - Lemma 6.16 and 6.22(1) are stated for summaries whose [high]
+      component is a view identifier; summaries with [high = ⊥] (from
+      processors outside [P0] that have not adopted any primary
+      information) are covered by the auxiliary fact
+      [high = ⊥ ⇒ ord = λ ∧ next = 1].
+    - Corollary 6.19 is checked at its strongest instantiation: [σ] is
+      taken to be the longest common prefix of the members'
+      [buildorder]s. *)
+
+val all :
+  Vstoto_system.params ->
+  Vstoto_system.state Gcs_automata.Invariant.t list
+
+val names : Vstoto_system.params -> string list

@@ -1,0 +1,1 @@
+lib/impl/to_service.mli: Fstatus Gcs_core Gcs_sim Msg Proc Quorum Timed To_action To_trace_checker Value Vs_action Vs_node Vs_trace_checker Wire

@@ -1,0 +1,1 @@
+lib/impl/vs_node.ml: Engine Gcs_core Gcs_sim Gcs_stdx List Option Proc View View_id Vs_action Wire

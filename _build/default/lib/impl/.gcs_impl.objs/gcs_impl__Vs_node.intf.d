@@ -1,0 +1,1 @@
+lib/impl/vs_node.mli: Gcs_core Gcs_sim Proc View Vs_action Wire

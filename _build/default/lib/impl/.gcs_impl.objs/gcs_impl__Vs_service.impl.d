@@ -1,0 +1,1 @@
+lib/impl/vs_service.ml: Gcs_core Gcs_sim Gcs_stdx Hashtbl List Proc Timed View Vs_action Vs_machine Vs_node Vs_trace_checker

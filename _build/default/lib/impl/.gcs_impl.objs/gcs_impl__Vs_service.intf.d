@@ -1,0 +1,1 @@
+lib/impl/vs_service.mli: Fstatus Gcs_core Gcs_sim Proc Timed Vs_action Vs_node Vs_trace_checker

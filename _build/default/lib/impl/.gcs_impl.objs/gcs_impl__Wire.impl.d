@@ -1,0 +1,1 @@
+lib/impl/wire.ml: Format Gcs_core List Proc View View_id

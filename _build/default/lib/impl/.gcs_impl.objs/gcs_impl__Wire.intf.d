@@ -1,0 +1,1 @@
+lib/impl/wire.mli: Format Gcs_core Proc View View_id

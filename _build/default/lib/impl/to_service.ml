@@ -1,0 +1,225 @@
+open Gcs_core
+open Gcs_sim
+
+type config = {
+  vs : Vs_node.config;
+  quorums : Quorum.t;
+  stable_storage_latency : float option;
+}
+
+let make_config ?stable_storage_latency ?quorums vs =
+  let quorums =
+    match quorums with
+    | Some q -> q
+    | None -> Quorum.majorities ~n:(List.length vs.Vs_node.procs)
+  in
+  { vs; quorums; stable_storage_latency }
+
+type out =
+  | Client of Value.t To_action.t
+  | Vs_layer of Msg.t Vs_action.t
+
+type node = {
+  vs_state : Msg.t Vs_node.state;
+  app : Vstoto.state;
+  staging : Value.t list;  (* values awaiting the stable-storage write *)
+}
+
+type run = {
+  trace : out Timed.t;
+  packets_sent : int;
+  packets_dropped : int;
+  events_processed : int;
+}
+
+(* Timer id for stable-storage write completion (Vs_node uses 1-4). *)
+let timer_stable_write = 100
+
+let node_params config me =
+  {
+    Vstoto.me;
+    p0 = config.vs.Vs_node.p0;
+    quorums = config.quorums;
+    literal_figure_10 = false;
+  }
+
+let apply_app config me action app =
+  let automaton = Vstoto.automaton (node_params config me) in
+  match automaton.Gcs_automata.Automaton.transition app action with
+  | Some app' -> app'
+  | None ->
+      invalid_arg
+        (Format.asprintf "to_service: VStoTO rejected %a" Sys_action.pp action)
+
+(* Drain the enabled locally controlled actions of the VStoTO automaton,
+   translating gpsnd outputs into VS-layer client sends and brcv outputs
+   into trace events. Returns the updated node and accumulated effects. *)
+let drain config me node =
+  let automaton = Vstoto.automaton (node_params config me) in
+  let rec go node effects_rev =
+    match automaton.Gcs_automata.Automaton.enabled node.app with
+    | [] -> (node, List.rev effects_rev)
+    | action :: _ -> (
+        let app = apply_app config me action node.app in
+        let node = { node with app } in
+        match action with
+        | Sys_action.Vs (Vs_action.Gpsnd { msg; _ }) ->
+            (* Hand the message to the VS layer as a client send. *)
+            let vs_state', vs_effects =
+              Vs_node.client_send config.vs me msg node.vs_state
+            in
+            let effects_rev =
+              List.rev_append
+                (List.map
+                   (function
+                     | Engine.Output a -> Engine.Output (Vs_layer a)
+                     | Engine.Send s -> Engine.Send s
+                     | Engine.Set_timer t -> Engine.Set_timer t
+                     | Engine.Cancel_timer c -> Engine.Cancel_timer c)
+                   vs_effects)
+                effects_rev
+            in
+            go { node with vs_state = vs_state' } effects_rev
+        | Sys_action.Brcv { src; dst; value } ->
+            go node
+              (Engine.Output (Client (To_action.Brcv { src; dst; value }))
+              :: effects_rev)
+        | Sys_action.Label_act _ | Sys_action.Confirm _ -> go node effects_rev
+        | Sys_action.Bcast _ | Sys_action.Vs _ ->
+            invalid_arg "to_service: unexpected locally controlled action")
+  in
+  go node []
+
+(* Route the effects produced by the VS node: VS outputs addressed to this
+   processor become VStoTO inputs (then we drain); other effects pass
+   through with outputs tagged. *)
+let absorb_vs_effects config me (node, effects) =
+  let rec go node acc_rev = function
+    | [] -> (node, List.rev acc_rev)
+    | Engine.Output (Vs_action.Gprcv _ as a) :: rest
+    | Engine.Output (Vs_action.Safe _ as a) :: rest
+    | Engine.Output (Vs_action.Newview _ as a) :: rest ->
+        let app = apply_app config me (Sys_action.Vs a) node.app in
+        let node = { node with app } in
+        let node, drained = drain config me node in
+        go node
+          (List.rev_append drained (Engine.Output (Vs_layer a) :: acc_rev))
+          rest
+    | Engine.Output a :: rest ->
+        go node (Engine.Output (Vs_layer a) :: acc_rev) rest
+    | Engine.Send s :: rest -> go node (Engine.Send s :: acc_rev) rest
+    | Engine.Set_timer t :: rest -> go node (Engine.Set_timer t :: acc_rev) rest
+    | Engine.Cancel_timer c :: rest ->
+        go node (Engine.Cancel_timer c :: acc_rev) rest
+  in
+  go node [] effects
+
+let lift_vs config me f node =
+  let vs_state', effects = f node.vs_state in
+  absorb_vs_effects config me ({ node with vs_state = vs_state' }, effects)
+
+(* Submit a value to the VStoTO automaton (after any stable-storage delay). *)
+let submit config me value node =
+  let app = apply_app config me (Sys_action.Bcast (me, value)) node.app in
+  let node, drained = drain config me { node with app } in
+  (node, drained)
+
+let handlers config =
+  let vs_handlers = Vs_node.handlers config.vs in
+  let on_start me node =
+    lift_vs config me (vs_handlers.Engine.on_start me) node
+  in
+  let on_input me ~now value node =
+    let record = Engine.Output (Client (To_action.Bcast (me, value))) in
+    match config.stable_storage_latency with
+    | None ->
+        let node, effects = submit config me value node in
+        (node, record :: effects)
+    | Some latency ->
+        ( { node with staging = node.staging @ [ value ] },
+          [
+            record;
+            Engine.Set_timer { id = timer_stable_write; delay = latency };
+          ] )
+    |> fun (node, effects) ->
+    ignore now;
+    (node, effects)
+  in
+  let on_packet me ~now ~src packet node =
+    lift_vs config me (vs_handlers.Engine.on_packet me ~now ~src packet) node
+  in
+  let on_timer me ~now ~id node =
+    if id = timer_stable_write then
+      (* All staged values whose write completed are submitted; with a
+         single timer per arrival batch we conservatively flush one. *)
+      match node.staging with
+      | [] -> (node, [])
+      | value :: rest ->
+          let node, effects = submit config me value { node with staging = rest } in
+          let rearm =
+            if rest = [] then []
+            else
+              match config.stable_storage_latency with
+              | Some latency ->
+                  [ Engine.Set_timer { id = timer_stable_write; delay = latency } ]
+              | None -> []
+          in
+          (node, effects @ rearm)
+    else lift_vs config me (vs_handlers.Engine.on_timer me ~now ~id) node
+  in
+  { Engine.on_start; on_input; on_packet; on_timer }
+
+let initial config me =
+  {
+    vs_state = Vs_node.initial config.vs me;
+    app = Vstoto.initial (node_params config me);
+    staging = [];
+  }
+
+let run ?engine config ~workload ~failures ~until ~seed =
+  let engine_config =
+    match engine with
+    | Some c -> c
+    | None -> Gcs_sim.Engine.default_config ~delta:config.vs.Vs_node.delta
+  in
+  let result =
+    Engine.run engine_config ~procs:config.vs.Vs_node.procs
+      ~handlers:(handlers config) ~init:(initial config) ~inputs:workload
+      ~failures ~until
+      ~prng:(Gcs_stdx.Prng.create seed)
+  in
+  {
+    trace = result.Engine.trace;
+    packets_sent = result.Engine.packets_sent;
+    packets_dropped = result.Engine.packets_dropped;
+    events_processed = result.Engine.events_processed;
+  }
+
+let client_trace r =
+  Timed.map (function Client a -> Some a | Vs_layer _ -> None) r.trace
+
+let vs_trace r =
+  Timed.map (function Vs_layer a -> Some a | Client _ -> None) r.trace
+
+let to_conforms config r =
+  let params =
+    { To_machine.procs = config.vs.Vs_node.procs; equal_value = Value.equal }
+  in
+  To_trace_checker.check params (List.map snd (Timed.actions (client_trace r)))
+
+let vs_conforms config r =
+  let params =
+    {
+      Vs_machine.procs = config.vs.Vs_node.procs;
+      p0 = config.vs.Vs_node.p0;
+      equal_msg = Msg.equal;
+      weak = false;
+    }
+  in
+  Vs_trace_checker.check params (List.map snd (Timed.actions (vs_trace r)))
+
+let deliveries r =
+  List.length
+    (List.filter
+       (fun (_, a) -> match a with To_action.Brcv _ -> true | _ -> false)
+       (Timed.actions (client_trace r)))

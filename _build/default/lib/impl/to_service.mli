@@ -1,0 +1,71 @@
+open Gcs_core
+
+(** End-to-end totally ordered broadcast: the {e same} VStoTO automaton
+    that was verified against VS-machine (lib/core), driven by the Section
+    8 VS implementation inside the discrete-event simulator.
+
+    Each simulated processor holds a [Vs_node] state and a [Vstoto] state;
+    VS outputs ([gprcv]/[safe]/[newview]) are fed synchronously into the
+    VStoTO automaton, whose enabled locally controlled actions are drained
+    immediately (good processors act without delay). Client deliveries
+    ([brcv]) and submissions ([bcast]) appear in the timed trace, so runs
+    can be checked against TO-machine and TO-property.
+
+    The [stable_storage_latency] option models the Keidar–Dolev design
+    point discussed in Section 1: every submitted value is written to
+    stable storage (a fixed latency) before the algorithm processes it. *)
+
+type config = {
+  vs : Vs_node.config;
+  quorums : Quorum.t;
+  stable_storage_latency : float option;
+}
+
+val make_config :
+  ?stable_storage_latency:float ->
+  ?quorums:Quorum.t ->
+  Vs_node.config ->
+  config
+(** Quorums default to majorities over the VS configuration's processors. *)
+
+type out =
+  | Client of Value.t To_action.t  (** bcast/brcv at the client interface *)
+  | Vs_layer of Msg.t Vs_action.t  (** the underlying VS external actions *)
+
+type node
+(** Per-processor state (the VS node plus the VStoTO automaton state). *)
+
+val initial : config -> Proc.t -> node
+
+val handlers :
+  config -> (node, Value.t, Msg.t Wire.packet, out) Gcs_sim.Engine.handlers
+(** Exposed so layers can stack on top (see [Gcs_apps.Session]). *)
+
+type run = {
+  trace : out Timed.t;
+  packets_sent : int;
+  packets_dropped : int;
+  events_processed : int;
+}
+
+val run :
+  ?engine:Gcs_sim.Engine.config ->
+  config ->
+  workload:(float * Proc.t * Value.t) list ->
+  failures:(float * Fstatus.event) list ->
+  until:float ->
+  seed:int ->
+  run
+
+val client_trace : run -> Value.t To_action.t Timed.t
+(** The TO-level timed trace (with failure events), for TO-property. *)
+
+val vs_trace : run -> Msg.t Vs_action.t Timed.t
+
+val to_conforms : config -> run -> (unit, To_trace_checker.error) result
+(** Check the client trace against TO-machine (Theorem 7.1, safety part). *)
+
+val vs_conforms : config -> run -> (unit, Vs_trace_checker.error) result
+(** Check the VS-layer trace against VS-machine. *)
+
+val deliveries : run -> int

@@ -1,0 +1,71 @@
+open Gcs_core
+
+type 'm run = {
+  trace : 'm Vs_action.t Timed.t;
+  final_states : 'm Vs_node.state Proc.Map.t;
+  packets_sent : int;
+  packets_dropped : int;
+  events_processed : int;
+}
+
+let run ?engine ?protocol config ~workload ~failures ~until ~seed =
+  let engine_config =
+    match engine with
+    | Some c -> c
+    | None -> Gcs_sim.Engine.default_config ~delta:config.Vs_node.delta
+  in
+  let result =
+    Gcs_sim.Engine.run engine_config ~procs:config.Vs_node.procs
+      ~handlers:(Vs_node.handlers ?protocol config)
+      ~init:(Vs_node.initial config)
+      ~inputs:workload ~failures ~until
+      ~prng:(Gcs_stdx.Prng.create seed)
+  in
+  {
+    trace = result.Gcs_sim.Engine.trace;
+    final_states = result.Gcs_sim.Engine.final_states;
+    packets_sent = result.Gcs_sim.Engine.packets_sent;
+    packets_dropped = result.Gcs_sim.Engine.packets_dropped;
+    events_processed = result.Gcs_sim.Engine.events_processed;
+  }
+
+let untimed_trace r = List.map snd (Timed.actions r.trace)
+
+let conforms ~equal_msg config r =
+  let params =
+    {
+      Vs_machine.procs = config.Vs_node.procs;
+      p0 = config.Vs_node.p0;
+      equal_msg;
+      weak = false;
+    }
+  in
+  Vs_trace_checker.check params (untimed_trace r)
+
+let views_installed_total r =
+  Proc.Map.fold
+    (fun _ s acc -> acc + Vs_node.views_installed s)
+    r.final_states 0
+
+let stabilized_view_time ~q r =
+  let final_views = Hashtbl.create 16 in
+  let last_newview = ref 0.0 in
+  List.iter
+    (fun (time, a) ->
+      match a with
+      | Vs_action.Newview { proc; view } when List.mem proc q ->
+          last_newview := max !last_newview time;
+          Hashtbl.replace final_views proc view
+      | _ -> ())
+    (Timed.actions r.trace);
+  let q_set = Proc.set_of_list q in
+  let views = List.filter_map (Hashtbl.find_opt final_views) q in
+  match views with
+  | [] -> None
+  | v :: rest ->
+      if
+        List.length views = List.length q
+        && List.for_all (View.equal v) rest
+        && Proc.Set.equal v.View.set q_set
+      then Some !last_newview
+      else None

@@ -1,0 +1,42 @@
+open Gcs_core
+
+(** Whole-service harness for the Section 8 VS implementation: run a fleet
+    of {!Vs_node} processors over the simulated network under a failure
+    scenario and a client workload, producing the timed trace of VS
+    external actions. *)
+
+type 'm run = {
+  trace : 'm Vs_action.t Timed.t;
+  final_states : 'm Vs_node.state Proc.Map.t;
+  packets_sent : int;
+  packets_dropped : int;
+  events_processed : int;
+}
+
+val run :
+  ?engine:Gcs_sim.Engine.config ->
+  ?protocol:Vs_node.protocol ->
+  Vs_node.config ->
+  workload:(float * Proc.t * 'm) list ->
+  failures:(float * Fstatus.event) list ->
+  until:float ->
+  seed:int ->
+  'm run
+(** The engine defaults to [Engine.default_config ~delta:config.delta]. *)
+
+val untimed_trace : 'm run -> 'm Vs_action.t list
+
+val conforms :
+  equal_msg:('m -> 'm -> bool) ->
+  Vs_node.config ->
+  'm run ->
+  (unit, Vs_trace_checker.error) result
+(** Check the run's trace against VS-machine (safety conformance). *)
+
+val views_installed_total : 'm run -> int
+(** Total view installations across processors (churn metric). *)
+
+val stabilized_view_time : q:Proc.t list -> 'm run -> float option
+(** Time of the last [newview] at a member of [q], when afterwards all
+    members of [q] share a final view with membership exactly [q];
+    [None] when they do not agree. *)

@@ -1,0 +1,41 @@
+open Gcs_core
+
+type 'm token_entry = { idx : int; src : Proc.t; msg : 'm }
+
+type 'm token = {
+  viewid : View_id.t;
+  entries : 'm token_entry list;
+  next_idx : int;
+  delivered : int Proc.Map.t;
+  safe_acked : int Proc.Map.t;
+  appended : int Proc.Map.t;
+}
+
+type 'm packet =
+  | Newgroup of { viewid : View_id.t }
+  | Accept of { viewid : View_id.t }
+  | Nack of { viewid : View_id.t; proposed_num : int }
+  | ViewMsg of { view : View.t }
+  | Token of 'm token
+  | Probe of { viewid_num : int }
+
+let fresh_token viewid =
+  {
+    viewid;
+    entries = [];
+    next_idx = 1;
+    delivered = Proc.Map.empty;
+    safe_acked = Proc.Map.empty;
+    appended = Proc.Map.empty;
+  }
+
+let pp_packet ppf = function
+  | Newgroup { viewid } -> Format.fprintf ppf "newgroup(%a)" View_id.pp viewid
+  | Accept { viewid } -> Format.fprintf ppf "accept(%a)" View_id.pp viewid
+  | Nack { viewid; proposed_num } ->
+      Format.fprintf ppf "nack(%a,%d)" View_id.pp viewid proposed_num
+  | ViewMsg { view } -> Format.fprintf ppf "viewmsg(%a)" View.pp view
+  | Token t ->
+      Format.fprintf ppf "token(%a,#%d,|%d|)" View_id.pp t.viewid t.next_idx
+        (List.length t.entries)
+  | Probe { viewid_num } -> Format.fprintf ppf "probe(%d)" viewid_num

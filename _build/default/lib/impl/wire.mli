@@ -1,0 +1,36 @@
+open Gcs_core
+
+(** Wire packets of the Section 8 VS implementation: the three-round
+    membership protocol of Cristian and Schmuck, plus the ordering token
+    and discovery probes. *)
+
+type 'm token_entry = { idx : int; src : Proc.t; msg : 'm }
+
+type 'm token = {
+  viewid : View_id.t;
+  entries : 'm token_entry list;  (** ascending [idx]; safe prefix pruned *)
+  next_idx : int;  (** next index to assign *)
+  delivered : int Proc.Map.t;
+      (** per member: entries passed to the client when the token last left
+          that member *)
+  safe_acked : int Proc.Map.t;
+      (** per member: safe notifications already issued — gates pruning *)
+  appended : int Proc.Map.t;
+      (** per member: how many of its client messages have been appended
+          in this view (resend suppression) *)
+}
+
+type 'm packet =
+  | Newgroup of { viewid : View_id.t }
+      (** round 1: call for participation (broadcast) *)
+  | Accept of { viewid : View_id.t }  (** round 2: reply to the initiator *)
+  | Nack of { viewid : View_id.t; proposed_num : int }
+      (** refusal carrying the refuser's highest proposal number, so the
+          initiator can catch up its identifier counter *)
+  | ViewMsg of { view : View.t }  (** round 3: membership announcement *)
+  | Token of 'm token
+  | Probe of { viewid_num : int }
+      (** discovery contact; carries the prober's id counter *)
+
+val fresh_token : View_id.t -> 'm token
+val pp_packet : Format.formatter -> 'm packet -> unit

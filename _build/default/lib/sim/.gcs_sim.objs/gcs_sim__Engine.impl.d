@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Event_queue Fstatus Gcs_core Gcs_stdx List Option Proc Timed

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Fstatus Gcs_core Gcs_stdx Proc Timed

@@ -1,0 +1,263 @@
+open Gcs_core
+
+type config = {
+  delta : float;
+  jitter : bool;
+  fifo : bool;
+  ugly_drop_prob : float;
+  ugly_delay_max : float;
+}
+
+let default_config ~delta =
+  {
+    delta;
+    jitter = true;
+    fifo = false;
+    ugly_drop_prob = 0.5;
+    ugly_delay_max = delta *. 10.0;
+  }
+
+type ('packet, 'out) effect =
+  | Send of { dst : Proc.t; packet : 'packet }
+  | Set_timer of { id : int; delay : float }
+  | Cancel_timer of { id : int }
+  | Output of 'out
+
+type ('state, 'input, 'packet, 'out) handlers = {
+  on_start :
+    Proc.t -> 'state -> 'state * ('packet, 'out) effect list;
+  on_input :
+    Proc.t -> now:float -> 'input -> 'state -> 'state * ('packet, 'out) effect list;
+  on_packet :
+    Proc.t ->
+    now:float ->
+    src:Proc.t ->
+    'packet ->
+    'state ->
+    'state * ('packet, 'out) effect list;
+  on_timer :
+    Proc.t -> now:float -> id:int -> 'state -> 'state * ('packet, 'out) effect list;
+}
+
+type ('state, 'out) result = {
+  trace : 'out Timed.t;
+  final_states : 'state Proc.Map.t;
+  events_processed : int;
+  packets_sent : int;
+  packets_dropped : int;
+}
+
+type ('input, 'packet) payload =
+  | Deliver of { src : Proc.t; packet : 'packet }
+  | Timer of { id : int; epoch : int }
+  | Input of 'input
+  | Status of Fstatus.event
+
+type ('input, 'packet) ev = {
+  target : Proc.t option;  (* None for global status events *)
+  payload : ('input, 'packet) payload;
+  delayed_once : bool;
+}
+
+type ('state, 'input, 'packet, 'out) sim = {
+  mutable queue : ('input, 'packet) ev Event_queue.t;
+  mutable states : 'state Proc.Map.t;
+  mutable tracker : Fstatus.tracker;
+  mutable held : (('input, 'packet) ev list) Proc.Map.t;
+      (* events addressed to a bad processor, newest first *)
+  mutable timer_epochs : int Proc.Map.t Proc.Map.t;
+      (* proc -> timer id -> epoch; reusing Proc.Map for int keys *)
+  mutable last_delivery : float Proc.Map.t Proc.Map.t;
+      (* src -> dst -> latest scheduled delivery time (fifo mode) *)
+  mutable trace_rev : 'out Timed.event list;
+  mutable events_processed : int;
+  mutable packets_sent : int;
+  mutable packets_dropped : int;
+  config : config;
+  prng : Gcs_stdx.Prng.t;
+  handlers : ('state, 'input, 'packet, 'out) handlers;
+}
+
+let timer_epoch sim p id =
+  match Proc.Map.find_opt p sim.timer_epochs with
+  | None -> 0
+  | Some m -> ( match Proc.Map.find_opt id m with Some e -> e | None -> 0)
+
+let bump_timer_epoch sim p id =
+  let m =
+    match Proc.Map.find_opt p sim.timer_epochs with
+    | Some m -> m
+    | None -> Proc.Map.empty
+  in
+  let e = timer_epoch sim p id + 1 in
+  sim.timer_epochs <- Proc.Map.add p (Proc.Map.add id e m) sim.timer_epochs;
+  e
+
+let self_delay config = config.delta /. 100.0
+
+let link_delay sim =
+  if sim.config.jitter then
+    (sim.config.delta /. 2.0)
+    +. (Gcs_stdx.Prng.float sim.prng *. sim.config.delta /. 2.0)
+  else sim.config.delta
+
+let schedule sim ~time ev = sim.queue <- Event_queue.add sim.queue ~time ev
+
+let send_packet sim ~now ~src ~dst packet =
+  sim.packets_sent <- sim.packets_sent + 1;
+  let deliver delay =
+    let time = now +. delay in
+    let time =
+      if not sim.config.fifo then time
+      else begin
+        (* FIFO links: never schedule a delivery before an earlier packet
+           on the same directed link. *)
+        let per_src =
+          match Proc.Map.find_opt src sim.last_delivery with
+          | Some m -> m
+          | None -> Proc.Map.empty
+        in
+        let floor =
+          match Proc.Map.find_opt dst per_src with
+          | Some t -> t +. 1e-9
+          | None -> 0.0
+        in
+        let time = max time floor in
+        sim.last_delivery <-
+          Proc.Map.add src (Proc.Map.add dst time per_src) sim.last_delivery;
+        time
+      end
+    in
+    schedule sim ~time
+      { target = Some dst; payload = Deliver { src; packet }; delayed_once = false }
+  in
+  if Proc.equal src dst then deliver (self_delay sim.config)
+  else
+    match Fstatus.link_status sim.tracker src dst with
+    | Fstatus.Good -> deliver (link_delay sim)
+    | Fstatus.Bad -> sim.packets_dropped <- sim.packets_dropped + 1
+    | Fstatus.Ugly ->
+        if Gcs_stdx.Prng.float sim.prng < sim.config.ugly_drop_prob then
+          sim.packets_dropped <- sim.packets_dropped + 1
+        else deliver (Gcs_stdx.Prng.float sim.prng *. sim.config.ugly_delay_max)
+
+let apply_effects sim ~now ~proc effects =
+  List.iter
+    (fun effect ->
+      match effect with
+      | Send { dst; packet } -> send_packet sim ~now ~src:proc ~dst packet
+      | Set_timer { id; delay } ->
+          let epoch = bump_timer_epoch sim proc id in
+          schedule sim ~time:(now +. delay)
+            { target = Some proc; payload = Timer { id; epoch }; delayed_once = false }
+      | Cancel_timer { id } -> ignore (bump_timer_epoch sim proc id)
+      | Output out -> sim.trace_rev <- Timed.action now out :: sim.trace_rev)
+    effects
+
+let handle sim ~now ~proc payload =
+  let state = Proc.Map.find proc sim.states in
+  let state', effects =
+    match payload with
+    | Deliver { src; packet } ->
+        sim.handlers.on_packet proc ~now ~src packet state
+    | Timer { id; epoch } ->
+        if timer_epoch sim proc id = epoch then
+          sim.handlers.on_timer proc ~now ~id state
+        else (state, [])
+    | Input input -> sim.handlers.on_input proc ~now input state
+    | Status _ -> (state, [])
+  in
+  sim.states <- Proc.Map.add proc state' sim.states;
+  apply_effects sim ~now ~proc effects
+
+let release_held sim ~now proc =
+  match Proc.Map.find_opt proc sim.held with
+  | None | Some [] -> ()
+  | Some held ->
+      sim.held <- Proc.Map.add proc [] sim.held;
+      (* Replay in original arrival order. *)
+      List.iter (fun ev -> schedule sim ~time:now ev) (List.rev held)
+
+let process_event sim ~now ev =
+  sim.events_processed <- sim.events_processed + 1;
+  match ev.payload with
+  | Status status_event ->
+      sim.tracker <- Fstatus.apply sim.tracker status_event;
+      sim.trace_rev <- Timed.status now status_event :: sim.trace_rev;
+      (match status_event with
+      | Fstatus.Proc_status (p, (Fstatus.Good | Fstatus.Ugly)) ->
+          release_held sim ~now p
+      | _ -> ())
+  | Deliver _ | Timer _ | Input _ -> (
+      let proc = Option.get ev.target in
+      match Fstatus.proc_status sim.tracker proc with
+      | Fstatus.Bad ->
+          let held =
+            match Proc.Map.find_opt proc sim.held with
+            | Some l -> l
+            | None -> []
+          in
+          sim.held <- Proc.Map.add proc (ev :: held) sim.held
+      | Fstatus.Ugly when not ev.delayed_once ->
+          let delay =
+            Gcs_stdx.Prng.float sim.prng *. sim.config.ugly_delay_max
+          in
+          schedule sim ~time:(now +. delay) { ev with delayed_once = true }
+      | Fstatus.Good | Fstatus.Ugly -> handle sim ~now ~proc ev.payload)
+
+let run config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
+  let sim =
+    {
+      queue = Event_queue.empty;
+      states =
+        List.fold_left (fun acc p -> Proc.Map.add p (init p) acc) Proc.Map.empty
+          procs;
+      tracker = Fstatus.initial;
+      held = Proc.Map.empty;
+      timer_epochs = Proc.Map.empty;
+      last_delivery = Proc.Map.empty;
+      trace_rev = [];
+      events_processed = 0;
+      packets_sent = 0;
+      packets_dropped = 0;
+      config;
+      prng;
+      handlers;
+    }
+  in
+  List.iter
+    (fun (time, proc, input) ->
+      schedule sim ~time
+        { target = Some proc; payload = Input input; delayed_once = false })
+    inputs;
+  List.iter
+    (fun (time, event) ->
+      schedule sim ~time { target = None; payload = Status event; delayed_once = false })
+    failures;
+  (* Start every node at time 0. *)
+  List.iter
+    (fun proc ->
+      let state = Proc.Map.find proc sim.states in
+      let state', effects = handlers.on_start proc state in
+      sim.states <- Proc.Map.add proc state' sim.states;
+      apply_effects sim ~now:0.0 ~proc effects)
+    procs;
+  let rec loop () =
+    match Event_queue.pop sim.queue with
+    | None -> ()
+    | Some (time, ev, rest) ->
+        if time > until then ()
+        else begin
+          sim.queue <- rest;
+          process_event sim ~now:time ev;
+          loop ()
+        end
+  in
+  loop ();
+  {
+    trace = List.rev sim.trace_rev;
+    final_states = sim.states;
+    events_processed = sim.events_processed;
+    packets_sent = sim.packets_sent;
+    packets_dropped = sim.packets_dropped;
+  }

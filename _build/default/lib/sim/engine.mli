@@ -1,0 +1,76 @@
+open Gcs_core
+
+(** Discrete-event network simulator implementing the paper's timed
+    asynchronous model (Section 8's assumptions):
+
+    - while a processor is {e good} it handles events immediately;
+    - while {e bad} it takes no steps — events addressed to it are held and
+      replayed when it recovers (state is preserved across crashes, as the
+      paper assumes);
+    - while {e ugly} each event is handled after one extra random delay;
+    - a packet sent while the (directed) link is {e good} arrives within
+      [delta]; while {e bad} it is dropped; while {e ugly} it is dropped
+      with probability [ugly_drop_prob] or arbitrarily delayed.
+
+    Link status is sampled at send time. Self-addressed packets always
+    arrive, after a negligible delay.
+
+    Nodes are deterministic event handlers over private state; all
+    randomness comes from the engine's PRNG, so runs are reproducible. *)
+
+type config = {
+  delta : float;  (** good-link delay bound δ *)
+  jitter : bool;  (** deliver in (δ/2, δ] uniformly instead of exactly δ *)
+  fifo : bool;
+      (** enforce per-directed-link FIFO delivery (off by default: the
+          paper's channels only bound delay; protocols that assume FIFO —
+          e.g. the Lamport-timestamp baseline — turn this on) *)
+  ugly_drop_prob : float;
+  ugly_delay_max : float;
+}
+
+val default_config : delta:float -> config
+
+type ('packet, 'out) effect =
+  | Send of { dst : Proc.t; packet : 'packet }
+  | Set_timer of { id : int; delay : float }
+      (** (re-)arm timer [id]; any previously armed timer with the same id
+          at this processor is superseded *)
+  | Cancel_timer of { id : int }
+  | Output of 'out  (** record an external event in the timed trace *)
+
+type ('state, 'input, 'packet, 'out) handlers = {
+  on_start :
+    Proc.t -> 'state -> 'state * ('packet, 'out) effect list;
+  on_input :
+    Proc.t -> now:float -> 'input -> 'state -> 'state * ('packet, 'out) effect list;
+  on_packet :
+    Proc.t ->
+    now:float ->
+    src:Proc.t ->
+    'packet ->
+    'state ->
+    'state * ('packet, 'out) effect list;
+  on_timer :
+    Proc.t -> now:float -> id:int -> 'state -> 'state * ('packet, 'out) effect list;
+}
+
+type ('state, 'out) result = {
+  trace : 'out Timed.t;
+  final_states : 'state Proc.Map.t;
+  events_processed : int;
+  packets_sent : int;
+  packets_dropped : int;
+}
+
+val run :
+  config ->
+  procs:Proc.t list ->
+  handlers:('state, 'input, 'packet, 'out) handlers ->
+  init:(Proc.t -> 'state) ->
+  inputs:(float * Proc.t * 'input) list ->
+  failures:(float * Fstatus.event) list ->
+  until:float ->
+  prng:Gcs_stdx.Prng.t ->
+  ('state, 'out) result
+

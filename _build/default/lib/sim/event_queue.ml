@@ -1,0 +1,52 @@
+type 'a node =
+  | Leaf
+  | Node of {
+      rank : int;
+      time : float;
+      seq : int;
+      value : 'a;
+      left : 'a node;
+      right : 'a node;
+    }
+
+type 'a t = { heap : 'a node; next_seq : int; size : int }
+
+let empty = { heap = Leaf; next_seq = 0; size = 0 }
+let is_empty t = t.heap = Leaf
+let size t = t.size
+
+let rank = function Leaf -> 0 | Node { rank; _ } -> rank
+
+let node time seq value left right =
+  if rank left >= rank right then
+    Node { rank = rank right + 1; time; seq; value; left; right }
+  else Node { rank = rank left + 1; time; seq; value; left = right; right = left }
+
+let before t1 s1 t2 s2 = t1 < t2 || (t1 = t2 && s1 < s2)
+
+let rec merge a b =
+  match (a, b) with
+  | Leaf, h | h, Leaf -> h
+  | Node na, Node nb ->
+      if before na.time na.seq nb.time nb.seq then
+        node na.time na.seq na.value na.left (merge na.right b)
+      else node nb.time nb.seq nb.value nb.left (merge a nb.right)
+
+let add t ~time value =
+  let singleton =
+    Node { rank = 1; time; seq = t.next_seq; value; left = Leaf; right = Leaf }
+  in
+  { heap = merge t.heap singleton; next_seq = t.next_seq + 1; size = t.size + 1 }
+
+let pop t =
+  match t.heap with
+  | Leaf -> None
+  | Node { time; value; left; right; _ } ->
+      Some
+        ( time,
+          value,
+          { heap = merge left right; next_seq = t.next_seq; size = t.size - 1 }
+        )
+
+let peek_time t =
+  match t.heap with Leaf -> None | Node { time; _ } -> Some time

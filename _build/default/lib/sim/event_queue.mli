@@ -1,0 +1,19 @@
+(** Purely functional priority queue of timed events (leftist heap).
+
+    Events are ordered by time; ties break by insertion sequence number, so
+    simultaneous events are processed in FIFO order and runs are
+    deterministic. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val add : 'a t -> time:float -> 'a -> 'a t
+(** Insert an event at an absolute time. *)
+
+val pop : 'a t -> (float * 'a * 'a t) option
+(** Earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option

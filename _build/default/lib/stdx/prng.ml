@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t =
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x /. 9007199254740992.0 (* 2^53 *)
+
+let pick t = function
+  | [] -> None
+  | xs -> Some (List.nth xs (int t (List.length xs)))
+
+let pick_exn t xs =
+  match pick t xs with
+  | Some x -> x
+  | None -> invalid_arg "Prng.pick_exn: empty list"
+
+let shuffle t xs =
+  let tagged = List.map (fun x -> (bits64 t, x)) xs in
+  List.map snd (List.sort (fun (a, _) (b, _) -> Int64.compare a b) tagged)
+
+let subset t xs = List.filter (fun _ -> bool t) xs

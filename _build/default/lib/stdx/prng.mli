@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All nondeterminism in the executors, schedulers and simulators is
+    resolved through values of this type, so every run is reproducible from
+    a seed. *)
+
+type t
+
+val create : int -> t
+(** Fresh generator from a seed. *)
+
+val copy : t -> t
+(** Independent copy (same future stream). *)
+
+val split : t -> t
+(** Derive an independent generator; advances the parent. *)
+
+val bits64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive; requires [lo <= hi]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val pick : t -> 'a list -> 'a option
+(** Uniformly random element; [None] on the empty list. *)
+
+val pick_exn : t -> 'a list -> 'a
+
+val shuffle : t -> 'a list -> 'a list
+
+val subset : t -> 'a list -> 'a list
+(** Each element kept independently with probability 1/2. *)

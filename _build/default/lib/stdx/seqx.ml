@@ -1,0 +1,63 @@
+let rec is_prefix ~equal s t =
+  match (s, t) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: s', y :: t' -> equal x y && is_prefix ~equal s' t'
+
+let consistent ~equal s t = is_prefix ~equal s t || is_prefix ~equal t s
+
+let lub ~equal ss =
+  let longer acc s = if List.length s > List.length acc then s else acc in
+  let candidate = List.fold_left longer [] ss in
+  if List.for_all (fun s -> is_prefix ~equal s candidate) ss then
+    Some candidate
+  else None
+
+let nth1 s i = if i < 1 then None else List.nth_opt s (i - 1)
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let rec drop n = function
+  | [] -> []
+  | _ :: rest as s -> if n <= 0 then s else drop (n - 1) rest
+
+let applyall f s =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | x :: rest -> (
+        match f x with None -> None | Some y -> go (y :: acc) rest)
+  in
+  go [] s
+
+let index_of ~equal x s =
+  let rec go i = function
+    | [] -> None
+    | y :: rest -> if equal x y then Some i else go (i + 1) rest
+  in
+  go 1 s
+
+let rec last = function
+  | [] -> None
+  | [ x ] -> Some x
+  | _ :: rest -> last rest
+
+let rec longest_common_prefix ~equal s t =
+  match (s, t) with
+  | x :: s', y :: t' when equal x y -> x :: longest_common_prefix ~equal s' t'
+  | _ -> []
+
+let rec is_strictly_sorted ~compare = function
+  | [] | [ _ ] -> true
+  | x :: (y :: _ as rest) -> compare x y < 0 && is_strictly_sorted ~compare rest
+
+let dedup_sorted ~compare s =
+  let sorted = List.sort compare s in
+  let rec go = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | x :: (y :: _ as rest) ->
+        if compare x y = 0 then go rest else x :: go rest
+  in
+  go sorted

@@ -1,0 +1,45 @@
+(** Finite-sequence operations used throughout the paper's formal material
+    (Section 2: prefixes, consistency, least upper bounds, [applyall]).
+
+    Sequences are represented as OCaml lists, head = first element. *)
+
+val is_prefix : equal:('a -> 'a -> bool) -> 'a list -> 'a list -> bool
+(** [is_prefix ~equal s t] is true iff [s <= t], i.e. there is [s'] with
+    [s @ s' = t]. *)
+
+val consistent : equal:('a -> 'a -> bool) -> 'a list -> 'a list -> bool
+(** [consistent ~equal s t] holds iff [s <= t] or [t <= s]. *)
+
+val lub : equal:('a -> 'a -> bool) -> 'a list list -> 'a list option
+(** [lub ~equal ss] is the minimum sequence [t] such that every [s] in [ss]
+    is a prefix of [t], when the collection is consistent; [None] if the
+    collection is inconsistent. The lub of the empty collection is the empty
+    sequence. *)
+
+val nth1 : 'a list -> int -> 'a option
+(** 1-indexed lookup, as in the paper: [nth1 s i = Some (s i)] when
+    [1 <= i <= length s]. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (all of them if the list is shorter). *)
+
+val drop : int -> 'a list -> 'a list
+(** All but the first [n] elements. *)
+
+val applyall : ('a -> 'b option) -> 'a list -> 'b list option
+(** [applyall f s] applies the partial function [f] pointwise; [None] if
+    some element is outside the domain of [f]. *)
+
+val index_of : equal:('a -> 'a -> bool) -> 'a -> 'a list -> int option
+(** 1-indexed position of the first occurrence. *)
+
+val last : 'a list -> 'a option
+
+val longest_common_prefix :
+  equal:('a -> 'a -> bool) -> 'a list -> 'a list -> 'a list
+
+val is_strictly_sorted : compare:('a -> 'a -> int) -> 'a list -> bool
+(** True iff every element is strictly less than its successor. *)
+
+val dedup_sorted : compare:('a -> 'a -> int) -> 'a list -> 'a list
+(** Sort by [compare] then remove duplicates. *)

@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Automaton Exec Gcs_automata Gcs_stdx Int Invariant Kind List Printf QCheck QCheck_alcotest Result Scheduler Simulation

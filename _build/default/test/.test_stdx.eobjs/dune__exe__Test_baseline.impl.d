@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Format Fstatus Gcs_baseline Gcs_core Gcs_impl Hashtbl Lamport_to List Printf Proc Sequencer Timed To_action To_service To_trace_checker Vs_node

@@ -1,0 +1,1 @@
+test/test_core_types.ml: Alcotest Format Gcs_core Gcs_stdx Label List Proc QCheck QCheck_alcotest Quorum Summary View_id

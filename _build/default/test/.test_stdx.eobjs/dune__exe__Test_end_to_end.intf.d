@@ -1,0 +1,1 @@
+test/test_end_to_end.mli:

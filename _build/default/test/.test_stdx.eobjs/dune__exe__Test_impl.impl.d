@@ -1,0 +1,1 @@
+test/test_impl.ml: Alcotest Format Fstatus Gcs_core Gcs_impl Gcs_stdx List Printf Proc QCheck QCheck_alcotest Result String Timed Vs_action Vs_machine Vs_node Vs_property Vs_service Vs_trace_checker

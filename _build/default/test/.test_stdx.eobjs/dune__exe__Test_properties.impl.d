@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Format Fstatus Gcs_core List Proc Result String Timed To_action To_property View View_id Vs_action Vs_property

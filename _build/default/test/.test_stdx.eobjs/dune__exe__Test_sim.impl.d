@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Event_queue Float Fstatus Gcs_core Gcs_sim Gcs_stdx Int List Printf QCheck QCheck_alcotest Timed

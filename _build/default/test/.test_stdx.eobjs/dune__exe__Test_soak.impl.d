@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Format Fstatus Gcs_apps Gcs_core Gcs_impl Gcs_stdx List Printf Proc Timed To_action To_property To_service To_trace_checker Vs_node Vs_trace_checker

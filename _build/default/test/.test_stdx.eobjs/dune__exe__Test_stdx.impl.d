@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Gcs_stdx Gen Int List Prng QCheck QCheck_alcotest Seqx

@@ -1,0 +1,1 @@
+test/test_to_machine.ml: Alcotest Array Automaton Exec Format Gcs_automata Gcs_core Gcs_stdx Invariant List Proc QCheck QCheck_alcotest Result Scheduler To_action To_machine To_trace_checker Value

@@ -1,0 +1,1 @@
+test/test_vs_machine.mli:

@@ -1,0 +1,1 @@
+test/test_vs_node_units.ml: Alcotest Gcs_core Gcs_impl List Printf Proc View View_id Vs_action Vs_node Vs_service Wire

@@ -1,0 +1,1 @@
+test/test_vstoto_units.ml: Alcotest Automaton Gcs_automata Gcs_core Label List Msg Proc Quorum Summary Sys_action View View_id Vs_action Vstoto

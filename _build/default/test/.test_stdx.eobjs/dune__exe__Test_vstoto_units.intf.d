@@ -1,0 +1,1 @@
+test/test_vstoto_units.mli:

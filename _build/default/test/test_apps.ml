@@ -1,0 +1,580 @@
+(* Tests for the application layer: codecs, machines, replicated state
+   machines over real TO-service runs, and the two memories of footnote 3. *)
+
+open Gcs_core
+open Gcs_impl
+open Gcs_apps
+
+let procs = Proc.all ~n:4
+let vs_config = { Vs_node.procs; p0 = procs; pi = 6.0; mu = 8.0; delta = 1.0 }
+let config = To_service.make_config vs_config
+
+(* ---------------- codec ---------------- *)
+
+let test_codec_roundtrip_basics () =
+  List.iter
+    (fun fields ->
+      Alcotest.(check (option (list string)))
+        (String.concat "," fields) (Some fields)
+        (Codec.decode (Codec.encode fields)))
+    [
+      [];
+      [ "" ];
+      [ "a" ];
+      [ "a"; "b"; "c" ];
+      [ "with|pipe"; "with%percent" ];
+      [ "%|%|"; ""; "x" ];
+    ]
+
+let test_codec_rejects_malformed () =
+  Alcotest.(check (option (list string))) "dangling escape" None
+    (Codec.decode "abc%");
+  Alcotest.(check (option (list string))) "unknown escape" None
+    (Codec.decode "ab%zc")
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrip" ~count:300
+    QCheck.(list (string_gen_of_size (Gen.return 8) Gen.printable))
+    (fun fields -> Codec.decode (Codec.encode fields) = Some fields)
+
+(* ---------------- machines ---------------- *)
+
+let test_kv_machine () =
+  let open Kv_store in
+  let t = apply (apply (apply initial (Put ("a", "1"))) (Put ("b", "2"))) (Del "a") in
+  Alcotest.(check (option string)) "deleted" None (get t "a");
+  Alcotest.(check (option string)) "kept" (Some "2") (get t "b");
+  Alcotest.(check (option string)) "op roundtrip" (Some "2")
+    (match decode_op (encode_op (Put ("b", "2"))) with
+    | Some (Put (_, v)) -> Some v
+    | _ -> None)
+
+let test_counter_machine () =
+  let open Counter in
+  let t = apply (apply (apply initial (Add 5)) (Add 7)) Reset in
+  Alcotest.(check int) "reset" 0 t;
+  Alcotest.(check bool) "decode add" true
+    (decode_op (encode_op (Add 42)) = Some (Add 42))
+
+(* ---------------- RSM over a real run ---------------- *)
+
+module Kv_rsm = Rsm.Make (Kv_store)
+
+let kv_workload =
+  List.concat
+    [
+      List.init 10 (fun i ->
+          Kv_rsm.submit (i mod 4)
+            (Kv_store.Put (Printf.sprintf "k%d" (i mod 3), string_of_int i))
+            (10.0 +. (float_of_int i *. 6.0)));
+      List.init 3 (fun i ->
+          Kv_rsm.submit ((i + 1) mod 4)
+            (Kv_store.Del (Printf.sprintf "k%d" i))
+            (90.0 +. (float_of_int i *. 7.0)));
+    ]
+
+let run_kv ?(failures = []) ?(until = 400.0) seed =
+  To_service.run config ~workload:kv_workload ~failures ~until ~seed
+
+let test_rsm_consistency_steady () =
+  List.iter
+    (fun seed ->
+      let run = run_kv seed in
+      let actions =
+        List.map snd (Timed.actions (To_service.client_trace run))
+      in
+      Alcotest.(check bool) "replicas consistent" true
+        (Kv_rsm.consistent procs actions))
+    [ 1; 2; 3 ]
+
+let test_rsm_consistency_partition () =
+  let failures =
+    List.map
+      (fun e -> (50.0, e))
+      (Fstatus.partition_events ~parts:[ [ 0; 1; 2 ]; [ 3 ] ])
+    @ List.map (fun e -> (150.0, e)) (Fstatus.heal_events ~procs)
+  in
+  let run = run_kv ~failures ~until:600.0 5 in
+  let actions = List.map snd (Timed.actions (To_service.client_trace run)) in
+  Alcotest.(check bool) "replicas consistent across partition" true
+    (Kv_rsm.consistent procs actions);
+  (* After healing and enough time, all replicas applied everything. *)
+  match Kv_rsm.replica_states procs actions with
+  | Error e -> Alcotest.fail e
+  | Ok states ->
+      let applied = List.map (fun (_, _, n) -> n) states in
+      Alcotest.(check bool)
+        (Printf.sprintf "all replicas caught up %s"
+           (String.concat "," (List.map string_of_int applied)))
+        true
+        (List.for_all (fun n -> n = List.length kv_workload) applied)
+
+(* ---------------- sequentially consistent memory ---------------- *)
+
+let test_seq_memory_reads () =
+  let writes =
+    List.init 8 (fun i ->
+        Seq_memory.write_submission (i mod 4) ~loc:"x"
+          ~value:(string_of_int i)
+          (10.0 +. (float_of_int i *. 8.0)))
+  in
+  let run =
+    To_service.run config ~workload:writes ~failures:[] ~until:300.0 ~seed:9
+  in
+  let trace = To_service.client_trace run in
+  let read_points =
+    List.concat_map
+      (fun p -> [ (p, 50.0, "x"); (p, 120.0, "x"); (p, 280.0, "x") ])
+      procs
+  in
+  match Seq_memory.perform_reads trace read_points with
+  | Error e -> Alcotest.fail e
+  | Ok reads ->
+      Alcotest.(check bool) "reads follow the local replica" true
+        (Seq_memory.reads_are_consistent trace reads);
+      (* By the end, everyone reads the last confirmed write. *)
+      let finals =
+        List.filter_map
+          (fun (r : Seq_memory.read_event) ->
+            if r.time = 280.0 then Some r.result else None)
+          reads
+      in
+      Alcotest.(check bool) "final reads agree" true
+        (match finals with
+        | [] -> false
+        | v :: rest -> List.for_all (( = ) v) rest)
+
+(* ---------------- atomic memory ---------------- *)
+
+let test_atomic_memory_agreement () =
+  let ops =
+    [
+      Atomic_memory.submission 0 (Atomic_memory.Write { loc = "x"; value = "a" }) 10.0;
+      Atomic_memory.submission 1 (Atomic_memory.Read { loc = "x"; id = 1 }) 20.0;
+      Atomic_memory.submission 2 (Atomic_memory.Write { loc = "x"; value = "b" }) 30.0;
+      Atomic_memory.submission 3 (Atomic_memory.Read { loc = "x"; id = 2 }) 40.0;
+      Atomic_memory.submission 1 (Atomic_memory.Read { loc = "y"; id = 3 }) 50.0;
+    ]
+  in
+  let run = To_service.run config ~workload:ops ~failures:[] ~until:300.0 ~seed:4 in
+  let actions = List.map snd (Timed.actions (To_service.client_trace run)) in
+  Alcotest.(check bool) "replicas agree on every read response" true
+    (Atomic_memory.all_responses_agree procs actions);
+  match Atomic_memory.responses_at 0 actions with
+  | Error e -> Alcotest.fail e
+  | Ok responses ->
+      Alcotest.(check int) "all three reads answered" 3 (List.length responses);
+      let find id =
+        List.find_opt (fun r -> r.Atomic_memory.id = id) responses
+      in
+      (match find 1 with
+      | Some { value = Some "a"; _ } -> ()
+      | _ -> Alcotest.fail "read 1 should see the first write");
+      (match find 3 with
+      | Some { value = None; _ } -> ()
+      | _ -> Alcotest.fail "read of untouched location should be None")
+
+(* ---------------- sequential consistency, properly ---------------- *)
+
+let test_sc_checker_units () =
+  let w loc value = Sc_checker.Write { loc; value } in
+  let r loc result = Sc_checker.Read { loc; result } in
+  Alcotest.(check bool) "empty history" true
+    (Sc_checker.sequentially_consistent []);
+  Alcotest.(check bool) "simple sequential" true
+    (Sc_checker.sequentially_consistent
+       [ (0, [ w "x" "1"; r "x" (Some "1") ]) ]);
+  Alcotest.(check bool) "read of initial value" true
+    (Sc_checker.sequentially_consistent [ (0, [ r "x" None ]) ]);
+  Alcotest.(check bool) "stale read alone is serializable (reordered)" true
+    (Sc_checker.sequentially_consistent
+       [ (0, [ w "x" "1" ]); (1, [ r "x" None ]) ]);
+  (* The store-buffering litmus: both processes write then read the other
+     location; both reading the initial value admits no serialization. *)
+  Alcotest.(check bool) "store buffering with both stale reads is not SC"
+    false
+    (Sc_checker.sequentially_consistent
+       [
+         (0, [ w "x" "1"; r "y" None ]);
+         (1, [ w "y" "1"; r "x" None ]);
+       ]);
+  Alcotest.(check bool) "store buffering with one stale read is SC" true
+    (Sc_checker.sequentially_consistent
+       [
+         (0, [ w "x" "1"; r "y" None ]);
+         (1, [ w "y" "1"; r "x" (Some "1") ]);
+       ]);
+  Alcotest.(check bool) "read from the wrong write is not SC" false
+    (Sc_checker.sequentially_consistent
+       [
+         (0, [ w "x" "1" ]);
+         (1, [ w "x" "2" ]);
+         (2, [ r "x" (Some "1"); r "x" (Some "2"); r "x" (Some "1") ]);
+       ])
+
+(* Execute the store-buffering litmus over the real service, under the two
+   disciplines. Footnote 3's discipline (a write returns when the TO
+   service delivers it back; later operations of that process wait) yields
+   a sequentially consistent history; the naive non-blocking discipline
+   (read immediately after submitting the write) does not. *)
+let sb_histories () =
+  let wl =
+    [
+      Seq_memory.write_submission 0 ~loc:"x" ~value:"1" 10.0;
+      Seq_memory.write_submission 1 ~loc:"y" ~value:"1" 10.0;
+    ]
+  in
+  let run = To_service.run config ~workload:wl ~failures:[] ~until:300.0 ~seed:2 in
+  let trace = To_service.client_trace run in
+  (* Completion time of each process's write: its local delivery. *)
+  let completion p =
+    List.fold_left
+      (fun acc (t, a) ->
+        match a with
+        | To_action.Brcv { src; dst; _ }
+          when Proc.equal src p && Proc.equal dst p ->
+            Some t
+        | _ -> acc)
+      None (Timed.actions trace)
+  in
+  let read_at p t loc =
+    match Seq_memory.state_at p ~time:t trace with
+    | Ok state -> Seq_memory.read state loc
+    | Error e -> Alcotest.fail e
+  in
+  let t0 = Option.get (completion 0) and t1 = Option.get (completion 1) in
+  let blocking =
+    [
+      ( 0,
+        [
+          Sc_checker.Write { loc = "x"; value = "1" };
+          Sc_checker.Read { loc = "y"; result = read_at 0 (t0 +. 0.01) "y" };
+        ] );
+      ( 1,
+        [
+          Sc_checker.Write { loc = "y"; value = "1" };
+          Sc_checker.Read { loc = "x"; result = read_at 1 (t1 +. 0.01) "x" };
+        ] );
+    ]
+  in
+  let non_blocking =
+    [
+      ( 0,
+        [
+          Sc_checker.Write { loc = "x"; value = "1" };
+          Sc_checker.Read { loc = "y"; result = read_at 0 10.01 "y" };
+        ] );
+      ( 1,
+        [
+          Sc_checker.Write { loc = "y"; value = "1" };
+          Sc_checker.Read { loc = "x"; result = read_at 1 10.01 "x" };
+        ] );
+    ]
+  in
+  (blocking, non_blocking)
+
+let test_footnote3_discipline_is_sc () =
+  let blocking, non_blocking = sb_histories () in
+  Alcotest.(check bool)
+    "blocking-write discipline yields a sequentially consistent history"
+    true
+    (Sc_checker.sequentially_consistent blocking);
+  (* The naive discipline reads before any delivery: both reads are stale,
+     which is exactly the store-buffering anomaly. *)
+  Alcotest.(check bool)
+    "non-blocking discipline exhibits the store-buffering anomaly" false
+    (Sc_checker.sequentially_consistent non_blocking)
+
+let prop_random_session_histories_sc =
+  (* Random write/read scripts under the blocking discipline (enforced by
+     coarse spacing larger than the steady-state delivery latency) always
+     produce sequentially consistent histories. *)
+  QCheck.Test.make ~name:"blocking sessions are sequentially consistent"
+    ~count:12 QCheck.small_nat
+    (fun seed ->
+      let prng = Gcs_stdx.Prng.create (seed + 100) in
+      let locs = [ "x"; "y"; "z" ] in
+      let spacing = 60.0 in
+      let script p =
+        List.init 3 (fun k ->
+            let t = 10.0 +. (float_of_int k *. spacing) +. float_of_int p in
+            if Gcs_stdx.Prng.bool prng then
+              `W (t, Gcs_stdx.Prng.pick_exn prng locs,
+                  Printf.sprintf "v%d.%d" p k)
+            else `R (t, Gcs_stdx.Prng.pick_exn prng locs))
+      in
+      let scripts = List.map (fun p -> (p, script p)) procs in
+      let wl =
+        List.concat_map
+          (fun (p, ops) ->
+            List.filter_map
+              (function
+                | `W (t, loc, value) ->
+                    Some (Seq_memory.write_submission p ~loc ~value t)
+                | `R _ -> None)
+              ops)
+          scripts
+      in
+      let run = To_service.run config ~workload:wl ~failures:[] ~until:400.0 ~seed in
+      let trace = To_service.client_trace run in
+      let history =
+        List.map
+          (fun (p, ops) ->
+            ( p,
+              List.map
+                (function
+                  | `W (_, loc, value) -> Sc_checker.Write { loc; value }
+                  | `R (t, loc) ->
+                      let result =
+                        match Seq_memory.state_at p ~time:(t +. spacing /. 2.0) trace with
+                        | Ok s -> Seq_memory.read s loc
+                        | Error _ -> None
+                      in
+                      Sc_checker.Read { loc; result })
+                ops ))
+          scripts
+      in
+      Sc_checker.sequentially_consistent history)
+
+(* ---------------- interactive sessions (blocking writes) ----------- *)
+
+let test_session_basic () =
+  let scripts =
+    [
+      ( 0,
+        10.0,
+        [
+          Session.Write { loc = "x"; value = "1" };
+          Session.Read { loc = "x" };
+          Session.Write { loc = "y"; value = "2" };
+        ] );
+      (1, 12.0, [ Session.Write { loc = "x"; value = "9" }; Session.Read { loc = "y" } ]);
+    ]
+  in
+  let run = Session.run config ~scripts ~failures:[] ~until:400.0 ~seed:8 in
+  Alcotest.(check int) "all five operations completed" 5
+    (List.length run.Session.completions);
+  (* A session's own read after its own write sees at least that write. *)
+  let r0 =
+    List.find_opt
+      (fun c ->
+        c.Session.proc = 0
+        && match c.Session.op with Session.Read _ -> true | _ -> false)
+      run.Session.completions
+  in
+  (match r0 with
+  | Some c ->
+      Alcotest.(check bool) "read-own-write" true
+        (c.Session.result = Some "1" || c.Session.result = Some "9")
+  | None -> Alcotest.fail "processor 0's read did not complete");
+  Alcotest.(check bool) "history is sequentially consistent" true
+    (Sc_checker.sequentially_consistent (Session.history run))
+
+let test_session_store_buffering () =
+  (* The classic litmus, executed for real: with blocking writes the
+     outcome "both reads stale" is impossible. *)
+  let scripts =
+    [
+      (0, 10.0, [ Session.Write { loc = "x"; value = "1" }; Session.Read { loc = "y" } ]);
+      (1, 10.0, [ Session.Write { loc = "y"; value = "1" }; Session.Read { loc = "x" } ]);
+    ]
+  in
+  let run = Session.run config ~scripts ~failures:[] ~until:400.0 ~seed:9 in
+  Alcotest.(check int) "all four operations completed" 4
+    (List.length run.Session.completions);
+  Alcotest.(check bool) "history is sequentially consistent" true
+    (Sc_checker.sequentially_consistent (Session.history run))
+
+let test_session_blocks_in_minority () =
+  (* Sessions on a partitioned minority cannot complete writes (no primary
+     view): footnote 3's memory trades availability for consistency. *)
+  let failures =
+    List.map
+      (fun e -> (30.0, e))
+      (Fstatus.partition_events ~parts:[ [ 0; 1; 2 ]; [ 3 ] ])
+  in
+  let scripts =
+    [
+      (0, 60.0, [ Session.Write { loc = "x"; value = "maj" }; Session.Read { loc = "x" } ]);
+      (3, 60.0, [ Session.Write { loc = "x"; value = "min" }; Session.Read { loc = "x" } ]);
+    ]
+  in
+  let run = Session.run config ~scripts ~failures ~until:400.0 ~seed:10 in
+  let completed_at p =
+    List.length
+      (List.filter (fun c -> c.Session.proc = p) run.Session.completions)
+  in
+  Alcotest.(check int) "majority session finished" 2 (completed_at 0);
+  Alcotest.(check int) "minority session blocked" 0 (completed_at 3);
+  Alcotest.(check bool) "history (prefixes) still SC" true
+    (Sc_checker.sequentially_consistent (Session.history run))
+
+let prop_session_histories_sc =
+  QCheck.Test.make ~name:"interactive session histories are SC" ~count:12
+    QCheck.small_nat
+    (fun seed ->
+      let prng = Gcs_stdx.Prng.create (seed + 900) in
+      let locs = [ "x"; "y" ] in
+      let script p =
+        List.init 4 (fun k ->
+            if Gcs_stdx.Prng.bool prng then
+              Session.Write
+                {
+                  loc = Gcs_stdx.Prng.pick_exn prng locs;
+                  value = Printf.sprintf "p%dk%d" p k;
+                }
+            else Session.Read { loc = Gcs_stdx.Prng.pick_exn prng locs })
+      in
+      let scripts =
+        List.map (fun p -> (p, 10.0 +. float_of_int p, script p)) procs
+      in
+      let run = Session.run config ~scripts ~failures:[] ~until:600.0 ~seed in
+      Sc_checker.sequentially_consistent (Session.history run))
+
+(* ---------------- timeline rendering ---------------- *)
+
+let test_timeline_render () =
+  let marks =
+    [
+      { Timeline.time = 10.0; proc = 0; symbol = 's' };
+      { Timeline.time = 20.0; proc = 1; symbol = '+' };
+      { Timeline.time = 20.0; proc = 1; symbol = 'V' };
+      { Timeline.time = 99.0; proc = 2; symbol = '+' };
+    ]
+  in
+  let out =
+    Timeline.render ~procs:[ 0; 1; 2 ] ~width:50 ~until:100.0 ~marks
+      ~net_events:[ 50.0 ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check bool) "has a row per processor plus chrome" true
+    (List.length lines >= 6);
+  Alcotest.(check bool) "V wins collisions" true
+    (List.exists
+       (fun l -> String.length l > 4 && String.sub l 0 5 = "   p1"
+                 && String.contains l 'V' && not (String.contains l '+'))
+       lines);
+  Alcotest.(check bool) "net row shows the failure" true
+    (List.exists (fun l -> String.length l > 4 && String.sub l 0 5 = "  net" && String.contains l '!') lines)
+
+let test_timeline_of_run () =
+  let wl = [ Gcs_apps.Seq_memory.write_submission 0 ~loc:"x" ~value:"1" 10.0 ] in
+  let run = To_service.run config ~workload:wl ~failures:[] ~until:100.0 ~seed:1 in
+  let out = Timeline.of_to_service_run ~procs ~width:40 ~until:100.0 run in
+  Alcotest.(check bool) "submission appears" true (String.contains out 's');
+  Alcotest.(check bool) "deliveries appear" true (String.contains out '+')
+
+(* ---------------- work queue (load balancing over VS) -------------- *)
+
+let wq_config =
+  { Vs_node.procs; p0 = procs; pi = 6.0; mu = 8.0; delta = 1.0 }
+
+let test_work_queue_owner_deterministic () =
+  let view = View.initial procs in
+  List.iter
+    (fun task ->
+      let o1 = Work_queue.owner view task and o2 = Work_queue.owner view task in
+      Alcotest.(check int) "stable owner" o1 o2;
+      Alcotest.(check bool) "owner is a member" true (View.mem o1 view))
+    [ "a"; "b"; "task-42"; "" ]
+
+let test_work_queue_exactly_once_stable () =
+  let tasks = List.init 20 (fun k -> Printf.sprintf "job-%d" k) in
+  let workload =
+    List.mapi (fun i t -> (10.0 +. (2.0 *. float_of_int i), i mod 4, t)) tasks
+  in
+  let run = Vs_service.run wq_config ~workload ~failures:[] ~until:300.0 ~seed:3 in
+  let executions = Work_queue.executions ~p0:procs run.Vs_service.trace in
+  Alcotest.(check bool) "every task exactly once" true
+    (Work_queue.exactly_once ~tasks executions);
+  (* The hash spreads work: nobody runs everything. *)
+  let counts = Work_queue.counts_by_executor executions in
+  Alcotest.(check bool) "work is spread" true (List.length counts >= 2)
+
+let test_work_queue_partition_at_most_once () =
+  let tasks = List.init 12 (fun k -> Printf.sprintf "split-%d" k) in
+  let workload =
+    List.mapi (fun i t -> (80.0 +. (3.0 *. float_of_int i), i mod 4, t)) tasks
+  in
+  let failures =
+    List.map
+      (fun e -> (40.0, e))
+      (Fstatus.partition_events ~parts:[ [ 0; 1 ]; [ 2; 3 ] ])
+  in
+  let run = Vs_service.run wq_config ~workload ~failures ~until:400.0 ~seed:6 in
+  let executions = Work_queue.executions ~p0:procs run.Vs_service.trace in
+  List.iter
+    (fun task ->
+      let n =
+        List.length
+          (List.filter
+             (fun e -> String.equal e.Work_queue.task task)
+             executions)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s executed at most once (%d)" task n)
+        true (n <= 1))
+    tasks
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip basics" `Quick test_codec_roundtrip_basics;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_codec_rejects_malformed;
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+        ] );
+      ( "machines",
+        [
+          Alcotest.test_case "kv" `Quick test_kv_machine;
+          Alcotest.test_case "counter" `Quick test_counter_machine;
+        ] );
+      ( "rsm",
+        [
+          Alcotest.test_case "steady consistency" `Quick
+            test_rsm_consistency_steady;
+          Alcotest.test_case "partition consistency + catch-up" `Quick
+            test_rsm_consistency_partition;
+        ] );
+      ( "memories",
+        [
+          Alcotest.test_case "sequentially consistent reads" `Quick
+            test_seq_memory_reads;
+          Alcotest.test_case "atomic responses agree" `Quick
+            test_atomic_memory_agreement;
+        ] );
+      ( "sequential consistency",
+        [
+          Alcotest.test_case "SC checker unit tests" `Quick
+            test_sc_checker_units;
+          Alcotest.test_case "footnote 3 discipline is SC; naive is not"
+            `Quick test_footnote3_discipline_is_sc;
+          QCheck_alcotest.to_alcotest prop_random_session_histories_sc;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "basic completion + read-own-write" `Quick
+            test_session_basic;
+          Alcotest.test_case "store-buffering litmus (live)" `Quick
+            test_session_store_buffering;
+          Alcotest.test_case "minority session blocks" `Quick
+            test_session_blocks_in_minority;
+          QCheck_alcotest.to_alcotest prop_session_histories_sc;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "render basics" `Quick test_timeline_render;
+          Alcotest.test_case "of a real run" `Quick test_timeline_of_run;
+        ] );
+      ( "work queue",
+        [
+          Alcotest.test_case "deterministic ownership" `Quick
+            test_work_queue_owner_deterministic;
+          Alcotest.test_case "exactly once in a stable view" `Quick
+            test_work_queue_exactly_once_stable;
+          Alcotest.test_case "at most once across a partition" `Quick
+            test_work_queue_partition_at_most_once;
+        ] );
+    ]

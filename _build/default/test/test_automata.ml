@@ -1,0 +1,302 @@
+(* Tests for the I/O automaton framework: composition semantics, executor,
+   schedulers, invariant checking and forward-simulation checking, on small
+   purpose-built automata. *)
+
+open Gcs_automata
+
+(* A producer emits Emit k for k = 0, 1, 2, ...; a consumer inputs Emit and
+   sums what it received. Tick is internal to the producer. *)
+type action = Tick | Emit of int
+
+let producer : (int * bool, action) Automaton.t =
+  {
+    Automaton.name = "producer";
+    initial = (0, false) (* next value, ticked flag *);
+    kind =
+      (function Tick -> Some Kind.Internal | Emit _ -> Some Kind.Output);
+    enabled =
+      (fun (k, ticked) -> if ticked then [ Emit k ] else [ Tick ]);
+    transition =
+      (fun (k, ticked) action ->
+        match action with
+        | Tick -> if ticked then None else Some (k, true)
+        | Emit v -> if ticked && v = k then Some (k + 1, false) else None);
+  }
+
+let consumer : (int list, action) Automaton.t =
+  {
+    Automaton.name = "consumer";
+    initial = [];
+    kind = (function Emit _ -> Some Kind.Input | Tick -> None);
+    enabled = (fun _ -> []);
+    transition =
+      (fun received action ->
+        match action with
+        | Emit v -> Some (received @ [ v ])
+        | Tick -> None);
+  }
+
+let system = Automaton.compose ~name:"system" producer consumer
+
+let run_system steps seed =
+  Exec.run system
+    ~scheduler:(Scheduler.enabled_only system)
+    ~steps
+    ~prng:(Gcs_stdx.Prng.create seed)
+
+let test_composition_sync () =
+  let e = run_system 10 1 in
+  let _, received = Exec.final e in
+  Alcotest.(check (list int)) "consumer got 0..4 in order" [ 0; 1; 2; 3; 4 ]
+    received
+
+let test_kind_of_composition () =
+  Alcotest.(check bool) "Emit is output of composition" true
+    (system.Automaton.kind (Emit 0) = Some Kind.Output);
+  Alcotest.(check bool) "Tick is internal" true
+    (system.Automaton.kind Tick = Some Kind.Internal)
+
+let test_hide () =
+  let hidden = Automaton.hide system (function Emit _ -> true | _ -> false) in
+  Alcotest.(check bool) "Emit hidden" true
+    (hidden.Automaton.kind (Emit 0) = Some Kind.Internal);
+  let e =
+    Exec.run hidden
+      ~scheduler:(Scheduler.enabled_only hidden)
+      ~steps:10
+      ~prng:(Gcs_stdx.Prng.create 1)
+  in
+  Alcotest.(check (list string)) "trace empty when everything hidden" []
+    (List.map (fun _ -> "x") (Exec.trace hidden e))
+
+let test_trace_externals_only () =
+  let e = run_system 10 1 in
+  let trace = Exec.trace system e in
+  Alcotest.(check int) "five external events" 5 (List.length trace);
+  Alcotest.(check bool) "no Tick in trace" true
+    (List.for_all (function Tick -> false | Emit _ -> true) trace)
+
+let test_compatible () =
+  Alcotest.(check bool) "producer/consumer compatible" true
+    (Automaton.compatible producer consumer ~actions:[ Tick; Emit 0; Emit 1 ]);
+  Alcotest.(check bool) "producer incompatible with itself (shared output)"
+    false
+    (Automaton.compatible producer producer ~actions:[ Emit 0 ])
+
+let test_with_history () =
+  let counted =
+    Automaton.with_history system ~init:0 ~update:(fun _ a _ h ->
+        match a with Emit _ -> h + 1 | Tick -> h)
+  in
+  let e =
+    Exec.run counted
+      ~scheduler:(Scheduler.enabled_only counted)
+      ~steps:10
+      ~prng:(Gcs_stdx.Prng.create 3)
+  in
+  let _, h = Exec.final e in
+  Alcotest.(check int) "history counted the emits" 5 h
+
+let test_invariant_checker () =
+  let ok = Invariant.make "received sorted" (fun (_, received) ->
+      Gcs_stdx.Seqx.is_strictly_sorted ~compare:Int.compare received)
+  in
+  let bad = Invariant.make "never receives three" (fun (_, received) ->
+      List.length received < 3)
+  in
+  let e = run_system 10 5 in
+  Alcotest.(check bool) "good invariant passes" true
+    (Invariant.first_violation [ ok ] e = None);
+  match Invariant.first_violation [ bad ] e with
+  | Some v ->
+      Alcotest.(check string) "violation names invariant" "never receives three"
+        v.Invariant.invariant;
+      Alcotest.(check bool) "violation has culprit" true
+        (v.Invariant.culprit <> None)
+  | None -> Alcotest.fail "expected violation"
+
+let test_check_random () =
+  let bad =
+    Invariant.make "fewer than 2 emitted" (fun ((k, _), _) -> k < 2)
+  in
+  match
+    Invariant.check_random system
+      ~scheduler:(Scheduler.enabled_only system)
+      ~seeds:[ 1; 2; 3 ] ~steps:10 [ bad ]
+  with
+  | Some (_, seed) -> Alcotest.(check int) "first seed trips it" 1 seed
+  | None -> Alcotest.fail "expected a violation"
+
+let test_scheduler_stop_when () =
+  let scheduler =
+    Scheduler.stop_when
+      (fun ((k, _), _) -> k >= 2)
+      (Scheduler.enabled_only system)
+  in
+  let e = Exec.run system ~scheduler ~steps:100 ~prng:(Gcs_stdx.Prng.create 1) in
+  let (k, _), _ = Exec.final e in
+  Alcotest.(check int) "stopped at 2" 2 k
+
+let test_scheduler_injection () =
+  (* The consumer alone has no enabled actions; injection drives it. *)
+  let scheduler =
+    Scheduler.with_injected consumer ~inject:(fun received _ ->
+        [ Emit (List.length received) ])
+  in
+  let e =
+    Exec.run consumer ~scheduler ~steps:4 ~prng:(Gcs_stdx.Prng.create 1)
+  in
+  Alcotest.(check (list int)) "injected inputs applied" [ 0; 1; 2; 3 ]
+    (Exec.final e)
+
+(* Forward simulation: the system simulates a simple abstract counter whose
+   single action appends the emitted value. *)
+let abstract_counter : (int list, action) Automaton.t =
+  {
+    Automaton.name = "abstract";
+    initial = [];
+    kind = (function Emit _ -> Some Kind.Output | Tick -> None);
+    enabled = (fun xs -> [ Emit (List.length xs) ]);
+    transition =
+      (fun xs action ->
+        match action with
+        | Emit v -> if v = List.length xs then Some (xs @ [ v ]) else None
+        | Tick -> None);
+  }
+
+let test_simulation_ok () =
+  let e = run_system 20 7 in
+  let result =
+    Simulation.check_execution ~abstract:abstract_counter
+      ~f:(fun (_, received) -> received)
+      ~corresponds:(fun _ a _ ->
+        match a with Emit v -> [ Emit v ] | Tick -> [])
+      ~equal_abs:(List.equal Int.equal)
+      e
+  in
+  Alcotest.(check bool) "simulation holds" true (Result.is_ok result)
+
+let test_simulation_detects_bad_correspondence () =
+  let e = run_system 20 7 in
+  let result =
+    Simulation.check_execution ~abstract:abstract_counter
+      ~f:(fun (_, received) -> received)
+      ~corresponds:(fun _ _ _ -> []) (* forgets the emits *)
+      ~equal_abs:(List.equal Int.equal)
+      e
+  in
+  match result with
+  | Error failure ->
+      Alcotest.(check bool) "failure carries the step" true
+        (failure.Simulation.step_index >= 1)
+  | Ok () -> Alcotest.fail "expected simulation failure"
+
+let test_simulation_detects_bad_abstraction () =
+  let e = run_system 20 7 in
+  let result =
+    Simulation.check_execution ~abstract:abstract_counter
+      ~f:(fun ((k, _), _) -> List.init (k * 2) (fun i -> i)) (* wrong f *)
+      ~corresponds:(fun _ a _ ->
+        match a with Emit v -> [ Emit v ] | Tick -> [])
+      ~equal_abs:(List.equal Int.equal)
+      e
+  in
+  Alcotest.(check bool) "wrong abstraction caught" true (Result.is_error result)
+
+(* compose_list: a relay chain. Stage i inputs Emit i and outputs
+   Emit (i+1); the composition relays a token down the chain. *)
+let relay i : (int, action) Automaton.t =
+  {
+    Automaton.name = Printf.sprintf "relay%d" i;
+    initial = 0;
+    kind =
+      (function
+      | Emit v ->
+          if v = i then Some Kind.Input
+          else if v = i + 1 then Some Kind.Output
+          else None
+      | Tick -> None);
+    enabled = (fun pending -> if pending > 0 then [ Emit (i + 1) ] else []);
+    transition =
+      (fun pending action ->
+        match action with
+        | Emit v when v = i -> Some (pending + 1)
+        | Emit v when v = i + 1 && pending > 0 -> Some (pending - 1)
+        | _ -> None);
+  }
+
+let test_compose_list_relay () =
+  let chain = Automaton.compose_list ~name:"chain" [ relay 0; relay 1; relay 2 ] in
+  (* Inject Emit 0 (an input to the whole chain), then let it propagate. *)
+  let s = Automaton.step_exn chain chain.Automaton.initial (Emit 0) in
+  let s = Automaton.step_exn chain s (Emit 1) in
+  let s = Automaton.step_exn chain s (Emit 2) in
+  let s = Automaton.step_exn chain s (Emit 3) in
+  Alcotest.(check (list int)) "token drained through the chain" [ 0; 0; 0 ] s;
+  Alcotest.(check bool) "Emit 1 is an output of the chain" true
+    (chain.Automaton.kind (Emit 1) = Some Kind.Output);
+  Alcotest.(check bool) "Emit 0 is a pure input" true
+    (chain.Automaton.kind (Emit 0) = Some Kind.Input);
+  (* Relaying without a pending token is not enabled. *)
+  Alcotest.(check bool) "no spontaneous relay" true
+    (chain.Automaton.transition s (Emit 2) = None)
+
+let test_embed () =
+  (* Embed the producer into a larger action type with a foreign action. *)
+  let lifted =
+    Automaton.embed producer
+      ~inj:(fun a -> `P a)
+      ~proj:(function `P a -> Some a | `Other -> None)
+  in
+  Alcotest.(check bool) "foreign action outside signature" true
+    (lifted.Automaton.kind `Other = None);
+  Alcotest.(check bool) "foreign action has no transition" true
+    (lifted.Automaton.transition lifted.Automaton.initial `Other = None);
+  let s = Automaton.step_exn lifted lifted.Automaton.initial (`P Tick) in
+  let s = Automaton.step_exn lifted s (`P (Emit 0)) in
+  Alcotest.(check bool) "embedded transitions advance" true (fst s = 1)
+
+let prop_executor_deterministic =
+  QCheck.Test.make ~name:"executor deterministic per seed" ~count:50
+    QCheck.small_nat
+    (fun seed ->
+      let t1 = Exec.trace system (run_system 15 seed) in
+      let t2 = Exec.trace system (run_system 15 seed) in
+      t1 = t2)
+
+let () =
+  Alcotest.run "automata"
+    [
+      ( "composition",
+        [
+          Alcotest.test_case "output/input sync" `Quick test_composition_sync;
+          Alcotest.test_case "composed kinds" `Quick test_kind_of_composition;
+          Alcotest.test_case "hide" `Quick test_hide;
+          Alcotest.test_case "trace keeps externals" `Quick
+            test_trace_externals_only;
+          Alcotest.test_case "compatibility check" `Quick test_compatible;
+          Alcotest.test_case "history variables" `Quick test_with_history;
+          Alcotest.test_case "compose_list relay chain" `Quick
+            test_compose_list_relay;
+          Alcotest.test_case "embed into larger action type" `Quick
+            test_embed;
+        ] );
+      ( "checkers",
+        [
+          Alcotest.test_case "invariant checker" `Quick test_invariant_checker;
+          Alcotest.test_case "check_random reports seed" `Quick
+            test_check_random;
+          Alcotest.test_case "simulation holds" `Quick test_simulation_ok;
+          Alcotest.test_case "simulation catches bad correspondence" `Quick
+            test_simulation_detects_bad_correspondence;
+          Alcotest.test_case "simulation catches bad abstraction" `Quick
+            test_simulation_detects_bad_abstraction;
+        ] );
+      ( "schedulers",
+        [
+          Alcotest.test_case "stop_when" `Quick test_scheduler_stop_when;
+          Alcotest.test_case "injection" `Quick test_scheduler_injection;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_executor_deterministic ] );
+    ]

@@ -1,0 +1,238 @@
+(* Tests for the fixed-sequencer baseline, including the availability
+   contrast with the partitionable VStoTO stack. *)
+
+open Gcs_core
+open Gcs_impl
+open Gcs_baseline
+
+let procs = Proc.all ~n:4
+let delta = 1.0
+let config = Sequencer.make_config ~procs
+
+let workload ~senders ~from_time ~spacing ~count =
+  List.concat_map
+    (fun (i, p) ->
+      List.init count (fun k ->
+          ( from_time +. (float_of_int k *. spacing) +. (0.17 *. float_of_int i),
+            p,
+            Printf.sprintf "s%d.%d" p k )))
+    (List.mapi (fun i p -> (i, p)) senders)
+
+let test_steady_state () =
+  List.iter
+    (fun seed ->
+      let run =
+        Sequencer.run ~delta config
+          ~workload:(workload ~senders:procs ~from_time:5.0 ~spacing:5.0 ~count:10)
+          ~failures:[] ~until:200.0 ~seed
+      in
+      (match Sequencer.to_conforms config run with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "sequencer trace rejected: %s"
+            (Format.asprintf "%a" To_trace_checker.pp_error e));
+      Alcotest.(check int) "everything delivered everywhere"
+        (4 * 4 * 10)
+        (Sequencer.deliveries run))
+    [ 1; 2; 3 ]
+
+let test_partition_stalls_cut_side () =
+  (* Cut {2,3} away from the sequencer (0): they deliver nothing sent
+     after the cut, while {0,1} keep going. *)
+  let failures =
+    List.map
+      (fun e -> (30.0, e))
+      (Fstatus.partition_events ~parts:[ [ 0; 1 ]; [ 2; 3 ] ])
+  in
+  let run =
+    Sequencer.run ~delta config
+      ~workload:(workload ~senders:[ 0; 1 ] ~from_time:50.0 ~spacing:5.0 ~count:6)
+      ~failures ~until:300.0 ~seed:7
+  in
+  let deliveries_at p =
+    List.length
+      (List.filter
+         (fun (_, a) ->
+           match a with
+           | To_action.Brcv { dst; _ } -> Proc.equal dst p
+           | _ -> false)
+         (Timed.actions run.Sequencer.trace))
+  in
+  Alcotest.(check bool) "sequencer side progresses" true (deliveries_at 0 > 0);
+  Alcotest.(check int) "cut side stalls" 0 (deliveries_at 2 + deliveries_at 3)
+
+let test_latency_comparison_with_vstoto () =
+  (* In a well-behaved network the sequencer is faster than the token
+     protocol (the price VStoTO pays for partition tolerance). *)
+  let wl = workload ~senders:procs ~from_time:5.0 ~spacing:12.0 ~count:6 in
+  let seq_run =
+    Sequencer.run ~delta config ~workload:wl ~failures:[] ~until:400.0 ~seed:3
+  in
+  let vs_config = { Vs_node.procs; p0 = procs; pi = 6.0; mu = 8.0; delta } in
+  let to_config = To_service.make_config vs_config in
+  let vstoto_run =
+    To_service.run to_config ~workload:wl ~failures:[] ~until:400.0 ~seed:3
+  in
+  let mean_latency actions =
+    let sends = Hashtbl.create 64 in
+    let total = ref 0.0 and count = ref 0 in
+    List.iter
+      (fun (t, a) ->
+        match a with
+        | To_action.Bcast (p, v) -> Hashtbl.replace sends (p, v) t
+        | To_action.Brcv { src; value; _ } -> (
+            match Hashtbl.find_opt sends (src, value) with
+            | Some t0 ->
+                total := !total +. (t -. t0);
+                incr count
+            | None -> ())
+        | To_action.To_order _ -> ())
+      actions;
+    if !count = 0 then infinity else !total /. float_of_int !count
+  in
+  let seq_latency = mean_latency (Timed.actions seq_run.Sequencer.trace) in
+  let vstoto_latency =
+    mean_latency (Timed.actions (To_service.client_trace vstoto_run))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sequencer %.2f < vstoto %.2f" seq_latency vstoto_latency)
+    true
+    (seq_latency < vstoto_latency)
+
+let test_vstoto_survives_where_sequencer_stalls () =
+  (* The flip side: partition the sequencer into the minority; the
+     sequencer baseline stalls for the majority, while VStoTO keeps
+     confirming there. *)
+  let majority = [ 1; 2; 3 ] in
+  let failures =
+    List.map
+      (fun e -> (30.0, e))
+      (Fstatus.partition_events ~parts:[ [ 0 ]; majority ])
+  in
+  let wl = workload ~senders:majority ~from_time:60.0 ~spacing:9.0 ~count:5 in
+  let seq_run =
+    Sequencer.run ~delta config ~workload:wl ~failures ~until:500.0 ~seed:5
+  in
+  let vs_config = { Vs_node.procs; p0 = procs; pi = 6.0; mu = 8.0; delta } in
+  let to_config = To_service.make_config vs_config in
+  let vstoto_run =
+    To_service.run to_config ~workload:wl ~failures ~until:500.0 ~seed:5
+  in
+  Alcotest.(check int) "sequencer: majority gets nothing" 0
+    (Sequencer.deliveries seq_run);
+  Alcotest.(check bool) "vstoto: majority keeps delivering" true
+    (To_service.deliveries vstoto_run > 0)
+
+(* ---------------- Lamport-timestamp total order ---------------- *)
+
+let lamport_config = { Lamport_to.procs }
+
+let test_lamport_steady_state () =
+  List.iter
+    (fun seed ->
+      let run =
+        Lamport_to.run ~delta lamport_config
+          ~workload:(workload ~senders:procs ~from_time:5.0 ~spacing:5.0 ~count:8)
+          ~failures:[] ~until:300.0 ~seed
+      in
+      (match Lamport_to.to_conforms lamport_config run with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "lamport trace rejected (seed %d): %s" seed
+            (Format.asprintf "%a" To_trace_checker.pp_error e));
+      Alcotest.(check int) "everything delivered everywhere"
+        (4 * 4 * 8)
+        (Lamport_to.deliveries run))
+    [ 1; 2; 3 ]
+
+let test_lamport_stalls_on_any_crash () =
+  (* The all-to-all stability rule means a single unreachable processor
+     freezes deliveries for everyone — the paper's motivation for
+     partitionable services in one test. *)
+  let failures =
+    (30.0, Fstatus.Proc_status (3, Fstatus.Bad))
+    :: List.concat_map
+         (fun p ->
+           if p = 3 then []
+           else
+             [
+               (30.0, Fstatus.Link_status (p, 3, Fstatus.Bad));
+               (30.0, Fstatus.Link_status (3, p, Fstatus.Bad));
+             ])
+         procs
+  in
+  let run =
+    Lamport_to.run ~delta lamport_config
+      ~workload:(workload ~senders:[ 0; 1 ] ~from_time:50.0 ~spacing:5.0 ~count:5)
+      ~failures ~until:300.0 ~seed:7
+  in
+  (match Lamport_to.to_conforms lamport_config run with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "lamport trace rejected: %s"
+        (Format.asprintf "%a" To_trace_checker.pp_error e));
+  Alcotest.(check int) "everyone stalls after one crash" 0
+    (Lamport_to.deliveries run)
+
+let test_lamport_faster_than_token () =
+  let wl = workload ~senders:procs ~from_time:5.0 ~spacing:12.0 ~count:6 in
+  let lamport_run =
+    Lamport_to.run ~delta lamport_config ~workload:wl ~failures:[] ~until:400.0
+      ~seed:3
+  in
+  let vs_config = { Vs_node.procs; p0 = procs; pi = 6.0; mu = 8.0; delta } in
+  let to_config = To_service.make_config vs_config in
+  let vstoto_run =
+    To_service.run to_config ~workload:wl ~failures:[] ~until:400.0 ~seed:3
+  in
+  let mean_latency actions =
+    let sends = Hashtbl.create 64 in
+    let total = ref 0.0 and count = ref 0 in
+    List.iter
+      (fun (t, a) ->
+        match a with
+        | To_action.Bcast (p, v) -> Hashtbl.replace sends (p, v) t
+        | To_action.Brcv { src; value; _ } -> (
+            match Hashtbl.find_opt sends (src, value) with
+            | Some t0 ->
+                total := !total +. (t -. t0);
+                incr count
+            | None -> ())
+        | To_action.To_order _ -> ())
+      actions;
+    if !count = 0 then infinity else !total /. float_of_int !count
+  in
+  let lamport_latency = mean_latency (Timed.actions lamport_run.Lamport_to.trace) in
+  let vstoto_latency =
+    mean_latency (Timed.actions (To_service.client_trace vstoto_run))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "lamport %.2f < vstoto %.2f" lamport_latency vstoto_latency)
+    true
+    (lamport_latency < vstoto_latency)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "sequencer",
+        [
+          Alcotest.test_case "steady state" `Quick test_steady_state;
+          Alcotest.test_case "partition stalls cut side" `Quick
+            test_partition_stalls_cut_side;
+        ] );
+      ( "comparison",
+        [
+          Alcotest.test_case "sequencer faster when stable" `Quick
+            test_latency_comparison_with_vstoto;
+          Alcotest.test_case "vstoto survives sequencer partition" `Quick
+            test_vstoto_survives_where_sequencer_stalls;
+        ] );
+      ( "lamport",
+        [
+          Alcotest.test_case "steady state" `Quick test_lamport_steady_state;
+          Alcotest.test_case "stalls on any crash" `Quick
+            test_lamport_stalls_on_any_crash;
+          Alcotest.test_case "faster than the token when stable" `Quick
+            test_lamport_faster_than_token;
+        ] );
+    ]

@@ -1,0 +1,207 @@
+(* Property tests for the core data types: view-id and label orders,
+   quorum systems, and the Figure 8 summary operations. *)
+
+open Gcs_core
+
+let view_id_gen =
+  QCheck.Gen.(
+    map2 (fun num origin -> View_id.make ~num ~origin) (int_bound 20)
+      (int_bound 7))
+
+let view_id_arb = QCheck.make ~print:(Format.asprintf "%a" View_id.pp) view_id_gen
+
+let label_gen =
+  QCheck.Gen.(
+    map3
+      (fun id seqno origin -> Label.make ~id ~seqno:(seqno + 1) ~origin)
+      view_id_gen (int_bound 10) (int_bound 7))
+
+let label_arb = QCheck.make ~print:(Format.asprintf "%a" Label.pp) label_gen
+
+(* ---------------- orders ---------------- *)
+
+let prop_view_id_total_order =
+  QCheck.Test.make ~name:"view-id order is a total order" ~count:300
+    QCheck.(triple view_id_arb view_id_arb view_id_arb)
+    (fun (a, b, c) ->
+      let ( <= ) x y = View_id.compare x y <= 0 in
+      (a <= b || b <= a)
+      && ((not (a <= b && b <= a)) || View_id.equal a b)
+      && ((not (a <= b && b <= c)) || a <= c))
+
+let prop_view_id_lexicographic =
+  QCheck.Test.make ~name:"view-id order is lexicographic (num, origin)"
+    ~count:300
+    QCheck.(pair view_id_arb view_id_arb)
+    (fun (a, b) ->
+      let expected =
+        if a.View_id.num <> b.View_id.num then compare a.View_id.num b.View_id.num
+        else compare a.View_id.origin b.View_id.origin
+      in
+      compare (View_id.compare a b) 0 = compare expected 0)
+
+let prop_bottom_below_everything =
+  QCheck.Test.make ~name:"⊥ is below every view id" ~count:100 view_id_arb
+    (fun g -> View_id.lt_opt None (Some g))
+
+let prop_label_order_respects_view =
+  QCheck.Test.make ~name:"labels sort first by view id" ~count:300
+    QCheck.(pair label_arb label_arb)
+    (fun (a, b) ->
+      View_id.compare a.Label.id b.Label.id >= 0 || Label.compare a b < 0)
+
+let prop_label_seqno_order =
+  QCheck.Test.make ~name:"same view, same origin: seqno orders labels"
+    ~count:300
+    QCheck.(triple view_id_arb (pair small_nat small_nat) (int_bound 7))
+    (fun (id, (s1, s2), origin) ->
+      let a = Label.make ~id ~seqno:(s1 + 1) ~origin in
+      let b = Label.make ~id ~seqno:(s2 + 1) ~origin in
+      compare (Label.compare a b) 0 = compare (compare s1 s2) 0)
+
+(* ---------------- quorums ---------------- *)
+
+let prop_majorities_intersect =
+  QCheck.Test.make ~name:"majority quorums pairwise intersect" ~count:200
+    QCheck.(pair (int_range 1 9) (pair (list small_nat) (list small_nat)))
+    (fun (n, (sa, sb)) ->
+      let quorums = Quorum.majorities ~n in
+      let mk = List.filter (fun p -> p < n) in
+      let a = Proc.set_of_list (mk sa) and b = Proc.set_of_list (mk sb) in
+      (not (Quorum.is_quorum quorums a && Quorum.is_quorum quorums b))
+      || not (Proc.Set.is_empty (Proc.Set.inter a b)))
+
+let test_explicit_quorums () =
+  let s = Proc.set_of_list in
+  (match Quorum.of_sets [ s [ 0; 1 ]; s [ 1; 2 ]; s [ 0; 2 ] ] with
+  | Ok q ->
+      Alcotest.(check bool) "superset is quorum" true
+        (Quorum.is_quorum q (s [ 0; 1; 2 ]));
+      Alcotest.(check bool) "exact set is quorum" true
+        (Quorum.is_quorum q (s [ 1; 2 ]));
+      Alcotest.(check bool) "non-superset is not" false
+        (Quorum.is_quorum q (s [ 0 ]))
+  | Error e -> Alcotest.fail e);
+  (match Quorum.of_sets [ s [ 0 ]; s [ 1 ] ] with
+  | Ok _ -> Alcotest.fail "disjoint sets accepted"
+  | Error _ -> ());
+  match Quorum.of_sets [] with
+  | Ok _ -> Alcotest.fail "empty system accepted"
+  | Error _ -> ()
+
+let test_weighted_quorums () =
+  let weights =
+    Proc.Map.of_seq (List.to_seq [ (0, 3); (1, 1); (2, 1) ])
+  in
+  let q = Quorum.weighted_majorities ~weights in
+  Alcotest.(check bool) "heavy node alone is a quorum" true
+    (Quorum.is_quorum q (Proc.set_of_list [ 0 ]));
+  Alcotest.(check bool) "two light nodes are not" false
+    (Quorum.is_quorum q (Proc.set_of_list [ 1; 2 ]))
+
+(* ---------------- summaries (Figure 8) ---------------- *)
+
+let mk_summary ~ord ~next ~high ~con_labels =
+  let con =
+    List.fold_left
+      (fun acc l -> Label.Map.add l (Format.asprintf "%a" Label.pp l) acc)
+      Label.Map.empty con_labels
+  in
+  Summary.make ~con ~ord ~next ~high
+
+let l1 = Label.make ~id:View_id.g0 ~seqno:1 ~origin:0
+let l2 = Label.make ~id:View_id.g0 ~seqno:1 ~origin:1
+let l3 = Label.make ~id:View_id.g0 ~seqno:2 ~origin:0
+let g1 = View_id.make ~num:1 ~origin:0
+
+let test_confirm_prefix () =
+  let x = mk_summary ~ord:[ l1; l2; l3 ] ~next:3 ~high:None ~con_labels:[] in
+  Alcotest.(check int) "confirm has next-1 elements" 2
+    (List.length (Summary.confirm x));
+  let y = mk_summary ~ord:[ l1 ] ~next:5 ~high:None ~con_labels:[] in
+  Alcotest.(check int) "confirm clipped to ord length" 1
+    (List.length (Summary.confirm y))
+
+let test_figure8_operations () =
+  let xa =
+    mk_summary ~ord:[ l1 ] ~next:2 ~high:(Some View_id.g0)
+      ~con_labels:[ l1; l2 ]
+  in
+  let xb =
+    mk_summary ~ord:[ l1; l2 ] ~next:2 ~high:(Some g1) ~con_labels:[ l1; l2; l3 ]
+  in
+  let y = Proc.Map.of_seq (List.to_seq [ (0, xa); (1, xb) ]) in
+  Alcotest.(check bool) "maxprimary picks the greatest high" true
+    (View_id.compare_opt (Summary.maxprimary y) (Some g1) = 0);
+  Alcotest.(check (list int)) "reps are the holders of maxprimary" [ 1 ]
+    (Summary.reps y);
+  Alcotest.(check int) "chosenrep deterministic" 1 (Summary.chosenrep y);
+  Alcotest.(check bool) "shortorder is the rep's order" true
+    (List.equal Label.equal (Summary.shortorder y) [ l1; l2 ]);
+  let full = Summary.fullorder y in
+  Alcotest.(check bool) "fullorder starts with shortorder" true
+    (Gcs_stdx.Seqx.is_prefix ~equal:Label.equal [ l1; l2 ] full);
+  Alcotest.(check bool) "fullorder contains every known label" true
+    (List.for_all (fun l -> List.exists (Label.equal l) full) [ l1; l2; l3 ]);
+  Alcotest.(check int) "fullorder has no duplicates" (List.length full)
+    (List.length (Gcs_stdx.Seqx.dedup_sorted ~compare:Label.compare full));
+  Alcotest.(check int) "maxnextconfirm" 2 (Summary.maxnextconfirm y)
+
+let test_knowncontent_union () =
+  let xa = mk_summary ~ord:[] ~next:1 ~high:None ~con_labels:[ l1 ] in
+  let xb = mk_summary ~ord:[] ~next:1 ~high:None ~con_labels:[ l2; l3 ] in
+  let y = Proc.Map.of_seq (List.to_seq [ (0, xa); (1, xb) ]) in
+  Alcotest.(check int) "knowncontent unions the contents" 3
+    (Label.Map.cardinal (Summary.knowncontent y))
+
+let prop_fullorder_complete =
+  (* fullorder(Y) is shortorder(Y) followed by the remaining labels of
+     dom(knowncontent Y), in label order, without duplicates. *)
+  QCheck.Test.make ~name:"fullorder = shortorder ++ sorted remainder"
+    ~count:200
+    QCheck.(pair (list label_arb) (list label_arb))
+    (fun (ord_labels, extra_labels) ->
+      let ord = Gcs_stdx.Seqx.dedup_sorted ~compare:Label.compare ord_labels in
+      let xa =
+        mk_summary ~ord ~next:1 ~high:(Some g1)
+          ~con_labels:(ord @ extra_labels)
+      in
+      let y = Proc.Map.singleton 0 xa in
+      let full = Summary.fullorder y in
+      Gcs_stdx.Seqx.is_prefix ~equal:Label.equal ord full
+      && List.length full
+         = List.length
+             (Gcs_stdx.Seqx.dedup_sorted ~compare:Label.compare
+                (ord @ extra_labels))
+      &&
+      let remainder = Gcs_stdx.Seqx.drop (List.length ord) full in
+      Gcs_stdx.Seqx.is_strictly_sorted ~compare:Label.compare remainder)
+
+let () =
+  Alcotest.run "core_types"
+    [
+      ( "orders",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_view_id_total_order;
+            prop_view_id_lexicographic;
+            prop_bottom_below_everything;
+            prop_label_order_respects_view;
+            prop_label_seqno_order;
+          ] );
+      ( "quorums",
+        [
+          Alcotest.test_case "explicit systems" `Quick test_explicit_quorums;
+          Alcotest.test_case "weighted majorities" `Quick test_weighted_quorums;
+          QCheck_alcotest.to_alcotest prop_majorities_intersect;
+        ] );
+      ( "summaries",
+        [
+          Alcotest.test_case "confirm prefix" `Quick test_confirm_prefix;
+          Alcotest.test_case "Figure 8 operations" `Quick
+            test_figure8_operations;
+          Alcotest.test_case "knowncontent union" `Quick
+            test_knowncontent_union;
+          QCheck_alcotest.to_alcotest prop_fullorder_complete;
+        ] );
+    ]

@@ -1,0 +1,306 @@
+(* End-to-end tests: the VStoTO automaton over the Section 8 VS
+   implementation in the simulator (Theorems 7.1/7.2, operationally).
+   Safety: every client trace is a TO-machine trace, under arbitrary
+   failure scripts. Performance/fault-tolerance: after stabilization,
+   TO-property(b', d', Q) holds with this implementation's bounds. *)
+
+open Gcs_core
+open Gcs_impl
+
+let n = 5
+let procs = Proc.all ~n
+let delta = 1.0
+
+let vs_config = { Vs_node.procs; p0 = procs; pi = 8.0; mu = 10.0; delta }
+let config = To_service.make_config vs_config
+
+(* Theorem 7.1 shape: TO stabilizes within b' = b + d and delivers within
+   d' = d; our variant's bounds replace the paper's. *)
+let to_b = Vs_node.impl_b vs_config +. Vs_node.impl_d vs_config
+let to_d = Vs_node.impl_d vs_config +. (4.0 *. delta)
+
+let workload ~senders ~from_time ~spacing ~count =
+  List.concat_map
+    (fun (i, p) ->
+      List.init count (fun k ->
+          ( from_time +. (float_of_int k *. spacing) +. (0.13 *. float_of_int i),
+            p,
+            Printf.sprintf "v%d.%d" p k )))
+    (List.mapi (fun i p -> (i, p)) senders)
+
+let check_to_conforms name run =
+  match To_service.to_conforms config run with
+  | Ok () -> ()
+  | Error err ->
+      Alcotest.failf "%s: client trace rejected by TO checker: %s" name
+        (Format.asprintf "%a" To_trace_checker.pp_error err)
+
+let check_vs_conforms name run =
+  match To_service.vs_conforms config run with
+  | Ok () -> ()
+  | Error err ->
+      Alcotest.failf "%s: VS trace rejected: %s" name
+        (Format.asprintf "%a" Vs_trace_checker.pp_error err)
+
+let partition_at t parts =
+  List.map (fun e -> (t, e)) (Fstatus.partition_events ~parts)
+
+let heal_at t = List.map (fun e -> (t, e)) (Fstatus.heal_events ~procs)
+
+let test_steady_state () =
+  List.iter
+    (fun seed ->
+      let run =
+        To_service.run config
+          ~workload:(workload ~senders:procs ~from_time:5.0 ~spacing:9.0 ~count:6)
+          ~failures:[] ~until:400.0 ~seed
+      in
+      check_to_conforms "steady" run;
+      check_vs_conforms "steady" run;
+      Alcotest.(check bool) "deliveries happened" true
+        (To_service.deliveries run > 0))
+    [ 1; 2; 3 ]
+
+let test_steady_state_to_property () =
+  let until = 500.0 in
+  let run =
+    To_service.run config
+      ~workload:(workload ~senders:procs ~from_time:5.0 ~spacing:11.0 ~count:8)
+      ~failures:[] ~until ~seed:5
+  in
+  let report =
+    To_property.check ~b:to_b ~d:to_d ~q:procs ~horizon:until
+      (To_service.client_trace run)
+  in
+  if not (To_property.holds report) then
+    Alcotest.failf "TO-property fails in steady state: %s"
+      (Format.asprintf "%a" To_property.pp_report report)
+
+let test_partition_majority_confirms () =
+  (* During a partition, the majority side keeps delivering; Q = majority. *)
+  let q = [ 0; 1; 2 ] in
+  let until = 600.0 in
+  let failures = partition_at 60.0 [ q; [ 3; 4 ] ] in
+  let run =
+    To_service.run config
+      ~workload:(workload ~senders:q ~from_time:150.0 ~spacing:11.0 ~count:8)
+      ~failures ~until ~seed:11
+  in
+  check_to_conforms "partition majority" run;
+  let report =
+    To_property.check ~b:to_b ~d:to_d ~q ~horizon:until
+      (To_service.client_trace run)
+  in
+  if not (To_property.holds report) then
+    Alcotest.failf "TO-property fails on majority side: %s"
+      (Format.asprintf "%a" To_property.pp_report report)
+
+let test_minority_blocks () =
+  (* The minority side must not confirm anything sent after the split (it
+     has no primary view). Safety: no deliveries of post-split minority
+     values anywhere until heal; here there is no heal. *)
+  let until = 500.0 in
+  let failures = partition_at 60.0 [ [ 0; 1; 2 ]; [ 3; 4 ] ] in
+  let run =
+    To_service.run config
+      ~workload:(workload ~senders:[ 3; 4 ] ~from_time:100.0 ~spacing:9.0 ~count:5)
+      ~failures ~until ~seed:13
+  in
+  check_to_conforms "minority" run;
+  (* The only submissions are post-split at the minority, which has no
+     primary view: nothing may be confirmed anywhere. *)
+  Alcotest.(check int) "no deliveries of post-split minority values" 0
+    (To_service.deliveries run)
+
+let test_heal_merges_minority_values () =
+  (* Values submitted in the minority during the partition must be
+     delivered everywhere after the heal (the reconciliation protocol at
+     work). TO-property with Q = all processors and l = heal time requires
+     exactly this. *)
+  let until = 800.0 in
+  let failures = partition_at 60.0 [ [ 0; 1; 2 ]; [ 3; 4 ] ] @ heal_at 300.0 in
+  let run =
+    To_service.run config
+      ~workload:
+        (workload ~senders:procs ~from_time:100.0 ~spacing:13.0 ~count:6)
+      ~failures ~until ~seed:17
+  in
+  check_to_conforms "heal" run;
+  check_vs_conforms "heal" run;
+  let report =
+    To_property.check ~b:to_b ~d:to_d ~q:procs ~horizon:until
+      (To_service.client_trace run)
+  in
+  if not (To_property.holds report) then
+    Alcotest.failf "TO-property fails after heal: %s"
+      (Format.asprintf "%a" To_property.pp_report report);
+  (* Explicitly: some value from processor 3 or 4 reached processor 0. *)
+  let minority_merged =
+    List.exists
+      (fun (_, a) ->
+        match a with
+        | To_action.Brcv { src; dst; _ } -> (src = 3 || src = 4) && dst = 0
+        | _ -> false)
+      (Timed.actions (To_service.client_trace run))
+  in
+  Alcotest.(check bool) "minority values merged after heal" true
+    minority_merged
+
+let test_crash_recover_preserves_order () =
+  let until = 700.0 in
+  let all_links_to p status t =
+    List.concat_map
+      (fun q ->
+        if Proc.equal p q then []
+        else
+          [
+            (t, Fstatus.Link_status (p, q, status));
+            (t, Fstatus.Link_status (q, p, status));
+          ])
+      procs
+  in
+  let failures =
+    ((100.0, Fstatus.Proc_status (2, Fstatus.Bad)) :: all_links_to 2 Fstatus.Bad 100.0)
+    @ ((250.0, Fstatus.Proc_status (2, Fstatus.Good)) :: all_links_to 2 Fstatus.Good 250.0)
+  in
+  let run =
+    To_service.run config
+      ~workload:(workload ~senders:[ 0; 4 ] ~from_time:50.0 ~spacing:9.0 ~count:12)
+      ~failures ~until ~seed:19
+  in
+  check_to_conforms "crash+recover" run
+
+let test_stable_storage_variant () =
+  (* The Keidar–Dolev-style variant trades latency for stable storage. It
+     must still satisfy TO, and its delivery latency must exceed the
+     direct variant's. *)
+  let latency = 5.0 in
+  let ss_config =
+    To_service.make_config ~stable_storage_latency:latency vs_config
+  in
+  let wl = workload ~senders:procs ~from_time:5.0 ~spacing:11.0 ~count:6 in
+  let direct = To_service.run config ~workload:wl ~failures:[] ~until:500.0 ~seed:23 in
+  let stable =
+    To_service.run ss_config ~workload:wl ~failures:[] ~until:500.0 ~seed:23
+  in
+  (match To_service.to_conforms ss_config stable with
+  | Ok () -> ()
+  | Error err ->
+      Alcotest.failf "stable-storage trace rejected: %s"
+        (Format.asprintf "%a" To_trace_checker.pp_error err));
+  let mean_latency run =
+    let sends = Hashtbl.create 64 in
+    let total = ref 0.0 and count = ref 0 in
+    List.iter
+      (fun (t, a) ->
+        match a with
+        | To_action.Bcast (p, v) -> Hashtbl.replace sends (p, v) t
+        | To_action.Brcv { src; value; _ } -> (
+            match Hashtbl.find_opt sends (src, value) with
+            | Some t0 ->
+                total := !total +. (t -. t0);
+                incr count
+            | None -> ())
+        | To_action.To_order _ -> ())
+      (Timed.actions (To_service.client_trace run));
+    if !count = 0 then 0.0 else !total /. float_of_int !count
+  in
+  let direct_latency = mean_latency direct in
+  let stable_latency = mean_latency stable in
+  Alcotest.(check bool)
+    (Printf.sprintf "stable storage adds latency (%.2f vs %.2f)" stable_latency
+       direct_latency)
+    true
+    (stable_latency > direct_latency)
+
+let test_weighted_quorum_primary () =
+  (* The paper fixes an arbitrary intersecting quorum system Q, not
+     necessarily majorities. Give processor 0 enough weight that {0, x} is
+     a quorum: after a 2-3 split that keeps 0 in the SMALL side, the
+     2-processor side is primary and keeps confirming, while the
+     3-processor side (a majority!) blocks. *)
+  let weights = Proc.Map.of_seq (List.to_seq [ (0, 4); (1, 1); (2, 1); (3, 1); (4, 1) ]) in
+  let quorums = Quorum.weighted_majorities ~weights in
+  let wconfig = To_service.make_config ~quorums vs_config in
+  let failures = partition_at 40.0 [ [ 0; 1 ]; [ 2; 3; 4 ] ] in
+  let wl =
+    workload ~senders:[ 0; 2 ] ~from_time:100.0 ~spacing:11.0 ~count:5
+  in
+  let run = To_service.run wconfig ~workload:wl ~failures ~until:500.0 ~seed:29 in
+  (match To_service.to_conforms wconfig run with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "weighted quorum TO: %s"
+        (Format.asprintf "%a" To_trace_checker.pp_error e));
+  let deliveries_at p =
+    List.length
+      (List.filter
+         (fun (_, a) ->
+           match a with
+           | To_action.Brcv { dst; _ } -> Proc.equal dst p
+           | _ -> false)
+         (Timed.actions (To_service.client_trace run)))
+  in
+  Alcotest.(check bool) "weighted side (with 0) confirms" true
+    (deliveries_at 1 > 0);
+  Alcotest.(check int) "numeric majority without weight blocks" 0
+    (deliveries_at 3)
+
+let prop_random_failures_preserve_to =
+  QCheck.Test.make ~name:"random failure scripts preserve TO safety" ~count:15
+    QCheck.small_nat
+    (fun seed ->
+      let prng = Gcs_stdx.Prng.create ((seed * 13) + 3) in
+      let failures =
+        List.init 10 (fun i ->
+            let t = 30.0 +. (float_of_int i *. 30.0) in
+            let p = Gcs_stdx.Prng.pick_exn prng procs in
+            let q = Gcs_stdx.Prng.pick_exn prng procs in
+            let s =
+              match Gcs_stdx.Prng.int prng 3 with
+              | 0 -> Fstatus.Good
+              | 1 -> Fstatus.Bad
+              | _ -> Fstatus.Ugly
+            in
+            if Gcs_stdx.Prng.bool prng || Proc.equal p q then
+              (t, Fstatus.Proc_status (p, s))
+            else (t, Fstatus.Link_status (p, q, s)))
+      in
+      let run =
+        To_service.run config
+          ~workload:(workload ~senders:procs ~from_time:5.0 ~spacing:7.0 ~count:10)
+          ~failures ~until:450.0 ~seed
+      in
+      Result.is_ok (To_service.to_conforms config run)
+      && Result.is_ok (To_service.vs_conforms config run))
+
+let () =
+  Alcotest.run "end_to_end"
+    [
+      ( "safety",
+        [
+          Alcotest.test_case "steady state conformance" `Quick
+            test_steady_state;
+          Alcotest.test_case "minority blocks while partitioned" `Quick
+            test_minority_blocks;
+          Alcotest.test_case "crash and recover" `Quick
+            test_crash_recover_preserves_order;
+        ] );
+      ( "to-property",
+        [
+          Alcotest.test_case "steady state" `Quick test_steady_state_to_property;
+          Alcotest.test_case "majority side confirms" `Quick
+            test_partition_majority_confirms;
+          Alcotest.test_case "heal merges minority values" `Quick
+            test_heal_merges_minority_values;
+          Alcotest.test_case "weighted (non-majority) quorums" `Quick
+            test_weighted_quorum_primary;
+        ] );
+      ( "variants",
+        [
+          Alcotest.test_case "stable storage adds latency" `Quick
+            test_stable_storage_variant;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_random_failures_preserve_to ] );
+    ]

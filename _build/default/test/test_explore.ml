@@ -1,0 +1,189 @@
+(* Bounded exhaustive model checking of the VStoTO-system: every reachable
+   state of a small instance (2 processors, 1 client value per processor
+   per view, a bounded number of views) is checked against the Section 6
+   invariants, and every transition against the forward simulation. This
+   complements the randomized executions in test_vstoto.ml with full
+   coverage of a small state space. *)
+
+open Gcs_automata
+open Gcs_core
+
+let procs = Proc.all ~n:2
+let p0 = procs
+let quorums = Quorum.majorities ~n:2
+let params = Vstoto_system.make_params ~procs ~p0 ~quorums ()
+let automaton = Vstoto_system.automaton params
+
+(* Deterministic, finite injection: client submissions are offered while
+   the processor has little in flight; view creations are offered up to a
+   bound, with every non-empty membership. *)
+let inject ~max_views state =
+  let bcasts =
+    List.filter_map
+      (fun p ->
+        let node = Vstoto_system.node state p in
+        if node.Vstoto.delay = [] && node.Vstoto.nextseqno <= 2 then
+          Some (Sys_action.Bcast (p, "a"))
+        else None)
+      procs
+  in
+  let created = state.Vstoto_system.vs.Vs_machine.created in
+  let creates =
+    if View_id.Map.cardinal created >= max_views then []
+    else
+      let num =
+        1 + View_id.Map.fold (fun g _ acc -> max g.View_id.num acc) created 0
+      in
+      List.map
+        (fun members ->
+          Sys_action.Vs
+            (Vs_action.Createview
+               (View.make (View_id.make ~num ~origin:0) members)))
+        [ [ 0 ]; [ 1 ]; [ 0; 1 ] ]
+  in
+  bcasts @ creates
+
+let invariants = Vstoto_invariants.all params
+
+let test_exhaustive_two_views () =
+  match
+    Explore.bfs_with_edges automaton
+      ~inject:(inject ~max_views:2)
+      ~key:State_key.system_state ~max_states:60_000 ~invariants
+      ~on_edge:(fun pre action post ->
+        (* Per-transition forward simulation (Lemma 6.25). *)
+        let abstract = To_machine.automaton (To_simulation.abstract_params params) in
+        let f = To_simulation.f params in
+        let rec run st = function
+          | [] -> Ok st
+          | a :: rest -> (
+              match abstract.Automaton.transition st a with
+              | Some st' -> run st' rest
+              | None -> Error "abstract action not enabled")
+        in
+        match run (f pre) (To_simulation.corresponds params pre action post) with
+        | Error e -> Error e
+        | Ok final ->
+            if
+              To_machine.equal_state
+                (To_simulation.abstract_params params)
+                final (f post)
+            then Ok ()
+            else Error "abstract state mismatch")
+  with
+  | Explore.Exhausted { states } ->
+      Printf.printf "exhausted the reachable space: %d states\n" states;
+      Alcotest.(check bool) "explored something substantial" true (states > 500)
+  | Explore.Bound_reached { states } ->
+      Printf.printf "bound reached at %d states (all passed)\n" states
+  | Explore.Violation { invariant; detail; path; _ } ->
+      Alcotest.failf "%s: %s\npath: %s" invariant detail
+        (String.concat " ; "
+           (List.map (Format.asprintf "%a" Sys_action.pp) path))
+
+let test_exhaustive_three_views_invariants_only () =
+  match
+    Explore.bfs automaton
+      ~inject:(inject ~max_views:3)
+      ~key:State_key.system_state ~max_states:40_000 ~invariants
+  with
+  | Explore.Exhausted { states } ->
+      Printf.printf "exhausted: %d states\n" states
+  | Explore.Bound_reached { states } ->
+      Printf.printf "bound reached at %d states (all passed)\n" states
+  | Explore.Violation { invariant; detail; path; _ } ->
+      Alcotest.failf "%s: %s\npath length %d" invariant detail
+        (List.length path)
+
+(* VS-machine alone explores further for the same bound; check Lemma 4.1
+   on every reachable state of a 2-processor instance. *)
+let test_exhaustive_vs_machine () =
+  let vs_params =
+    { Vs_machine.procs; p0 = procs; equal_msg = String.equal; weak = false }
+  in
+  let vs = Vs_machine.automaton vs_params in
+  let inject state =
+    let sends =
+      List.map (fun p -> Vs_action.Gpsnd { sender = p; msg = "m" }) procs
+    in
+    let sends =
+      (* Bound the space: at most 2 messages ordered+pending per (p, g). *)
+      List.filter
+        (fun a ->
+          match a with
+          | Vs_action.Gpsnd { sender; _ } -> (
+              match Vs_machine.current_of state sender with
+              | Some g ->
+                  List.length (Vs_machine.pending_of state sender g)
+                  + List.length
+                      (List.filter
+                         (fun (_, p) -> Proc.equal p sender)
+                         (Vs_machine.queue_of state g))
+                  < 2
+              | None -> false)
+          | _ -> false)
+        sends
+    in
+    let created = state.Vs_machine.created in
+    let creates =
+      if View_id.Map.cardinal created >= 2 then []
+      else
+        let num =
+          1 + View_id.Map.fold (fun g _ acc -> max g.View_id.num acc) created 0
+        in
+        List.map
+          (fun members ->
+            Vs_action.Createview (View.make (View_id.make ~num ~origin:0) members))
+          [ [ 0 ]; [ 1 ]; [ 0; 1 ] ]
+    in
+    sends @ creates
+  in
+  let key s = State_key.vs_state ~msg:(fun (m : string) -> m) s in
+  match
+    Explore.bfs vs ~inject ~key ~max_states:120_000
+      ~invariants:(Vs_machine.invariants vs_params)
+  with
+  | Explore.Exhausted { states } ->
+      Printf.printf "VS-machine exhausted: %d states\n" states
+  | Explore.Bound_reached { states } ->
+      Printf.printf "VS-machine bound reached at %d states (all passed)\n" states
+  | Explore.Violation { invariant; detail; path; _ } ->
+      Alcotest.failf "%s: %s (path length %d)" invariant detail
+        (List.length path)
+
+let test_explorer_detects_violations () =
+  (* Sanity for the explorer itself: a false invariant is found with a
+     path. *)
+  let bogus =
+    [
+      Invariant.make "no processor ever confirms" (fun s ->
+          List.for_all
+            (fun p -> (Vstoto_system.node s p).Vstoto.nextconfirm = 1)
+            procs);
+    ]
+  in
+  match
+    Explore.bfs automaton
+      ~inject:(inject ~max_views:1)
+      ~key:State_key.system_state ~max_states:50_000 ~invariants:bogus
+  with
+  | Explore.Violation { path; _ } ->
+      Alcotest.(check bool) "violation path is non-empty" true (path <> [])
+  | Explore.Exhausted _ | Explore.Bound_reached _ ->
+      Alcotest.fail "expected the bogus invariant to be violated"
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "exhaustive",
+        [
+          Alcotest.test_case "2 procs, 2 views, invariants + simulation"
+            `Slow test_exhaustive_two_views;
+          Alcotest.test_case "2 procs, 3 views, invariants" `Slow
+            test_exhaustive_three_views_invariants_only;
+          Alcotest.test_case "explorer finds violations" `Quick
+            test_explorer_detects_violations;
+          Alcotest.test_case "2 procs VS-machine, Lemma 4.1 exhaustive" `Slow
+            test_exhaustive_vs_machine;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* Footnote 5: the weaker VS variant allowing delivery gaps above the safe
+   frontier still supports VStoTO — the client traces satisfy TO-machine,
+   because the stable order advances only on safe, and safe implies
+   prefix-complete delivery at every member. *)
+
+open Gcs_automata
+open Gcs_core
+
+let procs = Proc.all ~n:4
+let p0 = procs
+let quorums = Quorum.majorities ~n:4
+
+let gap_params = Vstoto_gap_system.make_params ~procs ~p0 ~quorums ()
+let gap_automaton = Vstoto_gap_system.automaton gap_params
+let values = [ "a"; "b"; "c"; "d" ]
+
+let run ?(steps = 400) seed =
+  let scheduler =
+    Scheduler.weighted gap_automaton
+      ~inject:(Vstoto_gap_system.inject gap_params ~values)
+      ~inject_weight:0.3
+  in
+  Exec.run gap_automaton ~scheduler ~steps ~prng:(Gcs_stdx.Prng.create seed)
+
+let client_trace execution =
+  List.filter_map
+    (fun action ->
+      match action with
+      | Sys_action.Bcast (p, a) -> Some (To_action.Bcast (p, a))
+      | Sys_action.Brcv { src; dst; value } ->
+          Some (To_action.Brcv { src; dst; value })
+      | _ -> None)
+    (Exec.actions execution)
+
+let to_params = { To_machine.procs; equal_value = Value.equal }
+
+let test_gap_machine_invariants () =
+  let vsp = { Vs_gap_machine.procs; p0; equal_msg = String.equal } in
+  let machine = Vs_gap_machine.automaton vsp in
+  let inject state prng =
+    let gpsnd =
+      match
+        (Gcs_stdx.Prng.pick prng procs, Gcs_stdx.Prng.pick prng values)
+      with
+      | Some p, Some m -> [ Vs_action.Gpsnd { sender = p; msg = m } ]
+      | _ -> []
+    in
+    gpsnd @ Vs_gap_machine.inject_createview vsp state prng
+  in
+  let scheduler = Scheduler.weighted machine ~inject ~inject_weight:0.35 in
+  match
+    Invariant.check_random machine ~scheduler
+      ~seeds:(List.init 20 (fun i -> i))
+      ~steps:250
+      (Vs_gap_machine.invariants vsp)
+  with
+  | None -> ()
+  | Some (v, seed) ->
+      Alcotest.failf "%s violated (seed %d, step %d): %s" v.Invariant.invariant
+        seed v.Invariant.step_index v.Invariant.detail
+
+let test_gaps_actually_occur () =
+  (* Sanity: the executions genuinely exercise gap deliveries, i.e. some
+     processor's delivered set is non-prefix at some point. *)
+  let saw_gap = ref false in
+  List.iter
+    (fun seed ->
+      let e = run seed in
+      List.iter
+        (fun state ->
+          let vs = state.Vstoto_gap_system.vs in
+          Vs_gap_machine.Pg_map.iter
+            (fun _ dset ->
+              let pp = Vs_gap_machine.prefix_point dset in
+              match Vs_gap_machine.Int_set.max_elt_opt dset with
+              | Some m when m > pp -> saw_gap := true
+              | _ -> ())
+            vs.Vs_gap_machine.delivered)
+        (Exec.states e))
+    [ 0; 1; 2 ];
+  Alcotest.(check bool) "gap deliveries occurred" true !saw_gap
+
+let test_to_holds_over_gap_variant () =
+  List.iter
+    (fun seed ->
+      match To_trace_checker.check to_params (client_trace (run seed)) with
+      | Ok () -> ()
+      | Error err ->
+          Alcotest.failf "seed %d: %s" seed
+            (Format.asprintf "%a" To_trace_checker.pp_error err))
+    (List.init 12 (fun i -> i))
+
+let test_progress_over_gap_variant () =
+  let total =
+    List.fold_left
+      (fun acc seed ->
+        acc
+        + List.length
+            (List.filter
+               (function To_action.Brcv _ -> true | _ -> false)
+               (client_trace (run seed))))
+      0
+      (List.init 12 (fun i -> i))
+  in
+  Alcotest.(check bool) "deliveries happen despite gaps" true (total > 0)
+
+let prop_gap_variant_to_safe =
+  QCheck.Test.make ~name:"TO holds over the gap variant (random)" ~count:15
+    QCheck.small_nat
+    (fun seed ->
+      Result.is_ok
+        (To_trace_checker.check to_params (client_trace (run (seed + 50)))))
+
+let () =
+  Alcotest.run "gap_variant"
+    [
+      ( "footnote 5",
+        [
+          Alcotest.test_case "gap machine invariants" `Quick
+            test_gap_machine_invariants;
+          Alcotest.test_case "gaps actually occur" `Quick
+            test_gaps_actually_occur;
+          Alcotest.test_case "TO holds over the gap variant" `Quick
+            test_to_holds_over_gap_variant;
+          Alcotest.test_case "progress despite gaps" `Quick
+            test_progress_over_gap_variant;
+          QCheck_alcotest.to_alcotest prop_gap_variant_to_safe;
+        ] );
+    ]

@@ -1,0 +1,416 @@
+(* Tests for the Section 8 VS implementation: conformance of its traces to
+   VS-machine, and the conditional VS-property (stabilization and timely
+   safe delivery) under partitions and healing. *)
+
+open Gcs_core
+open Gcs_impl
+
+let n = 5
+let procs = Proc.all ~n
+let delta = 1.0
+
+let config =
+  { Vs_node.procs; p0 = procs; pi = 8.0; mu = 10.0; delta }
+
+let workload ~senders ~from_time ~spacing ~count =
+  List.concat_map
+    (fun (i, p) ->
+      List.init count (fun k ->
+          ( from_time +. (float_of_int k *. spacing) +. (0.1 *. float_of_int i),
+            p,
+            Printf.sprintf "m%d.%d" p k )))
+    (List.mapi (fun i p -> (i, p)) senders)
+
+let check_conforms name run =
+  match Vs_service.conforms ~equal_msg:String.equal config run with
+  | Ok () -> ()
+  | Error err ->
+      Alcotest.failf "%s: trace rejected by VS-machine checker: %s" name
+        (Format.asprintf "%a" Vs_trace_checker.pp_error err)
+
+let pp_msg ppf (m : string) = Format.pp_print_string ppf m
+
+let test_steady_state_conformance () =
+  List.iter
+    (fun seed ->
+      let run =
+        Vs_service.run config
+          ~workload:(workload ~senders:procs ~from_time:5.0 ~spacing:7.0 ~count:6)
+          ~failures:[] ~until:300.0 ~seed
+      in
+      check_conforms "steady" run)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_steady_state_vs_property () =
+  let until = 400.0 in
+  let run =
+    Vs_service.run config
+      ~workload:(workload ~senders:procs ~from_time:5.0 ~spacing:9.0 ~count:8)
+      ~failures:[] ~until ~seed:7
+  in
+  let report =
+    Vs_property.check ~b:(Vs_node.impl_b config) ~d:(Vs_node.impl_d config)
+      ~q:procs ~p0:procs ~horizon:until ~equal_msg:String.equal ~pp_msg run.Vs_service.trace
+  in
+  if not (Vs_property.holds report) then
+    Alcotest.failf "VS-property fails: %s"
+      (Format.asprintf "%a" Vs_property.pp_report report)
+
+let partition_at t parts = List.map (fun e -> (t, e)) (Fstatus.partition_events ~parts)
+let heal_at t = List.map (fun e -> (t, e)) (Fstatus.heal_events ~procs)
+
+let test_partition_conformance () =
+  List.iter
+    (fun seed ->
+      let failures =
+        partition_at 60.0 [ [ 0; 1; 2 ]; [ 3; 4 ] ] @ heal_at 180.0
+      in
+      let run =
+        Vs_service.run config
+          ~workload:(workload ~senders:procs ~from_time:5.0 ~spacing:6.0 ~count:20)
+          ~failures ~until:400.0 ~seed
+      in
+      check_conforms "partition+heal" run)
+    [ 11; 12; 13; 14; 15 ]
+
+let test_partition_stabilizes_majority_side () =
+  let q = [ 0; 1; 2 ] in
+  let until = 400.0 in
+  let failures = partition_at 60.0 [ q; [ 3; 4 ] ] in
+  let run =
+    Vs_service.run config
+      ~workload:(workload ~senders:q ~from_time:100.0 ~spacing:9.0 ~count:10)
+      ~failures ~until ~seed:21
+  in
+  check_conforms "partition" run;
+  let report =
+    Vs_property.check ~b:(Vs_node.impl_b config) ~d:(Vs_node.impl_d config)
+      ~q ~p0:procs ~horizon:until ~equal_msg:String.equal ~pp_msg run.Vs_service.trace
+  in
+  if not (Vs_property.holds report) then
+    Alcotest.failf "VS-property fails on majority side: %s"
+      (Format.asprintf "%a" Vs_property.pp_report report)
+
+let test_partition_stabilizes_minority_side () =
+  let q = [ 3; 4 ] in
+  let until = 400.0 in
+  let failures = partition_at 60.0 [ [ 0; 1; 2 ]; q ] in
+  let run =
+    Vs_service.run config
+      ~workload:(workload ~senders:q ~from_time:100.0 ~spacing:9.0 ~count:10)
+      ~failures ~until ~seed:22
+  in
+  let report =
+    Vs_property.check ~b:(Vs_node.impl_b config) ~d:(Vs_node.impl_d config)
+      ~q ~p0:procs ~horizon:until ~equal_msg:String.equal ~pp_msg run.Vs_service.trace
+  in
+  if not (Vs_property.holds report) then
+    Alcotest.failf "VS-property fails on minority side: %s"
+      (Format.asprintf "%a" Vs_property.pp_report report)
+
+let test_heal_reunites () =
+  let until = 500.0 in
+  let failures = partition_at 60.0 [ [ 0; 1; 2 ]; [ 3; 4 ] ] @ heal_at 200.0 in
+  let run =
+    Vs_service.run config
+      ~workload:(workload ~senders:procs ~from_time:260.0 ~spacing:9.0 ~count:6)
+      ~failures ~until ~seed:31
+  in
+  check_conforms "heal" run;
+  (match Vs_service.stabilized_view_time ~q:procs run with
+  | Some t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "final all-member view by %.1f (got %.1f)"
+           (200.0 +. Vs_node.impl_b config) t)
+        true
+        (t <= 200.0 +. Vs_node.impl_b config)
+  | None -> Alcotest.fail "processors did not reunite into one view");
+  let report =
+    Vs_property.check ~b:(Vs_node.impl_b config) ~d:(Vs_node.impl_d config)
+      ~q:procs ~p0:procs ~horizon:until ~equal_msg:String.equal ~pp_msg run.Vs_service.trace
+  in
+  if not (Vs_property.holds report) then
+    Alcotest.failf "VS-property fails after heal: %s"
+      (Format.asprintf "%a" Vs_property.pp_report report)
+
+let test_crash_and_recover () =
+  (* Processor 4 crashes (bad) and later recovers; the rest reform and
+     continue; after recovery everyone reunites. *)
+  let until = 500.0 in
+  let failures =
+    [ (60.0, Fstatus.Proc_status (4, Fstatus.Bad)) ]
+    @ List.map
+        (fun p ->
+          (60.0, Fstatus.Link_status (p, 4, Fstatus.Bad)))
+        [ 0; 1; 2; 3 ]
+    @ List.map
+        (fun p ->
+          (60.0, Fstatus.Link_status (4, p, Fstatus.Bad)))
+        [ 0; 1; 2; 3 ]
+    @ [ (200.0, Fstatus.Proc_status (4, Fstatus.Good)) ]
+    @ List.map
+        (fun p -> (200.0, Fstatus.Link_status (p, 4, Fstatus.Good)))
+        [ 0; 1; 2; 3 ]
+    @ List.map
+        (fun p -> (200.0, Fstatus.Link_status (4, p, Fstatus.Good)))
+        [ 0; 1; 2; 3 ]
+  in
+  let run =
+    Vs_service.run config
+      ~workload:(workload ~senders:[ 0; 1 ] ~from_time:80.0 ~spacing:9.0 ~count:8)
+      ~failures ~until ~seed:41
+  in
+  check_conforms "crash+recover" run;
+  match Vs_service.stabilized_view_time ~q:procs run with
+  | Some _ -> ()
+  | None -> Alcotest.fail "processors did not reunite after recovery"
+
+let test_ugly_links_conformance () =
+  (* Lossy, slow links between the halves: safety must still hold (no
+     timing guarantees are claimed). *)
+  let failures =
+    List.concat_map
+      (fun p ->
+        List.concat_map
+          (fun q ->
+            if (p < 3) = (q < 3) || p = q then []
+            else [ (50.0, Fstatus.Link_status (p, q, Fstatus.Ugly)) ])
+          procs)
+      procs
+  in
+  List.iter
+    (fun seed ->
+      let run =
+        Vs_service.run config
+          ~workload:(workload ~senders:procs ~from_time:5.0 ~spacing:5.0 ~count:15)
+          ~failures ~until:400.0 ~seed
+      in
+      check_conforms "ugly" run)
+    [ 51; 52; 53 ]
+
+let test_churn_stops_after_stabilization () =
+  (* "Capricious view changes must stop shortly after stabilization":
+     count newview events after l + b. *)
+  let until = 600.0 in
+  let failures = partition_at 60.0 [ [ 0; 1; 2 ]; [ 3; 4 ] ] @ heal_at 250.0 in
+  let run =
+    Vs_service.run config ~workload:[] ~failures ~until ~seed:61
+  in
+  let cutoff = 250.0 +. Vs_node.impl_b config in
+  let late_newviews =
+    List.filter
+      (fun (time, a) ->
+        match a with
+        | Vs_action.Newview _ -> time > cutoff
+        | _ -> false)
+      (Timed.actions run.Vs_service.trace)
+  in
+  Alcotest.(check int) "no newview after stabilization bound" 0
+    (List.length late_newviews)
+
+let test_leader_crash_failover () =
+  (* Crash the ring leader (processor 0): the token stops, the survivors
+     time out, reform without it, and the new leader (1) relaunches the
+     token; traffic keeps flowing. *)
+  let failures =
+    (60.0, Fstatus.Proc_status (0, Fstatus.Bad))
+    :: List.concat_map
+         (fun p ->
+           if p = 0 then []
+           else
+             [
+               (60.0, Fstatus.Link_status (p, 0, Fstatus.Bad));
+               (60.0, Fstatus.Link_status (0, p, Fstatus.Bad));
+             ])
+         procs
+  in
+  let run =
+    Vs_service.run config
+      ~workload:(workload ~senders:[ 1; 2 ] ~from_time:100.0 ~spacing:8.0 ~count:6)
+      ~failures ~until:400.0 ~seed:81
+  in
+  check_conforms "leader crash" run;
+  (match Vs_service.stabilized_view_time ~q:[ 1; 2; 3; 4 ] run with
+  | Some t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "survivors stabilized (t=%.1f)" t)
+        true
+        (t <= 60.0 +. Vs_node.impl_b config)
+  | None -> Alcotest.fail "survivors did not stabilize without the leader");
+  (* Messages sent by the survivors after the reform become safe. *)
+  let safes_after_reform =
+    List.length
+      (List.filter
+         (fun (t, a) ->
+           match a with Vs_action.Safe _ -> t > 80.0 | _ -> false)
+         (Timed.actions run.Vs_service.trace))
+  in
+  Alcotest.(check bool) "safe notifications resume under the new leader" true
+    (safes_after_reform > 0)
+
+(* The one-round membership alternative (Section 8, footnote 7): safety is
+   unchanged; only stabilization speed differs. *)
+let test_one_round_conformance () =
+  List.iter
+    (fun seed ->
+      let failures =
+        partition_at 60.0 [ [ 0; 1; 2 ]; [ 3; 4 ] ] @ heal_at 180.0
+      in
+      let run =
+        Vs_service.run ~protocol:Vs_node.One_round config
+          ~workload:(workload ~senders:procs ~from_time:5.0 ~spacing:6.0 ~count:15)
+          ~failures ~until:450.0 ~seed
+      in
+      check_conforms "one-round" run)
+    [ 71; 72; 73 ]
+
+let test_one_round_eventually_stabilizes () =
+  let failures = partition_at 60.0 [ [ 0; 1; 2 ]; [ 3; 4 ] ] @ heal_at 200.0 in
+  let run =
+    Vs_service.run ~protocol:Vs_node.One_round config ~workload:[] ~failures
+      ~until:800.0 ~seed:74
+  in
+  match Vs_service.stabilized_view_time ~q:procs run with
+  | Some t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stabilized eventually (t=%.1f)" t)
+        true (t < 800.0)
+  | None -> Alcotest.fail "one-round protocol never stabilized"
+
+let prop_one_round_random_failures_safe =
+  QCheck.Test.make
+    ~name:"one-round protocol: random failure scripts preserve safety"
+    ~count:15 QCheck.small_nat
+    (fun seed ->
+      let prng = Gcs_stdx.Prng.create ((seed * 11) + 5) in
+      let failures =
+        List.init 10 (fun i ->
+            let t = 20.0 +. (float_of_int i *. 30.0) in
+            let p = Gcs_stdx.Prng.pick_exn prng procs in
+            let q = Gcs_stdx.Prng.pick_exn prng procs in
+            let s =
+              match Gcs_stdx.Prng.int prng 3 with
+              | 0 -> Fstatus.Good
+              | 1 -> Fstatus.Bad
+              | _ -> Fstatus.Ugly
+            in
+            if Gcs_stdx.Prng.bool prng || Proc.equal p q then
+              (t, Fstatus.Proc_status (p, s))
+            else (t, Fstatus.Link_status (p, q, s)))
+      in
+      let run =
+        Vs_service.run ~protocol:Vs_node.One_round config
+          ~workload:(workload ~senders:procs ~from_time:5.0 ~spacing:4.0 ~count:15)
+          ~failures ~until:400.0 ~seed
+      in
+      Result.is_ok (Vs_service.conforms ~equal_msg:String.equal config run))
+
+let prop_random_failure_scripts_safe =
+  QCheck.Test.make ~name:"random failure scripts preserve VS safety" ~count:25
+    QCheck.small_nat
+    (fun seed ->
+      let prng = Gcs_stdx.Prng.create (seed * 7 + 1) in
+      (* Random sequence of status flips. *)
+      let failures =
+        List.init 12 (fun i ->
+            let t = 20.0 +. (float_of_int i *. 25.0) in
+            let p = Gcs_stdx.Prng.pick_exn prng procs in
+            let q = Gcs_stdx.Prng.pick_exn prng procs in
+            let s =
+              match Gcs_stdx.Prng.int prng 3 with
+              | 0 -> Fstatus.Good
+              | 1 -> Fstatus.Bad
+              | _ -> Fstatus.Ugly
+            in
+            if Gcs_stdx.Prng.bool prng || Proc.equal p q then
+              (t, Fstatus.Proc_status (p, s))
+            else (t, Fstatus.Link_status (p, q, s)))
+      in
+      let run =
+        Vs_service.run config
+          ~workload:(workload ~senders:procs ~from_time:5.0 ~spacing:4.0 ~count:20)
+          ~failures ~until:400.0 ~seed
+      in
+      Result.is_ok (Vs_service.conforms ~equal_msg:String.equal config run))
+
+let prop_parameter_space_conformance =
+  (* Robustness across the protocol parameter space: random n, delta, pi
+     (respecting pi > n*delta), mu — conformance must hold through a
+     partition and heal. *)
+  QCheck.Test.make ~name:"conformance across protocol parameters" ~count:15
+    QCheck.(triple (int_range 2 6) (int_range 1 3) small_nat)
+    (fun (n, delta_i, seed) ->
+      let delta = float_of_int delta_i /. 2.0 in
+      let prng = Gcs_stdx.Prng.create (seed + 7) in
+      let pi =
+        float_of_int n *. delta
+        *. (1.5 +. Gcs_stdx.Prng.float prng)
+      in
+      let mu = pi *. (1.0 +. Gcs_stdx.Prng.float prng) in
+      let procs = Proc.all ~n in
+      let cfg = { Vs_node.procs; p0 = procs; pi; mu; delta } in
+      let half = List.filteri (fun i _ -> i < (n / 2) + 1) procs in
+      let rest = List.filter (fun p -> not (List.mem p half)) procs in
+      let failures =
+        (if rest = [] then []
+         else partition_at (40.0 *. delta) [ half; rest ])
+        @ List.map
+            (fun e -> (160.0 *. delta, e))
+            (Fstatus.heal_events ~procs)
+      in
+      let wl =
+        List.concat_map
+          (fun p ->
+            List.init 6 (fun k ->
+                ( (5.0 +. (float_of_int k *. 9.0)) *. delta
+                  +. (0.1 *. float_of_int p),
+                  p,
+                  Printf.sprintf "q%d.%d" p k )))
+          procs
+      in
+      let run =
+        Vs_service.run cfg ~workload:wl ~failures ~until:(400.0 *. delta)
+          ~seed
+      in
+      let params =
+        { Vs_machine.procs; p0 = procs; equal_msg = String.equal; weak = false }
+      in
+      Result.is_ok (Vs_trace_checker.check params (Vs_service.untimed_trace run)))
+
+let () =
+  Alcotest.run "impl"
+    [
+      ( "conformance",
+        [
+          Alcotest.test_case "steady state" `Quick test_steady_state_conformance;
+          Alcotest.test_case "partition + heal" `Quick
+            test_partition_conformance;
+          Alcotest.test_case "ugly links" `Quick test_ugly_links_conformance;
+        ] );
+      ( "vs-property",
+        [
+          Alcotest.test_case "steady state" `Quick test_steady_state_vs_property;
+          Alcotest.test_case "majority side stabilizes" `Quick
+            test_partition_stabilizes_majority_side;
+          Alcotest.test_case "minority side stabilizes" `Quick
+            test_partition_stabilizes_minority_side;
+          Alcotest.test_case "heal reunites in time" `Quick test_heal_reunites;
+          Alcotest.test_case "crash and recover" `Quick test_crash_and_recover;
+          Alcotest.test_case "leader crash failover" `Quick
+            test_leader_crash_failover;
+          Alcotest.test_case "churn stops after stabilization" `Quick
+            test_churn_stops_after_stabilization;
+        ] );
+      ( "one-round variant",
+        [
+          Alcotest.test_case "conformance" `Quick test_one_round_conformance;
+          Alcotest.test_case "eventual stabilization" `Quick
+            test_one_round_eventually_stabilizes;
+          QCheck_alcotest.to_alcotest prop_one_round_random_failures_safe;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_failure_scripts_safe;
+          QCheck_alcotest.to_alcotest prop_parameter_space_conformance;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+(* Unit tests for the timed machinery: failure-status tracking, timed
+   traces, and the TO-property / VS-property checkers on hand-built
+   traces. *)
+
+open Gcs_core
+
+let procs = Proc.all ~n:3
+
+(* ---------------- Fstatus ---------------- *)
+
+let test_fstatus_tracking () =
+  let t = Fstatus.initial in
+  Alcotest.(check bool) "default good" true
+    (Fstatus.equal (Fstatus.proc_status t 0) Fstatus.Good);
+  let t = Fstatus.apply t (Fstatus.Proc_status (0, Fstatus.Bad)) in
+  let t = Fstatus.apply t (Fstatus.Link_status (0, 1, Fstatus.Ugly)) in
+  Alcotest.(check bool) "proc updated" true
+    (Fstatus.equal (Fstatus.proc_status t 0) Fstatus.Bad);
+  Alcotest.(check bool) "link directed" true
+    (Fstatus.equal (Fstatus.link_status t 0 1) Fstatus.Ugly
+    && Fstatus.equal (Fstatus.link_status t 1 0) Fstatus.Good);
+  let t = Fstatus.apply t (Fstatus.Proc_status (0, Fstatus.Good)) in
+  Alcotest.(check bool) "last event wins" true
+    (Fstatus.equal (Fstatus.proc_status t 0) Fstatus.Good)
+
+let test_partition_events () =
+  let events = Fstatus.partition_events ~parts:[ [ 0; 1 ]; [ 2 ] ] in
+  let t = List.fold_left Fstatus.apply Fstatus.initial events in
+  Alcotest.(check bool) "within part good" true
+    (Fstatus.equal (Fstatus.link_status t 0 1) Fstatus.Good);
+  Alcotest.(check bool) "across parts bad, both directions" true
+    (Fstatus.equal (Fstatus.link_status t 0 2) Fstatus.Bad
+    && Fstatus.equal (Fstatus.link_status t 2 0) Fstatus.Bad);
+  let healed =
+    List.fold_left Fstatus.apply t (Fstatus.heal_events ~procs:[ 0; 1; 2 ])
+  in
+  Alcotest.(check bool) "heal restores" true
+    (Fstatus.equal (Fstatus.link_status healed 0 2) Fstatus.Good)
+
+(* ---------------- Timed ---------------- *)
+
+let test_timed_utilities () =
+  let trace =
+    [
+      Timed.action 1.0 "a";
+      Timed.status 2.0 (Fstatus.Proc_status (1, Fstatus.Bad));
+      Timed.action 3.0 "b";
+      Timed.status 4.0 (Fstatus.Link_status (0, 2, Fstatus.Bad));
+    ]
+  in
+  Alcotest.(check bool) "time ordered" true (Timed.is_time_ordered trace);
+  Alcotest.(check int) "two actions" 2 (List.length (Timed.actions trace));
+  Alcotest.(check int) "two statuses" 2 (List.length (Timed.statuses trace));
+  Alcotest.(check (float 0.001)) "last status involving {1}" 2.0
+    (Timed.last_status_time_involving [ 1 ] trace);
+  Alcotest.(check (float 0.001)) "last status involving {0}" 4.0
+    (Timed.last_status_time_involving [ 0 ] trace);
+  Alcotest.(check (float 0.001)) "nothing involves {3}" 0.0
+    (Timed.last_status_time_involving [ 3 ] trace);
+  let mapped = Timed.map (fun a -> if a = "a" then Some 1 else None) trace in
+  Alcotest.(check int) "map keeps statuses" 3 (List.length mapped)
+
+(* ---------------- TO-property checker ---------------- *)
+
+let bcast t p v = Timed.action t (To_action.Bcast (p, v))
+let brcv t src dst v = Timed.action t (To_action.Brcv { src; dst; value = v })
+
+let all_brcv t0 src v =
+  List.mapi (fun i q -> brcv (t0 +. (0.1 *. float_of_int i)) src q v) procs
+
+let test_to_property_holds () =
+  let trace = (bcast 1.0 0 "x" :: all_brcv 2.0 0 "x") @ [] in
+  let r = To_property.check ~b:5.0 ~d:3.0 ~q:procs ~horizon:100.0 trace in
+  Alcotest.(check bool) "holds" true (To_property.holds r);
+  (* 3 obligations from the send (clause b) + 3 per delivery to a member
+     of Q (clause c, three deliveries) = 12. *)
+  Alcotest.(check int) "twelve obligations" 12 r.To_property.obligations
+
+let test_to_property_detects_missing_delivery () =
+  let trace =
+    [ bcast 1.0 0 "x"; brcv 2.0 0 0 "x"; brcv 2.1 0 1 "x" (* 2 missing *) ]
+  in
+  let r = To_property.check ~b:5.0 ~d:3.0 ~q:procs ~horizon:100.0 trace in
+  Alcotest.(check bool) "violated" false (To_property.holds r);
+  Alcotest.(check bool) "names the missing member" true
+    (List.exists
+       (fun v -> v.To_property.missing_at = 2)
+       r.To_property.violations)
+
+let test_to_property_detects_late_delivery () =
+  let trace = bcast 1.0 0 "x" :: all_brcv 50.0 0 "x" in
+  let r = To_property.check ~b:5.0 ~d:3.0 ~q:procs ~horizon:100.0 trace in
+  Alcotest.(check bool) "late delivery violates" false (To_property.holds r)
+
+let test_to_property_horizon_guard () =
+  (* A deadline beyond the horizon is not enforced (finite prefix). *)
+  let trace = [ bcast 99.0 0 "x" ] in
+  let r = To_property.check ~b:5.0 ~d:3.0 ~q:procs ~horizon:100.0 trace in
+  Alcotest.(check bool) "unenforceable deadline ignored" true
+    (To_property.holds r)
+
+let test_to_property_vacuous_premise () =
+  (* A bad processor inside Q after the last failure event makes the
+     property vacuous, not violated. *)
+  let trace =
+    [
+      Timed.status 0.5 (Fstatus.Proc_status (1, Fstatus.Bad));
+      bcast 1.0 0 "x";
+    ]
+  in
+  let r = To_property.check ~b:5.0 ~d:3.0 ~q:procs ~horizon:100.0 trace in
+  Alcotest.(check bool) "premise fails" true (Result.is_error r.To_property.premise)
+
+let test_to_property_stabilization_point () =
+  (* Failure events move l; pre-stabilization sends get until l+b+d. *)
+  let trace =
+    [
+      bcast 1.0 0 "x";
+      Timed.status 10.0 (Fstatus.Proc_status (1, Fstatus.Good));
+    ]
+    @ all_brcv 14.0 0 "x"
+  in
+  let r = To_property.check ~b:5.0 ~d:3.0 ~q:procs ~horizon:100.0 trace in
+  Alcotest.(check (float 0.001)) "l = last failure event" 10.0
+    r.To_property.stabilization_time;
+  Alcotest.(check bool) "deliveries by l+b+d accepted" true
+    (To_property.holds r)
+
+(* ---------------- VS-property checker ---------------- *)
+
+let pp_msg ppf (m : string) = Format.pp_print_string ppf m
+
+let vs_check ?(q = procs) ?(b = 5.0) ?(d = 3.0) trace =
+  Vs_property.check ~b ~d ~q ~p0:procs ~horizon:100.0 ~equal_msg:String.equal
+    ~pp_msg trace
+
+let gpsnd t p m = Timed.action t (Vs_action.Gpsnd { sender = p; msg = m })
+let safe t src dst m = Timed.action t (Vs_action.Safe { src; dst; msg = m })
+
+let test_vs_property_holds_default_view () =
+  (* All of P0 stay silently in v0; a message becomes safe in time. *)
+  let trace =
+    gpsnd 1.0 0 "m"
+    :: List.mapi (fun i q -> safe (2.0 +. (0.1 *. float_of_int i)) 0 q "m") procs
+  in
+  let r = vs_check trace in
+  Alcotest.(check bool) "holds" true (Vs_property.holds r);
+  Alcotest.(check bool) "final view is v0" true
+    (match r.Vs_property.final_view with
+    | Some v -> View.equal v (View.initial procs)
+    | None -> false)
+
+let test_vs_property_detects_missing_safe () =
+  let trace = [ gpsnd 1.0 0 "m"; safe 2.0 0 0 "m"; safe 2.1 0 1 "m" ] in
+  let r = vs_check trace in
+  Alcotest.(check bool) "missing safe violates" false (Vs_property.holds r)
+
+let test_vs_property_detects_late_newview () =
+  let g1 = View_id.make ~num:1 ~origin:0 in
+  let v1 = View.make g1 procs in
+  let trace =
+    List.map
+      (fun p -> Timed.action 50.0 (Vs_action.Newview { proc = p; view = v1 }))
+      procs
+  in
+  let r = vs_check trace in
+  (* l = 0, b = 5: a newview at 50 violates clause (b). *)
+  Alcotest.(check bool) "late newview violates" false (Vs_property.holds r)
+
+let test_vs_property_view_not_q () =
+  let g1 = View_id.make ~num:1 ~origin:0 in
+  let v1 = View.make g1 [ 0; 1 ] in
+  let trace =
+    List.map
+      (fun p -> Timed.action 1.0 (Vs_action.Newview { proc = p; view = v1 }))
+      [ 0; 1 ]
+  in
+  let r = vs_check trace in
+  Alcotest.(check bool) "final view must equal Q" false (Vs_property.holds r)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "fstatus",
+        [
+          Alcotest.test_case "status tracking" `Quick test_fstatus_tracking;
+          Alcotest.test_case "partition/heal events" `Quick
+            test_partition_events;
+        ] );
+      ("timed", [ Alcotest.test_case "utilities" `Quick test_timed_utilities ]);
+      ( "to-property",
+        [
+          Alcotest.test_case "holds" `Quick test_to_property_holds;
+          Alcotest.test_case "missing delivery" `Quick
+            test_to_property_detects_missing_delivery;
+          Alcotest.test_case "late delivery" `Quick
+            test_to_property_detects_late_delivery;
+          Alcotest.test_case "horizon guard" `Quick
+            test_to_property_horizon_guard;
+          Alcotest.test_case "vacuous premise" `Quick
+            test_to_property_vacuous_premise;
+          Alcotest.test_case "stabilization point" `Quick
+            test_to_property_stabilization_point;
+        ] );
+      ( "vs-property",
+        [
+          Alcotest.test_case "holds in default view" `Quick
+            test_vs_property_holds_default_view;
+          Alcotest.test_case "missing safe" `Quick
+            test_vs_property_detects_missing_safe;
+          Alcotest.test_case "late newview" `Quick
+            test_vs_property_detects_late_newview;
+          Alcotest.test_case "final view must equal Q" `Quick
+            test_vs_property_view_not_q;
+        ] );
+    ]

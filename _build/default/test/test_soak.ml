@@ -1,0 +1,142 @@
+(* Soak tests: long randomized runs at larger scale, checking safety
+   everywhere. These are the repository's endurance suite; each run drives
+   hundreds of simulated seconds of churn, partitions, crashes and client
+   traffic through the full stack. *)
+
+open Gcs_core
+open Gcs_impl
+
+let n = 7
+let procs = Proc.all ~n
+let delta = 1.0
+let vs_config = { Vs_node.procs; p0 = procs; pi = 11.0; mu = 13.0; delta }
+let config = To_service.make_config vs_config
+
+let random_failures prng ~events ~start ~spacing =
+  List.concat
+    (List.init events (fun i ->
+         let t = start +. (float_of_int i *. spacing) in
+         match Gcs_stdx.Prng.int prng 4 with
+         | 0 ->
+             let p = Gcs_stdx.Prng.pick_exn prng procs in
+             let s =
+               match Gcs_stdx.Prng.int prng 3 with
+               | 0 -> Fstatus.Good
+               | 1 -> Fstatus.Bad
+               | _ -> Fstatus.Ugly
+             in
+             [ (t, Fstatus.Proc_status (p, s)) ]
+         | 1 ->
+             let p = Gcs_stdx.Prng.pick_exn prng procs in
+             let q = Gcs_stdx.Prng.pick_exn prng procs in
+             if Proc.equal p q then []
+             else
+               [
+                 (t, Fstatus.Link_status (p, q, Fstatus.Bad));
+                 (t +. (spacing /. 2.0), Fstatus.Link_status (p, q, Fstatus.Good));
+               ]
+         | 2 ->
+             (* A clean partition into two random halves. *)
+             let shuffled = Gcs_stdx.Prng.shuffle prng procs in
+             let k = 1 + Gcs_stdx.Prng.int prng (n - 1) in
+             let a = Gcs_stdx.Seqx.take k shuffled
+             and b = Gcs_stdx.Seqx.drop k shuffled in
+             List.map (fun e -> (t, e)) (Fstatus.partition_events ~parts:[ a; b ])
+         | _ -> List.map (fun e -> (t, e)) (Fstatus.heal_events ~procs)))
+
+let workload count spacing =
+  List.concat_map
+    (fun p ->
+      List.init count (fun k ->
+          ( 5.0 +. (float_of_int k *. spacing) +. (0.31 *. float_of_int p),
+            p,
+            Printf.sprintf "s%d.%d" p k )))
+    procs
+
+let test_soak_end_to_end () =
+  List.iter
+    (fun seed ->
+      let prng = Gcs_stdx.Prng.create (seed * 31) in
+      let failures =
+        random_failures prng ~events:20 ~start:40.0 ~spacing:60.0
+        @ List.map (fun e -> (1400.0, e)) (Fstatus.heal_events ~procs)
+      in
+      let run =
+        To_service.run config
+          ~workload:(workload 30 45.0)
+          ~failures ~until:2000.0 ~seed
+      in
+      (match To_service.to_conforms config run with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "seed %d TO: %s" seed
+            (Format.asprintf "%a" To_trace_checker.pp_error e));
+      (match To_service.vs_conforms config run with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "seed %d VS: %s" seed
+            (Format.asprintf "%a" Vs_trace_checker.pp_error e));
+      (* After the final heal, recovery must complete: every submitted
+         value reaches every processor by the end of the run. *)
+      let total_deliveries =
+        List.length
+          (List.filter
+             (fun (_, a) -> match a with To_action.Brcv _ -> true | _ -> false)
+             (Timed.actions (To_service.client_trace run)))
+      in
+      let expected = 30 * n * n in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: full delivery after final heal" seed)
+        expected total_deliveries)
+    [ 1; 2; 3; 4 ]
+
+let test_soak_to_property_after_final_heal () =
+  let prng = Gcs_stdx.Prng.create 99 in
+  let failures =
+    random_failures prng ~events:15 ~start:40.0 ~spacing:50.0
+    @ List.map (fun e -> (1000.0, e)) (Fstatus.heal_events ~procs)
+  in
+  let until = 1800.0 in
+  let run =
+    To_service.run config ~workload:(workload 25 40.0) ~failures ~until ~seed:9
+  in
+  let b = Vs_node.impl_b vs_config +. Vs_node.impl_d vs_config in
+  let d = Vs_node.impl_d vs_config +. (4.0 *. delta) in
+  let report =
+    To_property.check ~b ~d ~q:procs ~horizon:until
+      (To_service.client_trace run)
+  in
+  if not (To_property.holds report) then
+    Alcotest.failf "TO-property after soak: %s"
+      (Format.asprintf "%a" To_property.pp_report report)
+
+let test_soak_rsm_consistency () =
+  (* The KV replicas stay consistent through the whole ordeal. *)
+  let module Kv_rsm = Gcs_apps.Rsm.Make (Gcs_apps.Kv_store) in
+  let prng = Gcs_stdx.Prng.create 123 in
+  let failures = random_failures prng ~events:18 ~start:30.0 ~spacing:55.0 in
+  let ops =
+    List.init 60 (fun i ->
+        Kv_rsm.submit (i mod n)
+          (Gcs_apps.Kv_store.Put
+             (Printf.sprintf "k%d" (i mod 9), string_of_int i))
+          (10.0 +. (float_of_int i *. 18.0)))
+  in
+  let run = To_service.run config ~workload:ops ~failures ~until:1500.0 ~seed:5 in
+  let actions = List.map snd (Timed.actions (To_service.client_trace run)) in
+  Alcotest.(check bool) "replicas consistent" true
+    (Kv_rsm.consistent procs actions)
+
+let () =
+  Alcotest.run "soak"
+    [
+      ( "endurance",
+        [
+          Alcotest.test_case "end-to-end safety under churn" `Slow
+            test_soak_end_to_end;
+          Alcotest.test_case "TO-property after final heal" `Slow
+            test_soak_to_property_after_final_heal;
+          Alcotest.test_case "RSM consistency under churn" `Slow
+            test_soak_rsm_consistency;
+        ] );
+    ]

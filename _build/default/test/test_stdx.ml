@@ -1,0 +1,134 @@
+(* Tests for the sequence utilities and the deterministic PRNG. *)
+
+open Gcs_stdx
+
+let eq = Int.equal
+
+let test_is_prefix () =
+  Alcotest.(check bool) "empty prefix" true (Seqx.is_prefix ~equal:eq [] [ 1 ]);
+  Alcotest.(check bool) "proper prefix" true (Seqx.is_prefix ~equal:eq [ 1; 2 ] [ 1; 2; 3 ]);
+  Alcotest.(check bool) "equal" true (Seqx.is_prefix ~equal:eq [ 1; 2 ] [ 1; 2 ]);
+  Alcotest.(check bool) "not prefix" false (Seqx.is_prefix ~equal:eq [ 2 ] [ 1; 2 ]);
+  Alcotest.(check bool) "longer" false (Seqx.is_prefix ~equal:eq [ 1; 2; 3 ] [ 1; 2 ])
+
+let test_consistent () =
+  Alcotest.(check bool) "consistent" true (Seqx.consistent ~equal:eq [ 1 ] [ 1; 2 ]);
+  Alcotest.(check bool) "inconsistent" false (Seqx.consistent ~equal:eq [ 1; 3 ] [ 1; 2 ])
+
+let test_lub () =
+  Alcotest.(check (option (list int))) "lub of consistent"
+    (Some [ 1; 2; 3 ])
+    (Seqx.lub ~equal:eq [ [ 1 ]; [ 1; 2; 3 ]; [ 1; 2 ] ]);
+  Alcotest.(check (option (list int))) "lub of empty collection" (Some [])
+    (Seqx.lub ~equal:eq []);
+  Alcotest.(check (option (list int))) "lub of inconsistent" None
+    (Seqx.lub ~equal:eq [ [ 1; 2 ]; [ 1; 3 ] ])
+
+let test_nth1 () =
+  Alcotest.(check (option int)) "first" (Some 10) (Seqx.nth1 [ 10; 20 ] 1);
+  Alcotest.(check (option int)) "second" (Some 20) (Seqx.nth1 [ 10; 20 ] 2);
+  Alcotest.(check (option int)) "past end" None (Seqx.nth1 [ 10; 20 ] 3);
+  Alcotest.(check (option int)) "zero" None (Seqx.nth1 [ 10; 20 ] 0)
+
+let test_take_drop () =
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Seqx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take beyond" [ 1; 2; 3 ] (Seqx.take 5 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop" [ 3 ] (Seqx.drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop all" [] (Seqx.drop 5 [ 1; 2; 3 ])
+
+let test_applyall () =
+  let f x = if x < 3 then Some (x * 10) else None in
+  Alcotest.(check (option (list int))) "all in domain" (Some [ 10; 20 ])
+    (Seqx.applyall f [ 1; 2 ]);
+  Alcotest.(check (option (list int))) "outside domain" None
+    (Seqx.applyall f [ 1; 5 ])
+
+let test_index_of () =
+  Alcotest.(check (option int)) "found" (Some 2) (Seqx.index_of ~equal:eq 5 [ 4; 5; 6 ]);
+  Alcotest.(check (option int)) "missing" None (Seqx.index_of ~equal:eq 9 [ 4; 5 ])
+
+let test_lcp () =
+  Alcotest.(check (list int)) "lcp" [ 1; 2 ]
+    (Seqx.longest_common_prefix ~equal:eq [ 1; 2; 3 ] [ 1; 2; 4 ])
+
+let test_sorted_helpers () =
+  Alcotest.(check bool) "strictly sorted" true
+    (Seqx.is_strictly_sorted ~compare:Int.compare [ 1; 2; 5 ]);
+  Alcotest.(check bool) "duplicate" false
+    (Seqx.is_strictly_sorted ~compare:Int.compare [ 1; 1; 5 ]);
+  Alcotest.(check (list int)) "dedup" [ 1; 2; 3 ]
+    (Seqx.dedup_sorted ~compare:Int.compare [ 3; 1; 2; 1; 3 ])
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let take n t = List.init n (fun _ -> Prng.int t 1000) in
+  Alcotest.(check (list int)) "same seed same stream" (take 20 a) (take 20 b);
+  let c = Prng.create 43 in
+  Alcotest.(check bool) "different seed differs" true
+    (take 20 (Prng.create 42) <> take 20 c)
+
+let test_prng_bounds () =
+  let t = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int t 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10);
+    let y = Prng.int_in t 5 9 in
+    Alcotest.(check bool) "int_in range" true (y >= 5 && y <= 9);
+    let f = Prng.float t in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_pick_shuffle () =
+  let t = Prng.create 11 in
+  Alcotest.(check (option int)) "pick empty" None (Prng.pick t []);
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  for _ = 1 to 50 do
+    match Prng.pick t xs with
+    | Some x -> Alcotest.(check bool) "pick member" true (List.mem x xs)
+    | None -> Alcotest.fail "pick returned None on nonempty"
+  done;
+  let shuffled = Prng.shuffle t xs in
+  Alcotest.(check (list int)) "shuffle is a permutation" xs
+    (List.sort Int.compare shuffled)
+
+let prop_lub_is_upper_bound =
+  QCheck.Test.make ~name:"lub bounds all consistent prefixes" ~count:200
+    QCheck.(list_of_size (Gen.int_bound 40) small_int)
+    (fun base ->
+      (* Build a consistent family: all prefixes of one list. The size is
+         bounded because the family is quadratic in the list length. *)
+      let prefixes = List.mapi (fun i _ -> Seqx.take i base) base in
+      match Seqx.lub ~equal:eq prefixes with
+      | None -> prefixes <> [] && false
+      | Some lub -> List.for_all (fun p -> Seqx.is_prefix ~equal:eq p lub) prefixes)
+
+let prop_take_drop_append =
+  QCheck.Test.make ~name:"take n ++ drop n = id" ~count:200
+    QCheck.(pair small_nat (list small_int))
+    (fun (n, xs) -> Seqx.take n xs @ Seqx.drop n xs = xs)
+
+let () =
+  Alcotest.run "stdx"
+    [
+      ( "seqx",
+        [
+          Alcotest.test_case "is_prefix" `Quick test_is_prefix;
+          Alcotest.test_case "consistent" `Quick test_consistent;
+          Alcotest.test_case "lub" `Quick test_lub;
+          Alcotest.test_case "nth1" `Quick test_nth1;
+          Alcotest.test_case "take/drop" `Quick test_take_drop;
+          Alcotest.test_case "applyall" `Quick test_applyall;
+          Alcotest.test_case "index_of" `Quick test_index_of;
+          Alcotest.test_case "longest_common_prefix" `Quick test_lcp;
+          Alcotest.test_case "sorted helpers" `Quick test_sorted_helpers;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "pick/shuffle" `Quick test_prng_pick_shuffle;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_lub_is_upper_bound; prop_take_drop_append ] );
+    ]

@@ -1,0 +1,191 @@
+(* Tests for TO-machine (Figure 3) and its trace checker. *)
+
+open Gcs_automata
+open Gcs_core
+
+let procs = Proc.all ~n:3
+let params = { To_machine.procs; equal_value = Value.equal }
+let automaton = To_machine.automaton params
+
+let values = [ "a"; "b"; "c"; "d" ]
+
+let inject _state prng =
+  match
+    (Gcs_stdx.Prng.pick prng procs, Gcs_stdx.Prng.pick prng values)
+  with
+  | Some p, Some v -> [ To_action.Bcast (p, v) ]
+  | _ -> []
+
+let run ?(steps = 120) seed =
+  let scheduler = Scheduler.weighted automaton ~inject ~inject_weight:0.4 in
+  Exec.run automaton ~scheduler ~steps ~prng:(Gcs_stdx.Prng.create seed)
+
+let test_manual_sequence () =
+  let state = To_machine.initial params in
+  let step action state = Automaton.step_exn automaton state action in
+  let state = step (To_action.Bcast (0, "x")) state in
+  let state = step (To_action.Bcast (1, "y")) state in
+  let state = step (To_action.To_order ("x", 0)) state in
+  let state = step (To_action.To_order ("y", 1)) state in
+  let state = step (To_action.Brcv { src = 0; dst = 2; value = "x" }) state in
+  let state = step (To_action.Brcv { src = 1; dst = 2; value = "y" }) state in
+  Alcotest.(check int) "queue has both" 2 (List.length state.To_machine.queue);
+  (* Delivery out of queue order must be rejected. *)
+  Alcotest.(check bool) "wrong order rejected" true
+    (automaton.Automaton.transition state
+       (To_action.Brcv { src = 1; dst = 0; value = "y" })
+    = None)
+
+let test_fifo_per_sender () =
+  let state = To_machine.initial params in
+  let step action state = Automaton.step_exn automaton state action in
+  let state = step (To_action.Bcast (0, "x")) state in
+  let state = step (To_action.Bcast (0, "y")) state in
+  Alcotest.(check bool) "cannot order y before x" true
+    (automaton.Automaton.transition state (To_action.To_order ("y", 0)) = None)
+
+let test_invariants_random () =
+  let scheduler = Scheduler.weighted automaton ~inject ~inject_weight:0.4 in
+  match
+    Invariant.check_random automaton ~scheduler
+      ~seeds:(List.init 20 (fun i -> i))
+      ~steps:150 (To_machine.invariants params)
+  with
+  | None -> ()
+  | Some (v, seed) ->
+      Alcotest.failf "invariant %s violated at step %d (seed %d): %s"
+        v.Invariant.invariant v.Invariant.step_index seed v.Invariant.detail
+
+let test_trace_checker_accepts () =
+  for seed = 0 to 19 do
+    let e = run seed in
+    let trace = Exec.trace automaton e in
+    match To_trace_checker.check params trace with
+    | Ok () -> ()
+    | Error err ->
+        Alcotest.failf "seed %d rejected: %s" seed
+          (Format.asprintf "%a" To_trace_checker.pp_error err)
+  done
+
+let test_trace_checker_rejects_unsent () =
+  let trace = [ To_action.Brcv { src = 0; dst = 1; value = "ghost" } ] in
+  Alcotest.(check bool) "unsent delivery rejected" true
+    (Result.is_error (To_trace_checker.check params trace))
+
+let test_trace_checker_rejects_reorder () =
+  let trace =
+    [
+      To_action.Bcast (0, "x");
+      To_action.Bcast (0, "y");
+      To_action.Brcv { src = 0; dst = 1; value = "y" };
+    ]
+  in
+  Alcotest.(check bool) "per-sender reorder rejected" true
+    (Result.is_error (To_trace_checker.check params trace))
+
+let test_trace_checker_rejects_divergent_orders () =
+  (* Two receivers observing different total orders. *)
+  let trace =
+    [
+      To_action.Bcast (0, "x");
+      To_action.Bcast (1, "y");
+      To_action.Brcv { src = 0; dst = 2; value = "x" };
+      To_action.Brcv { src = 1; dst = 2; value = "y" };
+      To_action.Brcv { src = 1; dst = 0; value = "y" };
+      To_action.Brcv { src = 0; dst = 0; value = "x" };
+    ]
+  in
+  Alcotest.(check bool) "divergent orders rejected" true
+    (Result.is_error (To_trace_checker.check params trace))
+
+let test_trace_checker_allows_prefix_deliveries () =
+  (* A receiver may be behind (prefix), and duplicates of the same value
+     from the same sender are distinct messages. *)
+  let trace =
+    [
+      To_action.Bcast (0, "x");
+      To_action.Bcast (0, "x");
+      To_action.Brcv { src = 0; dst = 1; value = "x" };
+      To_action.Brcv { src = 0; dst = 1; value = "x" };
+      To_action.Brcv { src = 0; dst = 2; value = "x" };
+    ]
+  in
+  Alcotest.(check bool) "prefix deliveries accepted" true
+    (Result.is_ok (To_trace_checker.check params trace))
+
+(* Mutating a valid trace should produce an invalid one; swapping two
+   adjacent deliveries at one destination is only *guaranteed* invalid
+   when both come from the same sender (it then violates per-sender FIFO —
+   across senders the interleaving may be unconstrained if no other
+   receiver forced those queue positions). *)
+let prop_mutation_detected =
+  QCheck.Test.make ~name:"swapping same-sender deliveries at a node is rejected"
+    ~count:60 QCheck.small_nat
+    (fun seed ->
+      let e = run ~steps:200 seed in
+      let trace = Exec.trace automaton e in
+      let arr = Array.of_list trace in
+      let swap_at =
+        let rec find i =
+          if i + 1 >= Array.length arr then None
+          else
+            match (arr.(i), arr.(i + 1)) with
+            | To_action.Brcv a, To_action.Brcv b
+              when Proc.equal a.dst b.dst && Proc.equal a.src b.src
+                   && not (Value.equal a.value b.value) ->
+                Some i
+            | _ -> find (i + 1)
+        in
+        find 0
+      in
+      match swap_at with
+      | None -> QCheck.assume_fail ()
+      | Some i ->
+          let tmp = arr.(i) in
+          arr.(i) <- arr.(i + 1);
+          arr.(i + 1) <- tmp;
+          Result.is_error (To_trace_checker.check params (Array.to_list arr)))
+
+let prop_each_dst_receives_prefix =
+  QCheck.Test.make ~name:"every destination receives a prefix of the order"
+    ~count:60 QCheck.small_nat
+    (fun seed ->
+      let e = run ~steps:200 seed in
+      let state = Exec.final e in
+      List.for_all
+        (fun q ->
+          let n =
+            match Proc.Map.find_opt q state.To_machine.next with
+            | Some n -> n
+            | None -> 1
+          in
+          n - 1 <= List.length state.To_machine.queue)
+        procs)
+
+let () =
+  Alcotest.run "to_machine"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "manual sequence" `Quick test_manual_sequence;
+          Alcotest.test_case "per-sender FIFO" `Quick test_fifo_per_sender;
+          Alcotest.test_case "invariants on random runs" `Quick
+            test_invariants_random;
+        ] );
+      ( "trace checker",
+        [
+          Alcotest.test_case "accepts machine traces" `Quick
+            test_trace_checker_accepts;
+          Alcotest.test_case "rejects unsent delivery" `Quick
+            test_trace_checker_rejects_unsent;
+          Alcotest.test_case "rejects per-sender reorder" `Quick
+            test_trace_checker_rejects_reorder;
+          Alcotest.test_case "rejects divergent orders" `Quick
+            test_trace_checker_rejects_divergent_orders;
+          Alcotest.test_case "accepts prefix deliveries" `Quick
+            test_trace_checker_allows_prefix_deliveries;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_mutation_detected; prop_each_dst_receives_prefix ] );
+    ]

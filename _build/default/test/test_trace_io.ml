@@ -1,0 +1,117 @@
+(* Tests for the trace serialization: round trips (including adversarial
+   strings), parse errors, and dump-then-check of real service runs. *)
+
+open Gcs_core
+open Gcs_impl
+
+let procs = Proc.all ~n:4
+let vs_config = { Vs_node.procs; p0 = procs; pi = 6.0; mu = 8.0; delta = 1.0 }
+let config = To_service.make_config vs_config
+
+let test_escape_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string)) (String.escaped s) (Some s)
+        (Trace_io.unescape (Trace_io.escape s)))
+    [ ""; "plain"; "with space"; "with\nnewline"; "100%"; "a,b c%n"; " %s " ]
+
+let prop_escape_roundtrip =
+  QCheck.Test.make ~name:"escape/unescape roundtrip" ~count:300
+    QCheck.(string_gen Gen.printable)
+    (fun s -> Trace_io.unescape (Trace_io.escape s) = Some s)
+
+let sample_to_trace =
+  [
+    Timed.action 1.0 (To_action.Bcast (0, "hello world"));
+    Timed.status 2.0 (Fstatus.Proc_status (1, Fstatus.Bad));
+    Timed.action 3.5 (To_action.Brcv { src = 0; dst = 2; value = "hello world" });
+    Timed.status 4.0 (Fstatus.Link_status (0, 3, Fstatus.Ugly));
+  ]
+
+let test_to_roundtrip () =
+  match Trace_io.to_of_string (Trace_io.to_to_string sample_to_trace) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      Alcotest.(check int) "same length" (List.length sample_to_trace)
+        (List.length parsed);
+      List.iter2
+        (fun (a : _ Timed.event) (b : _ Timed.event) ->
+          Alcotest.(check (float 0.0001)) "time" a.Timed.time b.Timed.time;
+          Alcotest.(check bool) "item" true (a.Timed.item = b.Timed.item))
+        sample_to_trace parsed
+
+let test_vs_roundtrip () =
+  let g1 = View_id.make ~num:1 ~origin:2 in
+  let trace =
+    [
+      Timed.action 0.5 (Vs_action.Gpsnd { sender = 0; msg = "m 1" });
+      Timed.action 1.0 (Vs_action.Newview { proc = 1; view = View.make g1 [ 0; 1 ] });
+      Timed.action 1.5 (Vs_action.Gprcv { src = 0; dst = 1; msg = "m 1" });
+      Timed.action 2.0 (Vs_action.Safe { src = 0; dst = 1; msg = "m 1" });
+      Timed.status 3.0 (Fstatus.Proc_status (2, Fstatus.Good));
+    ]
+  in
+  match Trace_io.vs_of_string (Trace_io.vs_to_string trace) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      Alcotest.(check int) "same length" (List.length trace) (List.length parsed);
+      List.iter2
+        (fun (a : _ Timed.event) (b : _ Timed.event) ->
+          Alcotest.(check bool) "event equal" true
+            (a.Timed.time = b.Timed.time
+            &&
+            match (a.Timed.item, b.Timed.item) with
+            | Timed.Action x, Timed.Action y ->
+                Vs_action.equal ~equal_msg:String.equal x y
+            | Timed.Status x, Timed.Status y -> x = y
+            | _ -> false))
+        trace parsed
+
+let test_parse_errors () =
+  let reject name text parse =
+    match parse text with
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+    | Error _ -> ()
+  in
+  reject "bad time" "xx bcast 0 v" Trace_io.to_of_string;
+  reject "unknown event" "1.0 frob 0 v" Trace_io.to_of_string;
+  reject "bad proc" "1.0 bcast zero v" Trace_io.to_of_string;
+  reject "truncated" "1.0 brcv 0" Trace_io.to_of_string;
+  reject "bad view id" "1.0 newview 0 1-2 0,1" Trace_io.vs_of_string;
+  reject "bad members" "1.0 newview 0 1.2 0,x" Trace_io.vs_of_string
+
+let test_dump_and_check_real_run () =
+  (* Dump a real run to text, parse it back, and conformance-check it. *)
+  let workload =
+    List.init 8 (fun k -> (10.0 +. (9.0 *. float_of_int k), k mod 4, Printf.sprintf "v%d" k))
+  in
+  let run = To_service.run config ~workload ~failures:[] ~until:300.0 ~seed:3 in
+  let dumped = Trace_io.to_to_string (To_service.client_trace run) in
+  match Trace_io.to_of_string dumped with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      let to_params = { To_machine.procs; equal_value = Value.equal } in
+      (match
+         To_trace_checker.check to_params (List.map snd (Timed.actions parsed))
+       with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "parsed trace rejected: %s"
+            (Format.asprintf "%a" To_trace_checker.pp_error e));
+      Alcotest.(check bool) "time ordering preserved" true
+        (Timed.is_time_ordered parsed)
+
+let () =
+  Alcotest.run "trace_io"
+    [
+      ( "serialization",
+        [
+          Alcotest.test_case "escape roundtrip" `Quick test_escape_roundtrip;
+          QCheck_alcotest.to_alcotest prop_escape_roundtrip;
+          Alcotest.test_case "TO roundtrip" `Quick test_to_roundtrip;
+          Alcotest.test_case "VS roundtrip" `Quick test_vs_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "dump + check a real run" `Quick
+            test_dump_and_check_real_run;
+        ] );
+    ]

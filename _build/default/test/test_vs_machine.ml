@@ -1,0 +1,332 @@
+(* Tests for VS-machine (Figure 6): Lemma 4.1 invariants on random
+   executions, the trace checker, and the Lemma 4.2 cause-function
+   properties. *)
+
+open Gcs_automata
+open Gcs_core
+
+let procs = Proc.all ~n:4
+let p0 = [ 0; 1; 2 ]
+
+let params =
+  { Vs_machine.procs; p0; equal_msg = String.equal; weak = false }
+
+let automaton = Vs_machine.automaton params
+let messages = [ "m1"; "m2"; "m3" ]
+
+let inject state prng =
+  let gpsnd =
+    match
+      (Gcs_stdx.Prng.pick prng procs, Gcs_stdx.Prng.pick prng messages)
+    with
+    | Some p, Some m -> [ Vs_action.Gpsnd { sender = p; msg = m } ]
+    | _ -> []
+  in
+  gpsnd @ Vs_machine.inject_createview params state prng
+
+let run ?(steps = 250) seed =
+  let scheduler = Scheduler.weighted automaton ~inject ~inject_weight:0.35 in
+  Exec.run automaton ~scheduler ~steps ~prng:(Gcs_stdx.Prng.create seed)
+
+let test_lemma_4_1_invariants () =
+  let scheduler = Scheduler.weighted automaton ~inject ~inject_weight:0.35 in
+  match
+    Invariant.check_random automaton ~scheduler
+      ~seeds:(List.init 25 (fun i -> i))
+      ~steps:250 (Vs_machine.invariants params)
+  with
+  | None -> ()
+  | Some (v, seed) ->
+      Alcotest.failf "%s violated at step %d (seed %d): %s"
+        v.Invariant.invariant v.Invariant.step_index seed v.Invariant.detail
+
+let test_initial_views () =
+  let s = Vs_machine.initial params in
+  List.iter
+    (fun p ->
+      let expected = if List.mem p p0 then Some View_id.g0 else None in
+      Alcotest.(check bool)
+        (Printf.sprintf "initial view of %d" p)
+        true
+        (View_id.compare_opt (Vs_machine.current_of s p) expected = 0))
+    procs
+
+let test_send_before_view_is_dropped () =
+  (* Processor 3 is outside P0; its messages must vanish. *)
+  let s = Vs_machine.initial params in
+  let s =
+    Automaton.step_exn automaton s (Vs_action.Gpsnd { sender = 3; msg = "x" })
+  in
+  Alcotest.(check bool) "no pending anywhere for p3" true
+    (List.for_all
+       (fun g -> Vs_machine.pending_of s 3 g = [])
+       (Vs_machine.created_viewids s))
+
+let test_newview_monotone () =
+  let g1 = View_id.make ~num:1 ~origin:0 in
+  let v1 = View.make g1 [ 0; 1 ] in
+  let s = Vs_machine.initial params in
+  let s = Automaton.step_exn automaton s (Vs_action.Createview v1) in
+  let s =
+    Automaton.step_exn automaton s (Vs_action.Newview { proc = 0; view = v1 })
+  in
+  (* Going back to g0 must be impossible. *)
+  Alcotest.(check bool) "newview to older view rejected" true
+    (automaton.Automaton.transition s
+       (Vs_action.Newview { proc = 0; view = View.initial p0 })
+    = None)
+
+let test_createview_increasing_strict () =
+  let g2 = View_id.make ~num:2 ~origin:0 in
+  let g1 = View_id.make ~num:1 ~origin:0 in
+  let s = Vs_machine.initial params in
+  let s = Automaton.step_exn automaton s (Vs_action.Createview (View.make g2 [ 0 ])) in
+  Alcotest.(check bool) "strict machine refuses out-of-order create" true
+    (automaton.Automaton.transition s (Vs_action.Createview (View.make g1 [ 0 ]))
+    = None);
+  (* The weak machine accepts it. *)
+  let weak = Vs_machine.automaton { params with weak = true } in
+  let sw = Automaton.step_exn weak (Vs_machine.initial params)
+      (Vs_action.Createview (View.make g2 [ 0 ])) in
+  Alcotest.(check bool) "weak machine accepts out-of-order create" true
+    (weak.Automaton.transition sw (Vs_action.Createview (View.make g1 [ 0 ]))
+    <> None);
+  Alcotest.(check bool) "weak machine still refuses duplicate id" true
+    (weak.Automaton.transition sw (Vs_action.Createview (View.make g2 [ 1 ]))
+    = None)
+
+let test_safe_requires_all_members () =
+  (* In the initial view {0,1,2}: 0 sends, it gets ordered, 0 and 1 receive
+     it, but 2 does not; safe must not be enabled. *)
+  let step a s = Automaton.step_exn automaton s a in
+  let s = Vs_machine.initial params in
+  let s = step (Vs_action.Gpsnd { sender = 0; msg = "m" }) s in
+  let s = step (Vs_action.Vs_order { msg = "m"; sender = 0; viewid = View_id.g0 }) s in
+  let s = step (Vs_action.Gprcv { src = 0; dst = 0; msg = "m" }) s in
+  let s = step (Vs_action.Gprcv { src = 0; dst = 1; msg = "m" }) s in
+  Alcotest.(check bool) "safe not yet enabled" true
+    (automaton.Automaton.transition s
+       (Vs_action.Safe { src = 0; dst = 0; msg = "m" })
+    = None);
+  let s = step (Vs_action.Gprcv { src = 0; dst = 2; msg = "m" }) s in
+  Alcotest.(check bool) "safe enabled after all members receive" true
+    (automaton.Automaton.transition s
+       (Vs_action.Safe { src = 0; dst = 0; msg = "m" })
+    <> None)
+
+let test_trace_checker_accepts () =
+  for seed = 0 to 24 do
+    let e = run seed in
+    let trace = Exec.trace automaton e in
+    match Vs_trace_checker.check params trace with
+    | Ok () -> ()
+    | Error err ->
+        Alcotest.failf "seed %d rejected: %s" seed
+          (Format.asprintf "%a" Vs_trace_checker.pp_error err)
+  done
+
+let test_trace_checker_accepts_weak_machine () =
+  let weak_params = { params with weak = true } in
+  let weak = Vs_machine.automaton weak_params in
+  let inject_weak state prng =
+    let gpsnd =
+      match
+        (Gcs_stdx.Prng.pick prng procs, Gcs_stdx.Prng.pick prng messages)
+      with
+      | Some p, Some m -> [ Vs_action.Gpsnd { sender = p; msg = m } ]
+      | _ -> []
+    in
+    (* Propose ids out of order on purpose: random number in 1..10. *)
+    let num = Gcs_stdx.Prng.int_in prng 1 10 in
+    let origin = Gcs_stdx.Prng.pick_exn prng procs in
+    let members =
+      match Gcs_stdx.Prng.subset prng procs with [] -> [ origin ] | l -> l
+    in
+    ignore state;
+    gpsnd
+    @ [ Vs_action.Createview (View.make (View_id.make ~num ~origin) members) ]
+  in
+  for seed = 0 to 24 do
+    let scheduler = Scheduler.weighted weak ~inject:inject_weak ~inject_weight:0.35 in
+    let e = Exec.run weak ~scheduler ~steps:250 ~prng:(Gcs_stdx.Prng.create seed) in
+    let trace = Exec.trace weak e in
+    match Vs_trace_checker.check params trace with
+    | Ok () -> ()
+    | Error err ->
+        Alcotest.failf "weak trace %d rejected: %s" seed
+          (Format.asprintf "%a" Vs_trace_checker.pp_error err)
+  done
+
+let test_trace_checker_rejections () =
+  let g1 = View_id.make ~num:1 ~origin:0 in
+  let v1 = View.make g1 [ 0; 1 ] in
+  let reject name trace =
+    Alcotest.(check bool) name true
+      (Result.is_error (Vs_trace_checker.check params trace))
+  in
+  reject "delivery without send"
+    [ Vs_action.Gprcv { src = 0; dst = 1; msg = "ghost" } ];
+  reject "newview at non-member is outside the signature, hence invalid input"
+    [ Vs_action.Newview { proc = 3; view = v1 } ];
+  reject "view id going backwards"
+    [
+      Vs_action.Newview { proc = 0; view = v1 };
+      Vs_action.Newview { proc = 0; view = View.initial p0 };
+    ];
+  reject "same id different membership"
+    [
+      Vs_action.Newview { proc = 0; view = v1 };
+      Vs_action.Newview { proc = 1; view = View.make g1 [ 1; 2 ] };
+    ];
+  reject "cross-view delivery"
+    [
+      Vs_action.Gpsnd { sender = 0; msg = "m" };
+      Vs_action.Newview { proc = 1; view = View.make g1 [ 0; 1 ] };
+      Vs_action.Gprcv { src = 0; dst = 1; msg = "m" };
+    ];
+  reject "safe before all members deliver"
+    [
+      Vs_action.Gpsnd { sender = 0; msg = "m" };
+      Vs_action.Gprcv { src = 0; dst = 0; msg = "m" };
+      Vs_action.Gprcv { src = 0; dst = 1; msg = "m" };
+      Vs_action.Safe { src = 0; dst = 0; msg = "m" };
+    ];
+  reject "duplicate delivery at one destination"
+    [
+      Vs_action.Gpsnd { sender = 0; msg = "m" };
+      Vs_action.Gprcv { src = 0; dst = 1; msg = "m" };
+      Vs_action.Gprcv { src = 0; dst = 1; msg = "m" };
+    ];
+  reject "two destinations observe different per-view orders"
+    [
+      Vs_action.Gpsnd { sender = 0; msg = "a" };
+      Vs_action.Gpsnd { sender = 1; msg = "b" };
+      Vs_action.Gprcv { src = 0; dst = 2; msg = "a" };
+      Vs_action.Gprcv { src = 1; dst = 2; msg = "b" };
+      Vs_action.Gprcv { src = 1; dst = 0; msg = "b" };
+      Vs_action.Gprcv { src = 0; dst = 0; msg = "a" };
+    ];
+  reject "gap in delivery (second message without the first)"
+    [
+      Vs_action.Gpsnd { sender = 0; msg = "a" };
+      Vs_action.Gpsnd { sender = 0; msg = "b" };
+      Vs_action.Gprcv { src = 0; dst = 1; msg = "a" };
+      Vs_action.Gprcv { src = 0; dst = 1; msg = "b" };
+      Vs_action.Gprcv { src = 0; dst = 2; msg = "b" };
+    ];
+  reject "safe out of per-view order"
+    [
+      Vs_action.Gpsnd { sender = 0; msg = "a" };
+      Vs_action.Gpsnd { sender = 0; msg = "b" };
+      Vs_action.Gprcv { src = 0; dst = 0; msg = "a" };
+      Vs_action.Gprcv { src = 0; dst = 0; msg = "b" };
+      Vs_action.Gprcv { src = 0; dst = 1; msg = "a" };
+      Vs_action.Gprcv { src = 0; dst = 1; msg = "b" };
+      Vs_action.Gprcv { src = 0; dst = 2; msg = "a" };
+      Vs_action.Gprcv { src = 0; dst = 2; msg = "b" };
+      Vs_action.Safe { src = 0; dst = 0; msg = "b" };
+    ];
+  (* A sender outside any view: its messages are dropped, so a later
+     delivery of them is invalid even within the sender's first view. *)
+  reject "pre-view send is never deliverable"
+    [
+      Vs_action.Gpsnd { sender = 3; msg = "ghost" };
+      Vs_action.Newview { proc = 3; view = View.make g1 [ 0; 3 ] };
+      Vs_action.Newview { proc = 0; view = View.make g1 [ 0; 3 ] };
+      Vs_action.Gprcv { src = 3; dst = 0; msg = "ghost" };
+    ]
+
+(* Lemma 4.2: properties of the cause function on accepted traces. *)
+let check_cause_properties seed =
+  let e = run ~steps:300 seed in
+  let trace = Exec.trace automaton e in
+  match Vs_trace_checker.check_full params trace with
+  | Error err ->
+      Alcotest.failf "seed %d rejected: %s" seed
+        (Format.asprintf "%a" Vs_trace_checker.pp_error err)
+  | Ok checker ->
+      let arr = Array.of_list trace in
+      let cause = Vs_trace_checker.cause checker in
+      (* Integrity: cause precedes, same message, matching source. *)
+      List.iter
+        (fun (event_idx, cause_idx) ->
+          Alcotest.(check bool) "cause precedes" true (cause_idx < event_idx);
+          match (arr.(event_idx), arr.(cause_idx)) with
+          | ( (Vs_action.Gprcv { src; msg; _ } | Vs_action.Safe { src; msg; _ }),
+              Vs_action.Gpsnd { sender; msg = m' } ) ->
+              Alcotest.(check string) "same message" m' msg;
+              Alcotest.(check int) "matching source" sender src
+          | _ -> Alcotest.fail "cause maps to a non-gpsnd event")
+        cause;
+      (* No duplication: per destination, cause is injective over gprcv
+         events, and over safe events. *)
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun (event_idx, cause_idx) ->
+          let kind, dst =
+            match arr.(event_idx) with
+            | Vs_action.Gprcv { dst; _ } -> ("gprcv", dst)
+            | Vs_action.Safe { dst; _ } -> ("safe", dst)
+            | _ -> assert false
+          in
+          let key = (kind, dst, cause_idx) in
+          Alcotest.(check bool)
+            (Printf.sprintf "no duplicate %s at %d" kind dst)
+            false (Hashtbl.mem seen key);
+          Hashtbl.replace seen key ())
+        cause;
+      (* No reordering: for fixed (src, dst), cause indices of gprcv events
+         increase (per-sender FIFO makes this global across views too,
+         since views are entered monotonically). *)
+      let last_cause = Hashtbl.create 64 in
+      List.iter
+        (fun (event_idx, cause_idx) ->
+          match arr.(event_idx) with
+          | Vs_action.Gprcv { src; dst; _ } ->
+              let key = (src, dst) in
+              (match Hashtbl.find_opt last_cause key with
+              | Some prev ->
+                  Alcotest.(check bool) "monotone cause" true (prev < cause_idx)
+              | None -> ());
+              Hashtbl.replace last_cause key cause_idx
+          | _ -> ())
+        cause
+
+let test_cause_properties () =
+  List.iter check_cause_properties [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let prop_trace_accepted =
+  QCheck.Test.make ~name:"random VS-machine traces accepted" ~count:40
+    QCheck.small_nat
+    (fun seed -> Result.is_ok (Vs_trace_checker.check params
+                                 (Exec.trace automaton (run seed))))
+
+let () =
+  Alcotest.run "vs_machine"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "Lemma 4.1 invariants" `Quick
+            test_lemma_4_1_invariants;
+          Alcotest.test_case "initial views" `Quick test_initial_views;
+          Alcotest.test_case "pre-view sends dropped" `Quick
+            test_send_before_view_is_dropped;
+          Alcotest.test_case "newview monotone" `Quick test_newview_monotone;
+          Alcotest.test_case "createview orders (strict vs weak)" `Quick
+            test_createview_increasing_strict;
+          Alcotest.test_case "safe requires all members" `Quick
+            test_safe_requires_all_members;
+        ] );
+      ( "trace checker",
+        [
+          Alcotest.test_case "accepts machine traces" `Quick
+            test_trace_checker_accepts;
+          Alcotest.test_case "accepts WeakVS-machine traces" `Quick
+            test_trace_checker_accepts_weak_machine;
+          Alcotest.test_case "rejects violations" `Quick
+            test_trace_checker_rejections;
+          Alcotest.test_case "Lemma 4.2 cause properties" `Quick
+            test_cause_properties;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_trace_accepted ]);
+    ]

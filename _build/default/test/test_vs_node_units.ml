@@ -1,0 +1,98 @@
+(* Unit tests of Vs_node internals that the scenario tests exercise only
+   indirectly: ring topology, analytical bounds, token bookkeeping. *)
+
+open Gcs_core
+open Gcs_impl
+
+let config =
+  { Vs_node.procs = Proc.all ~n:5; p0 = Proc.all ~n:5; pi = 8.0; mu = 10.0; delta = 1.0 }
+
+let test_bounds_formulas () =
+  (* b = 9δ + max(π + (n+3)δ, μ) and d = 2π + nδ, literally. *)
+  Alcotest.(check (float 0.001)) "paper b" (9.0 +. max (8.0 +. 8.0) 10.0)
+    (Vs_node.paper_b config);
+  Alcotest.(check (float 0.001)) "paper d" ((2.0 *. 8.0) +. 5.0)
+    (Vs_node.paper_d config);
+  (* μ-dominated regime. *)
+  let slow_probe = { config with Vs_node.mu = 40.0 } in
+  Alcotest.(check (float 0.001)) "paper b with large mu" (9.0 +. 40.0)
+    (Vs_node.paper_b slow_probe);
+  Alcotest.(check bool) "impl bounds dominate paper bounds" true
+    (Vs_node.impl_b config >= Vs_node.paper_b config
+    && Vs_node.impl_d config >= Vs_node.paper_d config)
+
+let test_bounds_monotone_in_n () =
+  let at n = { config with Vs_node.procs = Proc.all ~n; p0 = Proc.all ~n } in
+  let values f = List.map (fun n -> f (at n)) [ 2; 3; 4; 5; 6; 7 ] in
+  let monotone xs =
+    let rec go = function
+      | a :: (b :: _ as rest) -> a <= b && go rest
+      | _ -> true
+    in
+    go xs
+  in
+  Alcotest.(check bool) "b monotone in n" true (monotone (values Vs_node.paper_b));
+  Alcotest.(check bool) "d monotone in n" true (monotone (values Vs_node.paper_d));
+  Alcotest.(check bool) "timeout monotone in n" true
+    (monotone (values Vs_node.token_timeout))
+
+let test_initial_states () =
+  let s0 = Vs_node.initial config 0 in
+  (match Vs_node.current_view s0 with
+  | Some v ->
+      Alcotest.(check bool) "P0 member starts in v0" true
+        (View_id.equal v.View.id View_id.g0)
+  | None -> Alcotest.fail "P0 member has no view");
+  let outsider_config = { config with Vs_node.p0 = [ 1; 2 ] } in
+  let s3 = Vs_node.initial outsider_config 3 in
+  Alcotest.(check bool) "outsider starts with no view" true
+    (Vs_node.current_view s3 = None);
+  Alcotest.(check int) "no installs yet" 0 (Vs_node.views_installed s0);
+  Alcotest.(check int) "token high-water starts at zero" 0
+    (Vs_node.max_token_entries s0)
+
+let test_fresh_token () =
+  let g1 = View_id.make ~num:1 ~origin:0 in
+  let tok : unit Wire.token = Wire.fresh_token g1 in
+  Alcotest.(check int) "starts at index 1" 1 tok.Wire.next_idx;
+  Alcotest.(check int) "no entries" 0 (List.length tok.Wire.entries);
+  Alcotest.(check bool) "view id carried" true
+    (View_id.equal tok.Wire.viewid g1)
+
+(* Bounds are consistent with behaviour: in a fresh stable system the
+   first client message is safe within impl_d. *)
+let test_first_message_safe_within_bound () =
+  let run =
+    Vs_service.run config
+      ~workload:[ (50.0, 2, "only") ]
+      ~failures:[] ~until:200.0 ~seed:3
+  in
+  let safes =
+    List.filter_map
+      (fun (t, a) ->
+        match a with Vs_action.Safe _ -> Some t | _ -> None)
+      (Gcs_core.Timed.actions run.Vs_service.trace)
+  in
+  Alcotest.(check int) "safe at all five members" 5 (List.length safes);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "safe by the bound (t=%.2f)" t)
+        true
+        (t -. 50.0 <= Vs_node.impl_d config))
+    safes
+
+let () =
+  Alcotest.run "vs_node_units"
+    [
+      ( "internals",
+        [
+          Alcotest.test_case "bound formulas" `Quick test_bounds_formulas;
+          Alcotest.test_case "bounds monotone in n" `Quick
+            test_bounds_monotone_in_n;
+          Alcotest.test_case "initial states" `Quick test_initial_states;
+          Alcotest.test_case "fresh token" `Quick test_fresh_token;
+          Alcotest.test_case "first message safe within bound" `Quick
+            test_first_message_safe_within_bound;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+(* Direct unit tests of the VStoTO automaton's transitions (Figure 10),
+   action by action, against hand-computed expectations. *)
+
+open Gcs_automata
+open Gcs_core
+
+let procs = Proc.all ~n:3
+let p0 = procs
+let quorums = Quorum.majorities ~n:3
+let params p = Vstoto.default_params ~me:p ~p0 ~quorums
+let automaton p = Vstoto.automaton (params p)
+
+let step p action state = Automaton.step_exn (automaton p) state action
+let try_step p action state = (automaton p).Automaton.transition state action
+
+let v0 = View.initial p0
+let g1 = View_id.make ~num:1 ~origin:0
+let v1 = View.make g1 [ 0; 1 ]
+let label g seqno origin = Label.make ~id:g ~seqno ~origin
+
+let test_initial_state () =
+  let s = Vstoto.initial (params 0) in
+  Alcotest.(check bool) "starts in v0" true
+    (match s.Vstoto.current with Some v -> View.equal v v0 | None -> false);
+  Alcotest.(check bool) "highprimary = g0" true
+    (View_id.compare_opt s.Vstoto.highprimary (Some View_id.g0) = 0);
+  Alcotest.(check bool) "primary initially (P0 is a quorum)" true
+    (Vstoto.primary (params 0) s)
+
+let test_bcast_label_gpsnd () =
+  let s = Vstoto.initial (params 0) in
+  let s = step 0 (Sys_action.Bcast (0, "x")) s in
+  Alcotest.(check (list string)) "bcast joins delay" [ "x" ] s.Vstoto.delay;
+  let s = step 0 (Sys_action.Label_act (0, "x")) s in
+  Alcotest.(check int) "delay consumed" 0 (List.length s.Vstoto.delay);
+  Alcotest.(check int) "nextseqno advanced" 2 s.Vstoto.nextseqno;
+  let l = label View_id.g0 1 0 in
+  Alcotest.(check bool) "label in buffer" true
+    (List.exists (Label.equal l) s.Vstoto.buffer);
+  Alcotest.(check (option string)) "content holds the value" (Some "x")
+    (Label.Map.find_opt l s.Vstoto.content);
+  (* The send carries exactly the labelled pair and drains the buffer. *)
+  let send =
+    Sys_action.Vs (Vs_action.Gpsnd { sender = 0; msg = Msg.App (l, "x") })
+  in
+  let s = step 0 send s in
+  Alcotest.(check int) "buffer drained" 0 (List.length s.Vstoto.buffer);
+  (* A second send with nothing buffered is disabled. *)
+  Alcotest.(check bool) "no spurious send" true (try_step 0 send s = None)
+
+let test_label_requires_view_and_normal () =
+  (* Processor outside any view cannot label. *)
+  let outside =
+    Vstoto.initial { (params 0) with Vstoto.me = 0; p0 = [ 1; 2 ] }
+  in
+  let outside = step 0 (Sys_action.Bcast (0, "x")) outside in
+  Alcotest.(check bool) "no label without a view" true
+    (try_step 0 (Sys_action.Label_act (0, "x")) outside = None);
+  (* During recovery (status = send) the corrected precondition blocks
+     labelling. *)
+  let s = Vstoto.initial (params 0) in
+  let s = step 0 (Sys_action.Bcast (0, "x")) s in
+  let s = step 0 (Sys_action.Vs (Vs_action.Newview { proc = 0; view = v1 })) s in
+  Alcotest.(check bool) "status is send after newview" true
+    (s.Vstoto.status = Vstoto.Send);
+  Alcotest.(check bool) "no label during recovery" true
+    (try_step 0 (Sys_action.Label_act (0, "x")) s = None)
+
+let test_gprcv_app_order_append () =
+  let s = Vstoto.initial (params 1) in
+  let l = label View_id.g0 1 0 in
+  let rcv =
+    Sys_action.Vs (Vs_action.Gprcv { src = 0; dst = 1; msg = Msg.App (l, "x") })
+  in
+  let s = step 1 rcv s in
+  Alcotest.(check (option string)) "content recorded" (Some "x")
+    (Label.Map.find_opt l s.Vstoto.content);
+  Alcotest.(check bool) "order appended (primary view)" true
+    (List.exists (Label.equal l) s.Vstoto.order);
+  (* In a non-primary view (a singleton is not a majority of 3) the same
+     delivery does not enter order. *)
+  let v_solo = View.make g1 [ 1 ] in
+  let s2 = Vstoto.initial (params 1) in
+  let s2 =
+    step 1 (Sys_action.Vs (Vs_action.Newview { proc = 1; view = v_solo })) s2
+  in
+  let l1 = label g1 1 0 in
+  let s2 =
+    step 1
+      (Sys_action.Vs
+         (Vs_action.Gprcv { src = 0; dst = 1; msg = Msg.App (l1, "y") }))
+      s2
+  in
+  Alcotest.(check bool) "non-primary: no order append" false
+    (List.exists (Label.equal l1) s2.Vstoto.order)
+
+(* Build a summary by hand. *)
+let summary ~con ~ord ~next ~high =
+  let con =
+    List.fold_left
+      (fun acc (l, v) -> Label.Map.add l v acc)
+      Label.Map.empty con
+  in
+  Summary.make ~con ~ord ~next ~high
+
+let test_establishment_primary () =
+  (* Processor 0 moves to a primary view {0,1} (quorum of 3 is 2) and
+     receives both summaries; the one with the higher highprimary wins the
+     short order, and the remaining labels are appended in label order. *)
+  let la = label View_id.g0 1 1 and lb = label View_id.g0 1 0 in
+  let s = Vstoto.initial (params 0) in
+  let s = step 0 (Sys_action.Vs (Vs_action.Newview { proc = 0; view = v1 })) s in
+  (* Own summary must be sent before collecting. *)
+  let own = Vstoto.summary_of_state s in
+  let s =
+    step 0 (Sys_action.Vs (Vs_action.Gpsnd { sender = 0; msg = Msg.Summary own })) s
+  in
+  Alcotest.(check bool) "collect status" true (s.Vstoto.status = Vstoto.Collect);
+  let x1 = summary ~con:[ (lb, "b") ] ~ord:[] ~next:1 ~high:(Some View_id.g0) in
+  let x2 =
+    summary ~con:[ (la, "a"); (lb, "b") ] ~ord:[ la ] ~next:2
+      ~high:(Some View_id.g0)
+  in
+  let s =
+    step 0
+      (Sys_action.Vs (Vs_action.Gprcv { src = 0; dst = 0; msg = Msg.Summary x1 }))
+      s
+  in
+  Alcotest.(check bool) "still collecting" true (s.Vstoto.status = Vstoto.Collect);
+  let s =
+    step 0
+      (Sys_action.Vs (Vs_action.Gprcv { src = 1; dst = 0; msg = Msg.Summary x2 }))
+      s
+  in
+  Alcotest.(check bool) "established (normal)" true
+    (s.Vstoto.status = Vstoto.Normal);
+  (* chosenrep is the larger id among max-high holders = 1; shortorder =
+     [la]; fullorder appends lb (the only other known label). *)
+  Alcotest.(check bool) "order = [la; lb]" true
+    (List.equal Label.equal s.Vstoto.order [ la; lb ]);
+  Alcotest.(check bool) "highprimary = the new primary view" true
+    (View_id.compare_opt s.Vstoto.highprimary (Some g1) = 0);
+  Alcotest.(check int) "nextconfirm = maxnextconfirm" 2 s.Vstoto.nextconfirm
+
+let test_establishment_non_primary () =
+  (* View {0} alone: not a quorum, so the adopted order is the chosen
+     representative's order only, and highprimary is inherited. *)
+  let g2 = View_id.make ~num:2 ~origin:0 in
+  let v_solo = View.make g2 [ 0 ] in
+  let la = label View_id.g0 1 1 and lb = label View_id.g0 2 1 in
+  let s = Vstoto.initial (params 0) in
+  let s =
+    step 0 (Sys_action.Vs (Vs_action.Newview { proc = 0; view = v_solo })) s
+  in
+  let own = Vstoto.summary_of_state s in
+  let s =
+    step 0 (Sys_action.Vs (Vs_action.Gpsnd { sender = 0; msg = Msg.Summary own })) s
+  in
+  let x =
+    summary ~con:[ (la, "a"); (lb, "b") ] ~ord:[ la; lb ] ~next:2
+      ~high:(Some View_id.g0)
+  in
+  let s =
+    step 0
+      (Sys_action.Vs (Vs_action.Gprcv { src = 0; dst = 0; msg = Msg.Summary x }))
+      s
+  in
+  Alcotest.(check bool) "established" true (s.Vstoto.status = Vstoto.Normal);
+  Alcotest.(check bool) "shortorder adopted" true
+    (List.equal Label.equal s.Vstoto.order [ la; lb ]);
+  Alcotest.(check bool) "highprimary inherited, not the new view" true
+    (View_id.compare_opt s.Vstoto.highprimary (Some View_id.g0) = 0);
+  (* Nothing can be confirmed in a non-primary view. *)
+  Alcotest.(check bool) "confirm disabled" true
+    (try_step 0 (Sys_action.Confirm 0) s = None)
+
+let test_safe_confirm_brcv_pipeline () =
+  (* In the initial primary view: deliver a value, mark it safe, confirm,
+     and report to the client, checking each precondition. *)
+  let l = label View_id.g0 1 1 in
+  let s = Vstoto.initial (params 0) in
+  let rcv =
+    Sys_action.Vs (Vs_action.Gprcv { src = 1; dst = 0; msg = Msg.App (l, "z") })
+  in
+  let s = step 0 rcv s in
+  Alcotest.(check bool) "confirm blocked before safe" true
+    (try_step 0 (Sys_action.Confirm 0) s = None);
+  let s =
+    step 0 (Sys_action.Vs (Vs_action.Safe { src = 1; dst = 0; msg = Msg.App (l, "z") })) s
+  in
+  Alcotest.(check bool) "label is safe" true
+    (Label.Set.mem l s.Vstoto.safe_labels);
+  let s = step 0 (Sys_action.Confirm 0) s in
+  Alcotest.(check int) "confirmed" 2 s.Vstoto.nextconfirm;
+  (* brcv must name the right source. *)
+  Alcotest.(check bool) "brcv with wrong source blocked" true
+    (try_step 0 (Sys_action.Brcv { src = 2; dst = 0; value = "z" }) s = None);
+  let s = step 0 (Sys_action.Brcv { src = 1; dst = 0; value = "z" }) s in
+  Alcotest.(check int) "reported" 2 s.Vstoto.nextreport;
+  Alcotest.(check bool) "no double report" true
+    (try_step 0 (Sys_action.Brcv { src = 1; dst = 0; value = "z" }) s = None)
+
+let test_newview_resets () =
+  let l = label View_id.g0 1 0 in
+  let s = Vstoto.initial (params 0) in
+  let s = step 0 (Sys_action.Bcast (0, "x")) s in
+  let s = step 0 (Sys_action.Label_act (0, "x")) s in
+  let s =
+    step 0 (Sys_action.Vs (Vs_action.Safe { src = 0; dst = 0; msg = Msg.App (l, "x") })) s
+  in
+  let s = step 0 (Sys_action.Vs (Vs_action.Newview { proc = 0; view = v1 })) s in
+  Alcotest.(check int) "buffer cleared" 0 (List.length s.Vstoto.buffer);
+  Alcotest.(check int) "nextseqno reset" 1 s.Vstoto.nextseqno;
+  Alcotest.(check bool) "safe-labels cleared" true
+    (Label.Set.is_empty s.Vstoto.safe_labels);
+  Alcotest.(check bool) "gotstate cleared" true
+    (Proc.Map.is_empty s.Vstoto.gotstate);
+  (* Content and order survive the view change (they feed the summary). *)
+  Alcotest.(check bool) "content survives" true
+    (Label.Map.mem l s.Vstoto.content)
+
+let test_safe_exchange_completion () =
+  (* All members' summaries safe in a primary view marks every fullorder
+     label safe. *)
+  let la = label View_id.g0 1 1 in
+  let s = Vstoto.initial (params 0) in
+  let s = step 0 (Sys_action.Vs (Vs_action.Newview { proc = 0; view = v1 })) s in
+  let own = Vstoto.summary_of_state s in
+  let s =
+    step 0 (Sys_action.Vs (Vs_action.Gpsnd { sender = 0; msg = Msg.Summary own })) s
+  in
+  let x2 = summary ~con:[ (la, "a") ] ~ord:[ la ] ~next:1 ~high:(Some View_id.g0) in
+  let s =
+    step 0 (Sys_action.Vs (Vs_action.Gprcv { src = 0; dst = 0; msg = Msg.Summary own })) s
+  in
+  let s =
+    step 0 (Sys_action.Vs (Vs_action.Gprcv { src = 1; dst = 0; msg = Msg.Summary x2 })) s
+  in
+  Alcotest.(check bool) "established" true (s.Vstoto.status = Vstoto.Normal);
+  let s =
+    step 0 (Sys_action.Vs (Vs_action.Safe { src = 0; dst = 0; msg = Msg.Summary own })) s
+  in
+  Alcotest.(check bool) "not yet all safe" true
+    (Label.Set.is_empty s.Vstoto.safe_labels);
+  let s =
+    step 0 (Sys_action.Vs (Vs_action.Safe { src = 1; dst = 0; msg = Msg.Summary x2 })) s
+  in
+  Alcotest.(check bool) "exchange safe marks fullorder labels" true
+    (Label.Set.mem la s.Vstoto.safe_labels)
+
+let () =
+  Alcotest.run "vstoto_units"
+    [
+      ( "figure 10",
+        [
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "bcast / label / gpsnd" `Quick
+            test_bcast_label_gpsnd;
+          Alcotest.test_case "label preconditions" `Quick
+            test_label_requires_view_and_normal;
+          Alcotest.test_case "gprcv append rules" `Quick
+            test_gprcv_app_order_append;
+          Alcotest.test_case "establishment (primary)" `Quick
+            test_establishment_primary;
+          Alcotest.test_case "establishment (non-primary)" `Quick
+            test_establishment_non_primary;
+          Alcotest.test_case "safe / confirm / brcv pipeline" `Quick
+            test_safe_confirm_brcv_pipeline;
+          Alcotest.test_case "newview resets" `Quick test_newview_resets;
+          Alcotest.test_case "safe exchange completion" `Quick
+            test_safe_exchange_completion;
+        ] );
+    ]
