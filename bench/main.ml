@@ -500,6 +500,66 @@ let x16 () =
          else !lat_total /. float_of_int !lat_count))
     [ 10.0; 5.0; 2.0; 1.0; 0.5 ]
 
+(* X17: throughput under faults — the same offered load as X16, but run
+   through nemesis schedules. Deliveries per time unit degrade with the
+   fraction of the run spent partitioned/crashed, while mean delivery
+   latency grows with the reconciliation backlog released at each heal. *)
+
+let x17 () =
+  header "X17: throughput under nemesis schedules (n=5)";
+  row "%-18s %14s %12s %10s\n" "schedule" "delivered/unit" "mean lat" "dropped";
+  let n = 5 in
+  let config = mk_vs_config n in
+  let procs = config.Vs_node.procs in
+  let to_config = To_service.make_config config in
+  let spacing = 2.0 in
+  let duration = 300.0 in
+  let count = int_of_float (duration /. spacing) in
+  let wl = workload ~senders:procs ~from_time:5.0 ~spacing ~count ~tag:"f" in
+  let schedules =
+    (None, "clean")
+    :: List.filter_map
+         (fun name ->
+           Option.map
+             (fun s -> (Some s, name))
+             (Gcs_nemesis.Scenario.find_builtin ~procs name))
+         [ "split-heal"; "quorum-flap"; "churn" ]
+    @ List.map
+        (fun seed ->
+          let s = Gcs_nemesis.Gen.scenario ~procs ~seed () in
+          (Some s, s.Gcs_nemesis.Scenario.name))
+        [ 7; 21 ]
+  in
+  List.iter
+    (fun (scenario, name) ->
+      let failures, until =
+        match scenario with
+        | None -> ([], duration +. 100.0)
+        | Some s ->
+            ( Gcs_nemesis.Scenario.compile ~procs s,
+              max (duration +. 100.0)
+                (Gcs_nemesis.Scenario.stabilization_time s +. 150.0) )
+      in
+      let run = To_service.run to_config ~workload:wl ~failures ~until ~seed:2 in
+      let actions = Timed.actions (To_service.client_trace run) in
+      let sends = Hashtbl.create 256 in
+      let lats = ref [] and deliveries = ref 0 in
+      List.iter
+        (fun (t, a) ->
+          match a with
+          | To_action.Bcast (p, v) -> Hashtbl.replace sends (p, v) t
+          | To_action.Brcv { src; value; _ } -> (
+              incr deliveries;
+              match Hashtbl.find_opt sends (src, value) with
+              | Some t0 -> lats := (t -. t0) :: !lats
+              | None -> ())
+          | To_action.To_order _ -> ())
+        actions;
+      row "%-18s %14.2f %12.2f %10d\n" name
+        (float_of_int !deliveries /. float_of_int n /. duration)
+        (mean !lats) run.To_service.packets_dropped)
+    schedules
+
 (* ------------------------------------------------------------------ *)
 (* M: bechamel micro-benchmarks. *)
 
@@ -627,5 +687,6 @@ let () =
   x13 ();
   x14 ();
   x16 ();
+  x17 ();
   if not quick then micro ();
   Printf.printf "\ndone.\n"

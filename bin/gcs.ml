@@ -4,7 +4,9 @@
      gcs bounds  — print the Section 8 analytical bounds for a configuration
      gcs run     — simulate the end-to-end TO service under a scenario
      gcs spec    — random executions of the spec machines with invariant,
-                   trace and simulation checking *)
+                   trace and simulation checking
+     gcs nemesis — run the fault-injection harness: a named scenario or a
+                   seed-reproducible random schedule, checked end to end *)
 
 open Cmdliner
 open Gcs_core
@@ -221,6 +223,93 @@ let run_cmd =
       $ partition_arg $ split_arg $ heal_arg $ messages_arg $ timeline_arg
       $ dump_arg)
 
+(* ------------------------------ nemesis ----------------------------- *)
+
+let nemesis_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Built-in scenario name (see --list). Omit to run a random \
+             schedule generated from --seed.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List built-in scenarios.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the outcome as a single JSON object.")
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "events" ] ~docv:"K"
+          ~doc:"Fault injections in a random schedule.")
+  in
+  let until_opt_arg =
+    Arg.(
+      value & opt float (-1.0)
+      & info [ "until" ] ~docv:"T"
+          ~doc:
+            "Simulated time horizon (negative: stabilization + b' + d' + \
+             slack, the shortest horizon at which the delivery bound is \
+             enforceable).")
+  in
+  let run n delta pi mu seed scenario list json events until =
+    let vs_config = mk_config n delta pi mu in
+    let config = To_service.make_config vs_config in
+    let procs = vs_config.Vs_node.procs in
+    if list then
+      List.iter
+        (fun (name, scenario) ->
+          Printf.printf "%-20s %2d steps, stabilizes at t=%.1f\n" name
+            (List.length scenario.Gcs_nemesis.Scenario.steps)
+            (Gcs_nemesis.Scenario.stabilization_time scenario))
+        (Gcs_nemesis.Scenario.builtins ~procs)
+    else begin
+      let scenario =
+        match scenario with
+        | Some name -> (
+            match Gcs_nemesis.Scenario.find_builtin ~procs name with
+            | Some s -> s
+            | None ->
+                Printf.eprintf
+                  "error: unknown scenario %s (try gcs nemesis --list)\n" name;
+                exit 2)
+        | None -> Gcs_nemesis.Gen.scenario ~procs ~events ~seed ()
+      in
+      let until = if until < 0.0 then None else Some until in
+      let outcome = Gcs_nemesis.Harness.run ~config ?until ~seed scenario in
+      if json then print_endline (Gcs_nemesis.Harness.to_json outcome)
+      else begin
+        Format.printf "%a@." Gcs_nemesis.Scenario.pp scenario;
+        Format.printf "%a@." Gcs_nemesis.Harness.pp outcome;
+        Printf.printf "reproduce with: gcs nemesis%s --seed %d -n %d\n"
+          (match scenario.Gcs_nemesis.Scenario.name with
+          | name
+            when Option.is_some (Gcs_nemesis.Scenario.find_builtin ~procs name)
+            ->
+              " " ^ name
+          | _ -> "")
+          seed n
+      end;
+      if not (Gcs_nemesis.Harness.passed outcome) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:
+         "Run the fault-injection harness: a built-in scenario or a \
+          seed-reproducible random schedule through the end-to-end TO \
+          service, checked against both trace checkers and the \
+          post-stabilization delivery bound (Theorem 7.2).")
+    Term.(
+      const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg $ scenario_arg
+      $ list_arg $ json_arg $ events_arg $ until_opt_arg)
+
 (* ------------------------------- spec ------------------------------- *)
 
 let spec_cmd =
@@ -369,4 +458,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gcs" ~doc)
-          [ bounds_cmd; run_cmd; spec_cmd; check_cmd ]))
+          [ bounds_cmd; run_cmd; spec_cmd; check_cmd; nemesis_cmd ]))

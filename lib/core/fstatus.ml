@@ -41,22 +41,25 @@ let proc_status tracker p =
 let link_status tracker p q =
   match Link_map.find_opt (p, q) tracker.links with Some s -> s | None -> Good
 
-let partition_events ~parts =
-  let all = List.concat parts in
-  let proc_events = List.map (fun p -> Proc_status (p, Good)) all in
-  let part_of p = List.find (fun part -> List.mem p part) parts in
+let matrix_events ~procs ~proc_status ~link_status =
+  let proc_events = List.map (fun p -> Proc_status (p, proc_status p)) procs in
   let link_events =
     List.concat_map
       (fun p ->
         List.filter_map
           (fun q ->
             if Proc.equal p q then None
-            else
-              let s = if List.mem q (part_of p) then Good else Bad in
-              Some (Link_status (p, q, s)))
-          all)
-      all
+            else Some (Link_status (p, q, link_status p q)))
+          procs)
+      procs
   in
   proc_events @ link_events
+
+let partition_events ~parts =
+  let all = List.concat parts in
+  let part_of p = List.find (fun part -> List.mem p part) parts in
+  matrix_events ~procs:all
+    ~proc_status:(fun _ -> Good)
+    ~link_status:(fun p q -> if List.mem q (part_of p) then Good else Bad)
 
 let heal_events ~procs = partition_events ~parts:[ procs ]

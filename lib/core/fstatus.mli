@@ -27,6 +27,15 @@ val apply : tracker -> event -> tracker
 val proc_status : tracker -> Proc.t -> t
 val link_status : tracker -> Proc.t -> Proc.t -> t
 
+val matrix_events :
+  procs:Proc.t list ->
+  proc_status:(Proc.t -> t) ->
+  link_status:(Proc.t -> Proc.t -> t) ->
+  event list
+(** The complete status assignment over [procs]: one event per processor
+    and one per directed link. Scenario compilers emit the full matrix at
+    every step so the implied world never depends on earlier events. *)
+
 val partition_events : parts:Proc.t list list -> event list
 (** Events establishing a clean partition: links within a part good, links
     across parts bad (both directions), all processors good. *)

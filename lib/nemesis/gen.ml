@@ -1,0 +1,71 @@
+open Gcs_core
+
+(* Track the crashed/slowed sets while generating so recoveries target
+   processors that are actually down and the crash count stays below a
+   quorum (the run should keep making progress somewhere). *)
+type gstate = { crashed : Proc.t list; slow : Proc.t list }
+
+let scenario ~procs ?(events = 12) ?(start = 40.0) ?(spacing = 40.0) ~seed () =
+  let prng = Gcs_stdx.Prng.create seed in
+  let n = List.length procs in
+  let max_crashed = max 1 ((n - 1) / 2) in
+  let statuses = [ Fstatus.Ugly; Fstatus.Bad; Fstatus.Good ] in
+  let random_parts () =
+    let shuffled = Gcs_stdx.Prng.shuffle prng procs in
+    let k = 1 + Gcs_stdx.Prng.int prng (max 1 (n - 1)) in
+    [
+      Gcs_stdx.Seqx.take k shuffled |> List.sort Proc.compare;
+      Gcs_stdx.Seqx.drop k shuffled |> List.sort Proc.compare;
+    ]
+  in
+  let rec draw g =
+    match Gcs_stdx.Prng.int prng 8 with
+    | 0 | 1 -> (g, Scenario.Partition (random_parts ()))
+    | 2 -> (g, Scenario.Heal)
+    | 3 when List.length g.crashed < max_crashed ->
+        let p = Gcs_stdx.Prng.pick_exn prng procs in
+        if List.mem p g.crashed then draw g
+        else ({ g with crashed = p :: g.crashed }, Scenario.Crash p)
+    | 4 -> (
+        match Gcs_stdx.Prng.pick prng g.crashed with
+        | Some p ->
+            ( { g with crashed = List.filter (fun q -> q <> p) g.crashed },
+              Scenario.Recover p )
+        | None -> draw g)
+    | 5 ->
+        let p = Gcs_stdx.Prng.pick_exn prng procs in
+        let q = Gcs_stdx.Prng.pick_exn prng procs in
+        if Proc.equal p q then draw g
+        else
+          (g, Scenario.Degrade (p, q, Gcs_stdx.Prng.pick_exn prng statuses))
+    | 6 ->
+        let p = Gcs_stdx.Prng.pick_exn prng procs in
+        if List.mem p g.slow then draw g
+        else ({ g with slow = p :: g.slow }, Scenario.Slow p)
+    | _ -> (
+        match Gcs_stdx.Prng.pick prng g.slow with
+        | Some p ->
+            ( { g with slow = List.filter (fun q -> q <> p) g.slow },
+              Scenario.Wake p )
+        | None -> draw g)
+  in
+  let g, steps_rev =
+    List.fold_left
+      (fun (g, acc) i ->
+        let t =
+          start
+          +. (float_of_int i *. spacing)
+          +. (Gcs_stdx.Prng.float prng *. spacing /. 2.0)
+        in
+        let g, op = draw g in
+        (g, Scenario.at t op :: acc))
+      ({ crashed = []; slow = [] }, [])
+      (List.init events (fun i -> i))
+  in
+  let stabilize = start +. (float_of_int (events + 1) *. spacing) in
+  let finale =
+    List.map (fun p -> Scenario.at stabilize (Scenario.Wake p)) g.slow
+    @ List.map (fun p -> Scenario.at stabilize (Scenario.Recover p)) g.crashed
+    @ [ Scenario.at stabilize Scenario.Heal ]
+  in
+  Scenario.v (Printf.sprintf "random-%d" seed) (List.rev steps_rev @ finale)

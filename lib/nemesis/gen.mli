@@ -1,0 +1,20 @@
+open Gcs_core
+
+(** Seeded random nemesis: adversarial schedules generated from a
+    {!Gcs_stdx.Prng} seed, so every run is reproducible from one printed
+    integer. The generated scenario always ends with every processor
+    recovered and a final heal, making the post-stabilization delivery
+    bound of Theorem 7.2 applicable. *)
+
+val scenario :
+  procs:Proc.t list ->
+  ?events:int ->
+  ?start:float ->
+  ?spacing:float ->
+  seed:int ->
+  unit ->
+  Scenario.t
+(** [scenario ~procs ~seed ()] draws [events] fault injections (default
+    12) spaced [spacing] apart (default 40.0) starting at [start]
+    (default 40.0), then recovers everything. The scenario is a pure
+    function of its arguments. Its name is ["random-<seed>"]. *)

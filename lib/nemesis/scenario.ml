@@ -1,0 +1,232 @@
+open Gcs_core
+
+type op =
+  | Partition of Proc.t list list
+  | Heal
+  | Crash of Proc.t
+  | Recover of Proc.t
+  | Degrade of Proc.t * Proc.t * Fstatus.t
+  | Slow of Proc.t
+  | Wake of Proc.t
+
+type step = { at : float; op : op }
+
+type t = { name : string; steps : step list }
+
+let v name steps =
+  { name; steps = List.stable_sort (fun a b -> compare a.at b.at) steps }
+
+let at time op = { at = time; op }
+
+let repeat ~from ~every ~times f =
+  List.concat
+    (List.init times (fun i ->
+         List.map (at (from +. (float_of_int i *. every))) (f i)))
+
+type world = {
+  parts : Proc.t list list;
+  crashed : Proc.Set.t;
+  slow : Proc.Set.t;
+  degraded : ((Proc.t * Proc.t) * Fstatus.t) list;
+}
+
+let initial_world ~procs =
+  { parts = [ procs ]; crashed = Proc.Set.empty; slow = Proc.Set.empty;
+    degraded = [] }
+
+let check_proc ~procs p =
+  if not (List.mem p procs) then
+    invalid_arg (Printf.sprintf "nemesis: unknown processor %d" p)
+
+let normalize_parts ~procs parts =
+  let mentioned = List.concat parts in
+  List.iter (check_proc ~procs) mentioned;
+  let sorted = List.sort Proc.compare mentioned in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> Proc.equal a b || dup rest
+    | [] | [ _ ] -> false
+  in
+  if dup sorted then invalid_arg "nemesis: overlapping partition parts";
+  let missing = List.filter (fun p -> not (List.mem p mentioned)) procs in
+  List.filter (fun part -> part <> []) parts
+  @ List.map (fun p -> [ p ]) missing
+
+let apply_op ~procs world op =
+  match op with
+  | Partition parts -> { world with parts = normalize_parts ~procs parts }
+  | Heal -> { world with parts = [ procs ]; degraded = [] }
+  | Crash p ->
+      check_proc ~procs p;
+      { world with crashed = Proc.Set.add p world.crashed }
+  | Recover p ->
+      check_proc ~procs p;
+      { world with crashed = Proc.Set.remove p world.crashed }
+  | Degrade (p, q, status) ->
+      check_proc ~procs p;
+      check_proc ~procs q;
+      let degraded = List.remove_assoc (p, q) world.degraded in
+      let degraded =
+        if Fstatus.equal status Fstatus.Good then degraded
+        else ((p, q), status) :: degraded
+      in
+      { world with degraded }
+  | Slow p ->
+      check_proc ~procs p;
+      { world with slow = Proc.Set.add p world.slow }
+  | Wake p ->
+      check_proc ~procs p;
+      { world with slow = Proc.Set.remove p world.slow }
+
+let proc_status world p =
+  if Proc.Set.mem p world.crashed then Fstatus.Bad
+  else if Proc.Set.mem p world.slow then Fstatus.Ugly
+  else Fstatus.Good
+
+let same_part world p q =
+  List.exists (fun part -> List.mem p part && List.mem q part) world.parts
+
+let link_status world p q =
+  if Proc.Set.mem p world.crashed || Proc.Set.mem q world.crashed then
+    Fstatus.Bad
+  else if not (same_part world p q) then Fstatus.Bad
+  else
+    match List.assoc_opt (p, q) world.degraded with
+    | Some s -> s
+    | None -> Fstatus.Good
+
+let final_world ~procs scenario =
+  List.fold_left
+    (fun w step -> apply_op ~procs w step.op)
+    (initial_world ~procs) scenario.steps
+
+let all_good ~procs world =
+  Proc.Set.is_empty world.crashed
+  && Proc.Set.is_empty world.slow
+  && world.degraded = []
+  && (match world.parts with
+     | [ part ] -> List.for_all (fun p -> List.mem p part) procs
+     | _ -> false)
+
+let compile ~procs scenario =
+  let _, events_rev =
+    List.fold_left
+      (fun (world, acc) step ->
+        let world = apply_op ~procs world step.op in
+        let events =
+          Fstatus.matrix_events ~procs ~proc_status:(proc_status world)
+            ~link_status:(link_status world)
+        in
+        (world, List.rev_append (List.map (fun e -> (step.at, e)) events) acc))
+      (initial_world ~procs, [])
+      scenario.steps
+  in
+  List.rev events_rev
+
+let stabilization_time scenario =
+  List.fold_left (fun acc step -> max acc step.at) 0.0 scenario.steps
+
+let pp_op ppf = function
+  | Partition parts ->
+      Format.fprintf ppf "partition %s"
+        (String.concat "/"
+           (List.map
+              (fun part -> String.concat "," (List.map string_of_int part))
+              parts))
+  | Heal -> Format.pp_print_string ppf "heal"
+  | Crash p -> Format.fprintf ppf "crash %d" p
+  | Recover p -> Format.fprintf ppf "recover %d" p
+  | Degrade (p, q, s) ->
+      Format.fprintf ppf "degrade (%d,%d) %a" p q Fstatus.pp s
+  | Slow p -> Format.fprintf ppf "slow %d" p
+  | Wake p -> Format.fprintf ppf "wake %d" p
+
+let pp ppf scenario =
+  Format.fprintf ppf "@[<v2>scenario %s:" scenario.name;
+  List.iter
+    (fun step -> Format.fprintf ppf "@,t=%7.1f  %a" step.at pp_op step.op)
+    scenario.steps;
+  Format.fprintf ppf "@]"
+
+(* ------------------------- built-in scenarios ------------------------- *)
+
+let split ~procs =
+  let n = List.length procs in
+  let majority = List.filteri (fun i _ -> i < (n / 2) + 1) procs in
+  let minority = List.filter (fun p -> not (List.mem p majority)) procs in
+  (majority, minority)
+
+let split_heal ~procs =
+  let majority, minority = split ~procs in
+  v "split-heal"
+    [ at 60.0 (Partition [ majority; minority ]); at 300.0 Heal ]
+
+let quorum_flap ~procs =
+  (* The quorum moves between sides across successive partitions: each
+     flap isolates a different minority, so no side keeps a primary view
+     for long. Ends healed. *)
+  let n = List.length procs in
+  let rotate k =
+    List.filteri (fun i _ -> i < n - 2) (List.map (fun p -> (p + k) mod n) procs)
+  in
+  v "quorum-flap"
+    (repeat ~from:60.0 ~every:45.0 ~times:5 (fun i ->
+         if i mod 2 = 1 then [ Heal ]
+         else [ Partition [ List.sort Proc.compare (rotate i) ] ])
+    @ [ at 320.0 Heal ])
+
+let minority_isolation ~procs =
+  let rest = List.filteri (fun i _ -> i < List.length procs - 1) procs in
+  let last = List.nth procs (List.length procs - 1) in
+  v "minority-isolation"
+    [ at 60.0 (Partition [ rest; [ last ] ]); at 280.0 Heal ]
+
+let crash_primary ~procs =
+  (* Processor 0 is the ring leader (smallest id) of the initial primary
+     view: crash it mid-run, recover it, and end fully healed. *)
+  let leader = List.hd procs in
+  v "crash-primary"
+    [
+      at 80.0 (Crash leader);
+      at 240.0 (Recover leader);
+      at 260.0 Heal;
+    ]
+
+let degrade_links ~procs =
+  match procs with
+  | p :: q :: r :: _ ->
+      v "degrade-links"
+        [
+          at 50.0 (Degrade (p, q, Fstatus.Ugly));
+          at 50.0 (Degrade (q, p, Fstatus.Ugly));
+          at 120.0 (Slow r);
+          at 200.0 (Wake r);
+          at 220.0 (Degrade (p, q, Fstatus.Good));
+          at 220.0 (Degrade (q, p, Fstatus.Good));
+          at 260.0 Heal;
+        ]
+  | _ -> v "degrade-links" [ at 260.0 Heal ]
+
+let churn ~procs =
+  let majority, minority = split ~procs in
+  let leader = List.hd procs in
+  v "churn"
+    (repeat ~from:50.0 ~every:40.0 ~times:6 (fun i ->
+         match i mod 3 with
+         | 0 -> [ Partition [ majority; minority ] ]
+         | 1 -> [ Heal; Crash leader ]
+         | _ -> [ Recover leader; Heal ])
+    @ [ at 300.0 (Recover leader); at 300.0 Heal ])
+
+let builtins ~procs =
+  List.map
+    (fun scenario -> (scenario.name, scenario))
+    [
+      split_heal ~procs;
+      quorum_flap ~procs;
+      minority_isolation ~procs;
+      crash_primary ~procs;
+      degrade_links ~procs;
+      churn ~procs;
+    ]
+
+let find_builtin ~procs name = List.assoc_opt name (builtins ~procs)

@@ -1,0 +1,73 @@
+open Gcs_core
+
+(** Declarative fault-injection scenarios (the nemesis DSL).
+
+    A scenario is a named, timed schedule of operations over the fault
+    model of Section 3.2: partitions, heals, crashes, recoveries and
+    link degradations. Scenarios are {e stateful} descriptions — each
+    operation updates an abstract world (current partition, crashed set,
+    slowed set, degraded links) — and compile to the engine's
+    failure-status event schedule by emitting the full status matrix of
+    the world at every step. The implied statuses therefore never depend
+    on the order of earlier low-level events, and the time of the last
+    step is the stabilization point [l] used by TO-property(b,d,Q). *)
+
+type op =
+  | Partition of Proc.t list list
+      (** install a clean partition; processors not mentioned become
+          singleton parts. Parts must be disjoint. *)
+  | Heal  (** one connected component again; clears degradations *)
+  | Crash of Proc.t  (** processor bad, all its links bad *)
+  | Recover of Proc.t
+  | Degrade of Proc.t * Proc.t * Fstatus.t
+      (** override a directed link's status within its part
+          ([Degrade (p, q, Good)] removes the override) *)
+  | Slow of Proc.t  (** processor ugly (runs at nondeterministic speed) *)
+  | Wake of Proc.t  (** processor good again after [Slow] *)
+
+type step = { at : float; op : op }
+
+type t = { name : string; steps : step list }
+
+val v : string -> step list -> t
+(** Build a scenario; steps are sorted by time (stable). *)
+
+val at : float -> op -> step
+
+val repeat :
+  from:float -> every:float -> times:int -> (int -> op list) -> step list
+(** Churn combinator: [repeat ~from ~every ~times f] schedules the
+    operations [f i] at time [from +. i *. every] for [i = 0 .. times-1]. *)
+
+(** The abstract world a scenario steps through. *)
+type world = {
+  parts : Proc.t list list;
+  crashed : Proc.Set.t;
+  slow : Proc.Set.t;
+  degraded : ((Proc.t * Proc.t) * Fstatus.t) list;
+}
+
+val initial_world : procs:Proc.t list -> world
+val apply_op : procs:Proc.t list -> world -> op -> world
+(** Raises [Invalid_argument] on malformed operations (overlapping parts,
+    unknown processors). *)
+
+val final_world : procs:Proc.t list -> t -> world
+val all_good : procs:Proc.t list -> world -> bool
+(** No crashes, no slow processors, one part, no degradations. *)
+
+val compile : procs:Proc.t list -> t -> (float * Fstatus.event) list
+(** The engine failure schedule: the full status matrix at each step. *)
+
+val stabilization_time : t -> float
+(** Time of the last step; 0.0 for the empty scenario. *)
+
+val pp : Format.formatter -> t -> unit
+
+val builtins : procs:Proc.t list -> (string * t) list
+(** Named built-in scenarios over a processor set: clean partition+heal,
+    quorum flapping, minority isolation, crash/recover of a primary-view
+    member, link degradation, periodic churn. All end with the world
+    fully good, so the post-stabilization delivery bound applies. *)
+
+val find_builtin : procs:Proc.t list -> string -> t option

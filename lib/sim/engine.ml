@@ -45,6 +45,7 @@ type ('state, 'out) result = {
   events_processed : int;
   packets_sent : int;
   packets_dropped : int;
+  statuses_applied : int;
 }
 
 type ('input, 'packet) payload =
@@ -69,10 +70,13 @@ type ('state, 'input, 'packet, 'out) sim = {
       (* proc -> timer id -> epoch; reusing Proc.Map for int keys *)
   mutable last_delivery : float Proc.Map.t Proc.Map.t;
       (* src -> dst -> latest scheduled delivery time (fifo mode) *)
+  mutable ugly_floor : float Proc.Map.t;
+      (* proc -> latest re-scheduled handling time while ugly (fifo mode) *)
   mutable trace_rev : 'out Timed.event list;
   mutable events_processed : int;
   mutable packets_sent : int;
   mutable packets_dropped : int;
+  mutable statuses_applied : int;
   config : config;
   prng : Gcs_stdx.Prng.t;
   handlers : ('state, 'input, 'packet, 'out) handlers;
@@ -183,6 +187,7 @@ let process_event sim ~now ev =
   match ev.payload with
   | Status status_event ->
       sim.tracker <- Fstatus.apply sim.tracker status_event;
+      sim.statuses_applied <- sim.statuses_applied + 1;
       sim.trace_rev <- Timed.status now status_event :: sim.trace_rev;
       (match status_event with
       | Fstatus.Proc_status (p, (Fstatus.Good | Fstatus.Ugly)) ->
@@ -202,7 +207,24 @@ let process_event sim ~now ev =
           let delay =
             Gcs_stdx.Prng.float sim.prng *. sim.config.ugly_delay_max
           in
-          schedule sim ~time:(now +. delay) { ev with delayed_once = true }
+          let time = now +. delay in
+          let time =
+            if not sim.config.fifo then time
+            else begin
+              (* FIFO mode: the extra handling delay of an ugly processor
+                 must not reorder events — re-scheduled events keep their
+                 arrival order. *)
+              let floor =
+                match Proc.Map.find_opt proc sim.ugly_floor with
+                | Some t -> t +. 1e-9
+                | None -> 0.0
+              in
+              let time = max time floor in
+              sim.ugly_floor <- Proc.Map.add proc time sim.ugly_floor;
+              time
+            end
+          in
+          schedule sim ~time { ev with delayed_once = true }
       | Fstatus.Good | Fstatus.Ugly -> handle sim ~now ~proc ev.payload)
 
 let run config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
@@ -216,10 +238,12 @@ let run config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
       held = Proc.Map.empty;
       timer_epochs = Proc.Map.empty;
       last_delivery = Proc.Map.empty;
+      ugly_floor = Proc.Map.empty;
       trace_rev = [];
       events_processed = 0;
       packets_sent = 0;
       packets_dropped = 0;
+      statuses_applied = 0;
       config;
       prng;
       handlers;
@@ -260,4 +284,5 @@ let run config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
     events_processed = sim.events_processed;
     packets_sent = sim.packets_sent;
     packets_dropped = sim.packets_dropped;
+    statuses_applied = sim.statuses_applied;
   }

@@ -24,7 +24,10 @@ type config = {
   fifo : bool;
       (** enforce per-directed-link FIFO delivery (off by default: the
           paper's channels only bound delay; protocols that assume FIFO —
-          e.g. the Lamport-timestamp baseline — turn this on) *)
+          e.g. the Lamport-timestamp baseline — turn this on). In FIFO mode
+          the extra handling delay at an {e ugly} processor also preserves
+          event arrival order, so per-link order survives degraded
+          destinations. *)
   ugly_drop_prob : float;
   ugly_delay_max : float;
 }
@@ -61,6 +64,8 @@ type ('state, 'out) result = {
   events_processed : int;
   packets_sent : int;
   packets_dropped : int;
+  statuses_applied : int;
+      (** failure-status events applied from the [failures] schedule *)
 }
 
 val run :

@@ -1,0 +1,237 @@
+(* Mutation tests for the trace checkers: record a known-good run, then
+   deliberately corrupt its traces and assert that the checkers REJECT
+   each corruption. This guards against vacuously-passing checkers — a
+   checker that accepts everything would silently defang every other
+   suite in the repository. *)
+
+open Gcs_core
+open Gcs_impl
+
+let n = 5
+let procs = Proc.all ~n
+let delta = 1.0
+let vs_config = { Vs_node.procs; p0 = procs; pi = 8.0; mu = 10.0; delta }
+let config = To_service.make_config vs_config
+
+let to_params = { To_machine.procs; equal_value = Value.equal }
+
+let vs_params =
+  { Vs_machine.procs; p0 = procs; equal_msg = Msg.equal; weak = false }
+
+(* A run with a partition and a heal, so the VS trace contains several
+   view changes and the TO trace contains reconciliation deliveries. *)
+let run =
+  let workload =
+    List.concat_map
+      (fun p ->
+        List.init 5 (fun k ->
+            ( 20.0 +. (float_of_int k *. 15.0) +. (0.3 *. float_of_int p),
+              p,
+              Printf.sprintf "m%d.%d" p k )))
+      procs
+  in
+  let failures =
+    List.map
+      (fun e -> (60.0, e))
+      (Fstatus.partition_events ~parts:[ [ 0; 1; 2 ]; [ 3; 4 ] ])
+    @ List.map (fun e -> (200.0, e)) (Fstatus.heal_events ~procs)
+  in
+  To_service.run config ~workload ~failures ~until:500.0 ~seed:11
+
+let to_actions = List.map snd (Timed.actions (To_service.client_trace run))
+let vs_actions = List.map snd (Timed.actions (To_service.vs_trace run))
+
+(* ------------------------- list surgery -------------------------- *)
+
+let swap i j l =
+  let arr = Array.of_list l in
+  let tmp = arr.(i) in
+  arr.(i) <- arr.(j);
+  arr.(j) <- tmp;
+  Array.to_list arr
+
+let drop_nth i l = List.filteri (fun k _ -> k <> i) l
+
+let dup_nth i l =
+  List.concat (List.mapi (fun k a -> if k = i then [ a; a ] else [ a ]) l)
+
+let find_pair p l =
+  let arr = Array.of_list l in
+  let len = Array.length arr in
+  let rec outer i =
+    if i >= len then None
+    else
+      let rec inner j =
+        if j >= len then outer (i + 1)
+        else if p arr i j then Some (i, j)
+        else inner (j + 1)
+      in
+      inner (i + 1)
+  in
+  outer 0
+
+(* ------------------------- TO mutations -------------------------- *)
+
+let check_to actions = To_trace_checker.check to_params actions
+
+let assert_to_rejects name actions =
+  match check_to actions with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "TO checker accepted the %s corruption" name
+
+let test_to_pristine () =
+  match check_to to_actions with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "pristine TO trace rejected: %s"
+        (Format.asprintf "%a" To_trace_checker.pp_error e)
+
+(* Two deliveries at the same destination from the same origin: their
+   order is forced by the origin's send order, so swapping them must be
+   rejected. *)
+let brcv_pair =
+  let arr = Array.of_list to_actions in
+  find_pair
+    (fun a i j ->
+      ignore a;
+      match (arr.(i), arr.(j)) with
+      | ( To_action.Brcv { src = s1; dst = d1; value = v1 },
+          To_action.Brcv { src = s2; dst = d2; value = v2 } ) ->
+          Proc.equal d1 d2 && Proc.equal s1 s2 && not (Value.equal v1 v2)
+      | _ -> false)
+    to_actions
+
+let test_to_reorder () =
+  match brcv_pair with
+  | None -> Alcotest.fail "trace has no reorderable delivery pair"
+  | Some (i, j) -> assert_to_rejects "reordered deliveries" (swap i j to_actions)
+
+let test_to_drop () =
+  match brcv_pair with
+  | None -> Alcotest.fail "trace has no droppable delivery"
+  | Some (i, _) ->
+      (* Dropping the earlier of the pair leaves a later delivery from the
+         same origin that now skips a value — a prefix/FIFO violation. *)
+      assert_to_rejects "dropped delivery" (drop_nth i to_actions)
+
+let test_to_duplicate () =
+  let idx =
+    List.find_index
+      (function To_action.Brcv _ -> true | _ -> false)
+      to_actions
+  in
+  match idx with
+  | None -> Alcotest.fail "trace has no delivery"
+  | Some i -> assert_to_rejects "duplicated delivery" (dup_nth i to_actions)
+
+(* ------------------------- VS mutations -------------------------- *)
+
+let check_vs actions = Vs_trace_checker.check vs_params actions
+
+let assert_vs_rejects name actions =
+  match check_vs actions with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "VS checker accepted the %s corruption" name
+
+let test_vs_pristine () =
+  match check_vs vs_actions with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "pristine VS trace rejected: %s"
+        (Format.asprintf "%a" Vs_trace_checker.pp_error e)
+
+(* Two receptions at the same destination from the same source with no
+   intervening view change at the destination: per-sender FIFO within the
+   view forces their order. *)
+let gprcv_pair =
+  let arr = Array.of_list vs_actions in
+  let no_view_change dst i j =
+    let rec go k =
+      k >= j
+      ||
+      match arr.(k) with
+      | Vs_action.Newview { proc; _ } when Proc.equal proc dst -> false
+      | _ -> go (k + 1)
+    in
+    go (i + 1)
+  in
+  find_pair
+    (fun a i j ->
+      ignore a;
+      match (arr.(i), arr.(j)) with
+      | ( Vs_action.Gprcv { src = s1; dst = d1; msg = m1 },
+          Vs_action.Gprcv { src = s2; dst = d2; msg = m2 } ) ->
+          Proc.equal d1 d2 && Proc.equal s1 s2
+          && (not (Msg.equal m1 m2))
+          && no_view_change d1 i j
+      | _ -> false)
+    vs_actions
+
+let test_vs_reorder () =
+  match gprcv_pair with
+  | None -> Alcotest.fail "VS trace has no reorderable reception pair"
+  | Some (i, j) ->
+      assert_vs_rejects "reordered receptions" (swap i j vs_actions)
+
+let test_vs_duplicate () =
+  let idx =
+    List.find_index
+      (function Vs_action.Gprcv _ -> true | _ -> false)
+      vs_actions
+  in
+  match idx with
+  | None -> Alcotest.fail "VS trace has no reception"
+  | Some i -> assert_vs_rejects "duplicated reception" (dup_nth i vs_actions)
+
+(* Drop a view event: a processor that keeps sending and being heard
+   after the dropped [newview] attributes its messages to the wrong view,
+   which the per-view queues cannot absorb. *)
+let test_vs_drop_view () =
+  let arr = Array.of_list vs_actions in
+  let len = Array.length arr in
+  let candidate i =
+    match arr.(i) with
+    | Vs_action.Newview { proc = p; _ } ->
+        let rec sends_then_heard j saw_send =
+          if j >= len then false
+          else
+            match arr.(j) with
+            | Vs_action.Gpsnd { sender; _ } when Proc.equal sender p ->
+                sends_then_heard (j + 1) true
+            | Vs_action.Gprcv { src; _ } when saw_send && Proc.equal src p ->
+                true
+            | _ -> sends_then_heard (j + 1) saw_send
+        in
+        sends_then_heard (i + 1) false
+    | _ -> false
+  in
+  let rec first_candidate i =
+    if i >= len then None else if candidate i then Some i else first_candidate (i + 1)
+  in
+  match first_candidate 0 with
+  | None -> Alcotest.fail "VS trace has no droppable view event"
+  | Some i -> assert_vs_rejects "dropped view event" (drop_nth i vs_actions)
+
+let () =
+  Alcotest.run "checker_mutations"
+    [
+      ( "to",
+        [
+          Alcotest.test_case "pristine trace accepted" `Quick test_to_pristine;
+          Alcotest.test_case "reordered deliveries rejected" `Quick
+            test_to_reorder;
+          Alcotest.test_case "dropped delivery rejected" `Quick test_to_drop;
+          Alcotest.test_case "duplicated delivery rejected" `Quick
+            test_to_duplicate;
+        ] );
+      ( "vs",
+        [
+          Alcotest.test_case "pristine trace accepted" `Quick test_vs_pristine;
+          Alcotest.test_case "reordered receptions rejected" `Quick
+            test_vs_reorder;
+          Alcotest.test_case "duplicated reception rejected" `Quick
+            test_vs_duplicate;
+          Alcotest.test_case "dropped view event rejected" `Quick
+            test_vs_drop_view;
+        ] );
+    ]

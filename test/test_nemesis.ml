@@ -1,0 +1,243 @@
+(* Tests for the nemesis fault-injection subsystem: built-in scenarios
+   drive the full VStoTO-over-VS stack (and the bare token ring) through
+   partitions, heals, crashes and degradations; every run must satisfy
+   both trace checkers and — since every built-in ends fully healed —
+   the post-stabilization delivery bound of Theorem 7.2. Random
+   schedules must be reproducible from their seed alone. *)
+
+open Gcs_core
+open Gcs_impl
+open Gcs_nemesis
+
+let n = 5
+let procs = Proc.all ~n
+let delta = 1.0
+let vs_config = { Vs_node.procs; p0 = procs; pi = 8.0; mu = 10.0; delta }
+let config = To_service.make_config vs_config
+
+let check_outcome name outcome =
+  if not (Harness.passed outcome) then
+    Alcotest.failf "%s (seed %d): %s" name outcome.Harness.seed
+      (Harness.to_json outcome)
+
+(* ------------------------- built-in scenarios ------------------------- *)
+
+let test_builtin_scenarios () =
+  List.iter
+    (fun (name, scenario) ->
+      let outcome = Harness.run ~config ~seed:1 scenario in
+      check_outcome name outcome;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: bound check applies" name)
+        true
+        (Option.is_some outcome.Harness.bound);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: deliveries happened" name)
+        true
+        (outcome.Harness.deliveries > 0))
+    (Scenario.builtins ~procs)
+
+let test_crash_primary_recovers () =
+  (* The crash-recover of a primary-view member: the leader (processor 0)
+     of the initial primary view goes down and comes back; afterwards
+     every submitted value reaches every processor. *)
+  let scenario = Option.get (Scenario.find_builtin ~procs "crash-primary") in
+  let workload = Harness.default_workload ~procs ~count:6 () in
+  let outcome = Harness.run ~config ~workload ~seed:3 scenario in
+  check_outcome "crash-primary" outcome;
+  Alcotest.(check int) "full delivery after recovery" (6 * n * n)
+    outcome.Harness.deliveries
+
+let test_minority_isolation_blocks_then_merges () =
+  let scenario =
+    Option.get (Scenario.find_builtin ~procs "minority-isolation")
+  in
+  let outcome = Harness.run ~config ~seed:5 scenario in
+  check_outcome "minority-isolation" outcome
+
+let test_quorum_flap () =
+  List.iter
+    (fun seed ->
+      let scenario = Option.get (Scenario.find_builtin ~procs "quorum-flap") in
+      check_outcome "quorum-flap" (Harness.run ~config ~seed scenario))
+    [ 1; 2; 3 ]
+
+(* ---------------------- impl-layer token ring ------------------------- *)
+
+let test_vs_ring_under_nemesis () =
+  List.iter
+    (fun name ->
+      let scenario = Option.get (Scenario.find_builtin ~procs name) in
+      let outcome = Harness.run_vs_ring ~config:vs_config ~seed:2 scenario in
+      (match outcome.Harness.vs_ring_conformance with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: VS ring trace rejected: %s" name e);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: ring views installed" name)
+        true
+        (outcome.Harness.views_installed > 0))
+    [ "split-heal"; "crash-primary"; "churn" ]
+
+(* ------------------------- scenario compiler -------------------------- *)
+
+let test_compile_world_semantics () =
+  let scenario =
+    Scenario.v "w"
+      [
+        Scenario.at 10.0 (Scenario.Partition [ [ 0; 1 ]; [ 2; 3; 4 ] ]);
+        Scenario.at 20.0 (Scenario.Crash 2);
+        Scenario.at 30.0 (Scenario.Degrade (0, 1, Fstatus.Ugly));
+        Scenario.at 40.0 Scenario.Heal;
+        Scenario.at 50.0 (Scenario.Recover 2);
+      ]
+  in
+  let world = Scenario.final_world ~procs scenario in
+  Alcotest.(check bool) "ends all good" true (Scenario.all_good ~procs world);
+  (* Replay the compiled schedule through a tracker and probe statuses at
+     interesting times. *)
+  let tracker_at t =
+    List.fold_left
+      (fun tracker (time, e) ->
+        if time <= t then Fstatus.apply tracker e else tracker)
+      Fstatus.initial
+      (Scenario.compile ~procs scenario)
+  in
+  let t25 = tracker_at 25.0 in
+  Alcotest.(check bool) "crashed proc bad" true
+    (Fstatus.equal (Fstatus.proc_status t25 2) Fstatus.Bad);
+  Alcotest.(check bool) "crashed proc links bad" true
+    (Fstatus.equal (Fstatus.link_status t25 3 2) Fstatus.Bad);
+  Alcotest.(check bool) "cross-part link bad" true
+    (Fstatus.equal (Fstatus.link_status t25 0 3) Fstatus.Bad);
+  Alcotest.(check bool) "same-part link good" true
+    (Fstatus.equal (Fstatus.link_status t25 0 1) Fstatus.Good);
+  let t35 = tracker_at 35.0 in
+  Alcotest.(check bool) "degraded link ugly" true
+    (Fstatus.equal (Fstatus.link_status t35 0 1) Fstatus.Ugly);
+  Alcotest.(check bool) "reverse direction unaffected" true
+    (Fstatus.equal (Fstatus.link_status t35 1 0) Fstatus.Good);
+  let t45 = tracker_at 45.0 in
+  Alcotest.(check bool) "heal clears degradation" true
+    (Fstatus.equal (Fstatus.link_status t45 0 1) Fstatus.Good);
+  Alcotest.(check bool) "heal does not resurrect crashed proc" true
+    (Fstatus.equal (Fstatus.proc_status t45 2) Fstatus.Bad);
+  let t55 = tracker_at 55.0 in
+  Alcotest.(check bool) "recover restores proc" true
+    (Fstatus.equal (Fstatus.proc_status t55 2) Fstatus.Good);
+  Alcotest.(check bool) "recover restores links" true
+    (Fstatus.equal (Fstatus.link_status t55 3 2) Fstatus.Good)
+
+let test_partition_validation () =
+  Alcotest.check_raises "overlapping parts rejected"
+    (Invalid_argument "nemesis: overlapping partition parts") (fun () ->
+      ignore
+        (Scenario.apply_op ~procs
+           (Scenario.initial_world ~procs)
+           (Scenario.Partition [ [ 0; 1 ]; [ 1; 2 ] ])));
+  Alcotest.check_raises "unknown processor rejected"
+    (Invalid_argument "nemesis: unknown processor 9") (fun () ->
+      ignore
+        (Scenario.apply_op ~procs
+           (Scenario.initial_world ~procs)
+           (Scenario.Crash 9)));
+  (* Unmentioned processors become singleton parts. *)
+  let world =
+    Scenario.apply_op ~procs
+      (Scenario.initial_world ~procs)
+      (Scenario.Partition [ [ 0; 1; 2 ] ])
+  in
+  Alcotest.(check int) "singletons added" 3 (List.length world.Scenario.parts)
+
+(* ----------------------- seeded random nemesis ------------------------ *)
+
+let test_random_reproducible () =
+  List.iter
+    (fun seed ->
+      let s1 = Gen.scenario ~procs ~seed () in
+      let s2 = Gen.scenario ~procs ~seed () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: identical schedules" seed)
+        true
+        (Scenario.compile ~procs s1 = Scenario.compile ~procs s2);
+      let o1 = Harness.run ~config ~seed s1 in
+      let o2 = Harness.run ~config ~seed s2 in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: identical outcomes" seed)
+        (Harness.to_json o1) (Harness.to_json o2))
+    [ 7; 42 ]
+
+let test_random_seeds_pass () =
+  List.iter
+    (fun seed ->
+      let scenario = Gen.scenario ~procs ~seed () in
+      let outcome = Harness.run ~config ~seed scenario in
+      check_outcome scenario.Scenario.name outcome)
+    [ 1; 2; 3; 4 ]
+
+let test_random_ends_good () =
+  List.iter
+    (fun seed ->
+      let scenario = Gen.scenario ~procs ~seed () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d ends fully good" seed)
+        true
+        (Scenario.all_good ~procs (Scenario.final_world ~procs scenario)))
+    (List.init 20 (fun i -> i * 13))
+
+(* ------------------------------ output -------------------------------- *)
+
+let contains s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  go 0
+
+let test_json_shape () =
+  let scenario = Option.get (Scenario.find_builtin ~procs "split-heal") in
+  let json = Harness.to_json (Harness.run ~config ~seed:1 scenario) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "json contains %s" needle)
+        true (contains json needle))
+    [
+      {|"scenario":"split-heal"|};
+      {|"seed":1|};
+      {|"to_conformance":"ok"|};
+      {|"vs_conformance":"ok"|};
+      {|"holds":true|};
+      {|"passed":true|};
+    ]
+
+let () =
+  Alcotest.run "nemesis"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "all built-ins pass checkers and bound" `Slow
+            test_builtin_scenarios;
+          Alcotest.test_case "crash-primary fully recovers" `Quick
+            test_crash_primary_recovers;
+          Alcotest.test_case "minority isolation" `Quick
+            test_minority_isolation_blocks_then_merges;
+          Alcotest.test_case "quorum flapping" `Slow test_quorum_flap;
+          Alcotest.test_case "impl token ring under nemesis" `Quick
+            test_vs_ring_under_nemesis;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "world semantics" `Quick
+            test_compile_world_semantics;
+          Alcotest.test_case "partition validation" `Quick
+            test_partition_validation;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "reproducible from seed" `Quick
+            test_random_reproducible;
+          Alcotest.test_case "random seeds pass" `Slow test_random_seeds_pass;
+          Alcotest.test_case "random schedules end fully good" `Quick
+            test_random_ends_good;
+        ] );
+      ( "output",
+        [ Alcotest.test_case "json shape" `Quick test_json_shape ] );
+    ]

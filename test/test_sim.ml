@@ -251,6 +251,109 @@ let test_fifo_links () =
   Alcotest.(check bool) "jittered links reorder without fifo" true
     (List.exists (fun seed -> run false seed <> expected) [ 1; 2; 3; 4; 5 ])
 
+(* ---------------- fifo_links regressions ---------------- *)
+
+(* A burst of numbered packets 0 -> 1 sent at start; outputs record the
+   arrival order at 1. *)
+let burst_handlers count : (int, unit, int, int) Engine.handlers =
+  {
+    Engine.on_start =
+      (fun me state ->
+        if me = 0 then
+          (state, List.init count (fun k -> Engine.Send { dst = 1; packet = k }))
+        else (state, []));
+    on_input = (fun _ ~now:_ () s -> (s, []));
+    on_packet = (fun _ ~now:_ ~src:_ k s -> (s, [ Engine.Output k ]));
+    on_timer = (fun _ ~now:_ ~id:_ s -> (s, []));
+  }
+
+let run_burst ?(count = 20) ~fifo ~failures ~seed () =
+  let config =
+    {
+      (Engine.default_config ~delta:1.0) with
+      Engine.fifo;
+      (* ugly links delay but never drop, so order is observable *)
+      ugly_drop_prob = 0.0;
+    }
+  in
+  let result =
+    Engine.run config ~procs:[ 0; 1 ] ~handlers:(burst_handlers count)
+      ~init:(fun _ -> 0)
+      ~inputs:[] ~failures ~until:100.0
+      ~prng:(Gcs_stdx.Prng.create seed)
+  in
+  result.Engine.trace
+
+let seeds = [ 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_fifo_ugly_link_order () =
+  (* With FIFO on, per-link delivery order matches send order even though
+     an ugly link draws an arbitrary extra delay per packet. *)
+  let failures = [ (0.0, Fstatus.Link_status (0, 1, Fstatus.Ugly)) ] in
+  let expected = List.init 20 (fun k -> k) in
+  let arrivals fifo seed =
+    List.map snd (Timed.actions (run_burst ~fifo ~failures ~seed ()))
+  in
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d: fifo holds on ugly link" seed)
+        expected (arrivals true seed))
+    seeds;
+  Alcotest.(check bool) "without fifo the ugly link reorders" true
+    (List.exists (fun seed -> arrivals false seed <> expected) seeds)
+
+let test_fifo_ugly_proc_order () =
+  (* Same guarantee when the extra delay comes from an ugly DESTINATION
+     processor (each held event is re-scheduled once with a random
+     delay): fifo mode must preserve arrival order. *)
+  let failures = [ (0.0, Fstatus.Proc_status (1, Fstatus.Ugly)) ] in
+  let expected = List.init 20 (fun k -> k) in
+  let arrivals fifo seed =
+    List.map snd (Timed.actions (run_burst ~fifo ~failures ~seed ()))
+  in
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d: fifo holds at ugly processor" seed)
+        expected (arrivals true seed))
+    seeds;
+  Alcotest.(check bool) "without fifo the ugly processor reorders" true
+    (List.exists (fun seed -> arrivals false seed <> expected) seeds)
+
+let test_nofifo_delta_bound () =
+  (* With FIFO off on good links, the only guarantee is the delay bound:
+     every packet arrives within delta of its send (all sends at t=0). *)
+  List.iter
+    (fun seed ->
+      let trace = run_burst ~fifo:false ~failures:[] ~seed () in
+      List.iter
+        (fun (t, k) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: packet %d within delta (t=%.3f)" seed k t)
+            true
+            (t <= 1.0))
+        (Timed.actions trace);
+      Alcotest.(check int) "nothing lost" 20
+        (List.length (Timed.actions trace)))
+    seeds
+
+let test_statuses_applied_counted () =
+  let failures =
+    [
+      (1.0, Fstatus.Link_status (0, 1, Fstatus.Bad));
+      (2.0, Fstatus.Link_status (0, 1, Fstatus.Good));
+    ]
+  in
+  let config = Engine.default_config ~delta:1.0 in
+  let result =
+    Engine.run config ~procs:[ 0; 1 ] ~handlers:(burst_handlers 0)
+      ~init:(fun _ -> 0)
+      ~inputs:[] ~failures ~until:10.0
+      ~prng:(Gcs_stdx.Prng.create 1)
+  in
+  Alcotest.(check int) "statuses applied" 2 result.Engine.statuses_applied
+
 let () =
   Alcotest.run "sim"
     [
@@ -276,5 +379,16 @@ let () =
           Alcotest.test_case "good link delay bound" `Quick
             test_good_link_delay_bound;
           Alcotest.test_case "fifo links option" `Quick test_fifo_links;
+        ] );
+      ( "fifo regressions",
+        [
+          Alcotest.test_case "fifo holds on ugly links" `Quick
+            test_fifo_ugly_link_order;
+          Alcotest.test_case "fifo holds at ugly processors" `Quick
+            test_fifo_ugly_proc_order;
+          Alcotest.test_case "no fifo: only the delta bound" `Quick
+            test_nofifo_delta_bound;
+          Alcotest.test_case "statuses applied counter" `Quick
+            test_statuses_applied_counted;
         ] );
     ]

@@ -1,7 +1,13 @@
 (* Soak tests: long randomized runs at larger scale, checking safety
    everywhere. These are the repository's endurance suite; each run drives
    hundreds of simulated seconds of churn, partitions, crashes and client
-   traffic through the full stack. *)
+   traffic through the full stack.
+
+   The nemesis soak runs N seeded random schedules through the nemesis
+   harness (trace checkers + the post-stabilization delivery bound) and
+   prints the failing seed on any violation, so a failure reproduces with
+   `gcs nemesis --seed N`. N defaults small; set GCS_SOAK_ITERS to scale
+   it up. *)
 
 open Gcs_core
 open Gcs_impl
@@ -127,6 +133,39 @@ let test_soak_rsm_consistency () =
   Alcotest.(check bool) "replicas consistent" true
     (Kv_rsm.consistent procs actions)
 
+let soak_iters =
+  match Sys.getenv_opt "GCS_SOAK_ITERS" with
+  | Some s -> ( match int_of_string_opt s with Some k when k > 0 -> k | _ -> 4)
+  | None -> 4
+
+let test_soak_nemesis_schedules () =
+  (* N seeded random nemesis schedules through the full harness. Any
+     checker or delivery-bound violation fails with the seed printed —
+     reproduce with `gcs nemesis --seed N -n 7 --pi 11 --mu 13`. *)
+  for i = 0 to soak_iters - 1 do
+    let seed = 101 + (i * 97) in
+    let scenario =
+      Gcs_nemesis.Gen.scenario ~procs ~events:(8 + (i mod 5)) ~seed ()
+    in
+    let outcome = Gcs_nemesis.Harness.run ~config ~seed scenario in
+    if not (Gcs_nemesis.Harness.passed outcome) then
+      Alcotest.failf "nemesis soak FAILING SEED %d: %s" seed
+        (Gcs_nemesis.Harness.to_json outcome)
+  done
+
+let test_soak_nemesis_vs_ring () =
+  for i = 0 to ((soak_iters + 1) / 2) - 1 do
+    let seed = 211 + (i * 89) in
+    let scenario = Gcs_nemesis.Gen.scenario ~procs ~events:8 ~seed () in
+    let outcome =
+      Gcs_nemesis.Harness.run_vs_ring ~config:vs_config ~seed scenario
+    in
+    match outcome.Gcs_nemesis.Harness.vs_ring_conformance with
+    | Ok () -> ()
+    | Error e ->
+        Alcotest.failf "nemesis VS-ring soak FAILING SEED %d: %s" seed e
+  done
+
 let () =
   Alcotest.run "soak"
     [
@@ -138,5 +177,12 @@ let () =
             test_soak_to_property_after_final_heal;
           Alcotest.test_case "RSM consistency under churn" `Slow
             test_soak_rsm_consistency;
+        ] );
+      ( "nemesis",
+        [
+          Alcotest.test_case "seeded nemesis schedules" `Slow
+            test_soak_nemesis_schedules;
+          Alcotest.test_case "seeded nemesis on the VS ring" `Slow
+            test_soak_nemesis_vs_ring;
         ] );
     ]
