@@ -8,13 +8,23 @@
    results); the M-section holds bechamel micro-benchmarks of the core
    machinery.
 
-   Run with: dune exec bench/main.exe            (full run)
-             dune exec bench/main.exe -- --quick (skip micro-benchmarks) *)
+   Every sweep fans its independent (parameter, seed) runs out over a
+   Gcs_stdx.Pool of domains — each run owns its own PRNG, so results are
+   bit-identical to the sequential run at any job count; rows are printed
+   (and recorded) in deterministic input order.
+
+   Run with: dune exec bench/main.exe                 (full run)
+             dune exec bench/main.exe -- --quick      (skip micro-benchmarks)
+             dune exec bench/main.exe -- --jobs 4     (parallel sweeps)
+             dune exec bench/main.exe -- --json FILE  (machine-readable results) *)
 
 open Gcs_core
 open Gcs_impl
 
 let delta = 1.0
+let jobs = ref 1
+
+let pmap f xs = Gcs_stdx.Pool.map ~jobs:!jobs f xs
 
 let mk_vs_config ?(pi = 8.0) ?(mu = 10.0) n =
   let procs = Proc.all ~n in
@@ -46,34 +56,130 @@ let header title =
 let row fmt = Printf.printf fmt
 
 (* ------------------------------------------------------------------ *)
+(* Minimal JSON emitter for --json (no external dependency). *)
+
+module J = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let num f = if Float.is_nan f || Float.is_integer (f /. 0.0) then Null else Float f
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 32 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | Arr xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf (Str k);
+            Buffer.add_char buf ':';
+            emit buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    emit buf t;
+    Buffer.contents buf
+end
+
+type section = { id : string; title : string; wall_s : float; rows : J.t list }
+
+let recorded : section list ref = ref []
+
+(* Each experiment prints its table and returns machine-readable rows;
+   [section] times the whole X-section (wall clock, so pool speedups are
+   visible in the JSON trajectory). *)
+let section id title f =
+  header (id ^ ": " ^ title);
+  let t0 = Unix.gettimeofday () in
+  let rows = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  recorded := { id; title; wall_s; rows } :: !recorded
+
+(* ------------------------------------------------------------------ *)
 (* X6: view stabilization time after a partition vs the Section 8 bound
    b = 9d + max(pi + (n+3)d, mu). *)
 
 let x6 () =
-  header "X6: view stabilization after partition (measured vs b)";
   row "%4s %6s %12s %12s %12s\n" "n" "|Q|" "measured" "paper b" "impl b";
-  List.iter
+  let ns = [ 3; 4; 5; 6; 7 ] in
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  let items = List.concat_map (fun n -> List.map (fun s -> (n, s)) seeds) ns in
+  let samples =
+    pmap
+      (fun (n, seed) ->
+        let config = mk_vs_config n in
+        let procs = config.Vs_node.procs in
+        let q = List.filteri (fun i _ -> i < (n / 2) + 1) procs in
+        let rest = List.filter (fun p -> not (List.mem p q)) procs in
+        let failures = partition_at 100.0 [ q; rest ] in
+        let run =
+          Vs_service.run config ~workload:[] ~failures ~until:400.0 ~seed
+        in
+        ( n,
+          Option.map
+            (fun t -> t -. 100.0)
+            (Vs_service.stabilized_view_time ~q run) ))
+      items
+  in
+  List.map
     (fun n ->
       let config = mk_vs_config n in
-      let procs = config.Vs_node.procs in
-      let q = List.filteri (fun i _ -> i < (n / 2) + 1) procs in
-      let rest = List.filter (fun p -> not (List.mem p q)) procs in
+      let q =
+        List.filteri (fun i _ -> i < (n / 2) + 1) config.Vs_node.procs
+      in
       let measured =
-        List.filter_map
-          (fun seed ->
-            let failures = partition_at 100.0 [ q; rest ] in
-            let run =
-              Vs_service.run config ~workload:[] ~failures ~until:400.0 ~seed
-            in
-            Option.map
-              (fun t -> t -. 100.0)
-              (Vs_service.stabilized_view_time ~q run))
-          [ 1; 2; 3; 4; 5 ]
+        List.filter_map (fun (n', m) -> if n' = n then m else None) samples
       in
       let q_config = { config with Vs_node.procs = q } in
-      row "%4d %6d %12.2f %12.2f %12.2f\n" n (List.length q) (mean measured)
-        (Vs_node.paper_b q_config) (Vs_node.impl_b config))
-    [ 3; 4; 5; 6; 7 ]
+      let m = mean measured in
+      let pb = Vs_node.paper_b q_config and ib = Vs_node.impl_b config in
+      row "%4d %6d %12.2f %12.2f %12.2f\n" n (List.length q) m pb ib;
+      J.Obj
+        [
+          ("n", J.Int n);
+          ("q_size", J.Int (List.length q));
+          ("measured_mean", J.num m);
+          ("paper_b", J.num pb);
+          ("impl_b", J.num ib);
+        ])
+    ns
 
 (* ------------------------------------------------------------------ *)
 (* X7: steady-state safe-delivery latency vs d = 2pi + n*delta. *)
@@ -106,31 +212,52 @@ let safe_latencies config run =
     sends []
 
 let x7 () =
-  header "X7: safe-delivery latency (measured vs d = 2pi + n*delta)";
   row "%4s %6s %10s %10s %10s %10s\n" "n" "pi" "mean" "max" "paper d" "impl d";
-  let run_one config seed =
-    let wl =
-      workload ~senders:config.Vs_node.procs ~from_time:5.0 ~spacing:9.0
-        ~count:10 ~tag:"m"
-    in
-    safe_latencies config
-      (Vs_service.run config ~workload:wl ~failures:[] ~until:400.0 ~seed)
+  let configs =
+    List.map (fun n -> (n, mk_vs_config n)) [ 2; 3; 4; 5; 6 ]
+    @ List.map (fun pi -> (5, mk_vs_config ~pi 5)) [ 6.0; 10.0; 14.0; 18.0 ]
   in
-  List.iter
-    (fun n ->
-      let config = mk_vs_config n in
-      let lats = List.concat_map (run_one config) [ 1; 2; 3 ] in
-      row "%4d %6.1f %10.2f %10.2f %10.2f %10.2f\n" n config.Vs_node.pi
-        (mean lats) (maxf lats) (Vs_node.paper_d config)
-        (Vs_node.impl_d config))
-    [ 2; 3; 4; 5; 6 ];
-  List.iter
-    (fun pi ->
-      let config = mk_vs_config ~pi 5 in
-      let lats = List.concat_map (run_one config) [ 1; 2; 3 ] in
-      row "%4d %6.1f %10.2f %10.2f %10.2f %10.2f\n" 5 pi (mean lats)
-        (maxf lats) (Vs_node.paper_d config) (Vs_node.impl_d config))
-    [ 6.0; 10.0; 14.0; 18.0 ]
+  let seeds = [ 1; 2; 3 ] in
+  let items =
+    List.concat_map
+      (fun (i, cfg) -> List.map (fun s -> (i, cfg, s)) seeds)
+      (List.mapi (fun i (n, cfg) -> (i, (n, cfg))) configs
+      |> List.map (fun (i, (_, cfg)) -> (i, cfg)))
+  in
+  let lat_samples =
+    pmap
+      (fun (i, config, seed) ->
+        let wl =
+          workload ~senders:config.Vs_node.procs ~from_time:5.0 ~spacing:9.0
+            ~count:10 ~tag:"m"
+        in
+        ( i,
+          safe_latencies config
+            (Vs_service.run config ~workload:wl ~failures:[] ~until:400.0 ~seed)
+        ))
+      items
+  in
+  List.mapi
+    (fun i (n, config) ->
+      let lats =
+        List.concat_map
+          (fun (i', l) -> if i' = i then l else [])
+          lat_samples
+      in
+      let m = mean lats and mx = maxf lats in
+      let pd = Vs_node.paper_d config and id = Vs_node.impl_d config in
+      row "%4d %6.1f %10.2f %10.2f %10.2f %10.2f\n" n config.Vs_node.pi m mx pd
+        id;
+      J.Obj
+        [
+          ("n", J.Int n);
+          ("pi", J.num config.Vs_node.pi);
+          ("mean", J.num m);
+          ("max", J.num mx);
+          ("paper_d", J.num pd);
+          ("impl_d", J.num id);
+        ])
+    configs
 
 (* ------------------------------------------------------------------ *)
 (* X8: end-to-end TO delivery latency (Theorem 7.1: TO(b + d, d, Q)). *)
@@ -157,38 +284,54 @@ let to_latencies run =
   (sends, last_delivery, counts)
 
 let x8 () =
-  header "X8: end-to-end TO latency after stabilization (Theorem 7.1)";
   row "%4s %10s %10s %14s %14s\n" "n" "mean" "max" "bound b'=b+d" "bound d'";
-  List.iter
+  let ns = [ 3; 4; 5; 6 ] in
+  let seeds = [ 1; 2; 3 ] in
+  let items = List.concat_map (fun n -> List.map (fun s -> (n, s)) seeds) ns in
+  let samples =
+    pmap
+      (fun (n, seed) ->
+        let vs_config = mk_vs_config n in
+        let config = To_service.make_config vs_config in
+        let procs = vs_config.Vs_node.procs in
+        let wl =
+          workload ~senders:procs ~from_time:5.0 ~spacing:11.0 ~count:8
+            ~tag:"v"
+        in
+        let run =
+          To_service.run config ~workload:wl ~failures:[] ~until:500.0 ~seed
+        in
+        let sends, last_delivery, counts = to_latencies run in
+        ( n,
+          Hashtbl.fold
+            (fun key t0 acc ->
+              match
+                (Hashtbl.find_opt last_delivery key, Hashtbl.find_opt counts key)
+              with
+              | Some t1, Some c when c = n -> (t1 -. t0) :: acc
+              | _ -> acc)
+            sends [] ))
+      items
+  in
+  List.map
     (fun n ->
       let vs_config = mk_vs_config n in
-      let config = To_service.make_config vs_config in
-      let procs = vs_config.Vs_node.procs in
       let lats =
-        List.concat_map
-          (fun seed ->
-            let wl =
-              workload ~senders:procs ~from_time:5.0 ~spacing:11.0 ~count:8
-                ~tag:"v"
-            in
-            let run =
-              To_service.run config ~workload:wl ~failures:[] ~until:500.0 ~seed
-            in
-            let sends, last_delivery, counts = to_latencies run in
-            Hashtbl.fold
-              (fun key t0 acc ->
-                match
-                  (Hashtbl.find_opt last_delivery key, Hashtbl.find_opt counts key)
-                with
-                | Some t1, Some c when c = n -> (t1 -. t0) :: acc
-                | _ -> acc)
-              sends [])
-          [ 1; 2; 3 ]
+        List.concat_map (fun (n', l) -> if n' = n then l else []) samples
       in
-      row "%4d %10.2f %10.2f %14.2f %14.2f\n" n (mean lats) (maxf lats)
-        (Vs_node.impl_b vs_config +. Vs_node.impl_d vs_config)
-        (Vs_node.impl_d vs_config +. (4.0 *. delta)))
-    [ 3; 4; 5; 6 ]
+      let m = mean lats and mx = maxf lats in
+      let b' = Vs_node.impl_b vs_config +. Vs_node.impl_d vs_config in
+      let d' = Vs_node.impl_d vs_config +. (4.0 *. delta) in
+      row "%4d %10.2f %10.2f %14.2f %14.2f\n" n m mx b' d';
+      J.Obj
+        [
+          ("n", J.Int n);
+          ("mean", J.num m);
+          ("max", J.num mx);
+          ("bound_b_plus_d", J.num b');
+          ("bound_d", J.num d');
+        ])
+    ns
 
 (* ------------------------------------------------------------------ *)
 (* X9: recovery (state exchange) after a merge: catch-up time of the
@@ -197,56 +340,66 @@ let x8 () =
    token rounds, nearly independent of the backlog. *)
 
 let x9 () =
-  header "X9: post-merge catch-up time vs backlog size";
   row "%10s %12s %14s\n" "backlog" "catch-up" "(deliveries)";
   let n = 5 in
   let vs_config = mk_vs_config n in
   let config = To_service.make_config vs_config in
   let procs = vs_config.Vs_node.procs in
   let majority = [ 0; 1; 2 ] and minority = [ 3; 4 ] in
-  List.iter
-    (fun backlog ->
-      let heal_time = 100.0 +. (float_of_int backlog *. 1.0) in
-      let wl =
-        List.init backlog (fun k ->
-            ( 60.0 +. (float_of_int k *. 0.7),
-              List.nth majority (k mod 3),
-              Printf.sprintf "b%d" k ))
-      in
-      let failures =
-        partition_at 40.0 [ majority; minority ] @ heal_at procs heal_time
-      in
-      let until = heal_time +. 300.0 in
-      let run = To_service.run config ~workload:wl ~failures ~until ~seed:5 in
-      let last =
-        List.fold_left
-          (fun acc (t, a) ->
-            match a with
-            | To_action.Brcv { dst; _ } when List.mem dst minority -> max acc t
-            | _ -> acc)
-          neg_infinity
-          (Timed.actions (To_service.client_trace run))
-      in
-      let minority_deliveries =
-        List.length
-          (List.filter
-             (fun (_, a) ->
-               match a with
-               | To_action.Brcv { dst; _ } -> List.mem dst minority
-               | _ -> false)
-             (Timed.actions (To_service.client_trace run)))
-      in
-      row "%10d %12.2f %14d\n" backlog
-        (if last = neg_infinity then nan else last -. heal_time)
-        minority_deliveries)
-    [ 10; 50; 100; 200 ]
+  let results =
+    pmap
+      (fun backlog ->
+        let heal_time = 100.0 +. (float_of_int backlog *. 1.0) in
+        let wl =
+          List.init backlog (fun k ->
+              ( 60.0 +. (float_of_int k *. 0.7),
+                List.nth majority (k mod 3),
+                Printf.sprintf "b%d" k ))
+        in
+        let failures =
+          partition_at 40.0 [ majority; minority ] @ heal_at procs heal_time
+        in
+        let until = heal_time +. 300.0 in
+        let run = To_service.run config ~workload:wl ~failures ~until ~seed:5 in
+        let last =
+          List.fold_left
+            (fun acc (t, a) ->
+              match a with
+              | To_action.Brcv { dst; _ } when List.mem dst minority -> max acc t
+              | _ -> acc)
+            neg_infinity
+            (Timed.actions (To_service.client_trace run))
+        in
+        let minority_deliveries =
+          List.length
+            (List.filter
+               (fun (_, a) ->
+                 match a with
+                 | To_action.Brcv { dst; _ } -> List.mem dst minority
+                 | _ -> false)
+               (Timed.actions (To_service.client_trace run)))
+        in
+        ( backlog,
+          (if last = neg_infinity then nan else last -. heal_time),
+          minority_deliveries ))
+      [ 10; 50; 100; 200 ]
+  in
+  List.map
+    (fun (backlog, catchup, deliveries) ->
+      row "%10d %12.2f %14d\n" backlog catchup deliveries;
+      J.Obj
+        [
+          ("backlog", J.Int backlog);
+          ("catchup_time", J.num catchup);
+          ("minority_deliveries", J.Int deliveries);
+        ])
+    results
 
 (* ------------------------------------------------------------------ *)
 (* X10: protocol comparison: steady-state latency and availability
    under a partition that isolates the sequencer. *)
 
 let x10 () =
-  header "X10: comparison with baselines";
   let n = 4 in
   let vs_config = mk_vs_config ~pi:6.0 ~mu:8.0 n in
   let procs = vs_config.Vs_node.procs in
@@ -284,19 +437,26 @@ let x10 () =
     Gcs_baseline.Lamport_to.run ~delta lamport_config ~workload:wl ~failures:[]
       ~until:400.0 ~seed:3
   in
+  let steady =
+    [
+      ( "fixed sequencer",
+        mean_latency (Timed.actions seq_run.Gcs_baseline.Sequencer.trace),
+        Gcs_baseline.Sequencer.deliveries seq_run );
+      ( "lamport timestamps",
+        mean_latency (Timed.actions lamport_run.Gcs_baseline.Lamport_to.trace),
+        Gcs_baseline.Lamport_to.deliveries lamport_run );
+      ( "VStoTO",
+        mean_latency (Timed.actions (To_service.client_trace vstoto_run)),
+        To_service.deliveries vstoto_run );
+      ( "VStoTO + stable storage",
+        mean_latency (Timed.actions (To_service.client_trace ss_run)),
+        To_service.deliveries ss_run );
+    ]
+  in
   row "%-28s %12s %16s\n" "protocol" "latency" "deliveries";
-  row "%-28s %12.2f %16d\n" "fixed sequencer"
-    (mean_latency (Timed.actions seq_run.Gcs_baseline.Sequencer.trace))
-    (Gcs_baseline.Sequencer.deliveries seq_run);
-  row "%-28s %12.2f %16d\n" "lamport timestamps"
-    (mean_latency (Timed.actions lamport_run.Gcs_baseline.Lamport_to.trace))
-    (Gcs_baseline.Lamport_to.deliveries lamport_run);
-  row "%-28s %12.2f %16d\n" "VStoTO"
-    (mean_latency (Timed.actions (To_service.client_trace vstoto_run)))
-    (To_service.deliveries vstoto_run);
-  row "%-28s %12.2f %16d\n" "VStoTO + stable storage"
-    (mean_latency (Timed.actions (To_service.client_trace ss_run)))
-    (To_service.deliveries ss_run);
+  List.iter
+    (fun (name, lat, dels) -> row "%-28s %12.2f %16d\n" name lat dels)
+    steady;
   let failures = partition_at 30.0 [ [ 0 ]; [ 1; 2; 3 ] ] in
   let wl2 = workload ~senders:[ 1; 2; 3 ] ~from_time:60.0 ~spacing:9.0 ~count:6 ~tag:"a" in
   let seq_part =
@@ -308,20 +468,42 @@ let x10 () =
     Gcs_baseline.Lamport_to.run ~delta lamport_config ~workload:wl2 ~failures
       ~until:500.0 ~seed:4
   in
+  let partitioned =
+    [
+      ("fixed sequencer", Gcs_baseline.Sequencer.deliveries seq_part);
+      ("lamport timestamps", Gcs_baseline.Lamport_to.deliveries lamport_part);
+      ("VStoTO", To_service.deliveries vstoto_part);
+    ]
+  in
   row "\nwith processor 0 isolated (majority of 3 still connected):\n";
-  row "%-28s %16d\n" "fixed sequencer deliveries"
-    (Gcs_baseline.Sequencer.deliveries seq_part);
-  row "%-28s %16d\n" "lamport deliveries"
-    (Gcs_baseline.Lamport_to.deliveries lamport_part);
-  row "%-28s %16d\n" "VStoTO deliveries"
-    (To_service.deliveries vstoto_part)
+  List.iter
+    (fun (name, dels) -> row "%-28s %16d\n" (name ^ " deliveries") dels)
+    partitioned;
+  List.map
+    (fun (name, lat, dels) ->
+      J.Obj
+        [
+          ("phase", J.Str "steady");
+          ("protocol", J.Str name);
+          ("latency", J.num lat);
+          ("deliveries", J.Int dels);
+        ])
+    steady
+  @ List.map
+      (fun (name, dels) ->
+        J.Obj
+          [
+            ("phase", J.Str "partitioned");
+            ("protocol", J.Str name);
+            ("deliveries", J.Int dels);
+          ])
+      partitioned
 
 (* ------------------------------------------------------------------ *)
 (* X11: capricious view changes stop after stabilization (difference 7
    in Section 1). *)
 
 let x11 () =
-  header "X11: view churn before vs after stabilization";
   let n = 5 in
   let config = mk_vs_config n in
   let procs = config.Vs_node.procs in
@@ -352,153 +534,216 @@ let x11 () =
       (Timed.actions run.Vs_service.trace)
   in
   row "newview events during churn (t <= %.1f): %d\n" cutoff before;
-  row "newview events after stabilization:      %d   (paper: must be 0)\n" after
+  row "newview events after stabilization:      %d   (paper: must be 0)\n" after;
+  [
+    J.Obj [ ("period", J.Str "churn"); ("newviews", J.Int before) ];
+    J.Obj [ ("period", J.Str "stabilized"); ("newviews", J.Int after) ];
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* X12: the token stays bounded (pruning of the safe prefix) and the
    amortized message cost per delivered value. *)
 
 let x12 () =
-  header "X12: token size and message cost (ablation: pruning works)";
   row "%6s %14s %16s %18s\n" "n" "max token" "messages sent" "packets/delivery";
-  List.iter
-    (fun n ->
-      let config = mk_vs_config n in
-      let wl =
-        workload ~senders:config.Vs_node.procs ~from_time:5.0 ~spacing:3.0
-          ~count:40 ~tag:"t"
-      in
-      let run = Vs_service.run config ~workload:wl ~failures:[] ~until:600.0 ~seed:9 in
-      let max_entries =
-        Proc.Map.fold
-          (fun _ st acc -> max (Vs_node.max_token_entries st) acc)
-          run.Vs_service.final_states 0
-      in
-      let deliveries =
-        List.length
-          (List.filter
-             (fun (_, a) ->
-               match a with Vs_action.Gprcv _ -> true | _ -> false)
-             (Timed.actions run.Vs_service.trace))
-      in
-      let per_delivery =
-        if deliveries = 0 then nan
-        else float_of_int run.Vs_service.packets_sent /. float_of_int deliveries
-      in
-      row "%6d %14d %16d %18.2f\n" n max_entries run.Vs_service.packets_sent
-        per_delivery)
-    [ 3; 5; 7 ]
+  let results =
+    pmap
+      (fun n ->
+        let config = mk_vs_config n in
+        let wl =
+          workload ~senders:config.Vs_node.procs ~from_time:5.0 ~spacing:3.0
+            ~count:40 ~tag:"t"
+        in
+        let run =
+          Vs_service.run config ~workload:wl ~failures:[] ~until:600.0 ~seed:9
+        in
+        let max_entries =
+          Proc.Map.fold
+            (fun _ st acc -> max (Vs_node.max_token_entries st) acc)
+            run.Vs_service.final_states 0
+        in
+        let deliveries =
+          List.length
+            (List.filter
+               (fun (_, a) ->
+                 match a with Vs_action.Gprcv _ -> true | _ -> false)
+               (Timed.actions run.Vs_service.trace))
+        in
+        let per_delivery =
+          if deliveries = 0 then nan
+          else
+            float_of_int run.Vs_service.packets_sent /. float_of_int deliveries
+        in
+        (n, max_entries, run.Vs_service.packets_sent, per_delivery))
+      [ 3; 5; 7 ]
+  in
+  List.map
+    (fun (n, max_entries, packets, per_delivery) ->
+      row "%6d %14d %16d %18.2f\n" n max_entries packets per_delivery;
+      J.Obj
+        [
+          ("n", J.Int n);
+          ("max_token_entries", J.Int max_entries);
+          ("packets_sent", J.Int packets);
+          ("packets_per_delivery", J.num per_delivery);
+        ])
+    results
 
 (* X13: jitter ablation — fixed delta delivery vs jittered (delta/2, delta]. *)
 
 let x13 () =
-  header "X13: jitter ablation (safe latency, fixed vs jittered links)";
   row "%10s %10s %10s %10s\n" "links" "mean" "max" "paper d";
   let config = mk_vs_config 5 in
   let wl =
     workload ~senders:config.Vs_node.procs ~from_time:5.0 ~spacing:9.0
       ~count:10 ~tag:"j"
   in
-  List.iter
-    (fun (label, jitter) ->
-      let engine =
-        { (Gcs_sim.Engine.default_config ~delta:config.Vs_node.delta) with
-          Gcs_sim.Engine.jitter }
-      in
+  let variants = [ ("fixed", false); ("jittered", true) ] in
+  let seeds = [ 1; 2; 3 ] in
+  let items =
+    List.concat_map
+      (fun (label, jitter) ->
+        List.map (fun s -> (label, jitter, s)) seeds)
+      variants
+  in
+  let samples =
+    pmap
+      (fun (label, jitter, seed) ->
+        let engine =
+          { (Gcs_sim.Engine.default_config ~delta:config.Vs_node.delta) with
+            Gcs_sim.Engine.jitter }
+        in
+        ( label,
+          safe_latencies config
+            (Vs_service.run ~engine config ~workload:wl ~failures:[]
+               ~until:400.0 ~seed) ))
+      items
+  in
+  List.map
+    (fun (label, _) ->
       let lats =
-        List.concat_map
-          (fun seed ->
-            safe_latencies config
-              (Vs_service.run ~engine config ~workload:wl ~failures:[]
-                 ~until:400.0 ~seed))
-          [ 1; 2; 3 ]
+        List.concat_map (fun (l, ls) -> if l = label then ls else []) samples
       in
-      row "%10s %10.2f %10.2f %10.2f\n" label (mean lats) (maxf lats)
-        (Vs_node.paper_d config))
-    [ ("fixed", false); ("jittered", true) ]
+      let m = mean lats and mx = maxf lats in
+      row "%10s %10.2f %10.2f %10.2f\n" label m mx (Vs_node.paper_d config);
+      J.Obj
+        [
+          ("links", J.Str label);
+          ("mean", J.num m);
+          ("max", J.num mx);
+          ("paper_d", J.num (Vs_node.paper_d config));
+        ])
+    variants
 
 (* X14: three-round vs one-round membership (Section 8, footnote 7) —
    the one-round alternative stabilizes less quickly. *)
 
 let x14 () =
-  header "X14: membership protocol ablation (stabilization after heal)";
   row "%-14s %14s %16s\n" "protocol" "stabilization" "newviews (churn)";
   let n = 5 in
   let config = mk_vs_config n in
   let procs = config.Vs_node.procs in
-  let measure protocol =
-    let samples =
-      List.filter_map
-        (fun seed ->
-          let failures =
-            partition_at 60.0 [ [ 0; 1; 2 ]; [ 3; 4 ] ] @ heal_at procs 200.0
-          in
-          let run =
-            Vs_service.run ~protocol config ~workload:[] ~failures ~until:900.0
-              ~seed
-          in
+  let protocols =
+    [ ("three-round", Vs_node.Three_round); ("one-round", Vs_node.One_round) ]
+  in
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  let items =
+    List.concat_map
+      (fun (label, protocol) -> List.map (fun s -> (label, protocol, s)) seeds)
+      protocols
+  in
+  let samples =
+    pmap
+      (fun (label, protocol, seed) ->
+        let failures =
+          partition_at 60.0 [ [ 0; 1; 2 ]; [ 3; 4 ] ] @ heal_at procs 200.0
+        in
+        let run =
+          Vs_service.run ~protocol config ~workload:[] ~failures ~until:900.0
+            ~seed
+        in
+        ( label,
           Option.map
             (fun t -> (t -. 200.0, Vs_service.views_installed_total run))
-            (Vs_service.stabilized_view_time ~q:procs run))
-        [ 1; 2; 3; 4; 5 ]
-    in
-    ( mean (List.map fst samples),
-      mean (List.map (fun (_, v) -> float_of_int v) samples) )
+            (Vs_service.stabilized_view_time ~q:procs run) ))
+      items
   in
-  let t3, v3 = measure Vs_node.Three_round in
-  let t1, v1 = measure Vs_node.One_round in
-  row "%-14s %14.2f %16.1f\n" "three-round" t3 v3;
-  row "%-14s %14.2f %16.1f\n" "one-round" t1 v1
+  List.map
+    (fun (label, _) ->
+      let s =
+        List.filter_map (fun (l, x) -> if l = label then x else None) samples
+      in
+      let t = mean (List.map fst s) in
+      let v = mean (List.map (fun (_, v) -> float_of_int v) s) in
+      row "%-14s %14.2f %16.1f\n" label t v;
+      J.Obj
+        [
+          ("protocol", J.Str label);
+          ("stabilization", J.num t);
+          ("newviews", J.num v);
+        ])
+    protocols
 
 (* X16: throughput — the token batches, so the ring absorbs offered load
    with nearly flat latency until the token itself becomes the byte
    bottleneck (not modelled: we count entries, not bytes). *)
 
 let x16 () =
-  header "X16: offered load sweep (n=5)";
   row "%14s %14s %12s\n" "msgs/time-unit" "delivered/unit" "mean lat";
   let n = 5 in
   let config = mk_vs_config n in
   let duration = 300.0 in
-  List.iter
-    (fun spacing ->
-      let count = int_of_float (duration /. spacing) in
-      let wl =
-        workload ~senders:config.Vs_node.procs ~from_time:5.0 ~spacing ~count
-          ~tag:"l"
-      in
-      let vs_to_config = To_service.make_config config in
-      let run =
-        To_service.run vs_to_config ~workload:wl ~failures:[]
-          ~until:(duration +. 100.0) ~seed:2
-      in
-      let actions = Timed.actions (To_service.client_trace run) in
-      let deliveries =
-        List.length
-          (List.filter
-             (fun (_, a) -> match a with To_action.Brcv _ -> true | _ -> false)
-             actions)
-      in
-      let sends = Hashtbl.create 256 in
-      let lat_total = ref 0.0 and lat_count = ref 0 in
-      List.iter
-        (fun (t, a) ->
-          match a with
-          | To_action.Bcast (p, v) -> Hashtbl.replace sends (p, v) t
-          | To_action.Brcv { src; value; _ } -> (
-              match Hashtbl.find_opt sends (src, value) with
-              | Some t0 ->
-                  lat_total := !lat_total +. (t -. t0);
-                  incr lat_count
-              | None -> ())
-          | To_action.To_order _ -> ())
-        actions;
-      let offered = float_of_int (count * n) /. duration in
-      row "%14.2f %14.2f %12.2f\n" offered
-        (float_of_int deliveries /. float_of_int n /. duration)
-        (if !lat_count = 0 then nan
-         else !lat_total /. float_of_int !lat_count))
-    [ 10.0; 5.0; 2.0; 1.0; 0.5 ]
+  let results =
+    pmap
+      (fun spacing ->
+        let count = int_of_float (duration /. spacing) in
+        let wl =
+          workload ~senders:config.Vs_node.procs ~from_time:5.0 ~spacing ~count
+            ~tag:"l"
+        in
+        let vs_to_config = To_service.make_config config in
+        let run =
+          To_service.run vs_to_config ~workload:wl ~failures:[]
+            ~until:(duration +. 100.0) ~seed:2
+        in
+        let actions = Timed.actions (To_service.client_trace run) in
+        let deliveries =
+          List.length
+            (List.filter
+               (fun (_, a) -> match a with To_action.Brcv _ -> true | _ -> false)
+               actions)
+        in
+        let sends = Hashtbl.create 256 in
+        let lat_total = ref 0.0 and lat_count = ref 0 in
+        List.iter
+          (fun (t, a) ->
+            match a with
+            | To_action.Bcast (p, v) -> Hashtbl.replace sends (p, v) t
+            | To_action.Brcv { src; value; _ } -> (
+                match Hashtbl.find_opt sends (src, value) with
+                | Some t0 ->
+                    lat_total := !lat_total +. (t -. t0);
+                    incr lat_count
+                | None -> ())
+            | To_action.To_order _ -> ())
+          actions;
+        let offered = float_of_int (count * n) /. duration in
+        ( offered,
+          float_of_int deliveries /. float_of_int n /. duration,
+          if !lat_count = 0 then nan
+          else !lat_total /. float_of_int !lat_count ))
+      [ 10.0; 5.0; 2.0; 1.0; 0.5 ]
+  in
+  List.map
+    (fun (offered, delivered, lat) ->
+      row "%14.2f %14.2f %12.2f\n" offered delivered lat;
+      J.Obj
+        [
+          ("offered_per_unit", J.num offered);
+          ("delivered_per_unit", J.num delivered);
+          ("mean_latency", J.num lat);
+        ])
+    results
 
 (* X17: throughput under faults — the same offered load as X16, but run
    through nemesis schedules. Deliveries per time unit degrade with the
@@ -506,7 +751,6 @@ let x16 () =
    latency grows with the reconciliation backlog released at each heal. *)
 
 let x17 () =
-  header "X17: throughput under nemesis schedules (n=5)";
   row "%-18s %14s %12s %10s\n" "schedule" "delivered/unit" "mean lat" "dropped";
   let n = 5 in
   let config = mk_vs_config n in
@@ -530,41 +774,76 @@ let x17 () =
           (Some s, s.Gcs_nemesis.Scenario.name))
         [ 7; 21 ]
   in
-  List.iter
-    (fun (scenario, name) ->
-      let failures, until =
-        match scenario with
-        | None -> ([], duration +. 100.0)
-        | Some s ->
-            ( Gcs_nemesis.Scenario.compile ~procs s,
-              max (duration +. 100.0)
-                (Gcs_nemesis.Scenario.stabilization_time s +. 150.0) )
-      in
-      let run = To_service.run to_config ~workload:wl ~failures ~until ~seed:2 in
-      let actions = Timed.actions (To_service.client_trace run) in
-      let sends = Hashtbl.create 256 in
-      let lats = ref [] and deliveries = ref 0 in
-      List.iter
-        (fun (t, a) ->
-          match a with
-          | To_action.Bcast (p, v) -> Hashtbl.replace sends (p, v) t
-          | To_action.Brcv { src; value; _ } -> (
-              incr deliveries;
-              match Hashtbl.find_opt sends (src, value) with
-              | Some t0 -> lats := (t -. t0) :: !lats
-              | None -> ())
-          | To_action.To_order _ -> ())
-        actions;
-      row "%-18s %14.2f %12.2f %10d\n" name
-        (float_of_int !deliveries /. float_of_int n /. duration)
-        (mean !lats) run.To_service.packets_dropped)
-    schedules
+  let results =
+    pmap
+      (fun (scenario, name) ->
+        let failures, until =
+          match scenario with
+          | None -> ([], duration +. 100.0)
+          | Some s ->
+              ( Gcs_nemesis.Scenario.compile ~procs s,
+                max (duration +. 100.0)
+                  (Gcs_nemesis.Scenario.stabilization_time s +. 150.0) )
+        in
+        let run = To_service.run to_config ~workload:wl ~failures ~until ~seed:2 in
+        let actions = Timed.actions (To_service.client_trace run) in
+        let sends = Hashtbl.create 256 in
+        let lats = ref [] and deliveries = ref 0 in
+        List.iter
+          (fun (t, a) ->
+            match a with
+            | To_action.Bcast (p, v) -> Hashtbl.replace sends (p, v) t
+            | To_action.Brcv { src; value; _ } -> (
+                incr deliveries;
+                match Hashtbl.find_opt sends (src, value) with
+                | Some t0 -> lats := (t -. t0) :: !lats
+                | None -> ())
+            | To_action.To_order _ -> ())
+          actions;
+        ( name,
+          float_of_int !deliveries /. float_of_int n /. duration,
+          mean !lats,
+          run.To_service.packets_dropped ))
+      schedules
+  in
+  List.map
+    (fun (name, delivered, lat, dropped) ->
+      row "%-18s %14.2f %12.2f %10d\n" name delivered lat dropped;
+      J.Obj
+        [
+          ("schedule", J.Str name);
+          ("delivered_per_unit", J.num delivered);
+          ("mean_latency", J.num lat);
+          ("dropped", J.Int dropped);
+        ])
+    results
 
 (* ------------------------------------------------------------------ *)
-(* M: bechamel micro-benchmarks. *)
+(* M: bechamel micro-benchmarks (M1–M7: core machinery; M8: incremental
+   checker throughput at growing trace lengths; M9: pool dispatch
+   overhead). *)
+
+let to_trace_of_len ~n k =
+  let per = n + 1 in
+  List.concat
+    (List.init (k / per) (fun i ->
+         let v = Printf.sprintf "t%d" i in
+         To_action.Bcast (0, v)
+         :: List.map
+              (fun q -> To_action.Brcv { src = 0; dst = q; value = v })
+              (Proc.all ~n)))
+
+let vs_trace_of_len ~n k =
+  let per = n + 1 in
+  List.concat
+    (List.init (k / per) (fun i ->
+         let m = Printf.sprintf "w%d" i in
+         (Vs_action.Gpsnd { sender = 0; msg = m } : string Vs_action.t)
+         :: List.map
+              (fun q -> Vs_action.Gprcv { src = 0; dst = q; msg = m })
+              (Proc.all ~n)))
 
 let micro () =
-  header "M: micro-benchmarks (bechamel; time per run)";
   let open Bechamel in
   let to_params = { To_machine.procs = Proc.all ~n:4; equal_value = Value.equal } in
   let to_automaton = To_machine.automaton to_params in
@@ -594,30 +873,37 @@ let micro () =
          sys_automaton.Gcs_automata.Automaton.initial
          (Sys_action.Bcast (0, "x")))
   in
-  let to_trace =
-    List.concat
-      (List.init 100 (fun i ->
-           let v = Printf.sprintf "t%d" i in
-           To_action.Bcast (0, v)
-           :: List.map
-                (fun q -> To_action.Brcv { src = 0; dst = q; value = v })
-                (Proc.all ~n:4)))
-  in
-  let vs_trace_events =
-    List.concat
-      (List.init 60 (fun i ->
-           let m = Printf.sprintf "w%d" i in
-           (Vs_action.Gpsnd { sender = 0; msg = m } : string Vs_action.t)
-           :: List.map
-                (fun q -> Vs_action.Gprcv { src = 0; dst = q; msg = m })
-                (Proc.all ~n:4)))
-  in
+  let to_trace = to_trace_of_len ~n:4 500 in
+  let vs_trace_events = vs_trace_of_len ~n:4 300 in
   let eq_workload =
     List.init 256 (fun i -> (float_of_int (i * 7 mod 97), i))
   in
   let sim_config = mk_vs_config 4 in
   let sim_to_config = To_service.make_config sim_config in
   let sim_wl = workload ~senders:(Proc.all ~n:4) ~from_time:2.0 ~spacing:5.0 ~count:4 ~tag:"b" in
+  let m8 =
+    List.concat_map
+      (fun k ->
+        let to_tr = to_trace_of_len ~n:4 k in
+        let vs_tr = vs_trace_of_len ~n:4 k in
+        [
+          Test.make ~name:(Printf.sprintf "M8: TO checker (%dk events)" (k / 1000))
+            (Staged.stage (fun () -> To_trace_checker.check to_params to_tr));
+          Test.make ~name:(Printf.sprintf "M8: VS checker (%dk events)" (k / 1000))
+            (Staged.stage (fun () -> Vs_trace_checker.check vs_params vs_tr));
+        ])
+      [ 1_000; 10_000; 100_000 ]
+  in
+  let pool_items = List.init 64 (fun i -> i) in
+  let m9 =
+    [
+      Test.make ~name:"M9: List.map (64 trivial items)"
+        (Staged.stage (fun () -> List.map (fun x -> x * 2) pool_items));
+      Test.make ~name:"M9: Pool.map jobs=4 (64 trivial items)"
+        (Staged.stage (fun () ->
+             Gcs_stdx.Pool.map ~jobs:4 (fun x -> x * 2) pool_items));
+    ]
+  in
   let tests =
     [
       Test.make ~name:"TO-machine step"
@@ -654,39 +940,102 @@ let micro () =
              To_service.run sim_to_config ~workload:sim_wl ~failures:[]
                ~until:50.0 ~seed:1));
     ]
+    @ m8 @ m9
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) () in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
       let analyzed = Analyze.all ols instance results in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> row "%-42s %14.1f ns/run\n" name est
-          | _ -> row "%-42s %14s\n" name "(no estimate)")
-        analyzed)
+      Hashtbl.fold
+        (fun name result acc ->
+          let est =
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> Some est
+            | _ -> None
+          in
+          (match est with
+          | Some est -> row "%-42s %14.1f ns/run\n" name est
+          | None -> row "%-42s %14s\n" name "(no estimate)");
+          J.Obj
+            [
+              ("name", J.Str name);
+              ( "ns_per_run",
+                match est with Some e -> J.num e | None -> J.Null );
+            ]
+          :: acc)
+        analyzed [])
     tests
 
 let () =
-  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let rec opt_of flag = function
+    | [] | [ _ ] -> None
+    | a :: b :: rest -> if a = flag then Some b else opt_of flag (b :: rest)
+  in
+  let json_file = opt_of "--json" args in
+  jobs :=
+    (match opt_of "--jobs" args with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some k when k >= 1 -> k
+        | _ ->
+            Printf.eprintf "error: --jobs expects a positive integer\n";
+            exit 2)
+    | None -> Gcs_stdx.Pool.default_jobs ());
   Printf.printf
     "Reproduction harness: Fekete, Lynch, Shvartsman -- Specifying and Using \
      a Partitionable Group Communication Service\n";
-  x6 ();
-  x7 ();
-  x8 ();
-  x9 ();
-  x10 ();
-  x11 ();
-  x12 ();
-  x13 ();
-  x14 ();
-  x16 ();
-  x17 ();
-  if not quick then micro ();
+  if !jobs > 1 then Printf.printf "(sweeps run on %d domains)\n" !jobs;
+  section "X6" "view stabilization after partition (measured vs b)" x6;
+  section "X7" "safe-delivery latency (measured vs d = 2pi + n*delta)" x7;
+  section "X8" "end-to-end TO latency after stabilization (Theorem 7.1)" x8;
+  section "X9" "post-merge catch-up time vs backlog size" x9;
+  section "X10" "comparison with baselines" x10;
+  section "X11" "view churn before vs after stabilization" x11;
+  section "X12" "token size and message cost (ablation: pruning works)" x12;
+  section "X13" "jitter ablation (safe latency, fixed vs jittered links)" x13;
+  section "X14" "membership protocol ablation (stabilization after heal)" x14;
+  section "X16" "offered load sweep (n=5)" x16;
+  section "X17" "throughput under nemesis schedules (n=5)" x17;
+  if not quick then
+    section "M" "micro-benchmarks (bechamel; time per run)" micro;
+  (match json_file with
+  | None -> ()
+  | Some file ->
+      let sections = List.rev !recorded in
+      let json =
+        J.Obj
+          [
+            ( "harness",
+              J.Str "gcs bench/main.exe (Fekete-Lynch-Shvartsman reproduction)"
+            );
+            ("jobs", J.Int !jobs);
+            ("quick", J.Bool quick);
+            ( "total_wall_s",
+              J.num (List.fold_left (fun a s -> a +. s.wall_s) 0.0 sections) );
+            ( "sections",
+              J.Arr
+                (List.map
+                   (fun s ->
+                     J.Obj
+                       [
+                         ("id", J.Str s.id);
+                         ("title", J.Str s.title);
+                         ("wall_clock_s", J.num s.wall_s);
+                         ("rows", J.Arr s.rows);
+                       ])
+                   sections) );
+          ]
+      in
+      let oc = open_out file in
+      output_string oc (J.to_string json);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "\nwrote %s\n" file);
   Printf.printf "\ndone.\n"

@@ -6,7 +6,8 @@
      gcs spec    — random executions of the spec machines with invariant,
                    trace and simulation checking
      gcs nemesis — run the fault-injection harness: a named scenario or a
-                   seed-reproducible random schedule, checked end to end *)
+                   seed-reproducible random schedule, checked end to end
+     gcs soak    — a batch of random nemesis schedules on a domain pool *)
 
 open Cmdliner
 open Gcs_core
@@ -32,6 +33,16 @@ let mu_arg =
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent runs (0: the GCS_JOBS environment \
+           variable, default 1). Results are bit-identical at any job count.")
+
+let resolve_jobs jobs = if jobs > 0 then jobs else Gcs_stdx.Pool.default_jobs ()
 
 let until_arg =
   Arg.(
@@ -258,7 +269,16 @@ let nemesis_cmd =
              slack, the shortest horizon at which the delivery bound is \
              enforceable).")
   in
-  let run n delta pi mu seed scenario list json events until =
+  let count_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ] ~docv:"K"
+          ~doc:
+            "Run K schedules at seeds SEED..SEED+K-1 (fanned out over \
+             --jobs domains). With a named scenario, the same scenario is \
+             rerun under each seed.")
+  in
+  let run n delta pi mu seed scenario list json events until count jobs =
     let vs_config = mk_config n delta pi mu in
     let config = To_service.make_config vs_config in
     let procs = vs_config.Vs_node.procs in
@@ -270,33 +290,78 @@ let nemesis_cmd =
             (Gcs_nemesis.Scenario.stabilization_time scenario))
         (Gcs_nemesis.Scenario.builtins ~procs)
     else begin
-      let scenario =
+      let until = if until < 0.0 then None else Some until in
+      let builtin =
         match scenario with
+        | None -> None
         | Some name -> (
             match Gcs_nemesis.Scenario.find_builtin ~procs name with
-            | Some s -> s
+            | Some s -> Some s
             | None ->
                 Printf.eprintf
                   "error: unknown scenario %s (try gcs nemesis --list)\n" name;
                 exit 2)
-        | None -> Gcs_nemesis.Gen.scenario ~procs ~events ~seed ()
       in
-      let until = if until < 0.0 then None else Some until in
-      let outcome = Gcs_nemesis.Harness.run ~config ?until ~seed scenario in
-      if json then print_endline (Gcs_nemesis.Harness.to_json outcome)
+      if count <= 1 then begin
+        let scenario =
+          match builtin with
+          | Some s -> s
+          | None -> Gcs_nemesis.Gen.scenario ~procs ~events ~seed ()
+        in
+        let outcome = Gcs_nemesis.Harness.run ~config ?until ~seed scenario in
+        if json then print_endline (Gcs_nemesis.Harness.to_json outcome)
+        else begin
+          Format.printf "%a@." Gcs_nemesis.Scenario.pp scenario;
+          Format.printf "%a@." Gcs_nemesis.Harness.pp outcome;
+          Printf.printf "reproduce with: gcs nemesis%s --seed %d -n %d\n"
+            (match scenario.Gcs_nemesis.Scenario.name with
+            | name
+              when Option.is_some
+                     (Gcs_nemesis.Scenario.find_builtin ~procs name) ->
+                " " ^ name
+            | _ -> "")
+            seed n
+        end;
+        if not (Gcs_nemesis.Harness.passed outcome) then exit 1
+      end
       else begin
-        Format.printf "%a@." Gcs_nemesis.Scenario.pp scenario;
-        Format.printf "%a@." Gcs_nemesis.Harness.pp outcome;
-        Printf.printf "reproduce with: gcs nemesis%s --seed %d -n %d\n"
-          (match scenario.Gcs_nemesis.Scenario.name with
-          | name
-            when Option.is_some (Gcs_nemesis.Scenario.find_builtin ~procs name)
-            ->
-              " " ^ name
-          | _ -> "")
-          seed n
-      end;
-      if not (Gcs_nemesis.Harness.passed outcome) then exit 1
+        let jobs = resolve_jobs jobs in
+        let seeds = List.init count (fun i -> seed + i) in
+        let outcomes =
+          match builtin with
+          | Some s ->
+              Gcs_stdx.Pool.map ~jobs
+                (fun seed -> Gcs_nemesis.Harness.run ~config ?until ~seed s)
+                seeds
+          | None ->
+              Gcs_nemesis.Harness.run_batch ~jobs ~config ?until ~events ~seeds
+                ()
+        in
+        let failed =
+          List.filter (fun o -> not (Gcs_nemesis.Harness.passed o)) outcomes
+        in
+        if json then
+          List.iter
+            (fun o -> print_endline (Gcs_nemesis.Harness.to_json o))
+            outcomes
+        else begin
+          List.iter
+            (fun o ->
+              Printf.printf "seed %6d  %-20s %5d deliveries  %s\n"
+                o.Gcs_nemesis.Harness.seed
+                o.Gcs_nemesis.Harness.scenario.Gcs_nemesis.Scenario.name
+                o.Gcs_nemesis.Harness.deliveries
+                (if Gcs_nemesis.Harness.passed o then "PASS" else "FAIL"))
+            outcomes;
+          List.iter
+            (fun o -> Format.printf "%a@." Gcs_nemesis.Harness.pp o)
+            failed;
+          Printf.printf "%d/%d schedules passed (jobs=%d)\n"
+            (List.length outcomes - List.length failed)
+            (List.length outcomes) jobs
+        end;
+        if failed <> [] then exit 1
+      end
     end
   in
   Cmd.v
@@ -308,7 +373,67 @@ let nemesis_cmd =
           post-stabilization delivery bound (Theorem 7.2).")
     Term.(
       const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg $ scenario_arg
-      $ list_arg $ json_arg $ events_arg $ until_opt_arg)
+      $ list_arg $ json_arg $ events_arg $ until_opt_arg $ count_arg $ jobs_arg)
+
+(* ------------------------------- soak ------------------------------- *)
+
+let soak_cmd =
+  let iters_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "iters" ] ~docv:"K" ~doc:"Number of random schedules.")
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "events" ] ~docv:"E"
+          ~doc:
+            "Fault injections per schedule (0: vary 8..12 across the batch, \
+             mirroring the soak test suite).")
+  in
+  let run n delta pi mu seed iters events jobs =
+    let vs_config = mk_config n delta pi mu in
+    let config = To_service.make_config vs_config in
+    let procs = vs_config.Vs_node.procs in
+    let jobs = resolve_jobs jobs in
+    let t0 = Unix.gettimeofday () in
+    let outcomes =
+      Gcs_stdx.Pool.map ~jobs
+        (fun i ->
+          let seed = seed + (i * 97) in
+          let events = if events > 0 then events else 8 + (i mod 5) in
+          let scenario = Gcs_nemesis.Gen.scenario ~procs ~events ~seed () in
+          Gcs_nemesis.Harness.run ~config ~seed scenario)
+        (List.init iters (fun i -> i))
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let failed =
+      List.filter (fun o -> not (Gcs_nemesis.Harness.passed o)) outcomes
+    in
+    List.iter
+      (fun o ->
+        Printf.printf "seed %6d  %-20s %5d deliveries  %s\n"
+          o.Gcs_nemesis.Harness.seed
+          o.Gcs_nemesis.Harness.scenario.Gcs_nemesis.Scenario.name
+          o.Gcs_nemesis.Harness.deliveries
+          (if Gcs_nemesis.Harness.passed o then "PASS" else "FAIL"))
+      outcomes;
+    List.iter (fun o -> Format.printf "%a@." Gcs_nemesis.Harness.pp o) failed;
+    Printf.printf "%d/%d schedules passed in %.2fs (jobs=%d)\n"
+      (iters - List.length failed)
+      iters wall jobs;
+    if failed <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Soak the end-to-end TO service: a batch of seed-reproducible random \
+          nemesis schedules fanned out over a pool of worker domains, each \
+          checked against both trace checkers and the Theorem 7.2 delivery \
+          bound. Exits 1 if any schedule fails.")
+    Term.(
+      const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg $ iters_arg
+      $ events_arg $ jobs_arg)
 
 (* ------------------------------- spec ------------------------------- *)
 
@@ -458,4 +583,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gcs" ~doc)
-          [ bounds_cmd; run_cmd; spec_cmd; check_cmd; nemesis_cmd ]))
+          [ bounds_cmd; run_cmd; spec_cmd; check_cmd; nemesis_cmd; soak_cmd ]))

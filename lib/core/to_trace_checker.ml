@@ -1,17 +1,33 @@
+(* Incremental representation: the forced total order is an int-indexed
+   persistent queue (O(log k) snoc/probe instead of the O(k) list append
+   and O(k) nth of the naive representation), and the per-sender
+   unordered buffers are persistent FIFOs (O(1) amortized pop, O(1)
+   push). Each [step] is therefore O(log k), making whole-trace checks
+   O(k log k) instead of O(k^2); the state stays pure, so snapshots
+   remain valid across further steps. *)
+
 type 'a t = {
   params : 'a To_machine.params;
-  unordered : 'a list Proc.Map.t;  (* bcast values not yet forced into queue *)
-  queue : ('a * Proc.t) list;
+  unordered : 'a Gcs_stdx.Fq.t Proc.Map.t;
+      (* bcast values not yet forced into queue *)
+  queue : ('a * Proc.t) Gcs_stdx.Ixq.t;
   next : int Proc.Map.t;
 }
 
 type error = { index : int; reason : string }
 
 let create params =
-  { params; unordered = Proc.Map.empty; queue = []; next = Proc.Map.empty }
+  {
+    params;
+    unordered = Proc.Map.empty;
+    queue = Gcs_stdx.Ixq.empty;
+    next = Proc.Map.empty;
+  }
 
 let unordered_of t p =
-  match Proc.Map.find_opt p t.unordered with Some s -> s | None -> []
+  match Proc.Map.find_opt p t.unordered with
+  | Some s -> s
+  | None -> Gcs_stdx.Fq.empty
 
 let next_of t p =
   match Proc.Map.find_opt p t.next with Some n -> n | None -> 1
@@ -22,7 +38,8 @@ let step t action =
       Ok
         {
           t with
-          unordered = Proc.Map.add p (unordered_of t p @ [ a ]) t.unordered;
+          unordered =
+            Proc.Map.add p (Gcs_stdx.Fq.push (unordered_of t p) a) t.unordered;
         }
   | To_action.To_order _ -> Error "internal to-order event in external trace"
   | To_action.Brcv { src; dst; value } -> (
@@ -30,7 +47,7 @@ let step t action =
       let deliver t =
         Ok { t with next = Proc.Map.add dst (i + 1) t.next }
       in
-      match Gcs_stdx.Seqx.nth1 t.queue i with
+      match Gcs_stdx.Ixq.nth1 t.queue i with
       | Some (a, p) ->
           if t.params.To_machine.equal_value a value && Proc.equal p src then
             deliver t
@@ -38,17 +55,16 @@ let step t action =
       | None -> (
           (* i = |queue| + 1: force a new queue entry from src's oldest
              unordered bcast. *)
-          match unordered_of t src with
-          | head :: rest when t.params.To_machine.equal_value head value ->
+          match Gcs_stdx.Fq.pop (unordered_of t src) with
+          | Some (head, rest) when t.params.To_machine.equal_value head value ->
               deliver
                 {
                   t with
                   unordered = Proc.Map.add src rest t.unordered;
-                  queue = t.queue @ [ (value, src) ];
+                  queue = Gcs_stdx.Ixq.snoc t.queue (value, src);
                 }
-          | head :: _ when not (t.params.To_machine.equal_value head value) ->
-              Error "brcv out of per-sender submission order"
-          | _ -> Error "brcv with no corresponding bcast"))
+          | Some (_, _) -> Error "brcv out of per-sender submission order"
+          | None -> Error "brcv with no corresponding bcast"))
 
 let check params actions =
   let rec go t i = function
@@ -60,8 +76,8 @@ let check params actions =
   in
   go (create params) 0 actions
 
-let queue t = t.queue
-let delivered t p = Gcs_stdx.Seqx.take (next_of t p - 1) t.queue
+let queue t = Gcs_stdx.Ixq.to_list t.queue
+let delivered t p = Gcs_stdx.Ixq.prefix (next_of t p - 1) t.queue
 
 let pp_error ppf e =
   Format.fprintf ppf "event %d: %s" e.index e.reason

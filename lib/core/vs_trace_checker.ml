@@ -1,12 +1,18 @@
 module Pg_map = Vs_machine.Pg_map
 
+(* Incremental representation (see To_trace_checker): per-view forced
+   orders are int-indexed persistent queues (O(log k) snoc/probe), the
+   per-(sender, view) unordered buffers are persistent FIFOs. Each
+   delivery step is O(log k) except [Safe], which additionally scans the
+   view's members (O(|view|), as in the paper's definition). *)
+
 type 'm t = {
   params : 'm Vs_machine.params;
   current : View_id.t option Proc.Map.t;
   view_sets : Proc.Set.t View_id.Map.t;
-  unordered : ('m * int) list Pg_map.t;
+  unordered : ('m * int) Gcs_stdx.Fq.t Pg_map.t;
       (* sent messages (with gpsnd event index) not yet forced into queue *)
-  queue : ('m * Proc.t * int) list View_id.Map.t;
+  queue : ('m * Proc.t * int) Gcs_stdx.Ixq.t View_id.Map.t;
       (* forced per-view order; entries carry the causing gpsnd index *)
   next : int Pg_map.t;
   next_safe : int Pg_map.t;
@@ -42,12 +48,17 @@ let current_view t p =
 let view_members t g = View_id.Map.find_opt g t.view_sets
 
 let unordered_of t p g =
-  match Pg_map.find_opt (p, g) t.unordered with Some s -> s | None -> []
+  match Pg_map.find_opt (p, g) t.unordered with
+  | Some s -> s
+  | None -> Gcs_stdx.Fq.empty
 
 let raw_queue_of t g =
-  match View_id.Map.find_opt g t.queue with Some s -> s | None -> []
+  match View_id.Map.find_opt g t.queue with
+  | Some s -> s
+  | None -> Gcs_stdx.Ixq.empty
 
-let queue_of t g = List.map (fun (m, p, _) -> (m, p)) (raw_queue_of t g)
+let queue_of t g =
+  List.map (fun (m, p, _) -> (m, p)) (Gcs_stdx.Ixq.to_list (raw_queue_of t g))
 
 let next_of t p g =
   match Pg_map.find_opt (p, g) t.next with Some n -> n | None -> 1
@@ -65,27 +76,29 @@ let equal_msg t = t.params.Vs_machine.equal_msg
    index of the entry. *)
 let force_queue_entry t g i ~src ~msg =
   let q = raw_queue_of t g in
-  match Gcs_stdx.Seqx.nth1 q i with
+  match Gcs_stdx.Ixq.nth1 q i with
   | Some (m, p, gpsnd_idx) ->
       if equal_msg t m msg && Proc.equal p src then Ok (t, gpsnd_idx)
       else Error "delivery disagrees with the forced per-view order"
   | None -> (
-      if i <> List.length q + 1 then
+      if i <> Gcs_stdx.Ixq.length q + 1 then
         Error "delivery index beyond the forced per-view order"
       else
-        match unordered_of t src g with
-        | (m, gpsnd_idx) :: rest when equal_msg t m msg ->
+        match Gcs_stdx.Fq.pop (unordered_of t src g) with
+        | Some ((m, gpsnd_idx), rest) when equal_msg t m msg ->
             let t =
               {
                 t with
                 unordered = Pg_map.add (src, g) rest t.unordered;
                 queue =
-                  View_id.Map.add g (q @ [ (msg, src, gpsnd_idx) ]) t.queue;
+                  View_id.Map.add g
+                    (Gcs_stdx.Ixq.snoc q (msg, src, gpsnd_idx))
+                    t.queue;
               }
             in
             Ok (t, gpsnd_idx)
-        | (_, _) :: _ -> Error "delivery out of per-sender send order"
-        | [] -> Error "delivery with no corresponding gpsnd in this view")
+        | Some (_, _) -> Error "delivery out of per-sender send order"
+        | None -> Error "delivery with no corresponding gpsnd in this view")
 
 let step t action =
   let idx = t.events_seen in
@@ -103,7 +116,7 @@ let step t action =
                  t with
                  unordered =
                    Pg_map.add (p, g)
-                     (unordered_of t p g @ [ (m, idx) ])
+                     (Gcs_stdx.Fq.push (unordered_of t p g) (m, idx))
                      t.unordered;
                }))
   | Vs_action.Newview { proc = p; view = v } -> (
@@ -145,7 +158,7 @@ let step t action =
           | None -> Error "safe in an unknown view"
           | Some members -> (
               let j = next_safe_of t dst g in
-              match Gcs_stdx.Seqx.nth1 (raw_queue_of t g) j with
+              match Gcs_stdx.Ixq.nth1 (raw_queue_of t g) j with
               | None -> Error "safe for a message not yet ordered"
               | Some (m, p, gpsnd_idx) ->
                   if not (equal_msg t m msg && Proc.equal p src) then

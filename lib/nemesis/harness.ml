@@ -88,6 +88,14 @@ let run ?engine ?workload ~config ?until ~seed scenario =
     events_processed = run.To_service.events_processed;
   }
 
+let run_batch ?jobs ?engine ?workload ~config ?until ?events ~seeds () =
+  let procs = config.To_service.vs.Vs_node.procs in
+  Gcs_stdx.Pool.map ?jobs
+    (fun seed ->
+      let scenario = Gen.scenario ~procs ?events ~seed () in
+      run ?engine ?workload ~config ?until ~seed scenario)
+    seeds
+
 let passed outcome =
   Result.is_ok outcome.to_conformance
   && Result.is_ok outcome.vs_conformance

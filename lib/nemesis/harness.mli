@@ -57,6 +57,22 @@ val run :
   outcome
 (** Reproducible: the outcome is a pure function of the arguments. *)
 
+val run_batch :
+  ?jobs:int ->
+  ?engine:Gcs_sim.Engine.config ->
+  ?workload:(float * Proc.t * Value.t) list ->
+  config:To_service.config ->
+  ?until:float ->
+  ?events:int ->
+  seeds:int list ->
+  unit ->
+  outcome list
+(** Run one {!Gen.scenario} per seed through {!run} on a
+    {!Gcs_stdx.Pool} of [jobs] domains (default: [GCS_JOBS]). Each run
+    owns its PRNG, so runs are independent and the outcome list is
+    bit-identical to the sequential [List.map] — in seed order — at any
+    [jobs]. *)
+
 val passed : outcome -> bool
 val pp : Format.formatter -> outcome -> unit
 val to_json : outcome -> string

@@ -176,9 +176,11 @@ let handle sim ~now ~proc payload =
 
 let release_held sim ~now proc =
   match Proc.Map.find_opt proc sim.held with
-  | None | Some [] -> ()
+  | None -> ()
   | Some held ->
-      sim.held <- Proc.Map.add proc [] sim.held;
+      (* Remove the key outright — re-adding an empty list would leak one
+         map entry per recovered processor for the rest of the run. *)
+      sim.held <- Proc.Map.remove proc sim.held;
       (* Replay in original arrival order. *)
       List.iter (fun ev -> schedule sim ~time:now ev) (List.rev held)
 

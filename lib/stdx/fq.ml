@@ -1,0 +1,27 @@
+(* Invariant: front = [] implies back = []. *)
+type 'a t = { front : 'a list; back : 'a list; length : int }
+
+let empty = { front = []; back = []; length = 0 }
+let length t = t.length
+let is_empty t = t.length = 0
+
+let push t x =
+  match t.front with
+  | [] -> { front = [ x ]; back = []; length = 1 }
+  | _ -> { t with back = x :: t.back; length = t.length + 1 }
+
+let peek t = match t.front with x :: _ -> Some x | [] -> None
+
+let pop t =
+  match t.front with
+  | [] -> None
+  | x :: rest ->
+      let t' =
+        match rest with
+        | [] -> { front = List.rev t.back; back = []; length = t.length - 1 }
+        | _ -> { t with front = rest; length = t.length - 1 }
+      in
+      Some (x, t')
+
+let to_list t = t.front @ List.rev t.back
+let of_list xs = { front = xs; back = []; length = List.length xs }

@@ -1,0 +1,27 @@
+(** Persistent FIFO queue (two-list batched queue): O(1) [push] and
+    [peek], O(1) amortized [pop].
+
+    Used for the per-sender unordered buffers of the trace checkers,
+    replacing O(k) list appends. The structure is pure, so checker
+    snapshots taken by the explorer and the mutation tests remain valid
+    after further steps. *)
+
+type 'a t
+
+val empty : 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> 'a t
+(** Enqueue at the back. *)
+
+val peek : 'a t -> 'a option
+(** Front element, if any. *)
+
+val pop : 'a t -> ('a * 'a t) option
+(** Front element and the rest, if any. *)
+
+val to_list : 'a t -> 'a list
+(** Front first. *)
+
+val of_list : 'a list -> 'a t

@@ -1,0 +1,31 @@
+module Imap = Map.Make (Int)
+
+type 'a t = { map : 'a Imap.t; length : int }
+
+let empty = { map = Imap.empty; length = 0 }
+let length t = t.length
+let is_empty t = t.length = 0
+
+let snoc t x =
+  { map = Imap.add (t.length + 1) x t.map; length = t.length + 1 }
+
+let nth1 t i =
+  if i < 1 || i > t.length then None else Imap.find_opt i t.map
+
+let last t = nth1 t t.length
+
+let to_list t =
+  List.rev (Imap.fold (fun _ x acc -> x :: acc) t.map [])
+
+let prefix n t =
+  if n <= 0 then []
+  else
+    List.rev
+      (Imap.fold
+         (fun i x acc -> if i <= n then x :: acc else acc)
+         t.map [])
+
+let of_list xs = List.fold_left snoc empty xs
+
+let iter f t = Imap.iter (fun _ x -> f x) t.map
+let fold f acc t = Imap.fold (fun _ x acc -> f acc x) t.map acc

@@ -1,0 +1,34 @@
+(** Int-indexed persistent queue: an append-only sequence with O(log k)
+    [snoc] and 1-indexed random access, O(1) [length].
+
+    This is the workhorse of the incremental trace checkers: the forced
+    total orders only ever grow at the tail and are probed by index, so an
+    int-keyed persistent map replaces the O(k) [queue @ [x]] append and
+    the O(k) [List.nth] probe of the naive list representation while
+    keeping the structure fully persistent (old snapshots stay valid). *)
+
+type 'a t
+
+val empty : 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val snoc : 'a t -> 'a -> 'a t
+(** Append at the tail; the new element has index [length t + 1]. *)
+
+val nth1 : 'a t -> int -> 'a option
+(** 1-indexed lookup, mirroring {!Seqx.nth1}: [nth1 t i] is the [i]-th
+    element when [1 <= i <= length t]. *)
+
+val last : 'a t -> 'a option
+
+val to_list : 'a t -> 'a list
+(** Elements in index order (index 1 first). *)
+
+val prefix : int -> 'a t -> 'a list
+(** [prefix n t] is the first [n] elements in index order (all of them if
+    [n >= length t]). *)
+
+val of_list : 'a list -> 'a t
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

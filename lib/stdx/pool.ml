@@ -1,0 +1,63 @@
+let default_jobs () =
+  match Sys.getenv_opt "GCS_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k >= 1 -> k
+      | _ -> 1)
+  | None -> 1
+
+type 'b cell =
+  | Pending
+  | Done of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    (* Indices are claimed in ascending order, so when a failure stops the
+       pool early, every index below the lowest failing one has already
+       been claimed and will be completed before the joins return — which
+       makes the propagated exception (lowest failing index) deterministic
+       regardless of domain scheduling. *)
+    let worker () =
+      let rec go () =
+        if not (Atomic.get failed) then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match f items.(i) with
+            | y -> results.(i) <- Done y
+            | exception e ->
+                results.(i) <- Raised (e, Printexc.get_raw_backtrace ());
+                Atomic.set failed true);
+            go ()
+          end
+        end
+      in
+      go ()
+    in
+    let spawned =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.iteri
+      (fun _ cell ->
+        match cell with
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending | Done _ -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function
+           | Done y -> y
+           | Pending | Raised _ -> assert false (* failed pool raised above *))
+         results)
+  end
+
+let iter ?jobs f xs = ignore (map ?jobs (fun x -> f x) xs)

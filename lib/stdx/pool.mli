@@ -1,0 +1,25 @@
+(** Fixed-size domain pool for embarrassingly parallel work.
+
+    [map ~jobs f xs] evaluates [f] over [xs] on up to [jobs] domains (the
+    calling domain included) and returns the results in input order, so a
+    parallel map is observably identical to [List.map f xs] whenever [f]
+    is deterministic per item — each seed-sweep run owns its own
+    {!Prng.t}, which is exactly that situation.
+
+    Exception discipline: if any [f x] raises, the pool stops handing out
+    new work, joins every domain, and re-raises the exception of the
+    {e lowest} input index that failed (with its backtrace). Because
+    indices are claimed in ascending order, that choice does not depend on
+    domain scheduling, so failures are as reproducible as results. *)
+
+val default_jobs : unit -> int
+(** The [GCS_JOBS] environment variable (default 1, minimum 1). All the
+    seed sweeps in the repository take their default parallelism from
+    this. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ?jobs f xs]: results in input order. [jobs] defaults to
+    {!default_jobs}; [jobs <= 1] (or a short list) degrades to
+    [List.map] with no domains spawned. *)
+
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit

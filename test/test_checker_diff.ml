@@ -1,0 +1,516 @@
+(* Differential tests for the incremental trace checkers.
+
+   The production checkers in Gcs_core run on persistent structures
+   (Gcs_stdx.Ixq / Gcs_stdx.Fq) so each step is O(log k) instead of the
+   O(k) list append/nth of the original greedy checkers. These tests pin
+   the rewrite to the original semantics: a reference copy of the
+   list-based checker lives here, and a guided random walk — mostly valid
+   steps, with occasional corrupt ones — must be accepted or rejected
+   identically by both, with the same 0-based error index and the same
+   reason string. *)
+
+open Gcs_core
+
+(* ------------------------------------------------------------------ *)
+(* Reference TO checker: the original list-based implementation,
+   verbatim. O(k) per step — keep test traces short. *)
+
+module Ref_to = struct
+  type 'a t = {
+    params : 'a To_machine.params;
+    unordered : 'a list Proc.Map.t;
+    queue : ('a * Proc.t) list;
+    next : int Proc.Map.t;
+  }
+
+  type error = { index : int; reason : string }
+
+  let create params =
+    { params; unordered = Proc.Map.empty; queue = []; next = Proc.Map.empty }
+
+  let unordered_of t p =
+    match Proc.Map.find_opt p t.unordered with Some s -> s | None -> []
+
+  let next_of t p =
+    match Proc.Map.find_opt p t.next with Some n -> n | None -> 1
+
+  let step t action =
+    match action with
+    | To_action.Bcast (p, a) ->
+        Ok
+          {
+            t with
+            unordered = Proc.Map.add p (unordered_of t p @ [ a ]) t.unordered;
+          }
+    | To_action.To_order _ -> Error "internal to-order event in external trace"
+    | To_action.Brcv { src; dst; value } -> (
+        let i = next_of t dst in
+        let deliver t = Ok { t with next = Proc.Map.add dst (i + 1) t.next } in
+        match Gcs_stdx.Seqx.nth1 t.queue i with
+        | Some (a, p) ->
+            if t.params.To_machine.equal_value a value && Proc.equal p src then
+              deliver t
+            else Error "brcv disagrees with the forced total order"
+        | None -> (
+            match unordered_of t src with
+            | head :: rest when t.params.To_machine.equal_value head value ->
+                deliver
+                  {
+                    t with
+                    unordered = Proc.Map.add src rest t.unordered;
+                    queue = t.queue @ [ (value, src) ];
+                  }
+            | head :: _ when not (t.params.To_machine.equal_value head value)
+              ->
+                Error "brcv out of per-sender submission order"
+            | _ -> Error "brcv with no corresponding bcast"))
+
+  let check params actions =
+    let rec go t i = function
+      | [] -> Ok ()
+      | action :: rest -> (
+          match step t action with
+          | Ok t' -> go t' (i + 1) rest
+          | Error reason -> Error { index = i; reason })
+    in
+    go (create params) 0 actions
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reference VS checker: the original list-based implementation,
+   verbatim modulo the cause tracking (not compared here). *)
+
+module Ref_vs = struct
+  module Pg_map = Vs_machine.Pg_map
+
+  type 'm t = {
+    params : 'm Vs_machine.params;
+    current : View_id.t option Proc.Map.t;
+    view_sets : Proc.Set.t View_id.Map.t;
+    unordered : ('m * int) list Pg_map.t;
+    queue : ('m * Proc.t * int) list View_id.Map.t;
+    next : int Pg_map.t;
+    next_safe : int Pg_map.t;
+    events_seen : int;
+  }
+
+  type error = { index : int; reason : string }
+
+  let create params =
+    let p0 = Proc.set_of_list params.Vs_machine.p0 in
+    {
+      params;
+      current =
+        List.fold_left
+          (fun acc p ->
+            Proc.Map.add p
+              (if Proc.Set.mem p p0 then Some View_id.g0 else None)
+              acc)
+          Proc.Map.empty params.Vs_machine.procs;
+      view_sets = View_id.Map.singleton View_id.g0 p0;
+      unordered = Pg_map.empty;
+      queue = View_id.Map.empty;
+      next = Pg_map.empty;
+      next_safe = Pg_map.empty;
+      events_seen = 0;
+    }
+
+  let current_view t p =
+    match Proc.Map.find_opt p t.current with Some g -> g | None -> None
+
+  let view_members t g = View_id.Map.find_opt g t.view_sets
+
+  let unordered_of t p g =
+    match Pg_map.find_opt (p, g) t.unordered with Some s -> s | None -> []
+
+  let raw_queue_of t g =
+    match View_id.Map.find_opt g t.queue with Some s -> s | None -> []
+
+  let next_of t p g =
+    match Pg_map.find_opt (p, g) t.next with Some n -> n | None -> 1
+
+  let next_safe_of t p g =
+    match Pg_map.find_opt (p, g) t.next_safe with Some n -> n | None -> 1
+
+  let equal_msg t = t.params.Vs_machine.equal_msg
+
+  let force_queue_entry t g i ~src ~msg =
+    let q = raw_queue_of t g in
+    match Gcs_stdx.Seqx.nth1 q i with
+    | Some (m, p, gpsnd_idx) ->
+        if equal_msg t m msg && Proc.equal p src then Ok (t, gpsnd_idx)
+        else Error "delivery disagrees with the forced per-view order"
+    | None -> (
+        if i <> List.length q + 1 then
+          Error "delivery index beyond the forced per-view order"
+        else
+          match unordered_of t src g with
+          | (m, gpsnd_idx) :: rest when equal_msg t m msg ->
+              let t =
+                {
+                  t with
+                  unordered = Pg_map.add (src, g) rest t.unordered;
+                  queue =
+                    View_id.Map.add g (q @ [ (msg, src, gpsnd_idx) ]) t.queue;
+                }
+              in
+              Ok (t, gpsnd_idx)
+          | (_, _) :: _ -> Error "delivery out of per-sender send order"
+          | [] -> Error "delivery with no corresponding gpsnd in this view")
+
+  let step t action =
+    let idx = t.events_seen in
+    let bump t = { t with events_seen = idx + 1 } in
+    match action with
+    | Vs_action.Createview _ | Vs_action.Vs_order _ ->
+        Error "internal event in external trace"
+    | Vs_action.Gpsnd { sender = p; msg = m } -> (
+        match current_view t p with
+        | None -> Ok (bump t)
+        | Some g ->
+            Ok
+              (bump
+                 {
+                   t with
+                   unordered =
+                     Pg_map.add (p, g)
+                       (unordered_of t p g @ [ (m, idx) ])
+                       t.unordered;
+                 }))
+    | Vs_action.Newview { proc = p; view = v } -> (
+        if not (View.mem p v) then Error "newview at a non-member"
+        else if not (View_id.lt_opt (current_view t p) (Some v.View.id)) then
+          Error "newview violates per-processor view-id monotonicity"
+        else
+          match view_members t v.View.id with
+          | Some s when not (Proc.Set.equal s v.View.set) ->
+              Error "two views with the same identifier and different sets"
+          | _ ->
+              Ok
+                (bump
+                   {
+                     t with
+                     current = Proc.Map.add p (Some v.View.id) t.current;
+                     view_sets =
+                       View_id.Map.add v.View.id v.View.set t.view_sets;
+                   }))
+    | Vs_action.Gprcv { src; dst; msg } -> (
+        match current_view t dst with
+        | None -> Error "gprcv at a processor with no view"
+        | Some g -> (
+            let i = next_of t dst g in
+            match force_queue_entry t g i ~src ~msg with
+            | Error e -> Error e
+            | Ok (t, _) ->
+                Ok (bump { t with next = Pg_map.add (dst, g) (i + 1) t.next })))
+    | Vs_action.Safe { src; dst; msg } -> (
+        match current_view t dst with
+        | None -> Error "safe at a processor with no view"
+        | Some g -> (
+            match view_members t g with
+            | None -> Error "safe in an unknown view"
+            | Some members -> (
+                let j = next_safe_of t dst g in
+                match Gcs_stdx.Seqx.nth1 (raw_queue_of t g) j with
+                | None -> Error "safe for a message not yet ordered"
+                | Some (m, p, _) ->
+                    if not (equal_msg t m msg && Proc.equal p src) then
+                      Error "safe disagrees with the forced per-view order"
+                    else if
+                      not
+                        (Proc.Set.for_all (fun r -> next_of t r g > j) members)
+                    then Error "safe before delivery at every member of the view"
+                    else
+                      Ok
+                        (bump
+                           {
+                             t with
+                             next_safe =
+                               Pg_map.add (dst, g) (j + 1) t.next_safe;
+                           }))))
+
+  let check params actions =
+    let rec go t i = function
+      | [] -> Ok ()
+      | action :: rest -> (
+          match step t action with
+          | Ok t' -> go t' (i + 1) rest
+          | Error reason -> Error { index = i; reason })
+    in
+    go (create params) 0 actions
+end
+
+(* ------------------------------------------------------------------ *)
+(* Guided-walk generators: from the reference checker's state, propose a
+   mostly-valid next action (so walks reach deep states with long forced
+   orders) and occasionally a corrupt one (so the reject paths are
+   exercised at every depth). Invalid proposals leave the walking state
+   unchanged — both checkers will stop at that index anyway. *)
+
+let n = 4
+let procs = Proc.all ~n
+let to_params = { To_machine.procs; equal_value = String.equal }
+
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+
+let gen_to_trace st =
+  let len = 20 + Random.State.int st 100 in
+  let t = ref (Ref_to.create to_params) in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "v%d" !counter
+  in
+  let valid_action () =
+    let dst = pick st procs in
+    let i = Ref_to.next_of !t dst in
+    match Gcs_stdx.Seqx.nth1 (!t).Ref_to.queue i with
+    | Some (value, src) -> To_action.Brcv { src; dst; value }
+    | None -> (
+        let senders =
+          List.filter (fun p -> Ref_to.unordered_of !t p <> []) procs
+        in
+        match senders with
+        | _ :: _ when Random.State.bool st ->
+            let src = pick st senders in
+            let value = List.hd (Ref_to.unordered_of !t src) in
+            To_action.Brcv { src; dst; value }
+        | _ -> To_action.Bcast (pick st procs, fresh ()))
+  in
+  let corrupt_action () =
+    match Random.State.int st 4 with
+    | 0 -> To_action.To_order (fresh (), pick st procs)
+    | 1 ->
+        (* random brcv: usually wrong value or wrong forced slot *)
+        To_action.Brcv
+          {
+            src = pick st procs;
+            dst = pick st procs;
+            value = Printf.sprintf "v%d" (Random.State.int st (!counter + 2));
+          }
+    | 2 ->
+        (* second-submitted value first: out of per-sender order *)
+        let src = pick st procs in
+        let value =
+          match Ref_to.unordered_of !t src with
+          | _ :: second :: _ -> second
+          | _ -> fresh ()
+        in
+        To_action.Brcv { src; dst = pick st procs; value }
+    | _ -> To_action.Brcv { src = pick st procs; dst = pick st procs; value = "ghost" }
+  in
+  List.init len (fun _ ->
+      let action =
+        if Random.State.int st 100 < 80 then valid_action ()
+        else corrupt_action ()
+      in
+      (match Ref_to.step !t action with Ok t' -> t := t' | Error _ -> ());
+      action)
+
+let vs_params =
+  { Vs_machine.procs; p0 = procs; equal_msg = String.equal; weak = false }
+
+let gen_vs_trace st =
+  let len = 20 + Random.State.int st 100 in
+  let t = ref (Ref_vs.create vs_params) in
+  let msg_counter = ref 0 in
+  let view_counter = ref 0 in
+  let views = ref [] in
+  let fresh_msg () =
+    incr msg_counter;
+    Printf.sprintf "m%d" !msg_counter
+  in
+  let fresh_view ~origin =
+    incr view_counter;
+    let members =
+      List.filter (fun p -> Proc.equal p origin || Random.State.bool st) procs
+    in
+    let v = View.make (View_id.make ~num:!view_counter ~origin) members in
+    views := v :: !views;
+    v
+  in
+  let valid_action () =
+    match Random.State.int st 10 with
+    | 0 | 1 ->
+        (* install a view at one of its members: fresh (always id-monotone
+           for that proc) or a recent one when still installable *)
+        let p = pick st procs in
+        let candidates =
+          List.filter
+            (fun v ->
+              View.mem p v
+              && View_id.lt_opt (Ref_vs.current_view !t p) (Some v.View.id))
+            !views
+        in
+        let v =
+          match candidates with
+          | _ :: _ when Random.State.bool st -> pick st candidates
+          | _ -> fresh_view ~origin:p
+        in
+        Vs_action.Newview { proc = p; view = v }
+    | 2 | 3 | 4 -> Vs_action.Gpsnd { sender = pick st procs; msg = fresh_msg () }
+    | 5 | 6 | 7 -> (
+        let dst = pick st procs in
+        match Ref_vs.current_view !t dst with
+        | None -> Vs_action.Gpsnd { sender = dst; msg = fresh_msg () }
+        | Some g -> (
+            let i = Ref_vs.next_of !t dst g in
+            match Gcs_stdx.Seqx.nth1 (Ref_vs.raw_queue_of !t g) i with
+            | Some (msg, src, _) -> Vs_action.Gprcv { src; dst; msg }
+            | None -> (
+                let senders =
+                  List.filter
+                    (fun p -> Ref_vs.unordered_of !t p g <> [])
+                    procs
+                in
+                match senders with
+                | _ :: _ ->
+                    let src = pick st senders in
+                    let msg, _ = List.hd (Ref_vs.unordered_of !t src g) in
+                    Vs_action.Gprcv { src; dst; msg }
+                | [] -> Vs_action.Gpsnd { sender = dst; msg = fresh_msg () })))
+    | _ -> (
+        (* safe: only valid once every member of the view delivered *)
+        let dst = pick st procs in
+        match Ref_vs.current_view !t dst with
+        | None -> Vs_action.Gpsnd { sender = dst; msg = fresh_msg () }
+        | Some g -> (
+            let j = Ref_vs.next_safe_of !t dst g in
+            match Gcs_stdx.Seqx.nth1 (Ref_vs.raw_queue_of !t g) j with
+            | Some (msg, src, _) -> Vs_action.Safe { src; dst; msg }
+            | None -> Vs_action.Gpsnd { sender = dst; msg = fresh_msg () }))
+  in
+  let corrupt_action () =
+    match Random.State.int st 6 with
+    | 0 -> Vs_action.Createview (fresh_view ~origin:(pick st procs))
+    | 1 ->
+        Vs_action.Vs_order
+          { msg = fresh_msg (); sender = pick st procs; viewid = View_id.g0 }
+    | 2 ->
+        (* newview at a non-member, or non-monotone reinstall *)
+        let p = pick st procs in
+        let v =
+          match !views with
+          | _ :: _ when Random.State.bool st -> pick st !views
+          | _ -> fresh_view ~origin:(pick st (List.filter (fun q -> not (Proc.equal p q)) procs))
+        in
+        Vs_action.Newview { proc = p; view = v }
+    | 3 ->
+        Vs_action.Gprcv
+          {
+            src = pick st procs;
+            dst = pick st procs;
+            msg = Printf.sprintf "m%d" (Random.State.int st (!msg_counter + 2));
+          }
+    | 4 ->
+        Vs_action.Safe
+          {
+            src = pick st procs;
+            dst = pick st procs;
+            msg = Printf.sprintf "m%d" (Random.State.int st (!msg_counter + 2));
+          }
+    | _ ->
+        (* duplicate view id with a different membership *)
+        let p = pick st procs in
+        let existing =
+          match !views with v :: _ -> v.View.id | [] -> View_id.g0
+        in
+        Vs_action.Newview
+          { proc = p; view = View.make existing [ p ] }
+  in
+  List.init len (fun _ ->
+      let action =
+        if Random.State.int st 100 < 80 then valid_action ()
+        else corrupt_action ()
+      in
+      (match Ref_vs.step !t action with Ok t' -> t := t' | Error _ -> ());
+      action)
+
+(* ------------------------------------------------------------------ *)
+(* The properties: verdicts agree exactly, including index and reason. *)
+
+let to_verdict = function
+  | Ok () -> "accept"
+  | Error (e : To_trace_checker.error) ->
+      Printf.sprintf "reject@%d: %s" e.To_trace_checker.index
+        e.To_trace_checker.reason
+
+let ref_to_verdict = function
+  | Ok () -> "accept"
+  | Error (e : Ref_to.error) ->
+      Printf.sprintf "reject@%d: %s" e.Ref_to.index e.Ref_to.reason
+
+let vs_verdict = function
+  | Ok () -> "accept"
+  | Error (e : Vs_trace_checker.error) ->
+      Printf.sprintf "reject@%d: %s" e.Vs_trace_checker.index
+        e.Vs_trace_checker.reason
+
+let ref_vs_verdict = function
+  | Ok () -> "accept"
+  | Error (e : Ref_vs.error) ->
+      Printf.sprintf "reject@%d: %s" e.Ref_vs.index e.Ref_vs.reason
+
+let pp_to_action = function
+  | To_action.Bcast (p, v) -> Printf.sprintf "bcast(%d,%s)" p v
+  | To_action.Brcv { src; dst; value } ->
+      Printf.sprintf "brcv(%d->%d,%s)" src dst value
+  | To_action.To_order (v, p) -> Printf.sprintf "to-order(%s,%d)" v p
+
+let prop_to_checkers_agree =
+  QCheck.Test.make ~name:"incremental TO checker = reference on guided walks"
+    ~count:500
+    (QCheck.make ~print:(fun tr -> String.concat "; " (List.map pp_to_action tr))
+       gen_to_trace)
+    (fun trace ->
+      let incr = to_verdict (To_trace_checker.check to_params trace) in
+      let reference = ref_to_verdict (Ref_to.check to_params trace) in
+      if incr <> reference then
+        QCheck.Test.fail_reportf "incremental: %s@.reference:   %s" incr
+          reference
+      else true)
+
+let prop_vs_checkers_agree =
+  QCheck.Test.make ~name:"incremental VS checker = reference on guided walks"
+    ~count:500
+    (QCheck.make gen_vs_trace)
+    (fun trace ->
+      let incr = vs_verdict (Vs_trace_checker.check vs_params trace) in
+      let reference = ref_vs_verdict (Ref_vs.check vs_params trace) in
+      if incr <> reference then
+        QCheck.Test.fail_reportf "incremental: %s@.reference:   %s" incr
+          reference
+      else true)
+
+(* A deterministic smoke pair so a regression fails with a readable name
+   even if the qcheck seed changes. *)
+
+let test_to_known_traces () =
+  let accept =
+    [
+      To_action.Bcast (0, "a");
+      To_action.Bcast (1, "b");
+      To_action.Brcv { src = 0; dst = 1; value = "a" };
+      To_action.Brcv { src = 0; dst = 0; value = "a" };
+      To_action.Brcv { src = 1; dst = 0; value = "b" };
+    ]
+  in
+  Alcotest.(check string)
+    "valid trace accepted by both" "accept"
+    (to_verdict (To_trace_checker.check to_params accept));
+  let reject = accept @ [ To_action.Brcv { src = 1; dst = 0; value = "b" } ] in
+  Alcotest.(check string)
+    "identical verdicts on the reject case"
+    (ref_to_verdict (Ref_to.check to_params reject))
+    (to_verdict (To_trace_checker.check to_params reject))
+
+let () =
+  Alcotest.run "checker-diff"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "known TO traces" `Quick test_to_known_traces;
+          QCheck_alcotest.to_alcotest prop_to_checkers_agree;
+          QCheck_alcotest.to_alcotest prop_vs_checkers_agree;
+        ] );
+    ]

@@ -36,6 +36,81 @@ let test_queue_size () =
   Alcotest.(check int) "size" 2 (Event_queue.size q);
   Alcotest.(check (option (float 0.001))) "peek" (Some 1.0) (Event_queue.peek_time q)
 
+let test_queue_interleaved () =
+  (* Interleave adds and pops and track the size invariant at every step;
+     pops must still come out in (time, insertion-seq) order relative to
+     what is in the queue at that moment. *)
+  let q = Event_queue.empty in
+  let q = Event_queue.add q ~time:5.0 "e5" in
+  let q = Event_queue.add q ~time:1.0 "e1" in
+  Alcotest.(check int) "size after 2 adds" 2 (Event_queue.size q);
+  let t, v, q =
+    match Event_queue.pop q with Some x -> x | None -> Alcotest.fail "pop 1"
+  in
+  Alcotest.(check (float 0.001)) "earliest first" 1.0 t;
+  Alcotest.(check string) "earliest value" "e1" v;
+  Alcotest.(check int) "size after pop" 1 (Event_queue.size q);
+  (* An element added after a pop can still overtake older residents. *)
+  let q = Event_queue.add q ~time:2.0 "e2" in
+  let q = Event_queue.add q ~time:5.0 "e5b" in
+  Alcotest.(check int) "size after re-adds" 3 (Event_queue.size q);
+  let order =
+    let rec drain q acc =
+      match Event_queue.pop q with
+      | Some (_, v, q) -> drain q (v :: acc)
+      | None -> List.rev acc
+    in
+    drain q []
+  in
+  (* e5 was inserted before e5b, so the seq tiebreak keeps them in
+     insertion order at equal times. *)
+  Alcotest.(check (list string)) "pop order" [ "e2"; "e5"; "e5b" ] order;
+  Alcotest.(check bool) "drained queue is empty" true
+    (Event_queue.is_empty
+       (let rec strip q =
+          match Event_queue.pop q with Some (_, _, q) -> strip q | None -> q
+        in
+        strip q))
+
+let prop_queue_interleaved_model =
+  (* Random interleaving of add/pop against a sorted-list model: size
+     matches at every step and pops agree with the model's minimum
+     (stable on ties by insertion order). *)
+  QCheck.Test.make ~name:"event queue matches a sorted-list model under interleaved add/pop"
+    ~count:300
+    QCheck.(list (option (int_bound 50)))
+    (fun ops ->
+      let step (q, model, seq, ok) op =
+        if not ok then (q, model, seq, false)
+        else
+          match op with
+          | Some t_int ->
+              let t = float_of_int t_int in
+              ( Event_queue.add q ~time:t (seq : int),
+                model @ [ (t, seq) ],
+                seq + 1,
+                Event_queue.size q + 1
+                = Event_queue.size (Event_queue.add q ~time:t seq) )
+          | None -> (
+              let sorted =
+                List.stable_sort
+                  (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+                  model
+              in
+              match (Event_queue.pop q, sorted) with
+              | None, [] -> (q, model, seq, true)
+              | Some (t, v, q'), (mt, mv) :: _ ->
+                  ( q',
+                    List.filter (fun (_, s) -> s <> mv) model,
+                    seq,
+                    t = mt && v = mv )
+              | Some _, [] | None, _ :: _ -> (q, model, seq, false))
+      in
+      let q, model, _, ok =
+        List.fold_left step (Event_queue.empty, [], 0, true) ops
+      in
+      ok && Event_queue.size q = List.length model)
+
 let prop_queue_sorted =
   QCheck.Test.make ~name:"event queue pops in nondecreasing time order"
     ~count:200
@@ -362,7 +437,9 @@ let () =
           Alcotest.test_case "time order" `Quick test_queue_order;
           Alcotest.test_case "FIFO ties" `Quick test_queue_fifo_ties;
           Alcotest.test_case "size and peek" `Quick test_queue_size;
+          Alcotest.test_case "interleaved add/pop" `Quick test_queue_interleaved;
           QCheck_alcotest.to_alcotest prop_queue_sorted;
+          QCheck_alcotest.to_alcotest prop_queue_interleaved_model;
         ] );
       ( "engine",
         [

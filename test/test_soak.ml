@@ -7,7 +7,11 @@
    harness (trace checkers + the post-stabilization delivery bound) and
    prints the failing seed on any violation, so a failure reproduces with
    `gcs nemesis --seed N`. N defaults small; set GCS_SOAK_ITERS to scale
-   it up. *)
+   it up.
+
+   Independent seeded runs fan out over a Gcs_stdx.Pool (GCS_JOBS worker
+   domains, default 1). Each run owns its PRNG, so the checked outcomes
+   are identical at any job count. *)
 
 open Gcs_core
 open Gcs_impl
@@ -60,7 +64,7 @@ let workload count spacing =
     procs
 
 let test_soak_end_to_end () =
-  List.iter
+  Gcs_stdx.Pool.iter
     (fun seed ->
       let prng = Gcs_stdx.Prng.create (seed * 31) in
       let failures =
@@ -142,29 +146,31 @@ let test_soak_nemesis_schedules () =
   (* N seeded random nemesis schedules through the full harness. Any
      checker or delivery-bound violation fails with the seed printed —
      reproduce with `gcs nemesis --seed N -n 7 --pi 11 --mu 13`. *)
-  for i = 0 to soak_iters - 1 do
-    let seed = 101 + (i * 97) in
-    let scenario =
-      Gcs_nemesis.Gen.scenario ~procs ~events:(8 + (i mod 5)) ~seed ()
-    in
-    let outcome = Gcs_nemesis.Harness.run ~config ~seed scenario in
-    if not (Gcs_nemesis.Harness.passed outcome) then
-      Alcotest.failf "nemesis soak FAILING SEED %d: %s" seed
-        (Gcs_nemesis.Harness.to_json outcome)
-  done
+  Gcs_stdx.Pool.iter
+    (fun i ->
+      let seed = 101 + (i * 97) in
+      let scenario =
+        Gcs_nemesis.Gen.scenario ~procs ~events:(8 + (i mod 5)) ~seed ()
+      in
+      let outcome = Gcs_nemesis.Harness.run ~config ~seed scenario in
+      if not (Gcs_nemesis.Harness.passed outcome) then
+        Alcotest.failf "nemesis soak FAILING SEED %d: %s" seed
+          (Gcs_nemesis.Harness.to_json outcome))
+    (List.init soak_iters (fun i -> i))
 
 let test_soak_nemesis_vs_ring () =
-  for i = 0 to ((soak_iters + 1) / 2) - 1 do
-    let seed = 211 + (i * 89) in
-    let scenario = Gcs_nemesis.Gen.scenario ~procs ~events:8 ~seed () in
-    let outcome =
-      Gcs_nemesis.Harness.run_vs_ring ~config:vs_config ~seed scenario
-    in
-    match outcome.Gcs_nemesis.Harness.vs_ring_conformance with
-    | Ok () -> ()
-    | Error e ->
-        Alcotest.failf "nemesis VS-ring soak FAILING SEED %d: %s" seed e
-  done
+  Gcs_stdx.Pool.iter
+    (fun i ->
+      let seed = 211 + (i * 89) in
+      let scenario = Gcs_nemesis.Gen.scenario ~procs ~events:8 ~seed () in
+      let outcome =
+        Gcs_nemesis.Harness.run_vs_ring ~config:vs_config ~seed scenario
+      in
+      match outcome.Gcs_nemesis.Harness.vs_ring_conformance with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "nemesis VS-ring soak FAILING SEED %d: %s" seed e)
+    (List.init ((soak_iters + 1) / 2) (fun i -> i))
 
 let () =
   Alcotest.run "soak"

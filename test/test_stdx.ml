@@ -91,6 +91,80 @@ let test_prng_pick_shuffle () =
   Alcotest.(check (list int)) "shuffle is a permutation" xs
     (List.sort Int.compare shuffled)
 
+(* ---------------- Ixq: int-indexed persistent queue ---------------- *)
+
+let test_ixq_basics () =
+  let q = List.fold_left Ixq.snoc Ixq.empty [ 10; 20; 30 ] in
+  Alcotest.(check int) "length" 3 (Ixq.length q);
+  Alcotest.(check bool) "not empty" false (Ixq.is_empty q);
+  Alcotest.(check bool) "empty is empty" true (Ixq.is_empty Ixq.empty);
+  Alcotest.(check (option int)) "nth1 1" (Some 10) (Ixq.nth1 q 1);
+  Alcotest.(check (option int)) "nth1 3" (Some 30) (Ixq.nth1 q 3);
+  Alcotest.(check (option int)) "nth1 0" None (Ixq.nth1 q 0);
+  Alcotest.(check (option int)) "nth1 past end" None (Ixq.nth1 q 4);
+  Alcotest.(check (option int)) "last" (Some 30) (Ixq.last q);
+  Alcotest.(check (option int)) "last of empty" None (Ixq.last Ixq.empty);
+  Alcotest.(check (list int)) "to_list" [ 10; 20; 30 ] (Ixq.to_list q);
+  Alcotest.(check (list int)) "prefix 2" [ 10; 20 ] (Ixq.prefix 2 q);
+  Alcotest.(check (list int)) "prefix 0" [] (Ixq.prefix 0 q);
+  Alcotest.(check (list int)) "prefix beyond" [ 10; 20; 30 ] (Ixq.prefix 9 q)
+
+let test_ixq_persistence () =
+  (* snoc never mutates: the original survives extension. *)
+  let q2 = Ixq.snoc (Ixq.snoc Ixq.empty 1) 2 in
+  let _q3 = Ixq.snoc q2 3 in
+  Alcotest.(check (list int)) "old version intact" [ 1; 2 ] (Ixq.to_list q2)
+
+let prop_ixq_models_list =
+  QCheck.Test.make ~name:"Ixq.of_list round-trips and indexes like a list"
+    ~count:300
+    QCheck.(list small_int)
+    (fun xs ->
+      let q = Ixq.of_list xs in
+      Ixq.to_list q = xs
+      && Ixq.length q = List.length xs
+      && List.for_all
+           (fun i -> Ixq.nth1 q (i + 1) = Some (List.nth xs i))
+           (List.init (List.length xs) (fun i -> i))
+      && Ixq.fold (fun acc x -> x :: acc) [] q = List.rev xs)
+
+(* ---------------- Fq: persistent FIFO ---------------- *)
+
+let test_fq_basics () =
+  let q = List.fold_left Fq.push Fq.empty [ 1; 2; 3 ] in
+  Alcotest.(check int) "length" 3 (Fq.length q);
+  Alcotest.(check (option int)) "peek" (Some 1) (Fq.peek q);
+  (match Fq.pop q with
+  | Some (1, q') ->
+      Alcotest.(check (list int)) "rest after pop" [ 2; 3 ] (Fq.to_list q');
+      (* Persistence: popping q' does not disturb q. *)
+      ignore (Fq.pop q');
+      Alcotest.(check (list int)) "original intact" [ 1; 2; 3 ] (Fq.to_list q)
+  | _ -> Alcotest.fail "pop returned wrong head");
+  Alcotest.(check bool) "pop empty" true (Fq.pop Fq.empty = None);
+  Alcotest.(check bool) "peek empty" true (Fq.peek Fq.empty = None)
+
+let prop_fq_is_fifo =
+  (* Interpret booleans as push(counter++) / pop and compare against a
+     plain list model throughout the walk. *)
+  QCheck.Test.make ~name:"Fq behaves like a list FIFO under random ops"
+    ~count:300
+    QCheck.(list bool)
+    (fun ops ->
+      let step (q, model, n, ok) push =
+        if not ok then (q, model, n, false)
+        else if push then (Fq.push q n, model @ [ n ], n + 1, true)
+        else
+          match (Fq.pop q, model) with
+          | None, [] -> (q, model, n, true)
+          | Some (x, q'), m :: rest -> (q', rest, n, x = m)
+          | Some _, [] | None, _ :: _ -> (q, model, n, false)
+      in
+      let q, model, _, ok =
+        List.fold_left step (Fq.empty, [], 0, true) ops
+      in
+      ok && Fq.to_list q = model && Fq.length q = List.length model)
+
 let prop_lub_is_upper_bound =
   QCheck.Test.make ~name:"lub bounds all consistent prefixes" ~count:200
     QCheck.(list_of_size (Gen.int_bound 40) small_int)
@@ -128,7 +202,19 @@ let () =
           Alcotest.test_case "bounds" `Quick test_prng_bounds;
           Alcotest.test_case "pick/shuffle" `Quick test_prng_pick_shuffle;
         ] );
+      ( "ixq",
+        [
+          Alcotest.test_case "basics" `Quick test_ixq_basics;
+          Alcotest.test_case "persistence" `Quick test_ixq_persistence;
+        ] );
+      ( "fq",
+        [ Alcotest.test_case "basics" `Quick test_fq_basics ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_lub_is_upper_bound; prop_take_drop_append ] );
+          [
+            prop_lub_is_upper_bound;
+            prop_take_drop_append;
+            prop_ixq_models_list;
+            prop_fq_is_fifo;
+          ] );
     ]
