@@ -819,6 +819,48 @@ let x17 () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* X18: observability — the full metrics registry of one nemesis run
+   (the split-heal scenario), embedded in the JSON results so downstream
+   tooling reads run metrics and bench rows from one file. *)
+
+let rec j_of_jsonx = function
+  | Gcs_stdx.Jsonx.Null -> J.Null
+  | Gcs_stdx.Jsonx.Bool b -> J.Bool b
+  | Gcs_stdx.Jsonx.Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then J.Int (int_of_float f)
+      else J.num f
+  | Gcs_stdx.Jsonx.Str s -> J.Str s
+  | Gcs_stdx.Jsonx.Arr xs -> J.Arr (List.map j_of_jsonx xs)
+  | Gcs_stdx.Jsonx.Obj fields ->
+      J.Obj (List.map (fun (k, v) -> (k, j_of_jsonx v)) fields)
+
+let x18 () =
+  let n = 5 in
+  let vs_config = mk_vs_config n in
+  let config = To_service.make_config vs_config in
+  let procs = vs_config.Vs_node.procs in
+  let scenario =
+    Option.get (Gcs_nemesis.Scenario.find_builtin ~procs "split-heal")
+  in
+  let outcome = Gcs_nemesis.Harness.run ~config ~seed:1 scenario in
+  let metrics = outcome.Gcs_nemesis.Harness.metrics in
+  Format.printf "%a@." Gcs_stdx.Metrics.pp metrics;
+  let metrics_j =
+    match Gcs_stdx.Jsonx.of_string (Gcs_stdx.Metrics.to_json metrics) with
+    | Ok v -> j_of_jsonx v
+    | Error e -> J.Str ("unparseable metrics snapshot: " ^ e)
+  in
+  [
+    J.Obj
+      [
+        ("scenario", J.Str "split-heal");
+        ("seed", J.Int 1);
+        ("passed", J.Bool (Gcs_nemesis.Harness.passed outcome));
+        ("metrics", metrics_j);
+      ];
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* M: bechamel micro-benchmarks (M1–M7: core machinery; M8: incremental
    checker throughput at growing trace lengths; M9: pool dispatch
    overhead). *)
@@ -979,6 +1021,7 @@ let () =
     | a :: b :: rest -> if a = flag then Some b else opt_of flag (b :: rest)
   in
   let json_file = opt_of "--json" args in
+  let drift_baseline = opt_of "--check-drift" args in
   jobs :=
     (match opt_of "--jobs" args with
     | Some s -> (
@@ -1003,6 +1046,7 @@ let () =
   section "X14" "membership protocol ablation (stabilization after heal)" x14;
   section "X16" "offered load sweep (n=5)" x16;
   section "X17" "throughput under nemesis schedules (n=5)" x17;
+  section "X18" "observability: metrics registry of a nemesis run" x18;
   if not quick then
     section "M" "micro-benchmarks (bechamel; time per run)" micro;
   (match json_file with
@@ -1038,4 +1082,65 @@ let () =
       output_string oc "\n";
       close_out oc;
       Printf.printf "\nwrote %s\n" file);
+  (* --check-drift BASELINE.json: compare each section wall clock with the
+     committed baseline; fail on a >3x regression. Very short sections are
+     floored at 50ms before comparing — their timings are dominated by
+     noise. Sections absent from the baseline (new since it was recorded)
+     are reported and skipped. *)
+  (match drift_baseline with
+  | None -> ()
+  | Some file ->
+      let contents =
+        let ic = open_in file in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+      in
+      let open Gcs_stdx.Jsonx in
+      let baseline_walls =
+        match of_string contents with
+        | Error e ->
+            Printf.eprintf "error: cannot parse %s: %s\n" file e;
+            exit 2
+        | Ok json ->
+            let sections =
+              Option.bind (member "sections" json) to_list
+              |> Option.value ~default:[]
+            in
+            List.filter_map
+              (fun s ->
+                match
+                  ( Option.bind (member "id" s) to_string,
+                    Option.bind (member "wall_clock_s" s) to_float )
+                with
+                | Some id, Some w -> Some (id, w)
+                | _ -> None)
+              sections
+      in
+      let floor_s = 0.05 in
+      let regressions = ref 0 in
+      Printf.printf "\ndrift check against %s (3x tolerance, %.0fms floor):\n"
+        file (floor_s *. 1000.0);
+      List.iter
+        (fun s ->
+          match List.assoc_opt s.id baseline_walls with
+          | None ->
+              Printf.printf "  %-4s no baseline (new section), skipped\n" s.id
+          | Some base ->
+              let allowed = 3.0 *. Float.max base floor_s in
+              if s.wall_s > allowed then begin
+                incr regressions;
+                Printf.printf
+                  "  %-4s REGRESSED: %.3fs vs baseline %.3fs (allowed %.3fs)\n"
+                  s.id s.wall_s base allowed
+              end
+              else
+                Printf.printf "  %-4s ok: %.3fs vs baseline %.3fs\n" s.id
+                  s.wall_s base)
+        (List.rev !recorded);
+      if !regressions > 0 then begin
+        Printf.printf "%d section(s) regressed >3x.\n" !regressions;
+        exit 1
+      end);
   Printf.printf "\ndone.\n"

@@ -7,7 +7,9 @@
                    trace and simulation checking
      gcs nemesis — run the fault-injection harness: a named scenario or a
                    seed-reproducible random schedule, checked end to end
-     gcs soak    — a batch of random nemesis schedules on a domain pool *)
+     gcs soak    — a batch of random nemesis schedules on a domain pool
+     gcs metrics — run one schedule and print its metrics registry
+     gcs timeline— ASCII timeline of a schedule: statuses, views, traffic *)
 
 open Cmdliner
 open Gcs_core
@@ -234,18 +236,45 @@ let run_cmd =
       $ partition_arg $ split_arg $ heal_arg $ messages_arg $ timeline_arg
       $ dump_arg)
 
+(* Shared by nemesis / metrics / timeline: an optional built-in scenario
+   name, falling back to the seed-generated random schedule. *)
+let scenario_pos_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"SCENARIO"
+        ~doc:
+          "Built-in scenario name (see gcs nemesis --list). Omit to run a \
+           random schedule generated from --seed.")
+
+let events_arg =
+  Arg.(
+    value & opt int 12
+    & info [ "events" ] ~docv:"K"
+        ~doc:"Fault injections in a random schedule.")
+
+let until_opt_arg =
+  Arg.(
+    value & opt float (-1.0)
+    & info [ "until" ] ~docv:"T"
+        ~doc:
+          "Simulated time horizon (negative: stabilization + b' + d' + \
+           slack, the shortest horizon at which the delivery bound is \
+           enforceable).")
+
+let resolve_scenario ~procs ~events ~seed = function
+  | None -> Gcs_nemesis.Gen.scenario ~procs ~events ~seed ()
+  | Some name -> (
+      match Gcs_nemesis.Scenario.find_builtin ~procs name with
+      | Some s -> s
+      | None ->
+          Printf.eprintf
+            "error: unknown scenario %s (try gcs nemesis --list)\n" name;
+          exit 2)
+
 (* ------------------------------ nemesis ----------------------------- *)
 
 let nemesis_cmd =
-  let scenario_arg =
-    Arg.(
-      value
-      & pos 0 (some string) None
-      & info [] ~docv:"SCENARIO"
-          ~doc:
-            "Built-in scenario name (see --list). Omit to run a random \
-             schedule generated from --seed.")
-  in
   let list_arg =
     Arg.(value & flag & info [ "list" ] ~doc:"List built-in scenarios.")
   in
@@ -254,20 +283,13 @@ let nemesis_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print the outcome as a single JSON object.")
   in
-  let events_arg =
+  let metrics_arg =
     Arg.(
-      value & opt int 12
-      & info [ "events" ] ~docv:"K"
-          ~doc:"Fault injections in a random schedule.")
-  in
-  let until_opt_arg =
-    Arg.(
-      value & opt float (-1.0)
-      & info [ "until" ] ~docv:"T"
+      value & flag
+      & info [ "metrics" ]
           ~doc:
-            "Simulated time horizon (negative: stabilization + b' + d' + \
-             slack, the shortest horizon at which the delivery bound is \
-             enforceable).")
+            "Include the run's metrics registry: as a \"metrics\" member \
+             with --json, as a table otherwise.")
   in
   let count_arg =
     Arg.(
@@ -278,7 +300,8 @@ let nemesis_cmd =
              --jobs domains). With a named scenario, the same scenario is \
              rerun under each seed.")
   in
-  let run n delta pi mu seed scenario list json events until count jobs =
+  let run n delta pi mu seed scenario list json metrics events until count jobs
+      =
     let vs_config = mk_config n delta pi mu in
     let config = To_service.make_config vs_config in
     let procs = vs_config.Vs_node.procs in
@@ -292,15 +315,9 @@ let nemesis_cmd =
     else begin
       let until = if until < 0.0 then None else Some until in
       let builtin =
-        match scenario with
-        | None -> None
-        | Some name -> (
-            match Gcs_nemesis.Scenario.find_builtin ~procs name with
-            | Some s -> Some s
-            | None ->
-                Printf.eprintf
-                  "error: unknown scenario %s (try gcs nemesis --list)\n" name;
-                exit 2)
+        Option.map
+          (fun name -> resolve_scenario ~procs ~events ~seed (Some name))
+          scenario
       in
       if count <= 1 then begin
         let scenario =
@@ -309,10 +326,16 @@ let nemesis_cmd =
           | None -> Gcs_nemesis.Gen.scenario ~procs ~events ~seed ()
         in
         let outcome = Gcs_nemesis.Harness.run ~config ?until ~seed scenario in
-        if json then print_endline (Gcs_nemesis.Harness.to_json outcome)
+        if json then
+          print_endline
+            (if metrics then Gcs_nemesis.Harness.to_json_with_metrics outcome
+             else Gcs_nemesis.Harness.to_json outcome)
         else begin
           Format.printf "%a@." Gcs_nemesis.Scenario.pp scenario;
           Format.printf "%a@." Gcs_nemesis.Harness.pp outcome;
+          if metrics then
+            Format.printf "%a@." Gcs_stdx.Metrics.pp
+              outcome.Gcs_nemesis.Harness.metrics;
           Printf.printf "reproduce with: gcs nemesis%s --seed %d -n %d\n"
             (match scenario.Gcs_nemesis.Scenario.name with
             | name
@@ -342,7 +365,10 @@ let nemesis_cmd =
         in
         if json then
           List.iter
-            (fun o -> print_endline (Gcs_nemesis.Harness.to_json o))
+            (fun o ->
+              print_endline
+                (if metrics then Gcs_nemesis.Harness.to_json_with_metrics o
+                 else Gcs_nemesis.Harness.to_json o))
             outcomes
         else begin
           List.iter
@@ -354,7 +380,11 @@ let nemesis_cmd =
                 (if Gcs_nemesis.Harness.passed o then "PASS" else "FAIL"))
             outcomes;
           List.iter
-            (fun o -> Format.printf "%a@." Gcs_nemesis.Harness.pp o)
+            (fun o ->
+              Format.printf "%a@." Gcs_nemesis.Harness.pp o;
+              Printf.printf "FAILING SEED %d metrics: %s\n"
+                o.Gcs_nemesis.Harness.seed
+                (Gcs_stdx.Metrics.to_json o.Gcs_nemesis.Harness.metrics))
             failed;
           Printf.printf "%d/%d schedules passed (jobs=%d)\n"
             (List.length outcomes - List.length failed)
@@ -372,8 +402,9 @@ let nemesis_cmd =
           service, checked against both trace checkers and the \
           post-stabilization delivery bound (Theorem 7.2).")
     Term.(
-      const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg $ scenario_arg
-      $ list_arg $ json_arg $ events_arg $ until_opt_arg $ count_arg $ jobs_arg)
+      const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg
+      $ scenario_pos_arg $ list_arg $ json_arg $ metrics_arg $ events_arg
+      $ until_opt_arg $ count_arg $ jobs_arg)
 
 (* ------------------------------- soak ------------------------------- *)
 
@@ -383,7 +414,7 @@ let soak_cmd =
       value & opt int 20
       & info [ "iters" ] ~docv:"K" ~doc:"Number of random schedules.")
   in
-  let events_arg =
+  let soak_events_arg =
     Arg.(
       value & opt int 0
       & info [ "events" ] ~docv:"E"
@@ -418,7 +449,13 @@ let soak_cmd =
           o.Gcs_nemesis.Harness.deliveries
           (if Gcs_nemesis.Harness.passed o then "PASS" else "FAIL"))
       outcomes;
-    List.iter (fun o -> Format.printf "%a@." Gcs_nemesis.Harness.pp o) failed;
+    List.iter
+      (fun o ->
+        Format.printf "%a@." Gcs_nemesis.Harness.pp o;
+        Printf.printf "FAILING SEED %d metrics: %s\n"
+          o.Gcs_nemesis.Harness.seed
+          (Gcs_stdx.Metrics.to_json o.Gcs_nemesis.Harness.metrics))
+      failed;
     Printf.printf "%d/%d schedules passed in %.2fs (jobs=%d)\n"
       (iters - List.length failed)
       iters wall jobs;
@@ -433,7 +470,83 @@ let soak_cmd =
           bound. Exits 1 if any schedule fails.")
     Term.(
       const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg $ iters_arg
-      $ events_arg $ jobs_arg)
+      $ soak_events_arg $ jobs_arg)
+
+(* ------------------------------ metrics ----------------------------- *)
+
+let metrics_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the registry as a single JSON object.")
+  in
+  let run n delta pi mu seed scenario events until json =
+    let vs_config = mk_config n delta pi mu in
+    let config = To_service.make_config vs_config in
+    let procs = vs_config.Vs_node.procs in
+    let until = if until < 0.0 then None else Some until in
+    let scenario = resolve_scenario ~procs ~events ~seed scenario in
+    let outcome = Gcs_nemesis.Harness.run ~config ?until ~seed scenario in
+    if json then
+      print_endline
+        (Gcs_stdx.Metrics.to_json outcome.Gcs_nemesis.Harness.metrics)
+    else begin
+      Printf.printf "scenario %s (seed %d), simulated until t=%.1f\n"
+        outcome.Gcs_nemesis.Harness.scenario.Gcs_nemesis.Scenario.name seed
+        outcome.Gcs_nemesis.Harness.until;
+      Format.printf "%a@." Gcs_stdx.Metrics.pp
+        outcome.Gcs_nemesis.Harness.metrics
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run one nemesis schedule (built-in or seed-generated) through the \
+          end-to-end TO service and print its metrics registry: engine \
+          packet/event counters per link status, VS views/tokens/membership \
+          rounds, TO bcast-to-brcv latency histogram, and the harness's \
+          pre/post-stabilization workload split.")
+    Term.(
+      const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg
+      $ scenario_pos_arg $ events_arg $ until_opt_arg $ json_arg)
+
+(* ------------------------------ timeline ---------------------------- *)
+
+let timeline_cmd =
+  let width_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "width" ] ~docv:"COLS" ~doc:"Timeline width in characters.")
+  in
+  let run n delta pi mu seed scenario events until width =
+    let vs_config = mk_config n delta pi mu in
+    let config = To_service.make_config vs_config in
+    let procs = vs_config.Vs_node.procs in
+    let scenario = resolve_scenario ~procs ~events ~seed scenario in
+    let until =
+      if until < 0.0 then Gcs_nemesis.Harness.default_until ~config scenario
+      else until
+    in
+    let workload = Gcs_nemesis.Harness.default_workload ~procs () in
+    let failures = Gcs_nemesis.Scenario.compile ~procs scenario in
+    let run = To_service.run config ~workload ~failures ~until ~seed in
+    Format.printf "%a@." Gcs_nemesis.Scenario.pp scenario;
+    print_string (Gcs_apps.Timeline.of_to_service_run ~procs ~width ~until run);
+    Printf.printf
+      "legend: s bcast, + delivery, V newview; ! on the net row marks a \
+       failure-status change; stabilization l=%.1f\n"
+      (Gcs_nemesis.Scenario.stabilization_time scenario)
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Draw an ASCII timeline of one nemesis schedule (built-in or \
+          seed-generated): one row per processor with submissions, \
+          deliveries and view installations, plus a net row of \
+          failure-status changes.")
+    Term.(
+      const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg
+      $ scenario_pos_arg $ events_arg $ until_opt_arg $ width_arg)
 
 (* ------------------------------- spec ------------------------------- *)
 
@@ -583,4 +696,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gcs" ~doc)
-          [ bounds_cmd; run_cmd; spec_cmd; check_cmd; nemesis_cmd; soak_cmd ]))
+          [
+            bounds_cmd;
+            run_cmd;
+            spec_cmd;
+            check_cmd;
+            nemesis_cmd;
+            soak_cmd;
+            metrics_cmd;
+            timeline_cmd;
+          ]))

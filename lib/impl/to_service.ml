@@ -30,6 +30,7 @@ type run = {
   packets_sent : int;
   packets_dropped : int;
   events_processed : int;
+  metrics : Gcs_stdx.Metrics.t;
 }
 
 (* Timer id for stable-storage write completion (Vs_node uses 1-4). *)
@@ -124,8 +125,8 @@ let submit config me value node =
   let node, drained = drain config me { node with app } in
   (node, drained)
 
-let handlers config =
-  let vs_handlers = Vs_node.handlers config.vs in
+let handlers ?metrics config =
+  let vs_handlers = Vs_node.handlers ?metrics config.vs in
   let on_start me node =
     lift_vs config me (vs_handlers.Engine.on_start me) node
   in
@@ -176,27 +177,58 @@ let initial config me =
     staging = [];
   }
 
-let run ?engine config ~workload ~failures ~until ~seed =
+(* Walk the client trace after the run and fill in the TO-level metrics:
+   bcast/brcv counts and the per-delivery bcastâbrcv latency histogram.
+   Post-run is simpler than instrumenting the drain path (which has no
+   [now] in scope) and equally deterministic: the trace is already in
+   time order. *)
+let record_to_metrics metrics trace =
+  let bcast_time = Hashtbl.create 64 in
+  List.iter
+    (fun (time, action) ->
+      match action with
+      | To_action.Bcast (_, value) ->
+          Gcs_stdx.Metrics.incr metrics "to.bcasts";
+          if not (Hashtbl.mem bcast_time value) then
+            Hashtbl.add bcast_time value time
+      | To_action.Brcv { value; _ } -> (
+          Gcs_stdx.Metrics.incr metrics "to.deliveries";
+          match Hashtbl.find_opt bcast_time value with
+          | Some t0 ->
+              Gcs_stdx.Metrics.observe metrics "to.bcast_brcv_latency"
+                (time -. t0)
+          | None -> ())
+      | _ -> ())
+    (Timed.actions trace)
+
+let client_trace_of trace =
+  Timed.map (function Client a -> Some a | Vs_layer _ -> None) trace
+
+let run ?metrics ?engine config ~workload ~failures ~until ~seed =
+  let metrics =
+    match metrics with Some m -> m | None -> Gcs_stdx.Metrics.create ()
+  in
   let engine_config =
     match engine with
     | Some c -> c
     | None -> Gcs_sim.Engine.default_config ~delta:config.vs.Vs_node.delta
   in
   let result =
-    Engine.run engine_config ~procs:config.vs.Vs_node.procs
-      ~handlers:(handlers config) ~init:(initial config) ~inputs:workload
-      ~failures ~until
+    Engine.run ~metrics engine_config ~procs:config.vs.Vs_node.procs
+      ~handlers:(handlers ~metrics config) ~init:(initial config)
+      ~inputs:workload ~failures ~until
       ~prng:(Gcs_stdx.Prng.create seed)
   in
+  record_to_metrics metrics (client_trace_of result.Engine.trace);
   {
     trace = result.Engine.trace;
     packets_sent = result.Engine.packets_sent;
     packets_dropped = result.Engine.packets_dropped;
     events_processed = result.Engine.events_processed;
+    metrics;
   }
 
-let client_trace r =
-  Timed.map (function Client a -> Some a | Vs_layer _ -> None) r.trace
+let client_trace r = client_trace_of r.trace
 
 let vs_trace r =
   Timed.map (function Vs_layer a -> Some a | Client _ -> None) r.trace

@@ -38,7 +38,9 @@ type node
 val initial : config -> Proc.t -> node
 
 val handlers :
-  config -> (node, Value.t, Msg.t Wire.packet, out) Gcs_sim.Engine.handlers
+  ?metrics:Gcs_stdx.Metrics.t ->
+  config ->
+  (node, Value.t, Msg.t Wire.packet, out) Gcs_sim.Engine.handlers
 (** Exposed so layers can stack on top (see [Gcs_apps.Session]). *)
 
 type run = {
@@ -46,9 +48,15 @@ type run = {
   packets_sent : int;
   packets_dropped : int;
   events_processed : int;
+  metrics : Gcs_stdx.Metrics.t;
+      (** the registry passed to {!run} (or a fresh one) with [engine.*],
+          [vs.*] and [to.*] sections filled in â including the
+          per-delivery bcastâbrcv latency histogram
+          [to.bcast_brcv_latency] *)
 }
 
 val run :
+  ?metrics:Gcs_stdx.Metrics.t ->
   ?engine:Gcs_sim.Engine.config ->
   config ->
   workload:(float * Proc.t * Value.t) list ->

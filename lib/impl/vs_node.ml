@@ -117,13 +117,22 @@ let estimated_members config ~now state =
          | None -> false)
        config.procs
 
+(* ---------------- metrics ---------------- *)
+
+(* The registry is optional at every layer: a [None] keeps the hot path
+   allocation-free, and a [Some m] is the per-run registry the engine was
+   given, shared by all processors of the run. *)
+let count metrics name =
+  match metrics with None -> () | Some m -> Gcs_stdx.Metrics.incr m name
+
 (* ---------------- membership protocol ---------------- *)
 
-let maybe_initiate ?(protocol = Three_round) config ~now state =
+let maybe_initiate ?metrics ?(protocol = Three_round) config ~now state =
   if state.forming <> None then (state, [])
   else if now -. state.last_initiation < formation_debounce config then
     (state, [])
   else
+    let () = count metrics "vs.membership_rounds" in
     let num = state.max_num_seen + 1 in
     let viewid = View_id.make ~num ~origin:state.me in
     match protocol with
@@ -175,8 +184,21 @@ let maybe_initiate ?(protocol = Three_round) config ~now state =
 let map_get_zero m p =
   match Proc.Map.find_opt p m with Some x -> x | None -> 0
 
-let process_token config ~now ~launching state (tok : 'm Wire.token) =
-  let view = Option.get state.current in
+let process_token ?metrics config ~now ~launching state (tok : 'm Wire.token) =
+  let view =
+    match state.current with
+    | Some v -> v
+    | None ->
+        (* Every caller matches on [state.current] first, so a [None] here
+           is a protocol-logic bug; report which processor and when
+           instead of an anonymous [Option.get] crash. *)
+        invalid_arg
+          (Printf.sprintf
+             "Vs_node: invariant violation at proc %d, t=%.3f: processing \
+              token for view %s with no current view"
+             state.me now
+             (Format.asprintf "%a" View_id.pp tok.Wire.viewid))
+  in
   let members = view.View.set in
   (* (1) append my unappended client messages *)
   let already = map_get_zero tok.Wire.appended state.me in
@@ -250,6 +272,7 @@ let process_token config ~now ~launching state (tok : 'm Wire.token) =
   in
   if am_leader && not launching then
     (* Absorb; relaunch so that token creations are spaced by pi. *)
+    let () = count metrics "vs.token_roundtrips" in
     let delay = max (config.delta /. 100.0) (state.last_launch +. config.pi -. now) in
     ( { state with stored_token = Some tok; token_outstanding = false },
       deliveries @ safes
@@ -260,7 +283,7 @@ let process_token config ~now ~launching state (tok : 'm Wire.token) =
       deliveries @ safes
       @ [ rearm; Engine.Send { dst = next; packet = Wire.Token tok } ] )
 
-let launch_token config ~now state =
+let launch_token ?metrics config ~now state =
   match state.current with
   | None -> (state, [])
   | Some view ->
@@ -274,6 +297,7 @@ let launch_token config ~now state =
           | Some t when View_id.equal t.Wire.viewid view.View.id -> t
           | _ -> Wire.fresh_token view.View.id
         in
+        count metrics "vs.tokens_launched";
         let state =
           {
             state with
@@ -282,11 +306,12 @@ let launch_token config ~now state =
             last_launch = now;
           }
         in
-        process_token config ~now ~launching:true state tok
+        process_token ?metrics config ~now ~launching:true state tok
 
 (* ---------------- view installation ---------------- *)
 
-let install config ~now state (view : View.t) =
+let install ?metrics config ~now state (view : View.t) =
+  count metrics "vs.views_installed";
   let state =
     {
       state with
@@ -306,7 +331,7 @@ let install config ~now state (view : View.t) =
     Engine.Set_timer { id = timer_token_timeout; delay = token_timeout config }
   in
   if Proc.equal (leader_of view) state.me then
-    let state, launch_effects = launch_token config ~now state in
+    let state, launch_effects = launch_token ?metrics config ~now state in
     (state, (cancel_launch :: announce :: rearm :: launch_effects))
   else (state, [ cancel_launch; announce; rearm ])
 
@@ -326,7 +351,7 @@ let probe_targets ?(protocol = Three_round) config state =
             List.filter (fun p -> not (View.mem p view)) config.procs
           else [])
 
-let on_start config me state =
+let on_start ?metrics config me state =
   ignore me;
   let probe =
     Engine.Set_timer
@@ -343,7 +368,7 @@ let on_start config me state =
           { id = timer_token_timeout; delay = token_timeout config }
       in
       if Proc.equal (leader_of view) state.me then
-        let state, effects = launch_token config ~now:0.0 state in
+        let state, effects = launch_token ?metrics config ~now:0.0 state in
         (state, (probe :: rearm :: effects))
       else (state, [ probe; rearm ])
 
@@ -354,7 +379,7 @@ let on_input _config me ~now:_ msg state =
   | None -> (state, [ out ])
   | Some _ -> ({ state with outbuf = state.outbuf @ [ msg ] }, [ out ])
 
-let on_packet ?(protocol = Three_round) config me ~now ~src packet state =
+let on_packet ?metrics ?(protocol = Three_round) config me ~now ~src packet state =
   ignore me;
   let state = heard state ~now src in
   match packet with
@@ -385,26 +410,26 @@ let on_packet ?(protocol = Three_round) config me ~now ~src packet state =
         View.mem state.me view
         && View_id.lt_opt current_id (Some view.View.id)
         && View_id.le_opt state.proposed (Some view.View.id)
-      then install config ~now state view
+      then install ?metrics config ~now state view
       else (state, [])
   | Wire.Token tok -> (
       let state = seen_num state tok.Wire.viewid.View_id.num in
       match state.current with
       | Some view when View_id.equal view.View.id tok.Wire.viewid ->
-          process_token config ~now ~launching:false state tok
+          process_token ?metrics config ~now ~launching:false state tok
       | _ -> (state, []))
   | Wire.Probe { viewid_num } ->
       let state = seen_num state viewid_num in
       if is_member state src then (state, [])
-      else maybe_initiate ~protocol config ~now state
+      else maybe_initiate ?metrics ~protocol config ~now state
 
-let on_timer ?(protocol = Three_round) config me ~now ~id state =
+let on_timer ?metrics ?(protocol = Three_round) config me ~now ~id state =
   ignore me;
   if id = timer_token_timeout then
     match state.current with
     | None -> (state, [])
     | Some _ ->
-        let state, effects = maybe_initiate ~protocol config ~now state in
+        let state, effects = maybe_initiate ?metrics ~protocol config ~now state in
         ( state,
           effects
           @ [
@@ -432,15 +457,15 @@ let on_timer ?(protocol = Three_round) config me ~now ~id state =
             (Proc.Set.elements responders)
         in
         (state, announcements)
-  else if id = timer_launch then launch_token config ~now state
+  else if id = timer_launch then launch_token ?metrics config ~now state
   else (state, [])
 
-let handlers ?(protocol = Three_round) config =
+let handlers ?metrics ?(protocol = Three_round) config =
   {
-    Engine.on_start = on_start config;
+    Engine.on_start = on_start ?metrics config;
     on_input = on_input config;
-    on_packet = on_packet ~protocol config;
-    on_timer = on_timer ~protocol config;
+    on_packet = on_packet ?metrics ~protocol config;
+    on_timer = on_timer ?metrics ~protocol config;
   }
 
 let client_send config me msg state = on_input config me ~now:0.0 msg state

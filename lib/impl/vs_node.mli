@@ -36,11 +36,14 @@ type 'm state
 val initial : config -> Proc.t -> 'm state
 
 val handlers :
+  ?metrics:Gcs_stdx.Metrics.t ->
   ?protocol:protocol ->
   config ->
   ('m state, 'm, 'm Wire.packet, 'm Vs_action.t) Gcs_sim.Engine.handlers
 (** Inputs are client messages ([gpsnd]); outputs are VS external
-    actions. *)
+    actions. When [metrics] is given, the node counts [vs.*] events
+    into it: views installed, tokens launched, leader token round-trips
+    and membership rounds initiated. *)
 
 val client_send :
   config ->

@@ -6,17 +6,21 @@ type 'm run = {
   packets_sent : int;
   packets_dropped : int;
   events_processed : int;
+  metrics : Gcs_stdx.Metrics.t;
 }
 
-let run ?engine ?protocol config ~workload ~failures ~until ~seed =
+let run ?metrics ?engine ?protocol config ~workload ~failures ~until ~seed =
+  let metrics =
+    match metrics with Some m -> m | None -> Gcs_stdx.Metrics.create ()
+  in
   let engine_config =
     match engine with
     | Some c -> c
     | None -> Gcs_sim.Engine.default_config ~delta:config.Vs_node.delta
   in
   let result =
-    Gcs_sim.Engine.run engine_config ~procs:config.Vs_node.procs
-      ~handlers:(Vs_node.handlers ?protocol config)
+    Gcs_sim.Engine.run ~metrics engine_config ~procs:config.Vs_node.procs
+      ~handlers:(Vs_node.handlers ~metrics ?protocol config)
       ~init:(Vs_node.initial config)
       ~inputs:workload ~failures ~until
       ~prng:(Gcs_stdx.Prng.create seed)
@@ -27,6 +31,7 @@ let run ?engine ?protocol config ~workload ~failures ~until ~seed =
     packets_sent = result.Gcs_sim.Engine.packets_sent;
     packets_dropped = result.Gcs_sim.Engine.packets_dropped;
     events_processed = result.Gcs_sim.Engine.events_processed;
+    metrics;
   }
 
 let untimed_trace r = List.map snd (Timed.actions r.trace)

@@ -11,9 +11,13 @@ type 'm run = {
   packets_sent : int;
   packets_dropped : int;
   events_processed : int;
+  metrics : Gcs_stdx.Metrics.t;
+      (** the registry passed to {!run} (or a fresh one) with the
+          [engine.*] and [vs.*] sections filled in *)
 }
 
 val run :
+  ?metrics:Gcs_stdx.Metrics.t ->
   ?engine:Gcs_sim.Engine.config ->
   ?protocol:Vs_node.protocol ->
   Vs_node.config ->

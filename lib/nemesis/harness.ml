@@ -14,7 +14,14 @@ type outcome = {
   packets_sent : int;
   packets_dropped : int;
   events_processed : int;
+  metrics : Gcs_stdx.Metrics.t;
 }
+
+(* Extra slack past the theoretical horizon [l + b' + d']: leaves room for
+   workload submitted shortly before stabilization to drain, so the
+   delivery-bound check is not vacuously tight. Shared by the TO and
+   bare-ring harnesses. *)
+let horizon_slack = 60.0
 
 let bounds (config : To_service.config) =
   let vs = config.To_service.vs in
@@ -25,7 +32,7 @@ let bounds (config : To_service.config) =
 
 let default_until ~config scenario =
   let b', d' = bounds config in
-  Scenario.stabilization_time scenario +. b' +. d' +. 60.0
+  Scenario.stabilization_time scenario +. b' +. d' +. horizon_slack
 
 let default_workload ~procs ?(from_time = 10.0) ?(spacing = 15.0) ?(count = 8)
     () =
@@ -37,7 +44,25 @@ let default_workload ~procs ?(from_time = 10.0) ?(spacing = 15.0) ?(count = 8)
             Printf.sprintf "n%d.%d" p k )))
     (List.mapi (fun i p -> (i, p)) procs)
 
-let run ?engine ?workload ~config ?until ~seed scenario =
+(* Split the client-trace bcast/delivery counts at the scenario's
+   stabilization time l, so a snapshot shows how much of the workload ran
+   under faults versus after the final heal. *)
+let record_phase_metrics metrics ~stabilization trace =
+  let count name = Gcs_stdx.Metrics.incr metrics name in
+  List.iter
+    (fun (time, action) ->
+      let phase = if time <= stabilization then "pre" else "post" in
+      match action with
+      | To_action.Bcast _ -> count (Printf.sprintf "harness.bcasts.%s_stabilization" phase)
+      | To_action.Brcv _ ->
+          count (Printf.sprintf "harness.deliveries.%s_stabilization" phase)
+      | _ -> ())
+    (Timed.actions trace)
+
+let run ?metrics ?engine ?workload ~config ?until ~seed scenario =
+  let metrics =
+    match metrics with Some m -> m | None -> Gcs_stdx.Metrics.create ()
+  in
   let procs = config.To_service.vs.Vs_node.procs in
   let until =
     match until with Some u -> u | None -> default_until ~config scenario
@@ -48,7 +73,12 @@ let run ?engine ?workload ~config ?until ~seed scenario =
     | None -> default_workload ~procs ()
   in
   let failures = Scenario.compile ~procs scenario in
-  let run = To_service.run ?engine config ~workload ~failures ~until ~seed in
+  let run =
+    To_service.run ~metrics ?engine config ~workload ~failures ~until ~seed
+  in
+  record_phase_metrics metrics
+    ~stabilization:(Scenario.stabilization_time scenario)
+    (To_service.client_trace run);
   let to_conformance =
     Result.map_error
       (Format.asprintf "%a" To_trace_checker.pp_error)
@@ -86,6 +116,7 @@ let run ?engine ?workload ~config ?until ~seed scenario =
     packets_sent = run.To_service.packets_sent;
     packets_dropped = run.To_service.packets_dropped;
     events_processed = run.To_service.events_processed;
+    metrics;
   }
 
 let run_batch ?jobs ?engine ?workload ~config ?until ?events ~seeds () =
@@ -170,25 +201,38 @@ let to_json outcome =
     bound outcome.bcasts outcome.deliveries outcome.packets_sent
     outcome.packets_dropped outcome.events_processed (passed outcome)
 
+let to_json_with_metrics outcome =
+  let base = to_json outcome in
+  (* [to_json] emits a single flat object; splice the metrics in before
+     the closing brace so consumers see one object. *)
+  Printf.sprintf "%s,\"metrics\":%s}"
+    (String.sub base 0 (String.length base - 1))
+    (Gcs_stdx.Metrics.to_json outcome.metrics)
+
 type vs_outcome = {
   vs_ring_conformance : (unit, string) result;
   views_installed : int;
   ring_deliveries : int;
 }
 
-let run_vs_ring ?protocol ~config ?until ~seed scenario =
+let run_vs_ring ?protocol ?workload ~config ?until ~seed scenario =
   let procs = config.Vs_node.procs in
   let until =
     match until with
     | Some u -> u
     | None ->
         Scenario.stabilization_time scenario
-        +. Vs_node.impl_b config +. Vs_node.impl_d config +. 60.0
+        +. Vs_node.impl_b config +. Vs_node.impl_d config +. horizon_slack
   in
   let workload =
-    List.map
-      (fun (t, p, v) -> (t, p, Printf.sprintf "r%s" v))
-      (default_workload ~procs ())
+    match workload with
+    | Some w -> w
+    | None ->
+        (* Default: the TO harness workload with an "r" prefix so the two
+           layers' values cannot be confused in mixed traces. *)
+        List.map
+          (fun (t, p, v) -> (t, p, Printf.sprintf "r%s" v))
+          (default_workload ~procs ())
   in
   let failures = Scenario.compile ~procs scenario in
   let run =

@@ -28,6 +28,11 @@ type outcome = {
   packets_sent : int;
   packets_dropped : int;
   events_processed : int;
+  metrics : Gcs_stdx.Metrics.t;
+      (** full registry of the run ([engine.*], [vs.*], [to.*]) plus the
+          harness's own [harness.*] counters: bcast/delivery counts split
+          at the scenario stabilization time [l]
+          ([harness.bcasts.pre_stabilization] etc.) *)
 }
 
 val bounds : To_service.config -> float * float
@@ -48,6 +53,7 @@ val default_workload :
 (** Distinct values per origin (required by {!To_property.check}). *)
 
 val run :
+  ?metrics:Gcs_stdx.Metrics.t ->
   ?engine:Gcs_sim.Engine.config ->
   ?workload:(float * Proc.t * Value.t) list ->
   config:To_service.config ->
@@ -75,7 +81,16 @@ val run_batch :
 
 val passed : outcome -> bool
 val pp : Format.formatter -> outcome -> unit
+
 val to_json : outcome -> string
+(** One flat JSON object of the checker-facing fields. Deterministic for
+    a given (scenario, seed): batch runs compare these strings across job
+    counts. *)
+
+val to_json_with_metrics : outcome -> string
+(** {!to_json} with a ["metrics"] member appended: the full
+    {!Gcs_stdx.Metrics.to_json} snapshot. Used by failure dumps and
+    [gcs nemesis --metrics]. *)
 
 (** {2 Impl-layer token ring under a scenario}
 
@@ -90,8 +105,11 @@ type vs_outcome = {
 
 val run_vs_ring :
   ?protocol:Vs_node.protocol ->
+  ?workload:(float * Proc.t * string) list ->
   config:Vs_node.config ->
   ?until:float ->
   seed:int ->
   Scenario.t ->
   vs_outcome
+(** The workload defaults to {!default_workload} with an ["r"] value
+    prefix; a caller-supplied workload is used verbatim. *)

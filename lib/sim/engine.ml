@@ -46,6 +46,7 @@ type ('state, 'out) result = {
   packets_sent : int;
   packets_dropped : int;
   statuses_applied : int;
+  metrics : Gcs_stdx.Metrics.t;
 }
 
 type ('input, 'packet) payload =
@@ -77,6 +78,17 @@ type ('state, 'input, 'packet, 'out) sim = {
   mutable packets_sent : int;
   mutable packets_dropped : int;
   mutable statuses_applied : int;
+  (* Per-status breakdowns for the metrics registry. Kept as plain
+     mutable ints — no hashtable lookups on the per-event hot path — and
+     published into [metrics] once at the end of the run. *)
+  mutable sent_good : int;
+  mutable sent_self : int;
+  mutable sent_ugly : int;
+  mutable dropped_bad : int;
+  mutable dropped_ugly : int;
+  mutable events_held : int;
+  mutable events_delayed_ugly : int;
+  mutable max_queue_depth : int;
   config : config;
   prng : Gcs_stdx.Prng.t;
   handlers : ('state, 'input, 'packet, 'out) handlers;
@@ -104,6 +116,12 @@ let link_delay sim =
     (sim.config.delta /. 2.0)
     +. (Gcs_stdx.Prng.float sim.prng *. sim.config.delta /. 2.0)
   else sim.config.delta
+
+(* The fastest a good link can deliver: δ/2 with jitter, exactly δ
+   without. Ugly-link delays are floored here — an ugly link may delay or
+   drop, but it must never deliver FASTER than a good link, or "degrading"
+   a link would improve its latency for small sampled delays. *)
+let good_link_min config = if config.jitter then config.delta /. 2.0 else config.delta
 
 let schedule sim ~time ev = sim.queue <- Event_queue.add sim.queue ~time ev
 
@@ -135,15 +153,29 @@ let send_packet sim ~now ~src ~dst packet =
     schedule sim ~time
       { target = Some dst; payload = Deliver { src; packet }; delayed_once = false }
   in
-  if Proc.equal src dst then deliver (self_delay sim.config)
+  if Proc.equal src dst then begin
+    sim.sent_self <- sim.sent_self + 1;
+    deliver (self_delay sim.config)
+  end
   else
     match Fstatus.link_status sim.tracker src dst with
-    | Fstatus.Good -> deliver (link_delay sim)
-    | Fstatus.Bad -> sim.packets_dropped <- sim.packets_dropped + 1
+    | Fstatus.Good ->
+        sim.sent_good <- sim.sent_good + 1;
+        deliver (link_delay sim)
+    | Fstatus.Bad ->
+        sim.packets_dropped <- sim.packets_dropped + 1;
+        sim.dropped_bad <- sim.dropped_bad + 1
     | Fstatus.Ugly ->
-        if Gcs_stdx.Prng.float sim.prng < sim.config.ugly_drop_prob then
-          sim.packets_dropped <- sim.packets_dropped + 1
-        else deliver (Gcs_stdx.Prng.float sim.prng *. sim.config.ugly_delay_max)
+        if Gcs_stdx.Prng.float sim.prng < sim.config.ugly_drop_prob then begin
+          sim.packets_dropped <- sim.packets_dropped + 1;
+          sim.dropped_ugly <- sim.dropped_ugly + 1
+        end
+        else begin
+          sim.sent_ugly <- sim.sent_ugly + 1;
+          deliver
+            (max (good_link_min sim.config)
+               (Gcs_stdx.Prng.float sim.prng *. sim.config.ugly_delay_max))
+        end
 
 let apply_effects sim ~now ~proc effects =
   List.iter
@@ -196,7 +228,25 @@ let process_event sim ~now ev =
           release_held sim ~now p
       | _ -> ())
   | Deliver _ | Timer _ | Input _ -> (
-      let proc = Option.get ev.target in
+      let proc =
+        match ev.target with
+        | Some p -> p
+        | None ->
+            (* Only Status events carry [target = None]; reaching this with
+               a processor event means the scheduler put a mis-addressed
+               event in the queue. Name the time and payload kind rather
+               than dying with an anonymous [Option.get]. *)
+            invalid_arg
+              (Printf.sprintf
+                 "Engine: invariant violation at t=%.3f: %s event has no \
+                  target processor"
+                 now
+                 (match ev.payload with
+                 | Deliver _ -> "deliver"
+                 | Timer _ -> "timer"
+                 | Input _ -> "input"
+                 | Status _ -> "status"))
+      in
       match Fstatus.proc_status sim.tracker proc with
       | Fstatus.Bad ->
           let held =
@@ -204,8 +254,10 @@ let process_event sim ~now ev =
             | Some l -> l
             | None -> []
           in
+          sim.events_held <- sim.events_held + 1;
           sim.held <- Proc.Map.add proc (ev :: held) sim.held
       | Fstatus.Ugly when not ev.delayed_once ->
+          sim.events_delayed_ugly <- sim.events_delayed_ugly + 1;
           let delay =
             Gcs_stdx.Prng.float sim.prng *. sim.config.ugly_delay_max
           in
@@ -229,7 +281,10 @@ let process_event sim ~now ev =
           schedule sim ~time { ev with delayed_once = true }
       | Fstatus.Good | Fstatus.Ugly -> handle sim ~now ~proc ev.payload)
 
-let run config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
+let run ?metrics config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
+  let metrics =
+    match metrics with Some m -> m | None -> Gcs_stdx.Metrics.create ()
+  in
   let sim =
     {
       queue = Event_queue.empty;
@@ -246,6 +301,14 @@ let run config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
       packets_sent = 0;
       packets_dropped = 0;
       statuses_applied = 0;
+      sent_good = 0;
+      sent_self = 0;
+      sent_ugly = 0;
+      dropped_bad = 0;
+      dropped_ugly = 0;
+      events_held = 0;
+      events_delayed_ugly = 0;
+      max_queue_depth = 0;
       config;
       prng;
       handlers;
@@ -269,6 +332,8 @@ let run config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
       apply_effects sim ~now:0.0 ~proc effects)
     procs;
   let rec loop () =
+    let depth = Event_queue.size sim.queue in
+    if depth > sim.max_queue_depth then sim.max_queue_depth <- depth;
     match Event_queue.pop sim.queue with
     | None -> ()
     | Some (time, ev, rest) ->
@@ -280,6 +345,20 @@ let run config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
         end
   in
   loop ();
+  let c name v = Gcs_stdx.Metrics.incr ~by:v metrics name in
+  c "engine.events_processed" sim.events_processed;
+  c "engine.statuses_applied" sim.statuses_applied;
+  c "engine.packets_sent" sim.packets_sent;
+  c "engine.packets_dropped" sim.packets_dropped;
+  c "engine.packets_sent.good" sim.sent_good;
+  c "engine.packets_sent.self" sim.sent_self;
+  c "engine.packets_sent.ugly" sim.sent_ugly;
+  c "engine.packets_dropped.bad" sim.dropped_bad;
+  c "engine.packets_dropped.ugly" sim.dropped_ugly;
+  c "engine.events_held.bad" sim.events_held;
+  c "engine.events_delayed.ugly" sim.events_delayed_ugly;
+  Gcs_stdx.Metrics.max_gauge metrics "engine.queue_depth.max"
+    (float_of_int sim.max_queue_depth);
   {
     trace = List.rev sim.trace_rev;
     final_states = sim.states;
@@ -287,4 +366,5 @@ let run config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
     packets_sent = sim.packets_sent;
     packets_dropped = sim.packets_dropped;
     statuses_applied = sim.statuses_applied;
+    metrics;
   }

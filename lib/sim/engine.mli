@@ -10,7 +10,9 @@ open Gcs_core
     - while {e ugly} each event is handled after one extra random delay;
     - a packet sent while the (directed) link is {e good} arrives within
       [delta]; while {e bad} it is dropped; while {e ugly} it is dropped
-      with probability [ugly_drop_prob] or arbitrarily delayed.
+      with probability [ugly_drop_prob] or delayed by up to
+      [ugly_delay_max] — never less than the good-link minimum (δ/2 with
+      jitter, δ without), so a degraded link cannot beat a good one.
 
     Link status is sampled at send time. Self-addressed packets always
     arrive, after a negligible delay.
@@ -66,9 +68,16 @@ type ('state, 'out) result = {
   packets_dropped : int;
   statuses_applied : int;
       (** failure-status events applied from the [failures] schedule *)
+  metrics : Gcs_stdx.Metrics.t;
+      (** the registry passed to {!run} (or a fresh one), with the
+          engine's [engine.*] section filled in: events processed,
+          packets sent/dropped per link status, events held at bad and
+          delayed at ugly processors, and the queue-depth high-water
+          mark *)
 }
 
 val run :
+  ?metrics:Gcs_stdx.Metrics.t ->
   config ->
   procs:Proc.t list ->
   handlers:('state, 'input, 'packet, 'out) handlers ->

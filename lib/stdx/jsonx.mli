@@ -1,0 +1,25 @@
+(** Minimal dependency-free JSON parser.
+
+    Consumes the JSON the harnesses emit ({!Metrics.to_json}, the nemesis
+    outcome JSON, [bench --json] files), for the bench drift check and
+    for round-trip tests of the emitters' escaping. Numbers parse to
+    [float]; [\u]-escaped code points decode to UTF-8. Not a validator:
+    it accepts exactly standard JSON but reports errors by position only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value (trailing whitespace allowed). *)
+
+(** {2 Accessors} — [None] on kind mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_string : t -> string option
+val to_list : t -> t list option

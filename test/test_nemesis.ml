@@ -191,6 +191,112 @@ let contains s sub =
   let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
   go 0
 
+(* Round-trip the emitted JSON through the real parser (Gcs_stdx.Jsonx):
+   scenario names containing every escape class the emitter handles —
+   quotes, backslashes, tabs, CR, LF, other controls — must come back
+   byte-identical, and the numeric fields must parse. *)
+let nasty_names =
+  [
+    "tab\there";
+    "cr\rreturn";
+    "quote\"and\\backslash";
+    "newline\nsplit";
+    "bell\x07control";
+  ]
+
+let run_named name =
+  let scenario =
+    Scenario.v name
+      [
+        Scenario.at 20.0 (Scenario.Partition [ [ 0; 1; 2 ]; [ 3; 4 ] ]);
+        Scenario.at 60.0 Scenario.Heal;
+      ]
+  in
+  Harness.run ~config ~seed:2 scenario
+
+let test_json_roundtrip () =
+  List.iter
+    (fun name ->
+      let outcome = run_named name in
+      List.iter
+        (fun json ->
+          match Gcs_stdx.Jsonx.of_string json with
+          | Error e -> Alcotest.failf "emitted JSON does not parse: %s\n%s" e json
+          | Ok parsed ->
+              let str key =
+                Option.bind (Gcs_stdx.Jsonx.member key parsed)
+                  Gcs_stdx.Jsonx.to_string
+              in
+              let num key =
+                Option.bind (Gcs_stdx.Jsonx.member key parsed)
+                  Gcs_stdx.Jsonx.to_float
+              in
+              Alcotest.(check (option string))
+                "scenario name round-trips byte-identically" (Some name)
+                (str "scenario");
+              Alcotest.(check (option (float 0.0001)))
+                "seed parses" (Some 2.0) (num "seed");
+              Alcotest.(check (option (float 0.0001)))
+                "stabilization parses" (Some 60.0) (num "stabilization"))
+        [ Harness.to_json outcome; Harness.to_json_with_metrics outcome ])
+    nasty_names
+
+let test_json_with_metrics_shape () =
+  let outcome = run_named "metrics-shape" in
+  match Gcs_stdx.Jsonx.of_string (Harness.to_json_with_metrics outcome) with
+  | Error e -> Alcotest.failf "unparseable: %s" e
+  | Ok parsed -> (
+      match Gcs_stdx.Jsonx.member "metrics" parsed with
+      | None -> Alcotest.fail "no metrics member"
+      | Some metrics ->
+          let counter name =
+            match
+              Option.bind (Gcs_stdx.Jsonx.member name metrics)
+                Gcs_stdx.Jsonx.to_float
+            with
+            | Some f -> int_of_float f
+            | None -> 0
+          in
+          (* The pre/post-stabilization splits partition the totals. *)
+          Alcotest.(check int) "bcast phases sum" outcome.Harness.bcasts
+            (counter "harness.bcasts.pre_stabilization"
+            + counter "harness.bcasts.post_stabilization");
+          Alcotest.(check int) "delivery phases sum" outcome.Harness.deliveries
+            (counter "harness.deliveries.pre_stabilization"
+            + counter "harness.deliveries.post_stabilization");
+          Alcotest.(check int) "engine totals mirrored"
+            outcome.Harness.events_processed
+            (counter "engine.events_processed");
+          Alcotest.(check bool) "vs layer counted" true
+            (counter "vs.views_installed" > 0))
+
+(* ------------------- run_vs_ring honors workloads --------------------- *)
+
+let test_vs_ring_workload_honored () =
+  let scenario = Option.get (Scenario.find_builtin ~procs "split-heal") in
+  (* An empty workload must yield zero deliveries — the regression was a
+     hardcoded default workload that ignored the caller's. *)
+  let silent =
+    Harness.run_vs_ring ~workload:[] ~config:vs_config ~seed:2 scenario
+  in
+  Alcotest.(check int) "empty workload delivers nothing" 0
+    silent.Harness.ring_deliveries;
+  (match silent.Harness.vs_ring_conformance with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "empty-workload ring trace rejected: %s" e);
+  (* A single message from processor 0 reaches all five ring members. *)
+  let one =
+    Harness.run_vs_ring
+      ~workload:[ (30.0, 0, "only") ]
+      ~config:vs_config ~seed:2 scenario
+  in
+  Alcotest.(check int) "single message delivered to every member" n
+    one.Harness.ring_deliveries;
+  (* The default workload still applies when none is given. *)
+  let default = Harness.run_vs_ring ~config:vs_config ~seed:2 scenario in
+  Alcotest.(check bool) "default workload still used" true
+    (default.Harness.ring_deliveries > n)
+
 let test_json_shape () =
   let scenario = Option.get (Scenario.find_builtin ~procs "split-heal") in
   let json = Harness.to_json (Harness.run ~config ~seed:1 scenario) in
@@ -239,5 +345,13 @@ let () =
             test_random_ends_good;
         ] );
       ( "output",
-        [ Alcotest.test_case "json shape" `Quick test_json_shape ] );
+        [
+          Alcotest.test_case "json shape" `Quick test_json_shape;
+          Alcotest.test_case "json round-trips through Jsonx" `Quick
+            test_json_roundtrip;
+          Alcotest.test_case "metrics member shape" `Quick
+            test_json_with_metrics_shape;
+          Alcotest.test_case "run_vs_ring honors caller workloads" `Quick
+            test_vs_ring_workload_honored;
+        ] );
     ]

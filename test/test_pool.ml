@@ -77,16 +77,17 @@ let test_iter_runs_everything () =
    pool is that a parallel soak is byte-identical to the sequential one,
    so a failing seed reproduces with `gcs nemesis --seed N`. *)
 
-let nemesis_outcomes ~jobs seeds =
+let nemesis_batch ~jobs seeds =
   let n = 5 in
   let procs = Proc.all ~n in
   let vs_config =
     { Vs_node.procs; p0 = procs; pi = 8.0; mu = 10.0; delta = 1.0 }
   in
   let config = To_service.make_config vs_config in
-  List.map Gcs_nemesis.Harness.to_json
-    (Gcs_nemesis.Harness.run_batch ~jobs ~config ~events:8
-       ~seeds ())
+  Gcs_nemesis.Harness.run_batch ~jobs ~config ~events:8 ~seeds ()
+
+let nemesis_outcomes ~jobs seeds =
+  List.map Gcs_nemesis.Harness.to_json (nemesis_batch ~jobs seeds)
 
 let test_nemesis_batch_deterministic () =
   let seeds = List.init 8 (fun i -> 301 + (i * 13)) in
@@ -98,6 +99,20 @@ let test_nemesis_batch_deterministic () =
         sequential
         (nemesis_outcomes ~jobs seeds))
     [ 2; 4 ]
+
+let test_nemesis_metrics_deterministic () =
+  (* The metrics registries are per-run values, never globals, so the
+     rendered snapshots — including the latency histogram floats — must
+     be byte-identical between a sequential and a 4-domain batch. *)
+  let seeds = List.init 6 (fun i -> 511 + (i * 17)) in
+  let snapshots jobs =
+    List.map
+      (fun o -> Gcs_stdx.Metrics.to_json o.Gcs_nemesis.Harness.metrics)
+      (nemesis_batch ~jobs seeds)
+  in
+  let sequential = snapshots 1 in
+  Alcotest.(check (list string)) "jobs=4 metrics JSON byte-identical"
+    sequential (snapshots 4)
 
 let () =
   Alcotest.run "pool"
@@ -118,5 +133,7 @@ let () =
         [
           Alcotest.test_case "parallel nemesis sweep = sequential" `Slow
             test_nemesis_batch_deterministic;
+          Alcotest.test_case "metrics snapshots = sequential" `Slow
+            test_nemesis_metrics_deterministic;
         ] );
     ]

@@ -413,6 +413,76 @@ let test_nofifo_delta_bound () =
         (List.length (Timed.actions trace)))
     seeds
 
+let test_ugly_never_beats_good () =
+  (* Regression: the ugly-link delay is sampled from
+     [0, ugly_delay_max), which with jitter on could undercut the good
+     links' (delta/2, delta] window — a degraded link must never deliver
+     faster than a good one. All sends happen at t=0, so every arrival on
+     the ugly link must be at or after delta/2. *)
+  let failures = [ (0.0, Fstatus.Link_status (0, 1, Fstatus.Ugly)) ] in
+  List.iter
+    (fun seed ->
+      let config =
+        {
+          (Engine.default_config ~delta:1.0) with
+          Engine.jitter = true;
+          ugly_drop_prob = 0.0;
+        }
+      in
+      let result =
+        Engine.run config ~procs:[ 0; 1 ] ~handlers:(burst_handlers 50)
+          ~init:(fun _ -> 0)
+          ~inputs:[] ~failures ~until:100.0
+          ~prng:(Gcs_stdx.Prng.create seed)
+      in
+      List.iter
+        (fun (t, k) ->
+          Alcotest.(check bool)
+            (Printf.sprintf
+               "seed %d: ugly delivery of %d at t=%.4f not before delta/2" seed
+               k t)
+            true (t >= 0.5))
+        (Timed.actions result.Engine.trace);
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: nothing lost" seed)
+        50
+        (List.length (Timed.actions result.Engine.trace)))
+    seeds
+
+let test_engine_metrics_counters () =
+  (* The published registry agrees with the result record's counters. *)
+  let metrics = Gcs_stdx.Metrics.create () in
+  let failures = [ (10.0, Fstatus.Link_status (0, 1, Fstatus.Bad)) ] in
+  let result =
+    Engine.run ~metrics
+      (Engine.default_config ~delta:1.0)
+      ~procs:[ 0; 1 ] ~handlers
+      ~init:(fun _ -> 0)
+      ~inputs:[] ~failures ~until:52.0
+      ~prng:(Gcs_stdx.Prng.create 1)
+  in
+  let c name = Gcs_stdx.Metrics.counter metrics name in
+  Alcotest.(check int) "events" result.Engine.events_processed
+    (c "engine.events_processed");
+  Alcotest.(check int) "sent" result.Engine.packets_sent
+    (c "engine.packets_sent");
+  Alcotest.(check int) "dropped" result.Engine.packets_dropped
+    (c "engine.packets_dropped");
+  Alcotest.(check int) "statuses" result.Engine.statuses_applied
+    (c "engine.statuses_applied");
+  (* packets_sent counts every send attempt; the per-status splits plus
+     the drops partition it. *)
+  Alcotest.(check int) "status splits partition the sends"
+    (c "engine.packets_sent")
+    (c "engine.packets_sent.good" + c "engine.packets_sent.self"
+    + c "engine.packets_sent.ugly" + c "engine.packets_dropped");
+  Alcotest.(check bool) "same registry is returned" true
+    (result.Engine.metrics == metrics);
+  Alcotest.(check bool) "queue depth high-water recorded" true
+    (match Gcs_stdx.Metrics.gauge metrics "engine.queue_depth.max" with
+    | Some d -> d >= 1.0
+    | None -> false)
+
 let test_statuses_applied_counted () =
   let failures =
     [
@@ -467,5 +537,12 @@ let () =
             test_nofifo_delta_bound;
           Alcotest.test_case "statuses applied counter" `Quick
             test_statuses_applied_counted;
+        ] );
+      ( "fault-model regressions",
+        [
+          Alcotest.test_case "ugly link never beats a good link" `Quick
+            test_ugly_never_beats_good;
+          Alcotest.test_case "engine metrics counters" `Quick
+            test_engine_metrics_counters;
         ] );
     ]

@@ -154,8 +154,10 @@ let test_soak_nemesis_schedules () =
       in
       let outcome = Gcs_nemesis.Harness.run ~config ~seed scenario in
       if not (Gcs_nemesis.Harness.passed outcome) then
+        (* to_json_with_metrics: the failure line carries the run's full
+           metrics snapshot alongside the checker verdicts. *)
         Alcotest.failf "nemesis soak FAILING SEED %d: %s" seed
-          (Gcs_nemesis.Harness.to_json outcome))
+          (Gcs_nemesis.Harness.to_json_with_metrics outcome))
     (List.init soak_iters (fun i -> i))
 
 let test_soak_nemesis_vs_ring () =

@@ -181,6 +181,139 @@ let prop_take_drop_append =
     QCheck.(pair small_nat (list small_int))
     (fun (n, xs) -> Seqx.take n xs @ Seqx.drop n xs = xs)
 
+
+(* ---------------- metrics ---------------- *)
+
+let test_metrics_counters () =
+  let m = Gcs_stdx.Metrics.create () in
+  Alcotest.(check int) "unregistered counter reads 0" 0
+    (Gcs_stdx.Metrics.counter m "a");
+  Gcs_stdx.Metrics.incr m "a";
+  Gcs_stdx.Metrics.incr m "a" ~by:4;
+  Gcs_stdx.Metrics.incr m "b";
+  Alcotest.(check int) "accumulates" 5 (Gcs_stdx.Metrics.counter m "a");
+  Alcotest.(check int) "independent names" 1 (Gcs_stdx.Metrics.counter m "b")
+
+let test_metrics_gauges () =
+  let m = Gcs_stdx.Metrics.create () in
+  Alcotest.(check (option (float 0.0))) "unset gauge" None
+    (Gcs_stdx.Metrics.gauge m "g");
+  Gcs_stdx.Metrics.set_gauge m "g" 2.5;
+  Gcs_stdx.Metrics.set_gauge m "g" 1.0;
+  Alcotest.(check (option (float 0.0001))) "set overwrites" (Some 1.0)
+    (Gcs_stdx.Metrics.gauge m "g");
+  Gcs_stdx.Metrics.max_gauge m "h" 3.0;
+  Gcs_stdx.Metrics.max_gauge m "h" 2.0;
+  Gcs_stdx.Metrics.max_gauge m "h" 7.0;
+  Alcotest.(check (option (float 0.0001))) "max keeps high-water" (Some 7.0)
+    (Gcs_stdx.Metrics.gauge m "h")
+
+let test_metrics_histogram () =
+  let m = Gcs_stdx.Metrics.create () in
+  List.iter
+    (Gcs_stdx.Metrics.observe ~buckets:[ 1.0; 10.0 ] m "lat")
+    [ 0.5; 0.9; 5.0; 50.0 ];
+  match Gcs_stdx.Metrics.histogram m "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some (buckets, count, sum, max_v) ->
+      Alcotest.(check int) "observations" 4 count;
+      Alcotest.(check (float 0.0001)) "sum" 56.4 sum;
+      Alcotest.(check (float 0.0001)) "max" 50.0 max_v;
+      Alcotest.(check (list (pair (float 0.0001) int)))
+        "bucket counts (cumulative le semantics per slot)"
+        [ (1.0, 2); (10.0, 1); (infinity, 1) ]
+        buckets
+
+let test_metrics_kind_clash () =
+  let m = Gcs_stdx.Metrics.create () in
+  Gcs_stdx.Metrics.incr m "x";
+  Alcotest.(check bool) "kind clash raises" true
+    (try
+       Gcs_stdx.Metrics.set_gauge m "x" 1.0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_json_deterministic () =
+  let mk () =
+    let m = Gcs_stdx.Metrics.create () in
+    (* Register in different orders; the snapshot sorts by name. *)
+    m
+  in
+  let m1 = mk () and m2 = mk () in
+  Gcs_stdx.Metrics.incr m1 "z";
+  Gcs_stdx.Metrics.incr m1 "a" ~by:2;
+  Gcs_stdx.Metrics.observe m1 "lat" 3.0;
+  Gcs_stdx.Metrics.observe m2 "lat" 3.0;
+  Gcs_stdx.Metrics.incr m2 "a" ~by:2;
+  Gcs_stdx.Metrics.incr m2 "z";
+  Alcotest.(check string) "insertion order does not leak"
+    (Gcs_stdx.Metrics.to_json m1) (Gcs_stdx.Metrics.to_json m2);
+  (* And the emitted JSON parses with the real parser. *)
+  match Gcs_stdx.Jsonx.of_string (Gcs_stdx.Metrics.to_json m1) with
+  | Ok (Gcs_stdx.Jsonx.Obj fields) ->
+      Alcotest.(check (list string)) "sorted keys" [ "a"; "lat"; "z" ]
+        (List.map fst fields)
+  | Ok _ -> Alcotest.fail "snapshot is not an object"
+  | Error e -> Alcotest.failf "snapshot does not parse: %s" e
+
+(* ---------------- jsonx ---------------- *)
+
+let jx = Alcotest.testable (fun ppf _ -> Format.fprintf ppf "<json>") ( = )
+
+let test_jsonx_values () =
+  let ok s = match Gcs_stdx.Jsonx.of_string s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  Alcotest.check jx "null" Gcs_stdx.Jsonx.Null (ok "null");
+  Alcotest.check jx "bools" (Gcs_stdx.Jsonx.Bool true) (ok " true ");
+  Alcotest.check jx "number" (Gcs_stdx.Jsonx.Num (-3.25)) (ok "-3.25");
+  Alcotest.check jx "exponent" (Gcs_stdx.Jsonx.Num 1200.0) (ok "1.2e3");
+  Alcotest.check jx "string escapes"
+    (Gcs_stdx.Jsonx.Str "a\"b\\c\nd\te/")
+    (ok {|"a\"b\\c\nd\te\/"|});
+  Alcotest.check jx "unicode escape" (Gcs_stdx.Jsonx.Str "A\xc3\xa9")
+    (ok {|"\u0041\u00e9"|});
+  Alcotest.check jx "nested"
+    (Gcs_stdx.Jsonx.Obj
+       [
+         ("xs", Gcs_stdx.Jsonx.Arr [ Gcs_stdx.Jsonx.Num 1.0; Gcs_stdx.Jsonx.Null ]);
+         ("o", Gcs_stdx.Jsonx.Obj []);
+       ])
+    (ok {|{"xs":[1,null],"o":{}}|})
+
+let test_jsonx_rejects () =
+  List.iter
+    (fun s ->
+      match Gcs_stdx.Jsonx.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [
+      "";
+      "{";
+      "[1,]";
+      "{\"a\":}";
+      "tru";
+      "1 2";
+      "\"unterminated";
+      "\"bad \\x escape\"" |> String.map (fun c -> c);
+      "{\"a\" 1}";
+    ]
+
+let test_jsonx_accessors () =
+  match Gcs_stdx.Jsonx.of_string {|{"s":"v","n":2,"xs":[1]}|} with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+      Alcotest.(check (option string)) "member+string" (Some "v")
+        (Option.bind (Gcs_stdx.Jsonx.member "s" v) Gcs_stdx.Jsonx.to_string);
+      Alcotest.(check (option (float 0.0001))) "member+float" (Some 2.0)
+        (Option.bind (Gcs_stdx.Jsonx.member "n" v) Gcs_stdx.Jsonx.to_float);
+      Alcotest.(check bool) "kind mismatch is None" true
+        (Option.bind (Gcs_stdx.Jsonx.member "s" v) Gcs_stdx.Jsonx.to_float
+        = None);
+      Alcotest.(check bool) "missing member" true
+        (Gcs_stdx.Jsonx.member "zz" v = None)
+
 let () =
   Alcotest.run "stdx"
     [
@@ -209,6 +342,22 @@ let () =
         ] );
       ( "fq",
         [ Alcotest.test_case "basics" `Quick test_fq_basics ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "gauges" `Quick test_metrics_gauges;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "kind clash" `Quick test_metrics_kind_clash;
+          Alcotest.test_case "deterministic JSON snapshot" `Quick
+            test_metrics_json_deterministic;
+        ] );
+      ( "jsonx",
+        [
+          Alcotest.test_case "values" `Quick test_jsonx_values;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_jsonx_rejects;
+          Alcotest.test_case "accessors" `Quick test_jsonx_accessors;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
