@@ -127,9 +127,9 @@ let recorded : section list ref = ref []
    visible in the JSON trajectory). *)
 let section id title f =
   header (id ^ ": " ^ title);
-  let t0 = Unix.gettimeofday () in
+  let t0 = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () in
   let rows = f () in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () -. t0 in
   recorded := { id; title; wall_s; rows } :: !recorded
 
 (* ------------------------------------------------------------------ *)
@@ -204,12 +204,15 @@ let safe_latencies config run =
           Hashtbl.replace safes (src, msg) (last, count)
       | _ -> ())
     (Timed.actions run.Vs_service.trace);
-  Hashtbl.fold
-    (fun key t0 acc ->
-      match Hashtbl.find_opt safes key with
-      | Some (last, count) when count = nq -> (last -. t0) :: acc
-      | _ -> acc)
-    sends []
+  (* Sort: the fold visits [sends] in hash order and float summation in
+     [mean] is order-sensitive. *)
+  List.sort Float.compare
+    (Hashtbl.fold
+       (fun key t0 acc ->
+         match Hashtbl.find_opt safes key with
+         | Some (last, count) when count = nq -> (last -. t0) :: acc
+         | _ -> acc)
+       sends [])
 
 let x7 () =
   row "%4s %6s %10s %10s %10s %10s\n" "n" "pi" "mean" "max" "paper d" "impl d";
@@ -303,14 +306,18 @@ let x8 () =
         in
         let sends, last_delivery, counts = to_latencies run in
         ( n,
-          Hashtbl.fold
-            (fun key t0 acc ->
-              match
-                (Hashtbl.find_opt last_delivery key, Hashtbl.find_opt counts key)
-              with
-              | Some t1, Some c when c = n -> (t1 -. t0) :: acc
-              | _ -> acc)
-            sends [] ))
+          (* Sorted for the same reason as [safe_latencies]: determinism
+             of the order-sensitive float mean downstream. *)
+          List.sort Float.compare
+            (Hashtbl.fold
+               (fun key t0 acc ->
+                 match
+                   ( Hashtbl.find_opt last_delivery key,
+                     Hashtbl.find_opt counts key )
+                 with
+                 | Some t1, Some c when c = n -> (t1 -. t0) :: acc
+                 | _ -> acc)
+               sends []) ))
       items
   in
   List.map
@@ -993,8 +1000,18 @@ let micro () =
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
       let analyzed = Analyze.all ols instance results in
-      Hashtbl.fold
-        (fun name result acc ->
+      (* Collect then sort by name: the fold visits results in hash
+         order, and both the printed table and the JSON rows should be
+         stable across runs. *)
+      let entries =
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (Hashtbl.fold
+             (fun name result acc -> (name, result) :: acc)
+             analyzed [])
+      in
+      List.map
+        (fun (name, result) ->
           let est =
             match Analyze.OLS.estimates result with
             | Some [ est ] -> Some est
@@ -1008,9 +1025,8 @@ let micro () =
               ("name", J.Str name);
               ( "ns_per_run",
                 match est with Some e -> J.num e | None -> J.Null );
-            ]
-          :: acc)
-        analyzed [])
+            ])
+        entries)
     tests
 
 let () =

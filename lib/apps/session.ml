@@ -208,6 +208,8 @@ let history run =
       in
       Hashtbl.replace by_proc c.proc (ops @ [ c ]))
     run.completions;
+  (* Sanctioned D1 sink: the fold's result is piped straight into
+     List.sort, so the hash iteration order never escapes. *)
   Hashtbl.fold
     (fun proc cs acc ->
       ( proc,

@@ -4,7 +4,9 @@ open Gcs_sim
 type config = { procs : Proc.t list; sequencer : Proc.t }
 
 let make_config ~procs =
-  { procs; sequencer = List.fold_left min (List.hd procs) procs }
+  match procs with
+  | [] -> invalid_arg "Sequencer.make_config: empty processor list"
+  | p :: rest -> { procs; sequencer = List.fold_left min p rest }
 
 type packet =
   | Request of { origin : Proc.t; value : Value.t }

@@ -12,10 +12,12 @@ let pairwise_intersecting sets =
   go sets
 
 let of_sets sets =
-  if sets = [] then Error "empty quorum system"
-  else if not (pairwise_intersecting sets) then
-    Error "quorum sets must pairwise intersect"
-  else Ok (Explicit sets)
+  match sets with
+  | [] -> Error "empty quorum system"
+  | _ :: _ ->
+      if not (pairwise_intersecting sets) then
+        Error "quorum sets must pairwise intersect"
+      else Ok (Explicit sets)
 
 let majorities ~n =
   assert (n > 0);

@@ -57,7 +57,7 @@ let reps y =
 let chosenrep y =
   match reps y with
   | [] -> invalid_arg "Summary.chosenrep: empty gotstate"
-  | qs -> List.fold_left max (List.hd qs) qs
+  | q :: qs -> List.fold_left max q qs
 
 let shortorder y = (Proc.Map.find (chosenrep y) y).ord
 

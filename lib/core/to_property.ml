@@ -101,12 +101,22 @@ let check ~b ~d ~q ~horizon trace =
         if dup then Error "workload has duplicate (origin, value) pairs"
         else Ok ()
   in
-  (* Obligations from clause (c): values delivered to some member of Q. *)
+  (* Obligations from clause (c): values delivered to some member of Q.
+     The fold visits [deliveries] in hash order; sort so the obligation
+     scan (and so any reported violations) is deterministic. *)
   let relayed =
-    Hashtbl.fold
-      (fun (value, src, dst) time acc ->
-        if List.mem dst q then (time, src, value) :: acc else acc)
-      deliveries []
+    List.sort
+      (fun (t1, p1, v1) (t2, p2, v2) ->
+        match Float.compare t1 t2 with
+        | 0 -> (
+            match Proc.compare p1 p2 with
+            | 0 -> Value.compare v1 v2
+            | c -> c)
+        | c -> c)
+      (Hashtbl.fold
+         (fun (value, src, dst) time acc ->
+           if List.mem dst q then (time, src, value) :: acc else acc)
+         deliveries [])
   in
   let obligations = ref 0 in
   let violations = ref [] in
@@ -141,7 +151,8 @@ let check ~b ~d ~q ~horizon trace =
     max_latency = !max_latency;
   }
 
-let holds report = Result.is_ok report.premise && report.violations = []
+let holds report =
+  Result.is_ok report.premise && List.is_empty report.violations
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -230,25 +230,27 @@ let invariants params =
           s);
     Invariant.make "L4.1(4): pending[p,g] ≠ λ ⇒ g ∈ created-viewids" (fun s ->
         Pg_map.for_all
-          (fun (_, g) pending -> pending = [] || created s g)
+          (fun (_, g) pending -> List.is_empty pending || created s g)
           s.pending);
     Invariant.make "L4.1(5): pending[p,g] ≠ λ ⇒ current-viewid[p] ≠ ⊥"
       (fun s ->
         Pg_map.for_all
-          (fun (p, _) pending -> pending = [] || current_of s p <> None)
+          (fun (p, _) pending ->
+            List.is_empty pending || Option.is_some (current_of s p))
           s.pending);
     Invariant.make "L4.1(6): pending[p,g] ≠ λ ⇒ g ≤ current-viewid[p]"
       (fun s ->
         Pg_map.for_all
           (fun (p, g) pending ->
-            pending = [] || View_id.le_opt (Some g) (current_of s p))
+            List.is_empty pending || View_id.le_opt (Some g) (current_of s p))
           s.pending);
     Invariant.make "L4.1(7): queue[g] ≠ λ ⇒ g ∈ created-viewids" (fun s ->
-        View_id.Map.for_all (fun g q -> q = [] || created s g) s.queue);
+        View_id.Map.for_all (fun g q -> List.is_empty q || created s g) s.queue);
     Invariant.make "L4.1(8): (m,p) ∈ queue[g] ⇒ current-viewid[p] ≠ ⊥"
       (fun s ->
         View_id.Map.for_all
-          (fun _ q -> List.for_all (fun (_, p) -> current_of s p <> None) q)
+          (fun _ q ->
+            List.for_all (fun (_, p) -> Option.is_some (current_of s p)) q)
           s.queue);
     Invariant.make "L4.1(9): (m,p) ∈ queue[g] ⇒ g ≤ current-viewid[p]"
       (fun s ->

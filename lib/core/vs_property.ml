@@ -217,7 +217,8 @@ let check ~b ~d ~q ~p0 ~horizon ~equal_msg ~pp_msg trace =
     max_safe_latency = !max_safe_latency;
   }
 
-let holds report = Result.is_ok report.premise && report.violations = []
+let holds report =
+  Result.is_ok report.premise && List.is_empty report.violations
 
 let pp_report ppf r =
   Format.fprintf ppf

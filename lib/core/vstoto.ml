@@ -2,6 +2,11 @@ open Gcs_automata
 
 type status = Normal | Send | Collect
 
+let status_equal a b =
+  match (a, b) with
+  | Normal, Normal | Send, Send | Collect, Collect -> true
+  | (Normal | Send | Collect), _ -> false
+
 type state = {
   current : View.t option;
   status : status;
@@ -61,11 +66,24 @@ let establish params state =
   let nextconfirm = Summary.maxnextconfirm state.gotstate in
   let state =
     if primary params state then
+      let current =
+        match state.current with
+        | Some v -> v
+        | None ->
+            (* [primary] already demands a current view, so a [None] here
+               is a protocol-logic bug; name the processor rather than
+               dying with an anonymous [Option.get]. *)
+            invalid_arg
+              (Printf.sprintf
+                 "Vstoto.establish: invariant violation at proc %d: \
+                  completing the state exchange with no current view"
+                 params.me)
+      in
       {
         state with
         nextconfirm;
         order = Summary.fullorder state.gotstate;
-        highprimary = Some (Option.get state.current).View.id;
+        highprimary = Some current.View.id;
         status = Normal;
       }
     else
@@ -90,7 +108,8 @@ let transition params state action =
         match (state.delay, state.current) with
         | head :: rest, Some v
           when Value.equal head a
-               && (params.literal_figure_10 || state.status = Normal) ->
+               && (params.literal_figure_10 || status_equal state.status Normal)
+          ->
             let l =
               Label.make ~id:v.View.id ~seqno:state.nextseqno ~origin:p
             in
@@ -110,14 +129,16 @@ let transition params state action =
         | Msg.App (l, a) -> (
             match state.buffer with
             | head :: rest
-              when state.status = Normal && Label.equal head l
-                   && Label.Map.find_opt l state.content
-                      = Some a ->
+              when status_equal state.status Normal
+                   && Label.equal head l
+                   && (match Label.Map.find_opt l state.content with
+                      | Some v -> Value.equal v a
+                      | None -> false) ->
                 Some { state with buffer = rest }
             | _ -> None)
         | Msg.Summary x ->
             if
-              state.status = Send
+              status_equal state.status Send
               && Summary.equal x (summary_of_state state)
             then Some { state with status = Collect }
             else None)
@@ -153,7 +174,7 @@ let transition params state action =
                     v.View.set
               | None -> false
             in
-            if complete && state.status = Collect then
+            if complete && status_equal state.status Collect then
               Some (establish params state)
             else Some state)
   | Sys_action.Vs (Vs_action.Safe { dst; msg; src }) -> (
@@ -200,7 +221,9 @@ let transition params state action =
       else
         match Gcs_stdx.Seqx.nth1 state.order state.nextreport with
         | Some l
-          when Label.Map.find_opt l state.content = Some value
+          when (match Label.Map.find_opt l state.content with
+               | Some v -> Value.equal v value
+               | None -> false)
                && Proc.equal l.Label.origin src ->
             Some { state with nextreport = state.nextreport + 1 }
         | _ -> None)
@@ -227,13 +250,13 @@ let enabled params state =
   let labels =
     match (state.delay, state.current) with
     | a :: _, Some _
-      when params.literal_figure_10 || state.status = Normal ->
+      when params.literal_figure_10 || status_equal state.status Normal ->
         [ Sys_action.Label_act (me, a) ]
     | _ -> []
   in
   let gpsnd_app =
     match state.buffer with
-    | l :: _ when state.status = Normal -> (
+    | l :: _ when status_equal state.status Normal -> (
         match Label.Map.find_opt l state.content with
         | Some a ->
             [
@@ -244,7 +267,7 @@ let enabled params state =
     | _ -> []
   in
   let gpsnd_summary =
-    if state.status = Send then
+    if status_equal state.status Send then
       [
         Sys_action.Vs
           (Vs_action.Gpsnd
@@ -288,7 +311,7 @@ let equal_state a b =
   | None, None -> true
   | Some v, Some w -> View.equal v w
   | _ -> false)
-  && a.status = b.status
+  && status_equal a.status b.status
   && Label.Map.equal Value.equal a.content b.content
   && a.nextseqno = b.nextseqno
   && List.equal Label.equal a.buffer b.buffer

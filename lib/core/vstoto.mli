@@ -16,6 +16,10 @@
 
 type status = Normal | Send | Collect
 
+val status_equal : status -> status -> bool
+(** Total, explicit equality — the polymorphic [=] is banned on
+    constructed types in this layer (lint rule D3). *)
+
 type state = {
   current : View.t option;
   status : status;

@@ -89,7 +89,9 @@ let l6_1 c =
 let l6_2 c =
   check_all
     (fun p ->
-      if (node c p).Vstoto.current = None && (node c p).Vstoto.status <> Vstoto.Normal
+      if
+        Option.is_none (node c p).Vstoto.current
+        && not (Vstoto.status_equal (node c p).Vstoto.status Vstoto.Normal)
       then fail "p=%d: current = ⊥ but status ≠ normal" p
       else ok)
     (procs c)
@@ -108,7 +110,7 @@ let l6_3 c =
       (fun p ->
         check_all
           (fun l ->
-            if (node c p).Vstoto.current = None then
+            if Option.is_none (node c p).Vstoto.current then
               fail "p=%d: nonempty buffer with current = ⊥" p
             else check_label "buffer" p (current_id c p) l)
           (node c p).Vstoto.buffer)
@@ -188,7 +190,7 @@ let l6_7 c =
       check_all
         (fun g ->
           if not (applies p g) then ok
-          else if Vs_machine.pending_of (vs c) p g <> [] then
+          else if not (List.is_empty (Vs_machine.pending_of (vs c) p g)) then
             fail "6.7(1): pending[%d,%a] ≠ λ" p View_id.pp g
           else if
             List.exists
@@ -207,7 +209,7 @@ let l6_7 c =
             in
             if bad_gotstate then
               fail "6.7(3): gotstate entry for %d in view %a" p View_id.pp g
-            else if allstate_pg c p g <> [] then
+            else if not (List.is_empty (allstate_pg c p g)) then
               fail "6.7(4): allstate[%d,%a] ≠ ∅" p View_id.pp g
             else
               let has_label_pair con =
@@ -232,7 +234,7 @@ let l6_8 c =
     (fun p ->
       match ((node c p).Vstoto.status, current_id c p) with
       | Vstoto.Send, Some g ->
-          if Vs_machine.pending_of (vs c) p g <> [] then
+          if not (List.is_empty (Vs_machine.pending_of (vs c) p g)) then
             fail "6.8(1): pending[%d,%a] ≠ λ while send" p View_id.pp g
           else if
             List.exists
@@ -295,7 +297,9 @@ let l6_9 c =
                 not
                   (Label.Map.for_all
                      (fun l v ->
-                       Label.Map.find_opt l n.Vstoto.content = Some v)
+                       match Label.Map.find_opt l n.Vstoto.content with
+                       | Some w -> Value.equal w v
+                       | None -> false)
                      x.Summary.con)
               then fail "6.9(1): x.con ⊄ content_%d" p
               else if not (List.equal Label.equal x.Summary.ord n.Vstoto.order)
@@ -328,7 +332,9 @@ let l6_10 c =
           | None -> ok
           | Some g ->
               let lhs = established c p g in
-              let rhs = (node c p).Vstoto.status = Vstoto.Normal in
+              let rhs =
+                Vstoto.status_equal (node c p).Vstoto.status Vstoto.Normal
+              in
               if lhs = rhs then ok
               else
                 fail
@@ -462,7 +468,7 @@ let l6_16 c =
     (fun (p, g, x) ->
       match x.Summary.high with
       | None ->
-          if x.Summary.ord = [] && x.Summary.next = 1 then ok
+          if List.is_empty x.Summary.ord && x.Summary.next = 1 then ok
           else fail "6.16(⊥): high = ⊥ but ord ≠ λ or next ≠ 1 (at %d)" p
       | Some h -> (
           match Vs_machine.member_set (vs c) h with
@@ -540,17 +546,34 @@ let l6_20 c =
                    labels adopted via the safe-summary path; they are in
                    order by construction. Flag it. *)
                 fail "6.20: safe label %a not in order_%d" Label.pp l p
-            | Some i ->
+            | Some i -> (
                 let sigma = Gcs_stdx.Seqx.take i ord in
-                let g = (Option.get n.Vstoto.current).View.id in
-                check_all
-                  (fun q ->
-                    if label_prefix sigma (buildorder c q g) then ok
-                    else
-                      fail
-                        "6.20: prefix to safe %a not in buildorder[%d,%a]"
-                        Label.pp l q View_id.pp g)
-                  (Proc.Set.elements (Option.get (current_set c p))))
+                (* [is_primary c p] above guarantees a current view; a
+                   missing one is a checker-infrastructure bug, reported
+                   with the processor in hand instead of crashing in
+                   [Option.get]. *)
+                match (n.Vstoto.current, current_set c p) with
+                | None, _ ->
+                    fail
+                      "6.20: checker invariant violation: primary %d has \
+                       no current view"
+                      p
+                | _, None ->
+                    fail
+                      "6.20: checker invariant violation: no member set \
+                       for primary %d"
+                      p
+                | Some current, Some members ->
+                    let g = current.View.id in
+                    check_all
+                      (fun q ->
+                        if label_prefix sigma (buildorder c q g) then ok
+                        else
+                          fail
+                            "6.20: prefix to safe %a not in \
+                             buildorder[%d,%a]"
+                            Label.pp l q View_id.pp g)
+                      (Proc.Set.elements members)))
           (Label.Set.elements n.Vstoto.safe_labels))
     (procs c)
 
@@ -604,7 +627,7 @@ let l6_22 c =
       match part2 with
       | Error _ as e -> e
       | Ok () ->
-          if confirm = [] then ok
+          if List.is_empty confirm then ok
           else
             let witness (g, members) =
               View_id.le_opt (Some g) x.Summary.high

@@ -93,7 +93,19 @@ let update_history params pre_node post_node p history =
        exchange (status collect → normal). *)
     match (pre_node.Vstoto.status, post_node.Vstoto.status) with
     | Vstoto.Collect, Vstoto.Normal ->
-        let g = (Option.get post_node.Vstoto.current).View.id in
+        let g =
+          match post_node.Vstoto.current with
+          | Some v -> v.View.id
+          | None ->
+              (* Collect → normal only happens on [establish], which
+                 requires a current view; anything else is a
+                 protocol-logic bug worth a named diagnostic. *)
+              invalid_arg
+                (Printf.sprintf
+                   "Vstoto_system.update_history: invariant violation at \
+                    proc %d: state exchange completed with no current view"
+                   p)
+        in
         let set =
           match View_id.Map.find_opt g history.established with
           | Some s -> s
@@ -111,17 +123,17 @@ let update_history params pre_node post_node p history =
     not (List.equal Label.equal pre_node.Vstoto.order post_node.Vstoto.order)
   in
   let establishment =
-    pre_node.Vstoto.status = Vstoto.Collect
-    && post_node.Vstoto.status = Vstoto.Normal
+    Vstoto.status_equal pre_node.Vstoto.status Vstoto.Collect
+    && Vstoto.status_equal post_node.Vstoto.status Vstoto.Normal
   in
-  if (order_changed || establishment) && post_node.Vstoto.current <> None then
-    let g = (Option.get post_node.Vstoto.current).View.id in
-    {
-      history with
-      buildorder =
-        Pg_map.add (p, g) post_node.Vstoto.order history.buildorder;
-    }
-  else history
+  match post_node.Vstoto.current with
+  | Some v when order_changed || establishment ->
+      {
+        history with
+        buildorder =
+          Pg_map.add (p, v.View.id) post_node.Vstoto.order history.buildorder;
+      }
+  | _ -> history
 
 let transition params =
   let vsp = vs_params params in

@@ -158,7 +158,7 @@ let handlers ?metrics config =
       | value :: rest ->
           let node, effects = submit config me value { node with staging = rest } in
           let rearm =
-            if rest = [] then []
+            if List.is_empty rest then []
             else
               match config.stable_storage_latency with
               | Some latency ->

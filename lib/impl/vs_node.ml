@@ -89,12 +89,21 @@ let formation_debounce config = 4.0 *. config.delta
 let leader_of (view : View.t) = Proc.Set.min_elt view.View.set
 
 let ring_successor (view : View.t) me =
-  let members = Proc.Set.elements view.View.set in
-  let rec find = function
-    | [] -> List.hd members (* wrap to the smallest *)
-    | m :: rest -> if m > me then m else find rest
-  in
-  find members
+  match Proc.Set.elements view.View.set with
+  | [] ->
+      (* Views are built from nonempty member sets; an empty one means
+         the membership protocol handed us a corrupt view. *)
+      invalid_arg
+        (Printf.sprintf
+           "Vs_node.ring_successor: invariant violation at proc %d: \
+            successor requested in an empty view"
+           me)
+  | smallest :: _ as members ->
+      let rec find = function
+        | [] -> smallest (* wrap to the smallest *)
+        | m :: rest -> if m > me then m else find rest
+      in
+      find members
 
 let is_member state p =
   match state.current with Some v -> View.mem p v | None -> false
@@ -128,7 +137,7 @@ let count metrics name =
 (* ---------------- membership protocol ---------------- *)
 
 let maybe_initiate ?metrics ?(protocol = Three_round) config ~now state =
-  if state.forming <> None then (state, [])
+  if Option.is_some state.forming then (state, [])
   else if now -. state.last_initiation < formation_debounce config then
     (state, [])
   else

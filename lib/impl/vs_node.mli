@@ -57,6 +57,12 @@ val client_send :
 
 (** Observers used by tests and benchmarks. *)
 
+val ring_successor : View.t -> Proc.t -> Proc.t
+(** The next member after [me] on the token ring: the smallest member id
+    greater than [me], wrapping to the smallest member overall. Raises
+    [Invalid_argument] on an empty view — membership never builds one,
+    so an empty member set here is a corrupted view. *)
+
 val current_view : 'm state -> View.t option
 val views_installed : 'm state -> int
 (** Number of [newview] events at this node (view-churn metric). *)

@@ -1,0 +1,111 @@
+type report = {
+  findings : Finding.t list;
+  suppressed : Finding.t list;
+  files : int;
+}
+
+let roots = [ "lib"; "bin"; "bench"; "test" ]
+
+let find_root ?from () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent
+  in
+  up (match from with Some d -> d | None -> Sys.getcwd ())
+
+(* Sorted, recursive listing of repo-relative paths under [rel];
+   sorting makes the report independent of readdir order. *)
+let rec walk ~root rel acc =
+  let abs = Filename.concat root rel in
+  if not (Sys.file_exists abs) then acc
+  else if Sys.is_directory abs then
+    let entries = Sys.readdir abs in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry -> walk ~root (Filename.concat rel entry) acc)
+      acc entries
+  else rel :: acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let has_suffix suffix s =
+  let n = String.length suffix and l = String.length s in
+  l >= n && String.equal (String.sub s (l - n) n) suffix
+
+(* M1: every lib/ implementation ships an interface. *)
+let check_interfaces files =
+  let mlis =
+    List.filter_map
+      (fun f -> if has_suffix ".mli" f then Some f else None)
+      files
+  in
+  List.filter_map
+    (fun f ->
+      if
+        has_suffix ".ml" f
+        && Lint.in_lib f
+        && not (List.mem (f ^ "i") mlis)
+      then
+        Some
+          (Finding.v ~file:f ~line:1 ~col:0 ~rule:"M1" ~suppressed:false
+             "lib/ module has no interface; add a .mli so the exported \
+              surface is reviewed")
+      else None)
+    files
+
+let run ~root =
+  if not (Sys.is_directory (Filename.concat root "lib")) then
+    raise
+      (Sys_error
+         (Printf.sprintf "gcs lint: no lib/ under %s (wrong --root?)" root));
+  let files =
+    List.concat_map (fun top -> List.rev (walk ~root top [])) roots
+    |> List.filter (fun f -> has_suffix ".ml" f || has_suffix ".mli" f)
+    |> List.sort String.compare
+  in
+  let ml_files = List.filter (has_suffix ".ml") files in
+  let all =
+    check_interfaces files
+    @ List.concat_map
+        (fun f ->
+          Lint.lint_source ~path:f (read_file (Filename.concat root f)))
+        ml_files
+  in
+  let all = List.sort Finding.compare all in
+  let suppressed, findings =
+    List.partition (fun f -> f.Finding.suppressed) all
+  in
+  { findings; suppressed; files = List.length ml_files }
+
+let clean report = List.is_empty report.findings
+
+let to_json report =
+  Gcs_stdx.Jsonx.Obj
+    [
+      ("findings", Gcs_stdx.Jsonx.Arr (List.map Finding.to_json report.findings));
+      ( "suppressed",
+        Gcs_stdx.Jsonx.Arr (List.map Finding.to_json report.suppressed) );
+      ("files", Gcs_stdx.Jsonx.Num (float_of_int report.files));
+    ]
+
+let pp ppf report =
+  List.iter
+    (fun f -> Format.fprintf ppf "%s@." (Finding.to_string f))
+    report.findings;
+  List.iter
+    (fun f -> Format.fprintf ppf "%s@." (Finding.to_string f))
+    report.suppressed;
+  Format.fprintf ppf
+    "gcs lint: %d finding%s, %d allowed suppression%s, %d files@."
+    (List.length report.findings)
+    (if List.length report.findings = 1 then "" else "s")
+    (List.length report.suppressed)
+    (if List.length report.suppressed = 1 then "" else "s")
+    report.files

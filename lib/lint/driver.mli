@@ -1,0 +1,33 @@
+(** Repo-tree lint driver: walks [lib/], [bin/], [bench/] and [test/]
+    under a root directory, runs {!Lint.lint_source} on every [.ml],
+    checks rule [M1] (every [lib/] module has a [.mli]) against the
+    file tree, and aggregates a report. *)
+
+type report = {
+  findings : Finding.t list;  (** non-suppressed, in {!Finding.compare} order *)
+  suppressed : Finding.t list;
+      (** findings at [[@gcs.lint.allow]]-attributed sites, same order *)
+  files : int;  (** [.ml] files scanned *)
+}
+
+val roots : string list
+(** The scanned top-level directories: [lib bin bench test]. *)
+
+val find_root : ?from:string -> unit -> string option
+(** Walk up from [from] (default [Sys.getcwd ()]) to the nearest
+    directory containing [dune-project]. *)
+
+val run : root:string -> report
+(** Lint the tree under [root]. The scan order (and so the report
+    order) is sorted, independent of directory enumeration order.
+    Raises [Sys_error] if [root] lacks a [lib/] directory — a wrong
+    root must not pass as a clean tree. *)
+
+val clean : report -> bool
+(** No non-suppressed findings. *)
+
+val to_json : report -> Gcs_stdx.Jsonx.t
+
+val pp : Format.formatter -> report -> unit
+(** Findings one per line ([file:line:col  RULE  message], suppressed
+    ones marked [(allowed)]), then a one-line summary. *)

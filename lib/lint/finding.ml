@@ -1,0 +1,41 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+  suppressed : bool;
+}
+
+let v ~file ~line ~col ~rule ~suppressed message =
+  { file; line; col; rule; message; suppressed }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> (
+              match String.compare a.rule b.rule with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d  %s  %s%s" f.file f.line f.col f.rule
+    (if f.suppressed then "(allowed) " else "")
+    f.message
+
+let to_json f =
+  Gcs_stdx.Jsonx.Obj
+    [
+      ("file", Gcs_stdx.Jsonx.Str f.file);
+      ("line", Gcs_stdx.Jsonx.Num (float_of_int f.line));
+      ("col", Gcs_stdx.Jsonx.Num (float_of_int f.col));
+      ("rule", Gcs_stdx.Jsonx.Str f.rule);
+      ("message", Gcs_stdx.Jsonx.Str f.message);
+      ("suppressed", Gcs_stdx.Jsonx.Bool f.suppressed);
+    ]

@@ -1,0 +1,33 @@
+(** A single lint finding: one rule firing at one source location.
+
+    Suppressed findings (sites carrying a [\[@gcs.lint.allow "RULE"\]]
+    attribute) are kept and reported separately rather than dropped, so
+    the inventory of sanctioned hazards stays visible and cannot rot
+    silently. *)
+
+type t = {
+  file : string;  (** repo-relative path, ['/'] separators *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  rule : string;  (** rule id: D1, D2, D3, P1, P2, M1 or E0 *)
+  message : string;
+  suppressed : bool;
+}
+
+val v :
+  file:string ->
+  line:int ->
+  col:int ->
+  rule:string ->
+  suppressed:bool ->
+  string ->
+  t
+
+val compare : t -> t -> int
+(** Orders by file, line, column, rule, message — the stable report
+    order, independent of rule evaluation order. *)
+
+val to_string : t -> string
+(** ["file:line:col  RULE  message"], with suppressed findings marked. *)
+
+val to_json : t -> Gcs_stdx.Jsonx.t

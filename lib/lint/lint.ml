@@ -1,0 +1,404 @@
+open Parsetree
+
+let rules =
+  [
+    ( "D1",
+      "Hashtbl.iter/fold/to_seq in hash order without an enclosing \
+       List.sort sink" );
+    ("D2", "entropy or wall-clock source outside lib/stdx/prng.ml");
+    ( "D3",
+      "polymorphic compare/=/Hashtbl.hash on constructed operands in \
+       lib/core or lib/impl" );
+    ("P1", "partial stdlib function (Option.get, List.hd, ...) in lib/");
+    ("P2", "catch-all exception handler that neither matches nor re-raises");
+    ("M1", "lib/ module without an interface (.mli)");
+    ("E0", "source file does not parse");
+  ]
+
+(* ------------------------- path predicates -------------------------- *)
+
+let under prefix path =
+  String.length path >= String.length prefix
+  && String.equal (String.sub path 0 (String.length prefix)) prefix
+
+let in_lib path = under "lib/" path
+let in_d3_scope path = under "lib/core/" path || under "lib/impl/" path
+let is_prng path = String.equal path "lib/stdx/prng.ml"
+
+(* --------------------------- identifiers ---------------------------- *)
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply (_, l) -> flatten l
+
+(* Match on the last path components so [Stdlib.Hashtbl.fold] and
+   [Hashtbl.fold] classify alike. *)
+let last2 path =
+  match List.rev path with
+  | f :: m :: _ -> Some (m, f)
+  | [ f ] -> Some ("", f)
+  | [] -> None
+
+let unordered_hashtbl path =
+  match last2 path with
+  | Some ("Hashtbl", ("iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values" as f)) ->
+      Some ("Hashtbl." ^ f)
+  | _ -> None
+
+let entropy path =
+  match path with
+  | "Random" :: rest -> Some (String.concat "." ("Random" :: rest))
+  | _ -> None
+
+let wall_clock path =
+  match last2 path with
+  | Some ("Sys", "time") -> Some "Sys.time"
+  | Some ("Unix", "gettimeofday") -> Some "Unix.gettimeofday"
+  | Some ("Unix", "time") -> Some "Unix.time"
+  | _ -> None
+
+let partial_fn path =
+  match last2 path with
+  | Some ("Option", "get") -> Some ("Option.get", "None")
+  | Some ("List", "hd") -> Some ("List.hd", "the empty list")
+  | Some ("List", "tl") -> Some ("List.tl", "the empty list")
+  | Some (("Array" | "String") as m, f)
+    when under "unsafe_" f ->
+      Some (m ^ "." ^ f, "out-of-bounds access")
+  | _ -> None
+
+let sort_sink path =
+  match last2 path with
+  | Some ("List", ("sort" | "stable_sort" | "sort_uniq" | "fast_sort")) ->
+      true
+  | _ -> false
+
+(* ------------------------ allow attributes -------------------------- *)
+
+let allow_rules_of_attrs attrs =
+  List.concat_map
+    (fun (a : attribute) ->
+      if String.equal a.attr_name.txt "gcs.lint.allow" then
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                      _ );
+                _;
+              };
+            ] ->
+            String.split_on_char ' ' s
+            |> List.concat_map (String.split_on_char ',')
+            |> List.filter (fun r -> not (String.equal r ""))
+        | _ -> []
+      else [])
+    attrs
+
+(* ----------------------------- context ------------------------------ *)
+
+type ctx = {
+  path : string;
+  mutable scopes : string list list;  (* active allow scopes *)
+  mutable sanctioned : expression list;  (* by physical identity *)
+  mutable acc : Finding.t list;
+  local_compare : bool;  (* the file defines its own [compare] *)
+}
+
+let allowed ctx rule = List.exists (List.mem rule) ctx.scopes
+
+let push ctx allows = ctx.scopes <- allows :: ctx.scopes
+
+let pop ctx =
+  match ctx.scopes with _ :: rest -> ctx.scopes <- rest | [] -> ()
+
+let report ctx (loc : Location.t) rule fmt =
+  Printf.ksprintf
+    (fun message ->
+      let p = loc.Location.loc_start in
+      ctx.acc <-
+        Finding.v ~file:ctx.path ~line:p.Lexing.pos_lnum
+          ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+          ~rule ~suppressed:(allowed ctx rule) message
+        :: ctx.acc)
+    fmt
+
+(* --------------------------- expression helpers --------------------- *)
+
+let rec head e =
+  match e.pexp_desc with Pexp_apply (f, _) -> head f | _ -> e
+
+let ident_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (flatten txt)
+  | _ -> None
+
+let head_path e = ident_path (head e)
+
+let is_sort_sink e =
+  match head_path e with Some p -> sort_sink p | None -> false
+
+(* Mark the Hashtbl iteration at the head of [a] (if any) as flowing
+   into a sanctioned sink, so the D1 check skips it. *)
+let sanction ctx a =
+  let h = head a in
+  match ident_path h with
+  | Some p when Option.is_some (unordered_hashtbl p) ->
+      ctx.sanctioned <- h :: ctx.sanctioned
+  | _ -> ()
+
+let scalar_literal e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer _ | Pconst_char _ | Pconst_string _) ->
+      true
+  | Pexp_construct ({ txt = Longident.Lident ("true" | "false"); _ }, None)
+    ->
+      true
+  | _ -> false
+
+let constructed e =
+  match e.pexp_desc with
+  | Pexp_construct _ | Pexp_variant _ | Pexp_tuple _ | Pexp_record _
+  | Pexp_array _ ->
+      true
+  | _ -> false
+
+(* A polymorphic structural primitive, by name. [compare] only counts
+   when the file does not shadow it with its own definition. *)
+let poly_primitive ctx path =
+  match path with
+  | [ "compare" ] when not ctx.local_compare -> Some "compare"
+  | [ "Stdlib"; "compare" ] -> Some "Stdlib.compare"
+  | _ -> (
+      match last2 path with
+      | Some ("Hashtbl", "hash") -> Some "Hashtbl.hash"
+      | _ -> None)
+
+(* Does a handler body re-raise (syntactically contain raise /
+   raise_notrace / Printexc.raise_with_backtrace / exit)? *)
+let reraises body =
+  let found = ref false in
+  let expr it e =
+    (match ident_path e with
+    | Some p -> (
+        match List.rev p with
+        | ("raise" | "raise_notrace" | "raise_with_backtrace" | "reraise")
+          :: _ ->
+            found := true
+        | _ -> ())
+    | None -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it body;
+  !found
+
+let rec catch_all_pattern p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (q, _) | Ppat_constraint (q, _) -> catch_all_pattern q
+  | Ppat_or (a, b) -> catch_all_pattern a || catch_all_pattern b
+  | _ -> false
+
+(* ----------------------------- rule checks -------------------------- *)
+
+let check_d1_ident ctx e path =
+  match unordered_hashtbl path with
+  | Some name when not (List.memq e ctx.sanctioned) ->
+      report ctx e.pexp_loc "D1"
+        "%s iterates in unspecified hash order; sort the result \
+         (List.sort sink) or allow-attribute an order-insensitive use"
+        name
+  | _ -> ()
+
+let check_d2_ident ctx e path =
+  (match entropy path with
+  | Some name when not (is_prng ctx.path) ->
+      report ctx e.pexp_loc "D2"
+        "%s bypasses the seeded Gcs_stdx.Prng; runs would not be \
+         reproducible from a seed"
+        name
+  | _ -> ());
+  match wall_clock path with
+  | Some name ->
+      report ctx e.pexp_loc "D2"
+        "%s reads the wall clock; simulated time and seeds are the only \
+         admissible time sources"
+        name
+  | None -> ()
+
+let check_p1_ident ctx e path =
+  if in_lib ctx.path then
+    match partial_fn path with
+    | Some (name, on) ->
+        report ctx e.pexp_loc "P1"
+          "partial function %s raises an anonymous error on %s; use a \
+           total match raising a diagnostic invariant error"
+          name on
+    | None -> ()
+
+let check_d3_apply ctx e f args =
+  if in_d3_scope ctx.path then begin
+    let operands =
+      List.filter_map
+        (function Asttypes.Nolabel, a -> Some a | _ -> None)
+        args
+    in
+    let no_scalar = not (List.exists scalar_literal operands) in
+    (match ident_path f with
+    | Some [ ("=" | "<>") ] when no_scalar && List.exists constructed operands
+      ->
+        report ctx e.pexp_loc "D3"
+          "polymorphic =/<> on a constructed operand; use the type's equal \
+           (structural equality on sets/maps/floats is not semantic \
+           equality)"
+    | Some p when no_scalar -> (
+        match poly_primitive ctx p with
+        | Some name ->
+            report ctx e.pexp_loc "D3"
+              "polymorphic %s on non-scalar operands; use the type's \
+               dedicated comparison"
+              name
+        | None -> ())
+    | _ -> ());
+    (* bare [compare] (or friends) passed higher-order, e.g.
+       [List.sort compare ...] on constructed elements *)
+    List.iter
+      (fun (_, a) ->
+        match ident_path a with
+        | Some p -> (
+            match poly_primitive ctx p with
+            | Some name ->
+                report ctx a.pexp_loc "D3"
+                  "polymorphic %s passed to a higher-order function; \
+                   pass the type's dedicated comparison"
+                  name
+            | None -> ())
+        | None -> ())
+      args
+  end
+
+let check_p2_try ctx cases =
+  List.iter
+    (fun case ->
+      if
+        catch_all_pattern case.pc_lhs
+        && Option.is_none case.pc_guard
+        && not (reraises case.pc_rhs)
+      then
+        report ctx case.pc_lhs.ppat_loc "P2"
+          "catch-all exception handler swallows everything (including \
+           invariant violations); match specific constructors or \
+           re-raise")
+    cases
+
+let check_expr ctx e =
+  (* Sink bookkeeping first: children are visited after this. *)
+  (match e.pexp_desc with
+  | Pexp_apply (f, args) -> (
+      if is_sort_sink f then List.iter (fun (_, a) -> sanction ctx a) args;
+      match (ident_path f, args) with
+      | Some [ "|>" ], [ (_, lhs); (_, rhs) ] ->
+          if is_sort_sink rhs then sanction ctx lhs
+      | Some [ "@@" ], [ (_, lhs); (_, rhs) ] ->
+          if is_sort_sink lhs then sanction ctx rhs
+      | _ -> ())
+  | _ -> ());
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+      let path = flatten txt in
+      check_d1_ident ctx e path;
+      check_d2_ident ctx e path;
+      check_p1_ident ctx e path
+  | Pexp_apply (f, args) -> check_d3_apply ctx e f args
+  | Pexp_try (_, cases) -> check_p2_try ctx cases
+  | _ -> ()
+
+(* ------------------------------ the walk ---------------------------- *)
+
+let iterator ctx =
+  let expr it e =
+    let allows =
+      allow_rules_of_attrs e.pexp_attributes
+      @
+      match e.pexp_desc with
+      | Pexp_let (_, vbs, _) ->
+          List.concat_map
+            (fun vb -> allow_rules_of_attrs vb.pvb_attributes)
+            vbs
+      | _ -> []
+    in
+    if not (List.is_empty allows) then push ctx allows;
+    check_expr ctx e;
+    Ast_iterator.default_iterator.expr it e;
+    if not (List.is_empty allows) then pop ctx
+  in
+  let structure_item it si =
+    match si.pstr_desc with
+    | Pstr_attribute a ->
+        (* floating [@@@gcs.lint.allow]: rest of the file *)
+        let allows = allow_rules_of_attrs [ a ] in
+        if not (List.is_empty allows) then push ctx allows
+    | _ ->
+        let allows =
+          match si.pstr_desc with
+          | Pstr_value (_, vbs) ->
+              List.concat_map
+                (fun vb -> allow_rules_of_attrs vb.pvb_attributes)
+                vbs
+          | Pstr_eval (_, attrs) -> allow_rules_of_attrs attrs
+          | _ -> []
+        in
+        if not (List.is_empty allows) then push ctx allows;
+        Ast_iterator.default_iterator.structure_item it si;
+        if not (List.is_empty allows) then pop ctx
+  in
+  { Ast_iterator.default_iterator with expr; structure_item }
+
+let defines_local_compare structure =
+  let found = ref false in
+  let pat it p =
+    (match p.ppat_desc with
+    | Ppat_var { txt = "compare"; _ } -> found := true
+    | _ -> ());
+    Ast_iterator.default_iterator.pat it p
+  in
+  let it = { Ast_iterator.default_iterator with pat } in
+  it.structure it structure;
+  !found
+
+let parse ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception Syntaxerr.Error err ->
+      Error (Syntaxerr.location_of_error err, "syntax error")
+  | exception Lexer.Error (_, loc) -> Error (loc, "lexer error")
+
+let lint_source ~path source =
+  match parse ~path source with
+  | Error (loc, what) ->
+      let p = loc.Location.loc_start in
+      [
+        Finding.v ~file:path ~line:p.Lexing.pos_lnum
+          ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+          ~rule:"E0" ~suppressed:false
+          (Printf.sprintf "%s: file does not parse" what);
+      ]
+  | Ok structure ->
+      let ctx =
+        {
+          path;
+          scopes = [];
+          sanctioned = [];
+          acc = [];
+          local_compare = defines_local_compare structure;
+        }
+      in
+      let it = iterator ctx in
+      it.structure it structure;
+      List.sort Finding.compare ctx.acc

@@ -1,0 +1,62 @@
+(** Determinism & totality static analysis over one OCaml source.
+
+    An AST-level pass built on [compiler-libs.common]: the source is
+    parsed with {!Parse.implementation} and walked with
+    {!Ast_iterator}. No typing information is used, so every rule is a
+    syntactic heuristic — precise enough to ban the hazard classes that
+    have actually bitten this repo, and cheap enough to run on every
+    build.
+
+    Rules (see DESIGN.md "Static analysis" for the rationale):
+
+    - [D1] unordered iteration: [Hashtbl.iter]/[fold]/[to_seq] whose
+      result does not flow into an immediately enclosing [List.sort]
+      family sink (directly, via [|>] or via [@@]). Hash-order
+      iteration is the classic byte-determinism leak.
+    - [D2] entropy / wall clock: any [Random.*] outside
+      [lib/stdx/prng.ml], plus [Sys.time], [Unix.gettimeofday] and
+      [Unix.time]. All nondeterminism must flow through the seeded
+      {!Gcs_stdx.Prng}.
+    - [D3] (only under [lib/core/] and [lib/impl/]) polymorphic
+      structural operations on non-scalar operands: [=] applied to a
+      syntactically constructed operand (constructor, tuple, record,
+      list, polymorphic variant, array), and bare [compare] /
+      [Stdlib.compare] / [Hashtbl.hash] applied to, or passed over,
+      anything that is not a scalar literal. Structural compare on
+      [Set]/[Map] values compares tree shapes, not contents. Files
+      that define their own [compare] are exempt from the bare
+      [compare] check (the local definition shadows the polymorphic
+      one).
+    - [P1] (only under [lib/]) partial stdlib functions: [Option.get],
+      [List.hd], [List.tl], [Array.unsafe_*], [String.unsafe_*]. The
+      proof-grade checkers must fail with a diagnostic invariant
+      error, never an anonymous [Invalid_argument].
+    - [P2] exception swallowing: a [try ... with] whose handler has a
+      catch-all pattern ([_] or a bare variable), no guard, and no
+      re-raise in its body. Such handlers can eat invariant
+      violations.
+
+    Any finding is suppressible in source with
+    [[@gcs.lint.allow "RULE"]] on the enclosing expression,
+    [[@@gcs.lint.allow "RULE"]] on the enclosing value binding, or
+    [[@@@gcs.lint.allow "RULE"]] floating (rest of the file). Several
+    rules may be given separated by spaces or commas. Suppressed
+    findings are still returned, marked, so they stay auditable.
+
+    The missing-interface rule [M1] needs the file tree, not an AST;
+    it lives in {!Driver}. *)
+
+val rules : (string * string) list
+(** [(id, one-line description)] for every rule, including [M1] and
+    the parse-failure pseudo-rule [E0]. *)
+
+val in_lib : string -> bool
+(** The path is under [lib/] — the P1 (and {!Driver}'s M1) scope. *)
+
+val lint_source : path:string -> string -> Finding.t list
+(** [lint_source ~path source] parses and checks one [.ml] source.
+    [path] must be the repo-relative path with ['/'] separators; it
+    scopes the path-dependent rules (D2's prng exemption, D3's
+    core/impl scope, P1's lib scope). A file that does not parse
+    yields a single [E0] finding. Results are sorted with
+    {!Finding.compare}. *)

@@ -180,10 +180,15 @@ let minority_isolation ~procs =
   v "minority-isolation"
     [ at 60.0 (Partition [ rest; [ last ] ]); at 280.0 Heal ]
 
+let leader ~procs =
+  (* The ring leader (smallest id) of the initial primary view. *)
+  match procs with
+  | [] -> invalid_arg "nemesis: scenario needs at least one processor"
+  | p :: _ -> p
+
 let crash_primary ~procs =
-  (* Processor 0 is the ring leader (smallest id) of the initial primary
-     view: crash it mid-run, recover it, and end fully healed. *)
-  let leader = List.hd procs in
+  (* Crash the leader mid-run, recover it, and end fully healed. *)
+  let leader = leader ~procs in
   v "crash-primary"
     [
       at 80.0 (Crash leader);
@@ -208,7 +213,7 @@ let degrade_links ~procs =
 
 let churn ~procs =
   let majority, minority = split ~procs in
-  let leader = List.hd procs in
+  let leader = leader ~procs in
   v "churn"
     (repeat ~from:50.0 ~every:40.0 ~times:6 (fun i ->
          match i mod 3 with

@@ -17,6 +17,10 @@ type t =
 val of_string : string -> (t, string) result
 (** Parse one complete JSON value (trailing whitespace allowed). *)
 
+val encode : t -> string
+(** Render as compact (single-line) JSON. [of_string (encode v)] is
+    [Ok v] up to float formatting; strings escape per RFC 8259. *)
+
 (** {2 Accessors} — [None] on kind mismatch. *)
 
 val member : string -> t -> t option

@@ -1,0 +1,181 @@
+(* Unit tests for the gcs lint pass.
+
+   For every rule: a positive fixture that must fire, negatives that
+   must stay silent (including the sanctioned-sink and scoping
+   exemptions), and an allow-attributed variant that must downgrade the
+   finding to a suppression. Fixtures are inline sources handed to
+   [Lint.lint_source] under a fake repo-relative path, since the
+   path-dependent rules (D2's prng exemption, D3's core/impl scope,
+   P1's lib scope) key off it. The suite ends with a self-lint: the
+   real repo tree must report zero non-suppressed findings. *)
+
+let lint ~path src = Gcs_lint.Lint.lint_source ~path src
+
+let live ~path src =
+  List.filter (fun f -> not f.Gcs_lint.Finding.suppressed) (lint ~path src)
+
+let allowed ~path src =
+  List.filter (fun f -> f.Gcs_lint.Finding.suppressed) (lint ~path src)
+
+let rules_of fs = List.map (fun f -> f.Gcs_lint.Finding.rule) fs
+
+let fires name ~path ~rule src =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check (list string))
+        "live findings" [ rule ]
+        (rules_of (live ~path src)))
+
+let silent name ~path src =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check (list string))
+        "live findings" [] (rules_of (live ~path src)))
+
+let downgraded name ~path ~rule src =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check (list string))
+        "live findings" [] (rules_of (live ~path src));
+      Alcotest.(check (list string))
+        "suppressed findings" [ rule ]
+        (rules_of (allowed ~path src)))
+
+(* Scopes: D3 only looks under lib/core and lib/impl, so the other
+   rules' fixtures live under lib/apps to keep each test single-rule. *)
+let apps = "lib/apps/fixture.ml"
+let core = "lib/core/fixture.ml"
+
+let d1 =
+  [
+    fires "fold without sink fires" ~path:apps ~rule:"D1"
+      "let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []";
+    fires "iter fires" ~path:apps ~rule:"D1"
+      "let dump out tbl = Hashtbl.iter (fun k v -> out k v) tbl";
+    fires "to_seq fires" ~path:apps ~rule:"D1"
+      "let s tbl = Hashtbl.to_seq tbl";
+    silent "fold into direct List.sort is sanctioned" ~path:apps
+      "let keys tbl =\n\
+      \  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])";
+    silent "fold piped into List.sort is sanctioned" ~path:apps
+      "let keys tbl =\n\
+      \  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare";
+    silent "fold under List.sort via @@ is sanctioned" ~path:apps
+      "let keys tbl =\n\
+      \  List.sort Int.compare @@ Hashtbl.fold (fun k _ acc -> k :: acc) tbl []";
+    silent "sort_uniq counts as a sink" ~path:apps
+      "let keys tbl =\n\
+      \  List.sort_uniq Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])";
+    downgraded "allow attribute on the expression" ~path:apps ~rule:"D1"
+      "let keys tbl =\n\
+      \  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] [@gcs.lint.allow \"D1\"])";
+  ]
+
+let d2 =
+  [
+    fires "Random outside prng fires" ~path:apps ~rule:"D2"
+      "let roll () = Random.int 6";
+    fires "Random.State outside prng fires" ~path:apps ~rule:"D2"
+      "let roll st = Random.State.int st 6";
+    fires "gettimeofday fires" ~path:apps ~rule:"D2"
+      "let now () = Unix.gettimeofday ()";
+    fires "Sys.time fires" ~path:apps ~rule:"D2" "let now () = Sys.time ()";
+    silent "Random inside lib/stdx/prng.ml is the one sanctioned home"
+      ~path:"lib/stdx/prng.ml" "let draw st = Random.State.int st 10";
+    downgraded "allow attribute on the binding" ~path:apps ~rule:"D2"
+      "let now () = Unix.gettimeofday () [@@gcs.lint.allow \"D2\"]";
+    downgraded "floating allow covers the rest of the file" ~path:apps
+      ~rule:"D2" "[@@@gcs.lint.allow \"D2\"]\n\nlet roll () = Random.int 6";
+  ]
+
+let d3 =
+  [
+    fires "= on a constructor fires in core" ~path:core ~rule:"D3"
+      "let f x = x = Some 1";
+    fires "<> on a list fires in core" ~path:core ~rule:"D3"
+      "let f x = x <> []";
+    fires "= on a tuple fires in core" ~path:core ~rule:"D3"
+      "let f a b = (a, b) = (1, 2)";
+    fires "bare polymorphic compare fires in core" ~path:core ~rule:"D3"
+      "let f a b = compare a b";
+    fires "compare passed higher-order fires in core" ~path:core ~rule:"D3"
+      "let sorted xs = List.sort compare xs";
+    fires "Hashtbl.hash fires in core" ~path:core ~rule:"D3"
+      "let h x = Hashtbl.hash x";
+    silent "= against an int literal is scalar" ~path:core "let f x = x = 1";
+    silent "= against a string literal is scalar" ~path:core
+      "let f x = x = \"tag\"";
+    silent "outside core/impl the rule is off" ~path:apps
+      "let f x = x = Some 1";
+    silent "a file defining its own compare shadows the polymorphic one"
+      ~path:core "let compare a b = Int.compare a b\nlet f a b = compare a b";
+    downgraded "allow attribute respected" ~path:core ~rule:"D3"
+      "let f x = ((x = Some 1) [@gcs.lint.allow \"D3\"])";
+  ]
+
+let p1 =
+  [
+    fires "List.hd fires in lib" ~path:apps ~rule:"P1"
+      "let first xs = List.hd xs";
+    fires "Option.get fires in lib" ~path:apps ~rule:"P1"
+      "let v o = Option.get o";
+    fires "Array.unsafe_get fires in lib" ~path:apps ~rule:"P1"
+      "let g a = Array.unsafe_get a 0";
+    silent "outside lib the rule is off" ~path:"bin/fixture.ml"
+      "let first xs = List.hd xs";
+    silent "total match is the fix" ~path:apps
+      "let first = function x :: _ -> x | [] -> invalid_arg \"empty\"";
+    downgraded "allow attribute respected" ~path:apps ~rule:"P1"
+      "let first xs = (List.hd xs [@gcs.lint.allow \"P1\"])";
+    downgraded "allow payload may list several rules" ~path:apps ~rule:"P1"
+      "let first xs = (List.hd xs [@gcs.lint.allow \"D1, P1\"])";
+  ]
+
+let p2 =
+  [
+    fires "catch-all wildcard swallow fires" ~path:apps ~rule:"P2"
+      "let f g = try g () with _ -> 0";
+    fires "catch-all variable swallow fires" ~path:apps ~rule:"P2"
+      "let f g = try g () with e -> ignore e; 0";
+    silent "re-raising catch-all is fine" ~path:apps
+      "let f g = try g () with e -> raise e";
+    silent "specific constructor is fine" ~path:apps
+      "let f g = try g () with Not_found -> 0";
+    silent "guarded catch-all is a deliberate filter" ~path:apps
+      "let f g p = try g () with e when p e -> 0";
+    downgraded "allow attribute respected" ~path:apps ~rule:"P2"
+      "let f g = ((try g () with _ -> 0) [@gcs.lint.allow \"P2\"])";
+  ]
+
+let e0 =
+  [
+    fires "syntax error reports E0, not an exception" ~path:apps ~rule:"E0"
+      "let let = 3";
+  ]
+
+(* The linter's own verdict on the real tree: zero live findings. This
+   is the test-suite twin of the CI `gcs lint` gate, so a hazard
+   introduced without an explicit allow breaks `dune runtest` locally
+   long before CI. *)
+let self_lint () =
+  match Gcs_lint.Driver.find_root () with
+  | None -> Alcotest.fail "no dune-project above the test's cwd"
+  | Some root ->
+      let report = Gcs_lint.Driver.run ~root in
+      if report.Gcs_lint.Driver.files = 0 then
+        Alcotest.fail "self-lint scanned zero files";
+      if not (Gcs_lint.Driver.clean report) then
+        Alcotest.failf "repo does not lint clean:\n%s"
+          (String.concat "\n"
+             (List.map Gcs_lint.Finding.to_string
+                report.Gcs_lint.Driver.findings))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ("D1 unordered iteration", d1);
+      ("D2 entropy and wall clock", d2);
+      ("D3 polymorphic structural ops", d3);
+      ("P1 partial stdlib functions", p1);
+      ("P2 exception swallowing", p2);
+      ("E0 parse failure", e0);
+      ( "self-lint",
+        [ Alcotest.test_case "repo tree is clean" `Quick self_lint ] );
+    ]

@@ -82,12 +82,34 @@ let test_first_message_safe_within_bound () =
         (t -. 50.0 <= Vs_node.impl_d config))
     safes
 
+(* Ring topology, including the wrap at the largest member and the
+   invariant error on a corrupt (empty) view. *)
+let test_ring_successor () =
+  let view = View.make (View_id.make ~num:1 ~origin:0) [ 1; 3; 7 ] in
+  Alcotest.(check int) "middle hops to next" 3 (Vs_node.ring_successor view 1);
+  Alcotest.(check int) "gap is skipped" 7 (Vs_node.ring_successor view 3);
+  Alcotest.(check int) "largest wraps to smallest" 1
+    (Vs_node.ring_successor view 7);
+  (* A non-member asks for its successor during membership churn: same
+     rule, next-greater id, wrapping past the end. *)
+  Alcotest.(check int) "non-member between members" 7
+    (Vs_node.ring_successor view 4);
+  Alcotest.(check int) "non-member above all members wraps" 1
+    (Vs_node.ring_successor view 9);
+  let empty = View.make (View_id.make ~num:2 ~origin:0) [] in
+  Alcotest.check_raises "empty view is a diagnosed invariant violation"
+    (Invalid_argument
+       "Vs_node.ring_successor: invariant violation at proc 5: successor \
+        requested in an empty view")
+    (fun () -> ignore (Vs_node.ring_successor empty 5))
+
 let () =
   Alcotest.run "vs_node_units"
     [
       ( "internals",
         [
           Alcotest.test_case "bound formulas" `Quick test_bounds_formulas;
+          Alcotest.test_case "ring successor" `Quick test_ring_successor;
           Alcotest.test_case "bounds monotone in n" `Quick
             test_bounds_monotone_in_n;
           Alcotest.test_case "initial states" `Quick test_initial_states;
