@@ -7,6 +7,8 @@
                    trace and simulation checking
      gcs nemesis — run the fault-injection harness: a named scenario or a
                    seed-reproducible random schedule, checked end to end
+     gcs fuzz    — coverage-guided schedule fuzzing with counterexample
+                   shrinking (and planted-bug mutants to validate it)
      gcs soak    — a batch of random nemesis schedules on a domain pool
      gcs metrics — run one schedule and print its metrics registry
      gcs timeline— ASCII timeline of a schedule: statuses, views, traffic *)
@@ -550,6 +552,215 @@ let timeline_cmd =
       const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg
       $ scenario_pos_arg $ events_arg $ until_opt_arg $ width_arg)
 
+(* ------------------------------- fuzz ------------------------------- *)
+
+let fuzz_cmd =
+  let execs_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "execs" ] ~docv:"K"
+          ~doc:"Execution budget (the fuzzer stops early on a failure).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"K"
+          ~doc:
+            "Candidates generated per round. Fixed independently of --jobs, \
+             so results are bit-identical at any job count.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Write the final corpus to DIR (one .sched file per entry).")
+  in
+  let mutant_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "mutant" ] ~docv:"NAME"
+          ~doc:"Fuzz against a planted bug (see --list-mutants).")
+  in
+  let list_mutants_arg =
+    Arg.(
+      value & flag
+      & info [ "list-mutants" ] ~doc:"List the planted-bug mutants.")
+  in
+  let expect_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-failure" ]
+          ~doc:
+            "Invert the exit status: succeed iff a failure was found \
+             (canary mode — CI runs the planted mutants this way).")
+  in
+  let repro_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:
+            "Write the shrunk reproducer schedule to FILE and its replayed \
+             client trace to FILE.trace (replayable with gcs fuzz --replay \
+             FILE / gcs check to FILE.trace).")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Execute one schedule file and report its verdict instead of \
+             fuzzing.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & opt int 600
+      & info [ "shrink-budget" ] ~docv:"K"
+          ~doc:"Oracle executions the shrinker may spend.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the run statistics as one JSON object.")
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  let run n delta pi mu seed jobs execs batch corpus mutant list_mutants expect
+      repro replay shrink_budget json =
+    if list_mutants then
+      List.iter
+        (fun m ->
+          Printf.printf "%-24s %s (flagged by: %s)\n" m.Gcs_fuzz.Mutant.name
+            m.Gcs_fuzz.Mutant.doc
+            (String.concat ", " m.Gcs_fuzz.Mutant.expected_checks))
+        Gcs_fuzz.Mutant.all
+    else begin
+      let vs_config = mk_config n delta pi mu in
+      let config = To_service.make_config vs_config in
+      let mutant =
+        match mutant with
+        | "" -> None
+        | name -> (
+            match Gcs_fuzz.Mutant.find name with
+            | Some m -> Some m
+            | None ->
+                Printf.eprintf "error: unknown mutant %s (try --list-mutants)\n"
+                  name;
+                exit 2)
+      in
+      if replay <> "" then begin
+        let contents =
+          let ic = open_in replay in
+          let len = in_channel_length ic in
+          let s = really_input_string ic len in
+          close_in ic;
+          s
+        in
+        match Gcs_fuzz.Input.of_string contents with
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            exit 2
+        | Ok input -> (
+            let obs = Gcs_fuzz.Runner.execute ?mutant ~config input in
+            match obs.Gcs_fuzz.Runner.verdict with
+            | None ->
+                Printf.printf "replay %s: PASS (%d deliveries, %d features)\n"
+                  replay obs.Gcs_fuzz.Runner.deliveries
+                  (Gcs_fuzz.Coverage.cardinal obs.Gcs_fuzz.Runner.coverage)
+            | Some f ->
+                Printf.printf "replay %s: FAIL [%s]\n%s\n" replay
+                  f.Gcs_fuzz.Runner.check f.Gcs_fuzz.Runner.detail;
+                exit 1)
+      end
+      else begin
+        let jobs = resolve_jobs jobs in
+        let progress =
+          if json then None
+          else
+            Some
+              (fun s ->
+                if s.Gcs_fuzz.Fuzz.rounds mod 50 = 0 then
+                  Printf.printf "  execs %5d  corpus %3d  features %4d\n%!"
+                    s.Gcs_fuzz.Fuzz.execs s.Gcs_fuzz.Fuzz.corpus_size
+                    s.Gcs_fuzz.Fuzz.features)
+        in
+        let outcome =
+          Gcs_fuzz.Fuzz.run ?mutant ~jobs ~batch ~shrink_budget ?progress
+            ~config ~seed ~execs ()
+        in
+        if json then print_endline (Gcs_fuzz.Fuzz.stats_to_json outcome)
+        else begin
+          Printf.printf
+            "fuzz: %d execs in %d rounds, corpus %d, %d features (seed %d, \
+             jobs %d)\n"
+            outcome.Gcs_fuzz.Fuzz.stats.Gcs_fuzz.Fuzz.execs
+            outcome.Gcs_fuzz.Fuzz.stats.Gcs_fuzz.Fuzz.rounds
+            outcome.Gcs_fuzz.Fuzz.stats.Gcs_fuzz.Fuzz.corpus_size
+            outcome.Gcs_fuzz.Fuzz.stats.Gcs_fuzz.Fuzz.features seed jobs;
+          match outcome.Gcs_fuzz.Fuzz.failure with
+          | None -> Printf.printf "no failures found\n"
+          | Some (input, f) -> (
+              Printf.printf "FAILURE [%s] on a %d-event schedule:\n%s\n"
+                f.Gcs_fuzz.Runner.check
+                (Gcs_fuzz.Input.events input)
+                f.Gcs_fuzz.Runner.detail;
+              match outcome.Gcs_fuzz.Fuzz.shrunk with
+              | None -> ()
+              | Some s ->
+                  Printf.printf "shrunk to %d events in %d oracle execs:\n"
+                    (Gcs_fuzz.Input.events s.Gcs_fuzz.Shrink.input)
+                    s.Gcs_fuzz.Shrink.execs;
+                  List.iter
+                    (fun line -> Printf.printf "  %s\n" line)
+                    s.Gcs_fuzz.Shrink.log;
+                  print_string
+                    (Gcs_fuzz.Input.to_string s.Gcs_fuzz.Shrink.input))
+        end;
+        if corpus <> "" then begin
+          (try Unix.mkdir corpus 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          let entries = Gcs_fuzz.Fuzz.corpus_strings outcome in
+          List.iteri
+            (fun i s ->
+              write_file
+                (Filename.concat corpus (Printf.sprintf "%03d.sched" i))
+                s)
+            entries;
+          if not json then
+            Printf.printf "wrote %d corpus entries to %s\n"
+              (List.length entries) corpus
+        end;
+        (match (outcome.Gcs_fuzz.Fuzz.shrunk, repro) with
+        | Some s, file when file <> "" ->
+            let input = s.Gcs_fuzz.Shrink.input in
+            write_file file (Gcs_fuzz.Input.to_string input);
+            let trace, _ = Gcs_fuzz.Runner.replay ?mutant ~config input in
+            write_file (file ^ ".trace") (Trace_io.to_to_string trace ^ "\n");
+            if not json then
+              Printf.printf "wrote %s and %s.trace\n" file file
+        | _ -> ());
+        let found = Option.is_some outcome.Gcs_fuzz.Fuzz.failure in
+        if expect <> found then exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Coverage-guided schedule fuzzing of the end-to-end TO service: \
+          mutate nemesis schedules + workloads + engine seeds under an \
+          abstract-state coverage power schedule, execute candidate batches \
+          on a domain pool, check every oracle (trace conformance, the \
+          Theorem 7.2 delivery bound, node-local invariants), and \
+          delta-debug the first failing schedule to a locally minimal \
+          reproducer. Deterministic for a given --seed at any --jobs.")
+    Term.(
+      const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg $ jobs_arg
+      $ execs_arg $ batch_arg $ corpus_arg $ mutant_arg $ list_mutants_arg
+      $ expect_arg $ repro_arg $ replay_arg $ shrink_arg $ json_arg)
+
 (* ------------------------------- lint ------------------------------- *)
 
 let lint_cmd =
@@ -768,6 +979,7 @@ let () =
             spec_cmd;
             check_cmd;
             nemesis_cmd;
+            fuzz_cmd;
             soak_cmd;
             metrics_cmd;
             timeline_cmd;

@@ -26,6 +26,11 @@ let check_state invariants state step_index culprit =
   in
   go invariants
 
+let first_failure invariants state =
+  match check_state invariants state 0 None with
+  | None -> None
+  | Some v -> Some (v.invariant, v.detail)
+
 let first_violation invariants (e : ('s, 'a) Exec.execution) =
   match check_state invariants e.Exec.init 0 None with
   | Some v -> Some v

@@ -19,6 +19,11 @@ type 'a violation = {
   detail : string;
 }
 
+val first_failure : 's t list -> 's -> (string * string) option
+(** Check a single state (no execution context): the first failing
+    invariant as [(name, detail)]. Used by harnesses that only see final
+    states — e.g. the schedule fuzzer's node-local oracle. *)
+
 val first_violation :
   's t list -> ('s, 'a) Exec.execution -> 'a violation option
 (** First violation in the execution (checking the initial state and the

@@ -1,0 +1,20 @@
+module S = Set.Make (String)
+
+type t = S.t
+
+let empty = S.empty
+let add t feature = S.add feature t
+let of_list = S.of_list
+let union = S.union
+let cardinal = S.cardinal
+let novel ~base t = S.cardinal (S.diff t base)
+let to_list = S.elements
+
+let bucket n =
+  if n <= 0 then 0
+  else if n <= 3 then n
+  else if n < 8 then 4
+  else if n < 16 then 8
+  else if n < 32 then 16
+  else if n < 128 then 32
+  else 128

@@ -1,0 +1,30 @@
+(** Abstract-state coverage maps.
+
+    A coverage map is a set of {e features} — short strings naming an
+    abstract behaviour an execution exhibited: a VStoTO status-pair
+    transition, a primary/non-primary switch, a (bucketed) view-id edge,
+    a bucketed packet- or delivery-count. The fuzzer keeps the union over
+    all executions and admits an input into the corpus exactly when its
+    run contributed a feature the union did not already contain
+    (greybox feedback, StateAFL-style but over protocol state instead of
+    branch edges). Features are deterministic functions of the run, so
+    coverage — like everything else — is reproducible from the seed. *)
+
+type t
+
+val empty : t
+val add : t -> string -> t
+val of_list : string list -> t
+val union : t -> t -> t
+val cardinal : t -> int
+
+val novel : base:t -> t -> int
+(** Features in the second map that [base] lacks. *)
+
+val to_list : t -> string list
+(** Sorted; snapshots of equal maps render to equal bytes. *)
+
+val bucket : int -> int
+(** AFL-style count bucketing: exact 0-3, then 4, 8, 16, 32, 128.
+    Counters contribute the bucket, not the raw count, so runs differing
+    only in uninteresting magnitudes map to the same features. *)

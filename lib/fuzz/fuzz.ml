@@ -1,0 +1,292 @@
+open Gcs_core
+open Gcs_impl
+open Gcs_nemesis
+module Prng = Gcs_stdx.Prng
+module Seqx = Gcs_stdx.Seqx
+
+type stats = {
+  execs : int;
+  rounds : int;
+  corpus_size : int;
+  features : int;
+}
+
+type entry = { input : Input.t; novelty : int }
+
+type outcome = {
+  stats : stats;
+  corpus : entry list;
+  coverage : Coverage.t;
+  failure : (Input.t * Runner.failure) option;
+  shrunk : Shrink.result option;
+}
+
+(* --------------------------- seed corpus ----------------------------- *)
+
+(* A handful of deterministic starting points spanning the fault model:
+   fault-free, clean split+heal, leader crash+recover, and one short
+   random schedule drawn from the master PRNG. *)
+let seed_inputs ~procs ~prng =
+  let n = List.length procs in
+  let majority = List.filteri (fun i _ -> i < (n / 2) + 1) procs in
+  let minority = List.filteri (fun i _ -> i >= (n / 2) + 1) procs in
+  let leader = match procs with p :: _ -> p | [] -> 0 in
+  let workload =
+    Harness.default_workload ~procs ~from_time:8.0 ~spacing:12.0 ~count:2 ()
+  in
+  let base = { Input.seed = 1; steps = []; workload } in
+  List.map Input.normalize
+    [
+      base;
+      {
+        base with
+        Input.steps =
+          [
+            Scenario.at 20.0 (Scenario.Partition [ majority; minority ]);
+            Scenario.at 60.0 Scenario.Heal;
+          ];
+      };
+      {
+        base with
+        Input.steps =
+          [
+            Scenario.at 20.0 (Scenario.Crash leader);
+            Scenario.at 55.0 (Scenario.Recover leader);
+          ];
+      };
+      {
+        base with
+        Input.steps = Gen.steps ~procs ~events:4 ~start:15.0 ~spacing:12.0 ~prng ();
+      };
+    ]
+
+(* ----------------------------- mutation ------------------------------ *)
+
+let clamp_time at = Float.max 1.0 (Float.min 120.0 at)
+
+(* Power schedule: energy grows with the coverage an entry discovered at
+   admission, with a bonus for small schedules (cheaper to execute,
+   easier to shrink). *)
+let entry_weight e =
+  1 + min e.novelty 16 + (if Input.events e.input <= 12 then 4 else 0)
+
+let pick_entry prng corpus =
+  Prng.weighted prng (List.map (fun e -> (entry_weight e, e)) corpus)
+
+let delete_nth k xs = List.filteri (fun i _ -> i <> k) xs
+
+let mutate ~procs ~prng ~fresh ~max_events corpus =
+  let base = pick_entry prng corpus in
+  let t = ref base.input in
+  (* Mostly single mutations; occasionally a havoc burst of 2-4. *)
+  let ops = if Prng.int prng 4 = 0 then 2 + Prng.int prng 3 else 1 in
+  for _ = 1 to ops do
+    let x = !t in
+    let nsteps = List.length x.Input.steps in
+    let nload = List.length x.Input.workload in
+    let choice =
+      Prng.weighted prng
+        [
+          (3, `Perturb_step);
+          (2, `Delete_step);
+          (3, `Insert_fault);
+          (2, `Insert_partition);
+          (2, `Perturb_load);
+          (2, `Delete_load);
+          (3, `Insert_load);
+          (2, `Reseed);
+          (2, `Splice);
+        ]
+    in
+    t :=
+      (match choice with
+      | `Perturb_step when nsteps > 0 ->
+          let k = Prng.int prng nsteps in
+          let jitter = (Prng.float prng -. 0.5) *. 30.0 in
+          {
+            x with
+            Input.steps =
+              List.mapi
+                (fun i s ->
+                  if i = k then
+                    { s with Scenario.at = clamp_time (s.Scenario.at +. jitter) }
+                  else s)
+                x.Input.steps;
+          }
+      | `Delete_step when nsteps > 0 ->
+          { x with Input.steps = delete_nth (Prng.int prng nsteps) x.Input.steps }
+      | `Insert_fault ->
+          let start = 1.0 +. (Prng.float prng *. 90.0) in
+          {
+            x with
+            Input.steps =
+              x.Input.steps
+              @ Gen.steps ~procs ~events:1 ~start ~spacing:10.0 ~prng ();
+          }
+      | `Insert_partition ->
+          let shuffled = Prng.shuffle prng procs in
+          let k = 1 + Prng.int prng (max 1 (List.length procs - 1)) in
+          let a = List.sort Proc.compare (Seqx.take k shuffled) in
+          let b = List.sort Proc.compare (Seqx.drop k shuffled) in
+          let from = 1.0 +. (Prng.float prng *. 80.0) in
+          let until = clamp_time (from +. 10.0 +. (Prng.float prng *. 40.0)) in
+          {
+            x with
+            Input.steps =
+              x.Input.steps
+              @ [
+                  Scenario.at from (Scenario.Partition [ a; b ]);
+                  Scenario.at until Scenario.Heal;
+                ];
+          }
+      | `Perturb_load when nload > 0 ->
+          let k = Prng.int prng nload in
+          let jitter = (Prng.float prng -. 0.5) *. 30.0 in
+          {
+            x with
+            Input.workload =
+              List.mapi
+                (fun i (at, p, v) ->
+                  if i = k then (clamp_time (at +. jitter), p, v) else (at, p, v))
+                x.Input.workload;
+          }
+      | `Delete_load when nload > 0 ->
+          {
+            x with
+            Input.workload = delete_nth (Prng.int prng nload) x.Input.workload;
+          }
+      | `Insert_load ->
+          let p = Prng.pick_exn prng procs in
+          let at = 1.0 +. (Prng.float prng *. 100.0) in
+          incr fresh;
+          {
+            x with
+            Input.workload =
+              x.Input.workload @ [ (at, p, Printf.sprintf "f%d" !fresh) ];
+          }
+      | `Reseed -> { x with Input.seed = Prng.int prng 1_000_000 }
+      | `Splice ->
+          let other = (pick_entry prng corpus).input in
+          let head xs = Seqx.take ((List.length xs + 1) / 2) xs in
+          let tail xs = Seqx.drop (List.length xs / 2) xs in
+          {
+            x with
+            Input.steps = head x.Input.steps @ tail other.Input.steps;
+            workload = head x.Input.workload @ tail other.Input.workload;
+          }
+      | _ -> x)
+  done;
+  (* Size cap: delete random events until within bounds, so mutation
+     cannot snowball schedules past what a round can afford to run. *)
+  let rec cap x =
+    if Input.events x <= max_events then x
+    else
+      let nsteps = List.length x.Input.steps in
+      let nload = List.length x.Input.workload in
+      if nsteps > 0 && (nload = 0 || Prng.bool prng) then
+        cap { x with Input.steps = delete_nth (Prng.int prng nsteps) x.Input.steps }
+      else if nload > 0 then
+        cap
+          {
+            x with
+            Input.workload = delete_nth (Prng.int prng nload) x.Input.workload;
+          }
+      else x
+  in
+  Input.normalize (cap !t)
+
+(* ----------------------------- main loop ----------------------------- *)
+
+let run ?mutant ?jobs ?(batch = 8) ?(shrink_budget = 600) ?(max_events = 40)
+    ?progress ~config ~seed ~execs () =
+  let procs = config.To_service.vs.Vs_node.procs in
+  let prng = Prng.create seed in
+  let fresh = ref 0 in
+  let coverage = ref Coverage.empty in
+  let corpus = ref [] in
+  let spent = ref 0 in
+  let rounds = ref 0 in
+  let failure = ref None in
+  let stats () =
+    {
+      execs = !spent;
+      rounds = !rounds;
+      corpus_size = List.length !corpus;
+      features = Coverage.cardinal !coverage;
+    }
+  in
+  (* Candidates are generated sequentially from the master PRNG and
+     executed on the pool; results are folded back in input order, so
+     coverage merging, corpus admission and failure selection do not
+     depend on domain scheduling. *)
+  let run_batch inputs =
+    let results =
+      Gcs_stdx.Pool.map ?jobs (fun i -> Runner.execute ?mutant ~config i) inputs
+    in
+    spent := !spent + List.length inputs;
+    List.iter2
+      (fun input obs ->
+        let novelty = Coverage.novel ~base:!coverage obs.Runner.coverage in
+        coverage := Coverage.union !coverage obs.Runner.coverage;
+        match obs.Runner.verdict with
+        | Some f -> if Option.is_none !failure then failure := Some (input, f)
+        | None ->
+            if novelty > 0 && List.length !corpus < 256 then
+              corpus := !corpus @ [ { input; novelty } ])
+      inputs results;
+    match progress with Some f -> f (stats ()) | None -> ()
+  in
+  run_batch (Seqx.take (max 1 execs) (seed_inputs ~procs ~prng));
+  while
+    Option.is_none !failure
+    && !spent < execs
+    && not (List.is_empty !corpus)
+  do
+    incr rounds;
+    let wanted = min batch (execs - !spent) in
+    let rec gen k acc =
+      if k = 0 then List.rev acc
+      else gen (k - 1) (mutate ~procs ~prng ~fresh ~max_events !corpus :: acc)
+    in
+    run_batch (gen wanted [])
+  done;
+  let shrunk =
+    match !failure with
+    | None -> None
+    | Some (input, f) ->
+        let oracle =
+          Runner.oracle ?mutant ~config ~check:f.Runner.check
+        in
+        Some (Shrink.minimize ~budget:shrink_budget ~oracle input f)
+  in
+  {
+    stats = stats ();
+    corpus = !corpus;
+    coverage = !coverage;
+    failure = !failure;
+    shrunk;
+  }
+
+(* ----------------------------- reporting ----------------------------- *)
+
+let stats_to_json outcome =
+  let failure_json =
+    match (outcome.failure, outcome.shrunk) with
+    | Some (input, f), Some s ->
+        Printf.sprintf
+          {|{"check":"%s","events":%d,"shrunk_events":%d,"shrink_execs":%d}|}
+          f.Runner.check (Input.events input)
+          (Input.events s.Shrink.input)
+          s.Shrink.execs
+    | Some (input, f), None ->
+        Printf.sprintf {|{"check":"%s","events":%d}|} f.Runner.check
+          (Input.events input)
+    | None, _ -> "null"
+  in
+  Printf.sprintf
+    {|{"execs":%d,"rounds":%d,"corpus":%d,"features":%d,"failure":%s}|}
+    outcome.stats.execs outcome.stats.rounds outcome.stats.corpus_size
+    outcome.stats.features failure_json
+
+let corpus_strings outcome =
+  List.map (fun e -> Input.to_string e.input) outcome.corpus

@@ -1,0 +1,63 @@
+open Gcs_impl
+
+(** The coverage-guided schedule fuzzer (the main loop).
+
+    Greybox fuzzing over simulated executions: a corpus of schedules is
+    mutated under a power schedule that favours entries which discovered
+    more abstract-state coverage, candidate batches are executed in
+    parallel on a {!Gcs_stdx.Pool}, and the first failing execution is
+    handed to the {!Shrink} delta-debugger.
+
+    Determinism: candidate generation draws from one master PRNG
+    {e sequentially}, batches have a fixed size independent of the job
+    count, executions are pure per input, and results are folded back in
+    input order — so the corpus, coverage map, found failure and shrunk
+    reproducer are byte-identical at any [jobs], and reproducible from
+    [seed] alone. *)
+
+type stats = {
+  execs : int;  (** executions performed (seed corpus included) *)
+  rounds : int;  (** mutation batches executed *)
+  corpus_size : int;
+  features : int;  (** cardinality of the global coverage map *)
+}
+
+type entry = { input : Input.t; novelty : int }
+(** A corpus member and the number of features it contributed when
+    admitted (its power-schedule energy). *)
+
+type outcome = {
+  stats : stats;
+  corpus : entry list;  (** in admission order *)
+  coverage : Coverage.t;
+  failure : (Input.t * Runner.failure) option;
+      (** first failing input, pre-shrink *)
+  shrunk : Shrink.result option;
+}
+
+val run :
+  ?mutant:Mutant.t ->
+  ?jobs:int ->
+  ?batch:int ->
+  ?shrink_budget:int ->
+  ?max_events:int ->
+  ?progress:(stats -> unit) ->
+  config:To_service.config ->
+  seed:int ->
+  execs:int ->
+  unit ->
+  outcome
+(** [run ~config ~seed ~execs ()] fuzzes until a failure is found or
+    [execs] executions are spent. [batch] (default 8) candidates are
+    generated per round; [max_events] (default 40) caps mutated schedule
+    size; [jobs] defaults to [GCS_JOBS]; [progress] is called after every
+    round. *)
+
+val stats_to_json : outcome -> string
+(** Flat deterministic JSON of the run's observable results (stats,
+    failure check, event counts before/after shrinking) — the
+    across-[jobs] determinism tests compare these bytes. *)
+
+val corpus_strings : outcome -> string list
+(** Serialized corpus in admission order ({!Input.to_string}), for
+    corpus dumps and byte-level determinism comparison. *)

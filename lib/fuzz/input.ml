@@ -1,0 +1,181 @@
+open Gcs_core
+open Gcs_nemesis
+
+type t = {
+  seed : int;
+  steps : Scenario.step list;
+  workload : (float * Proc.t * Value.t) list;
+}
+
+let events t = List.length t.steps + List.length t.workload
+
+let normalize t =
+  let steps =
+    List.stable_sort
+      (fun a b -> Float.compare a.Scenario.at b.Scenario.at)
+      t.steps
+  in
+  let workload =
+    List.stable_sort (fun (a, _, _) (b, _, _) -> Float.compare a b) t.workload
+  in
+  (* The TO-property checker requires distinct values per origin; keep the
+     first occurrence of each (origin, value) pair. *)
+  let seen = ref [] in
+  let workload =
+    List.filter
+      (fun (_, p, v) ->
+        if List.exists (fun (q, w) -> Proc.equal p q && Value.equal v w) !seen
+        then false
+        else begin
+          seen := (p, v) :: !seen;
+          true
+        end)
+      workload
+  in
+  { t with steps; workload }
+
+let scenario ~procs t =
+  Scenario.v "fuzz" (Scenario.stabilize ~procs t.steps)
+
+(* ------------------------------ printing ------------------------------ *)
+
+let string_of_status = function
+  | Fstatus.Good -> "good"
+  | Fstatus.Bad -> "bad"
+  | Fstatus.Ugly -> "ugly"
+
+let status_of_string = function
+  | "good" -> Some Fstatus.Good
+  | "bad" -> Some Fstatus.Bad
+  | "ugly" -> Some Fstatus.Ugly
+  | _ -> None
+
+let string_of_op = function
+  | Scenario.Partition parts ->
+      Printf.sprintf "partition %s"
+        (String.concat "/"
+           (List.map
+              (fun part -> String.concat "," (List.map string_of_int part))
+              parts))
+  | Scenario.Heal -> "heal"
+  | Scenario.Crash p -> Printf.sprintf "crash %d" p
+  | Scenario.Recover p -> Printf.sprintf "recover %d" p
+  | Scenario.Degrade (p, q, s) ->
+      Printf.sprintf "degrade %d %d %s" p q (string_of_status s)
+  | Scenario.Slow p -> Printf.sprintf "slow %d" p
+  | Scenario.Wake p -> Printf.sprintf "wake %d" p
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" t.seed);
+  List.iter
+    (fun step ->
+      Buffer.add_string buf
+        (Printf.sprintf "step %.6f %s\n" step.Scenario.at
+           (string_of_op step.Scenario.op)))
+    t.steps;
+  List.iter
+    (fun (time, p, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "load %.6f %d %s\n" time p (Trace_io.escape v)))
+    t.workload;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b = String.equal (to_string a) (to_string b)
+
+(* ------------------------------ parsing ------------------------------- *)
+
+let int_opt s = int_of_string_opt s
+
+let parts_of_string s =
+  if String.equal s "" then Some []
+  else
+    let parse_part part =
+      if String.equal part "" then Some []
+      else
+        let ids = String.split_on_char ',' part in
+        List.fold_left
+          (fun acc id ->
+            match (acc, int_opt id) with
+            | Some ps, Some p -> Some (p :: ps)
+            | _ -> None)
+          (Some []) ids
+        |> Option.map List.rev
+    in
+    List.fold_left
+      (fun acc part ->
+        match (acc, parse_part part) with
+        | Some ps, Some p -> Some (p :: ps)
+        | _ -> None)
+      (Some [])
+      (String.split_on_char '/' s)
+    |> Option.map List.rev
+
+let op_of_words words =
+  match words with
+  | [ "partition" ] -> Some (Scenario.Partition [])
+  | [ "partition"; parts ] ->
+      Option.map (fun p -> Scenario.Partition p) (parts_of_string parts)
+  | [ "heal" ] -> Some Scenario.Heal
+  | [ "crash"; p ] -> Option.map (fun p -> Scenario.Crash p) (int_opt p)
+  | [ "recover"; p ] -> Option.map (fun p -> Scenario.Recover p) (int_opt p)
+  | [ "degrade"; p; q; s ] -> (
+      match (int_opt p, int_opt q, status_of_string s) with
+      | Some p, Some q, Some s -> Some (Scenario.Degrade (p, q, s))
+      | _ -> None)
+  | [ "slow"; p ] -> Option.map (fun p -> Scenario.Slow p) (int_opt p)
+  | [ "wake"; p ] -> Option.map (fun p -> Scenario.Wake p) (int_opt p)
+  | _ -> None
+
+let of_string text =
+  let err lineno line reason =
+    Error (Printf.sprintf "line %d: %s: %s" lineno reason line)
+  in
+  let parse acc lineno line =
+    match acc with
+    | Error _ -> acc
+    | Ok t -> (
+        let trimmed = String.trim line in
+        if String.equal trimmed "" || String.length trimmed > 0 && trimmed.[0] = '#'
+        then acc
+        else
+          match String.split_on_char ' ' trimmed with
+          | "seed" :: [ n ] -> (
+              match int_opt n with
+              | Some seed -> Ok { t with seed }
+              | None -> err lineno line "bad seed")
+          | "step" :: time :: rest -> (
+              match (float_of_string_opt time, op_of_words rest) with
+              | Some at, Some op ->
+                  Ok { t with steps = { Scenario.at; op } :: t.steps }
+              | _ -> err lineno line "bad step")
+          (* An empty value escapes to the empty string and its field is
+             then lost to [trim]; a three-field load line is unambiguously
+             an empty value because [Trace_io.escape] encodes spaces. *)
+          | "load" :: time :: [ p ] -> (
+              match (float_of_string_opt time, int_opt p) with
+              | Some at, Some p ->
+                  Ok { t with workload = (at, p, "") :: t.workload }
+              | _ -> err lineno line "bad load")
+          | "load" :: time :: p :: [ value ] -> (
+              match
+                (float_of_string_opt time, int_opt p, Trace_io.unescape value)
+              with
+              | Some at, Some p, Some v ->
+                  Ok { t with workload = (at, p, v) :: t.workload }
+              | _ -> err lineno line "bad load")
+          | _ -> err lineno line "unrecognized line")
+  in
+  let lines = String.split_on_char '\n' text in
+  let result, _ =
+    List.fold_left
+      (fun (acc, lineno) line -> (parse acc lineno line, lineno + 1))
+      (Ok { seed = 0; steps = []; workload = [] }, 1)
+      lines
+  in
+  Result.map
+    (fun t ->
+      normalize { t with steps = List.rev t.steps; workload = List.rev t.workload })
+    result

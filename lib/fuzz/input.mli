@@ -1,0 +1,52 @@
+open Gcs_core
+open Gcs_nemesis
+
+(** Fuzz inputs: serialized schedules.
+
+    An input is everything a simulated execution depends on — the engine
+    PRNG seed, the nemesis fault steps, and the client workload. The
+    fuzzer mutates inputs, the runner executes them, and the shrinker
+    deletes from them; all three speak this one type, and its text form
+    is the on-disk corpus/repro format (one line per component, values
+    %-escaped with {!Gcs_core.Trace_io}, so arbitrary strings
+    round-trip). *)
+
+type t = {
+  seed : int;  (** engine PRNG seed *)
+  steps : Scenario.step list;  (** fault schedule, without the finale *)
+  workload : (float * Proc.t * Value.t) list;
+}
+
+val events : t -> int
+(** Schedule size: fault steps plus workload submissions. The shrinker
+    minimizes this count. *)
+
+val normalize : t -> t
+(** Canonical form: steps stably sorted by time, workload stably sorted
+    by time, and workload deduplicated by (origin, value) — the
+    TO-property checker requires distinct values per origin, so a
+    degenerate mutation must not read as a spurious violation. *)
+
+val scenario : procs:Proc.t list -> t -> Scenario.t
+(** The stabilized scenario: the input's steps plus the
+    {!Scenario.stabilize} finale, so every fuzz execution ends fully good
+    and the Theorem 7.2 delivery bound is an applicable oracle. *)
+
+val to_string : t -> string
+(** Line-oriented text form:
+    {v
+    seed <n>
+    step <time> partition 0,1/2,3
+    step <time> heal | crash <p> | recover <p>
+    step <time> degrade <p> <q> good|bad|ugly
+    step <time> slow <p> | wake <p>
+    load <time> <p> <escaped-value>
+    v} *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string} (modulo {!normalize}); blank lines and [#]
+    comments are skipped. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,219 @@
+open Gcs_core
+open Gcs_impl
+open Gcs_sim
+
+type handlers =
+  (To_service.node, Value.t, Msg.t Wire.packet, To_service.out)
+  Engine.handlers
+
+type t = {
+  name : string;
+  doc : string;
+  expected_checks : string list;
+  instrument : To_service.config -> handlers -> handlers;
+}
+
+(* Rewrite every effect batch through [f me post_state effects]. *)
+let rewrite f (h : handlers) : handlers =
+  {
+    Engine.on_start =
+      (fun me st ->
+        let st', es = h.Engine.on_start me st in
+        (st', f me st' es));
+    on_input =
+      (fun me ~now v st ->
+        let st', es = h.Engine.on_input me ~now v st in
+        (st', f me st' es));
+    on_packet =
+      (fun me ~now ~src p st ->
+        let st', es = h.Engine.on_packet me ~now ~src p st in
+        (st', f me st' es));
+    on_timer =
+      (fun me ~now ~id st ->
+        let st', es = h.Engine.on_timer me ~now ~id st in
+        (st', f me st' es));
+  }
+
+(* A mutation that fires at most once per run: [f] returns [Some effects']
+   when its trigger holds and it rewrote the batch. The latch lives in the
+   closure, so each [instrument] call (one per executed run) is
+   independent — required for fan-out on a domain pool. *)
+let once f h =
+  let fired = ref false in
+  rewrite
+    (fun me st es ->
+      if !fired then es
+      else
+        match f me st es with
+        | Some es' ->
+            fired := true;
+            es'
+        | None -> es)
+    h
+
+let is_brcv = function
+  | Engine.Output (To_service.Client (To_action.Brcv _)) -> true
+  | _ -> false
+
+(* Split [es] at the first element satisfying [p]:
+   [(before, hit, after)]. *)
+let split_at p es =
+  let rec go before = function
+    | [] -> None
+    | e :: rest when p e -> Some (List.rev before, e, rest)
+    | e :: rest -> go (e :: before) rest
+  in
+  go [] es
+
+let dup_delivery =
+  {
+    name = "dup-delivery";
+    doc = "a delivery is handed to the client twice after the third view";
+    expected_checks = [ "to-conformance" ];
+    instrument =
+      (fun _config h ->
+        once
+          (fun _me st es ->
+            if To_service.node_views_installed st < 3 then None
+            else
+              match split_at is_brcv es with
+              | Some (before, hit, after) ->
+                  Some (before @ [ hit; hit ] @ after)
+              | None -> None)
+          h);
+  }
+
+let drop_delivery =
+  {
+    name = "drop-delivery";
+    doc = "a delivery is silently lost after the second view";
+    expected_checks = [ "to-conformance"; "delivery-bound" ];
+    instrument =
+      (fun _config h ->
+        once
+          (fun _me st es ->
+            if To_service.node_views_installed st < 2 then None
+            else
+              match split_at is_brcv es with
+              | Some (before, _, after) -> Some (before @ after)
+              | None -> None)
+          h);
+  }
+
+let reorder_deliveries =
+  {
+    name = "reorder-deliveries";
+    doc = "two same-batch deliveries reach the client in swapped order";
+    expected_checks = [ "to-conformance" ];
+    instrument =
+      (fun _config h ->
+        once
+          (fun _me _st es ->
+            match split_at is_brcv es with
+            | Some (before, first, rest) -> (
+                match split_at is_brcv rest with
+                | Some (mid, second, after) ->
+                    Some (before @ (second :: mid) @ (first :: after))
+                | None -> None)
+            | None -> None)
+          h);
+  }
+
+let is_newview num = function
+  | Engine.Output (To_service.Vs_layer (Vs_action.Newview { view; _ })) ->
+      view.View.id.View_id.num >= num
+  | _ -> false
+
+let skip_newview =
+  {
+    name = "skip-newview";
+    doc = "a newview announcement is swallowed once view numbers reach 2";
+    expected_checks = [ "vs-conformance" ];
+    instrument =
+      (fun _config h ->
+        once
+          (fun _me _st es ->
+            match split_at (is_newview 2) es with
+            | Some (before, _, after) -> Some (before @ after)
+            | None -> None)
+          h);
+  }
+
+let gprcv_src = function
+  | Engine.Output (To_service.Vs_layer (Vs_action.Gprcv { src; _ })) ->
+      Some src
+  | _ -> None
+
+let reorder_gprcv =
+  {
+    name = "reorder-gprcv";
+    doc = "two same-sender VS deliveries within a view are swapped";
+    expected_checks = [ "vs-conformance" ];
+    instrument =
+      (fun _config h ->
+        once
+          (fun _me st es ->
+            if To_service.node_views_installed st < 2 then None
+            else
+              match split_at (fun e -> Option.is_some (gprcv_src e)) es with
+              | Some (before, first, rest) -> (
+                  let same_src e =
+                    match (gprcv_src first, gprcv_src e) with
+                    | Some a, Some b -> Proc.equal a b
+                    | _ -> false
+                  in
+                  match split_at same_src rest with
+                  | Some (mid, second, after) ->
+                      Some (before @ (second :: mid) @ (first :: after))
+                  | None -> None)
+              | None -> None)
+          h);
+  }
+
+let misattribute_delivery =
+  {
+    name = "misattribute-delivery";
+    doc = "a delivery made in a minority view reports the wrong sender";
+    expected_checks = [ "to-conformance" ];
+    instrument =
+      (fun config h ->
+        let procs = config.To_service.vs.Vs_node.procs in
+        let n = List.length procs in
+        once
+          (fun _me st es ->
+            let minority =
+              match To_service.node_view st with
+              | Some v -> Proc.Set.cardinal v.View.set < n
+              | None -> false
+            in
+            if not minority then None
+            else
+              match split_at is_brcv es with
+              | Some
+                  ( before,
+                    Engine.Output
+                      (To_service.Client (To_action.Brcv { src; dst; value })),
+                    after ) ->
+                  let src' = (src + 1) mod n in
+                  Some
+                    (before
+                    @ Engine.Output
+                        (To_service.Client
+                           (To_action.Brcv { src = src'; dst; value }))
+                      :: after)
+              | Some _ | None -> None)
+          h);
+  }
+
+let all =
+  [
+    dup_delivery;
+    drop_delivery;
+    reorder_deliveries;
+    skip_newview;
+    reorder_gprcv;
+    misattribute_delivery;
+  ]
+
+let find name = List.find_opt (fun m -> String.equal m.name name) all
+let names = List.map (fun m -> m.name) all

@@ -1,0 +1,36 @@
+open Gcs_core
+open Gcs_impl
+
+(** Planted bugs, for validating the fuzzer end to end.
+
+    A mutant emulates a protocol-level defect in VStoTO / VS-node
+    behaviour by rewriting the effect batches the real handlers produce —
+    dropping, duplicating, reordering or misattributing deliveries and
+    view events. Each rewrite fires {e once} per run, and only when a
+    state-dependent trigger holds (enough views installed, a minority
+    view, a multi-delivery batch), so a mutant is only observable on
+    schedules that actually reach the triggering region — exactly what
+    the fuzzer must be able to find, and what the shrinker must preserve
+    while minimizing. Every mutant is constructed so that some run-level
+    oracle (TO/VS conformance, the Theorem 7.2 delivery bound, or a
+    node-local invariant) flags the rewritten run. *)
+
+type handlers =
+  (To_service.node, Value.t, Msg.t Wire.packet, To_service.out)
+  Gcs_sim.Engine.handlers
+
+type t = {
+  name : string;
+  doc : string;  (** the emulated defect, one line *)
+  expected_checks : string list;
+      (** oracles that may flag it, e.g. [["to-conformance"]] — a dropped
+          delivery surfaces as an order gap or as a bound violation
+          depending on whether later deliveries follow it *)
+  instrument : To_service.config -> handlers -> handlers;
+      (** fresh instrumentation per call: the fire-once latch is allocated
+          inside, so instrumented runs on a domain pool stay independent *)
+}
+
+val all : t list
+val find : string -> t option
+val names : string list

@@ -1,0 +1,256 @@
+open Gcs_core
+open Gcs_impl
+open Gcs_nemesis
+open Gcs_sim
+
+type failure = { check : string; detail : string }
+
+type observation = {
+  coverage : Coverage.t;
+  verdict : failure option;
+  bcasts : int;
+  deliveries : int;
+  events_processed : int;
+}
+
+(* ------------------------- coverage features ------------------------- *)
+
+let status_name = function
+  | Vstoto.Normal -> "normal"
+  | Vstoto.Send -> "send"
+  | Vstoto.Collect -> "collect"
+
+let view_feature = function
+  | None -> "-"
+  | Some v ->
+      Printf.sprintf "%d.%d" (Coverage.bucket v.View.id.View_id.num)
+        (Proc.Set.cardinal v.View.set)
+
+(* Features of one handler application: VStoTO status-pair transitions,
+   primary/non-primary switches, and (bucketed view number, membership
+   size) edges. Deliberately processor-free: the abstraction should
+   identify symmetric schedules, not tell processors apart. *)
+let transition_features config me pre post acc =
+  let acc =
+    let s1 = To_service.node_status pre and s2 = To_service.node_status post in
+    if Vstoto.status_equal s1 s2 then acc
+    else
+      Coverage.add acc
+        (Printf.sprintf "st:%s>%s" (status_name s1) (status_name s2))
+  in
+  let acc =
+    let p1 = To_service.node_primary config me pre
+    and p2 = To_service.node_primary config me post in
+    if Bool.equal p1 p2 then acc
+    else Coverage.add acc (Printf.sprintf "pr:%b>%b" p1 p2)
+  in
+  let v1 = To_service.node_view pre and v2 = To_service.node_view post in
+  let changed =
+    match (v1, v2) with
+    | None, None -> false
+    | Some a, Some b -> not (View_id.equal a.View.id b.View.id)
+    | None, Some _ | Some _, None -> true
+  in
+  if changed then
+    Coverage.add acc
+      (Printf.sprintf "vw:%s>%s" (view_feature v1) (view_feature v2))
+  else acc
+
+(* Bucketed run-level counters: packet fates per link status, membership
+   and token activity, client-visible throughput. *)
+let counter_names =
+  [
+    "engine.packets_sent.good";
+    "engine.packets_sent.self";
+    "engine.packets_sent.ugly";
+    "engine.packets_dropped.bad";
+    "engine.packets_dropped.ugly";
+    "engine.events_held.bad";
+    "engine.events_delayed.ugly";
+    "vs.membership_rounds";
+    "vs.token_roundtrips";
+    "vs.tokens_launched";
+    "vs.views_installed";
+  ]
+
+let counter_features metrics ~bcasts ~deliveries acc =
+  let acc =
+    List.fold_left
+      (fun acc name ->
+        Coverage.add acc
+          (Printf.sprintf "m:%s=%d" name
+             (Coverage.bucket (Gcs_stdx.Metrics.counter metrics name))))
+      acc counter_names
+  in
+  let acc =
+    Coverage.add acc (Printf.sprintf "m:to.bcasts=%d" (Coverage.bucket bcasts))
+  in
+  Coverage.add acc
+    (Printf.sprintf "m:to.deliveries=%d" (Coverage.bucket deliveries))
+
+(* -------------------------- node invariants -------------------------- *)
+
+let vstoto_invariants : Vstoto.state Gcs_automata.Invariant.t list =
+  [
+    Gcs_automata.Invariant.make_explained "counters-ordered"
+      (fun (st : Vstoto.state) ->
+        if
+          1 <= st.Vstoto.nextreport
+          && st.Vstoto.nextreport <= st.Vstoto.nextconfirm
+          && st.Vstoto.nextconfirm <= List.length st.Vstoto.order + 1
+        then Ok ()
+        else
+          Error
+            (Printf.sprintf "nextreport=%d nextconfirm=%d |order|=%d"
+               st.Vstoto.nextreport st.Vstoto.nextconfirm
+               (List.length st.Vstoto.order)));
+    Gcs_automata.Invariant.make_explained "order-duplicate-free"
+      (fun (st : Vstoto.state) ->
+        let sorted = List.sort Label.compare st.Vstoto.order in
+        let rec dup = function
+          | a :: (b :: _ as rest) ->
+              if Label.equal a b then Some a else dup rest
+          | [] | [ _ ] -> None
+        in
+        match dup sorted with
+        | None -> Ok ()
+        | Some l -> Error (Format.asprintf "label %a ordered twice" Label.pp l));
+    Gcs_automata.Invariant.make_explained "reported-prefix-content"
+      (fun (st : Vstoto.state) ->
+        let reported = Gcs_stdx.Seqx.take (st.Vstoto.nextreport - 1) st.Vstoto.order in
+        match
+          List.find_opt
+            (fun l -> not (Label.Map.mem l st.Vstoto.content))
+            reported
+        with
+        | None -> Ok ()
+        | Some l ->
+            Error
+              (Format.asprintf "reported label %a has no content" Label.pp l));
+  ]
+
+let node_invariant_failure final_states =
+  List.find_map
+    (fun (p, node) ->
+      match
+        Gcs_automata.Invariant.first_failure vstoto_invariants
+          (To_service.node_app node)
+      with
+      | Some (name, detail) ->
+          Some
+            {
+              check = "node-invariant";
+              detail = Printf.sprintf "proc %d: %s: %s" p name detail;
+            }
+      | None -> None)
+    (Proc.Map.bindings final_states)
+
+(* ------------------------------ verdict ------------------------------ *)
+
+let verdict config ~procs ~until run final_states =
+  match To_service.to_conforms config run with
+  | Error e ->
+      Some
+        {
+          check = "to-conformance";
+          detail = Format.asprintf "%a" To_trace_checker.pp_error e;
+        }
+  | Ok () -> (
+      match To_service.vs_conforms config run with
+      | Error e ->
+          Some
+            {
+              check = "vs-conformance";
+              detail = Format.asprintf "%a" Vs_trace_checker.pp_error e;
+            }
+      | Ok () ->
+          let b', d' = Harness.bounds config in
+          let report =
+            To_property.check ~b:b' ~d:d' ~q:procs ~horizon:until
+              (To_service.client_trace run)
+          in
+          if not (To_property.holds report) then
+            Some
+              {
+                check = "delivery-bound";
+                detail = Format.asprintf "%a" To_property.pp_report report;
+              }
+          else node_invariant_failure final_states)
+
+(* ------------------------------ execute ------------------------------ *)
+
+let execute_full ?mutant ~config input =
+  let procs = config.To_service.vs.Vs_node.procs in
+  let scenario = Input.scenario ~procs input in
+  let until = Harness.default_until ~config scenario in
+  let cov = ref Coverage.empty in
+  (try
+     let failures = Scenario.compile ~procs scenario in
+     let metrics = Gcs_stdx.Metrics.create () in
+     let handlers = To_service.handlers ~metrics config in
+     let handlers =
+       match mutant with
+       | Some m -> m.Mutant.instrument config handlers
+       | None -> handlers
+     in
+     let observe me pre post =
+       cov := transition_features config me pre post !cov
+     in
+     let result =
+       Engine.run ~metrics ~observe
+         (Engine.default_config ~delta:config.To_service.vs.Vs_node.delta)
+         ~procs ~handlers
+         ~init:(To_service.initial config)
+         ~inputs:input.Input.workload ~failures ~until
+         ~prng:(Gcs_stdx.Prng.create input.Input.seed)
+     in
+     let run =
+       {
+         To_service.trace = result.Engine.trace;
+         packets_sent = result.Engine.packets_sent;
+         packets_dropped = result.Engine.packets_dropped;
+         events_processed = result.Engine.events_processed;
+         metrics;
+       }
+     in
+     let bcasts =
+       List.length
+         (List.filter
+            (fun (_, a) ->
+              match a with To_action.Bcast _ -> true | _ -> false)
+            (Timed.actions (To_service.client_trace run)))
+     in
+     let deliveries = To_service.deliveries run in
+     cov := counter_features metrics ~bcasts ~deliveries !cov;
+     ( {
+         coverage = !cov;
+         verdict = verdict config ~procs ~until run result.Engine.final_states;
+         bcasts;
+         deliveries;
+         events_processed = result.Engine.events_processed;
+       },
+       To_service.client_trace run )
+   with e ->
+     (* Any escape from the simulator or a checker is a finding in its own
+        right; converting it keeps domain-pool batches alive and lets the
+        shrinker minimize crashing schedules like any other failure. *)
+     ( {
+         coverage = !cov;
+         verdict = Some { check = "crash"; detail = Printexc.to_string e };
+         bcasts = 0;
+         deliveries = 0;
+         events_processed = 0;
+       },
+       [] ))
+  [@gcs.lint.allow "P2"]
+
+let execute ?mutant ~config input = fst (execute_full ?mutant ~config input)
+
+let replay ?mutant ~config input =
+  let obs, trace = execute_full ?mutant ~config input in
+  (trace, obs.verdict)
+
+let oracle ?mutant ~config ~check input =
+  match (execute ?mutant ~config input).verdict with
+  | Some f when String.equal f.check check -> Some f
+  | Some _ | None -> None

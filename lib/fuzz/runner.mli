@@ -1,0 +1,53 @@
+open Gcs_impl
+
+(** Execute one fuzz input and judge it.
+
+    One execution = compile the input's stabilized scenario, run the TO
+    service in the simulator with the input's seed and workload, collect
+    abstract-state coverage through the engine's [observe] hook, and
+    check every oracle the repository has:
+
+    - the client trace against TO-machine;
+    - the VS-layer trace against VS-machine;
+    - the Theorem 7.2 delivery bound (applicable because fuzz scenarios
+      are always stabilized);
+    - node-local VStoTO state invariants on every final state
+      (counter ordering, duplicate-free order, reported-prefix content).
+
+    The observation is a pure function of (config, mutant, input), so
+    executions fan out over a domain pool without coordination. A raised
+    exception is itself a verdict ([check = "crash"]), never an escape —
+    the fuzzer treats crashes as findings, and a crashing input must not
+    abort the batch that contains it. *)
+
+type failure = { check : string; detail : string }
+
+type observation = {
+  coverage : Coverage.t;
+  verdict : failure option;  (** [None] when every oracle passed *)
+  bcasts : int;
+  deliveries : int;
+  events_processed : int;
+}
+
+val execute :
+  ?mutant:Mutant.t -> config:To_service.config -> Input.t -> observation
+
+val replay :
+  ?mutant:Mutant.t ->
+  config:To_service.config ->
+  Input.t ->
+  Gcs_core.Value.t Gcs_core.To_action.t Gcs_core.Timed.t * failure option
+(** One execution returning the client trace alongside the verdict — used
+    by [gcs fuzz] to dump a shrunk reproducer's trace as a
+    {!Gcs_core.Trace_io} artifact (empty on a crashing input). *)
+
+val oracle :
+  ?mutant:Mutant.t ->
+  config:To_service.config ->
+  check:string ->
+  Input.t ->
+  failure option
+(** The shrinker's test function: [Some f] iff executing the input fails
+    the {e same} check as the failure being minimized (so a reduction
+    cannot drift to a different bug). *)

@@ -1,0 +1,149 @@
+open Gcs_nemesis
+
+type result = {
+  input : Input.t;
+  failure : Runner.failure;
+  execs : int;
+  log : string list;
+}
+
+let minimize ?(budget = 600) ~oracle input failure =
+  let execs = ref 0 in
+  let log = ref [] in
+  let current = ref (Input.normalize input) in
+  let current_failure = ref failure in
+  (* Re-verify one candidate; accept it as the new current input only if
+     the oracle confirms the same failure. *)
+  let attempt note candidate =
+    if !execs >= budget then false
+    else begin
+      incr execs;
+      match oracle candidate with
+      | Some f ->
+          current := candidate;
+          current_failure := f;
+          log :=
+            Printf.sprintf "%s (%d events)" note (Input.events candidate)
+            :: !log;
+          true
+      | None -> false
+    end
+  in
+  (* Chunked deletion over one component list ([steps] or [workload]):
+     sweep chunks of size [chunk] left to right, retrying in place after a
+     successful deletion (the next chunk slid into the gap), then halve
+     the chunk size down to single-event deletion. *)
+  let shrink_list what get set =
+    let changed = ref false in
+    let rec go chunk =
+      if chunk >= 1 then begin
+        let rec sweep start =
+          let xs = get !current in
+          if start < List.length xs then
+            let kept =
+              List.filteri (fun i _ -> i < start || i >= start + chunk) xs
+            in
+            let removed = List.length xs - List.length kept in
+            if
+              removed > 0
+              && attempt
+                   (Printf.sprintf "drop %d %s" removed what)
+                   (Input.normalize (set !current kept))
+            then begin
+              changed := true;
+              sweep start
+            end
+            else sweep (start + chunk)
+        in
+        sweep 0;
+        go (chunk / 2)
+      end
+    in
+    go (max 1 (List.length (get !current) / 2));
+    !changed
+  in
+  let shrink_steps () =
+    shrink_list "steps"
+      (fun t -> t.Input.steps)
+      (fun t steps -> { t with Input.steps })
+  in
+  let shrink_workload () =
+    shrink_list "loads"
+      (fun t -> t.Input.workload)
+      (fun t workload -> { t with Input.workload })
+  in
+  (* Remap the surviving distinct times onto a 5-unit grid, shortening the
+     simulated horizon without reordering anything. *)
+  let compact_times () =
+    let t = !current in
+    let times =
+      List.sort_uniq Float.compare
+        (List.map (fun s -> s.Scenario.at) t.Input.steps
+        @ List.map (fun (at, _, _) -> at) t.Input.workload)
+    in
+    let remap at =
+      let rec idx i = function
+        | [] -> i
+        | x :: rest -> if Float.equal x at then i else idx (i + 1) rest
+      in
+      5.0 *. float_of_int (idx 0 times + 1)
+    in
+    let candidate =
+      Input.normalize
+        {
+          t with
+          Input.steps =
+            List.map
+              (fun s -> { s with Scenario.at = remap s.Scenario.at })
+              t.Input.steps;
+          workload =
+            List.map (fun (at, p, v) -> (remap at, p, v)) t.Input.workload;
+        }
+    in
+    if Input.equal candidate t then false
+    else attempt "compact times" candidate
+  in
+  (* Rename workload values to v0, v1, … preserving equality structure
+     (and hence per-origin distinctness). *)
+  let rename_values () =
+    let t = !current in
+    let mapping = ref [] in
+    let name v =
+      match List.assoc_opt v !mapping with
+      | Some n -> n
+      | None ->
+          let n = Printf.sprintf "v%d" (List.length !mapping) in
+          mapping := (v, n) :: !mapping;
+          n
+    in
+    let workload = List.map (fun (at, p, v) -> (at, p, name v)) t.Input.workload in
+    let candidate = Input.normalize { t with Input.workload } in
+    if Input.equal candidate t then false
+    else attempt "canonicalize values" candidate
+  in
+  (* Strictly decreasing, so fixpoint rounds cannot oscillate between two
+     seeds that both reproduce. *)
+  let minimize_seed () =
+    let t = !current in
+    List.exists
+      (fun s ->
+        t.Input.seed > s
+        && attempt (Printf.sprintf "seed %d" s) { t with Input.seed = s })
+      [ 0; 1 ]
+  in
+  let rec fixpoint () =
+    let changed = ref false in
+    if shrink_steps () then changed := true;
+    if shrink_workload () then changed := true;
+    if compact_times () then changed := true;
+    if rename_values () then changed := true;
+    if minimize_seed () then changed := true;
+    if !changed && !execs < budget then fixpoint ()
+  in
+  fixpoint ();
+  {
+    input = !current;
+    failure = !current_failure;
+    execs = !execs;
+    log = List.rev !log;
+  }

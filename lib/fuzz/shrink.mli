@@ -1,0 +1,37 @@
+(** Counterexample minimization (delta debugging).
+
+    Given a failing input and an oracle that re-executes a candidate and
+    reports whether it still fails the {e same} check, the shrinker
+    produces a locally minimal reproducer:
+
+    - ddmin-style chunked deletion over the fault steps, then over the
+      workload (chunk size halving from n/2 down to single events);
+    - time compaction: the surviving distinct event times are remapped
+      onto a small uniform grid, shortening the simulated horizon;
+    - value canonicalization: workload values are renamed to [v0, v1, …]
+      preserving their equality structure;
+    - engine-seed minimization (try 0, then 1).
+
+    Every reduction is re-verified by the oracle before it is accepted,
+    and the phases loop to a fixpoint within the execution budget, so the
+    result is guaranteed to still fail — there is no unverified step. *)
+
+type result = {
+  input : Input.t;  (** locally minimal, still failing *)
+  failure : Runner.failure;  (** the failure of the {e minimized} input *)
+  execs : int;  (** oracle executions spent *)
+  log : string list;
+      (** accepted reductions in order, e.g. ["drop 4 steps (9 events)"] —
+          the shrink transcript shown by [gcs fuzz] and EXPERIMENTS.md *)
+}
+
+val minimize :
+  ?budget:int ->
+  oracle:(Input.t -> Runner.failure option) ->
+  Input.t ->
+  Runner.failure ->
+  result
+(** [minimize ~oracle input failure] assumes [input] currently fails with
+    [failure] (as produced by {!Runner.execute}); [budget] (default 600)
+    caps oracle executions — on exhaustion the best verified input so far
+    is returned. *)

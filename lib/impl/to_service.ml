@@ -177,6 +177,20 @@ let initial config me =
     staging = [];
   }
 
+(* Observers over the per-processor state, for instrumentation layered on
+   the handlers (coverage probes, planted-bug wrappers in lib/fuzz). *)
+
+let node_app node = node.app
+
+let node_view node = node.app.Vstoto.current
+
+let node_status node = node.app.Vstoto.status
+
+let node_primary config me node =
+  Vstoto.primary (node_params config me) node.app
+
+let node_views_installed node = Vs_node.views_installed node.vs_state
+
 (* Walk the client trace after the run and fill in the TO-level metrics:
    bcast/brcv counts and the per-delivery bcastâbrcv latency histogram.
    Post-run is simpler than instrumenting the drain path (which has no

@@ -43,6 +43,19 @@ val handlers :
   (node, Value.t, Msg.t Wire.packet, out) Gcs_sim.Engine.handlers
 (** Exposed so layers can stack on top (see [Gcs_apps.Session]). *)
 
+(** {2 Node observers}
+
+    Read-only views of the per-processor state, for instrumentation
+    layered on the handlers: the fuzzer's coverage probes (status pairs,
+    primary switches, view transitions) and its planted-bug wrappers. *)
+
+val node_app : node -> Vstoto.state
+val node_view : node -> View.t option
+val node_status : node -> Vstoto.status
+val node_primary : config -> Proc.t -> node -> bool
+val node_views_installed : node -> int
+(** Count of [newview] events at the VS layer of this node. *)
+
 type run = {
   trace : out Timed.t;
   packets_sent : int;

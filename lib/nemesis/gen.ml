@@ -5,8 +5,7 @@ open Gcs_core
    quorum (the run should keep making progress somewhere). *)
 type gstate = { crashed : Proc.t list; slow : Proc.t list }
 
-let scenario ~procs ?(events = 12) ?(start = 40.0) ?(spacing = 40.0) ~seed () =
-  let prng = Gcs_stdx.Prng.create seed in
+let draw_steps ~procs ~events ~start ~spacing ~prng g0 =
   let n = List.length procs in
   let max_crashed = max 1 ((n - 1) / 2) in
   let statuses = [ Fstatus.Ugly; Fstatus.Bad; Fstatus.Good ] in
@@ -59,8 +58,18 @@ let scenario ~procs ?(events = 12) ?(start = 40.0) ?(spacing = 40.0) ~seed () =
         in
         let g, op = draw g in
         (g, Scenario.at t op :: acc))
-      ({ crashed = []; slow = [] }, [])
+      (g0, [])
       (List.init events (fun i -> i))
+  in
+  (g, List.rev steps_rev)
+
+let steps ~procs ?(events = 12) ?(start = 40.0) ?(spacing = 40.0) ~prng () =
+  snd (draw_steps ~procs ~events ~start ~spacing ~prng { crashed = []; slow = [] })
+
+let scenario ~procs ?(events = 12) ?(start = 40.0) ?(spacing = 40.0) ~seed () =
+  let prng = Gcs_stdx.Prng.create seed in
+  let g, steps =
+    draw_steps ~procs ~events ~start ~spacing ~prng { crashed = []; slow = [] }
   in
   let stabilize = start +. (float_of_int (events + 1) *. spacing) in
   let finale =
@@ -68,4 +77,4 @@ let scenario ~procs ?(events = 12) ?(start = 40.0) ?(spacing = 40.0) ~seed () =
     @ List.map (fun p -> Scenario.at stabilize (Scenario.Recover p)) g.crashed
     @ [ Scenario.at stabilize Scenario.Heal ]
   in
-  Scenario.v (Printf.sprintf "random-%d" seed) (List.rev steps_rev @ finale)
+  Scenario.v (Printf.sprintf "random-%d" seed) (steps @ finale)

@@ -6,6 +6,19 @@ open Gcs_core
     recovered and a final heal, making the post-stabilization delivery
     bound of Theorem 7.2 applicable. *)
 
+val steps :
+  procs:Proc.t list ->
+  ?events:int ->
+  ?start:float ->
+  ?spacing:float ->
+  prng:Gcs_stdx.Prng.t ->
+  unit ->
+  Scenario.step list
+(** The raw fault draws of {!scenario} — no recovery finale — from a
+    caller-owned generator, so the fuzzer can draw fresh schedule material
+    (and single-op insertions with [~events:1]) from its own PRNG stream
+    and stabilize the result itself ({!Scenario.stabilize}). *)
+
 val scenario :
   procs:Proc.t list ->
   ?events:int ->

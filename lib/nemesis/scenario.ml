@@ -107,6 +107,20 @@ let all_good ~procs world =
      | [ part ] -> List.for_all (fun p -> List.mem p part) procs
      | _ -> false)
 
+let stabilize ~procs ?at steps =
+  let world =
+    List.fold_left (fun w step -> apply_op ~procs w step.op) (initial_world ~procs) steps
+  in
+  let at =
+    match at with
+    | Some t -> t
+    | None -> List.fold_left (fun acc step -> max acc step.at) 0.0 steps +. 1.0
+  in
+  steps
+  @ List.map (fun p -> { at; op = Wake p }) (Proc.Set.elements world.slow)
+  @ List.map (fun p -> { at; op = Recover p }) (Proc.Set.elements world.crashed)
+  @ [ { at; op = Heal } ]
+
 let compile ~procs scenario =
   let _, events_rev =
     List.fold_left

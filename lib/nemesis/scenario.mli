@@ -56,6 +56,13 @@ val final_world : procs:Proc.t list -> t -> world
 val all_good : procs:Proc.t list -> world -> bool
 (** No crashes, no slow processors, one part, no degradations. *)
 
+val stabilize : procs:Proc.t list -> ?at:float -> step list -> step list
+(** Append a finale — wake every slowed processor, recover every crashed
+    one, then heal — at time [at] (default: last step time + 1.0), so the
+    resulting scenario ends with the world fully good and the
+    post-stabilization delivery bound applies. Used by the fuzzer, whose
+    mutated schedules must stay within the Theorem 7.2 premise. *)
+
 val compile : procs:Proc.t list -> t -> (float * Fstatus.event) list
 (** The engine failure schedule: the full status matrix at each step. *)
 

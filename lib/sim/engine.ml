@@ -92,6 +92,10 @@ type ('state, 'input, 'packet, 'out) sim = {
   config : config;
   prng : Gcs_stdx.Prng.t;
   handlers : ('state, 'input, 'packet, 'out) handlers;
+  observe : (Proc.t -> 'state -> 'state -> unit) option;
+      (* called with (pre, post) after every handler application; used by
+         the fuzzer to derive abstract-state coverage without copying the
+         whole state history into the trace *)
 }
 
 let timer_epoch sim p id =
@@ -204,6 +208,7 @@ let handle sim ~now ~proc payload =
     | Status _ -> (state, [])
   in
   sim.states <- Proc.Map.add proc state' sim.states;
+  (match sim.observe with Some f -> f proc state state' | None -> ());
   apply_effects sim ~now ~proc effects
 
 let release_held sim ~now proc =
@@ -281,7 +286,8 @@ let process_event sim ~now ev =
           schedule sim ~time { ev with delayed_once = true }
       | Fstatus.Good | Fstatus.Ugly -> handle sim ~now ~proc ev.payload)
 
-let run ?metrics config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
+let run ?metrics ?observe config ~procs ~handlers ~init ~inputs ~failures
+    ~until ~prng =
   let metrics =
     match metrics with Some m -> m | None -> Gcs_stdx.Metrics.create ()
   in
@@ -312,6 +318,7 @@ let run ?metrics config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
       config;
       prng;
       handlers;
+      observe;
     }
   in
   List.iter
@@ -329,6 +336,7 @@ let run ?metrics config ~procs ~handlers ~init ~inputs ~failures ~until ~prng =
       let state = Proc.Map.find proc sim.states in
       let state', effects = handlers.on_start proc state in
       sim.states <- Proc.Map.add proc state' sim.states;
+      (match observe with Some f -> f proc state state' | None -> ());
       apply_effects sim ~now:0.0 ~proc effects)
     procs;
   let rec loop () =

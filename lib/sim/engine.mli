@@ -78,6 +78,7 @@ type ('state, 'out) result = {
 
 val run :
   ?metrics:Gcs_stdx.Metrics.t ->
+  ?observe:(Proc.t -> 'state -> 'state -> unit) ->
   config ->
   procs:Proc.t list ->
   handlers:('state, 'input, 'packet, 'out) handlers ->
@@ -87,4 +88,9 @@ val run :
   until:float ->
   prng:Gcs_stdx.Prng.t ->
   ('state, 'out) result
+(** [observe] (when given) is called with the pre- and post-state around
+    every handler application, including the start-up calls — a pure
+    observation hook (it must not mutate shared state that feeds back into
+    the run). The schedule fuzzer uses it to derive abstract-state
+    coverage from state transitions without recording state history. *)
 

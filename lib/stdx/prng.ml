@@ -40,6 +40,15 @@ let pick_exn t xs =
   | Some x -> x
   | None -> invalid_arg "Prng.pick_exn: empty list"
 
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 choices in
+  if total <= 0 then invalid_arg "Prng.weighted: no positive weight";
+  let rec go k = function
+    | [] -> invalid_arg "Prng.weighted: no positive weight"
+    | (w, x) :: rest -> if k < max 0 w then x else go (k - max 0 w) rest
+  in
+  go (int t total) choices
+
 let shuffle t xs =
   let tagged = List.map (fun x -> (bits64 t, x)) xs in
   List.map snd (List.sort (fun (a, _) (b, _) -> Int64.compare a b) tagged)

@@ -33,6 +33,12 @@ val pick : t -> 'a list -> 'a option
 
 val pick_exn : t -> 'a list -> 'a
 
+val weighted : t -> (int * 'a) list -> 'a
+(** [weighted t [(w1, x1); ...]] picks [xi] with probability proportional
+    to [max 0 wi]. Raises [Invalid_argument] when no weight is positive
+    (including on the empty list). Power schedules use this to spend more
+    energy on corpus entries that discovered more coverage. *)
+
 val shuffle : t -> 'a list -> 'a list
 
 val subset : t -> 'a list -> 'a list

@@ -212,6 +212,79 @@ let test_vs_drop_view () =
   | None -> Alcotest.fail "VS trace has no droppable view event"
   | Some i -> assert_vs_rejects "dropped view event" (drop_nth i vs_actions)
 
+(* Rewrite a reception's source to another member: the message was sent
+   by [src], so crediting it to a different sender breaks that sender's
+   per-view FIFO queue. *)
+let test_vs_misattribute () =
+  let idx =
+    List.find_index
+      (function Vs_action.Gprcv _ -> true | _ -> false)
+      vs_actions
+  in
+  match idx with
+  | None -> Alcotest.fail "VS trace has no reception"
+  | Some i ->
+      let corrupted =
+        List.mapi
+          (fun k a ->
+            match a with
+            | Vs_action.Gprcv { src; dst; msg } when k = i ->
+                Vs_action.Gprcv { src = (src + 1) mod n; dst; msg }
+            | a -> a)
+          vs_actions
+      in
+      assert_vs_rejects "misattributed reception" corrupted
+
+(* Replace a reception's payload with a message nobody ever [gpsnd]'d: no
+   sender queue can supply it. *)
+let test_vs_forge () =
+  let forged =
+    Msg.App
+      (Label.make
+         ~id:(View_id.make ~num:999 ~origin:0)
+         ~seqno:999 ~origin:0,
+       "forged")
+  in
+  let idx =
+    List.find_index
+      (function Vs_action.Gprcv _ -> true | _ -> false)
+      vs_actions
+  in
+  match idx with
+  | None -> Alcotest.fail "VS trace has no reception"
+  | Some i ->
+      let corrupted =
+        List.mapi
+          (fun k a ->
+            match a with
+            | Vs_action.Gprcv { src; dst; _ } when k = i ->
+                Vs_action.Gprcv { src; dst; msg = forged }
+            | a -> a)
+          vs_actions
+      in
+      assert_vs_rejects "forged reception" corrupted
+
+(* Hoist a [safe] indication before the matching [gprcv] at the same
+   destination: safety may only be reported after delivery everywhere,
+   including locally. *)
+let test_vs_safe_before_rcv () =
+  let arr = Array.of_list vs_actions in
+  let pair =
+    find_pair
+      (fun a i j ->
+        ignore a;
+        match (arr.(i), arr.(j)) with
+        | ( Vs_action.Gprcv { src = s1; dst = d1; msg = m1 },
+            Vs_action.Safe { src = s2; dst = d2; msg = m2 } ) ->
+            Proc.equal s1 s2 && Proc.equal d1 d2 && Msg.equal m1 m2
+        | _ -> false)
+      vs_actions
+  in
+  match pair with
+  | None -> Alcotest.fail "VS trace has no reception/safe pair"
+  | Some (i, j) ->
+      assert_vs_rejects "safe before delivery" (swap i j vs_actions)
+
 let () =
   Alcotest.run "checker_mutations"
     [
@@ -233,5 +306,10 @@ let () =
             test_vs_duplicate;
           Alcotest.test_case "dropped view event rejected" `Quick
             test_vs_drop_view;
+          Alcotest.test_case "misattributed reception rejected" `Quick
+            test_vs_misattribute;
+          Alcotest.test_case "forged reception rejected" `Quick test_vs_forge;
+          Alcotest.test_case "safe before delivery rejected" `Quick
+            test_vs_safe_before_rcv;
         ] );
     ]

@@ -151,6 +151,67 @@ let test_exhaustive_vs_machine () =
       Alcotest.failf "%s: %s (path length %d)" invariant detail
         (List.length path)
 
+(* n=3: the smallest instance with asymmetric quorums — a 2-member view
+   is quorate while a singleton is not, so primary hand-offs and summary
+   exchange interleave in ways n=2 cannot reach. The state space is much
+   larger, so the default run only smoke-tests a bounded prefix; set
+   GCS_SOAK_ITERS to scale the bound (states checked = 15k × iters).
+   States are keyed by State_key.system_state, the canonical
+   serialization (Map/Set bindings, not physical tree shape). *)
+let soak_iters =
+  match Sys.getenv_opt "GCS_SOAK_ITERS" with
+  | Some s -> ( match int_of_string_opt s with Some k when k > 0 -> k | _ -> 1)
+  | None -> 1
+
+let test_exhaustive_three_procs () =
+  let procs3 = Proc.all ~n:3 in
+  let quorums3 = Quorum.majorities ~n:3 in
+  let params3 =
+    Vstoto_system.make_params ~procs:procs3 ~p0:procs3 ~quorums:quorums3 ()
+  in
+  let automaton3 = Vstoto_system.automaton params3 in
+  let inject3 state =
+    let bcasts =
+      List.filter_map
+        (fun p ->
+          let node = Vstoto_system.node state p in
+          if node.Vstoto.delay = [] && node.Vstoto.nextseqno <= 1 then
+            Some (Sys_action.Bcast (p, "a"))
+          else None)
+        procs3
+    in
+    let created = state.Vstoto_system.vs.Vs_machine.created in
+    let creates =
+      if View_id.Map.cardinal created >= 2 then []
+      else
+        let num =
+          1 + View_id.Map.fold (fun g _ acc -> max g.View_id.num acc) created 0
+        in
+        (* Quorum-asymmetric memberships: a minority singleton, two
+           distinct majorities, and the full view. *)
+        List.map
+          (fun members ->
+            Sys_action.Vs
+              (Vs_action.Createview
+                 (View.make (View_id.make ~num ~origin:0) members)))
+          [ [ 0 ]; [ 0; 1 ]; [ 1; 2 ]; [ 0; 1; 2 ] ]
+    in
+    bcasts @ creates
+  in
+  match
+    Explore.bfs automaton3 ~inject:inject3 ~key:State_key.system_state
+      ~max_states:(15_000 * soak_iters)
+      ~invariants:(Vstoto_invariants.all params3)
+  with
+  | Explore.Exhausted { states } ->
+      Printf.printf "n=3 exhausted: %d states\n" states
+  | Explore.Bound_reached { states } ->
+      Printf.printf "n=3 bound reached at %d states (all passed)\n" states
+  | Explore.Violation { invariant; detail; path; _ } ->
+      Alcotest.failf "%s: %s\npath: %s" invariant detail
+        (String.concat " ; "
+           (List.map (Format.asprintf "%a" Sys_action.pp) path))
+
 let test_explorer_detects_violations () =
   (* Sanity for the explorer itself: a false invariant is found with a
      path. *)
@@ -181,6 +242,8 @@ let () =
             `Slow test_exhaustive_two_views;
           Alcotest.test_case "2 procs, 3 views, invariants" `Slow
             test_exhaustive_three_views_invariants_only;
+          Alcotest.test_case "3 procs, asymmetric quorums, invariants" `Slow
+            test_exhaustive_three_procs;
           Alcotest.test_case "explorer finds violations" `Quick
             test_explorer_detects_violations;
           Alcotest.test_case "2 procs VS-machine, Lemma 4.1 exhaustive" `Slow

@@ -101,6 +101,91 @@ let test_dump_and_check_real_run () =
       Alcotest.(check bool) "time ordering preserved" true
         (Timed.is_time_ordered parsed)
 
+(* ------------------ fuzz-generated schedule dumps ------------------- *)
+
+(* The fuzzer dumps a shrunk reproducer's client trace with
+   [to_to_string]; dumping must round-trip byte-for-byte even when the
+   workload carries adversarial values. *)
+let test_fuzz_schedule_dump () =
+  let input =
+    Gcs_fuzz.Input.normalize
+      {
+        Gcs_fuzz.Input.seed = 13;
+        steps =
+          [
+            {
+              Gcs_nemesis.Scenario.at = 25.0;
+              op = Gcs_nemesis.Scenario.Partition [ [ 0; 1 ]; [ 2; 3 ] ];
+            };
+            { Gcs_nemesis.Scenario.at = 70.0; op = Gcs_nemesis.Scenario.Heal };
+          ];
+        workload =
+          [
+            (12.0, 0, "100% plain");
+            (18.0, 1, "with space");
+            (30.0, 2, "line\nbreak");
+            (34.0, 3, "");
+          ];
+      }
+  in
+  let trace, verdict = Gcs_fuzz.Runner.replay ~config input in
+  (match verdict with
+  | None -> ()
+  | Some f ->
+      Alcotest.failf "clean fuzz schedule failed %s: %s" f.Gcs_fuzz.Runner.check
+        f.Gcs_fuzz.Runner.detail);
+  let dumped = Trace_io.to_to_string trace in
+  match Trace_io.to_of_string dumped with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      Alcotest.(check string) "dump round-trips byte-for-byte" dumped
+        (Trace_io.to_to_string parsed)
+
+(* Serialization of a [newview] with no members: a degenerate line the
+   parser must still invert (legality is the checker's business, not the
+   format's). *)
+let test_empty_view_roundtrip () =
+  let trace =
+    [
+      Timed.action 1.0
+        (Vs_action.Newview
+           { proc = 0; view = View.make (View_id.make ~num:1 ~origin:0) [] });
+    ]
+  in
+  let dumped = Trace_io.vs_to_string trace in
+  match Trace_io.vs_of_string dumped with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      Alcotest.(check string) "empty view round-trips" dumped
+        (Trace_io.vs_to_string parsed)
+
+(* A maximum-length run: thousands of events with escape-heavy values.
+   Guards against any quadratic or stack-unsafe path in the printer or
+   parser before the CI fuzz job starts dumping large corpora. *)
+let test_max_length_roundtrip () =
+  let trace =
+    List.concat
+      (List.init 2500 (fun k ->
+           let t = float_of_int k in
+           [
+             Timed.action t (To_action.Bcast (k mod 4, Printf.sprintf "v%%%d\n" k));
+             Timed.action (t +. 0.5)
+               (To_action.Brcv
+                  {
+                    src = k mod 4;
+                    dst = (k + 1) mod 4;
+                    value = Printf.sprintf "v%%%d\n" k;
+                  });
+           ]))
+  in
+  let dumped = Trace_io.to_to_string trace in
+  match Trace_io.to_of_string dumped with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      Alcotest.(check int) "length" (List.length trace) (List.length parsed);
+      Alcotest.(check string) "round-trips byte-for-byte" dumped
+        (Trace_io.to_to_string parsed)
+
 let () =
   Alcotest.run "trace_io"
     [
@@ -113,5 +198,14 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "dump + check a real run" `Quick
             test_dump_and_check_real_run;
+        ] );
+      ( "fuzz schedules",
+        [
+          Alcotest.test_case "fuzz schedule dump round-trips" `Quick
+            test_fuzz_schedule_dump;
+          Alcotest.test_case "empty view round-trips" `Quick
+            test_empty_view_roundtrip;
+          Alcotest.test_case "max-length run round-trips" `Quick
+            test_max_length_roundtrip;
         ] );
     ]
