@@ -16,7 +16,8 @@
    Run with: dune exec bench/main.exe                 (full run)
              dune exec bench/main.exe -- --quick      (skip micro-benchmarks)
              dune exec bench/main.exe -- --jobs 4     (parallel sweeps)
-             dune exec bench/main.exe -- --json FILE  (machine-readable results) *)
+             dune exec bench/main.exe -- --json FILE  (machine-readable results)
+             dune exec bench/main.exe -- --only X19   (a single section) *)
 
 open Gcs_core
 open Gcs_impl
@@ -121,16 +122,20 @@ end
 type section = { id : string; title : string; wall_s : float; rows : J.t list }
 
 let recorded : section list ref = ref []
+let only : string option ref = ref None
 
 (* Each experiment prints its table and returns machine-readable rows;
    [section] times the whole X-section (wall clock, so pool speedups are
-   visible in the JSON trajectory). *)
+   visible in the JSON trajectory). [--only ID] skips everything else. *)
 let section id title f =
-  header (id ^ ": " ^ title);
-  let t0 = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () in
-  let rows = f () in
-  let wall_s = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () -. t0 in
-  recorded := { id; title; wall_s; rows } :: !recorded
+  match !only with
+  | Some want when not (String.equal want id) -> ()
+  | _ ->
+      header (id ^ ": " ^ title);
+      let t0 = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () in
+      let rows = f () in
+      let wall_s = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () -. t0 in
+      recorded := { id; title; wall_s; rows } :: !recorded
 
 (* ------------------------------------------------------------------ *)
 (* X6: view stabilization time after a partition vs the Section 8 bound
@@ -868,6 +873,100 @@ let x18 () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* X19: bus transport throughput — wall-clock msgs/sec through the real
+   multi-domain backend (the one number in this file measured in real
+   seconds, everything else being simulated time). Two levels: the raw
+   transport (a relay flood between two domains keeping a window of
+   packets in flight, measuring the serialize → mailbox → deserialize →
+   handle path), and the full VStoTO stack over the bus (token-limited
+   client throughput, the rate a replicated application actually sees). *)
+
+let wall_now () = (Unix.gettimeofday [@gcs.lint.allow "D2"]) ()
+
+let x19 () =
+  row "%12s %4s %10s %10s %10s %14s\n" "mode" "n" "wall s" "packets" "client"
+    "msgs/sec";
+  let module I = Gcs_transport.Iface in
+  let raw ~window ~until =
+    let handlers =
+      {
+        I.on_start =
+          (fun me s ->
+            if me = 0 then
+              (s, List.init window (fun _ -> I.Send { dst = 1; packet = "ping" }))
+            else (s, []));
+        on_input = (fun _ ~now:_ () s -> (s, []));
+        on_packet =
+          (fun _me ~now:_ ~src packet s -> (s, [ I.Send { dst = src; packet } ]));
+        on_timer = (fun _ ~now:_ ~id:_ s -> (s, []));
+      }
+    in
+    let t0 = wall_now () in
+    let result =
+      Gcs_transport.Bus.run I.string_codec ~procs:(Proc.all ~n:2) ~handlers
+        ~init:(fun _ -> ())
+        ~inputs:[] ~failures:[] ~until ~seed:3
+    in
+    let wall = wall_now () -. t0 in
+    let rate = float_of_int result.I.packets_sent /. wall in
+    row "%12s %4d %10.2f %10d %10s %14.0f\n" "raw-relay" 2 wall
+      result.I.packets_sent "-" rate;
+    J.Obj
+      [
+        ("mode", J.Str "raw-relay");
+        ("backend", J.Str "bus");
+        ("n", J.Int 2);
+        ("window", J.Int window);
+        ("wall_s", J.num wall);
+        ("packets_sent", J.Int result.I.packets_sent);
+        ("msgs_per_s", J.num rate);
+      ]
+  in
+  let stack ~n ~count =
+    let procs = Proc.all ~n in
+    let config =
+      To_service.make_config
+        { Vs_node.procs; p0 = procs; pi = 0.15; mu = 1.0e6; delta = 5.0 }
+    in
+    let wl = List.init count (fun i -> (0.0, i mod n, Printf.sprintf "b%d" i)) in
+    let progress = Array.init n (fun _ -> Atomic.make 0) in
+    let observe p _pre post =
+      let st = To_service.node_app post in
+      let r = st.Vstoto.nextreport - 1 in
+      if r > Atomic.get progress.(p) then Atomic.set progress.(p) r
+    in
+    let stop ~now:_ ~outputs:_ =
+      Array.for_all (fun a -> Atomic.get a >= count) progress
+    in
+    let t0 = wall_now () in
+    let run =
+      To_service.run_on ~observe ~stop
+        ~backend:(Gcs_transport.Bus.backend ())
+        config ~workload:wl ~failures:[] ~until:60.0 ~seed:11
+    in
+    let wall = wall_now () -. t0 in
+    let deliveries = To_service.deliveries run in
+    let packet_rate = float_of_int run.To_service.packets_sent /. wall in
+    let client_rate = float_of_int deliveries /. wall in
+    row "%12s %4d %10.2f %10d %10d %14.0f\n" "vstoto-stack" n wall
+      run.To_service.packets_sent deliveries client_rate;
+    J.Obj
+      [
+        ("mode", J.Str "vstoto-stack");
+        ("backend", J.Str "bus");
+        ("n", J.Int n);
+        ("client_msgs", J.Int count);
+        ("wall_s", J.num wall);
+        ("packets_sent", J.Int run.To_service.packets_sent);
+        ("client_deliveries", J.Int deliveries);
+        ("packet_msgs_per_s", J.num packet_rate);
+        ("client_msgs_per_s", J.num client_rate);
+        ("msgs_per_s", J.num client_rate);
+      ]
+  in
+  [ raw ~window:32 ~until:2.0; stack ~n:3 ~count:300 ]
+
+(* ------------------------------------------------------------------ *)
 (* M: bechamel micro-benchmarks (M1–M7: core machinery; M8: incremental
    checker throughput at growing trace lengths; M9: pool dispatch
    overhead). *)
@@ -1038,6 +1137,7 @@ let () =
   in
   let json_file = opt_of "--json" args in
   let drift_baseline = opt_of "--check-drift" args in
+  only := opt_of "--only" args;
   jobs :=
     (match opt_of "--jobs" args with
     | Some s -> (
@@ -1063,6 +1163,7 @@ let () =
   section "X16" "offered load sweep (n=5)" x16;
   section "X17" "throughput under nemesis schedules (n=5)" x17;
   section "X18" "observability: metrics registry of a nemesis run" x18;
+  section "X19" "bus transport throughput (wall-clock msgs/sec)" x19;
   if not quick then
     section "M" "micro-benchmarks (bechamel; time per run)" micro;
   (match json_file with

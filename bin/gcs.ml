@@ -11,7 +11,11 @@
                    shrinking (and planted-bug mutants to validate it)
      gcs soak    — a batch of random nemesis schedules on a domain pool
      gcs metrics — run one schedule and print its metrics registry
-     gcs timeline— ASCII timeline of a schedule: statuses, views, traffic *)
+     gcs timeline— ASCII timeline of a schedule: statuses, views, traffic
+     gcs bus     — serve a replicated app over the real multi-domain bus
+                   transport and check replica consistency
+     gcs diff    — differential transport check: identical workloads on
+                   sim and bus must deliver in identical orders *)
 
 open Cmdliner
 open Gcs_core
@@ -968,6 +972,186 @@ let check_cmd =
           TO-machine or VS-machine.")
     Term.(const run $ layer_arg $ file_arg $ n_arg $ p0_arg)
 
+(* ------------------------------- bus -------------------------------- *)
+
+(* Run a replicated application over the real multi-domain bus transport:
+   every processor is an OCaml domain, packets are wire-serialized, time
+   is the wall clock. The timing profile is the differential suite's
+   anchored one (δ = 5 s, π = 0.15 s, μ huge): the whole workload is
+   preloaded at time zero, the token orders it, and the run stops as soon
+   as every replica has reported everything. *)
+
+let bus_cmd =
+  let module Kv_rsm = Gcs_apps.Rsm.Make (Gcs_apps.Kv_store) in
+  let module Book_rsm = Gcs_apps.Rsm.Make (Gcs_apps.Order_book) in
+  let run n seed ops app =
+    let procs = Proc.all ~n in
+    let config =
+      To_service.make_config
+        { Vs_node.procs; p0 = procs; pi = 0.15; mu = 1.0e6; delta = 5.0 }
+    in
+    let prng = Gcs_stdx.Prng.create seed in
+    let workload =
+      List.init ops (fun i ->
+          let origin = i mod n in
+          match app with
+          | `Kv ->
+              let key = Printf.sprintf "k%d" (Gcs_stdx.Prng.int prng 8) in
+              let op =
+                if Gcs_stdx.Prng.int prng 10 = 0 then Gcs_apps.Kv_store.Del key
+                else Gcs_apps.Kv_store.Put (key, Printf.sprintf "v%d" i)
+              in
+              Kv_rsm.submit origin op 0.0
+          | `Book ->
+              let side =
+                if Gcs_stdx.Prng.int prng 2 = 0 then Gcs_apps.Order_book.Buy
+                else Gcs_apps.Order_book.Sell
+              in
+              let order =
+                {
+                  Gcs_apps.Order_book.id = i;
+                  side;
+                  price = 95 + Gcs_stdx.Prng.int prng 11;
+                  qty = 1 + Gcs_stdx.Prng.int prng 9;
+                }
+              in
+              Book_rsm.submit origin (Gcs_apps.Order_book.Submit order) 0.0)
+    in
+    let progress = Array.init n (fun _ -> Atomic.make 0) in
+    let observe p _pre post =
+      let st = To_service.node_app post in
+      let reported = st.Vstoto.nextreport - 1 in
+      if reported > Atomic.get progress.(p) then
+        Atomic.set progress.(p) reported
+    in
+    let stop ~now:_ ~outputs:_ =
+      Array.for_all (fun a -> Atomic.get a >= ops) progress
+    in
+    let t0 = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () in
+    let run =
+      To_service.run_on ~observe ~stop
+        ~backend:(Gcs_transport.Bus.backend ())
+        config ~workload ~failures:[] ~until:120.0 ~seed
+    in
+    let wall = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () -. t0 in
+    let actions = List.map snd (Timed.actions (To_service.client_trace run)) in
+    let deliveries = To_service.deliveries run in
+    Printf.printf
+      "bus run: n=%d seed=%d app=%s  %d ops submitted, %d deliveries\n" n seed
+      (match app with `Kv -> "kv" | `Book -> "book")
+      ops deliveries;
+    Printf.printf
+      "         %.2f wall s, %d packets  ->  %.0f client msgs/sec, %.0f \
+       packets/sec\n"
+      wall run.To_service.packets_sent
+      (float_of_int deliveries /. wall)
+      (float_of_int run.To_service.packets_sent /. wall);
+    let describe_replicas pp_state states consistent =
+      List.iter
+        (fun (p, state, applied) ->
+          Printf.printf "  replica %d: %d ops applied, %s\n" p applied
+            (pp_state state))
+        states;
+      if consistent then begin
+        Printf.printf "replicas CONSISTENT\n";
+        `Ok ()
+      end
+      else `Error (false, "replicas inconsistent: divergent states")
+    in
+    match app with
+    | `Kv -> (
+        match Kv_rsm.replica_states procs actions with
+        | Error e -> `Error (false, "undecodable operation: " ^ e)
+        | Ok states ->
+            describe_replicas
+              (fun s ->
+                Printf.sprintf "%d keys" (List.length (Gcs_apps.Kv_store.bindings s)))
+              states
+              (Kv_rsm.consistent procs actions))
+    | `Book -> (
+        match Book_rsm.replica_states procs actions with
+        | Error e -> `Error (false, "undecodable operation: " ^ e)
+        | Ok states ->
+            describe_replicas
+              (fun (s : Gcs_apps.Order_book.t) ->
+                Printf.sprintf "best bid %s / ask %s, %d trades"
+                  (match Gcs_apps.Order_book.best_bid s with
+                  | Some p -> string_of_int p
+                  | None -> "-")
+                  (match Gcs_apps.Order_book.best_ask s with
+                  | Some p -> string_of_int p
+                  | None -> "-")
+                  (Gcs_apps.Order_book.trade_count s))
+              states
+              (Book_rsm.consistent procs actions))
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "ops" ] ~docv:"K" ~doc:"Client operations to submit.")
+  in
+  let app_arg =
+    Arg.(
+      value
+      & opt (enum [ ("kv", `Kv); ("book", `Book) ]) `Kv
+      & info [ "app" ] ~docv:"APP"
+          ~doc:"Replicated application: $(b,kv) store or order $(b,book).")
+  in
+  Cmd.v
+    (Cmd.info "bus"
+       ~doc:
+         "Serve a replicated application over the real multi-domain bus \
+          transport (one OCaml domain per processor, wire-serialized \
+          packets, wall-clock time) and check replica consistency.")
+    Term.(ret (const run $ n_arg $ seed_arg $ ops_arg $ app_arg))
+
+(* ------------------------------- diff ------------------------------- *)
+
+let diff_cmd =
+  let run pairs seed out_dir =
+    let t0 = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () in
+    let failures = ref 0 in
+    for i = 0 to pairs - 1 do
+      let seed = seed + (i * 131) in
+      let r = Gcs_conformance.Differential.run_pair ~seed () in
+      Printf.printf "%s\n%!"
+        (Format.asprintf "%a" Gcs_conformance.Differential.pp_report r);
+      if not (Gcs_conformance.Differential.passed r) then begin
+        incr failures;
+        let file =
+          Filename.concat out_dir (Printf.sprintf "divergence-seed-%d.json" seed)
+        in
+        let oc = open_out file in
+        output_string oc (Gcs_conformance.Differential.dump r);
+        output_string oc "\n";
+        close_out oc;
+        Printf.printf "  -> artifact %s\n%!" file
+      end
+    done;
+    let wall = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () -. t0 in
+    Printf.printf "%d pairs in %.1f s, %d failure(s)\n" pairs wall !failures;
+    if !failures > 0 then exit 1
+  in
+  let pairs_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "pairs" ] ~docv:"K"
+          ~doc:"Seeded sim/bus workload pairs to compare.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for divergence artifacts (JSON, one per failure).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Differential transport check: run seeded client workloads through \
+          both the simulator and the bus and fail on any difference in \
+          per-node delivered orders, dumping both orders as a JSON artifact.")
+    Term.(const run $ pairs_arg $ seed_arg $ out_arg)
+
 let () =
   let doc = "Partitionable group communication service reproduction" in
   exit
@@ -984,4 +1168,6 @@ let () =
             metrics_cmd;
             timeline_cmd;
             lint_cmd;
+            bus_cmd;
+            diff_cmd;
           ]))

@@ -1,0 +1,152 @@
+open Gcs_core
+open Gcs_impl
+
+type report = {
+  seed : int;
+  messages : int;
+  sim_deliveries : int;
+  bus_deliveries : int;
+  incomplete : (string * Proc.t) list;
+  divergence : (Proc.t * string list * string list) option;
+}
+
+let config ?(n = 3) () =
+  let procs = Proc.all ~n in
+  To_service.make_config
+    { Vs_node.procs; p0 = procs; pi = 0.15; mu = 1.0e6; delta = 5.0 }
+
+let workload config ~seed ~count =
+  let procs = config.To_service.vs.Vs_node.procs in
+  let prng = Gcs_stdx.Prng.create seed in
+  List.init count (fun i ->
+      let origin = Gcs_stdx.Prng.pick_exn prng procs in
+      (0.0, origin, Printf.sprintf "m%d.p%d" i origin))
+
+(* Per-node delivered sequence, in trace order: "src:value" strings. *)
+let orders procs run =
+  let rev =
+    List.fold_left
+      (fun acc (_, action) ->
+        match action with
+        | To_action.Brcv { src; dst; value } ->
+            let prev =
+              match Proc.Map.find_opt dst acc with Some l -> l | None -> []
+            in
+            Proc.Map.add dst (Printf.sprintf "%d:%s" src value :: prev) acc
+        | _ -> acc)
+      Proc.Map.empty
+      (Timed.actions (To_service.client_trace run))
+  in
+  List.map
+    (fun p ->
+      ( p,
+        match Proc.Map.find_opt p rev with
+        | Some l -> List.rev l
+        | None -> [] ))
+    procs
+
+let run_pair ?(n = 3) ?(count = 12) ~seed () =
+  let config = config ~n () in
+  let procs = config.To_service.vs.Vs_node.procs in
+  let workload = workload config ~seed ~count in
+  let sim_run =
+    To_service.run_on
+      ~backend:
+        (Gcs_sim.Backend.of_config (Gcs_sim.Engine.default_config ~delta:5.0))
+      config ~workload ~failures:[] ~until:400.0 ~seed
+  in
+  (* The bus run ends as soon as every node has reported the whole
+     workload; the horizon is only the failure fallback. *)
+  let progress = Array.init n (fun _ -> Atomic.make 0) in
+  let observe p _pre post =
+    let st = To_service.node_app post in
+    let reported = st.Vstoto.nextreport - 1 in
+    if reported > Atomic.get progress.(p) then Atomic.set progress.(p) reported
+  in
+  let stop ~now:_ ~outputs:_ =
+    Array.for_all (fun a -> Atomic.get a >= count) progress
+  in
+  let bus_run =
+    To_service.run_on ~observe ~stop ~backend:(Gcs_transport.Bus.backend ())
+      config ~workload ~failures:[] ~until:30.0 ~seed
+  in
+  let sim_orders = orders procs sim_run in
+  let bus_orders = orders procs bus_run in
+  let incomplete =
+    List.concat_map
+      (fun (label, orders) ->
+        List.filter_map
+          (fun (p, delivered) ->
+            if List.length delivered < count then Some (label, p) else None)
+          orders)
+      [ ("sim", sim_orders); ("bus", bus_orders) ]
+  in
+  let divergence =
+    List.find_map
+      (fun ((p, sim_seq), (_, bus_seq)) ->
+        if List.equal String.equal sim_seq bus_seq then None
+        else Some (p, sim_seq, bus_seq))
+      (List.combine sim_orders bus_orders)
+  in
+  {
+    seed;
+    messages = count;
+    sim_deliveries = To_service.deliveries sim_run;
+    bus_deliveries = To_service.deliveries bus_run;
+    incomplete;
+    divergence;
+  }
+
+let passed r = r.incomplete = [] && r.divergence = None
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "seed %d: %d messages, sim %d / bus %d deliveries%s%s" r.seed r.messages
+    r.sim_deliveries r.bus_deliveries
+    (match r.incomplete with
+    | [] -> ""
+    | l ->
+        Printf.sprintf ", incomplete at %s"
+          (String.concat ","
+             (List.map (fun (b, p) -> Printf.sprintf "%s/%d" b p) l)))
+    (match r.divergence with
+    | None -> ""
+    | Some (p, _, _) -> Printf.sprintf ", DIVERGED at node %d" p)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let dump r =
+  let seq l = "[" ^ String.concat "," (List.map json_string l) ^ "]" in
+  let divergence =
+    match r.divergence with
+    | None -> "null"
+    | Some (p, sim_seq, bus_seq) ->
+        Printf.sprintf "{\"node\":%d,\"sim\":%s,\"bus\":%s}" p (seq sim_seq)
+          (seq bus_seq)
+  in
+  let incomplete =
+    "["
+    ^ String.concat ","
+        (List.map
+           (fun (b, p) ->
+             Printf.sprintf "{\"backend\":%s,\"node\":%d}" (json_string b) p)
+           r.incomplete)
+    ^ "]"
+  in
+  Printf.sprintf
+    "{\"seed\":%d,\"messages\":%d,\"sim_deliveries\":%d,\"bus_deliveries\":%d,\"incomplete\":%s,\"divergence\":%s}"
+    r.seed r.messages r.sim_deliveries r.bus_deliveries incomplete divergence

@@ -1,0 +1,56 @@
+open Gcs_core
+open Gcs_impl
+
+(** Differential testing across transports: the simulator as oracle for
+    the bus (and vice versa).
+
+    A no-fault workload is fixed so that the TO service's delivered order
+    is {e transport-independent}: every client submission is timestamped
+    at (or before) zero, so each node's whole batch is handled before the
+    first ordering token reaches it — preloaded in the bus's mailboxes,
+    ahead of any packet in the simulator's event queue (FIFO at equal
+    times). From there the token fixes the total order by ring traversal
+    alone, regardless of timing: batches appear in ring order starting at
+    the leader's successor, FIFO within each batch. δ is large and μ huge
+    so no timeout or probe can fire a spurious view change within the
+    run, on either clock.
+
+    Under that anchoring, {e any} difference between the per-node
+    delivered sequences of a simulator run and a bus run of the same
+    seeded workload is a bug — in the bus, the engine, or a hidden
+    timing assumption in the automata. The comparison needs no model of
+    what the right order is; the two backends are each other's oracle. *)
+
+type report = {
+  seed : int;
+  messages : int;  (** workload size (distinct values) *)
+  sim_deliveries : int;  (** total brcv events across nodes *)
+  bus_deliveries : int;
+  incomplete : (string * Proc.t) list;
+      (** (backend, node) pairs that missed part of the workload *)
+  divergence : (Proc.t * string list * string list) option;
+      (** first node whose delivered sequences differ, with both
+          sequences rendered ["src:value"] *)
+}
+
+val config : ?n:int -> unit -> To_service.config
+(** The timing profile of the argument above: δ = 5 s, π = 0.15 s,
+    μ = 10⁶ s (δ large enough that the bus cannot time out between
+    wall-clock events; π small so the bus re-circulates the token
+    promptly; the simulator is timing-insensitive either way). *)
+
+val workload :
+  To_service.config -> seed:int -> count:int -> (float * Proc.t * Value.t) list
+(** [count] distinct values at time 0, origins drawn from the seed. *)
+
+val run_pair : ?n:int -> ?count:int -> seed:int -> unit -> report
+(** One simulator run and one bus run of the same workload, compared. *)
+
+val passed : report -> bool
+(** Complete on both backends and no divergence. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val dump : report -> string
+(** Render a failing report as a diagnostic artifact (one JSON object
+    with both per-node orders) for CI upload. *)

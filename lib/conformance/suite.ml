@@ -1,0 +1,196 @@
+open Gcs_core
+open Gcs_impl
+open Gcs_nemesis
+
+type profile = {
+  label : string;
+  backend : Gcs_transport.Iface.backend;
+  config : To_service.config;
+  beat : float;
+  workload_spacing : float;
+  workload_count : int;
+  slack : float;
+  use_stop : bool;
+}
+
+let mk_config ~n ~delta ~pi ~mu =
+  let procs = Proc.all ~n in
+  To_service.make_config { Vs_node.procs; p0 = procs; pi; mu; delta }
+
+(* The sim profile uses the repository's standard simulated timing
+   (δ = 1, π = 6, μ = 8); the bus profile is the same shape scaled to
+   wall seconds by 1/10, so a case converges in a few seconds of real
+   time while keeping every π/μ/δ ratio — and hence the protocol's
+   timeout structure — intact. *)
+
+let sim_profile ?(n = 3) () =
+  {
+    label = "sim";
+    backend =
+      Gcs_sim.Backend.of_config (Gcs_sim.Engine.default_config ~delta:1.0);
+    config = mk_config ~n ~delta:1.0 ~pi:6.0 ~mu:8.0;
+    beat = 10.0;
+    workload_spacing = 3.0;
+    workload_count = 4;
+    slack = 60.0;
+    use_stop = false;
+  }
+
+let bus_profile ?(n = 3) () =
+  {
+    label = "bus";
+    backend = Gcs_transport.Bus.backend ();
+    config = mk_config ~n ~delta:0.1 ~pi:0.6 ~mu:0.8;
+    beat = 0.5;
+    workload_spacing = 0.25;
+    workload_count = 4;
+    slack = 2.0;
+    use_stop = true;
+  }
+
+type case = { name : string; scenario : Scenario.t }
+
+let cases profile =
+  let procs = profile.config.To_service.vs.Vs_node.procs in
+  let n = List.length procs in
+  let b = profile.beat in
+  let hi = List.nth procs (n - 1) in
+  let lo =
+    match procs with
+    | p :: _ -> p
+    | [] -> invalid_arg "Suite.cases: empty processor set"
+  in
+  let split =
+    (* majority part keeps the leader; the rest is isolated *)
+    let rec take k = function
+      | x :: rest when k > 0 -> x :: take (k - 1) rest
+      | _ -> []
+    in
+    let maj = take ((n / 2) + 1) procs in
+    let min_part = List.filter (fun p -> not (List.mem p maj)) procs in
+    [ maj; min_part ]
+  in
+  let v name steps = { name; scenario = Scenario.v name steps } in
+  [
+    v "clean" [];
+    v "partition-heal"
+      [ Scenario.at (2.0 *. b) (Scenario.Partition split);
+        Scenario.at (6.0 *. b) Scenario.Heal ];
+    v "crash-recover"
+      [ Scenario.at (2.0 *. b) (Scenario.Crash hi);
+        Scenario.at (6.0 *. b) (Scenario.Recover hi);
+        Scenario.at (6.5 *. b) Scenario.Heal ];
+    v "ugly-link"
+      [ Scenario.at (2.0 *. b) (Scenario.Degrade (lo, hi, Fstatus.Ugly));
+        Scenario.at (6.0 *. b) (Scenario.Degrade (lo, hi, Fstatus.Good));
+        Scenario.at (6.5 *. b) Scenario.Heal ];
+    v "slow-processor"
+      [ Scenario.at (2.0 *. b) (Scenario.Slow hi);
+        Scenario.at (6.0 *. b) (Scenario.Wake hi);
+        Scenario.at (6.5 *. b) Scenario.Heal ];
+  ]
+
+type outcome = {
+  case : string;
+  seed : int;
+  failure : (string * string) option;
+  bcasts : int;
+  deliveries : int;
+  events_processed : int;
+}
+
+(* Workload spread over the fault window: distinct values per origin (the
+   TO-property checker requires it), origins interleaved. *)
+let workload profile ~stabilization =
+  let procs = profile.config.To_service.vs.Vs_node.procs in
+  ignore stabilization;
+  List.concat_map
+    (fun p ->
+      List.init profile.workload_count (fun k ->
+          ( profile.workload_spacing
+            *. float_of_int (1 + k + (p * profile.workload_count)),
+            p,
+            Printf.sprintf "c%d.%d" p k )))
+    procs
+
+let check profile ~seed case =
+  let config = profile.config in
+  let procs = config.To_service.vs.Vs_node.procs in
+  let n = List.length procs in
+  let l = Scenario.stabilization_time case.scenario in
+  let b', d' = Harness.bounds config in
+  let until = l +. b' +. d' +. profile.slack in
+  let workload = workload profile ~stabilization:l in
+  let expected = List.length workload in
+  let failures = Scenario.compile ~procs case.scenario in
+  (* Early stop for wall-clock backends: every node has confirmed and
+     reported the whole workload, and the fault schedule has fully
+     played (stopping mid-schedule would make the bound check vacuous). *)
+  let progress = Array.init n (fun _ -> Atomic.make 0) in
+  let observe p _pre post =
+    let st = To_service.node_app post in
+    let reported = st.Vstoto.nextreport - 1 in
+    if reported > Atomic.get progress.(p) then Atomic.set progress.(p) reported
+  in
+  let stop ~now ~outputs:_ =
+    now > l
+    && Array.for_all (fun a -> Atomic.get a >= expected) progress
+  in
+  let stop = if profile.use_stop then Some stop else None in
+  let run =
+    To_service.run_on ~observe ?stop ~backend:profile.backend config ~workload
+      ~failures ~until ~seed
+  in
+  let failure =
+    match To_service.to_conforms config run with
+    | Error e ->
+        Some
+          ("to-conformance", Format.asprintf "%a" To_trace_checker.pp_error e)
+    | Ok () -> (
+        match To_service.vs_conforms config run with
+        | Error e ->
+            Some
+              ( "vs-conformance",
+                Format.asprintf "%a" Vs_trace_checker.pp_error e )
+        | Ok () ->
+            let report =
+              To_property.check ~b:b' ~d:d' ~q:procs ~horizon:until
+                (To_service.client_trace run)
+            in
+            if not (To_property.holds report) then
+              Some
+                ( "delivery-bound",
+                  Format.asprintf "%a" To_property.pp_report report )
+            else (
+              match Gcs_fuzz.Runner.node_invariant_failure run.To_service.final_nodes with
+              | Some f -> Some (f.Gcs_fuzz.Runner.check, f.Gcs_fuzz.Runner.detail)
+              | None -> None))
+  in
+  let bcasts =
+    List.length
+      (List.filter
+         (fun (_, a) -> match a with To_action.Bcast _ -> true | _ -> false)
+         (Timed.actions (To_service.client_trace run)))
+  in
+  {
+    case = case.name;
+    seed;
+    failure;
+    bcasts;
+    deliveries = To_service.deliveries run;
+    events_processed = run.To_service.events_processed;
+  }
+
+let run_all profile ~seed =
+  List.map (fun case -> check profile ~seed case) (cases profile)
+
+let passed outcome = Option.is_none outcome.failure
+
+let pp_outcome ppf o =
+  match o.failure with
+  | None ->
+      Format.fprintf ppf "%-16s seed %d: OK (%d bcasts, %d deliveries)" o.case
+        o.seed o.bcasts o.deliveries
+  | Some (check, detail) ->
+      Format.fprintf ppf "%-16s seed %d: FAILED %s: %s" o.case o.seed check
+        detail

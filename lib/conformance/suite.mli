@@ -1,0 +1,69 @@
+open Gcs_impl
+
+(** The cross-transport conformance suite.
+
+    One set of fault cases, one set of oracles, N backends. A {!profile}
+    pairs a {!Gcs_transport.Iface.backend} with timing suited to its
+    notion of time (simulated seconds are free, wall-clock seconds are
+    not), and {!check} runs a case and applies the full oracle set the
+    repository has:
+
+    - client trace against TO-machine (Theorem 7.1 safety);
+    - VS-layer trace against VS-machine;
+    - the Theorem 7.2 delivery bound [b' + d'] past stabilization
+      (every case ends with the world fully good, so the premise holds);
+    - the VStoTO node-state invariants on every final state (the
+      fuzzer's exact oracle set, {!Gcs_fuzz.Runner.vstoto_invariants}).
+
+    The point of running this per backend: the oracles quantify over
+    {e every} interleaving, so they transfer unchanged from the
+    deterministic simulator to the nondeterministic bus — a property
+    that holds on the sim but fails on the bus is a transport bug (or a
+    hidden timing assumption in the automata), and this suite is where
+    it surfaces. *)
+
+type profile = {
+  label : string;  (** backend name for reports, ["sim"] / ["bus"] *)
+  backend : Gcs_transport.Iface.backend;
+  config : To_service.config;
+  beat : float;
+      (** scenario time unit: fault steps land on multiples of this *)
+  workload_spacing : float;  (** gap between client submissions *)
+  workload_count : int;  (** submissions per processor *)
+  slack : float;  (** horizon past stabilization + b' + d' *)
+  use_stop : bool;
+      (** end bus runs as soon as the schedule has played and every node
+          reports the full workload delivered (the horizon stays the
+          failure fallback) *)
+}
+
+val sim_profile : ?n:int -> unit -> profile
+(** δ = 1, the repository's standard simulated timing. *)
+
+val bus_profile : ?n:int -> unit -> profile
+(** Wall-clock timing: δ = 0.1 s, fault beats of 0.5 s, early stop on.
+    A full fault case converges in a few wall seconds. *)
+
+type case = { name : string; scenario : Gcs_nemesis.Scenario.t }
+
+val cases : profile -> case list
+(** Fault schedule per case, scaled by the profile's beat: no faults,
+    partition + heal, crash + recover, ugly link, slow processor —
+    each ending fully good. *)
+
+type outcome = {
+  case : string;
+  seed : int;
+  failure : (string * string) option;  (** (oracle, detail); [None] = pass *)
+  bcasts : int;
+  deliveries : int;
+  events_processed : int;
+}
+
+val check : profile -> seed:int -> case -> outcome
+(** Run one case on the profile's backend and judge it. *)
+
+val run_all : profile -> seed:int -> outcome list
+
+val passed : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -179,7 +179,7 @@ let verdict config ~procs ~until run final_states =
 
 (* ------------------------------ execute ------------------------------ *)
 
-let execute_full ?mutant ~config input =
+let execute_full ?mutant ?backend ~config input =
   let procs = config.To_service.vs.Vs_node.procs in
   let scenario = Input.scenario ~procs input in
   let until = Harness.default_until ~config scenario in
@@ -197,16 +197,24 @@ let execute_full ?mutant ~config input =
        cov := transition_features config me pre post !cov
      in
      let result =
-       Engine.run ~metrics ~observe
-         (Engine.default_config ~delta:config.To_service.vs.Vs_node.delta)
-         ~procs ~handlers
-         ~init:(To_service.initial config)
-         ~inputs:input.Input.workload ~failures ~until
-         ~prng:(Gcs_stdx.Prng.create input.Input.seed)
+       match backend with
+       | None ->
+           Engine.run ~metrics ~observe
+             (Engine.default_config ~delta:config.To_service.vs.Vs_node.delta)
+             ~procs ~handlers
+             ~init:(To_service.initial config)
+             ~inputs:input.Input.workload ~failures ~until
+             ~prng:(Gcs_stdx.Prng.create input.Input.seed)
+       | Some (module B : Gcs_transport.Iface.BACKEND) ->
+           B.run ~metrics ~observe Wire.msg_packet_codec ~procs ~handlers
+             ~init:(To_service.initial config)
+             ~inputs:input.Input.workload ~failures ~until
+             ~seed:input.Input.seed
      in
      let run =
        {
          To_service.trace = result.Engine.trace;
+         final_nodes = result.Engine.final_states;
          packets_sent = result.Engine.packets_sent;
          packets_dropped = result.Engine.packets_dropped;
          events_processed = result.Engine.events_processed;
@@ -244,13 +252,14 @@ let execute_full ?mutant ~config input =
        [] ))
   [@gcs.lint.allow "P2"]
 
-let execute ?mutant ~config input = fst (execute_full ?mutant ~config input)
+let execute ?mutant ?backend ~config input =
+  fst (execute_full ?mutant ?backend ~config input)
 
-let replay ?mutant ~config input =
-  let obs, trace = execute_full ?mutant ~config input in
+let replay ?mutant ?backend ~config input =
+  let obs, trace = execute_full ?mutant ?backend ~config input in
   (trace, obs.verdict)
 
-let oracle ?mutant ~config ~check input =
-  match (execute ?mutant ~config input).verdict with
+let oracle ?mutant ?backend ~config ~check input =
+  match (execute ?mutant ?backend ~config input).verdict with
   | Some f when String.equal f.check check -> Some f
   | Some _ | None -> None

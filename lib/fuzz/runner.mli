@@ -30,11 +30,30 @@ type observation = {
   events_processed : int;
 }
 
+val vstoto_invariants :
+  Gcs_core.Vstoto.state Gcs_automata.Invariant.t list
+(** The node-local state invariants (counter ordering, duplicate-free
+    order, reported-prefix content), exported so the cross-transport
+    conformance suite applies the exact oracle set the fuzzer uses. *)
+
+val node_invariant_failure :
+  To_service.node Gcs_core.Proc.Map.t -> failure option
+(** First {!vstoto_invariants} violation over a fleet's final states. *)
+
 val execute :
-  ?mutant:Mutant.t -> config:To_service.config -> Input.t -> observation
+  ?mutant:Mutant.t ->
+  ?backend:Gcs_transport.Iface.backend ->
+  config:To_service.config ->
+  Input.t ->
+  observation
+(** [backend] runs the input on a pluggable transport instead of the
+    simulator (times become wall-clock seconds; coverage over [engine.*]
+    counters degenerates to zero buckets, which only matters to the
+    coverage-guided loop — the verdict oracles apply unchanged). *)
 
 val replay :
   ?mutant:Mutant.t ->
+  ?backend:Gcs_transport.Iface.backend ->
   config:To_service.config ->
   Input.t ->
   Gcs_core.Value.t Gcs_core.To_action.t Gcs_core.Timed.t * failure option
@@ -44,6 +63,7 @@ val replay :
 
 val oracle :
   ?mutant:Mutant.t ->
+  ?backend:Gcs_transport.Iface.backend ->
   config:To_service.config ->
   check:string ->
   Input.t ->

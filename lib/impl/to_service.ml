@@ -27,6 +27,7 @@ type node = {
 
 type run = {
   trace : out Timed.t;
+  final_nodes : node Proc.Map.t;
   packets_sent : int;
   packets_dropped : int;
   events_processed : int;
@@ -236,9 +237,32 @@ let run ?metrics ?engine config ~workload ~failures ~until ~seed =
   record_to_metrics metrics (client_trace_of result.Engine.trace);
   {
     trace = result.Engine.trace;
+    final_nodes = result.Engine.final_states;
     packets_sent = result.Engine.packets_sent;
     packets_dropped = result.Engine.packets_dropped;
     events_processed = result.Engine.events_processed;
+    metrics;
+  }
+
+let run_on ?metrics ?observe ?stop ~backend config ~workload ~failures ~until
+    ~seed =
+  let metrics =
+    match metrics with Some m -> m | None -> Gcs_stdx.Metrics.create ()
+  in
+  let (module B : Gcs_transport.Iface.BACKEND) = backend in
+  let result =
+    B.run ~metrics ?observe ?stop Wire.msg_packet_codec
+      ~procs:config.vs.Vs_node.procs ~handlers:(handlers ~metrics config)
+      ~init:(initial config) ~inputs:workload ~failures ~until ~seed
+  in
+  record_to_metrics metrics
+    (client_trace_of result.Gcs_transport.Iface.trace);
+  {
+    trace = result.Gcs_transport.Iface.trace;
+    final_nodes = result.Gcs_transport.Iface.final_states;
+    packets_sent = result.Gcs_transport.Iface.packets_sent;
+    packets_dropped = result.Gcs_transport.Iface.packets_dropped;
+    events_processed = result.Gcs_transport.Iface.events_processed;
     metrics;
   }
 

@@ -58,6 +58,9 @@ val node_views_installed : node -> int
 
 type run = {
   trace : out Timed.t;
+  final_nodes : node Proc.Map.t;
+      (** per-processor states at the horizon, for the state-invariant
+          oracles (observers above apply) *)
   packets_sent : int;
   packets_dropped : int;
   events_processed : int;
@@ -77,6 +80,23 @@ val run :
   until:float ->
   seed:int ->
   run
+
+val run_on :
+  ?metrics:Gcs_stdx.Metrics.t ->
+  ?observe:(Proc.t -> node -> node -> unit) ->
+  ?stop:(now:float -> outputs:int -> bool) ->
+  backend:Gcs_transport.Iface.backend ->
+  config ->
+  workload:(float * Proc.t * Value.t) list ->
+  failures:(float * Fstatus.event) list ->
+  until:float ->
+  seed:int ->
+  run
+(** The same service on a pluggable transport: the handlers are built
+    once and handed to [backend] with the {!Wire.msg_packet_codec} — the
+    bus actually serializes every packet through it; the simulator
+    ignores it. [run] is [run_on] with a simulator backend, kept separate
+    only because it predates the seam and accepts a raw engine config. *)
 
 val client_trace : run -> Value.t To_action.t Timed.t
 (** The TO-level timed trace (with failure events), for TO-property. *)

@@ -29,6 +29,304 @@ let fresh_token viewid =
     appended = Proc.Map.empty;
   }
 
+(* ---- Byte codec -------------------------------------------------------
+
+   Field framing in the style of [Gcs_apps.Codec] (which sits above this
+   library in the dependency order and cannot be reused here): fields are
+   joined with '|', escaping '%' and '|'; the empty record gets the
+   marker "%n", which escaping can never produce. Nested records are just
+   fields, so structures compose by re-encoding — the innermost level is
+   escaped the most. *)
+
+module F = struct
+  let escape field =
+    let buf = Buffer.create (String.length field + 4) in
+    String.iter
+      (fun c ->
+        match c with
+        | '%' -> Buffer.add_string buf "%p"
+        | '|' -> Buffer.add_string buf "%b"
+        | c -> Buffer.add_char buf c)
+      field;
+    Buffer.contents buf
+
+  let unescape field =
+    let buf = Buffer.create (String.length field) in
+    let n = String.length field in
+    let rec go i =
+      if i >= n then Some (Buffer.contents buf)
+      else
+        match field.[i] with
+        | '%' ->
+            if i + 1 >= n then None
+            else (
+              match field.[i + 1] with
+              | 'p' ->
+                  Buffer.add_char buf '%';
+                  go (i + 2)
+              | 'b' ->
+                  Buffer.add_char buf '|';
+                  go (i + 2)
+              | _ -> None)
+        | '|' -> None
+        | c ->
+            Buffer.add_char buf c;
+            go (i + 1)
+    in
+    go 0
+
+  let empty_marker = "%n"
+
+  let encode fields =
+    match fields with
+    | [] -> empty_marker
+    | _ -> String.concat "|" (List.map escape fields)
+
+  let decode s =
+    if String.equal s empty_marker then Some []
+    else
+      let raw = String.split_on_char '|' s in
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | f :: rest -> (
+            match unescape f with Some u -> go (u :: acc) rest | None -> None)
+      in
+      go [] raw
+end
+
+let ( let* ) = Result.bind
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let fields_of label s =
+  match F.decode s with
+  | Some fs -> Ok fs
+  | None -> errf "%s: bad framing in %S" label s
+
+let int_of label s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> errf "%s: not an integer: %S" label s
+
+let enc_list enc xs = F.encode (List.map enc xs)
+
+let dec_list label dec s =
+  let* fs = fields_of label s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: rest ->
+        let* x = dec f in
+        go (x :: acc) rest
+  in
+  go [] fs
+
+let enc_viewid (v : View_id.t) =
+  F.encode [ string_of_int v.num; string_of_int v.origin ]
+
+let dec_viewid s =
+  let* fs = fields_of "viewid" s in
+  match fs with
+  | [ num; origin ] ->
+      let* num = int_of "viewid.num" num in
+      let* origin = int_of "viewid.origin" origin in
+      Ok (View_id.make ~num ~origin)
+  | _ -> errf "viewid: expected 2 fields in %S" s
+
+let enc_label (l : Label.t) =
+  F.encode [ enc_viewid l.id; string_of_int l.seqno; string_of_int l.origin ]
+
+let dec_label s =
+  let* fs = fields_of "label" s in
+  match fs with
+  | [ id; seqno; origin ] ->
+      let* id = dec_viewid id in
+      let* seqno = int_of "label.seqno" seqno in
+      let* origin = int_of "label.origin" origin in
+      Ok (Label.make ~id ~seqno ~origin)
+  | _ -> errf "label: expected 3 fields in %S" s
+
+let enc_viewid_opt = function
+  | None -> F.encode [ "n" ]
+  | Some v -> F.encode [ "s"; enc_viewid v ]
+
+let dec_viewid_opt s =
+  let* fs = fields_of "viewid?" s in
+  match fs with
+  | [ "n" ] -> Ok None
+  | [ "s"; v ] ->
+      let* v = dec_viewid v in
+      Ok (Some v)
+  | _ -> errf "viewid?: malformed %S" s
+
+let enc_summary (x : Summary.t) =
+  F.encode
+    [
+      enc_list
+        (fun (l, v) -> F.encode [ enc_label l; v ])
+        (Label.Map.bindings x.con);
+      enc_list enc_label x.ord;
+      string_of_int x.next;
+      enc_viewid_opt x.high;
+    ]
+
+let dec_summary s =
+  let* fs = fields_of "summary" s in
+  match fs with
+  | [ con; ord; next; high ] ->
+      let* con =
+        dec_list "summary.con"
+          (fun f ->
+            let* fs = fields_of "summary.con entry" f in
+            match fs with
+            | [ l; v ] ->
+                let* l = dec_label l in
+                Ok (l, v)
+            | _ -> errf "summary.con entry: malformed %S" f)
+          con
+      in
+      let* ord = dec_list "summary.ord" dec_label ord in
+      let* next = int_of "summary.next" next in
+      let* high = dec_viewid_opt high in
+      Ok
+        (Summary.make
+           ~con:
+             (List.fold_left
+                (fun m (l, v) -> Label.Map.add l v m)
+                Label.Map.empty con)
+           ~ord ~next ~high)
+  | _ -> errf "summary: expected 4 fields in %S" s
+
+let enc_msg = function
+  | Msg.App (l, v) -> F.encode [ "a"; enc_label l; v ]
+  | Msg.Summary x -> F.encode [ "s"; enc_summary x ]
+
+let dec_msg s =
+  let* fs = fields_of "msg" s in
+  match fs with
+  | [ "a"; l; v ] ->
+      let* l = dec_label l in
+      Ok (Msg.App (l, v))
+  | [ "s"; x ] ->
+      let* x = dec_summary x in
+      Ok (Msg.Summary x)
+  | _ -> errf "msg: malformed %S" s
+
+let enc_proc_counts m =
+  enc_list
+    (fun (p, c) -> F.encode [ string_of_int p; string_of_int c ])
+    (Proc.Map.bindings m)
+
+let dec_proc_counts label s =
+  let* entries =
+    dec_list label
+      (fun f ->
+        let* fs = fields_of label f in
+        match fs with
+        | [ p; c ] ->
+            let* p = int_of label p in
+            let* c = int_of label c in
+            Ok (p, c)
+        | _ -> errf "%s: malformed entry %S" label f)
+      s
+  in
+  Ok (List.fold_left (fun m (p, c) -> Proc.Map.add p c m) Proc.Map.empty entries)
+
+let enc_token enc_m (t : 'm token) =
+  F.encode
+    [
+      enc_viewid t.viewid;
+      enc_list
+        (fun e ->
+          F.encode [ string_of_int e.idx; string_of_int e.src; enc_m e.msg ])
+        t.entries;
+      string_of_int t.next_idx;
+      enc_proc_counts t.delivered;
+      enc_proc_counts t.safe_acked;
+      enc_proc_counts t.appended;
+    ]
+
+let dec_token dec_m s =
+  let* fs = fields_of "token" s in
+  match fs with
+  | [ viewid; entries; next_idx; delivered; safe_acked; appended ] ->
+      let* viewid = dec_viewid viewid in
+      let* entries =
+        dec_list "token.entries"
+          (fun f ->
+            let* fs = fields_of "token entry" f in
+            match fs with
+            | [ idx; src; msg ] ->
+                let* idx = int_of "token entry.idx" idx in
+                let* src = int_of "token entry.src" src in
+                let* msg = dec_m msg in
+                Ok { idx; src; msg }
+            | _ -> errf "token entry: malformed %S" f)
+          entries
+      in
+      let* next_idx = int_of "token.next_idx" next_idx in
+      let* delivered = dec_proc_counts "token.delivered" delivered in
+      let* safe_acked = dec_proc_counts "token.safe_acked" safe_acked in
+      let* appended = dec_proc_counts "token.appended" appended in
+      Ok { viewid; entries; next_idx; delivered; safe_acked; appended }
+  | _ -> errf "token: expected 6 fields in %S" s
+
+let enc_view (v : View.t) =
+  F.encode
+    [ enc_viewid v.id; enc_list string_of_int (Proc.Set.elements v.set) ]
+
+let dec_view s =
+  let* fs = fields_of "view" s in
+  match fs with
+  | [ id; set ] ->
+      let* id = dec_viewid id in
+      let* members = dec_list "view.set" (int_of "view member") set in
+      Ok (View.make id members)
+  | _ -> errf "view: expected 2 fields in %S" s
+
+let encode_packet enc_m = function
+  | Newgroup { viewid } -> F.encode [ "ng"; enc_viewid viewid ]
+  | Accept { viewid } -> F.encode [ "ac"; enc_viewid viewid ]
+  | Nack { viewid; proposed_num } ->
+      F.encode [ "nk"; enc_viewid viewid; string_of_int proposed_num ]
+  | ViewMsg { view } -> F.encode [ "vm"; enc_view view ]
+  | Token t -> F.encode [ "tk"; enc_token enc_m t ]
+  | Probe { viewid_num } -> F.encode [ "pb"; string_of_int viewid_num ]
+
+let decode_packet dec_m s =
+  let* fs = fields_of "packet" s in
+  match fs with
+  | [ "ng"; viewid ] ->
+      let* viewid = dec_viewid viewid in
+      Ok (Newgroup { viewid })
+  | [ "ac"; viewid ] ->
+      let* viewid = dec_viewid viewid in
+      Ok (Accept { viewid })
+  | [ "nk"; viewid; proposed_num ] ->
+      let* viewid = dec_viewid viewid in
+      let* proposed_num = int_of "nack.proposed_num" proposed_num in
+      Ok (Nack { viewid; proposed_num })
+  | [ "vm"; view ] ->
+      let* view = dec_view view in
+      Ok (ViewMsg { view })
+  | [ "tk"; token ] ->
+      let* token = dec_token dec_m token in
+      Ok (Token token)
+  | [ "pb"; viewid_num ] ->
+      let* viewid_num = int_of "probe.viewid_num" viewid_num in
+      Ok (Probe { viewid_num })
+  | _ -> errf "packet: unknown shape %S" s
+
+let packet_codec ~enc_msg ~dec_msg : _ Gcs_transport.Iface.codec =
+  {
+    enc = encode_packet enc_msg;
+    dec = decode_packet dec_msg;
+  }
+
+let msg_packet_codec : Msg.t packet Gcs_transport.Iface.codec =
+  packet_codec ~enc_msg ~dec_msg
+
+let string_packet_codec : string packet Gcs_transport.Iface.codec =
+  packet_codec ~enc_msg:(fun s -> s) ~dec_msg:(fun s -> Ok s)
+
 let pp_packet ppf = function
   | Newgroup { viewid } -> Format.fprintf ppf "newgroup(%a)" View_id.pp viewid
   | Accept { viewid } -> Format.fprintf ppf "accept(%a)" View_id.pp viewid

@@ -34,3 +34,25 @@ type 'm packet =
 
 val fresh_token : View_id.t -> 'm token
 val pp_packet : Format.formatter -> 'm packet -> unit
+
+(** {2 Byte codec}
+
+    Serialization for real transports ({!Gcs_transport.Bus} and, later,
+    sockets): every packet constructor round-trips through a flat field
+    encoding (['|']-separated, ['%']-escaped, so arbitrary payload bytes
+    survive). The simulator moves packets by value and never touches
+    this path. Decoding is total — malformed bytes yield [Error], never
+    an exception or a guessed packet. *)
+
+val packet_codec :
+  enc_msg:('m -> string) ->
+  dec_msg:(string -> ('m, string) result) ->
+  'm packet Gcs_transport.Iface.codec
+(** Codec for packets over any payload type, given a payload codec. *)
+
+val msg_packet_codec : Msg.t packet Gcs_transport.Iface.codec
+(** The full VStoTO wire format: packets carrying labelled application
+    values and state-exchange summaries ({!Gcs_core.Msg.t}). *)
+
+val string_packet_codec : string packet Gcs_transport.Iface.codec
+(** Packets over raw string payloads (tests and simple clients). *)

@@ -15,8 +15,9 @@
       iteration is the classic byte-determinism leak.
     - [D2] entropy / wall clock: any [Random.*] outside
       [lib/stdx/prng.ml], plus [Sys.time], [Unix.gettimeofday] and
-      [Unix.time]. All nondeterminism must flow through the seeded
-      {!Gcs_stdx.Prng}.
+      [Unix.time] outside [lib/transport/clock.ml]. All nondeterminism
+      must flow through the seeded {!Gcs_stdx.Prng}; all wall-clock
+      reads through the bus transport's monotonic clock.
     - [D3] (only under [lib/core/] and [lib/impl/]) polymorphic
       structural operations on non-scalar operands: [=] applied to a
       syntactically constructed operand (constructor, tuple, record,

@@ -59,7 +59,8 @@ let record_phase_metrics metrics ~stabilization trace =
       | _ -> ())
     (Timed.actions trace)
 
-let run ?metrics ?engine ?workload ~config ?until ~seed scenario =
+let run ?metrics ?engine ?backend ?stop ?workload ~config ?until ~seed scenario
+    =
   let metrics =
     match metrics with Some m -> m | None -> Gcs_stdx.Metrics.create ()
   in
@@ -74,7 +75,12 @@ let run ?metrics ?engine ?workload ~config ?until ~seed scenario =
   in
   let failures = Scenario.compile ~procs scenario in
   let run =
-    To_service.run ~metrics ?engine config ~workload ~failures ~until ~seed
+    match backend with
+    | Some backend ->
+        To_service.run_on ~metrics ?stop ~backend config ~workload ~failures
+          ~until ~seed
+    | None ->
+        To_service.run ~metrics ?engine config ~workload ~failures ~until ~seed
   in
   record_phase_metrics metrics
     ~stabilization:(Scenario.stabilization_time scenario)

@@ -55,13 +55,21 @@ val default_workload :
 val run :
   ?metrics:Gcs_stdx.Metrics.t ->
   ?engine:Gcs_sim.Engine.config ->
+  ?backend:Gcs_transport.Iface.backend ->
+  ?stop:(now:float -> outputs:int -> bool) ->
   ?workload:(float * Proc.t * Value.t) list ->
   config:To_service.config ->
   ?until:float ->
   seed:int ->
   Scenario.t ->
   outcome
-(** Reproducible: the outcome is a pure function of the arguments. *)
+(** On the default simulator path the outcome is a pure function of the
+    arguments. [backend] reruns the identical harness — same automata,
+    same oracles — on a pluggable transport (e.g. {!Gcs_transport.Bus}),
+    where times in the scenario and workload are wall-clock seconds and
+    the outcome depends on real scheduling; [engine] is ignored then.
+    [stop] is forwarded to the backend so wall-clock runs can end as soon
+    as the workload visibly drained. *)
 
 val run_batch :
   ?jobs:int ->

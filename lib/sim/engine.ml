@@ -17,13 +17,19 @@ let default_config ~delta =
     ugly_delay_max = delta *. 10.0;
   }
 
-type ('packet, 'out) effect =
+(* The handler-facing types are owned by Gcs_transport.Iface (the
+   pluggable-transport seam) and re-exported here with equations, so
+   pre-transport code written against Engine keeps compiling unchanged
+   and handlers flow between backends without conversion. *)
+
+type ('packet, 'out) effect = ('packet, 'out) Gcs_transport.Iface.effect =
   | Send of { dst : Proc.t; packet : 'packet }
   | Set_timer of { id : int; delay : float }
   | Cancel_timer of { id : int }
   | Output of 'out
 
-type ('state, 'input, 'packet, 'out) handlers = {
+type ('state, 'input, 'packet, 'out) handlers =
+      ('state, 'input, 'packet, 'out) Gcs_transport.Iface.handlers = {
   on_start :
     Proc.t -> 'state -> 'state * ('packet, 'out) effect list;
   on_input :
@@ -39,7 +45,7 @@ type ('state, 'input, 'packet, 'out) handlers = {
     Proc.t -> now:float -> id:int -> 'state -> 'state * ('packet, 'out) effect list;
 }
 
-type ('state, 'out) result = {
+type ('state, 'out) result = ('state, 'out) Gcs_transport.Iface.result = {
   trace : 'out Timed.t;
   final_states : 'state Proc.Map.t;
   events_processed : int;

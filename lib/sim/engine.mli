@@ -36,7 +36,13 @@ type config = {
 
 val default_config : delta:float -> config
 
-type ('packet, 'out) effect =
+(** The handler-facing types below are re-exports (with equations) of
+    {!Gcs_transport.Iface}, the pluggable-transport seam: handlers built
+    against this module run unchanged on any {!Gcs_transport.Iface.backend}
+    — this simulator (packaged as {!Backend}) or the real multi-domain
+    bus ({!Gcs_transport.Bus}). *)
+
+type ('packet, 'out) effect = ('packet, 'out) Gcs_transport.Iface.effect =
   | Send of { dst : Proc.t; packet : 'packet }
   | Set_timer of { id : int; delay : float }
       (** (re-)arm timer [id]; any previously armed timer with the same id
@@ -44,7 +50,8 @@ type ('packet, 'out) effect =
   | Cancel_timer of { id : int }
   | Output of 'out  (** record an external event in the timed trace *)
 
-type ('state, 'input, 'packet, 'out) handlers = {
+type ('state, 'input, 'packet, 'out) handlers =
+      ('state, 'input, 'packet, 'out) Gcs_transport.Iface.handlers = {
   on_start :
     Proc.t -> 'state -> 'state * ('packet, 'out) effect list;
   on_input :
@@ -60,7 +67,7 @@ type ('state, 'input, 'packet, 'out) handlers = {
     Proc.t -> now:float -> id:int -> 'state -> 'state * ('packet, 'out) effect list;
 }
 
-type ('state, 'out) result = {
+type ('state, 'out) result = ('state, 'out) Gcs_transport.Iface.result = {
   trace : 'out Timed.t;
   final_states : 'state Proc.Map.t;
   events_processed : int;

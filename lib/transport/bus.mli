@@ -1,0 +1,74 @@
+open Gcs_core
+
+(** The real backend: a multi-domain in-process message bus.
+
+    Each processor runs as its own OCaml domain with a mutex/condition
+    {!Mailbox}; packets are {!Iface.codec}-serialized strings (the same
+    codec path later extends to Unix sockets); time is the monotonic wall
+    clock ({!Clock}). A controller loop in the calling domain injects the
+    client workload at its scheduled offsets, applies the failure-status
+    schedule (crashes hold a processor's events, partitions drop packets
+    at send time, ugly links delay or drop — the Section 3.2 fault model
+    approximated in wall time), delivers delayed packets, and ticks every
+    mailbox each [poll_interval] so timer deadlines never oversleep by
+    more than a tick.
+
+    Guarantees (the contract the cross-transport suite checks):
+    - {e same automata}: handlers written against {!Iface} run unchanged;
+    - {e per-sender FIFO}: packets between a good directed pair are
+      handled in send order (mailboxes are FIFO queues);
+    - {e live members only}: a [Bad] processor handles nothing while bad
+      (its mailbox holds; held events replay on recovery) and packets on a
+      [Bad] link are dropped at send time;
+    - {e close is close}: once [run] returns, no handler runs and no
+      output is recorded — trace timestamps stay below [until] plus one
+      handler's residual;
+    - {e monotone clock}: trace timestamps are nondecreasing (stamped
+      under the trace lock from a monotone clock).
+
+    Unlike the simulator the bus is {e not} deterministic: wall-clock
+    interleavings vary run to run. Oracles over bus runs must hold for
+    every interleaving (trace conformance, invariants, delivered-order
+    agreement), which is exactly what makes a second backend a free
+    differential oracle rather than a second source of bugs. *)
+
+type config = {
+  poll_interval : float;
+      (** controller tick period in seconds (timer wake-up bound) *)
+  ugly_drop_prob : float;  (** ugly link: drop probability at send *)
+  ugly_delay_max : float;
+      (** ugly link/processor: extra delay drawn uniformly below this *)
+}
+
+val default_config : config
+(** 2 ms ticks, drop probability 0.5, 50 ms maximum ugly delay. *)
+
+val run :
+  ?config:config ->
+  ?metrics:Gcs_stdx.Metrics.t ->
+  ?observe:(Proc.t -> 'state -> 'state -> unit) ->
+  ?stop:(now:float -> outputs:int -> bool) ->
+  'packet Iface.codec ->
+  procs:Proc.t list ->
+  handlers:('state, 'input, 'packet, 'out) Iface.handlers ->
+  init:(Proc.t -> 'state) ->
+  inputs:(float * Proc.t * 'input) list ->
+  failures:(float * Fstatus.event) list ->
+  until:float ->
+  seed:int ->
+  ('state, 'out) Iface.result
+(** Times ([inputs], [failures], [until]) are wall-clock seconds from the
+    run's start. Inputs at time [<= 0] are preloaded into their mailboxes
+    before any domain starts, so they are handled before any packet —
+    the anchor the differential suite uses to make delivered orders
+    comparable across transports. [seed] drives the per-node PRNGs (ugly
+    delays and drops); it does not make the bus deterministic.
+
+    The run's [metrics] gains a [bus.*] section: packets sent/dropped,
+    events processed, statuses applied, and the wall seconds spent.
+
+    A handler exception (or a codec [Error]) on any node stops the whole
+    run and re-raises in the caller. *)
+
+val backend : ?config:config -> unit -> Iface.backend
+(** The bus packaged as a pluggable {!Iface.BACKEND} (named ["bus"]). *)

@@ -1,0 +1,22 @@
+(* The one sanctioned wall-clock sink (lint rule D2): real transports get
+   their time here and nowhere else. *)
+
+type t = { t0 : float; last : float Atomic.t }
+
+let read () = Unix.gettimeofday ()
+
+let create () = { t0 = read (); last = Atomic.make 0.0 }
+
+(* Clamp monotone across domains with a CAS max-loop: a reader never
+   returns less than any value already returned by another domain. *)
+let now t =
+  let raw = read () -. t.t0 in
+  let rec clamp () =
+    let seen = Atomic.get t.last in
+    if raw <= seen then seen
+    else if Atomic.compare_and_set t.last seen raw then raw
+    else clamp ()
+  in
+  clamp ()
+
+let sleep s = if s > 0.0 then Unix.sleepf s

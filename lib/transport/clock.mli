@@ -1,0 +1,27 @@
+(** Monotonic wall clock for real transports.
+
+    The repository's determinism discipline (lint rule D2) forbids reading
+    the wall clock anywhere: simulated time and seeds are the only
+    admissible time sources, so every run is reproducible. A {e real}
+    transport is the one place where wall time is the semantics, not an
+    escape — this module is the single sanctioned sink (rule D2 exempts
+    [lib/transport/clock.ml] exactly as it exempts [lib/stdx/prng.ml] for
+    entropy). Everything else on the bus path asks a [Clock.t] for the
+    time, so a test can still substitute a fake.
+
+    A clock reads as seconds since its creation and is clamped monotone
+    across domains: concurrent readers never observe time going
+    backwards, even if the underlying source is adjusted. *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock; [now] counts from (approximately) this moment. *)
+
+val now : t -> float
+(** Seconds since [create]. Monotone: for any two calls, in any domains,
+    the later-returning call yields a value [>=] every earlier one. *)
+
+val sleep : float -> unit
+(** Block the calling domain for (at least) the given seconds; negative
+    or zero durations return immediately. *)

@@ -1,0 +1,64 @@
+open Gcs_core
+
+type ('packet, 'out) effect =
+  | Send of { dst : Proc.t; packet : 'packet }
+  | Set_timer of { id : int; delay : float }
+  | Cancel_timer of { id : int }
+  | Output of 'out
+
+type ('state, 'input, 'packet, 'out) handlers = {
+  on_start : Proc.t -> 'state -> 'state * ('packet, 'out) effect list;
+  on_input :
+    Proc.t -> now:float -> 'input -> 'state -> 'state * ('packet, 'out) effect list;
+  on_packet :
+    Proc.t ->
+    now:float ->
+    src:Proc.t ->
+    'packet ->
+    'state ->
+    'state * ('packet, 'out) effect list;
+  on_timer :
+    Proc.t -> now:float -> id:int -> 'state -> 'state * ('packet, 'out) effect list;
+}
+
+type ('state, 'out) result = {
+  trace : 'out Timed.t;
+  final_states : 'state Proc.Map.t;
+  events_processed : int;
+  packets_sent : int;
+  packets_dropped : int;
+  statuses_applied : int;
+  metrics : Gcs_stdx.Metrics.t;
+}
+
+type 'packet codec = {
+  enc : 'packet -> string;
+  dec : string -> ('packet, string) Stdlib.result;
+}
+
+let string_codec = { enc = (fun s -> s); dec = (fun s -> Ok s) }
+
+let roundtrip_exn codec packet =
+  match codec.dec (codec.enc packet) with
+  | Ok p -> p
+  | Error e -> invalid_arg (Printf.sprintf "codec round-trip failed: %s" e)
+
+module type BACKEND = sig
+  val name : string
+
+  val run :
+    ?metrics:Gcs_stdx.Metrics.t ->
+    ?observe:(Proc.t -> 'state -> 'state -> unit) ->
+    ?stop:(now:float -> outputs:int -> bool) ->
+    'packet codec ->
+    procs:Proc.t list ->
+    handlers:('state, 'input, 'packet, 'out) handlers ->
+    init:(Proc.t -> 'state) ->
+    inputs:(float * Proc.t * 'input) list ->
+    failures:(float * Fstatus.event) list ->
+    until:float ->
+    seed:int ->
+    ('state, 'out) result
+end
+
+type backend = (module BACKEND)

@@ -1,0 +1,72 @@
+type 'a t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable front : 'a list;  (* oldest first *)
+  mutable back : 'a list;  (* newest first *)
+  mutable size : int;
+  mutable wakes : int;  (* pushes + ticks; versions the condition *)
+  mutable closed : bool;  (* once set, wait never blocks again *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    front = [];
+    back = [];
+    size = 0;
+    wakes = 0;
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let push t x =
+  locked t (fun () ->
+      t.back <- x :: t.back;
+      t.size <- t.size + 1;
+      t.wakes <- t.wakes + 1;
+      Condition.broadcast t.cond)
+
+let pop_opt t =
+  locked t (fun () ->
+      match t.front with
+      | x :: rest ->
+          t.front <- rest;
+          t.size <- t.size - 1;
+          Some x
+      | [] -> (
+          match List.rev t.back with
+          | [] -> None
+          | x :: rest ->
+              t.front <- rest;
+              t.back <- [];
+              t.size <- t.size - 1;
+              Some x))
+
+let length t = locked t (fun () -> t.size)
+
+let wait t =
+  locked t (fun () ->
+      let entry = t.wakes in
+      while (not t.closed) && t.wakes = entry && t.size = 0 do
+        Condition.wait t.cond t.lock
+      done)
+
+let tick t =
+  locked t (fun () ->
+      t.wakes <- t.wakes + 1;
+      Condition.broadcast t.cond)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.cond)

@@ -1,0 +1,42 @@
+(** Mutex/condition FIFO mailboxes — the bus's links.
+
+    One mailbox per processor; senders [push] from their own domains and
+    the owner drains with [pop_opt] / [wait]. Per-sender FIFO order is
+    inherited from the queue: a sender's consecutive pushes are popped in
+    push order (the per-directed-link FIFO the bus promises).
+
+    OCaml's [Condition] has no timed wait, and a node must also wake for
+    its {e timer} deadlines, not just for traffic — so waiting is bounded
+    cooperatively: the bus runs a ticker that calls [tick] on every
+    mailbox at a small fixed period, and [wait] returns on the first push
+    {e or} tick after it was called. The owner then rechecks its timers,
+    its failure status and the horizon. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Append and wake the owner. *)
+
+val pop_opt : 'a t -> 'a option
+(** The oldest element, if any. Never blocks. *)
+
+val length : 'a t -> int
+
+val wait : 'a t -> unit
+(** Block until a [push], [tick] or [close] strictly after this call
+    began (immediately if already closed). Returns with no element
+    guarantee — callers recheck. *)
+
+val close : 'a t -> unit
+(** Make [wait] non-blocking forever after. Shutdown uses this instead
+    of a final [tick]: a tick only wakes waiters already parked, so a
+    node that checks the stop flag and {e then} parks would sleep through
+    it, whereas closing is a state, not an edge. [push]/[pop_opt] still
+    work on a closed mailbox (the owner drains nothing after stop anyway
+    — it rechecks the stop flag on every wake). *)
+
+val tick : 'a t -> unit
+(** Wake the owner without delivering anything (the ticker's heartbeat,
+    bounding how long a timer deadline can oversleep). *)

@@ -1,0 +1,42 @@
+(* Cross-transport conformance: the full oracle battery (TO/VS trace
+   conformance, the Theorem 7.2 delivery bound, the VStoTO node-state
+   invariants) over every fault case, on each backend.
+
+   The sim profile runs in virtual time and is free; the bus profile runs
+   the same cases in wall-clock time (a few seconds per case, early-stopped
+   once the workload has visibly drained and the fault schedule has fully
+   played). A failure prints the case, seed and offending oracle. *)
+
+open Gcs_conformance
+
+(* Every case submits workload_count values per processor; each of the
+   n nodes must deliver all of them, so a passing case can never be an
+   accidentally empty run. *)
+let min_deliveries profile =
+  let n =
+    List.length profile.Suite.config.Gcs_impl.To_service.vs.Gcs_impl.Vs_node.procs
+  in
+  n * n * profile.Suite.workload_count
+
+let check_profile profile () =
+  let outcomes = Suite.run_all profile ~seed:7 in
+  Alcotest.(check int) "all cases ran" 5 (List.length outcomes);
+  List.iter
+    (fun o ->
+      if not (Suite.passed o) then
+        Alcotest.failf "%s" (Format.asprintf "%a" Suite.pp_outcome o);
+      if o.Suite.deliveries < min_deliveries profile then
+        Alcotest.failf "%s: only %d deliveries — vacuous run?" o.Suite.case
+          o.Suite.deliveries)
+    outcomes
+
+let () =
+  Alcotest.run "cross-transport conformance"
+    [
+      ( "sim",
+        [ Alcotest.test_case "all cases, all oracles" `Quick
+            (check_profile (Suite.sim_profile ())) ] );
+      ( "bus",
+        [ Alcotest.test_case "all cases, all oracles" `Slow
+            (check_profile (Suite.bus_profile ())) ] );
+    ]

@@ -79,6 +79,12 @@ let d2 =
     fires "Sys.time fires" ~path:apps ~rule:"D2" "let now () = Sys.time ()";
     silent "Random inside lib/stdx/prng.ml is the one sanctioned home"
       ~path:"lib/stdx/prng.ml" "let draw st = Random.State.int st 10";
+    silent "gettimeofday inside lib/transport/clock.ml is sanctioned"
+      ~path:"lib/transport/clock.ml" "let read () = Unix.gettimeofday ()";
+    fires "entropy is not sanctioned in the clock module"
+      ~path:"lib/transport/clock.ml" ~rule:"D2" "let roll () = Random.int 6";
+    fires "wall clock is not sanctioned in the prng module"
+      ~path:"lib/stdx/prng.ml" ~rule:"D2" "let now () = Unix.gettimeofday ()";
     downgraded "allow attribute on the binding" ~path:apps ~rule:"D2"
       "let now () = Unix.gettimeofday () [@@gcs.lint.allow \"D2\"]";
     downgraded "floating allow covers the rest of the file" ~path:apps

@@ -1,0 +1,187 @@
+(* Transport contract tests.
+
+   One automaton, one set of assertions, every backend: the guarantees a
+   {!Gcs_transport.Iface.BACKEND} must provide regardless of how it moves
+   messages — delivery to live members only (with replay on recovery),
+   nothing delivered after the horizon, per-sender-pair FIFO, and a
+   monotone clock. The suite is a functor in spirit: [contract_tests]
+   takes a profile and is instantiated for the simulator and the bus, so
+   a third backend gets its conformance battery by adding one profile. *)
+
+open Gcs_core
+module I = Gcs_transport.Iface
+
+type input = { dst : Proc.t; payload : string }
+type out = { at : Proc.t; src : Proc.t; payload : string }
+
+type profile = {
+  label : string;
+  backend : I.backend;
+  dt : float;  (** one time unit in the backend's own seconds *)
+  residual : float;
+      (** slack past [until] for a handler already in flight at close *)
+}
+
+let sim_profile =
+  {
+    label = "sim";
+    backend =
+      Gcs_sim.Backend.of_config (Gcs_sim.Engine.default_config ~delta:1.0);
+    dt = 1.0;
+    residual = 1e-9;
+  }
+
+let bus_profile =
+  {
+    label = "bus";
+    backend = Gcs_transport.Bus.backend ();
+    dt = 0.02;
+    residual = 0.5;
+  }
+
+let procs = Proc.all ~n:3
+
+(* Relay automaton: an input is a request to send its payload to [dst];
+   a received packet is recorded in the trace. State is unit — the trace
+   is the whole observation. *)
+let relay_handlers =
+  {
+    I.on_start = (fun _ s -> (s, []));
+    on_input =
+      (fun _me ~now:_ { dst; payload } s -> (s, [ I.Send { dst; packet = payload } ]));
+    on_packet =
+      (fun me ~now:_ ~src payload s -> (s, [ I.Output { at = me; src; payload } ]));
+    on_timer = (fun _ ~now:_ ~id:_ s -> (s, []));
+  }
+
+(* Metronome automaton: every node re-arms a timer forever and records a
+   tick per firing — traffic that does not stop by itself, so the horizon
+   has to stop it. *)
+let metronome_handlers ~dt =
+  let tick me = I.Output { at = me; src = me; payload = "tick" } in
+  {
+    I.on_start = (fun _me s -> (s, [ I.Set_timer { id = 1; delay = dt } ]));
+    on_input = (fun _ ~now:_ (_ : input) s -> (s, []));
+    on_packet = (fun _ ~now:_ ~src:_ (_ : string) s -> (s, []));
+    on_timer =
+      (fun me ~now:_ ~id:_ s -> (s, [ tick me; I.Set_timer { id = 1; delay = dt } ]));
+  }
+
+let run profile ?(handlers = relay_handlers) ~inputs ~failures ~until () =
+  let (module B : I.BACKEND) = profile.backend in
+  B.run I.string_codec ~procs ~handlers
+    ~init:(fun _ -> ())
+    ~inputs ~failures ~until ~seed:42
+
+(* Payloads received at [p], in trace (= handling) order. *)
+let received_at p trace =
+  List.filter_map
+    (fun (_, o) -> if o.at = p then Some o.payload else None)
+    (Timed.actions trace)
+
+let outputs_at p trace =
+  List.filter (fun (_, o) -> o.at = p) (Timed.actions trace)
+
+(* 1. Per-sender-pair FIFO: messages from 0 to 1, spaced a full dt apart
+   (the simulator's good-link jitter can reorder only within dt/2), must
+   arrive in send order and without loss. *)
+let test_fifo profile () =
+  let count = 16 in
+  let inputs =
+    List.init count (fun k ->
+        (float_of_int (k + 1) *. profile.dt, 0, { dst = 1; payload = Printf.sprintf "m%02d" k }))
+  in
+  let until = float_of_int (count + 6) *. profile.dt in
+  let result = run profile ~inputs ~failures:[] ~until () in
+  let expected = List.init count (Printf.sprintf "m%02d") in
+  Alcotest.(check (list string))
+    "delivered in send order" expected
+    (received_at 1 result.I.trace)
+
+(* 2. Live members only: a crashed processor handles nothing while down;
+   what reached its mailbox replays after recovery, not before. A healthy
+   bystander is unaffected throughout. *)
+let test_live_members profile () =
+  let d = profile.dt in
+  let recover_t = 8.0 *. d in
+  let inputs =
+    [
+      (2.0 *. d, 0, { dst = 1; payload = "held" });
+      (2.0 *. d, 0, { dst = 2; payload = "free" });
+    ]
+  in
+  let failures =
+    [
+      (0.0, Fstatus.Proc_status (1, Fstatus.Bad));
+      (recover_t, Fstatus.Proc_status (1, Fstatus.Good));
+    ]
+  in
+  let until = 16.0 *. d in
+  let result = run profile ~inputs ~failures ~until () in
+  let trace = result.I.trace in
+  Alcotest.(check (list string)) "bystander unaffected" [ "free" ] (received_at 2 trace);
+  Alcotest.(check (list string)) "held message replays" [ "held" ] (received_at 1 trace);
+  List.iter
+    (fun (t, _) ->
+      if t < recover_t -. profile.residual then
+        Alcotest.failf "delivery at %.3f while processor 1 was down (recovery %.3f)"
+          t recover_t)
+    (outputs_at 1 trace)
+
+(* 3. A bad link drops at send time; other links from the same sender
+   keep working. *)
+let test_bad_link profile () =
+  let d = profile.dt in
+  let inputs =
+    [
+      (2.0 *. d, 0, { dst = 1; payload = "lost" });
+      (3.0 *. d, 0, { dst = 2; payload = "kept" });
+    ]
+  in
+  let failures = [ (0.0, Fstatus.Link_status (0, 1, Fstatus.Bad)) ] in
+  let result = run profile ~inputs ~failures ~until:(12.0 *. d) () in
+  Alcotest.(check (list string)) "bad link delivers nothing" []
+    (received_at 1 result.I.trace);
+  Alcotest.(check (list string)) "good link unaffected" [ "kept" ]
+    (received_at 2 result.I.trace)
+
+(* 4. Close is close, and the clock is monotone: under self-sustaining
+   timer traffic, no trace event is stamped past the horizon (plus one
+   in-flight handler's residual) and timestamps never go backwards. *)
+let test_close_and_clock profile () =
+  let until = 20.0 *. profile.dt in
+  let result =
+    run profile ~handlers:(metronome_handlers ~dt:profile.dt) ~inputs:[]
+      ~failures:[] ~until ()
+  in
+  let trace = result.I.trace in
+  let actions = Timed.actions trace in
+  Alcotest.(check bool) "traffic flowed" true (List.length actions >= 3);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d ticked" p)
+        true
+        (outputs_at p trace <> []))
+    procs;
+  List.iter
+    (fun (t, _) ->
+      if t > until +. profile.residual then
+        Alcotest.failf "event stamped %.4f past horizon %.4f" t until)
+    actions;
+  Alcotest.(check bool) "timestamps nondecreasing" true
+    (Timed.is_time_ordered trace)
+
+let contract_tests profile =
+  let case name f = Alcotest.test_case name `Quick (f profile) in
+  ( profile.label,
+    [
+      case "per-sender-pair FIFO" test_fifo;
+      case "live members only, replay on recovery" test_live_members;
+      case "bad link drops at send" test_bad_link;
+      case "close and clock monotonicity" test_close_and_clock;
+    ] )
+
+let () =
+  Alcotest.run "transport contract"
+    [ contract_tests sim_profile; contract_tests bus_profile ]
