@@ -17,7 +17,8 @@
              dune exec bench/main.exe -- --quick      (skip micro-benchmarks)
              dune exec bench/main.exe -- --jobs 4     (parallel sweeps)
              dune exec bench/main.exe -- --json FILE  (machine-readable results)
-             dune exec bench/main.exe -- --only X19   (a single section) *)
+             dune exec bench/main.exe -- --only X19      (a single section)
+             dune exec bench/main.exe -- --only X19,X20  (a comma-set of them) *)
 
 open Gcs_core
 open Gcs_impl
@@ -122,14 +123,15 @@ end
 type section = { id : string; title : string; wall_s : float; rows : J.t list }
 
 let recorded : section list ref = ref []
-let only : string option ref = ref None
+let only : string list option ref = ref None
 
 (* Each experiment prints its table and returns machine-readable rows;
    [section] times the whole X-section (wall clock, so pool speedups are
-   visible in the JSON trajectory). [--only ID] skips everything else. *)
+   visible in the JSON trajectory). [--only ID,ID,...] skips everything
+   else. *)
 let section id title f =
   match !only with
-  | Some want when not (String.equal want id) -> ()
+  | Some want when not (List.exists (String.equal id) want) -> ()
   | _ ->
       header (id ^ ": " ^ title);
       let t0 = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () in
@@ -966,6 +968,97 @@ let x19 () =
   in
   [ raw ~window:32 ~until:2.0; stack ~n:3 ~count:300 ]
 
+(* X20: batched throughput — the open-loop workload of `gcs load`
+   through the full VStoTO stack with the submission batch window on
+   and off, on both backends. Values are preloaded at t=0 (open loop:
+   the offered load never waits for deliveries); the window coalesces
+   everything queued between flushes into one Msg.Batch gpsnd, so the
+   ring carries a handful of batch entries instead of one entry per
+   client value. The bus rows are real wall-clock rates (the batched
+   row is the PR's ≥10x headline over the X19-era unbatched path); the
+   sim rows measure the simulation's own compute cost for the same
+   offered load, where batching pays by shrinking the event count.
+   Rows carry [client_msgs_per_s], which the drift gate checks against
+   the committed baseline (a >3x rate drop fails). *)
+
+let x20 () =
+  row "%10s %8s %4s %8s %8s %8s %9s %8s %14s\n" "mode" "backend" "n" "window"
+    "values" "wall s" "deliv" "batches" "client msg/s";
+  let throughput ~backend ~n ~count ~window =
+    let procs = Proc.all ~n in
+    let vs_config =
+      match backend with
+      | `Sim -> { Vs_node.procs; p0 = procs; pi = 6.0; mu = 8.0; delta = 1.0 }
+      | `Bus -> { Vs_node.procs; p0 = procs; pi = 0.15; mu = 1.0e6; delta = 5.0 }
+    in
+    let config = To_service.make_config ?batch_window:window vs_config in
+    let wl =
+      List.concat_map
+        (fun p ->
+          List.init count (fun k -> (0.0, p, Printf.sprintf "x%d.%d" p k)))
+        procs
+    in
+    let total = n * count in
+    let progress = Array.init n (fun _ -> Atomic.make 0) in
+    let observe p _pre post =
+      let st = To_service.node_app post in
+      let r = st.Vstoto.nextreport - 1 in
+      if r > Atomic.get progress.(p) then Atomic.set progress.(p) r
+    in
+    let stop ~now:_ ~outputs:_ =
+      Array.for_all (fun a -> Atomic.get a >= total) progress
+    in
+    let backend_impl, backend_name, until =
+      match backend with
+      | `Sim ->
+          ( Gcs_sim.Backend.of_config (Gcs_sim.Engine.default_config ~delta:1.0),
+            "sim",
+            2000.0 )
+      | `Bus -> (Gcs_transport.Bus.backend (), "bus", 60.0)
+    in
+    let t0 = wall_now () in
+    let run =
+      To_service.run_on ~observe ~stop ~backend:backend_impl config
+        ~workload:wl ~failures:[] ~until ~seed:11
+    in
+    let wall = wall_now () -. t0 in
+    let deliveries = To_service.deliveries run in
+    let client_rate = float_of_int deliveries /. wall in
+    let batches, batch_mean, batch_max =
+      match
+        Gcs_stdx.Metrics.histogram run.To_service.metrics "to.batch_size"
+      with
+      | Some (_, c, sum, max_v) when c > 0 -> (c, sum /. float_of_int c, max_v)
+      | _ -> (0, 0.0, 0.0)
+    in
+    let mode = match window with None -> "unbatched" | Some _ -> "batched" in
+    row "%10s %8s %4d %8s %8d %8.2f %9d %8d %14.0f\n" mode backend_name n
+      (match window with None -> "off" | Some w -> Printf.sprintf "%g" w)
+      total wall deliveries batches client_rate;
+    J.Obj
+      [
+        ("mode", J.Str mode);
+        ("backend", J.Str backend_name);
+        ("n", J.Int n);
+        ( "batch_window",
+          match window with None -> J.Null | Some w -> J.num w );
+        ("client_msgs", J.Int total);
+        ("wall_s", J.num wall);
+        ("client_deliveries", J.Int deliveries);
+        ("gpsnd_batches", J.Int batches);
+        ("batch_mean", J.num batch_mean);
+        ("batch_max", J.num batch_max);
+        ("client_msgs_per_s", J.num client_rate);
+        ("msgs_per_s", J.num client_rate);
+      ]
+  in
+  [
+    throughput ~backend:`Sim ~n:3 ~count:200 ~window:None;
+    throughput ~backend:`Sim ~n:3 ~count:200 ~window:(Some 2.0);
+    throughput ~backend:`Bus ~n:3 ~count:200 ~window:None;
+    throughput ~backend:`Bus ~n:3 ~count:5000 ~window:(Some 0.02);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* M: bechamel micro-benchmarks (M1–M7: core machinery; M8: incremental
    checker throughput at growing trace lengths; M9: pool dispatch
@@ -1052,6 +1145,22 @@ let micro () =
              Gcs_stdx.Pool.map ~jobs:4 (fun x -> x * 2) pool_items));
     ]
   in
+  (* M10: the hot-path accumulation the PR replaced. `xs @ [x]` copies
+     the whole accumulator per element (quadratic over a burst), which
+     is what the outbuf / delay / order fields used to do; Tape.snoc
+     appends in place behind a persistent slice (amortized O(1)). *)
+  let append_items = List.init 1_000 (fun i -> i) in
+  let m10 =
+    [
+      Test.make ~name:"M10: accumulate 1k via xs @ [x] (quadratic)"
+        (Staged.stage (fun () ->
+             List.fold_left (fun acc x -> acc @ [ x ]) [] append_items));
+      Test.make ~name:"M10: accumulate 1k via Tape.snoc (amortized O(1))"
+        (Staged.stage (fun () ->
+             List.fold_left Gcs_stdx.Tape.snoc (Gcs_stdx.Tape.empty ())
+               append_items));
+    ]
+  in
   let tests =
     [
       Test.make ~name:"TO-machine step"
@@ -1088,7 +1197,7 @@ let micro () =
              To_service.run sim_to_config ~workload:sim_wl ~failures:[]
                ~until:50.0 ~seed:1));
     ]
-    @ m8 @ m9
+    @ m8 @ m9 @ m10
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -1137,7 +1246,11 @@ let () =
   in
   let json_file = opt_of "--json" args in
   let drift_baseline = opt_of "--check-drift" args in
-  only := opt_of "--only" args;
+  only :=
+    Option.map
+      (fun s ->
+        List.filter (fun id -> id <> "") (String.split_on_char ',' s))
+      (opt_of "--only" args);
   jobs :=
     (match opt_of "--jobs" args with
     | Some s -> (
@@ -1164,6 +1277,7 @@ let () =
   section "X17" "throughput under nemesis schedules (n=5)" x17;
   section "X18" "observability: metrics registry of a nemesis run" x18;
   section "X19" "bus transport throughput (wall-clock msgs/sec)" x19;
+  section "X20" "batched throughput (open-loop load, both backends)" x20;
   if not quick then
     section "M" "micro-benchmarks (bechamel; time per run)" micro;
   (match json_file with
@@ -1215,25 +1329,81 @@ let () =
         s
       in
       let open Gcs_stdx.Jsonx in
-      let baseline_walls =
+      let baseline_sections =
         match of_string contents with
         | Error e ->
             Printf.eprintf "error: cannot parse %s: %s\n" file e;
             exit 2
         | Ok json ->
-            let sections =
-              Option.bind (member "sections" json) to_list
-              |> Option.value ~default:[]
-            in
+            Option.bind (member "sections" json) to_list
+            |> Option.value ~default:[]
+      in
+      let baseline_walls =
+        List.filter_map
+          (fun s ->
+            match
+              ( Option.bind (member "id" s) to_string,
+                Option.bind (member "wall_clock_s" s) to_float )
+            with
+            | Some id, Some w -> Some (id, w)
+            | _ -> None)
+          baseline_sections
+      in
+      (* Throughput rows are additionally gated on *rate*: any row
+         carrying [client_msgs_per_s] (X19's stack row, all of X20) must
+         stay within 3x of its baseline rate. Keyed by section id, row
+         mode and backend. A wall-clock gate alone would not catch a
+         batching regression — a run that delivers a tenth of the
+         messages in the same wall time passes the wall gate. *)
+      let baseline_rates =
+        List.concat_map
+          (fun s ->
+            match Option.bind (member "id" s) to_string with
+            | None -> []
+            | Some sid ->
+                Option.bind (member "rows" s) to_list
+                |> Option.value ~default:[]
+                |> List.filter_map (fun r ->
+                       match
+                         Option.bind (member "client_msgs_per_s" r) to_float
+                       with
+                       | None -> None
+                       | Some rate ->
+                           let part k =
+                             Option.value ~default:"-"
+                               (Option.bind (member k r) to_string)
+                           in
+                           Some
+                             ( sid ^ "/" ^ part "mode" ^ "/" ^ part "backend",
+                               rate )))
+          baseline_sections
+      in
+      let current_rates =
+        List.concat_map
+          (fun s ->
             List.filter_map
-              (fun s ->
-                match
-                  ( Option.bind (member "id" s) to_string,
-                    Option.bind (member "wall_clock_s" s) to_float )
-                with
-                | Some id, Some w -> Some (id, w)
+              (fun r ->
+                match r with
+                | J.Obj fields ->
+                    let rate =
+                      match List.assoc_opt "client_msgs_per_s" fields with
+                      | Some (J.Float f) -> Some f
+                      | Some (J.Int i) -> Some (float_of_int i)
+                      | _ -> None
+                    in
+                    Option.map
+                      (fun rate ->
+                        let part k =
+                          match List.assoc_opt k fields with
+                          | Some (J.Str v) -> v
+                          | _ -> "-"
+                        in
+                        ( s.id ^ "/" ^ part "mode" ^ "/" ^ part "backend",
+                          rate ))
+                      rate
                 | _ -> None)
-              sections
+              s.rows)
+          (List.rev !recorded)
       in
       let floor_s = 0.05 in
       let regressions = ref 0 in
@@ -1256,6 +1426,23 @@ let () =
                 Printf.printf "  %-4s ok: %.3fs vs baseline %.3fs\n" s.id
                   s.wall_s base)
         (List.rev !recorded);
+      List.iter
+        (fun (key, rate) ->
+          match List.assoc_opt key baseline_rates with
+          | None ->
+              Printf.printf "  %-24s no baseline rate (new row), skipped\n" key
+          | Some base ->
+              if rate < base /. 3.0 then begin
+                incr regressions;
+                Printf.printf
+                  "  %-24s REGRESSED: %.0f msgs/s vs baseline %.0f (floor \
+                   %.0f)\n"
+                  key rate base (base /. 3.0)
+              end
+              else
+                Printf.printf "  %-24s ok: %.0f msgs/s vs baseline %.0f\n" key
+                  rate base)
+        current_rates;
       if !regressions > 0 then begin
         Printf.printf "%d section(s) regressed >3x.\n" !regressions;
         exit 1

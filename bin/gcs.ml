@@ -14,6 +14,8 @@
      gcs timeline— ASCII timeline of a schedule: statuses, views, traffic
      gcs bus     — serve a replicated app over the real multi-domain bus
                    transport and check replica consistency
+     gcs load    — open-loop load generator: fixed-rate submissions on
+                   either backend, reporting wall-clock client throughput
      gcs diff    — differential transport check: identical workloads on
                    sim and bus must deliver in identical orders *)
 
@@ -1105,6 +1107,153 @@ let bus_cmd =
           packets, wall-clock time) and check replica consistency.")
     Term.(ret (const run $ n_arg $ seed_arg $ ops_arg $ app_arg))
 
+(* ------------------------------- load ------------------------------- *)
+
+(* Open-loop load generator. Submission times are fixed up front at a
+   constant per-processor rate (or all preloaded at t=0 with --rate 0)
+   and never wait for deliveries, so the offered load is independent of
+   how the service keeps up — the classic open-loop discipline. The
+   batch window coalesces whatever queues between flushes into a single
+   Msg.Batch gpsnd; the report shows wall-clock client throughput and
+   the realized batch-size distribution, the same numbers bench section
+   X20 records and gates. *)
+let load_cmd =
+  let run backend n count rate window seed json =
+    let procs = Proc.all ~n in
+    let vs_config =
+      match backend with
+      | `Sim -> { Vs_node.procs; p0 = procs; pi = 6.0; mu = 8.0; delta = 1.0 }
+      | `Bus -> { Vs_node.procs; p0 = procs; pi = 0.15; mu = 1.0e6; delta = 5.0 }
+    in
+    let batch_window =
+      if window < 0.0 then
+        Some (match backend with `Sim -> 2.0 | `Bus -> 0.02)
+      else if window = 0.0 then None
+      else Some window
+    in
+    let config = To_service.make_config ?batch_window vs_config in
+    let workload =
+      List.concat_map
+        (fun p ->
+          List.init count (fun k ->
+              let at = if rate <= 0.0 then 0.0 else float_of_int k /. rate in
+              (at, p, Printf.sprintf "v%d.%d" p k)))
+        procs
+    in
+    let total = n * count in
+    let progress = Array.init n (fun _ -> Atomic.make 0) in
+    let observe p _pre post =
+      let st = To_service.node_app post in
+      let r = st.Vstoto.nextreport - 1 in
+      if r > Atomic.get progress.(p) then Atomic.set progress.(p) r
+    in
+    let stop ~now:_ ~outputs:_ =
+      Array.for_all (fun a -> Atomic.get a >= total) progress
+    in
+    let offered = if rate <= 0.0 then 0.0 else float_of_int count /. rate in
+    let until =
+      match backend with `Sim -> offered +. 500.0 | `Bus -> offered +. 60.0
+    in
+    let backend_impl, backend_name =
+      match backend with
+      | `Sim ->
+          ( Gcs_sim.Backend.of_config
+              (Gcs_sim.Engine.default_config ~delta:vs_config.Vs_node.delta),
+            "sim" )
+      | `Bus -> (Gcs_transport.Bus.backend (), "bus")
+    in
+    let t0 = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () in
+    let run =
+      To_service.run_on ~observe ~stop ~backend:backend_impl config ~workload
+        ~failures:[] ~until ~seed
+    in
+    let wall = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () -. t0 in
+    let deliveries = To_service.deliveries run in
+    let client_rate = float_of_int deliveries /. wall in
+    let batches, batch_mean, batch_max =
+      match
+        Gcs_stdx.Metrics.histogram run.To_service.metrics "to.batch_size"
+      with
+      | Some (_, c, sum, max_v) when c > 0 ->
+          (c, sum /. float_of_int c, max_v)
+      | _ -> (0, 0.0, 0.0)
+    in
+    if json then
+      Printf.printf
+        "{\"backend\":\"%s\",\"n\":%d,\"count_per_proc\":%d,\"rate_per_proc\":%g,\"batch_window\":%s,\"submitted\":%d,\"client_deliveries\":%d,\"expected_deliveries\":%d,\"wall_s\":%.6f,\"client_msgs_per_s\":%.1f,\"packets_sent\":%d,\"gpsnd_batches\":%d,\"batch_mean\":%.2f,\"batch_max\":%.0f}\n"
+        backend_name n count rate
+        (match batch_window with
+        | None -> "null"
+        | Some w -> Printf.sprintf "%g" w)
+        total deliveries (n * total) wall client_rate
+        run.To_service.packets_sent batches batch_mean batch_max
+    else begin
+      Printf.printf
+        "load: backend=%s n=%d count=%d/proc rate=%s/proc window=%s\n"
+        backend_name n count
+        (if rate <= 0.0 then "preload" else Printf.sprintf "%g" rate)
+        (match batch_window with
+        | None -> "off"
+        | Some w -> Printf.sprintf "%g" w);
+      Printf.printf
+        "  %d submitted, %d/%d deliveries in %.2f wall s  ->  %.0f client \
+         msgs/sec\n"
+        total deliveries (n * total) wall client_rate;
+      Printf.printf "  %d packets, %d gpsnd batches (mean %.1f, max %.0f)\n"
+        run.To_service.packets_sent batches batch_mean batch_max
+    end;
+    if deliveries < n * total then
+      `Error
+        ( false,
+          Printf.sprintf "incomplete: %d of %d deliveries before the horizon"
+            deliveries (n * total) )
+    else `Ok ()
+  in
+  let backend_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("bus", `Bus) ]) `Sim
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "Transport backend: $(b,sim) (virtual time, wall clock measures \
+             simulation cost) or $(b,bus) (real domains, wall clock is real).")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"K"
+          ~doc:"Client values submitted per processor.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Open-loop submission rate per processor (values per second of \
+             model time; 0: preload everything at t=0).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float (-1.0)
+      & info [ "window" ] ~docv:"W"
+          ~doc:
+            "Batch window: queued values coalesce into one gpsnd per flush \
+             (negative: backend default, 0: batching off).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print one JSON object instead.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Open-loop load generator: fixed-rate client submissions through \
+          the full VStoTO stack on the sim or bus backend, reporting \
+          wall-clock client throughput and batch sizes.")
+    Term.(
+      ret
+        (const run $ backend_arg $ n_arg $ count_arg $ rate_arg $ window_arg
+       $ seed_arg $ json_arg))
+
 (* ------------------------------- diff ------------------------------- *)
 
 let diff_cmd =
@@ -1169,5 +1318,6 @@ let () =
             timeline_cmd;
             lint_cmd;
             bus_cmd;
+            load_cmd;
             diff_cmd;
           ]))

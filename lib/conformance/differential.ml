@@ -10,13 +10,17 @@ type report = {
   divergence : (Proc.t * string list * string list) option;
 }
 
-let config ?(n = 3) () =
+let config ?(n = 3) ?batch_window () =
   let procs = Proc.all ~n in
-  To_service.make_config
+  To_service.make_config ?batch_window
     { Vs_node.procs; p0 = procs; pi = 0.15; mu = 1.0e6; delta = 5.0 }
 
-let workload config ~seed ~count =
-  let procs = config.To_service.vs.Vs_node.procs in
+let workload ?origins config ~seed ~count =
+  let procs =
+    match origins with
+    | Some procs -> procs
+    | None -> config.To_service.vs.Vs_node.procs
+  in
   let prng = Gcs_stdx.Prng.create seed in
   List.init count (fun i ->
       let origin = Gcs_stdx.Prng.pick_exn prng procs in
@@ -45,10 +49,25 @@ let orders procs run =
         | None -> [] ))
     procs
 
-let run_pair ?(n = 3) ?(count = 12) ~seed () =
-  let config = config ~n () in
+(* With [batch_window] set the anchoring needs one more restriction:
+   the leader launches its first token at t = 0, before any window can
+   close, so whether the leader's own batch boards that launch or a
+   later rotation depends on the clock (virtual hops are ~delta,
+   wall-clock hops are microseconds). Excluding the leader as an origin
+   removes the race: every batch then sits in a follower's outbuf
+   before the first useful rotation reaches it — flushes happen at
+   ~window on both clocks, arrivals at delta (sim) / pi (bus) — so the
+   token collects the batches in ring order, identically on both
+   backends, FIFO within each batch. *)
+let run_pair ?(n = 3) ?(count = 12) ?batch_window ~seed () =
+  let config = config ~n ?batch_window () in
   let procs = config.To_service.vs.Vs_node.procs in
-  let workload = workload config ~seed ~count in
+  let origins =
+    match batch_window with
+    | None -> procs
+    | Some _ -> ( match procs with [] | [ _ ] -> procs | _leader :: rest -> rest)
+  in
+  let workload = workload ~origins config ~seed ~count in
   let sim_run =
     To_service.run_on
       ~backend:

@@ -33,18 +33,32 @@ type report = {
           sequences rendered ["src:value"] *)
 }
 
-val config : ?n:int -> unit -> To_service.config
+val config : ?n:int -> ?batch_window:float -> unit -> To_service.config
 (** The timing profile of the argument above: δ = 5 s, π = 0.15 s,
     μ = 10⁶ s (δ large enough that the bus cannot time out between
     wall-clock events; π small so the bus re-circulates the token
     promptly; the simulator is timing-insensitive either way). *)
 
 val workload :
-  To_service.config -> seed:int -> count:int -> (float * Proc.t * Value.t) list
-(** [count] distinct values at time 0, origins drawn from the seed. *)
+  ?origins:Proc.t list ->
+  To_service.config ->
+  seed:int ->
+  count:int ->
+  (float * Proc.t * Value.t) list
+(** [count] distinct values at time 0, origins drawn from the seed
+    ([origins] restricts the candidate set; default: all processors). *)
 
-val run_pair : ?n:int -> ?count:int -> seed:int -> unit -> report
-(** One simulator run and one bus run of the same workload, compared. *)
+val run_pair :
+  ?n:int -> ?count:int -> ?batch_window:float -> seed:int -> unit -> report
+(** One simulator run and one bus run of the same workload, compared.
+    [batch_window] turns submission batching on for both runs; the
+    anchored workload keeps the delivered order transport-independent
+    (every value stages at t=0, so each origin's whole workload leaves
+    as one batch in submission order) under two extra restrictions the
+    implementation applies: the window must close before a token can
+    reach any origin, and the leader is excluded as an origin — its
+    t=0 token launch precedes every possible flush, so whether its own
+    batch boards that launch or a later rotation is clock-dependent. *)
 
 val passed : report -> bool
 (** Complete on both backends and no divergence. *)

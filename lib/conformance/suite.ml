@@ -13,9 +13,10 @@ type profile = {
   use_stop : bool;
 }
 
-let mk_config ~n ~delta ~pi ~mu =
+let mk_config ?batch_window ~n ~delta ~pi ~mu () =
   let procs = Proc.all ~n in
-  To_service.make_config { Vs_node.procs; p0 = procs; pi; mu; delta }
+  To_service.make_config ?batch_window
+    { Vs_node.procs; p0 = procs; pi; mu; delta }
 
 (* The sim profile uses the repository's standard simulated timing
    (δ = 1, π = 6, μ = 8); the bus profile is the same shape scaled to
@@ -23,12 +24,12 @@ let mk_config ~n ~delta ~pi ~mu =
    time while keeping every π/μ/δ ratio — and hence the protocol's
    timeout structure — intact. *)
 
-let sim_profile ?(n = 3) () =
+let sim_profile ?batch_window ?(n = 3) () =
   {
     label = "sim";
     backend =
       Gcs_sim.Backend.of_config (Gcs_sim.Engine.default_config ~delta:1.0);
-    config = mk_config ~n ~delta:1.0 ~pi:6.0 ~mu:8.0;
+    config = mk_config ?batch_window ~n ~delta:1.0 ~pi:6.0 ~mu:8.0 ();
     beat = 10.0;
     workload_spacing = 3.0;
     workload_count = 4;
@@ -36,11 +37,11 @@ let sim_profile ?(n = 3) () =
     use_stop = false;
   }
 
-let bus_profile ?(n = 3) () =
+let bus_profile ?batch_window ?(n = 3) () =
   {
     label = "bus";
     backend = Gcs_transport.Bus.backend ();
-    config = mk_config ~n ~delta:0.1 ~pi:0.6 ~mu:0.8;
+    config = mk_config ?batch_window ~n ~delta:0.1 ~pi:0.6 ~mu:0.8 ();
     beat = 0.5;
     workload_spacing = 0.25;
     workload_count = 4;
@@ -113,6 +114,37 @@ let workload profile ~stabilization =
             Printf.sprintf "c%d.%d" p k )))
     procs
 
+(* Batching oracle: a batch is drawn from the buffer of a single view
+   (labels are stamped with the view that created them), so every
+   [Msg.Batch] seen at the VS layer must be view-homogeneous. A mixed
+   batch means a send crossed a view boundary. *)
+let batch_boundary_violation run =
+  List.find_map
+    (fun (_, a) ->
+      let msg =
+        match a with
+        | Vs_action.Gpsnd { msg; _ }
+        | Vs_action.Gprcv { msg; _ }
+        | Vs_action.Safe { msg; _ } ->
+            Some msg
+        | Vs_action.Newview _ | Vs_action.Createview _ | Vs_action.Vs_order _
+          ->
+            None
+      in
+      match msg with
+      | Some (Msg.Batch ((l0, _) :: rest)) ->
+          List.find_map
+            (fun (l, _) ->
+              if View_id.equal l.Label.id l0.Label.id then None
+              else
+                Some
+                  (Format.asprintf
+                     "batch mixes labels of views %a and %a" View_id.pp
+                     l0.Label.id View_id.pp l.Label.id))
+            rest
+      | _ -> None)
+    (Timed.actions (To_service.vs_trace run))
+
 let check profile ~seed case =
   let config = profile.config in
   let procs = config.To_service.vs.Vs_node.procs in
@@ -162,9 +194,16 @@ let check profile ~seed case =
                 ( "delivery-bound",
                   Format.asprintf "%a" To_property.pp_report report )
             else (
-              match Gcs_fuzz.Runner.node_invariant_failure run.To_service.final_nodes with
-              | Some f -> Some (f.Gcs_fuzz.Runner.check, f.Gcs_fuzz.Runner.detail)
-              | None -> None))
+              match batch_boundary_violation run with
+              | Some detail -> Some ("batch-view-boundary", detail)
+              | None -> (
+                  match
+                    Gcs_fuzz.Runner.node_invariant_failure
+                      run.To_service.final_nodes
+                  with
+                  | Some f ->
+                      Some (f.Gcs_fuzz.Runner.check, f.Gcs_fuzz.Runner.detail)
+                  | None -> None)))
   in
   let bcasts =
     List.length

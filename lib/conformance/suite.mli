@@ -37,10 +37,13 @@ type profile = {
           failure fallback) *)
 }
 
-val sim_profile : ?n:int -> unit -> profile
-(** δ = 1, the repository's standard simulated timing. *)
+val sim_profile : ?batch_window:float -> ?n:int -> unit -> profile
+(** δ = 1, the repository's standard simulated timing. [batch_window]
+    enables submission batching in the service under test (and with it a
+    further oracle: every batch seen at the VS layer must be
+    view-homogeneous). *)
 
-val bus_profile : ?n:int -> unit -> profile
+val bus_profile : ?batch_window:float -> ?n:int -> unit -> profile
 (** Wall-clock timing: δ = 0.1 s, fault beats of 0.5 s, early stop on.
     A full fault case converges in a few wall seconds. *)
 

@@ -1,21 +1,45 @@
-type t = App of Label.t * Value.t | Summary of Summary.t
+type t =
+  | App of Label.t * Value.t
+  | Batch of (Label.t * Value.t) list
+  | Summary of Summary.t
+
+let equal_entry (l, v) (l', v') = Label.equal l l' && Value.equal v v'
+
+let compare_entry (l, v) (l', v') =
+  match Label.compare l l' with 0 -> Value.compare v v' | c -> c
 
 let equal a b =
   match (a, b) with
   | App (l, v), App (l', v') -> Label.equal l l' && Value.equal v v'
+  | Batch xs, Batch ys -> List.equal equal_entry xs ys
   | Summary x, Summary y -> Summary.equal x y
-  | (App _ | Summary _), _ -> false
+  | (App _ | Batch _ | Summary _), _ -> false
 
 let compare a b =
   match (a, b) with
   | App (l, v), App (l', v') -> (
       match Label.compare l l' with 0 -> Value.compare v v' | c -> c)
+  | Batch xs, Batch ys -> List.compare compare_entry xs ys
   | Summary x, Summary y -> Summary.compare x y
-  | App _, Summary _ -> -1
-  | Summary _, App _ -> 1
+  | App _, (Batch _ | Summary _) -> -1
+  | Batch _, Summary _ -> -1
+  | Batch _, App _ -> 1
+  | Summary _, (App _ | Batch _) -> 1
 
 let pp ppf = function
   | App (l, v) -> Format.fprintf ppf "app(%a=%a)" Label.pp l Value.pp v
+  | Batch entries ->
+      Format.fprintf ppf "batch(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           (fun ppf (l, v) ->
+             Format.fprintf ppf "%a=%a" Label.pp l Value.pp v))
+        entries
   | Summary x -> Format.fprintf ppf "sum%a" Summary.pp x
 
-let is_summary = function Summary _ -> true | App _ -> false
+let is_summary = function Summary _ -> true | App _ | Batch _ -> false
+
+let app_entries = function
+  | App (l, v) -> [ (l, v) ]
+  | Batch entries -> entries
+  | Summary _ -> []

@@ -1,9 +1,23 @@
 (** Messages exchanged by VStoTO processes through the VS service:
-    labelled application values [(L × A)] or state-exchange [summaries]. *)
+    labelled application values [(L × A)] — singly or coalesced into a
+    batch sent as one VS message — or state-exchange [summaries].
 
-type t = App of Label.t * Value.t | Summary of Summary.t
+    A [Batch] is semantically the sequence of its [(label, value)] pairs
+    in order; batching exists so one VS send (and one wire frame, and one
+    token entry) carries a whole queue of client values. Batches are
+    formed from a processor's own buffer, so all labels of a batch carry
+    the same view identifier — a batch never crosses a view boundary. *)
+
+type t =
+  | App of Label.t * Value.t
+  | Batch of (Label.t * Value.t) list
+  | Summary of Summary.t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit
 val is_summary : t -> bool
+
+val app_entries : t -> (Label.t * Value.t) list
+(** The labelled values an application message carries: one for [App],
+    all of them for [Batch], none for [Summary]. *)

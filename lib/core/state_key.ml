@@ -24,6 +24,10 @@ let summary (x : Summary.t) =
 
 let msg = function
   | Msg.App (l, v) -> Printf.sprintf "a(%s=%s)" (label l) v
+  | Msg.Batch entries ->
+      Printf.sprintf "b(%s)"
+        (String.concat ","
+           (List.map (fun (l, v) -> label l ^ "=" ^ v) entries))
   | Msg.Summary x -> "s" ^ summary x
 
 let vs_state ~msg (s : 'm Vs_machine.state) =
@@ -76,9 +80,19 @@ let node_state (s : Vstoto.state) =
        (status s.Vstoto.status) s.Vstoto.nextseqno s.Vstoto.nextconfirm
        s.Vstoto.nextreport
        (view_id_opt s.Vstoto.highprimary));
-  buf_add b ("buf=[" ^ labels s.Vstoto.buffer ^ "] ");
-  buf_add b ("ord=[" ^ labels s.Vstoto.order ^ "] ");
-  buf_add b ("del=[" ^ String.concat "," s.Vstoto.delay ^ "] ");
+  buf_add b ("buf=[" ^ labels (Gcs_stdx.Tape.to_list s.Vstoto.buffer) ^ "] ");
+  buf_add b ("ord=[" ^ labels (Gcs_stdx.Tape.to_list s.Vstoto.order) ^ "] ");
+  buf_add b
+    ("del=[" ^ String.concat "," (Gcs_stdx.Tape.to_list s.Vstoto.delay) ^ "] ");
+  buf_add b
+    ("held=["
+    ^ String.concat ","
+        (List.map
+           (fun (l, v) -> label l ^ "=" ^ v)
+           (Gcs_stdx.Tape.to_list s.Vstoto.held))
+    ^ "] ");
+  buf_add b
+    ("heldsf=[" ^ labels (Gcs_stdx.Tape.to_list s.Vstoto.held_safe) ^ "] ");
   buf_add b "con:";
   Label.Map.iter
     (fun l v -> buf_add b (label l ^ "=" ^ v ^ ";"))

@@ -33,7 +33,8 @@ let f params state =
     let sorted =
       List.sort (fun (l, _) (l', _) -> Label.compare l l') unconfirmed
     in
-    List.map snd sorted @ (Vstoto_system.node state p).Vstoto.delay
+    List.map snd sorted
+    @ Gcs_stdx.Tape.to_list (Vstoto_system.node state p).Vstoto.delay
   in
   let pending =
     List.fold_left

@@ -1,4 +1,5 @@
 open Gcs_automata
+module Tape = Gcs_stdx.Tape
 
 type status = Normal | Send | Collect
 
@@ -12,15 +13,17 @@ type state = {
   status : status;
   content : Value.t Label.Map.t;
   nextseqno : int;
-  buffer : Label.t list;
-  order : Label.t list;
+  buffer : Label.t Tape.t;
+  order : Label.t Tape.t;
   nextconfirm : int;
   nextreport : int;
   highprimary : View_id.t option;
-  delay : Value.t list;
+  delay : Value.t Tape.t;
   gotstate : Summary.t Proc.Map.t;
   safe_exch : Proc.Set.t;
   safe_labels : Label.Set.t;
+  held : (Label.t * Value.t) Tape.t;
+  held_safe : Label.t Tape.t;
 }
 
 type params = {
@@ -28,10 +31,11 @@ type params = {
   p0 : Proc.t list;
   quorums : Quorum.t;
   literal_figure_10 : bool;
+  pipeline : bool;
 }
 
-let default_params ~me ~p0 ~quorums =
-  { me; p0; quorums; literal_figure_10 = false }
+let default_params ?(pipeline = false) ~me ~p0 ~quorums () =
+  { me; p0; quorums; literal_figure_10 = false; pipeline }
 
 let initial params =
   let in_p0 = List.mem params.me params.p0 in
@@ -40,15 +44,17 @@ let initial params =
     status = Normal;
     content = Label.Map.empty;
     nextseqno = 1;
-    buffer = [];
-    order = [];
+    buffer = Tape.empty ();
+    order = Tape.empty ();
     nextconfirm = 1;
     nextreport = 1;
     highprimary = (if in_p0 then Some View_id.g0 else None);
-    delay = [];
+    delay = Tape.empty ();
     gotstate = Proc.Map.empty;
     safe_exch = Proc.Set.empty;
     safe_labels = Label.Set.empty;
+    held = Tape.empty ();
+    held_safe = Tape.empty ();
   }
 
 let primary params state =
@@ -57,13 +63,34 @@ let primary params state =
   | Some v -> Quorum.contains_quorum params.quorums v.View.set
 
 let summary_of_state state =
-  Summary.make ~con:state.content ~ord:state.order ~next:state.nextconfirm
-    ~high:state.highprimary
+  Summary.make ~con:state.content ~ord:(Tape.to_list state.order)
+    ~next:state.nextconfirm ~high:state.highprimary
+
+(* The corrected precondition of [label] (and, with [pipeline], of the
+   application-message [gpsnd]): normal processing — plus, when
+   pipelining, the collect phase, where our summary has already been sent
+   so newly labelled values can no longer leak into it (the Figure 10
+   erratum needs a label created BEFORE the summary send). *)
+let may_process params state =
+  params.literal_figure_10
+  || status_equal state.status Normal
+  || (params.pipeline && status_equal state.status Collect)
 
 (* Completion of the state exchange: the processor "establishes" the view
-   and resumes normal processing. *)
+   and resumes normal processing. With [pipeline], application messages
+   received during the exchange were held back; their content joins
+   [content] only now — never a summary's [con] — and their labels extend
+   the recomputed order, in receipt order, which is the same VS total
+   order at every member. *)
 let establish params state =
   let nextconfirm = Summary.maxnextconfirm state.gotstate in
+  let held = Tape.to_list state.held in
+  let content =
+    List.fold_left
+      (fun c (l, a) -> Label.Map.add l a c)
+      state.content held
+  in
+  let state = { state with content } in
   let state =
     if primary params state then
       let current =
@@ -79,10 +106,20 @@ let establish params state =
                   completing the state exchange with no current view"
                  params.me)
       in
+      let order =
+        List.fold_left
+          (fun t (l, _) -> Tape.snoc t l)
+          (Tape.of_list (Summary.fullorder state.gotstate))
+          held
+      in
       {
         state with
         nextconfirm;
-        order = Summary.fullorder state.gotstate;
+        order;
+        safe_labels =
+          Tape.fold_left
+            (fun s l -> Label.Set.add l s)
+            state.safe_labels state.held_safe;
         highprimary = Some current.View.id;
         status = Normal;
       }
@@ -90,25 +127,74 @@ let establish params state =
       {
         state with
         nextconfirm;
-        order = Summary.shortorder state.gotstate;
+        order = Tape.of_list (Summary.shortorder state.gotstate);
         highprimary = Summary.maxprimary state.gotstate;
         status = Normal;
       }
   in
-  state
+  { state with held = Tape.empty (); held_safe = Tape.empty () }
+
+(* Receiving an application message: with [pipeline], deliveries during
+   the state exchange are held until [establish]; otherwise the content
+   joins immediately and a primary extends its order. *)
+let receive_app params state entries =
+  if params.pipeline && not (status_equal state.status Normal) then
+    { state with held = Tape.append state.held entries }
+  else
+    let content =
+      List.fold_left
+        (fun c (l, a) -> Label.Map.add l a c)
+        state.content entries
+    in
+    let state = { state with content } in
+    if primary params state then
+      {
+        state with
+        order = List.fold_left (fun t (l, _) -> Tape.snoc t l) state.order entries;
+      }
+    else state
+
+let receive_safe_app params state entries =
+  if params.pipeline && not (status_equal state.status Normal) then
+    {
+      state with
+      held_safe = Tape.append state.held_safe (List.map fst entries);
+    }
+  else if primary params state then
+    {
+      state with
+      safe_labels =
+        List.fold_left
+          (fun s (l, _) -> Label.Set.add l s)
+          state.safe_labels entries;
+    }
+  else state
+
+(* A batch [gpsnd] carries the whole buffer: every label in order, each
+   bound to its content. *)
+let batch_matches_buffer state entries =
+  let rec go i = function
+    | [] -> i = Tape.length state.buffer
+    | (l, a) :: rest ->
+        i < Tape.length state.buffer
+        && Label.equal (Tape.get state.buffer i) l
+        && (match Label.Map.find_opt l state.content with
+           | Some v -> Value.equal v a
+           | None -> false)
+        && go (i + 1) rest
+  in
+  go 0 entries
 
 let transition params state action =
   match action with
   | Sys_action.Bcast (p, a) ->
       assert (Proc.equal p params.me);
-      Some { state with delay = state.delay @ [ a ] }
+      Some { state with delay = Tape.snoc state.delay a }
   | Sys_action.Label_act (p, a) -> (
       if not (Proc.equal p params.me) then None
       else
-        match (state.delay, state.current) with
-        | head :: rest, Some v
-          when Value.equal head a
-               && (params.literal_figure_10 || status_equal state.status Normal)
+        match (Tape.first state.delay, state.current) with
+        | Some head, Some v when Value.equal head a && may_process params state
           ->
             let l =
               Label.make ~id:v.View.id ~seqno:state.nextseqno ~origin:p
@@ -117,9 +203,9 @@ let transition params state action =
               {
                 state with
                 content = Label.Map.add l a state.content;
-                buffer = state.buffer @ [ l ];
+                buffer = Tape.snoc state.buffer l;
                 nextseqno = state.nextseqno + 1;
-                delay = rest;
+                delay = Tape.rest state.delay;
               }
         | _ -> None)
   | Sys_action.Vs (Vs_action.Gpsnd { sender; msg }) -> (
@@ -127,15 +213,24 @@ let transition params state action =
       else
         match msg with
         | Msg.App (l, a) -> (
-            match state.buffer with
-            | head :: rest
-              when status_equal state.status Normal
+            match Tape.first state.buffer with
+            | Some head
+              when (not (status_equal state.status Send))
+                   && (params.pipeline || status_equal state.status Normal)
                    && Label.equal head l
                    && (match Label.Map.find_opt l state.content with
                       | Some v -> Value.equal v a
                       | None -> false) ->
-                Some { state with buffer = rest }
+                Some { state with buffer = Tape.rest state.buffer }
             | _ -> None)
+        | Msg.Batch entries ->
+            if
+              (not (status_equal state.status Send))
+              && (params.pipeline || status_equal state.status Normal)
+              && (not (List.is_empty entries))
+              && batch_matches_buffer state entries
+            then Some { state with buffer = Tape.empty () }
+            else None
         | Msg.Summary x ->
             if
               status_equal state.status Send
@@ -146,13 +241,8 @@ let transition params state action =
       if not (Proc.equal dst params.me) then None
       else
         match msg with
-        | Msg.App (l, a) ->
-            let state =
-              { state with content = Label.Map.add l a state.content }
-            in
-            if primary params state then
-              Some { state with order = state.order @ [ l ] }
-            else Some state
+        | Msg.App (l, a) -> Some (receive_app params state [ (l, a) ])
+        | Msg.Batch entries -> Some (receive_app params state entries)
         | Msg.Summary x ->
             let state =
               {
@@ -181,11 +271,8 @@ let transition params state action =
       if not (Proc.equal dst params.me) then None
       else
         match msg with
-        | Msg.App (l, _) ->
-            if primary params state then
-              Some
-                { state with safe_labels = Label.Set.add l state.safe_labels }
-            else Some state
+        | Msg.App (l, a) -> Some (receive_safe_app params state [ (l, a) ])
+        | Msg.Batch entries -> Some (receive_safe_app params state entries)
         | Msg.Summary _ ->
             let safe_exch = Proc.Set.add src state.safe_exch in
             let state = { state with safe_exch } in
@@ -210,7 +297,7 @@ let transition params state action =
   | Sys_action.Confirm p -> (
       if not (Proc.equal p params.me) then None
       else
-        match Gcs_stdx.Seqx.nth1 state.order state.nextconfirm with
+        match Tape.nth1 state.order state.nextconfirm with
         | Some l when primary params state && Label.Set.mem l state.safe_labels
           ->
             Some { state with nextconfirm = state.nextconfirm + 1 }
@@ -219,7 +306,7 @@ let transition params state action =
       if not (Proc.equal dst params.me) then None
       else if state.nextreport >= state.nextconfirm then None
       else
-        match Gcs_stdx.Seqx.nth1 state.order state.nextreport with
+        match Tape.nth1 state.order state.nextreport with
         | Some l
           when (match Label.Map.find_opt l state.content with
                | Some v -> Value.equal v value
@@ -235,67 +322,115 @@ let transition params state action =
             state with
             current = Some view;
             nextseqno = 1;
-            buffer = [];
+            buffer = Tape.empty ();
             gotstate = Proc.Map.empty;
             safe_exch = Proc.Set.empty;
             safe_labels = Label.Set.empty;
+            held = Tape.empty ();
+            held_safe = Tape.empty ();
             status = Send;
           }
   | Sys_action.Vs (Vs_action.Createview _)
   | Sys_action.Vs (Vs_action.Vs_order _) ->
       None
 
-let enabled params state =
-  let me = params.me in
-  let labels =
-    match (state.delay, state.current) with
-    | a :: _, Some _
-      when params.literal_figure_10 || status_equal state.status Normal ->
-        [ Sys_action.Label_act (me, a) ]
-    | _ -> []
+(* The sections of [enabled], in drain priority order. Each is also
+   exposed through [next_enabled], which computes only the first
+   non-empty section — the implementation's drain loop applies one action
+   at a time, and building the (possibly large) batch or summary action
+   for every intermediate state would be quadratic. *)
+
+let enabled_label params state =
+  match (Tape.first state.delay, state.current) with
+  | Some a, Some _ when may_process params state ->
+      [ Sys_action.Label_act (params.me, a) ]
+  | _ -> []
+
+let enabled_gpsnd_app params state =
+  let can_send =
+    (not (status_equal state.status Send))
+    && (params.pipeline || status_equal state.status Normal)
   in
-  let gpsnd_app =
-    match state.buffer with
-    | l :: _ when status_equal state.status Normal -> (
+  if not can_send then []
+  else
+    match Tape.length state.buffer with
+    | 0 -> []
+    | 1 -> (
+        let l = Tape.get state.buffer 0 in
         match Label.Map.find_opt l state.content with
         | Some a ->
             [
               Sys_action.Vs
-                (Vs_action.Gpsnd { sender = me; msg = Msg.App (l, a) });
+                (Vs_action.Gpsnd { sender = params.me; msg = Msg.App (l, a) });
             ]
         | None -> [])
-    | _ -> []
+    | _ ->
+        let entries =
+          List.rev
+            (Tape.fold_left
+               (fun acc l ->
+                 match Label.Map.find_opt l state.content with
+                 | Some a -> (l, a) :: acc
+                 | None -> acc)
+               [] state.buffer)
+        in
+        if List.length entries = Tape.length state.buffer then
+          [
+            Sys_action.Vs
+              (Vs_action.Gpsnd { sender = params.me; msg = Msg.Batch entries });
+          ]
+        else []
+
+let enabled_gpsnd_summary params state =
+  if status_equal state.status Send then
+    [
+      Sys_action.Vs
+        (Vs_action.Gpsnd
+           { sender = params.me; msg = Msg.Summary (summary_of_state state) });
+    ]
+  else []
+
+let enabled_confirm params state =
+  match Tape.nth1 state.order state.nextconfirm with
+  | Some l when primary params state && Label.Set.mem l state.safe_labels ->
+      [ Sys_action.Confirm params.me ]
+  | _ -> []
+
+let enabled_brcv params state =
+  if state.nextreport < state.nextconfirm then
+    match Tape.nth1 state.order state.nextreport with
+    | Some l -> (
+        match Label.Map.find_opt l state.content with
+        | Some a ->
+            [
+              Sys_action.Brcv
+                { src = l.Label.origin; dst = params.me; value = a };
+            ]
+        | None -> [])
+    | None -> []
+  else []
+
+let enabled params state =
+  enabled_label params state
+  @ enabled_gpsnd_app params state
+  @ enabled_gpsnd_summary params state
+  @ enabled_confirm params state
+  @ enabled_brcv params state
+
+let next_enabled params state =
+  let sections =
+    [
+      enabled_label;
+      enabled_gpsnd_app;
+      enabled_gpsnd_summary;
+      enabled_confirm;
+      enabled_brcv;
+    ]
   in
-  let gpsnd_summary =
-    if status_equal state.status Send then
-      [
-        Sys_action.Vs
-          (Vs_action.Gpsnd
-             { sender = me; msg = Msg.Summary (summary_of_state state) });
-      ]
-    else []
-  in
-  let confirms =
-    match Gcs_stdx.Seqx.nth1 state.order state.nextconfirm with
-    | Some l when primary params state && Label.Set.mem l state.safe_labels ->
-        [ Sys_action.Confirm me ]
-    | _ -> []
-  in
-  let brcvs =
-    if state.nextreport < state.nextconfirm then
-      match Gcs_stdx.Seqx.nth1 state.order state.nextreport with
-      | Some l -> (
-          match Label.Map.find_opt l state.content with
-          | Some a ->
-              [
-                Sys_action.Brcv
-                  { src = l.Label.origin; dst = me; value = a };
-              ]
-          | None -> [])
-      | None -> []
-    else []
-  in
-  labels @ gpsnd_app @ gpsnd_summary @ confirms @ brcvs
+  List.find_map
+    (fun section ->
+      match section params state with a :: _ -> Some a | [] -> None)
+    sections
 
 let automaton params =
   {
@@ -314,15 +449,19 @@ let equal_state a b =
   && status_equal a.status b.status
   && Label.Map.equal Value.equal a.content b.content
   && a.nextseqno = b.nextseqno
-  && List.equal Label.equal a.buffer b.buffer
-  && List.equal Label.equal a.order b.order
+  && Tape.equal Label.equal a.buffer b.buffer
+  && Tape.equal Label.equal a.order b.order
   && a.nextconfirm = b.nextconfirm
   && a.nextreport = b.nextreport
   && View_id.compare_opt a.highprimary b.highprimary = 0
-  && List.equal Value.equal a.delay b.delay
+  && Tape.equal Value.equal a.delay b.delay
   && Proc.Map.equal Summary.equal a.gotstate b.gotstate
   && Proc.Set.equal a.safe_exch b.safe_exch
   && Label.Set.equal a.safe_labels b.safe_labels
+  && Tape.equal
+       (fun (l, v) (l', v') -> Label.equal l l' && Value.equal v v')
+       a.held b.held
+  && Tape.equal Label.equal a.held_safe b.held_safe
 
 let pp_status ppf = function
   | Normal -> Format.pp_print_string ppf "normal"
@@ -339,4 +478,4 @@ let pp_state ppf s =
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
        Label.pp)
-    s.order
+    (Tape.to_list s.order)

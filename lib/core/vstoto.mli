@@ -12,7 +12,26 @@
     second time, which leads to double client delivery. Setting
     [literal_figure_10 = true] in {!type:params} reproduces the literal
     (buggy) behaviour; the test suite demonstrates the resulting violation
-    of TO. *)
+    of TO.
+
+    Two throughput extensions, both conservative refinements of the
+    figure (DESIGN.md "Throughput engineering"):
+
+    {ul
+    {- {b Batching}: when several labelled values are buffered, the
+       processor [gpsnd]s them as a single {!Msg.Batch} — semantically
+       the sequence of its [App]s, delivered and made safe element-wise
+       in order. A batch is drawn from the buffer of one view, so it
+       never crosses a view boundary.}
+    {- {b Pipelining} ([params.pipeline]): labelling and application
+       [gpsnd]/[gprcv] are also allowed during the [collect] phase of a
+       state exchange. Sending is safe there because our summary is
+       already fixed (the erratum needs a label created {e before} the
+       summary send); receiving holds the message back — content is
+       merged and the order extended only at [establish], so nothing
+       leaks into any summary's [con] and nothing is ordered twice.}} *)
+
+module Tape = Gcs_stdx.Tape
 
 type status = Normal | Send | Collect
 
@@ -25,15 +44,20 @@ type state = {
   status : status;
   content : Value.t Label.Map.t;
   nextseqno : int;
-  buffer : Label.t list;
-  order : Label.t list;
+  buffer : Label.t Tape.t;
+  order : Label.t Tape.t;
   nextconfirm : int;
   nextreport : int;
   highprimary : View_id.t option;
-  delay : Value.t list;
+  delay : Value.t Tape.t;
   gotstate : Summary.t Proc.Map.t;
   safe_exch : Proc.Set.t;
   safe_labels : Label.Set.t;
+  held : (Label.t * Value.t) Tape.t;
+      (** pipeline: application messages received during a state
+          exchange, applied at [establish] *)
+  held_safe : Label.t Tape.t;
+      (** pipeline: safe notifications received during a state exchange *)
 }
 
 type params = {
@@ -42,9 +66,14 @@ type params = {
   quorums : Quorum.t;
   literal_figure_10 : bool;
       (** allow [label] in any status, as the figure literally reads *)
+  pipeline : bool;
+      (** overlap the state exchange with labelling and delivery *)
 }
 
-val default_params : me:Proc.t -> p0:Proc.t list -> quorums:Quorum.t -> params
+val default_params :
+  ?pipeline:bool -> me:Proc.t -> p0:Proc.t list -> quorums:Quorum.t -> unit ->
+  params
+(** [pipeline] defaults to [false]: the verified base algorithm. *)
 
 val initial : params -> state
 
@@ -55,6 +84,14 @@ val summary_of_state : state -> Summary.t
 (** [⟨content, order, nextconfirm, highprimary⟩]. *)
 
 val automaton : params -> (state, Sys_action.t) Gcs_automata.Automaton.t
+
+val next_enabled : params -> state -> Sys_action.t option
+(** The first enabled locally controlled action, in the same priority
+    order as [automaton.enabled] ([label] before application [gpsnd]
+    before summary [gpsnd] before [confirm] before [brcv]) — but computed
+    lazily, so a drain loop that applies one action at a time does not
+    rebuild the full batch or summary action at every intermediate
+    state. *)
 
 val equal_state : state -> state -> bool
 val pp_state : Format.formatter -> state -> unit

@@ -22,6 +22,7 @@ let node_params params p =
     p0 = params.p0;
     quorums = params.quorums;
     literal_figure_10 = false;
+    pipeline = false;
   }
 
 let node state p = Proc.Map.find p state.nodes

@@ -113,7 +113,7 @@ let l6_3 c =
             if Option.is_none (node c p).Vstoto.current then
               fail "p=%d: nonempty buffer with current = ⊥" p
             else check_label "buffer" p (current_id c p) l)
-          (node c p).Vstoto.buffer)
+          (Gcs_stdx.Tape.to_list (node c p).Vstoto.buffer))
       (procs c)
   in
   match buffers with
@@ -128,7 +128,10 @@ let l6_3 c =
                 check_all
                   (fun m ->
                     match m with
-                    | Msg.App (l, _) -> check_label "pending" p (Some g) l
+                    | Msg.App _ | Msg.Batch _ ->
+                        check_all
+                          (fun (l, _) -> check_label "pending" p (Some g) l)
+                          (Msg.app_entries m)
                     | Msg.Summary _ -> ok)
                   msgs)
           (vs c).Vs_machine.pending ok
@@ -144,7 +147,10 @@ let l6_3 c =
                   check_all
                     (fun (m, p) ->
                       match m with
-                      | Msg.App (l, _) -> check_label "queue" p (Some g) l
+                      | Msg.App _ | Msg.Batch _ ->
+                          check_all
+                            (fun (l, _) -> check_label "queue" p (Some g) l)
+                            (Msg.app_entries m)
                       | Msg.Summary _ -> ok)
                     entries)
             (vs c).Vs_machine.queue ok)
@@ -178,7 +184,7 @@ let l6_6 c =
         (fun l ->
           if Label.Map.mem l (node c p).Vstoto.content then ok
           else fail "p=%d: buffered label %a not in content" p Label.pp l)
-        (node c p).Vstoto.buffer)
+        (Gcs_stdx.Tape.to_list (node c p).Vstoto.buffer))
     (procs c)
 
 let l6_7 c =
@@ -302,7 +308,10 @@ let l6_9 c =
                        | None -> false)
                      x.Summary.con)
               then fail "6.9(1): x.con ⊄ content_%d" p
-              else if not (List.equal Label.equal x.Summary.ord n.Vstoto.order)
+              else if
+                not
+                  (List.equal Label.equal x.Summary.ord
+                     (Gcs_stdx.Tape.to_list n.Vstoto.order))
               then fail "6.9(2): x.ord ≠ order_%d" p
               else if x.Summary.next <> n.Vstoto.nextconfirm then
                 fail "6.9(3): x.next ≠ nextconfirm_%d" p
@@ -384,7 +393,7 @@ let l6_11 c =
             | Msg.Summary x ->
                 if View_id.lt_opt x.Summary.high (Some g) then ok
                 else fail "6.11(5/6): summary with high ≥ %a in transit" View_id.pp g
-            | Msg.App _ -> ok
+            | Msg.App _ | Msg.Batch _ -> ok
           in
           let in_queue =
             View_id.Map.fold
@@ -537,7 +546,7 @@ let l6_20 c =
       else if not (is_primary c p) then
         fail "6.20: nonempty safe-labels at non-primary %d" p
       else
-        let ord = n.Vstoto.order in
+        let ord = Gcs_stdx.Tape.to_list n.Vstoto.order in
         check_all
           (fun l ->
             match Gcs_stdx.Seqx.index_of ~equal:Label.equal l ord with

@@ -18,11 +18,12 @@ type params = {
   quorums : Quorum.t;
   literal_figure_10 : bool;
   weak_vs : bool;
+  pipeline : bool;
 }
 
-let make_params ?(literal_figure_10 = false) ?(weak_vs = false) ~procs ~p0
-    ~quorums () =
-  { procs; p0; quorums; literal_figure_10; weak_vs }
+let make_params ?(literal_figure_10 = false) ?(weak_vs = false)
+    ?(pipeline = false) ~procs ~p0 ~quorums () =
+  { procs; p0; quorums; literal_figure_10; weak_vs; pipeline }
 
 let vs_params params =
   {
@@ -38,6 +39,7 @@ let node_params params p =
     p0 = params.p0;
     quorums = params.quorums;
     literal_figure_10 = params.literal_figure_10;
+    pipeline = params.pipeline;
   }
 
 let node state p = Proc.Map.find p state.nodes
@@ -120,7 +122,9 @@ let update_history params pre_node post_node p history =
   in
   (* buildorder[p, current.id_p] ← order after every assignment to order. *)
   let order_changed =
-    not (List.equal Label.equal pre_node.Vstoto.order post_node.Vstoto.order)
+    not
+      (Gcs_stdx.Tape.equal Label.equal pre_node.Vstoto.order
+         post_node.Vstoto.order)
   in
   let establishment =
     Vstoto.status_equal pre_node.Vstoto.status Vstoto.Collect
@@ -131,7 +135,9 @@ let update_history params pre_node post_node p history =
       {
         history with
         buildorder =
-          Pg_map.add (p, v.View.id) post_node.Vstoto.order history.buildorder;
+          Pg_map.add (p, v.View.id)
+            (Gcs_stdx.Tape.to_list post_node.Vstoto.order)
+            history.buildorder;
       }
   | _ -> history
 
@@ -240,7 +246,7 @@ let allstate_entries params state =
           (fun acc msg ->
             match msg with
             | Msg.Summary x -> (p, g, x) :: acc
-            | Msg.App _ -> acc)
+            | Msg.App _ | Msg.Batch _ -> acc)
           acc pending)
       state.vs.Vs_machine.pending []
   in
@@ -251,7 +257,7 @@ let allstate_entries params state =
           (fun acc (msg, p) ->
             match msg with
             | Msg.Summary x -> (p, g, x) :: acc
-            | Msg.App _ -> acc)
+            | Msg.App _ | Msg.Batch _ -> acc)
           acc entries)
       state.vs.Vs_machine.queue []
   in

@@ -97,16 +97,18 @@ let vstoto_invariants : Vstoto.state Gcs_automata.Invariant.t list =
         if
           1 <= st.Vstoto.nextreport
           && st.Vstoto.nextreport <= st.Vstoto.nextconfirm
-          && st.Vstoto.nextconfirm <= List.length st.Vstoto.order + 1
+          && st.Vstoto.nextconfirm <= Gcs_stdx.Tape.length st.Vstoto.order + 1
         then Ok ()
         else
           Error
             (Printf.sprintf "nextreport=%d nextconfirm=%d |order|=%d"
                st.Vstoto.nextreport st.Vstoto.nextconfirm
-               (List.length st.Vstoto.order)));
+               (Gcs_stdx.Tape.length st.Vstoto.order)));
     Gcs_automata.Invariant.make_explained "order-duplicate-free"
       (fun (st : Vstoto.state) ->
-        let sorted = List.sort Label.compare st.Vstoto.order in
+        let sorted =
+          List.sort Label.compare (Gcs_stdx.Tape.to_list st.Vstoto.order)
+        in
         let rec dup = function
           | a :: (b :: _ as rest) ->
               if Label.equal a b then Some a else dup rest
@@ -117,7 +119,10 @@ let vstoto_invariants : Vstoto.state Gcs_automata.Invariant.t list =
         | Some l -> Error (Format.asprintf "label %a ordered twice" Label.pp l));
     Gcs_automata.Invariant.make_explained "reported-prefix-content"
       (fun (st : Vstoto.state) ->
-        let reported = Gcs_stdx.Seqx.take (st.Vstoto.nextreport - 1) st.Vstoto.order in
+        let reported =
+          Gcs_stdx.Seqx.take (st.Vstoto.nextreport - 1)
+            (Gcs_stdx.Tape.to_list st.Vstoto.order)
+        in
         match
           List.find_opt
             (fun l -> not (Label.Map.mem l st.Vstoto.content))

@@ -5,15 +5,18 @@ type config = {
   vs : Vs_node.config;
   quorums : Quorum.t;
   stable_storage_latency : float option;
+  pipeline : bool;
+  batch_window : float option;
 }
 
-let make_config ?stable_storage_latency ?quorums vs =
+let make_config ?stable_storage_latency ?quorums ?(pipeline = true)
+    ?batch_window vs =
   let quorums =
     match quorums with
     | Some q -> q
     | None -> Quorum.majorities ~n:(List.length vs.Vs_node.procs)
   in
-  { vs; quorums; stable_storage_latency }
+  { vs; quorums; stable_storage_latency; pipeline; batch_window }
 
 type out =
   | Client of Value.t To_action.t
@@ -22,7 +25,10 @@ type out =
 type node = {
   vs_state : Msg.t Vs_node.state;
   app : Vstoto.state;
-  staging : Value.t list;  (* values awaiting the stable-storage write *)
+  staging : (float * Value.t) Gcs_stdx.Tape.t;
+      (* (due time, value): values awaiting the stable-storage write or the
+         batching window; a single rolling timer flushes every due value as
+         one batch *)
 }
 
 type run = {
@@ -34,8 +40,18 @@ type run = {
   metrics : Gcs_stdx.Metrics.t;
 }
 
-(* Timer id for stable-storage write completion (Vs_node uses 1-4). *)
-let timer_stable_write = 100
+(* Timer id for the staging flush — stable-storage write completion and/or
+   batch-window expiry (Vs_node uses 1-4). *)
+let timer_flush = 100
+
+(* Delay between client submission and handing the value to the VStoTO
+   automaton: the stable-storage write if configured, else the batching
+   window, else none (immediate). *)
+let submit_delay config =
+  match (config.stable_storage_latency, config.batch_window) with
+  | Some l, Some w -> Some (Float.max l w)
+  | Some l, None -> Some l
+  | None, w -> w
 
 let node_params config me =
   {
@@ -43,6 +59,7 @@ let node_params config me =
     p0 = config.vs.Vs_node.p0;
     quorums = config.quorums;
     literal_figure_10 = false;
+    pipeline = config.pipeline;
   }
 
 let apply_app config me action app =
@@ -55,17 +72,30 @@ let apply_app config me action app =
 
 (* Drain the enabled locally controlled actions of the VStoTO automaton,
    translating gpsnd outputs into VS-layer client sends and brcv outputs
-   into trace events. Returns the updated node and accumulated effects. *)
-let drain config me node =
-  let automaton = Vstoto.automaton (node_params config me) in
+   into trace events. Returns the updated node and accumulated effects.
+   Uses [next_enabled] so each iteration computes only the first enabled
+   action instead of materialising the whole enabled set (which would
+   rebuild the batch message at every intermediate state). *)
+let drain ?metrics config me node =
+  let params = node_params config me in
   let rec go node effects_rev =
-    match automaton.Gcs_automata.Automaton.enabled node.app with
-    | [] -> (node, List.rev effects_rev)
-    | action :: _ -> (
+    match Vstoto.next_enabled params node.app with
+    | None -> (node, List.rev effects_rev)
+    | Some action -> (
         let app = apply_app config me action node.app in
         let node = { node with app } in
         match action with
         | Sys_action.Vs (Vs_action.Gpsnd { msg; _ }) ->
+            (match metrics with
+            | Some m -> (
+                match msg with
+                | Msg.App _ ->
+                    Gcs_stdx.Metrics.observe m "to.batch_size" 1.
+                | Msg.Batch entries ->
+                    Gcs_stdx.Metrics.observe m "to.batch_size"
+                      (float_of_int (List.length entries))
+                | Msg.Summary _ -> ())
+            | None -> ());
             (* Hand the message to the VS layer as a client send. *)
             let vs_state', vs_effects =
               Vs_node.client_send config.vs me msg node.vs_state
@@ -95,7 +125,7 @@ let drain config me node =
 (* Route the effects produced by the VS node: VS outputs addressed to this
    processor become VStoTO inputs (then we drain); other effects pass
    through with outputs tagged. *)
-let absorb_vs_effects config me (node, effects) =
+let absorb_vs_effects ?metrics config me (node, effects) =
   let rec go node acc_rev = function
     | [] -> (node, List.rev acc_rev)
     | Engine.Output (Vs_action.Gprcv _ as a) :: rest
@@ -103,7 +133,7 @@ let absorb_vs_effects config me (node, effects) =
     | Engine.Output (Vs_action.Newview _ as a) :: rest ->
         let app = apply_app config me (Sys_action.Vs a) node.app in
         let node = { node with app } in
-        let node, drained = drain config me node in
+        let node, drained = drain ?metrics config me node in
         go node
           (List.rev_append drained (Engine.Output (Vs_layer a) :: acc_rev))
           rest
@@ -116,58 +146,91 @@ let absorb_vs_effects config me (node, effects) =
   in
   go node [] effects
 
-let lift_vs config me f node =
+let lift_vs ?metrics config me f node =
   let vs_state', effects = f node.vs_state in
-  absorb_vs_effects config me ({ node with vs_state = vs_state' }, effects)
+  absorb_vs_effects ?metrics config me
+    ({ node with vs_state = vs_state' }, effects)
 
-(* Submit a value to the VStoTO automaton (after any stable-storage delay). *)
-let submit config me value node =
-  let app = apply_app config me (Sys_action.Bcast (me, value)) node.app in
-  let node, drained = drain config me { node with app } in
-  (node, drained)
+(* Submit values to the VStoTO automaton (after any staging delay): all
+   bcasts are applied first, then a single drain labels them and [gpsnd]s
+   the whole buffer as one batch. *)
+let submit_batch ?metrics config me values node =
+  let app =
+    List.fold_left
+      (fun app value -> apply_app config me (Sys_action.Bcast (me, value)) app)
+      node.app values
+  in
+  drain ?metrics config me { node with app }
 
 let handlers ?metrics config =
   let vs_handlers = Vs_node.handlers ?metrics config.vs in
   let on_start me node =
-    lift_vs config me (vs_handlers.Engine.on_start me) node
+    lift_vs ?metrics config me (vs_handlers.Engine.on_start me) node
   in
   let on_input me ~now value node =
     let record = Engine.Output (Client (To_action.Bcast (me, value))) in
-    match config.stable_storage_latency with
+    match submit_delay config with
     | None ->
-        let node, effects = submit config me value node in
+        let node, effects = submit_batch ?metrics config me [ value ] node in
         (node, record :: effects)
-    | Some latency ->
-        ( { node with staging = node.staging @ [ value ] },
-          [
-            record;
-            Engine.Set_timer { id = timer_stable_write; delay = latency };
-          ] )
-    |> fun (node, effects) ->
-    ignore now;
-    (node, effects)
+    | Some delay ->
+        (* Arm the flush timer only on the empty→nonempty transition: the
+           invariant is that the timer is pending iff staging is nonempty,
+           and it is always set for the earliest due value. *)
+        let arm =
+          if Gcs_stdx.Tape.is_empty node.staging then
+            [ Engine.Set_timer { id = timer_flush; delay } ]
+          else []
+        in
+        ( {
+            node with
+            staging = Gcs_stdx.Tape.snoc node.staging (now +. delay, value);
+          },
+          record :: arm )
   in
   let on_packet me ~now ~src packet node =
-    lift_vs config me (vs_handlers.Engine.on_packet me ~now ~src packet) node
+    lift_vs ?metrics config me
+      (vs_handlers.Engine.on_packet me ~now ~src packet)
+      node
   in
   let on_timer me ~now ~id node =
-    if id = timer_stable_write then
-      (* All staged values whose write completed are submitted; with a
-         single timer per arrival batch we conservatively flush one. *)
-      match node.staging with
-      | [] -> (node, [])
-      | value :: rest ->
-          let node, effects = submit config me value { node with staging = rest } in
-          let rearm =
-            if List.is_empty rest then []
-            else
-              match config.stable_storage_latency with
-              | Some latency ->
-                  [ Engine.Set_timer { id = timer_stable_write; delay = latency } ]
-              | None -> []
-          in
-          (node, effects @ rearm)
-    else lift_vs config me (vs_handlers.Engine.on_timer me ~now ~id) node
+    if id = timer_flush then (
+      (* Pure batching: everything staged when the window closes goes out
+         as one batch. With a stable-storage latency, a value may only be
+         submitted once its write completed, so flush the due prefix (due
+         times are nondecreasing: same delay for every arrival). *)
+      let n = Gcs_stdx.Tape.length node.staging in
+      let k =
+        match config.stable_storage_latency with
+        | None -> n
+        | Some _ ->
+            let rec due_count i =
+              if i >= n then i
+              else
+                let t, _ = Gcs_stdx.Tape.get node.staging i in
+                if t <= now +. 1e-9 then due_count (i + 1) else i
+            in
+            due_count 0
+      in
+      let flushed = ref [] in
+      for i = k - 1 downto 0 do
+        flushed := snd (Gcs_stdx.Tape.get node.staging i) :: !flushed
+      done;
+      let staging = Gcs_stdx.Tape.drop k node.staging in
+      let node = { node with staging } in
+      let node, effects =
+        match !flushed with
+        | [] -> (node, [])
+        | values -> submit_batch ?metrics config me values node
+      in
+      let rearm =
+        if Gcs_stdx.Tape.is_empty staging then []
+        else
+          let t, _ = Gcs_stdx.Tape.get staging 0 in
+          [ Engine.Set_timer { id = timer_flush; delay = Float.max 0. (t -. now) } ]
+      in
+      (node, effects @ rearm))
+    else lift_vs ?metrics config me (vs_handlers.Engine.on_timer me ~now ~id) node
   in
   { Engine.on_start; on_input; on_packet; on_timer }
 
@@ -175,7 +238,7 @@ let initial config me =
   {
     vs_state = Vs_node.initial config.vs me;
     app = Vstoto.initial (node_params config me);
-    staging = [];
+    staging = Gcs_stdx.Tape.empty ();
   }
 
 (* Observers over the per-processor state, for instrumentation layered on

@@ -13,20 +13,38 @@ open Gcs_core
 
     The [stable_storage_latency] option models the Keidar–Dolev design
     point discussed in Section 1: every submitted value is written to
-    stable storage (a fixed latency) before the algorithm processes it. *)
+    stable storage (a fixed latency) before the algorithm processes it.
+
+    Throughput engineering (DESIGN.md):
+    {ul
+    {- [batch_window]: client submissions are staged for a short window
+       and handed to the automaton together, so the whole backlog goes
+       out as a single {!Msg.Batch} [gpsnd] — one wire frame and one
+       token-ring entry per batch instead of per value. [None] submits
+       immediately (one [App] per value), preserving the PR 6
+       behaviour.}
+    {- [pipeline]: run the VStoTO automata with [Vstoto.params.pipeline],
+       overlapping the post-view-change state exchange with labelling and
+       delivery.}} *)
 
 type config = {
   vs : Vs_node.config;
   quorums : Quorum.t;
   stable_storage_latency : float option;
+  pipeline : bool;
+  batch_window : float option;
 }
 
 val make_config :
   ?stable_storage_latency:float ->
   ?quorums:Quorum.t ->
+  ?pipeline:bool ->
+  ?batch_window:float ->
   Vs_node.config ->
   config
-(** Quorums default to majorities over the VS configuration's processors. *)
+(** Quorums default to majorities over the VS configuration's processors.
+    [pipeline] defaults to [true] (the refinement is oracle-checked by the
+    same conformance suite); [batch_window] defaults to [None]. *)
 
 type out =
   | Client of Value.t To_action.t  (** bcast/brcv at the client interface *)

@@ -25,7 +25,9 @@ type 'm state = {
   proposed : View_id.t option;
   forming : (View_id.t * Proc.Set.t) option;
   last_initiation : float;
-  outbuf : 'm list;  (* client messages of the current view, send order *)
+  outbuf : 'm Gcs_stdx.Tape.t;
+      (* client messages of the current view, send order; a tape so the
+         per-send append and the per-rotation suffix read are O(1) *)
   delivered_count : int;
   safe_count : int;
   stored_token : 'm Wire.token option;
@@ -47,7 +49,7 @@ let initial config me =
     proposed = None;
     forming = None;
     last_initiation = neg_infinity;
-    outbuf = [];
+    outbuf = Gcs_stdx.Tape.empty ();
     delivered_count = 0;
     safe_count = 0;
     stored_token = None;
@@ -134,6 +136,11 @@ let estimated_members config ~now state =
 let count metrics name =
   match metrics with None -> () | Some m -> Gcs_stdx.Metrics.incr m name
 
+let observe metrics name v =
+  match metrics with
+  | None -> ()
+  | Some m -> Gcs_stdx.Metrics.observe m name v
+
 (* ---------------- membership protocol ---------------- *)
 
 let maybe_initiate ?metrics ?(protocol = Three_round) config ~now state =
@@ -209,18 +216,22 @@ let process_token ?metrics config ~now ~launching state (tok : 'm Wire.token) =
              (Format.asprintf "%a" View_id.pp tok.Wire.viewid))
   in
   let members = view.View.set in
-  (* (1) append my unappended client messages *)
+  (* (1) append my unappended client messages: the suffix of the outbuf
+     tape past what previous rotations already appended *)
   let already = map_get_zero tok.Wire.appended state.me in
-  let to_append = Gcs_stdx.Seqx.drop already state.outbuf in
+  let to_append = Gcs_stdx.Tape.drop already state.outbuf in
   let new_entries, next_idx =
-    List.fold_left
+    Gcs_stdx.Tape.fold_left
       (fun (acc, idx) msg ->
         ({ Wire.idx; src = state.me; msg } :: acc, idx + 1))
       ([], tok.Wire.next_idx) to_append
   in
+  if not (Gcs_stdx.Tape.is_empty to_append) then
+    observe metrics "vs.batch_size"
+      (float_of_int (Gcs_stdx.Tape.length to_append));
   let entries = tok.Wire.entries @ List.rev new_entries in
   let appended =
-    Proc.Map.add state.me (List.length state.outbuf) tok.Wire.appended
+    Proc.Map.add state.me (Gcs_stdx.Tape.length state.outbuf) tok.Wire.appended
   in
   (* (2) deliver entries beyond my delivery point *)
   let deliverable =
@@ -326,7 +337,7 @@ let install ?metrics config ~now state (view : View.t) =
       state with
       current = Some view;
       installs = state.installs + 1;
-      outbuf = [];
+      outbuf = Gcs_stdx.Tape.empty ();
       delivered_count = 0;
       safe_count = 0;
       stored_token = None;
@@ -386,7 +397,7 @@ let on_input _config me ~now:_ msg state =
   let out = Engine.Output (Vs_action.Gpsnd { sender = state.me; msg }) in
   match state.current with
   | None -> (state, [ out ])
-  | Some _ -> ({ state with outbuf = state.outbuf @ [ msg ] }, [ out ])
+  | Some _ -> ({ state with outbuf = Gcs_stdx.Tape.snoc state.outbuf msg }, [ out ])
 
 let on_packet ?metrics ?(protocol = Three_round) config me ~now ~src packet state =
   ignore me;

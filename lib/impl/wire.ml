@@ -195,8 +195,19 @@ let dec_summary s =
            ~ord ~next ~high)
   | _ -> errf "summary: expected 4 fields in %S" s
 
+let enc_entry (l, v) = F.encode [ enc_label l; v ]
+
+let dec_entry s =
+  let* fs = fields_of "batch.entry" s in
+  match fs with
+  | [ l; v ] ->
+      let* l = dec_label l in
+      Ok (l, v)
+  | _ -> errf "batch.entry: expected 2 fields in %S" s
+
 let enc_msg = function
   | Msg.App (l, v) -> F.encode [ "a"; enc_label l; v ]
+  | Msg.Batch entries -> F.encode [ "b"; enc_list enc_entry entries ]
   | Msg.Summary x -> F.encode [ "s"; enc_summary x ]
 
 let dec_msg s =
@@ -205,6 +216,9 @@ let dec_msg s =
   | [ "a"; l; v ] ->
       let* l = dec_label l in
       Ok (Msg.App (l, v))
+  | [ "b"; entries ] ->
+      let* entries = dec_list "batch" dec_entry entries in
+      Ok (Msg.Batch entries)
   | [ "s"; x ] ->
       let* x = dec_summary x in
       Ok (Msg.Summary x)

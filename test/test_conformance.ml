@@ -34,9 +34,21 @@ let () =
   Alcotest.run "cross-transport conformance"
     [
       ( "sim",
-        [ Alcotest.test_case "all cases, all oracles" `Quick
-            (check_profile (Suite.sim_profile ())) ] );
+        [
+          Alcotest.test_case "all cases, all oracles" `Quick
+            (check_profile (Suite.sim_profile ()));
+          (* Batching on: submissions coalesce into Msg.Batch gpsnds; the
+             same oracle battery plus the batch view-boundary check must
+             still hold, including per-sender FIFO and total order via
+             TO-conformance. *)
+          Alcotest.test_case "all cases, all oracles (batched)" `Quick
+            (check_profile (Suite.sim_profile ~batch_window:2.0 ()));
+        ] );
       ( "bus",
-        [ Alcotest.test_case "all cases, all oracles" `Slow
-            (check_profile (Suite.bus_profile ())) ] );
+        [
+          Alcotest.test_case "all cases, all oracles" `Slow
+            (check_profile (Suite.bus_profile ()));
+          Alcotest.test_case "all cases, all oracles (batched)" `Slow
+            (check_profile (Suite.bus_profile ~batch_window:0.2 ()));
+        ] );
     ]

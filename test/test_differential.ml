@@ -14,11 +14,11 @@ let soak_iters =
   | Some s -> ( match int_of_string_opt s with Some k when k > 0 -> k | _ -> 1)
   | None -> 1
 
-let test_pairs () =
+let run_pairs ?batch_window () =
   let pairs = 8 * soak_iters in
   for i = 0 to pairs - 1 do
     let seed = 1000 + (i * 131) in
-    let r = Differential.run_pair ~seed () in
+    let r = Differential.run_pair ?batch_window ~seed () in
     if not (Differential.passed r) then
       Alcotest.failf "differential FAILING SEED %d: %s\n%s" seed
         (Format.asprintf "%a" Differential.pp_report r)
@@ -33,11 +33,27 @@ let test_pairs () =
       36 r.Differential.bus_deliveries
   done
 
+let test_pairs () = run_pairs ()
+
+(* The same sweep with submission batching on: each origin's workload
+   leaves as one Msg.Batch, and sim and bus must still agree on every
+   per-node delivered order. The window must close before the first
+   token launch (window < π = 0.15) — a wider window flushes while the
+   token is already circulating, and which batch boards first becomes a
+   race the two clocks resolve differently (see Differential's
+   anchoring note). *)
+let test_pairs_batched () = run_pairs ~batch_window:0.05 ()
+
 let () =
   Alcotest.run "differential sim vs bus"
     [
       ( "no-fault workloads",
-        [ Alcotest.test_case
+        [
+          Alcotest.test_case
             (Printf.sprintf "%d seeded pairs" (8 * soak_iters))
-            `Slow test_pairs ] );
+            `Slow test_pairs;
+          Alcotest.test_case
+            (Printf.sprintf "%d seeded pairs (batched)" (8 * soak_iters))
+            `Slow test_pairs_batched;
+        ] );
     ]

@@ -213,6 +213,44 @@ let test_stable_storage_variant () =
     true
     (stable_latency > direct_latency)
 
+let test_batching_variant () =
+  (* Batched submission: a window wide enough to cover several client
+     submissions per processor must produce real multi-value batches
+     (to.batch_size max > 1), deliver every value exactly once per node,
+     and still pass the TO and VS conformance checkers — batched delivery
+     preserves per-sender FIFO and the total order. *)
+  let b_config = To_service.make_config ~batch_window:3.0 vs_config in
+  (* Bursts: several values per sender inside one window. *)
+  let wl =
+    List.concat_map
+      (fun p ->
+        List.init 4 (fun k ->
+            ( 5.0 +. (float_of_int p *. 0.1) +. (float_of_int k *. 0.5),
+              p,
+              Printf.sprintf "b%d.%d" p k )))
+      procs
+  in
+  let run = To_service.run b_config ~workload:wl ~failures:[] ~until:400.0 ~seed:31 in
+  (match To_service.to_conforms b_config run with
+  | Ok () -> ()
+  | Error err ->
+      Alcotest.failf "batched trace rejected by TO checker: %s"
+        (Format.asprintf "%a" To_trace_checker.pp_error err));
+  (match To_service.vs_conforms b_config run with
+  | Ok () -> ()
+  | Error err ->
+      Alcotest.failf "batched VS trace rejected: %s"
+        (Format.asprintf "%a" Vs_trace_checker.pp_error err));
+  Alcotest.(check int) "every node delivers the whole workload"
+    (n * List.length wl)
+    (To_service.deliveries run);
+  match Gcs_stdx.Metrics.histogram run.To_service.metrics "to.batch_size" with
+  | None -> Alcotest.fail "no to.batch_size observations — batching vacuous"
+  | Some (_, _, _, max_batch) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "multi-value batches formed (max %.0f)" max_batch)
+        true (max_batch > 1.5)
+
 let test_weighted_quorum_primary () =
   (* The paper fixes an arbitrary intersecting quorum system Q, not
      necessarily majorities. Give processor 0 enough weight that {0, x} is
@@ -300,6 +338,8 @@ let () =
         [
           Alcotest.test_case "stable storage adds latency" `Quick
             test_stable_storage_variant;
+          Alcotest.test_case "batching delivers all, in order" `Quick
+            test_batching_variant;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_random_failures_preserve_to ] );

@@ -22,7 +22,7 @@ let inject ~max_views state =
     List.filter_map
       (fun p ->
         let node = Vstoto_system.node state p in
-        if node.Vstoto.delay = [] && node.Vstoto.nextseqno <= 2 then
+        if Gcs_stdx.Tape.is_empty node.Vstoto.delay && node.Vstoto.nextseqno <= 2 then
           Some (Sys_action.Bcast (p, "a"))
         else None)
       procs
@@ -175,7 +175,10 @@ let test_exhaustive_three_procs () =
       List.filter_map
         (fun p ->
           let node = Vstoto_system.node state p in
-          if node.Vstoto.delay = [] && node.Vstoto.nextseqno <= 1 then
+          if
+            Gcs_stdx.Tape.is_empty node.Vstoto.delay
+            && node.Vstoto.nextseqno <= 1
+          then
             Some (Sys_action.Bcast (p, "a"))
           else None)
         procs3

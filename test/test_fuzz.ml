@@ -109,6 +109,18 @@ let test_no_false_positives () =
       Alcotest.failf "clean run failed %s on:\n%s" f.Runner.check
         (Input.to_string input)
 
+(* The same clean-build property with batching on: schedule fuzzing over
+   the batched gpsnd path (Msg.Batch formation, element-wise delivery,
+   the staging flush timer) must not trip any oracle either. *)
+let test_no_false_positives_batched () =
+  let batched_config = To_service.make_config ~batch_window:2.0 vs_config in
+  let outcome = Fuzz.run ~jobs:2 ~config:batched_config ~seed:5 ~execs:150 () in
+  match outcome.Fuzz.failure with
+  | None -> ()
+  | Some (input, f) ->
+      Alcotest.failf "batched clean run failed %s on:\n%s" f.Runner.check
+        (Input.to_string input)
+
 (* ------------------------- planted bugs ----------------------------- *)
 
 let find_and_shrink mutant =
@@ -235,6 +247,8 @@ let () =
             test_determinism_across_runs;
           Alcotest.test_case "no false positives" `Quick
             test_no_false_positives;
+          Alcotest.test_case "no false positives (batched)" `Quick
+            test_no_false_positives_batched;
         ] );
       ("planted", mutant_cases);
       ( "shrink",

@@ -128,6 +128,84 @@ let prop_ixq_models_list =
            (List.init (List.length xs) (fun i -> i))
       && Ixq.fold (fun acc x -> x :: acc) [] q = List.rev xs)
 
+(* ---------------- Tape: persistent append-only vector ---------------- *)
+
+let test_tape_basics () =
+  let t = Tape.append (Tape.empty ()) [ 10; 20; 30 ] in
+  Alcotest.(check int) "length" 3 (Tape.length t);
+  Alcotest.(check bool) "not empty" false (Tape.is_empty t);
+  Alcotest.(check bool) "empty is empty" true (Tape.is_empty (Tape.empty ()));
+  Alcotest.(check int) "get 0" 10 (Tape.get t 0);
+  Alcotest.(check int) "get 2" 30 (Tape.get t 2);
+  Alcotest.(check (option int)) "nth1 1" (Some 10) (Tape.nth1 t 1);
+  Alcotest.(check (option int)) "nth1 3" (Some 30) (Tape.nth1 t 3);
+  Alcotest.(check (option int)) "nth1 0" None (Tape.nth1 t 0);
+  Alcotest.(check (option int)) "nth1 past end" None (Tape.nth1 t 4);
+  Alcotest.(check (option int)) "first" (Some 10) (Tape.first t);
+  Alcotest.(check (list int)) "to_list" [ 10; 20; 30 ] (Tape.to_list t);
+  Alcotest.(check (list int)) "rest" [ 20; 30 ] (Tape.to_list (Tape.rest t));
+  Alcotest.(check (list int)) "drop 2" [ 30 ] (Tape.to_list (Tape.drop 2 t));
+  Alcotest.(check (list int)) "drop beyond" [] (Tape.to_list (Tape.drop 9 t));
+  Alcotest.(check bool) "get out of bounds raises" true
+    (try
+       ignore (Tape.get t 3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_tape_persistence () =
+  (* Extending an older slice must not disturb any other slice, even
+     though the newest slice extends its buffer in place. *)
+  let t2 = Tape.snoc (Tape.snoc (Tape.empty ()) 1) 2 in
+  let t3 = Tape.snoc t2 3 in
+  let t2' = Tape.snoc t2 99 in
+  Alcotest.(check (list int)) "fork a: linear extension" [ 1; 2; 3 ]
+    (Tape.to_list t3);
+  Alcotest.(check (list int)) "fork b: diverging extension" [ 1; 2; 99 ]
+    (Tape.to_list t2');
+  Alcotest.(check (list int)) "base version intact" [ 1; 2 ] (Tape.to_list t2);
+  (* Dropped-prefix slices share the buffer but keep their own window. *)
+  let d = Tape.drop 1 t3 in
+  let d' = Tape.snoc d 4 in
+  Alcotest.(check (list int)) "suffix slice" [ 2; 3 ] (Tape.to_list d);
+  Alcotest.(check (list int)) "suffix extension" [ 2; 3; 4 ] (Tape.to_list d');
+  Alcotest.(check (list int)) "origin of suffix intact" [ 1; 2; 3 ]
+    (Tape.to_list t3)
+
+let test_tape_equal () =
+  let a = Tape.of_list [ 1; 2; 3 ] and b = Tape.append (Tape.empty ()) [ 1; 2; 3 ] in
+  Alcotest.(check bool) "structural equality across buffers" true
+    (Tape.equal Int.equal a b);
+  Alcotest.(check bool) "length mismatch" false
+    (Tape.equal Int.equal a (Tape.of_list [ 1; 2 ]));
+  Alcotest.(check bool) "element mismatch" false
+    (Tape.equal Int.equal a (Tape.of_list [ 1; 2; 4 ]))
+
+let prop_tape_models_list =
+  QCheck.Test.make ~name:"Tape.of_list round-trips and indexes like a list"
+    ~count:300
+    QCheck.(pair (list small_int) (list small_int))
+    (fun (xs, ys) ->
+      let t = Tape.append (Tape.of_list xs) ys in
+      let model = xs @ ys in
+      Tape.to_list t = model
+      && Tape.length t = List.length model
+      && Tape.fold_left (fun acc x -> x :: acc) [] t = List.rev model
+      && List.for_all
+           (fun i -> Tape.get t i = List.nth model i)
+           (List.init (List.length model) (fun i -> i)))
+
+let prop_tape_drop_snoc =
+  QCheck.Test.make ~name:"Tape drop/snoc interleaving models list ops"
+    ~count:300
+    QCheck.(pair small_nat (list small_int))
+    (fun (n, xs) ->
+      let t = Tape.of_list xs in
+      let d = Tape.drop n t in
+      let d' = Tape.snoc d 999 in
+      Tape.to_list d = Seqx.drop n xs
+      && Tape.to_list d' = Seqx.drop n xs @ [ 999 ]
+      && Tape.to_list t = xs)
+
 (* ---------------- Fq: persistent FIFO ---------------- *)
 
 let test_fq_basics () =
@@ -342,6 +420,12 @@ let () =
         ] );
       ( "fq",
         [ Alcotest.test_case "basics" `Quick test_fq_basics ] );
+      ( "tape",
+        [
+          Alcotest.test_case "basics" `Quick test_tape_basics;
+          Alcotest.test_case "persistence" `Quick test_tape_persistence;
+          Alcotest.test_case "equal" `Quick test_tape_equal;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
@@ -365,5 +449,7 @@ let () =
             prop_take_drop_append;
             prop_ixq_models_list;
             prop_fq_is_fifo;
+            prop_tape_models_list;
+            prop_tape_drop_snoc;
           ] );
     ]

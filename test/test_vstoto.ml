@@ -235,6 +235,60 @@ let test_fixed_label_precondition_sound () =
       | Error msg -> Alcotest.failf "seed %d: %s" seed msg)
     tried
 
+(* Pipelining (DESIGN.md "Throughput engineering"): with
+   [params.pipeline], labelling and application gpsnd/gprcv are also
+   allowed during the collect phase of a state exchange; received
+   application messages are held back and applied at establishment. The
+   refinement must preserve the Section 6 invariants, the forward
+   simulation, and TO at the trace level — under schedules with view
+   changes, which is where pipelining actually fires. *)
+
+let pipeline_params =
+  Vstoto_system.make_params ~pipeline:true ~procs ~p0 ~quorums ()
+
+let pipeline_automaton = Vstoto_system.automaton pipeline_params
+
+let run_pipeline ?(steps = 350) seed =
+  Exec.run pipeline_automaton
+    ~scheduler:(scheduler pipeline_params pipeline_automaton)
+    ~steps
+    ~prng:(Gcs_stdx.Prng.create seed)
+
+let test_pipeline_invariants () =
+  match
+    Invariant.check_random pipeline_automaton
+      ~scheduler:(scheduler pipeline_params pipeline_automaton)
+      ~seeds ~steps:350
+      (Vstoto_invariants.all pipeline_params)
+  with
+  | None -> ()
+  | Some (v, seed) ->
+      Alcotest.failf "pipeline: %s violated at step %d (seed %d): %s"
+        v.Invariant.invariant v.Invariant.step_index seed v.Invariant.detail
+
+let test_pipeline_simulation_and_trace () =
+  let to_params = To_simulation.abstract_params pipeline_params in
+  List.iter
+    (fun seed ->
+      let e = run_pipeline ~steps:500 seed in
+      (match To_simulation.check_execution pipeline_params e with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "pipeline seed %d: %s" seed msg);
+      match To_trace_checker.check to_params (client_trace e) with
+      | Ok () -> ()
+      | Error err ->
+          Alcotest.failf "pipeline seed %d: %s" seed
+            (Format.asprintf "%a" To_trace_checker.pp_error err))
+    seeds
+
+let test_pipeline_progress () =
+  let total =
+    List.fold_left
+      (fun acc seed -> acc + count_deliveries (run_pipeline seed))
+      0 seeds
+  in
+  Alcotest.(check bool) "pipelined runs deliver" true (total > 0)
+
 (* Section 4.1 Remark: WeakVS-machine and VS-machine have the same finite
    traces, so the VStoTO safety results hold over WeakVS too. We compose
    with the weak machine, inject createviews with out-of-order
@@ -305,6 +359,15 @@ let () =
             test_view_change_recovery_delivers;
           Alcotest.test_case "WeakVS composition (4.1 Remark)" `Slow
             test_weak_vs_composition;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "invariants hold with pipelining" `Slow
+            test_pipeline_invariants;
+          Alcotest.test_case "simulation + TO trace with pipelining" `Quick
+            test_pipeline_simulation_and_trace;
+          Alcotest.test_case "pipelined runs deliver" `Quick
+            test_pipeline_progress;
         ] );
       ( "erratum",
         [

@@ -4,10 +4,12 @@
 open Gcs_automata
 open Gcs_core
 
+module Tape = Gcs_stdx.Tape
+
 let procs = Proc.all ~n:3
 let p0 = procs
 let quorums = Quorum.majorities ~n:3
-let params p = Vstoto.default_params ~me:p ~p0 ~quorums
+let params p = Vstoto.default_params ~me:p ~p0 ~quorums ()
 let automaton p = Vstoto.automaton (params p)
 
 let step p action state = Automaton.step_exn (automaton p) state action
@@ -30,13 +32,15 @@ let test_initial_state () =
 let test_bcast_label_gpsnd () =
   let s = Vstoto.initial (params 0) in
   let s = step 0 (Sys_action.Bcast (0, "x")) s in
-  Alcotest.(check (list string)) "bcast joins delay" [ "x" ] s.Vstoto.delay;
+  Alcotest.(check (list string))
+    "bcast joins delay" [ "x" ]
+    (Tape.to_list s.Vstoto.delay);
   let s = step 0 (Sys_action.Label_act (0, "x")) s in
-  Alcotest.(check int) "delay consumed" 0 (List.length s.Vstoto.delay);
+  Alcotest.(check int) "delay consumed" 0 (Tape.length s.Vstoto.delay);
   Alcotest.(check int) "nextseqno advanced" 2 s.Vstoto.nextseqno;
   let l = label View_id.g0 1 0 in
   Alcotest.(check bool) "label in buffer" true
-    (List.exists (Label.equal l) s.Vstoto.buffer);
+    (Tape.exists (Label.equal l) s.Vstoto.buffer);
   Alcotest.(check (option string)) "content holds the value" (Some "x")
     (Label.Map.find_opt l s.Vstoto.content);
   (* The send carries exactly the labelled pair and drains the buffer. *)
@@ -44,7 +48,7 @@ let test_bcast_label_gpsnd () =
     Sys_action.Vs (Vs_action.Gpsnd { sender = 0; msg = Msg.App (l, "x") })
   in
   let s = step 0 send s in
-  Alcotest.(check int) "buffer drained" 0 (List.length s.Vstoto.buffer);
+  Alcotest.(check int) "buffer drained" 0 (Tape.length s.Vstoto.buffer);
   (* A second send with nothing buffered is disabled. *)
   Alcotest.(check bool) "no spurious send" true (try_step 0 send s = None)
 
@@ -76,7 +80,7 @@ let test_gprcv_app_order_append () =
   Alcotest.(check (option string)) "content recorded" (Some "x")
     (Label.Map.find_opt l s.Vstoto.content);
   Alcotest.(check bool) "order appended (primary view)" true
-    (List.exists (Label.equal l) s.Vstoto.order);
+    (Tape.exists (Label.equal l) s.Vstoto.order);
   (* In a non-primary view (a singleton is not a majority of 3) the same
      delivery does not enter order. *)
   let v_solo = View.make g1 [ 1 ] in
@@ -92,7 +96,7 @@ let test_gprcv_app_order_append () =
       s2
   in
   Alcotest.(check bool) "non-primary: no order append" false
-    (List.exists (Label.equal l1) s2.Vstoto.order)
+    (Tape.exists (Label.equal l1) s2.Vstoto.order)
 
 (* Build a summary by hand. *)
 let summary ~con ~ord ~next ~high =
@@ -137,7 +141,7 @@ let test_establishment_primary () =
   (* chosenrep is the larger id among max-high holders = 1; shortorder =
      [la]; fullorder appends lb (the only other known label). *)
   Alcotest.(check bool) "order = [la; lb]" true
-    (List.equal Label.equal s.Vstoto.order [ la; lb ]);
+    (List.equal Label.equal (Tape.to_list s.Vstoto.order) [ la; lb ]);
   Alcotest.(check bool) "highprimary = the new primary view" true
     (View_id.compare_opt s.Vstoto.highprimary (Some g1) = 0);
   Alcotest.(check int) "nextconfirm = maxnextconfirm" 2 s.Vstoto.nextconfirm
@@ -167,7 +171,7 @@ let test_establishment_non_primary () =
   in
   Alcotest.(check bool) "established" true (s.Vstoto.status = Vstoto.Normal);
   Alcotest.(check bool) "shortorder adopted" true
-    (List.equal Label.equal s.Vstoto.order [ la; lb ]);
+    (List.equal Label.equal (Tape.to_list s.Vstoto.order) [ la; lb ]);
   Alcotest.(check bool) "highprimary inherited, not the new view" true
     (View_id.compare_opt s.Vstoto.highprimary (Some View_id.g0) = 0);
   (* Nothing can be confirmed in a non-primary view. *)
@@ -209,7 +213,7 @@ let test_newview_resets () =
     step 0 (Sys_action.Vs (Vs_action.Safe { src = 0; dst = 0; msg = Msg.App (l, "x") })) s
   in
   let s = step 0 (Sys_action.Vs (Vs_action.Newview { proc = 0; view = v1 })) s in
-  Alcotest.(check int) "buffer cleared" 0 (List.length s.Vstoto.buffer);
+  Alcotest.(check int) "buffer cleared" 0 (Tape.length s.Vstoto.buffer);
   Alcotest.(check int) "nextseqno reset" 1 s.Vstoto.nextseqno;
   Alcotest.(check bool) "safe-labels cleared" true
     (Label.Set.is_empty s.Vstoto.safe_labels);

@@ -67,6 +67,9 @@ let gen_msg =
   Gen.oneof
     [
       Gen.map2 (fun l v -> Msg.App (l, v)) gen_label gen_value;
+      Gen.map
+        (fun entries -> Msg.Batch entries)
+        Gen.(list_size (int_range 0 6) (pair gen_label gen_value));
       Gen.map (fun s -> Msg.Summary s) gen_summary;
     ]
 
@@ -201,6 +204,46 @@ let test_framing_payload () =
            }))
     [ ""; "|"; "%"; "%n"; "||%%||"; String.make 1000 '|'; String.make 1000 '%' ]
 
+(* The batched frame from the throughput path: one token entry carrying a
+   whole [Msg.Batch], exercised at the same extremes as single [App]s. *)
+let batch_packet entries =
+  Wire.Token
+    {
+      (Wire.fresh_token vid) with
+      Wire.entries = [ { Wire.idx = 0; src = 0; msg = Msg.Batch entries } ];
+      next_idx = 1;
+    }
+
+let test_batch_roundtrip () =
+  let label i = Label.make ~id:vid ~seqno:i ~origin:0 in
+  check_roundtrip "empty batch" (batch_packet []);
+  check_roundtrip "singleton batch" (batch_packet [ (label 1, "x") ]);
+  check_roundtrip "multi-entry batch"
+    (batch_packet [ (label 1, "x"); (label 2, ""); (label 3, "y|z%") ]);
+  let big = String.init 65536 (fun i -> Char.chr (i land 0xff)) in
+  check_roundtrip "64 KiB batched payload"
+    (batch_packet [ (label 1, big); (label 2, "small") ]);
+  List.iter
+    (fun v ->
+      check_roundtrip
+        ("batch framing payload " ^ String.escaped v)
+        (batch_packet [ (label 1, v); (label 2, v ^ v) ]))
+    [ ""; "|"; "%"; "%n"; "||%%||"; String.make 1000 '|'; String.make 1000 '%' ]
+
+let test_batch_truncation_total () =
+  let label i = Label.make ~id:vid ~seqno:i ~origin:0 in
+  let s =
+    enc (batch_packet [ (label 1, "abc|def%ghi"); (label 2, String.make 200 '%') ])
+  in
+  for cut = 0 to String.length s do
+    match dec (String.sub s 0 cut) with
+    | Ok _ | Error _ -> ()
+  done;
+  (* Whole-frame decode still succeeds after surviving every prefix. *)
+  match dec s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "full batch frame failed to decode: %s" e
+
 let test_garbage_rejected () =
   List.iter
     (fun s ->
@@ -221,6 +264,9 @@ let () =
           Alcotest.test_case "max-length payload" `Quick test_max_length_payload;
           Alcotest.test_case "framing characters as payload" `Quick
             test_framing_payload;
+          Alcotest.test_case "batched frame" `Quick test_batch_roundtrip;
+          Alcotest.test_case "batched frame truncation is total" `Quick
+            test_batch_truncation_total;
           Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
         ] );
       ( "properties",
