@@ -1059,6 +1059,189 @@ let x20 () =
     throughput ~backend:`Bus ~n:3 ~count:5000 ~window:(Some 0.02);
   ]
 
+(* X21: competing total-order backends — VStoTO (the paper's
+   partitionable stack), the fixed-sequencer baseline, and the Skeen
+   timestamp backend, under the shared To_action trace vocabulary.
+   Latency rows run on the simulator and report {e simulated-time}
+   delivery latency of a lone probe submitted after stabilization:
+   Skeen needs 3δ (propose → proposal → commit), the sequencer 2 hops,
+   and VStoTO a token rotation. Throughput rows preload an open-loop
+   workload on the real bus and report wall-clock client msgs/sec,
+   which the drift gate checks against the committed baseline. The
+   matrix is the paper's trade-off made concrete: the cheap baselines
+   win clean-network latency, the partitionable stack buys fault
+   tolerance with a bounded (Theorem 7.1) latency premium. *)
+
+let x21 () =
+  row "%12s %10s %8s %4s %12s %12s %14s\n" "to-backend" "mode" "backend" "n"
+    "latency" "deliv" "client msg/s";
+  let n = 4 in
+  let procs = Proc.all ~n in
+  let probe = "probe" in
+  let submit_at = 50.0 in
+  let brcv_times actions =
+    List.filter_map
+      (fun (t, a) ->
+        match a with
+        | To_action.Brcv { value; _ } when String.equal value probe -> Some t
+        | _ -> None)
+      actions
+  in
+  let latency_row name actions =
+    let times = brcv_times actions in
+    let lats = List.map (fun t -> t -. submit_at) times in
+    let mean =
+      match lats with
+      | [] -> nan
+      | _ -> List.fold_left ( +. ) 0.0 lats /. float_of_int (List.length lats)
+    in
+    let worst = List.fold_left Float.max 0.0 lats in
+    row "%12s %10s %8s %4d %12.2f %12d %14s\n" name "latency" "sim" n worst
+      (List.length times) "-";
+    J.Obj
+      [
+        ("to_backend", J.Str name);
+        ("mode", J.Str "latency");
+        ("backend", J.Str "sim");
+        ("n", J.Int n);
+        ("deliveries", J.Int (List.length times));
+        ("mean_latency", J.num mean);
+        ("max_latency", J.num worst);
+      ]
+  in
+  let vstoto_latency () =
+    let config =
+      To_service.make_config
+        { Vs_node.procs; p0 = procs; pi = 6.0; mu = 8.0; delta = 1.0 }
+    in
+    let run =
+      To_service.run_on
+        ~backend:(Gcs_sim.Backend.of_config (Gcs_sim.Engine.default_config ~delta:1.0))
+        config
+        ~workload:[ (submit_at, 0, probe) ]
+        ~failures:[] ~until:200.0 ~seed:7
+    in
+    latency_row "vstoto"
+      (List.filter_map
+         (fun (t, o) ->
+           match o with To_service.Client a -> Some (t, a) | _ -> None)
+         (Timed.actions run.To_service.trace))
+  in
+  let sequencer_latency () =
+    let config = Gcs_baseline.Sequencer.make_config ~procs in
+    let run =
+      Gcs_baseline.Sequencer.run ~delta:1.0 config
+        ~workload:[ (submit_at, 0, probe) ]
+        ~failures:[] ~until:200.0 ~seed:7
+    in
+    latency_row "sequencer" (Timed.actions run.Gcs_baseline.Sequencer.trace)
+  in
+  let skeen_latency () =
+    let config = Gcs_skeen.Skeen.make_config ~procs in
+    let run =
+      Gcs_skeen.Skeen.run ~delta:1.0 config
+        ~workload:[ (submit_at, 0, { Gcs_skeen.Skeen.value = probe; dests = [] }) ]
+        ~failures:[] ~until:200.0 ~seed:7
+    in
+    latency_row "skeen" (Timed.actions run.Gcs_skeen.Skeen.trace)
+  in
+  let throughput_row name ~total ~deliveries ~packets wall =
+    let client_rate = float_of_int deliveries /. wall in
+    row "%12s %10s %8s %4d %12s %12d %14.0f\n" name "throughput" "bus" n "-"
+      deliveries client_rate;
+    J.Obj
+      [
+        ("to_backend", J.Str name);
+        ("mode", J.Str "throughput");
+        ("backend", J.Str "bus");
+        ("n", J.Int n);
+        ("client_msgs", J.Int total);
+        ("wall_s", J.num wall);
+        ("client_deliveries", J.Int deliveries);
+        ("packets_sent", J.Int packets);
+        ("client_msgs_per_s", J.num client_rate);
+        ("msgs_per_s", J.num client_rate);
+      ]
+  in
+  let count = 120 in
+  let total = n * count in
+  let values p = List.init count (fun k -> Printf.sprintf "y%d.%d" p k) in
+  let vstoto_throughput () =
+    let config =
+      To_service.make_config ~batch_window:0.02
+        { Vs_node.procs; p0 = procs; pi = 0.15; mu = 1.0e6; delta = 5.0 }
+    in
+    let wl =
+      List.concat_map (fun p -> List.map (fun v -> (0.0, p, v)) (values p)) procs
+    in
+    let progress = Array.init n (fun _ -> Atomic.make 0) in
+    let observe p _pre post =
+      let st = To_service.node_app post in
+      let r = st.Vstoto.nextreport - 1 in
+      if r > Atomic.get progress.(p) then Atomic.set progress.(p) r
+    in
+    let stop ~now:_ ~outputs:_ =
+      Array.for_all (fun a -> Atomic.get a >= total) progress
+    in
+    let t0 = wall_now () in
+    let run =
+      To_service.run_on ~observe ~stop
+        ~backend:(Gcs_transport.Bus.backend ())
+        config ~workload:wl ~failures:[] ~until:60.0 ~seed:11
+    in
+    let wall = wall_now () -. t0 in
+    throughput_row "vstoto" ~total
+      ~deliveries:(To_service.deliveries run)
+      ~packets:run.To_service.packets_sent wall
+  in
+  let sequencer_throughput () =
+    let config = Gcs_baseline.Sequencer.make_config ~procs in
+    let wl =
+      List.concat_map (fun p -> List.map (fun v -> (0.0, p, v)) (values p)) procs
+    in
+    let stop ~now:_ ~outputs = outputs >= total + (n * total) in
+    let t0 = wall_now () in
+    let run =
+      Gcs_baseline.Sequencer.run_on ~stop
+        ~backend:(Gcs_transport.Bus.backend ())
+        config ~workload:wl ~failures:[] ~until:60.0 ~seed:11
+    in
+    let wall = wall_now () -. t0 in
+    throughput_row "sequencer" ~total
+      ~deliveries:(Gcs_baseline.Sequencer.deliveries run)
+      ~packets:run.Gcs_baseline.Sequencer.packets_sent wall
+  in
+  let skeen_throughput () =
+    let config = Gcs_skeen.Skeen.make_config ~procs in
+    let wl =
+      List.concat_map
+        (fun p ->
+          List.map
+            (fun v -> (0.0, p, { Gcs_skeen.Skeen.value = v; dests = [] }))
+            (values p))
+        procs
+    in
+    let stop ~now:_ ~outputs = outputs >= total + (n * total) in
+    let t0 = wall_now () in
+    let run =
+      Gcs_skeen.Skeen.run_on ~stop
+        ~backend:(Gcs_transport.Bus.backend ())
+        config ~workload:wl ~failures:[] ~until:60.0 ~seed:11
+    in
+    let wall = wall_now () -. t0 in
+    throughput_row "skeen" ~total
+      ~deliveries:(Gcs_skeen.Skeen.deliveries run)
+      ~packets:run.Gcs_skeen.Skeen.packets_sent wall
+  in
+  [
+    vstoto_latency ();
+    sequencer_latency ();
+    skeen_latency ();
+    vstoto_throughput ();
+    sequencer_throughput ();
+    skeen_throughput ();
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* M: bechamel micro-benchmarks (M1–M7: core machinery; M8: incremental
    checker throughput at growing trace lengths; M9: pool dispatch
@@ -1278,6 +1461,7 @@ let () =
   section "X18" "observability: metrics registry of a nemesis run" x18;
   section "X19" "bus transport throughput (wall-clock msgs/sec)" x19;
   section "X20" "batched throughput (open-loop load, both backends)" x20;
+  section "X21" "total-order backends: VStoTO vs sequencer vs Skeen" x21;
   if not quick then
     section "M" "micro-benchmarks (bechamel; time per run)" micro;
   (match json_file with
@@ -1352,7 +1536,8 @@ let () =
       (* Throughput rows are additionally gated on *rate*: any row
          carrying [client_msgs_per_s] (X19's stack row, all of X20) must
          stay within 3x of its baseline rate. Keyed by section id, row
-         mode and backend. A wall-clock gate alone would not catch a
+         mode, backend and (for X21's matrix) the total-order backend.
+         A wall-clock gate alone would not catch a
          batching regression — a run that delivers a tenth of the
          messages in the same wall time passes the wall gate. *)
       let baseline_rates =
@@ -1374,7 +1559,8 @@ let () =
                                (Option.bind (member k r) to_string)
                            in
                            Some
-                             ( sid ^ "/" ^ part "mode" ^ "/" ^ part "backend",
+                             ( sid ^ "/" ^ part "mode" ^ "/" ^ part "backend"
+                               ^ "/" ^ part "to_backend",
                                rate )))
           baseline_sections
       in
@@ -1398,7 +1584,8 @@ let () =
                           | Some (J.Str v) -> v
                           | _ -> "-"
                         in
-                        ( s.id ^ "/" ^ part "mode" ^ "/" ^ part "backend",
+                        ( s.id ^ "/" ^ part "mode" ^ "/" ^ part "backend"
+                          ^ "/" ^ part "to_backend",
                           rate ))
                       rate
                 | _ -> None)

@@ -592,6 +592,17 @@ let fuzz_cmd =
       value & flag
       & info [ "list-mutants" ] ~doc:"List the planted-bug mutants.")
   in
+  let service_arg =
+    Arg.(
+      value
+      & opt (enum [ ("vstoto", `Vstoto); ("skeen", `Skeen) ]) `Vstoto
+      & info [ "service" ] ~docv:"S"
+          ~doc:
+            "System under test: $(b,vstoto) (the full VStoTO stack, default) \
+             or $(b,skeen) (the Skeen timestamp total-order backend with its \
+             own oracle chain). A Skeen mutant name in $(b,--mutant) implies \
+             $(b,skeen).")
+  in
   let expect_arg =
     Arg.(
       value & flag
@@ -633,28 +644,48 @@ let fuzz_cmd =
     output_string oc contents;
     close_out oc
   in
-  let run n delta pi mu seed jobs execs batch corpus mutant list_mutants expect
-      repro replay shrink_budget json =
-    if list_mutants then
+  let run n delta pi mu seed jobs execs batch corpus mutant list_mutants service
+      expect repro replay shrink_budget json =
+    if list_mutants then begin
       List.iter
         (fun m ->
           Printf.printf "%-24s %s (flagged by: %s)\n" m.Gcs_fuzz.Mutant.name
             m.Gcs_fuzz.Mutant.doc
             (String.concat ", " m.Gcs_fuzz.Mutant.expected_checks))
-        Gcs_fuzz.Mutant.all
+        Gcs_fuzz.Mutant.all;
+      List.iter
+        (fun m ->
+          Printf.printf "%-24s %s (flagged by: %s)\n"
+            m.Gcs_fuzz.Skeen_mutant.name m.Gcs_fuzz.Skeen_mutant.doc
+            (String.concat ", " m.Gcs_fuzz.Skeen_mutant.expected_checks))
+        Gcs_fuzz.Skeen_mutant.all
+    end
     else begin
       let vs_config = mk_config n delta pi mu in
       let config = To_service.make_config vs_config in
-      let mutant =
+      let mutant, skeen_mutant =
         match mutant with
-        | "" -> None
+        | "" -> (None, None)
         | name -> (
             match Gcs_fuzz.Mutant.find name with
-            | Some m -> Some m
-            | None ->
-                Printf.eprintf "error: unknown mutant %s (try --list-mutants)\n"
-                  name;
-                exit 2)
+            | Some m -> (Some m, None)
+            | None -> (
+                match Gcs_fuzz.Skeen_mutant.find name with
+                | Some m -> (None, Some m)
+                | None ->
+                    Printf.eprintf
+                      "error: unknown mutant %s (try --list-mutants)\n" name;
+                    exit 2))
+      in
+      let service =
+        if Option.is_some skeen_mutant then Gcs_fuzz.Fuzz.Skeen_backend
+        else
+          match service with
+          | `Skeen -> Gcs_fuzz.Fuzz.Skeen_backend
+          | `Vstoto -> Gcs_fuzz.Fuzz.Vstoto_stack
+      in
+      let skeen_config =
+        Gcs_skeen.Skeen.make_config ~procs:vs_config.Vs_node.procs
       in
       if replay <> "" then begin
         let contents =
@@ -669,7 +700,14 @@ let fuzz_cmd =
             Printf.eprintf "error: %s\n" e;
             exit 2
         | Ok input -> (
-            let obs = Gcs_fuzz.Runner.execute ?mutant ~config input in
+            let obs =
+              match service with
+              | Gcs_fuzz.Fuzz.Vstoto_stack ->
+                  Gcs_fuzz.Runner.execute ?mutant ~config input
+              | Gcs_fuzz.Fuzz.Skeen_backend ->
+                  Gcs_fuzz.Runner.execute_skeen ?mutant:skeen_mutant ~delta
+                    ~config:skeen_config input
+            in
             match obs.Gcs_fuzz.Runner.verdict with
             | None ->
                 Printf.printf "replay %s: PASS (%d deliveries, %d features)\n"
@@ -693,8 +731,8 @@ let fuzz_cmd =
                     s.Gcs_fuzz.Fuzz.features)
         in
         let outcome =
-          Gcs_fuzz.Fuzz.run ?mutant ~jobs ~batch ~shrink_budget ?progress
-            ~config ~seed ~execs ()
+          Gcs_fuzz.Fuzz.run ?mutant ?skeen_mutant ~service ~jobs ~batch
+            ~shrink_budget ?progress ~config ~seed ~execs ()
         in
         if json then print_endline (Gcs_fuzz.Fuzz.stats_to_json outcome)
         else begin
@@ -742,7 +780,14 @@ let fuzz_cmd =
         | Some s, file when file <> "" ->
             let input = s.Gcs_fuzz.Shrink.input in
             write_file file (Gcs_fuzz.Input.to_string input);
-            let trace, _ = Gcs_fuzz.Runner.replay ?mutant ~config input in
+            let trace, _ =
+              match service with
+              | Gcs_fuzz.Fuzz.Vstoto_stack ->
+                  Gcs_fuzz.Runner.replay ?mutant ~config input
+              | Gcs_fuzz.Fuzz.Skeen_backend ->
+                  Gcs_fuzz.Runner.replay_skeen ?mutant:skeen_mutant ~delta
+                    ~config:skeen_config input
+            in
             write_file (file ^ ".trace") (Trace_io.to_to_string trace ^ "\n");
             if not json then
               Printf.printf "wrote %s and %s.trace\n" file file
@@ -765,7 +810,8 @@ let fuzz_cmd =
     Term.(
       const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg $ jobs_arg
       $ execs_arg $ batch_arg $ corpus_arg $ mutant_arg $ list_mutants_arg
-      $ expect_arg $ repro_arg $ replay_arg $ shrink_arg $ json_arg)
+      $ service_arg $ expect_arg $ repro_arg $ replay_arg $ shrink_arg
+      $ json_arg)
 
 (* ------------------------------- lint ------------------------------- *)
 
@@ -1118,7 +1164,81 @@ let bus_cmd =
    the realized batch-size distribution, the same numbers bench section
    X20 records and gates. *)
 let load_cmd =
+  (* The Skeen backend has no batching layer: every submission is its own
+     propose/commit exchange addressed to the full group, so --window is
+     ignored and the report's batch columns are structurally zero. *)
+  let run_skeen backend n count rate seed json =
+    let procs = Proc.all ~n in
+    let config = Gcs_skeen.Skeen.make_config ~procs in
+    let workload =
+      List.concat_map
+        (fun p ->
+          List.init count (fun k ->
+              let at = if rate <= 0.0 then 0.0 else float_of_int k /. rate in
+              ( at,
+                p,
+                {
+                  Gcs_skeen.Skeen.value = Printf.sprintf "v%d.%d" p k;
+                  dests = [];
+                } )))
+        procs
+    in
+    let total = n * count in
+    let expected = n * total in
+    let offered = if rate <= 0.0 then 0.0 else float_of_int count /. rate in
+    let delta = match backend with `Skeen_sim -> 1.0 | `Skeen_bus -> 5.0 in
+    let until =
+      match backend with
+      | `Skeen_sim -> offered +. 500.0
+      | `Skeen_bus -> offered +. 60.0
+    in
+    let backend_impl, backend_name =
+      match backend with
+      | `Skeen_sim ->
+          ( Gcs_sim.Backend.of_config
+              {
+                (Gcs_sim.Engine.default_config ~delta) with
+                Gcs_sim.Engine.fifo = true;
+              },
+            "skeen" )
+      | `Skeen_bus -> (Gcs_transport.Bus.backend (), "skeen-bus")
+    in
+    (* Each submission records one Bcast and n Brcv outputs. *)
+    let stop ~now:_ ~outputs = outputs >= total + expected in
+    let t0 = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () in
+    let run =
+      Gcs_skeen.Skeen.run_on ~stop ~backend:backend_impl config ~workload
+        ~failures:[] ~until ~seed
+    in
+    let wall = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () -. t0 in
+    let deliveries = Gcs_skeen.Skeen.deliveries run in
+    let client_rate = float_of_int deliveries /. wall in
+    if json then
+      Printf.printf
+        "{\"backend\":\"%s\",\"n\":%d,\"count_per_proc\":%d,\"rate_per_proc\":%g,\"batch_window\":null,\"submitted\":%d,\"client_deliveries\":%d,\"expected_deliveries\":%d,\"wall_s\":%.6f,\"client_msgs_per_s\":%.1f,\"packets_sent\":%d,\"gpsnd_batches\":0,\"batch_mean\":0.00,\"batch_max\":0}\n"
+        backend_name n count rate total deliveries expected wall client_rate
+        run.Gcs_skeen.Skeen.packets_sent
+    else begin
+      Printf.printf "load: backend=%s n=%d count=%d/proc rate=%s/proc\n"
+        backend_name n count
+        (if rate <= 0.0 then "preload" else Printf.sprintf "%g" rate);
+      Printf.printf
+        "  %d submitted, %d/%d deliveries in %.2f wall s  ->  %.0f client \
+         msgs/sec\n"
+        total deliveries expected wall client_rate;
+      Printf.printf "  %d packets\n" run.Gcs_skeen.Skeen.packets_sent
+    end;
+    if deliveries < expected then
+      `Error
+        ( false,
+          Printf.sprintf "incomplete: %d of %d deliveries before the horizon"
+            deliveries expected )
+    else `Ok ()
+  in
   let run backend n count rate window seed json =
+    match backend with
+    | (`Skeen_sim | `Skeen_bus) as b -> run_skeen b n count rate seed json
+    | (`Sim | `Bus) as backend ->
     let procs = Proc.all ~n in
     let vs_config =
       match backend with
@@ -1212,11 +1332,22 @@ let load_cmd =
   let backend_arg =
     Arg.(
       value
-      & opt (enum [ ("sim", `Sim); ("bus", `Bus) ]) `Sim
+      & opt
+          (enum
+             [
+               ("sim", `Sim);
+               ("bus", `Bus);
+               ("skeen", `Skeen_sim);
+               ("skeen-bus", `Skeen_bus);
+             ])
+          `Sim
       & info [ "backend" ] ~docv:"B"
           ~doc:
-            "Transport backend: $(b,sim) (virtual time, wall clock measures \
-             simulation cost) or $(b,bus) (real domains, wall clock is real).")
+            "Total-order backend and transport: $(b,sim)/$(b,bus) drive the \
+             VStoTO stack (virtual time vs real domains); $(b,skeen) and \
+             $(b,skeen-bus) drive the Skeen timestamp backend on the same \
+             two transports ($(b,--window) does not apply — Skeen has no \
+             batching layer).")
   in
   let count_arg =
     Arg.(

@@ -98,6 +98,47 @@ let run ?engine ~delta config ~workload ~failures ~until ~seed =
     packets_dropped = result.Engine.packets_dropped;
   }
 
+(* Byte codec over the shared field framing, so the baseline can run on
+   the bus for wall-clock comparisons against VStoTO and Skeen. *)
+
+module W = Gcs_impl.Wire
+
+let ( let* ) = Result.bind
+
+let encode_packet = function
+  | Request { origin; value } ->
+      W.Framing.encode [ "r"; string_of_int origin; value ]
+  | Ordered { seq; origin; value } ->
+      W.Framing.encode [ "o"; string_of_int seq; string_of_int origin; value ]
+
+let decode_packet s =
+  let* fs = W.fields_of "sequencer packet" s in
+  match fs with
+  | [ "r"; origin; value ] ->
+      let* origin = W.int_of "request.origin" origin in
+      Ok (Request { origin; value })
+  | [ "o"; seq; origin; value ] ->
+      let* seq = W.int_of "ordered.seq" seq in
+      let* origin = W.int_of "ordered.origin" origin in
+      Ok (Ordered { seq; origin; value })
+  | _ -> Error (Printf.sprintf "sequencer packet: unknown shape %S" s)
+
+let packet_codec : packet Gcs_transport.Iface.codec =
+  { enc = encode_packet; dec = decode_packet }
+
+let run_on ?metrics ?stop ~backend config ~workload ~failures ~until ~seed =
+  let (module B : Gcs_transport.Iface.BACKEND) = backend in
+  let result =
+    B.run ?metrics ?stop packet_codec ~procs:config.procs
+      ~handlers:(handlers config) ~init:initial ~inputs:workload ~failures
+      ~until ~seed
+  in
+  {
+    trace = result.Gcs_transport.Iface.trace;
+    packets_sent = result.Gcs_transport.Iface.packets_sent;
+    packets_dropped = result.Gcs_transport.Iface.packets_dropped;
+  }
+
 let to_conforms config r =
   let params = { To_machine.procs = config.procs; equal_value = Value.equal } in
   To_trace_checker.check params (List.map snd (Timed.actions r.trace))

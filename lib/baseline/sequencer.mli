@@ -31,5 +31,26 @@ val run :
   seed:int ->
   run
 
+type packet =
+  | Request of { origin : Proc.t; value : Value.t }
+  | Ordered of { seq : int; origin : Proc.t; value : Value.t }
+
+val encode_packet : packet -> string
+val decode_packet : string -> (packet, string) result
+val packet_codec : packet Gcs_transport.Iface.codec
+
+val run_on :
+  ?metrics:Gcs_stdx.Metrics.t ->
+  ?stop:(now:float -> outputs:int -> bool) ->
+  backend:Gcs_transport.Iface.backend ->
+  config ->
+  workload:(float * Proc.t * Value.t) list ->
+  failures:(float * Fstatus.event) list ->
+  until:float ->
+  seed:int ->
+  run
+(** The baseline on a pluggable transport via {!packet_codec}, for
+    wall-clock bench comparisons against the partitionable stacks. *)
+
 val to_conforms : config -> run -> (unit, To_trace_checker.error) result
 val deliveries : run -> int

@@ -49,25 +49,17 @@ let orders procs run =
         | None -> [] ))
     procs
 
-(* With [batch_window] set the anchoring needs one more restriction:
-   the leader launches its first token at t = 0, before any window can
-   close, so whether the leader's own batch boards that launch or a
-   later rotation depends on the clock (virtual hops are ~delta,
-   wall-clock hops are microseconds). Excluding the leader as an origin
-   removes the race: every batch then sits in a follower's outbuf
-   before the first useful rotation reaches it — flushes happen at
-   ~window on both clocks, arrivals at delta (sim) / pi (bus) — so the
-   token collects the batches in ring order, identically on both
-   backends, FIFO within each batch. *)
+(* With [batch_window] set, the anchoring leans on the deferred first
+   launch (Vs_node's [first_launch_delay], set by the TO service to
+   3×window): every node's initial flush lands at ~window on both
+   clocks, strictly before the leader's first token starts collecting,
+   so the token picks up the leader's batch first and then the
+   followers' in ring order — identically on both backends, FIFO within
+   each batch. The leader is an ordinary origin; no exclusion needed. *)
 let run_pair ?(n = 3) ?(count = 12) ?batch_window ~seed () =
   let config = config ~n ?batch_window () in
   let procs = config.To_service.vs.Vs_node.procs in
-  let origins =
-    match batch_window with
-    | None -> procs
-    | Some _ -> ( match procs with [] | [ _ ] -> procs | _leader :: rest -> rest)
-  in
-  let workload = workload ~origins config ~seed ~count in
+  let workload = workload ~origins:procs config ~seed ~count in
   let sim_run =
     To_service.run_on
       ~backend:

@@ -52,13 +52,13 @@ val run_pair :
   ?n:int -> ?count:int -> ?batch_window:float -> seed:int -> unit -> report
 (** One simulator run and one bus run of the same workload, compared.
     [batch_window] turns submission batching on for both runs; the
-    anchored workload keeps the delivered order transport-independent
-    (every value stages at t=0, so each origin's whole workload leaves
-    as one batch in submission order) under two extra restrictions the
-    implementation applies: the window must close before a token can
-    reach any origin, and the leader is excluded as an origin — its
-    t=0 token launch precedes every possible flush, so whether its own
-    batch boards that launch or a later rotation is clock-dependent. *)
+    anchored workload keeps the delivered order transport-independent:
+    every value stages at t=0, so each origin's whole workload leaves as
+    one batch in submission order, and the TO service defers the
+    leader's first token launch past the initial flush window
+    ([Vs_node]'s [first_launch_delay]), so every batch — the leader's
+    included — is sitting in its origin's outbuf before the token first
+    passes. All processors, leader included, serve as origins. *)
 
 val passed : report -> bool
 (** Complete on both backends and no divergence. *)

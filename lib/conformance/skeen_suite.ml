@@ -1,0 +1,189 @@
+open Gcs_core
+open Gcs_skeen
+open Gcs_nemesis
+
+type profile = {
+  label : string;
+  backend : Gcs_transport.Iface.backend;
+  config : Skeen.config;
+  beat : float;
+  workload_spacing : float;
+  workload_count : int;
+  slack : float;
+  use_stop : bool;
+}
+
+let sim_profile ?(n = 4) () =
+  {
+    label = "sim";
+    backend =
+      Gcs_sim.Backend.of_config
+        { (Gcs_sim.Engine.default_config ~delta:1.0) with Gcs_sim.Engine.fifo = true };
+    config = Skeen.make_config ~procs:(Proc.all ~n);
+    beat = 10.0;
+    workload_spacing = 3.0;
+    workload_count = 4;
+    slack = 60.0;
+    use_stop = false;
+  }
+
+let bus_profile ?(n = 4) () =
+  {
+    label = "bus";
+    backend = Gcs_transport.Bus.backend ();
+    config = Skeen.make_config ~procs:(Proc.all ~n);
+    beat = 0.5;
+    workload_spacing = 0.25;
+    workload_count = 4;
+    slack = 2.0;
+    use_stop = true;
+  }
+
+type case = { name : string; scenario : Scenario.t }
+
+(* The same five fault shapes as the VStoTO suite, scaled by the
+   profile's beat. Skeen has no recovery protocol, so the cases probe
+   {e safety} under faults; completeness is asserted on [clean] only. *)
+let cases profile =
+  let procs = profile.config.Skeen.procs in
+  let n = List.length procs in
+  let b = profile.beat in
+  let hi = List.nth procs (n - 1) in
+  let lo =
+    match procs with
+    | p :: _ -> p
+    | [] -> invalid_arg "Skeen_suite.cases: empty processor set"
+  in
+  let split =
+    let rec take k = function
+      | x :: rest when k > 0 -> x :: take (k - 1) rest
+      | _ -> []
+    in
+    let maj = take ((n / 2) + 1) procs in
+    let min_part = List.filter (fun p -> not (List.mem p maj)) procs in
+    [ maj; min_part ]
+  in
+  let v name steps = { name; scenario = Scenario.v name steps } in
+  [
+    v "clean" [];
+    v "partition-heal"
+      [ Scenario.at (2.0 *. b) (Scenario.Partition split);
+        Scenario.at (6.0 *. b) Scenario.Heal ];
+    v "crash-recover"
+      [ Scenario.at (2.0 *. b) (Scenario.Crash hi);
+        Scenario.at (6.0 *. b) (Scenario.Recover hi);
+        Scenario.at (6.5 *. b) Scenario.Heal ];
+    v "ugly-link"
+      [ Scenario.at (2.0 *. b) (Scenario.Degrade (lo, hi, Fstatus.Ugly));
+        Scenario.at (6.0 *. b) (Scenario.Degrade (lo, hi, Fstatus.Good));
+        Scenario.at (6.5 *. b) Scenario.Heal ];
+    v "slow-processor"
+      [ Scenario.at (2.0 *. b) (Scenario.Slow hi);
+        Scenario.at (6.0 *. b) (Scenario.Wake hi);
+        Scenario.at (6.5 *. b) Scenario.Heal ];
+  ]
+
+(* Mixed addressing: full-group and overlapping-subset submissions,
+   deterministic per (origin, index) so every run of a case sees the
+   same destination structure. Values are distinct per origin (the
+   oracle's precondition). *)
+let workload profile =
+  let procs = profile.config.Skeen.procs in
+  let n = List.length procs in
+  let subset p k =
+    match (p + k) mod 3 with
+    | 0 -> [] (* full group *)
+    | 1 -> [ List.nth procs (p mod n); List.nth procs ((p + 1) mod n) ]
+    | _ ->
+        [
+          List.nth procs (k mod n);
+          List.nth procs ((k + 1) mod n);
+          List.nth procs ((k + 2) mod n);
+        ]
+  in
+  List.concat_map
+    (fun p ->
+      List.init profile.workload_count (fun k ->
+          ( profile.workload_spacing
+            *. float_of_int (1 + k + (p * profile.workload_count)),
+            p,
+            { Skeen.value = Printf.sprintf "c%d.%d" p k; dests = subset p k } )))
+    procs
+
+type outcome = {
+  case : string;
+  seed : int;
+  failure : (string * string) option;
+  bcasts : int;
+  deliveries : int;
+  events_processed : int;
+}
+
+let check profile ~seed case =
+  let config = profile.config in
+  let l = Scenario.stabilization_time case.scenario in
+  let workload = workload profile in
+  let workload_end =
+    List.fold_left (fun acc (t, _, _) -> Float.max acc t) 0.0 workload
+  in
+  let until = Float.max l workload_end +. profile.slack in
+  let failures =
+    Scenario.compile ~procs:config.Skeen.procs case.scenario
+  in
+  let clean = case.scenario.Scenario.steps = [] in
+  let expected_outputs =
+    List.length workload + Skeen.expected_deliveries config workload
+  in
+  (* Early stop for wall-clock backends, only where completeness is
+     guaranteed (the clean case): every submission and every delivery
+     has shown up in the trace. Faulty cases run out their horizon. *)
+  let stop =
+    if profile.use_stop && clean then
+      Some (fun ~now:_ ~outputs -> outputs >= expected_outputs)
+    else None
+  in
+  let run =
+    Skeen.run_on ?stop ~backend:profile.backend config ~workload ~failures
+      ~until ~seed
+  in
+  let failure =
+    match Skeen.check_group_order config ~workload run.Skeen.trace with
+    | Error detail -> Some ("skeen-group-order", detail)
+    | Ok () -> (
+        match Skeen.node_invariant_failure run.Skeen.final_nodes with
+        | Some f -> Some f
+        | None ->
+            if clean then
+              match Skeen.check_complete config ~workload run.Skeen.trace with
+              | Error detail -> Some ("skeen-completeness", detail)
+              | Ok () -> None
+            else None)
+  in
+  let bcasts =
+    List.length
+      (List.filter
+         (fun (_, a) -> match a with To_action.Bcast _ -> true | _ -> false)
+         (Timed.actions run.Skeen.trace))
+  in
+  {
+    case = case.name;
+    seed;
+    failure;
+    bcasts;
+    deliveries = Skeen.deliveries run;
+    events_processed = run.Skeen.events_processed;
+  }
+
+let run_all profile ~seed =
+  List.map (fun case -> check profile ~seed case) (cases profile)
+
+let passed outcome = Option.is_none outcome.failure
+
+let pp_outcome ppf o =
+  match o.failure with
+  | None ->
+      Format.fprintf ppf "%-16s seed %d: OK (%d bcasts, %d deliveries)" o.case
+        o.seed o.bcasts o.deliveries
+  | Some (check, detail) ->
+      Format.fprintf ppf "%-16s seed %d: FAILED %s: %s" o.case o.seed check
+        detail

@@ -1,0 +1,65 @@
+open Gcs_core
+open Gcs_skeen
+
+(** The conformance suite for the Skeen total-order backend.
+
+    The same five fault shapes as {!Suite} (clean, partition + heal,
+    crash + recover, ugly link, slow processor), the same two backends —
+    but the oracle set is Skeen's own:
+
+    - the multi-group order oracle ({!Skeen.check_group_order}):
+      deliveries only at declared destinations, at most once, causally
+      after submission, per-origin FIFO within equal destination sets,
+      and pairwise agreement on the order of shared messages;
+    - the per-node structural invariants
+      ({!Skeen.node_invariant_failure});
+    - completeness ({!Skeen.check_complete}) on the {e clean} case only:
+      Skeen has no retransmission, so a partition may permanently lose a
+      proposal — safety survives every fault, liveness only fault-free
+      runs.
+
+    The workload mixes full-group and overlapping-subset addressing, so
+    the partial-multicast paths are exercised on both backends. *)
+
+type profile = {
+  label : string;  (** backend name for reports, ["sim"] / ["bus"] *)
+  backend : Gcs_transport.Iface.backend;
+  config : Skeen.config;
+  beat : float;
+      (** scenario time unit: fault steps land on multiples of this *)
+  workload_spacing : float;  (** gap between client submissions *)
+  workload_count : int;  (** submissions per processor *)
+  slack : float;  (** horizon past the last fault step *)
+  use_stop : bool;
+      (** end clean bus runs once every submission and delivery is in
+          the trace (the horizon stays the failure fallback) *)
+}
+
+val sim_profile : ?n:int -> unit -> profile
+(** δ = 1 with FIFO links — Skeen's per-origin FIFO guarantee rests on
+    them (the bus is FIFO by construction). *)
+
+val bus_profile : ?n:int -> unit -> profile
+(** Wall-clock timing with fault beats of 0.5 s. *)
+
+type case = { name : string; scenario : Gcs_nemesis.Scenario.t }
+
+val cases : profile -> case list
+
+val workload : profile -> (float * Proc.t * Skeen.input) list
+(** The mixed-addressing workload a case runs, deterministic per
+    profile shape. *)
+
+type outcome = {
+  case : string;
+  seed : int;
+  failure : (string * string) option;  (** (oracle, detail); [None] = pass *)
+  bcasts : int;
+  deliveries : int;
+  events_processed : int;
+}
+
+val check : profile -> seed:int -> case -> outcome
+val run_all : profile -> seed:int -> outcome list
+val passed : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -197,9 +197,30 @@ let mutate ~procs ~prng ~fresh ~max_events corpus =
 
 (* ----------------------------- main loop ----------------------------- *)
 
-let run ?mutant ?jobs ?(batch = 8) ?(shrink_budget = 600) ?(max_events = 40)
-    ?progress ~config ~seed ~execs () =
+type service = Vstoto_stack | Skeen_backend
+
+let run ?mutant ?skeen_mutant ?service ?jobs ?(batch = 8)
+    ?(shrink_budget = 600) ?(max_events = 40) ?progress ~config ~seed ~execs
+    () =
   let procs = config.To_service.vs.Vs_node.procs in
+  (* A Skeen mutant implies the Skeen service: `gcs fuzz --mutant
+     skeen-*` needs no extra flag, so the CI canary loop iterates one
+     flat mutant list. *)
+  let service =
+    match service with
+    | Some s -> s
+    | None ->
+        if Option.is_some skeen_mutant then Skeen_backend else Vstoto_stack
+  in
+  let skeen_config = Gcs_skeen.Skeen.make_config ~procs in
+  let delta = config.To_service.vs.Vs_node.delta in
+  let execute input =
+    match service with
+    | Vstoto_stack -> Runner.execute ?mutant ~config input
+    | Skeen_backend ->
+        Runner.execute_skeen ?mutant:skeen_mutant ~delta ~config:skeen_config
+          input
+  in
   let prng = Prng.create seed in
   let fresh = ref 0 in
   let coverage = ref Coverage.empty in
@@ -220,9 +241,7 @@ let run ?mutant ?jobs ?(batch = 8) ?(shrink_budget = 600) ?(max_events = 40)
      coverage merging, corpus admission and failure selection do not
      depend on domain scheduling. *)
   let run_batch inputs =
-    let results =
-      Gcs_stdx.Pool.map ?jobs (fun i -> Runner.execute ?mutant ~config i) inputs
-    in
+    let results = Gcs_stdx.Pool.map ?jobs execute inputs in
     spent := !spent + List.length inputs;
     List.iter2
       (fun input obs ->
@@ -255,7 +274,11 @@ let run ?mutant ?jobs ?(batch = 8) ?(shrink_budget = 600) ?(max_events = 40)
     | None -> None
     | Some (input, f) ->
         let oracle =
-          Runner.oracle ?mutant ~config ~check:f.Runner.check
+          match service with
+          | Vstoto_stack -> Runner.oracle ?mutant ~config ~check:f.Runner.check
+          | Skeen_backend ->
+              Runner.skeen_oracle ?mutant:skeen_mutant ~delta
+                ~config:skeen_config ~check:f.Runner.check
         in
         Some (Shrink.minimize ~budget:shrink_budget ~oracle input f)
   in

@@ -35,8 +35,15 @@ type outcome = {
   shrunk : Shrink.result option;
 }
 
+type service = Vstoto_stack | Skeen_backend
+(** Which service an input drives: the VStoTO stack (default) or the
+    Skeen total-order backend with its own oracle chain
+    ({!Runner.execute_skeen}). *)
+
 val run :
   ?mutant:Mutant.t ->
+  ?skeen_mutant:Skeen_mutant.t ->
+  ?service:service ->
   ?jobs:int ->
   ?batch:int ->
   ?shrink_budget:int ->
@@ -51,7 +58,11 @@ val run :
     [execs] executions are spent. [batch] (default 8) candidates are
     generated per round; [max_events] (default 40) caps mutated schedule
     size; [jobs] defaults to [GCS_JOBS]; [progress] is called after every
-    round. *)
+    round. [service] selects the system under test; passing
+    [skeen_mutant] implies the Skeen service (the Skeen run reuses the
+    config's processor set and δ). [mutant] and [skeen_mutant] are
+    mutually exclusive in intent — the one matching the active service
+    is used, the other ignored. *)
 
 val stats_to_json : outcome -> string
 (** Flat deterministic JSON of the run's observable results (stats,

@@ -268,3 +268,175 @@ let oracle ?mutant ?backend ~config ~check input =
   match (execute ?mutant ?backend ~config input).verdict with
   | Some f when String.equal f.check check -> Some f
   | Some _ | None -> None
+
+(* --------------------------- skeen service --------------------------- *)
+
+open Gcs_skeen
+
+(* Destination subsets are derived, not stored: a deterministic hash of
+   (origin, value) picks a subset of the group (empty hash picks fall
+   back to full-group addressing). The same input therefore always runs
+   the same multi-group workload — through the fuzzer, the shrinker and
+   a repro replay alike. *)
+let skeen_dests ~procs origin value =
+  let h =
+    String.fold_left
+      (fun acc c -> (acc * 131) + Char.code c)
+      ((origin * 7) + 13)
+      value
+  in
+  List.filter (fun p -> (h lsr (p mod 12)) land 1 = 1) procs
+
+let skeen_workload ~procs workload =
+  List.map
+    (fun (t, p, v) ->
+      (t, p, { Skeen.value = v; dests = skeen_dests ~procs p v }))
+    workload
+
+(* Processor-free abstract-state features: bucketed pending-set size,
+   delivery count and logical-clock transitions. *)
+let skeen_transition_features pre post acc =
+  let edge tag f acc =
+    let b1 = Coverage.bucket (f pre) and b2 = Coverage.bucket (f post) in
+    if b1 = b2 then acc
+    else Coverage.add acc (Printf.sprintf "sk.%s:%d>%d" tag b1 b2)
+  in
+  acc
+  |> edge "pend" Skeen.node_pending
+  |> edge "del" Skeen.node_delivered
+  |> edge "clk" Skeen.node_clock
+
+let skeen_counter_names =
+  [
+    "engine.packets_sent.good";
+    "engine.packets_sent.self";
+    "engine.packets_sent.ugly";
+    "engine.packets_dropped.bad";
+    "engine.packets_dropped.ugly";
+    "engine.events_held.bad";
+    "engine.events_delayed.ugly";
+  ]
+
+let skeen_counter_features metrics ~bcasts ~deliveries acc =
+  let acc =
+    List.fold_left
+      (fun acc name ->
+        Coverage.add acc
+          (Printf.sprintf "m:%s=%d" name
+             (Coverage.bucket (Gcs_stdx.Metrics.counter metrics name))))
+      acc skeen_counter_names
+  in
+  let acc =
+    Coverage.add acc (Printf.sprintf "m:sk.bcasts=%d" (Coverage.bucket bcasts))
+  in
+  Coverage.add acc
+    (Printf.sprintf "m:sk.deliveries=%d" (Coverage.bucket deliveries))
+
+(* Skeen's oracle chain: the multi-group order oracle and the node
+   invariants on every run; completeness only on fault-free inputs —
+   the protocol has no retransmission, so any fault step may
+   legitimately wedge a destination. *)
+let skeen_verdict config ~workload ~faulty trace final_nodes =
+  match Skeen.check_group_order config ~workload trace with
+  | Error detail -> Some { check = "skeen-group-order"; detail }
+  | Ok () -> (
+      match Skeen.node_invariant_failure final_nodes with
+      | Some (check, detail) -> Some { check; detail }
+      | None ->
+          if faulty then None
+          else (
+            match Skeen.check_complete config ~workload trace with
+            | Error detail -> Some { check = "skeen-completeness"; detail }
+            | Ok () -> None))
+
+let execute_skeen_full ?mutant ?backend ?(delta = 1.0) ~config input =
+  let procs = config.Skeen.procs in
+  let scenario = Input.scenario ~procs input in
+  let workload = skeen_workload ~procs input.Input.workload in
+  let workload_end =
+    List.fold_left (fun acc (t, _, _) -> Float.max acc t) 0.0 workload
+  in
+  let until =
+    Float.max (Scenario.stabilization_time scenario) workload_end
+    +. (50.0 *. delta)
+  in
+  let faulty = input.Input.steps <> [] in
+  let cov = ref Coverage.empty in
+  (try
+     let failures = Scenario.compile ~procs scenario in
+     let metrics = Gcs_stdx.Metrics.create () in
+     let handlers = Skeen.handlers config in
+     let handlers =
+       match mutant with
+       | Some m -> m.Skeen_mutant.instrument config handlers
+       | None -> handlers
+     in
+     let observe _me pre post =
+       cov := skeen_transition_features pre post !cov
+     in
+     let trace, final_nodes, events_processed =
+       match backend with
+       | None ->
+           let result =
+             Engine.run ~metrics ~observe
+               { (Engine.default_config ~delta) with Engine.fifo = true }
+               ~procs ~handlers ~init:Skeen.initial ~inputs:workload ~failures
+               ~until
+               ~prng:(Gcs_stdx.Prng.create input.Input.seed)
+           in
+           ( result.Engine.trace,
+             result.Engine.final_states,
+             result.Engine.events_processed )
+       | Some (module B : Gcs_transport.Iface.BACKEND) ->
+           let result =
+             B.run ~metrics ~observe Skeen.packet_codec ~procs ~handlers
+               ~init:Skeen.initial ~inputs:workload ~failures ~until
+               ~seed:input.Input.seed
+           in
+           ( result.Gcs_transport.Iface.trace,
+             result.Gcs_transport.Iface.final_states,
+             result.Gcs_transport.Iface.events_processed )
+     in
+     let bcasts =
+       List.length
+         (List.filter
+            (fun (_, a) -> match a with To_action.Bcast _ -> true | _ -> false)
+            (Timed.actions trace))
+     in
+     let deliveries =
+       List.length
+         (List.filter
+            (fun (_, a) -> match a with To_action.Brcv _ -> true | _ -> false)
+            (Timed.actions trace))
+     in
+     cov := skeen_counter_features metrics ~bcasts ~deliveries !cov;
+     ( {
+         coverage = !cov;
+         verdict = skeen_verdict config ~workload ~faulty trace final_nodes;
+         bcasts;
+         deliveries;
+         events_processed;
+       },
+       trace )
+   with e ->
+     ( {
+         coverage = !cov;
+         verdict = Some { check = "crash"; detail = Printexc.to_string e };
+         bcasts = 0;
+         deliveries = 0;
+         events_processed = 0;
+       },
+       [] ))
+  [@gcs.lint.allow "P2"]
+
+let execute_skeen ?mutant ?backend ?delta ~config input =
+  fst (execute_skeen_full ?mutant ?backend ?delta ~config input)
+
+let replay_skeen ?mutant ?backend ?delta ~config input =
+  let obs, trace = execute_skeen_full ?mutant ?backend ?delta ~config input in
+  (trace, obs.verdict)
+
+let skeen_oracle ?mutant ?backend ?delta ~config ~check input =
+  match (execute_skeen ?mutant ?backend ?delta ~config input).verdict with
+  | Some f when String.equal f.check check -> Some f
+  | Some _ | None -> None

@@ -71,3 +71,47 @@ val oracle :
 (** The shrinker's test function: [Some f] iff executing the input fails
     the {e same} check as the failure being minimized (so a reduction
     cannot drift to a different bug). *)
+
+(** {2 The Skeen service}
+
+    The same fuzz inputs driven through the Skeen backend
+    ({!Gcs_skeen.Skeen}) instead of the VStoTO stack. Destination
+    subsets are derived from a deterministic hash of (origin, value) —
+    see {!skeen_dests} — so an input replays to the identical
+    multi-group workload everywhere. The oracle chain is Skeen's own:
+    the multi-group order oracle and the node invariants on every run,
+    completeness on fault-free inputs only (no retransmission), and
+    crash-as-verdict. *)
+
+val skeen_dests :
+  procs:Gcs_core.Proc.t list -> Gcs_core.Proc.t -> Gcs_core.Value.t ->
+  Gcs_core.Proc.t list
+(** The derived destination subset (empty = full group after
+    normalization). *)
+
+val execute_skeen :
+  ?mutant:Skeen_mutant.t ->
+  ?backend:Gcs_transport.Iface.backend ->
+  ?delta:float ->
+  config:Gcs_skeen.Skeen.config ->
+  Input.t ->
+  observation
+(** [delta] (default 1.0) sets the simulated link bound; the simulator
+    runs with FIFO links (Skeen's per-origin FIFO rests on them). *)
+
+val replay_skeen :
+  ?mutant:Skeen_mutant.t ->
+  ?backend:Gcs_transport.Iface.backend ->
+  ?delta:float ->
+  config:Gcs_skeen.Skeen.config ->
+  Input.t ->
+  Gcs_core.Value.t Gcs_core.To_action.t Gcs_core.Timed.t * failure option
+
+val skeen_oracle :
+  ?mutant:Skeen_mutant.t ->
+  ?backend:Gcs_transport.Iface.backend ->
+  ?delta:float ->
+  config:Gcs_skeen.Skeen.config ->
+  check:string ->
+  Input.t ->
+  failure option

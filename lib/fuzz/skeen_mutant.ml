@@ -1,0 +1,149 @@
+open Gcs_core
+open Gcs_skeen
+open Gcs_sim
+
+type handlers =
+  (Skeen.node, Skeen.input, Skeen.packet, Value.t To_action.t)
+  Engine.handlers
+
+type t = {
+  name : string;
+  doc : string;
+  expected_checks : string list;
+  instrument : Skeen.config -> handlers -> handlers;
+}
+
+(* Rewrite every effect batch through [f me post_state effects]. *)
+let rewrite f (h : handlers) : handlers =
+  {
+    Engine.on_start =
+      (fun me st ->
+        let st', es = h.Engine.on_start me st in
+        (st', f me st' es));
+    on_input =
+      (fun me ~now v st ->
+        let st', es = h.Engine.on_input me ~now v st in
+        (st', f me st' es));
+    on_packet =
+      (fun me ~now ~src p st ->
+        let st', es = h.Engine.on_packet me ~now ~src p st in
+        (st', f me st' es));
+    on_timer =
+      (fun me ~now ~id st ->
+        let st', es = h.Engine.on_timer me ~now ~id st in
+        (st', f me st' es));
+  }
+
+(* Fire-once latch in the closure, fresh per [instrument] call, so
+   instrumented runs fanned out on a domain pool stay independent. *)
+let once f h =
+  let fired = ref false in
+  rewrite
+    (fun me st es ->
+      if !fired then es
+      else
+        match f me st es with
+        | Some es' ->
+            fired := true;
+            es'
+        | None -> es)
+    h
+
+let split_at p es =
+  let rec go before = function
+    | [] -> None
+    | e :: rest when p e -> Some (List.rev before, e, rest)
+    | e :: rest -> go (e :: before) rest
+  in
+  go [] es
+
+let is_commit = function
+  | Engine.Send { packet = Skeen.Commit _; _ } -> true
+  | _ -> false
+
+let commit_skew =
+  {
+    name = "skeen-commit-skew";
+    doc =
+      "one destination receives a commit with a lowered final timestamp \
+       (the others keep the true maximum)";
+    expected_checks = [ "skeen-group-order"; "skeen-node-invariant" ];
+    instrument =
+      (fun _config h ->
+        once
+          (fun _me _st es ->
+            (* Trigger on a multi-destination commit fan-out whose final
+               clock is high enough to lower meaningfully: the skewed
+               destination sorts the message earlier than its peers. *)
+            if List.length (List.filter is_commit es) < 2 then None
+            else
+              match split_at is_commit es with
+              | Some
+                  ( before,
+                    Engine.Send
+                      { dst; packet = Skeen.Commit { mid; ts } },
+                    after )
+                when ts.Skeen.clock >= 3 ->
+                  Some
+                    (before
+                    @ Engine.Send
+                        {
+                          dst;
+                          packet =
+                            Skeen.Commit
+                              { mid; ts = { ts with Skeen.clock = ts.Skeen.clock - 2 } };
+                        }
+                      :: after)
+              | Some _ | None -> None)
+          h);
+  }
+
+let drop_proposal =
+  {
+    name = "skeen-drop-proposal";
+    doc =
+      "a timestamp proposal is silently lost, so the origin never commits \
+       and the message wedges its destinations";
+    expected_checks = [ "skeen-completeness" ];
+    instrument =
+      (fun _config h ->
+        once
+          (fun _me st es ->
+            if Skeen.node_clock st < 2 then None
+            else
+              match
+                split_at
+                  (function
+                    | Engine.Send { packet = Skeen.Proposal _; _ } -> true
+                    | _ -> false)
+                  es
+              with
+              | Some (before, _, after) -> Some (before @ after)
+              | None -> None)
+          h);
+  }
+
+let is_brcv = function
+  | Engine.Output (To_action.Brcv _) -> true
+  | _ -> false
+
+let dup_deliver =
+  {
+    name = "skeen-dup-deliver";
+    doc = "a delivery is handed to the client twice";
+    expected_checks = [ "skeen-group-order" ];
+    instrument =
+      (fun _config h ->
+        once
+          (fun _me st es ->
+            if Skeen.node_delivered st < 2 then None
+            else
+              match split_at is_brcv es with
+              | Some (before, hit, after) -> Some (before @ [ hit; hit ] @ after)
+              | None -> None)
+          h);
+  }
+
+let all = [ commit_skew; drop_proposal; dup_deliver ]
+let find name = List.find_opt (fun m -> String.equal m.name name) all
+let names = List.map (fun m -> m.name) all

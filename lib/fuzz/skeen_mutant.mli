@@ -1,0 +1,27 @@
+open Gcs_core
+open Gcs_skeen
+
+(** Planted bugs for the Skeen backend, validating that the fuzzer's
+    Skeen oracle set ({!Runner.execute_skeen}) can catch real protocol
+    defects: a skewed final timestamp at one destination (order
+    disagreement), a lost timestamp proposal (wedged destinations, caught
+    by fault-free completeness), and a duplicated client delivery. Same
+    contract as {!Mutant}: each rewrite fires once per run behind a
+    state-dependent trigger, with the latch allocated per [instrument]
+    call so pooled runs stay independent. *)
+
+type handlers =
+  (Skeen.node, Skeen.input, Skeen.packet, Value.t To_action.t)
+  Gcs_sim.Engine.handlers
+
+type t = {
+  name : string;
+  doc : string;  (** the emulated defect, one line *)
+  expected_checks : string list;
+      (** oracles that may flag it, e.g. [["skeen-group-order"]] *)
+  instrument : Skeen.config -> handlers -> handlers;
+}
+
+val all : t list
+val find : string -> t option
+val names : string list

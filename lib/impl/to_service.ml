@@ -122,15 +122,53 @@ let drain ?metrics config me node =
   in
   go node []
 
+(* Submit values to the VStoTO automaton (after any staging delay): all
+   bcasts are applied first, then a single drain labels them and [gpsnd]s
+   the whole buffer as one batch. *)
+let submit_batch ?metrics config me values node =
+  let app =
+    List.fold_left
+      (fun app value -> apply_app config me (Sys_action.Bcast (me, value)) app)
+      node.app values
+  in
+  drain ?metrics config me { node with app }
+
 (* Route the effects produced by the VS node: VS outputs addressed to this
    processor become VStoTO inputs (then we drain); other effects pass
    through with outputs tagged. *)
 let absorb_vs_effects ?metrics config me (node, effects) =
   let rec go node acc_rev = function
     | [] -> (node, List.rev acc_rev)
-    | Engine.Output (Vs_action.Gprcv _ as a) :: rest
-    | Engine.Output (Vs_action.Safe _ as a) :: rest
     | Engine.Output (Vs_action.Newview _ as a) :: rest ->
+        let app = apply_app config me (Sys_action.Vs a) node.app in
+        let node = { node with app } in
+        (* Flush anything still staged into the new view: a value accepted
+           before the view change would otherwise sit in [staging] with no
+           guarantee its flush timer survives whatever killed the old view
+           (a recovering processor re-enters through [Newview], not
+           [on_start]). [Bcast] is accepted in every VStoTO status, so
+           submitting here is always safe, and the values get labels of
+           the new view — batches stay view-homogeneous. *)
+        let staged =
+          List.map snd (Gcs_stdx.Tape.to_list node.staging)
+        in
+        let node = { node with staging = Gcs_stdx.Tape.empty () } in
+        let cancel =
+          match staged with
+          | [] -> []
+          | _ :: _ -> [ Engine.Cancel_timer { id = timer_flush } ]
+        in
+        let node, drained =
+          match staged with
+          | [] -> drain ?metrics config me node
+          | values -> submit_batch ?metrics config me values node
+        in
+        go node
+          (List.rev_append drained
+             (List.rev_append cancel (Engine.Output (Vs_layer a) :: acc_rev)))
+          rest
+    | Engine.Output (Vs_action.Gprcv _ as a) :: rest
+    | Engine.Output (Vs_action.Safe _ as a) :: rest ->
         let app = apply_app config me (Sys_action.Vs a) node.app in
         let node = { node with app } in
         let node, drained = drain ?metrics config me node in
@@ -151,19 +189,16 @@ let lift_vs ?metrics config me f node =
   absorb_vs_effects ?metrics config me
     ({ node with vs_state = vs_state' }, effects)
 
-(* Submit values to the VStoTO automaton (after any staging delay): all
-   bcasts are applied first, then a single drain labels them and [gpsnd]s
-   the whole buffer as one batch. *)
-let submit_batch ?metrics config me values node =
-  let app =
-    List.fold_left
-      (fun app value -> apply_app config me (Sys_action.Bcast (me, value)) app)
-      node.app values
-  in
-  drain ?metrics config me { node with app }
-
 let handlers ?metrics config =
-  let vs_handlers = Vs_node.handlers ?metrics config.vs in
+  (* With a batch window, every node's initial flush happens at ~window
+     on any clock; pushing the leader's first token launch past it (3x
+     margin) makes the first rotation's pickup order — leader's batch,
+     then followers' in ring order — backend-independent. See
+     [Vs_node.handlers]. *)
+  let first_launch_delay =
+    Option.map (fun w -> 3.0 *. w) config.batch_window
+  in
+  let vs_handlers = Vs_node.handlers ?metrics ?first_launch_delay config.vs in
   let on_start me node =
     lift_vs ?metrics config me (vs_handlers.Engine.on_start me) node
   in
@@ -198,38 +233,47 @@ let handlers ?metrics config =
       (* Pure batching: everything staged when the window closes goes out
          as one batch. With a stable-storage latency, a value may only be
          submitted once its write completed, so flush the due prefix (due
-         times are nondecreasing: same delay for every arrival). *)
-      let n = Gcs_stdx.Tape.length node.staging in
-      let k =
-        match config.stable_storage_latency with
-        | None -> n
-        | Some _ ->
-            let rec due_count i =
-              if i >= n then i
-              else
-                let t, _ = Gcs_stdx.Tape.get node.staging i in
-                if t <= now +. 1e-9 then due_count (i + 1) else i
-            in
-            due_count 0
+         times are nondecreasing: same delay for every arrival). The loop
+         drains until no entry is due, so the re-armed delay is strictly
+         positive — a due-now head must flush in this step, never re-arm
+         a zero-delay timer. *)
+      let due_limit = now +. 1e-9 in
+      let rec flush_due node effects_rev =
+        let n = Gcs_stdx.Tape.length node.staging in
+        let k =
+          match config.stable_storage_latency with
+          | None -> n
+          | Some _ ->
+              let rec due_count i =
+                if i >= n then i
+                else
+                  let t, _ = Gcs_stdx.Tape.get node.staging i in
+                  if t <= due_limit then due_count (i + 1) else i
+              in
+              due_count 0
+        in
+        if k = 0 then (node, effects_rev)
+        else begin
+          let flushed = ref [] in
+          for i = k - 1 downto 0 do
+            flushed := snd (Gcs_stdx.Tape.get node.staging i) :: !flushed
+          done;
+          let node =
+            { node with staging = Gcs_stdx.Tape.drop k node.staging }
+          in
+          let node, effects = submit_batch ?metrics config me !flushed node in
+          flush_due node (List.rev_append effects effects_rev)
+        end
       in
-      let flushed = ref [] in
-      for i = k - 1 downto 0 do
-        flushed := snd (Gcs_stdx.Tape.get node.staging i) :: !flushed
-      done;
-      let staging = Gcs_stdx.Tape.drop k node.staging in
-      let node = { node with staging } in
-      let node, effects =
-        match !flushed with
-        | [] -> (node, [])
-        | values -> submit_batch ?metrics config me values node
-      in
+      let node, effects_rev = flush_due node [] in
       let rearm =
-        if Gcs_stdx.Tape.is_empty staging then []
+        if Gcs_stdx.Tape.is_empty node.staging then []
         else
-          let t, _ = Gcs_stdx.Tape.get staging 0 in
-          [ Engine.Set_timer { id = timer_flush; delay = Float.max 0. (t -. now) } ]
+          let t, _ = Gcs_stdx.Tape.get node.staging 0 in
+          (* t > due_limit after the drain above, so the delay is > 0. *)
+          [ Engine.Set_timer { id = timer_flush; delay = t -. now } ]
       in
-      (node, effects @ rearm))
+      (node, List.rev effects_rev @ rearm))
     else lift_vs ?metrics config me (vs_handlers.Engine.on_timer me ~now ~id) node
   in
   { Engine.on_start; on_input; on_packet; on_timer }
@@ -254,6 +298,8 @@ let node_primary config me node =
   Vstoto.primary (node_params config me) node.app
 
 let node_views_installed node = Vs_node.views_installed node.vs_state
+
+let node_staging node = Gcs_stdx.Tape.to_list node.staging
 
 (* Walk the client trace after the run and fill in the TO-level metrics:
    bcast/brcv counts and the per-delivery bcastâbrcv latency histogram.

@@ -74,6 +74,12 @@ val node_primary : config -> Proc.t -> node -> bool
 val node_views_installed : node -> int
 (** Count of [newview] events at the VS layer of this node. *)
 
+val node_staging : node -> (float * Value.t) list
+(** The staged-but-unsubmitted values (due time, value), in arrival
+    order. Tests use it to pin the batching invariants: the flush timer
+    is pending iff this is nonempty, and a view change leaves it empty
+    (staged values are flushed into the new view, never stranded). *)
+
 type run = {
   trace : out Timed.t;
   final_nodes : node Proc.Map.t;

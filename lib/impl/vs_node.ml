@@ -371,7 +371,7 @@ let probe_targets ?(protocol = Three_round) config state =
             List.filter (fun p -> not (View.mem p view)) config.procs
           else [])
 
-let on_start ?metrics config me state =
+let on_start ?metrics ?first_launch_delay config me state =
   ignore me;
   let probe =
     Engine.Set_timer
@@ -388,8 +388,19 @@ let on_start ?metrics config me state =
           { id = timer_token_timeout; delay = token_timeout config }
       in
       if Proc.equal (leader_of view) state.me then
-        let state, effects = launch_token ?metrics config ~now:0.0 state in
-        (state, (probe :: rearm :: effects))
+        match first_launch_delay with
+        | Some delay when delay > 0.0 ->
+            (* Defer the very first launch (instead of launching inside
+               [on_start]): layers that stage client submissions — the TO
+               service's batch window — use this so every node's initial
+               flush lands in its outbuf before any token can collect it,
+               making the first rotation's pickup order clock-independent.
+               Subsequent launches (relaunch spacing, view installs) are
+               unaffected. *)
+            (state, [ probe; rearm; Engine.Set_timer { id = timer_launch; delay } ])
+        | _ ->
+            let state, effects = launch_token ?metrics config ~now:0.0 state in
+            (state, (probe :: rearm :: effects))
       else (state, [ probe; rearm ])
 
 let on_input _config me ~now:_ msg state =
@@ -480,9 +491,9 @@ let on_timer ?metrics ?(protocol = Three_round) config me ~now ~id state =
   else if id = timer_launch then launch_token ?metrics config ~now state
   else (state, [])
 
-let handlers ?metrics ?(protocol = Three_round) config =
+let handlers ?metrics ?(protocol = Three_round) ?first_launch_delay config =
   {
-    Engine.on_start = on_start ?metrics config;
+    Engine.on_start = on_start ?metrics ?first_launch_delay config;
     on_input = on_input config;
     on_packet = on_packet ?metrics ~protocol config;
     on_timer = on_timer ?metrics ~protocol config;

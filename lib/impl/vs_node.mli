@@ -38,12 +38,20 @@ val initial : config -> Proc.t -> 'm state
 val handlers :
   ?metrics:Gcs_stdx.Metrics.t ->
   ?protocol:protocol ->
+  ?first_launch_delay:float ->
   config ->
   ('m state, 'm, 'm Wire.packet, 'm Vs_action.t) Gcs_sim.Engine.handlers
 (** Inputs are client messages ([gpsnd]); outputs are VS external
     actions. When [metrics] is given, the node counts [vs.*] events
     into it: views installed, tokens launched, leader token round-trips
-    and membership rounds initiated. *)
+    and membership rounds initiated.
+
+    [first_launch_delay]: defer the leader's {e first} token launch by
+    that long instead of launching at [on_start]. Layers that stage
+    client submissions (the TO service's batch window) set it past their
+    initial flush, so whether the leader's own first batch boards the
+    first rotation no longer depends on the backend's clock; launches
+    after view installs and the relaunch spacing are unaffected. *)
 
 val client_send :
   config ->

@@ -94,6 +94,11 @@ module F = struct
       go [] raw
 end
 
+module Framing = struct
+  let encode = F.encode
+  let decode = F.decode
+end
+
 let ( let* ) = Result.bind
 let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
 

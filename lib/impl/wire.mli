@@ -56,3 +56,33 @@ val msg_packet_codec : Msg.t packet Gcs_transport.Iface.codec
 
 val string_packet_codec : string packet Gcs_transport.Iface.codec
 (** Packets over raw string payloads (tests and simple clients). *)
+
+(** {2 Field framing}
+
+    The framing primitive under every codec in this module, exported so
+    sibling wire formats (the Skeen and sequencer backends, application
+    codecs) compose with the same escaping discipline instead of
+    inventing a second one: fields join with ['|'], escaping ['%'] and
+    ['|']; the empty field list gets a marker that escaping can never
+    produce. Nested records are just fields, so structures compose by
+    re-encoding — the innermost level is escaped the most. *)
+
+module Framing : sig
+  val encode : string list -> string
+
+  val decode : string -> string list option
+  (** Total: [None] on malformed bytes (stray ['%'], bare ['|'] inside a
+      field), never an exception. *)
+end
+
+val fields_of : string -> string -> (string list, string) result
+(** [fields_of label s] is {!Framing.decode} in the [result] error style
+    of the decoders here, with [label] naming the field in the error. *)
+
+val int_of : string -> string -> (int, string) result
+
+val enc_list : ('a -> string) -> 'a list -> string
+(** Encode a list as one field (each element [enc]-ed, then framed). *)
+
+val dec_list :
+  string -> (string -> ('a, string) result) -> string -> ('a list, string) result

@@ -30,6 +30,28 @@ let check_profile profile () =
           o.Suite.deliveries)
     outcomes
 
+(* The Skeen backend's battery: its own oracle set (group order, node
+   invariants, completeness on the clean case) over the same five fault
+   shapes. Faulty cases can legitimately lose liveness (no retransmit),
+   so the vacuity floor is per-case: the clean case must deliver the
+   whole mixed-addressing workload, every case must deliver something. *)
+let check_skeen_profile profile () =
+  let outcomes = Skeen_suite.run_all profile ~seed:7 in
+  Alcotest.(check int) "all cases ran" 5 (List.length outcomes);
+  let full =
+    Gcs_skeen.Skeen.expected_deliveries profile.Skeen_suite.config
+      (Skeen_suite.workload profile)
+  in
+  List.iter
+    (fun o ->
+      if not (Skeen_suite.passed o) then
+        Alcotest.failf "%s" (Format.asprintf "%a" Skeen_suite.pp_outcome o);
+      let floor = if o.Skeen_suite.case = "clean" then full else 1 in
+      if o.Skeen_suite.deliveries < floor then
+        Alcotest.failf "%s: only %d deliveries (floor %d) — vacuous run?"
+          o.Skeen_suite.case o.Skeen_suite.deliveries floor)
+    outcomes
+
 let () =
   Alcotest.run "cross-transport conformance"
     [
@@ -43,6 +65,8 @@ let () =
              TO-conformance. *)
           Alcotest.test_case "all cases, all oracles (batched)" `Quick
             (check_profile (Suite.sim_profile ~batch_window:2.0 ()));
+          Alcotest.test_case "skeen: all cases, skeen oracles" `Quick
+            (check_skeen_profile (Skeen_suite.sim_profile ()));
         ] );
       ( "bus",
         [
@@ -50,5 +74,7 @@ let () =
             (check_profile (Suite.bus_profile ()));
           Alcotest.test_case "all cases, all oracles (batched)" `Slow
             (check_profile (Suite.bus_profile ~batch_window:0.2 ()));
+          Alcotest.test_case "skeen: all cases, skeen oracles" `Slow
+            (check_skeen_profile (Skeen_suite.bus_profile ()));
         ] );
     ]

@@ -35,13 +35,13 @@ let run_pairs ?batch_window () =
 
 let test_pairs () = run_pairs ()
 
-(* The same sweep with submission batching on: each origin's workload
-   leaves as one Msg.Batch, and sim and bus must still agree on every
-   per-node delivered order. The window must close before the first
-   token launch (window < π = 0.15) — a wider window flushes while the
-   token is already circulating, and which batch boards first becomes a
-   race the two clocks resolve differently (see Differential's
-   anchoring note). *)
+(* The same sweep with submission batching on: each origin's workload —
+   the leader's included — leaves as one Msg.Batch, and sim and bus must
+   still agree on every per-node delivered order. The TO service defers
+   the leader's first token launch to 3×window, so every node's initial
+   flush (at ~window) lands before the token starts collecting on either
+   clock; the old leader-as-origin race is gone and no origin exclusion
+   applies (see Differential's anchoring note). *)
 let test_pairs_batched () = run_pairs ~batch_window:0.05 ()
 
 let () =

@@ -251,6 +251,120 @@ let test_batching_variant () =
         (Printf.sprintf "multi-value batches formed (max %.0f)" max_batch)
         true (max_batch > 1.5)
 
+let test_batching_timer_invariant () =
+  (* Drive the TO-service handlers directly and pin the flush-timer
+     contract: armed exactly on the empty→nonempty staging transition,
+     every due entry drained per firing, re-armed with a strictly
+     positive delay iff staging stays nonempty. Stable storage is set so
+     due times matter (only the due prefix may flush). *)
+  let b_config =
+    To_service.make_config ~batch_window:2.0 ~stable_storage_latency:2.0
+      vs_config
+  in
+  let h = To_service.handlers b_config in
+  let me = 1 in
+  let set_timers effects =
+    List.filter_map
+      (function
+        | Gcs_sim.Engine.Set_timer { id; delay } -> Some (id, delay)
+        | _ -> None)
+      effects
+  in
+  let node = To_service.initial b_config me in
+  let node, effects = h.Gcs_sim.Engine.on_input me ~now:5.0 "a" node in
+  let flush_id, delay0 =
+    match set_timers effects with
+    | [ (id, d) ] -> (id, d)
+    | l -> Alcotest.failf "first staged value armed %d timers" (List.length l)
+  in
+  Alcotest.(check (float 1e-9)) "armed for the submit delay" 2.0 delay0;
+  Alcotest.(check int) "one value staged" 1
+    (List.length (To_service.node_staging node));
+  let node, effects = h.Gcs_sim.Engine.on_input me ~now:6.0 "b" node in
+  Alcotest.(check int) "no re-arm while staging nonempty" 0
+    (List.length (set_timers effects));
+  Alcotest.(check int) "two values staged" 2
+    (List.length (To_service.node_staging node));
+  (* First firing: only "a" is due; "b" (due 8.0) must survive, and the
+     re-arm must target it with a strictly positive delay. *)
+  let node, effects = h.Gcs_sim.Engine.on_timer me ~now:7.0 ~id:flush_id node in
+  (match To_service.node_staging node with
+  | [ (t, v) ] ->
+      Alcotest.(check string) "undue value kept" "b" v;
+      Alcotest.(check (float 1e-9)) "kept its due time" 8.0 t
+  | l -> Alcotest.failf "expected 1 staged value after flush, got %d" (List.length l));
+  (match set_timers effects with
+  | [ (id, d) ] ->
+      Alcotest.(check int) "re-armed the flush timer" flush_id id;
+      Alcotest.(check bool)
+        (Printf.sprintf "strictly positive re-arm delay (%.3f)" d)
+        true (d > 0.0)
+  | l -> Alcotest.failf "expected 1 re-arm, got %d" (List.length l));
+  (* Second firing drains the rest: staging empty ⇒ no timer pending. *)
+  let node, effects = h.Gcs_sim.Engine.on_timer me ~now:8.0 ~id:flush_id node in
+  Alcotest.(check int) "staging drained" 0
+    (List.length (To_service.node_staging node));
+  Alcotest.(check int) "no timer armed on empty staging" 0
+    (List.length (set_timers effects));
+  (* Co-due entries: two values staged at the same instant flush in ONE
+     firing — the drain loop may not leave a due entry behind (a leftover
+     would force a zero-delay re-arm). *)
+  let node, _ = h.Gcs_sim.Engine.on_input me ~now:10.0 "c" node in
+  let node, _ = h.Gcs_sim.Engine.on_input me ~now:10.0 "d" node in
+  let node, effects = h.Gcs_sim.Engine.on_timer me ~now:12.0 ~id:flush_id node in
+  Alcotest.(check int) "co-due entries drained together" 0
+    (List.length (To_service.node_staging node));
+  Alcotest.(check int) "nothing re-armed afterwards" 0
+    (List.length (set_timers effects))
+
+let test_submit_during_view_change () =
+  (* Regression: values staged when a Newview lands must be flushed into
+     the new view, not stranded. A steady submission stream across a
+     partition and heal keeps staging nonempty at most instants, so each
+     view install catches staged values; the observer asserts staging is
+     empty immediately after every install, and completeness at the
+     horizon shows no accepted value was lost. *)
+  let b_config = To_service.make_config ~batch_window:3.0 vs_config in
+  let wl =
+    List.concat_map
+      (fun p ->
+        List.init 30 (fun k ->
+            ( 15.0 +. (float_of_int k *. 1.4) +. (0.11 *. float_of_int p),
+              p,
+              Printf.sprintf "w%d.%d" p k )))
+      procs
+  in
+  let failures =
+    partition_at 40.0 [ [ 0; 1; 2 ]; [ 3; 4 ] ] @ heal_at 120.0
+  in
+  let caught_staged = ref false in
+  let observe _p pre post =
+    if
+      To_service.node_views_installed post
+      > To_service.node_views_installed pre
+    then begin
+      if To_service.node_staging pre <> [] then caught_staged := true;
+      Alcotest.(check int) "staging empty right after a view install" 0
+        (List.length (To_service.node_staging post))
+    end
+  in
+  let run =
+    To_service.run_on ~observe
+      ~backend:
+        (Gcs_sim.Backend.of_config (Gcs_sim.Engine.default_config ~delta))
+      b_config ~workload:wl ~failures ~until:500.0 ~seed:47
+  in
+  (match To_service.to_conforms b_config run with
+  | Ok () -> ()
+  | Error err ->
+      Alcotest.failf "view-change batching trace rejected: %s"
+        (Format.asprintf "%a" To_trace_checker.pp_error err));
+  Alcotest.(check bool)
+    "some view install actually caught staged values" true !caught_staged;
+  Alcotest.(check int) "no accepted value lost across view changes"
+    (n * List.length wl)
+    (To_service.deliveries run)
+
 let test_weighted_quorum_primary () =
   (* The paper fixes an arbitrary intersecting quorum system Q, not
      necessarily majorities. Give processor 0 enough weight that {0, x} is
@@ -340,6 +454,10 @@ let () =
             test_stable_storage_variant;
           Alcotest.test_case "batching delivers all, in order" `Quick
             test_batching_variant;
+          Alcotest.test_case "flush timer invariant" `Quick
+            test_batching_timer_invariant;
+          Alcotest.test_case "submit during view change" `Quick
+            test_submit_during_view_change;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_random_failures_preserve_to ] );

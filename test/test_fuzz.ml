@@ -121,10 +121,51 @@ let test_no_false_positives_batched () =
       Alcotest.failf "batched clean run failed %s on:\n%s" f.Runner.check
         (Input.to_string input)
 
+(* The Skeen service on the same inputs: a clean build must pass its
+   oracle chain (group order, node invariants, fault-free completeness)
+   across a modest fuzz budget. *)
+let test_no_false_positives_skeen () =
+  let outcome =
+    Fuzz.run ~service:Fuzz.Skeen_backend ~jobs:2 ~config ~seed:5 ~execs:150 ()
+  in
+  match outcome.Fuzz.failure with
+  | None -> ()
+  | Some (input, f) ->
+      Alcotest.failf "clean skeen run failed %s on:\n%s" f.Runner.check
+        (Input.to_string input)
+
 (* ------------------------- planted bugs ----------------------------- *)
 
 let find_and_shrink mutant =
   Fuzz.run ~mutant ~jobs:2 ~config ~seed:7 ~execs:800 ~shrink_budget:400 ()
+
+let find_and_shrink_skeen skeen_mutant =
+  Fuzz.run ~skeen_mutant ~jobs:2 ~config ~seed:7 ~execs:800 ~shrink_budget:400
+    ()
+
+let test_skeen_mutant m () =
+  let outcome = find_and_shrink_skeen m in
+  match (outcome.Fuzz.failure, outcome.Fuzz.shrunk) with
+  | None, _ ->
+      Alcotest.failf "skeen mutant %s not found within budget"
+        m.Skeen_mutant.name
+  | Some _, None ->
+      Alcotest.failf "skeen mutant %s found but not shrunk" m.Skeen_mutant.name
+  | Some (original, f), Some s ->
+      if not (List.mem f.Runner.check m.Skeen_mutant.expected_checks) then
+        Alcotest.failf "skeen mutant %s blamed %s (expected one of: %s)"
+          m.Skeen_mutant.name f.Runner.check
+          (String.concat ", " m.Skeen_mutant.expected_checks);
+      let before = Input.events original
+      and after = Input.events s.Shrink.input in
+      if after > before then
+        Alcotest.failf "skeen mutant %s: shrink grew %d -> %d events"
+          m.Skeen_mutant.name before after;
+      if after > 25 then
+        Alcotest.failf "skeen mutant %s: shrunk repro still has %d events"
+          m.Skeen_mutant.name after;
+      Alcotest.(check string)
+        "shrunk failure check" f.Runner.check s.Shrink.failure.Runner.check
 
 let test_mutant m () =
   let outcome = find_and_shrink m in
@@ -227,6 +268,11 @@ let mutant_cases =
       Alcotest.test_case (m.Mutant.name ^ " found and shrunk") `Slow
         (test_mutant m))
     Mutant.all
+  @ List.map
+      (fun m ->
+        Alcotest.test_case (m.Skeen_mutant.name ^ " found and shrunk") `Slow
+          (test_skeen_mutant m))
+      Skeen_mutant.all
 
 let () =
   Alcotest.run "fuzz"
@@ -249,6 +295,8 @@ let () =
             test_no_false_positives;
           Alcotest.test_case "no false positives (batched)" `Quick
             test_no_false_positives_batched;
+          Alcotest.test_case "no false positives (skeen)" `Quick
+            test_no_false_positives_skeen;
         ] );
       ("planted", mutant_cases);
       ( "shrink",

@@ -1,0 +1,298 @@
+(* Tests for the Skeen timestamp total-order backend: full-group runs
+   against the classic TO oracle, multi-group runs against the
+   group-order oracle, the 3-hop latency contrast with the token ring,
+   codec totality, and sim-vs-bus agreement through the transport seam. *)
+
+open Gcs_core
+open Gcs_skeen
+
+let procs = Proc.all ~n:4
+let delta = 1.0
+let config = Skeen.make_config ~procs
+
+let full_workload ~senders ~from_time ~spacing ~count =
+  List.concat_map
+    (fun (i, p) ->
+      List.init count (fun k ->
+          ( from_time +. (float_of_int k *. spacing) +. (0.17 *. float_of_int i),
+            p,
+            Skeen.full_group (Printf.sprintf "s%d.%d" p k) )))
+    (List.mapi (fun i p -> (i, p)) senders)
+
+let check_ok label = function
+  | Ok () -> ()
+  | Error detail -> Alcotest.failf "%s: %s" label detail
+
+let check_invariants run =
+  match Skeen.node_invariant_failure run.Skeen.final_nodes with
+  | None -> ()
+  | Some (check, detail) -> Alcotest.failf "%s: %s" check detail
+
+let deliveries_at p run =
+  List.length
+    (List.filter
+       (fun (_, a) ->
+         match a with
+         | To_action.Brcv { dst; _ } -> Proc.equal dst p
+         | _ -> false)
+       (Timed.actions run.Skeen.trace))
+
+let test_steady_state () =
+  List.iter
+    (fun seed ->
+      let workload =
+        full_workload ~senders:procs ~from_time:5.0 ~spacing:5.0 ~count:10
+      in
+      let run =
+        Skeen.run ~delta config ~workload ~failures:[] ~until:300.0 ~seed
+      in
+      (match Skeen.to_conforms config run with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "skeen trace rejected: %s"
+            (Format.asprintf "%a" To_trace_checker.pp_error e));
+      check_ok "group order" (Skeen.check_group_order config ~workload run.trace);
+      check_ok "complete" (Skeen.check_complete config ~workload run.trace);
+      Alcotest.(check int) "everything delivered everywhere"
+        (Skeen.expected_deliveries config workload)
+        (Skeen.deliveries run);
+      check_invariants run;
+      Proc.Map.iter
+        (fun p node ->
+          Alcotest.(check int)
+            (Printf.sprintf "no pending at %d" p)
+            0
+            (Skeen.node_pending node);
+          Alcotest.(check int)
+            (Printf.sprintf "no outstanding at %d" p)
+            0
+            (Skeen.node_outstanding node))
+        run.final_nodes)
+    [ 1; 2; 3 ]
+
+let test_multi_group () =
+  (* Overlapping subsets: {0,1}, {1,2,3}, {0,2} and the full group, from
+     several origins (an origin need not address itself). *)
+  List.iter
+    (fun seed ->
+      let subset i =
+        match i mod 4 with
+        | 0 -> [ 0; 1 ]
+        | 1 -> [ 1; 2; 3 ]
+        | 2 -> [ 0; 2 ]
+        | _ -> []
+      in
+      let workload =
+        List.init 24 (fun i ->
+            let p = List.nth procs (i mod 4) in
+            ( 5.0 +. (1.3 *. float_of_int i),
+              p,
+              { Skeen.value = Printf.sprintf "m%d.%d" p i; dests = subset i } ))
+      in
+      let run =
+        Skeen.run ~delta config ~workload ~failures:[] ~until:200.0 ~seed
+      in
+      check_ok "group order" (Skeen.check_group_order config ~workload run.trace);
+      check_ok "complete" (Skeen.check_complete config ~workload run.trace);
+      check_invariants run;
+      (* Per-node counts follow from the destination sets alone. *)
+      List.iter
+        (fun p ->
+          let expected =
+            List.length
+              (List.filter
+                 (fun (_, _, input) ->
+                   List.exists (Proc.equal p)
+                     (Skeen.normalize_dests config input.Skeen.dests))
+                 workload)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "deliveries at %d" p)
+            expected (deliveries_at p run))
+        procs)
+    [ 11; 12; 13 ]
+
+let test_sender_fifo () =
+  (* One origin, one destination subset: FIFO links force submission
+     order at every destination. *)
+  let dests = [ 0; 2 ] in
+  let workload =
+    List.init 12 (fun k ->
+        ( 5.0 +. (0.4 *. float_of_int k),
+          3,
+          { Skeen.value = Printf.sprintf "f%d" k; dests } ))
+  in
+  let run = Skeen.run ~delta config ~workload ~failures:[] ~until:100.0 ~seed:5 in
+  check_ok "group order" (Skeen.check_group_order config ~workload run.trace);
+  check_ok "complete" (Skeen.check_complete config ~workload run.trace);
+  let expected = List.init 12 (fun k -> Printf.sprintf "3:f%d" k) in
+  List.iter
+    (fun (p, order) ->
+      if List.exists (Proc.equal p) dests then
+        Alcotest.(check (list string))
+          (Printf.sprintf "submission order at %d" p)
+          expected order
+      else
+        Alcotest.(check (list string))
+          (Printf.sprintf "nothing at %d" p)
+          [] order)
+    (Skeen.orders procs run)
+
+let test_partition_safety () =
+  (* Cut {0,1} from {2,3} mid-run and keep submitting on both sides:
+     Skeen has no retransmission, so completeness is forfeit, but every
+     safety clause of the group-order oracle must hold. *)
+  List.iter
+    (fun seed ->
+      let failures =
+        List.map
+          (fun e -> (20.0, e))
+          (Fstatus.partition_events ~parts:[ [ 0; 1 ]; [ 2; 3 ] ])
+      in
+      let workload =
+        full_workload ~senders:procs ~from_time:5.0 ~spacing:7.0 ~count:6
+      in
+      let run =
+        Skeen.run ~delta config ~workload ~failures ~until:200.0 ~seed
+      in
+      check_ok "group order under partition"
+        (Skeen.check_group_order config ~workload run.trace);
+      check_invariants run)
+    [ 21; 22; 23 ]
+
+let test_delivery_latency () =
+  (* A lone full-group message commits in three hops: propose, proposal,
+     commit. Every delivery lands within 3δ of the submission — the
+     structural latency edge over the token ring (d = 2π + nδ). *)
+  let workload = [ (10.0, 1, Skeen.full_group "lone") ] in
+  let run = Skeen.run ~delta config ~workload ~failures:[] ~until:50.0 ~seed:3 in
+  check_ok "complete" (Skeen.check_complete config ~workload run.trace);
+  List.iter
+    (fun (t, a) ->
+      match a with
+      | To_action.Brcv _ ->
+          if t > 10.0 +. (3.0 *. delta) +. 1e-9 then
+            Alcotest.failf "delivery at %.3f, later than 3 hops" t
+      | _ -> ())
+    (Timed.actions run.Skeen.trace)
+
+let test_sim_vs_bus_anchored () =
+  (* Single origin, full group, FIFO links: both backends must produce
+     the identical per-node order — the submission order. *)
+  let workload =
+    List.init 8 (fun k ->
+        (0.02 *. float_of_int k, 0, Skeen.full_group (Printf.sprintf "a%d" k)))
+  in
+  let expected_outputs = 8 + Skeen.expected_deliveries config workload in
+  let sim = Skeen.run ~delta:0.1 config ~workload ~failures:[] ~until:60.0 ~seed:9 in
+  let bus =
+    Skeen.run_on
+      ~backend:(Gcs_transport.Bus.backend ())
+      ~stop:(fun ~now:_ ~outputs -> outputs >= expected_outputs)
+      config ~workload ~failures:[] ~until:30.0 ~seed:9
+  in
+  check_ok "sim complete" (Skeen.check_complete config ~workload sim.trace);
+  check_ok "bus complete" (Skeen.check_complete config ~workload bus.trace);
+  check_ok "bus group order" (Skeen.check_group_order config ~workload bus.trace);
+  List.iter2
+    (fun (p, sim_order) (p', bus_order) ->
+      Alcotest.(check int) "same proc" p p';
+      Alcotest.(check (list string))
+        (Printf.sprintf "same order at %d" p)
+        sim_order bus_order)
+    (Skeen.orders procs sim) (Skeen.orders procs bus)
+
+let test_bus_multi_group () =
+  (* Multi-origin, mixed subsets on the real bus: orders may differ from
+     the simulator's, but the Skeen guarantees must hold per run. *)
+  let subset i = match i mod 3 with 0 -> [ 0; 1; 2 ] | 1 -> [ 1; 3 ] | _ -> [] in
+  let workload =
+    List.init 12 (fun i ->
+        let p = List.nth procs (i mod 4) in
+        ( 0.01 *. float_of_int i,
+          p,
+          { Skeen.value = Printf.sprintf "b%d.%d" p i; dests = subset i } ))
+  in
+  let expected_outputs = 12 + Skeen.expected_deliveries config workload in
+  let run =
+    Skeen.run_on
+      ~backend:(Gcs_transport.Bus.backend ())
+      ~stop:(fun ~now:_ ~outputs -> outputs >= expected_outputs)
+      config ~workload ~failures:[] ~until:30.0 ~seed:17
+  in
+  check_ok "bus group order" (Skeen.check_group_order config ~workload run.trace);
+  check_ok "bus complete" (Skeen.check_complete config ~workload run.trace);
+  check_invariants run
+
+(* ------------------------------ codec -------------------------------- *)
+
+open QCheck
+
+let gen_proc = Gen.int_range 0 9
+let gen_mid =
+  Gen.map2 (fun sender seq -> { Skeen.sender; seq }) gen_proc (Gen.int_range 0 999)
+
+let gen_ts =
+  Gen.map2 (fun clock origin -> { Skeen.clock; origin }) (Gen.int_range 0 9999) gen_proc
+
+(* Full byte range: the framing characters must be as likely as any. *)
+let gen_value = Gen.(string_size ~gen:char (int_range 0 30))
+
+let gen_packet =
+  Gen.oneof
+    [
+      Gen.map3
+        (fun mid value dests -> Skeen.Propose { mid; value; dests })
+        gen_mid gen_value
+        Gen.(list_size (int_range 0 5) gen_proc);
+      Gen.map2 (fun mid ts -> Skeen.Proposal { mid; ts }) gen_mid gen_ts;
+      Gen.map2 (fun mid ts -> Skeen.Commit { mid; ts }) gen_mid gen_ts;
+    ]
+
+let equal_packet a b =
+  match (a, b) with
+  | Skeen.Propose a, Skeen.Propose b ->
+      Skeen.mid_compare a.mid b.mid = 0
+      && String.equal a.value b.value
+      && List.equal Proc.equal a.dests b.dests
+  | Skeen.Proposal a, Skeen.Proposal b ->
+      Skeen.mid_compare a.mid b.mid = 0 && Skeen.ts_compare a.ts b.ts = 0
+  | Skeen.Commit a, Skeen.Commit b ->
+      Skeen.mid_compare a.mid b.mid = 0 && Skeen.ts_compare a.ts b.ts = 0
+  | _ -> false
+
+let qcheck_roundtrip =
+  Test.make ~name:"skeen packet codec roundtrips" ~count:500
+    (make ~print:(Format.asprintf "%a" Skeen.pp_packet) gen_packet)
+    (fun p ->
+      match Skeen.decode_packet (Skeen.encode_packet p) with
+      | Ok p' -> equal_packet p p'
+      | Error e -> Test.fail_reportf "decode failed: %s" e)
+
+let qcheck_decode_total =
+  Test.make ~name:"skeen packet decode is total" ~count:1000
+    (make Gen.(string_size ~gen:char (int_range 0 60)))
+    (fun s ->
+      match Skeen.decode_packet s with Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "skeen"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "steady state full group" `Quick test_steady_state;
+          Alcotest.test_case "multi-group addressing" `Quick test_multi_group;
+          Alcotest.test_case "sender fifo per dest set" `Quick test_sender_fifo;
+          Alcotest.test_case "partition keeps safety" `Quick test_partition_safety;
+          Alcotest.test_case "3-hop delivery latency" `Quick test_delivery_latency;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "sim vs bus, anchored order" `Quick
+            test_sim_vs_bus_anchored;
+          Alcotest.test_case "bus multi-group oracle" `Quick test_bus_multi_group;
+        ] );
+      ( "codec",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_roundtrip; qcheck_decode_total ] );
+    ]
