@@ -935,7 +935,7 @@ let x19 () =
     let observe p _pre post =
       let st = To_service.node_app post in
       let r = st.Vstoto.nextreport - 1 in
-      if r > Atomic.get progress.(p) then Atomic.set progress.(p) r
+      Gcs_stdx.Atomicx.store_max progress.(p) r
     in
     let stop ~now:_ ~outputs:_ =
       Array.for_all (fun a -> Atomic.get a >= count) progress
@@ -1003,7 +1003,7 @@ let x20 () =
     let observe p _pre post =
       let st = To_service.node_app post in
       let r = st.Vstoto.nextreport - 1 in
-      if r > Atomic.get progress.(p) then Atomic.set progress.(p) r
+      Gcs_stdx.Atomicx.store_max progress.(p) r
     in
     let stop ~now:_ ~outputs:_ =
       Array.for_all (fun a -> Atomic.get a >= total) progress
@@ -1178,7 +1178,7 @@ let x21 () =
     let observe p _pre post =
       let st = To_service.node_app post in
       let r = st.Vstoto.nextreport - 1 in
-      if r > Atomic.get progress.(p) then Atomic.set progress.(p) r
+      Gcs_stdx.Atomicx.store_max progress.(p) r
     in
     let stop ~now:_ ~outputs:_ =
       Array.for_all (fun a -> Atomic.get a >= total) progress
@@ -1245,6 +1245,7 @@ let x21 () =
 (* ------------------------------------------------------------------ *)
 (* M: bechamel micro-benchmarks (M1–M7: core machinery; M8: incremental
    checker throughput at growing trace lengths; M9: pool dispatch
+   overhead; M10: hot-path accumulation; M11: lock instrumentation
    overhead). *)
 
 let to_trace_of_len ~n k =
@@ -1344,6 +1345,30 @@ let micro () =
                append_items));
     ]
   in
+  (* M11: what lock instrumentation costs on the bus's hottest path (a
+     status-matrix read per packet send). Raw Mutex is the floor; an
+     unregistered Lock adds one wrapper call; a registered Lock adds the
+     held-set bookkeeping and a registry-table update per acquisition. *)
+  let m11 =
+    let raw = Mutex.create () in
+    let plain = Gcs_stdx.Lock.create "bench.plain" in
+    let reg = Gcs_stdx.Lock.registry () in
+    let instr = Gcs_stdx.Lock.create ~registry:reg "bench.instr" in
+    let counter = ref 0 in
+    [
+      Test.make ~name:"M11: raw Mutex lock/unlock"
+        (Staged.stage (fun () ->
+             Mutex.lock raw;
+             incr counter;
+             Mutex.unlock raw));
+      Test.make ~name:"M11: Lock.with_lock (uninstrumented)"
+        (Staged.stage (fun () ->
+             Gcs_stdx.Lock.with_lock plain (fun () -> incr counter)));
+      Test.make ~name:"M11: Lock.with_lock (registry attached)"
+        (Staged.stage (fun () ->
+             Gcs_stdx.Lock.with_lock instr (fun () -> incr counter)));
+    ]
+  in
   let tests =
     [
       Test.make ~name:"TO-machine step"
@@ -1380,7 +1405,7 @@ let micro () =
              To_service.run sim_to_config ~workload:sim_wl ~failures:[]
                ~until:50.0 ~seed:1));
     ]
-    @ m8 @ m9 @ m10
+    @ m8 @ m9 @ m10 @ m11
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]

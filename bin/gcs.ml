@@ -868,14 +868,79 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Determinism & totality static analysis over lib/, bin/, bench/ \
-          and test/: unordered Hashtbl iteration (D1), entropy and \
-          wall-clock sources (D2), polymorphic structural ops in the \
+         "Determinism, totality & domain-safety static analysis over lib/, \
+          bin/, bench/ and test/: unordered Hashtbl iteration (D1), entropy \
+          and wall-clock sources (D2), polymorphic structural ops in the \
           proof-critical layers (D3), partial stdlib functions (P1), \
-          swallowed exceptions (P2) and missing interfaces (M1). Sites \
+          swallowed exceptions (P2), cross-domain closure writes (C1), \
+          exception-unsafe Mutex sections (C2), atomic read-modify-writes \
+          (C3), blocking under a held lock and static lock-order cycles \
+          (C4), stale suppressions (A1) and missing interfaces (M1). Sites \
           carrying [@gcs.lint.allow \"RULE\"] are reported separately and \
           do not fail the run. Exits 1 on any non-suppressed finding.")
     Term.(const run $ json_arg $ root_arg $ rules_arg)
+
+(* ----------------------------- lockcheck ---------------------------- *)
+
+let lockcheck_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the observed lock graph (locks, edges, cycles, \
+             contention) as JSON to $(docv).")
+  in
+  let run n seed out =
+    let module Lock = Gcs_stdx.Lock in
+    let module Suite = Gcs_conformance.Suite in
+    let metrics = Gcs_stdx.Metrics.create () in
+    let registry = Lock.registry ~metrics () in
+    (* The same conformance workload the transport gate runs, on a bus
+       whose every lock (status matrix, trace, delay wheel, observe
+       serializer, one per mailbox) records into [registry]. *)
+    let backend = Gcs_transport.Bus.backend ~lock_registry:registry () in
+    let profile = { (Suite.bus_profile ~n ()) with Suite.backend } in
+    let outcomes = Suite.run_all profile ~seed in
+    List.iter (Format.printf "%a@." Suite.pp_outcome) outcomes;
+    let graph = Lock.graph registry in
+    Format.printf "%a" Lock.pp_graph graph;
+    if not (String.equal out "") then begin
+      let oc = open_out out in
+      output_string oc (Gcs_stdx.Jsonx.encode (Lock.graph_to_json graph));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "lock graph written to %s\n" out
+    end;
+    let failed_cases = List.filter (fun o -> not (Suite.passed o)) outcomes in
+    let inverted = not (List.is_empty graph.Lock.cycles) in
+    if inverted then
+      Printf.printf
+        "lockcheck: FAIL — observed lock-order cycle(s); two domains \
+         acquire these locks in conflicting orders\n"
+    else if not (List.is_empty failed_cases) then
+      Printf.printf "lockcheck: FAIL — %d conformance case(s) failed under \
+                     instrumentation\n"
+        (List.length failed_cases)
+    else
+      Printf.printf
+        "lockcheck: OK — %d locks, %d distinct edges, no order inversion\n"
+        (List.length graph.Lock.locks)
+        (List.length graph.Lock.edges);
+    if inverted || not (List.is_empty failed_cases) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lockcheck"
+       ~doc:
+         "Dynamic lock-order gate: run the bus conformance workload with \
+          every bus lock enrolled in a Gcs_stdx.Lock registry, record \
+          which locks each domain acquires while holding which others, \
+          and fail on any cycle in the observed acquisition graph (a \
+          deadlock under the right interleaving) or any conformance \
+          failure under instrumentation. The observed graph \
+          cross-validates the static C4 lock-order analysis of gcs lint; \
+          --out saves it as a JSON artifact.")
+    Term.(const run $ n_arg $ seed_arg $ out_arg)
 
 (* ------------------------------- spec ------------------------------- *)
 
@@ -1069,8 +1134,7 @@ let bus_cmd =
     let observe p _pre post =
       let st = To_service.node_app post in
       let reported = st.Vstoto.nextreport - 1 in
-      if reported > Atomic.get progress.(p) then
-        Atomic.set progress.(p) reported
+      Gcs_stdx.Atomicx.store_max progress.(p) reported
     in
     let stop ~now:_ ~outputs:_ =
       Array.for_all (fun a -> Atomic.get a >= ops) progress
@@ -1265,7 +1329,7 @@ let load_cmd =
     let observe p _pre post =
       let st = To_service.node_app post in
       let r = st.Vstoto.nextreport - 1 in
-      if r > Atomic.get progress.(p) then Atomic.set progress.(p) r
+      Gcs_stdx.Atomicx.store_max progress.(p) r
     in
     let stop ~now:_ ~outputs:_ =
       Array.for_all (fun a -> Atomic.get a >= total) progress
@@ -1448,6 +1512,7 @@ let () =
             metrics_cmd;
             timeline_cmd;
             lint_cmd;
+            lockcheck_cmd;
             bus_cmd;
             load_cmd;
             diff_cmd;

@@ -72,7 +72,7 @@ let run_pair ?(n = 3) ?(count = 12) ?batch_window ~seed () =
   let observe p _pre post =
     let st = To_service.node_app post in
     let reported = st.Vstoto.nextreport - 1 in
-    if reported > Atomic.get progress.(p) then Atomic.set progress.(p) reported
+    Gcs_stdx.Atomicx.store_max progress.(p) reported
   in
   let stop ~now:_ ~outputs:_ =
     Array.for_all (fun a -> Atomic.get a >= count) progress

@@ -162,7 +162,7 @@ let check profile ~seed case =
   let observe p _pre post =
     let st = To_service.node_app post in
     let reported = st.Vstoto.nextreport - 1 in
-    if reported > Atomic.get progress.(p) then Atomic.set progress.(p) reported
+    Gcs_stdx.Atomicx.store_max progress.(p) reported
   in
   let stop ~now ~outputs:_ =
     now > l

@@ -2,6 +2,7 @@ type report = {
   findings : Finding.t list;
   suppressed : Finding.t list;
   files : int;
+  lock_edges : (string * string * string) list;
 }
 
 let roots = [ "lib"; "bin"; "bench"; "test" ]
@@ -71,18 +72,25 @@ let run ~root =
     |> List.sort String.compare
   in
   let ml_files = List.filter (has_suffix ".ml") files in
+  let per_file =
+    List.map
+      (fun f -> (f, Lint.analyze ~path:f (read_file (Filename.concat root f))))
+      ml_files
+  in
   let all =
     check_interfaces files
-    @ List.concat_map
-        (fun f ->
-          Lint.lint_source ~path:f (read_file (Filename.concat root f)))
-        ml_files
+    @ List.concat_map (fun (_, (findings, _)) -> findings) per_file
+  in
+  let lock_edges =
+    List.concat_map
+      (fun (f, (_, edges)) -> List.map (fun (a, b) -> (f, a, b)) edges)
+      per_file
   in
   let all = List.sort Finding.compare all in
   let suppressed, findings =
     List.partition (fun f -> f.Finding.suppressed) all
   in
-  { findings; suppressed; files = List.length ml_files }
+  { findings; suppressed; files = List.length ml_files; lock_edges }
 
 let clean report = List.is_empty report.findings
 
@@ -93,6 +101,17 @@ let to_json report =
       ( "suppressed",
         Gcs_stdx.Jsonx.Arr (List.map Finding.to_json report.suppressed) );
       ("files", Gcs_stdx.Jsonx.Num (float_of_int report.files));
+      ( "lock_edges",
+        Gcs_stdx.Jsonx.Arr
+          (List.map
+             (fun (file, a, b) ->
+               Gcs_stdx.Jsonx.Obj
+                 [
+                   ("file", Gcs_stdx.Jsonx.Str file);
+                   ("from", Gcs_stdx.Jsonx.Str a);
+                   ("to", Gcs_stdx.Jsonx.Str b);
+                 ])
+             report.lock_edges) );
     ]
 
 let pp ppf report =

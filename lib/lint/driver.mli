@@ -8,6 +8,10 @@ type report = {
   suppressed : Finding.t list;
       (** findings at [[@gcs.lint.allow]]-attributed sites, same order *)
   files : int;  (** [.ml] files scanned *)
+  lock_edges : (string * string * string) list;
+      (** static lock-order edges [(file, outer, inner)] from nested
+          [Lock.with_lock] / [Mutex.protect] pairs — the static half of
+          the [gcs lockcheck] cross-validation *)
 }
 
 val roots : string list

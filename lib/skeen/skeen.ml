@@ -463,7 +463,6 @@ let check_group_order config ~workload trace =
     let nodes =
       List.sort Proc.compare
         (Hashtbl.fold (fun p _ acc -> p :: acc) per_node [])
-      [@gcs.lint.allow "D1"]
     in
     (* Per-origin FIFO within equal destination sets. *)
     List.iter

@@ -1,0 +1,9 @@
+let rec store_max a v =
+  let seen = Atomic.get a in
+  if v > seen then
+    if not (Atomic.compare_and_set a seen v) then store_max a v
+
+let rec store_max_float a v =
+  let seen = Atomic.get a in
+  if v > seen then
+    if not (Atomic.compare_and_set a seen v) then store_max_float a v

@@ -1,0 +1,14 @@
+(** Small lock-free combinators over [Atomic.t].
+
+    The lint rule C3 bans the open-coded
+    [if v > Atomic.get a then Atomic.set a v] shape — a check-then-act
+    whose concurrent writer is silently lost. These helpers are the
+    sanctioned replacements: each is a [compare_and_set] retry loop,
+    linearizable and obstruction-free. *)
+
+val store_max : int Atomic.t -> int -> unit
+(** [store_max a v] raises [a] to [v] if [v] is larger; concurrent
+    calls agree on the maximum of all stored values. *)
+
+val store_max_float : float Atomic.t -> float -> unit
+(** Same, for floats (NaN is never stored over a non-NaN value). *)

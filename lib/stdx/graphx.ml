@@ -1,0 +1,101 @@
+let cyclic_sccs (type a) ~(compare : a -> a -> int) ~(edges : (a * a) list) =
+  let module M = Map.Make (struct
+    type t = a
+
+    let compare = compare
+  end) in
+  let add_node n m = if M.mem n m then m else M.add n [] m in
+  let adj =
+    List.fold_left
+      (fun m (u, v) ->
+        let m = add_node u (add_node v m) in
+        M.add u (v :: M.find u m) m)
+      M.empty edges
+    |> M.map (fun vs -> List.sort_uniq compare vs)
+  in
+  let succs v = match M.find_opt v adj with Some vs -> vs | None -> [] in
+  (* Tarjan. Lock graphs are tiny, so the recursion depth is a non-issue
+     and the clarity of the textbook form wins. *)
+  let index = ref 0 in
+  let indices = ref M.empty in
+  let lowlink = ref M.empty in
+  let on_stack = ref M.empty in
+  let stack = ref [] in
+  let sccs = ref [] in
+  let low v =
+    match M.find_opt v !lowlink with
+    | Some i -> i
+    | None -> invalid_arg "Graphx: node visited without a lowlink"
+  in
+  let rec strongconnect v =
+    indices := M.add v !index !indices;
+    lowlink := M.add v !index !lowlink;
+    incr index;
+    stack := v :: !stack;
+    on_stack := M.add v true !on_stack;
+    List.iter
+      (fun w ->
+        match M.find_opt w !indices with
+        | None ->
+            strongconnect w;
+            lowlink := M.add v (Int.min (low v) (low w)) !lowlink
+        | Some wi ->
+            let open_scc =
+              match M.find_opt w !on_stack with Some b -> b | None -> false
+            in
+            if open_scc then lowlink := M.add v (Int.min (low v) wi) !lowlink)
+      (succs v);
+    if Int.equal (low v) (match M.find_opt v !indices with Some i -> i | None -> -1)
+    then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack := M.add w false !on_stack;
+            if Int.equal (compare w v) 0 then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  M.iter (fun v _ -> if not (M.mem v !indices) then strongconnect v) adj;
+  let cyclic scc =
+    match scc with
+    | [] -> false
+    | [ v ] -> List.exists (fun w -> Int.equal (compare v w) 0) (succs v)
+    | _ :: _ :: _ -> true
+  in
+  !sccs
+  |> List.filter cyclic
+  |> List.map (List.sort compare)
+  |> List.sort (fun a b ->
+         match (a, b) with
+         | x :: _, y :: _ -> compare x y
+         | [], _ | _, [] -> 0 (* cyclic SCCs are never empty *))
+
+let reachable (type a) ~(compare : a -> a -> int) ~(edges : (a * a) list)
+    start =
+  let module M = Map.Make (struct
+    type t = a
+
+    let compare = compare
+  end) in
+  let add_node n m = if M.mem n m then m else M.add n [] m in
+  let adj =
+    List.fold_left
+      (fun m (u, v) ->
+        let m = add_node u (add_node v m) in
+        M.add u (v :: M.find u m) m)
+      M.empty edges
+    |> M.map (fun vs -> List.sort_uniq compare vs)
+  in
+  let succs v = match M.find_opt v adj with Some vs -> vs | None -> [] in
+  let rec go seen frontier =
+    match frontier with
+    | [] -> seen
+    | v :: rest ->
+        if M.mem v seen then go seen rest
+        else go (M.add v () seen) (succs v @ rest)
+  in
+  let seen = go M.empty (succs start) in
+  List.map fst (M.bindings seen)

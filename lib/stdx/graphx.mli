@@ -1,0 +1,24 @@
+(** Tiny directed-graph utilities for the lock-order analyses.
+
+    Both the static C4 lint pass (lock names from source text) and the
+    dynamic {!Lock} registry (lock ids observed at runtime) need the
+    same question answered: does this edge set contain a cycle, and if
+    so, which nodes form it? The answer is the list of strongly
+    connected components that contain a cycle — an SCC of two or more
+    nodes, or a single node with a self-edge.
+
+    Results are deterministic: components and their members come back
+    sorted by the supplied comparison, independent of edge order. *)
+
+val cyclic_sccs :
+  compare:('a -> 'a -> int) -> edges:('a * 'a) list -> 'a list list
+(** [cyclic_sccs ~compare ~edges] returns every strongly connected
+    component of the directed graph induced by [edges] that contains at
+    least one cycle. Nodes are exactly the endpoints mentioned in
+    [edges]; duplicate edges are fine. Each component is sorted with
+    [compare], and the component list is sorted by its first element. *)
+
+val reachable :
+  compare:('a -> 'a -> int) -> edges:('a * 'a) list -> 'a -> 'a list
+(** Nodes reachable from a start node by one or more edge steps (the
+    start itself appears only if it lies on a cycle). Sorted. *)

@@ -1,0 +1,251 @@
+(* The sanctioned home of raw Mutex use (lint rule C2): everything else
+   takes critical sections through [with_lock], which cannot forget to
+   unlock on an exception path. *)
+
+type registry = {
+  rid : int;
+  reg_lock : Mutex.t;  (* leaf lock: guards the tables, never held while blocking *)
+  names : (int, string) Hashtbl.t;
+  acquired : (int, int) Hashtbl.t;
+  contended : (int, int) Hashtbl.t;
+  edges : (int * int, int) Hashtbl.t;  (* held id -> acquired id, count *)
+  metrics : Metrics.t option;
+}
+
+type t = {
+  mutex : Mutex.t;
+  id : int;
+  lname : string;
+  registry : registry option;
+}
+
+(* One held-set per domain, shared by every registry: each entry
+   remembers which registry its lock reports to. *)
+type held_entry = { hrid : int; hid : int; hname : string }
+
+let held_key : held_entry list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let next_rid = Atomic.make 0
+let next_id = Atomic.make 0
+
+let registry ?metrics () =
+  {
+    rid = Atomic.fetch_and_add next_rid 1;
+    reg_lock = Mutex.create ();
+    names = Hashtbl.create 16;
+    acquired = Hashtbl.create 16;
+    contended = Hashtbl.create 16;
+    edges = Hashtbl.create 16;
+    metrics;
+  }
+
+let locked r f =
+  Mutex.lock r.reg_lock;
+  match f () with
+  | v ->
+      Mutex.unlock r.reg_lock;
+      v
+  | exception e ->
+      Mutex.unlock r.reg_lock;
+      raise e
+
+let bump tbl key =
+  let n = match Hashtbl.find_opt tbl key with Some n -> n | None -> 0 in
+  Hashtbl.replace tbl key (n + 1)
+
+let create ?registry name =
+  let id = Atomic.fetch_and_add next_id 1 in
+  (match registry with
+  | None -> ()
+  | Some r -> locked r (fun () -> Hashtbl.replace r.names id name));
+  { mutex = Mutex.create (); id; lname = name; registry }
+
+let name t = t.lname
+
+let acquire t =
+  (* Order edges are recorded *before* the (possibly blocking) acquire:
+     if the interleaving actually deadlocks, the registry still holds the
+     evidence. *)
+  (match t.registry with
+  | None -> ()
+  | Some r ->
+      let held = Domain.DLS.get held_key in
+      let mine = List.filter (fun h -> Int.equal h.hrid r.rid) !held in
+      (match mine with
+      | [] -> ()
+      | _ :: _ ->
+          locked r (fun () ->
+              List.iter (fun h -> bump r.edges (h.hid, t.id)) mine)));
+  let contended = not (Mutex.try_lock t.mutex) in
+  if contended then Mutex.lock t.mutex;
+  match t.registry with
+  | None -> ()
+  | Some r ->
+      locked r (fun () ->
+          bump r.acquired t.id;
+          if contended then bump r.contended t.id;
+          match r.metrics with
+          | None -> ()
+          | Some m ->
+              (* Serialized under the registry lock: Metrics registries
+                 are single-writer structures. *)
+              Metrics.incr m ("lock.acquired." ^ t.lname);
+              if contended then Metrics.incr m ("lock.contended." ^ t.lname));
+      let held = Domain.DLS.get held_key in
+      held := { hrid = r.rid; hid = t.id; hname = t.lname } :: !held
+
+let release t =
+  (match t.registry with
+  | None -> ()
+  | Some r ->
+      let held = Domain.DLS.get held_key in
+      let rec drop = function
+        | [] -> []
+        | h :: rest when Int.equal h.hrid r.rid && Int.equal h.hid t.id ->
+            rest
+        | h :: rest -> h :: drop rest
+      in
+      held := drop !held);
+  Mutex.unlock t.mutex
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e
+
+let wait cond t = Condition.wait cond t.mutex
+
+let held () =
+  List.map (fun h -> h.hname) !(Domain.DLS.get held_key)
+
+type graph = {
+  locks : (string * int * int) list;
+  edges : (string * string * int) list;
+  cycles : string list list;
+}
+
+let graph r =
+  let named, raw_edges =
+    locked r (fun () ->
+        let find0 tbl id =
+          match Hashtbl.find_opt tbl id with Some n -> n | None -> 0
+        in
+        let named =
+          List.sort
+            (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+            (Hashtbl.fold
+               (fun id name acc ->
+                 (name, id, find0 r.acquired id, find0 r.contended id) :: acc)
+               r.names [])
+        in
+        let raw_edges =
+          List.sort
+            (fun ((a, b), _) ((c, d), _) ->
+              match Int.compare a c with 0 -> Int.compare b d | k -> k)
+            (Hashtbl.fold (fun k n acc -> (k, n) :: acc) r.edges [])
+        in
+        (named, raw_edges))
+  in
+  let lock_name id =
+    let rec find = function
+      | [] -> Printf.sprintf "lock#%d" id
+      | (name, i, _, _) :: rest -> if Int.equal i id then name else find rest
+    in
+    find named
+  in
+  let compare_names (a, b) (c, d) =
+    match String.compare a c with 0 -> String.compare b d | k -> k
+  in
+  (* Several lock instances may share a name (e.g. one "bus.status" per
+     conformance case recorded into the same registry): the report
+     merges them, summing counts — the name is the analysis unit. *)
+  let locks =
+    List.fold_left
+      (fun acc (name, _, acq, cont) ->
+        match acc with
+        | (name', acq', cont') :: rest when String.equal name name' ->
+            (name', acq' + acq, cont' + cont) :: rest
+        | _ -> (name, acq, cont) :: acc)
+      [] named (* [named] is sorted by name *)
+    |> List.rev
+  in
+  let edges =
+    List.map (fun ((a, b), n) -> ((lock_name a, lock_name b), n)) raw_edges
+    |> List.sort (fun ((a, b), _) ((c, d), _) ->
+           match String.compare a c with 0 -> String.compare b d | k -> k)
+    |> List.fold_left
+         (fun acc (k, n) ->
+           match acc with
+           | (k', n') :: rest when compare_names k k' = 0 ->
+               (k', n' + n) :: rest
+           | _ -> (k, n) :: acc)
+         []
+    |> List.rev
+    |> List.map (fun ((a, b), n) -> (a, b, n))
+  in
+  (* Cycles over the name-merged edges: instances sharing a name are one
+     node, so nesting two "bus.status" instances — or one recursively —
+     is a self-cycle either way. *)
+  let cycles =
+    Graphx.cyclic_sccs ~compare:String.compare
+      ~edges:(List.map (fun (a, b, _) -> (a, b)) edges)
+    |> List.map (List.sort String.compare)
+    |> List.sort_uniq (List.compare String.compare)
+  in
+  { locks; edges; cycles }
+
+let graph_to_json g =
+  Jsonx.Obj
+    [
+      ( "locks",
+        Jsonx.Arr
+          (List.map
+             (fun (name, acq, cont) ->
+               Jsonx.Obj
+                 [
+                   ("name", Jsonx.Str name);
+                   ("acquired", Jsonx.Num (float_of_int acq));
+                   ("contended", Jsonx.Num (float_of_int cont));
+                 ])
+             g.locks) );
+      ( "edges",
+        Jsonx.Arr
+          (List.map
+             (fun (a, b, n) ->
+               Jsonx.Obj
+                 [
+                   ("from", Jsonx.Str a);
+                   ("to", Jsonx.Str b);
+                   ("count", Jsonx.Num (float_of_int n));
+                 ])
+             g.edges) );
+      ( "cycles",
+        Jsonx.Arr
+          (List.map
+             (fun cyc -> Jsonx.Arr (List.map (fun s -> Jsonx.Str s) cyc))
+             g.cycles) );
+    ]
+
+let pp_graph ppf g =
+  List.iter
+    (fun (name, acq, cont) ->
+      Format.fprintf ppf "lock %-24s acquired %-8d contended %d@." name acq
+        cont)
+    g.locks;
+  List.iter
+    (fun (a, b, n) -> Format.fprintf ppf "order %s -> %s (%d)@." a b n)
+    g.edges;
+  (match g.cycles with
+  | [] -> Format.fprintf ppf "no lock-order cycles@."
+  | cycles ->
+      List.iter
+        (fun cyc ->
+          Format.fprintf ppf "CYCLE: %s@." (String.concat " <-> " cyc))
+        cycles);
+  ()

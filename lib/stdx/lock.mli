@@ -1,0 +1,76 @@
+(** Instrumented mutual exclusion — the sanctioned lock of the repo's
+    concurrency lint rules (C1–C4).
+
+    A {!t} wraps a [Mutex.t] behind an exception-safe {!with_lock}; raw
+    [Mutex.lock]/[Mutex.unlock] outside this module is what lint rule C2
+    exists to flag. Uninstrumented locks ([create] without a registry)
+    add nothing but the wrapper call.
+
+    Attaching a {!registry} turns every lock created against it into a
+    probe for the dynamic half of the domain-safety analysis:
+
+    - {e acquisition-order recording}: when a domain acquires [b] while
+      holding [a] (both in the same registry), the directed edge
+      [a -> b] is recorded. The observed lock graph of a correct system
+      is acyclic; a cycle means two domains can acquire the same locks
+      in opposite orders — a deadlock waiting for the right
+      interleaving. [gcs lockcheck] runs the bus conformance workload
+      under a registry and fails on any cycle, cross-validating the
+      static C4 lock-order graph.
+    - {e per-domain held-set}: kept in domain-local storage; {!held}
+      exposes the current domain's stack (for tests and debugging).
+    - {e contention counters}: acquisitions that failed [Mutex.try_lock]
+      and had to block are counted per lock, and mirrored into a
+      {!Metrics.t} when the registry carries one
+      ([lock.acquired.NAME] / [lock.contended.NAME]). *)
+
+type t
+type registry
+
+val registry : ?metrics:Metrics.t -> unit -> registry
+(** A fresh, empty observation registry. Thread-safe: locks from any
+    number of domains may record into it concurrently (its internal
+    bookkeeping lock is a leaf — never held while blocking). *)
+
+val create : ?registry:registry -> string -> t
+(** [create ~registry name] makes a named lock. Without [registry] the
+    lock is a plain exception-safe mutex wrapper with no recording. *)
+
+val name : t -> string
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run the thunk with the lock held. Always releases: a raised
+    exception unwinds the held-set and unlocks before re-raising.
+    Acquiring a lock the current domain already holds is recorded as a
+    self-edge (a guaranteed cycle) before the attempt deadlocks — the
+    registry ensures the bug is visible even if the run then hangs. *)
+
+val wait : Condition.t -> t -> unit
+(** [wait cond l] is [Condition.wait cond] on [l]'s mutex: the one
+    sanctioned way to block while holding a lock (the wait releases
+    exactly that lock). Must be called inside [with_lock l]; the
+    held-set is unchanged across the wait, mirroring the mutex's
+    release-and-reacquire semantics. *)
+
+val held : unit -> string list
+(** Names of instrumented locks held by the calling domain, innermost
+    (most recently acquired) first. *)
+
+(** {2 Observed graph} *)
+
+type graph = {
+  locks : (string * int * int) list;
+      (** (name, acquisitions, contended acquisitions), sorted by name *)
+  edges : (string * string * int) list;
+      (** (held, then-acquired, observations), sorted *)
+  cycles : string list list;
+      (** cyclic strongly connected components of [edges]; empty on a
+          deadlock-order-clean run *)
+}
+
+val graph : registry -> graph
+(** A deterministic snapshot (sorted by lock name) of everything the
+    registry observed so far. *)
+
+val graph_to_json : graph -> Jsonx.t
+val pp_graph : Format.formatter -> graph -> unit

@@ -1,6 +1,7 @@
 open Gcs_core
 module Prng = Gcs_stdx.Prng
 module Metrics = Gcs_stdx.Metrics
+module Lock = Gcs_stdx.Lock
 
 type config = {
   poll_interval : float;
@@ -16,38 +17,40 @@ let default_config =
 type 'input envelope = Packet of { src : Proc.t; data : string } | Input of 'input
 
 let run (type state input packet out) ?(config = default_config) ?metrics
-    ?observe ?stop (codec : packet Iface.codec) ~procs
+    ?lock_registry ?observe ?stop (codec : packet Iface.codec) ~procs
     ~(handlers : (state, input, packet, out) Iface.handlers) ~init ~inputs
     ~failures ~until ~seed =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let clock = Clock.create () in
   let mailboxes =
     List.fold_left
-      (fun m p -> Proc.Map.add p (Mailbox.create ()) m)
+      (fun m p ->
+        Proc.Map.add p
+          (Mailbox.create ?registry:lock_registry
+             ~name:(Printf.sprintf "bus.mailbox.%d" p)
+             ())
+          m)
       Proc.Map.empty procs
   in
   let mailbox p = Proc.Map.find p mailboxes in
   (* Failure statuses, read by every sender at send time and by every node
      before handling — exactly the sim's at-send / at-step semantics, but
-     the matrix lives behind a mutex instead of inside the event loop. *)
-  let status_lock = Mutex.create () in
+     the matrix lives behind a lock instead of inside the event loop. All
+     bus locks are leaves (never held across another acquisition or a
+     blocking call), so an instrumented run observes an edge-free lock
+     graph — `gcs lockcheck` fails if that ever regresses. *)
+  let status_lock = Lock.create ?registry:lock_registry "bus.status" in
   let tracker = ref Fstatus.initial in
-  let with_status f =
-    Mutex.lock status_lock;
-    let v = f !tracker in
-    Mutex.unlock status_lock;
-    v
-  in
+  let with_status f = Lock.with_lock status_lock (fun () -> f !tracker) in
   (* The timed trace. Timestamps are taken *inside* the lock so the trace
      is nondecreasing by construction even under concurrent appends. *)
-  let trace_lock = Mutex.create () in
+  let trace_lock = Lock.create ?registry:lock_registry "bus.trace" in
   let trace_rev : out Timed.t ref = ref [] in
   let outputs = Atomic.make 0 in
   let record item =
-    Mutex.lock trace_lock;
-    let t = Clock.now clock in
-    trace_rev := { Timed.time = t; item } :: !trace_rev;
-    Mutex.unlock trace_lock
+    Lock.with_lock trace_lock (fun () ->
+        let t = Clock.now clock in
+        trace_rev := { Timed.time = t; item } :: !trace_rev)
   in
   let record_action out =
     record (Timed.Action out);
@@ -63,7 +66,7 @@ let run (type state input packet out) ?(config = default_config) ?metrics
     Atomic.set stopped true
   in
   (* Ugly-link packets in flight: the controller delivers them when due. *)
-  let wheel_lock = Mutex.create () in
+  let wheel_lock = Lock.create ?registry:lock_registry "bus.wheel" in
   let wheel : (float * Proc.t * input envelope) list ref = ref [] in
   let deliver dst env = Mailbox.push (mailbox dst) env in
   let send ~prng ~me dst packet =
@@ -87,24 +90,16 @@ let run (type state input packet out) ?(config = default_config) ?metrics
               +. max config.poll_interval
                    (Prng.float prng *. config.ugly_delay_max)
             in
-            Mutex.lock wheel_lock;
-            wheel := (due, dst, Packet { src = me; data }) :: !wheel;
-            Mutex.unlock wheel_lock
+            Lock.with_lock wheel_lock (fun () ->
+                wheel := (due, dst, Packet { src = me; data }) :: !wheel)
           end
   in
   let observe =
     match observe with
     | None -> None
     | Some f ->
-        let lock = Mutex.create () in
-        Some
-          (fun p pre post ->
-            Mutex.lock lock;
-            (try f p pre post
-             with e ->
-               Mutex.unlock lock;
-               raise e);
-            Mutex.unlock lock)
+        let lock = Lock.create ?registry:lock_registry "bus.observe" in
+        Some (fun p pre post -> Lock.with_lock lock (fun () -> f p pre post))
   in
   (* One domain per processor: fire due timers, drain the mailbox, park on
      it otherwise. A Bad processor parks without handling (its events are
@@ -215,9 +210,8 @@ let run (type state input packet out) ?(config = default_config) ?metrics
       let rec apply_failures () =
         match !pending_failures with
         | (t, event) :: rest when t <= now ->
-            Mutex.lock status_lock;
-            tracker := Fstatus.apply !tracker event;
-            Mutex.unlock status_lock;
+            Lock.with_lock status_lock (fun () ->
+                tracker := Fstatus.apply !tracker event);
             record (Timed.Status event);
             incr statuses_applied;
             pending_failures := rest;
@@ -234,10 +228,14 @@ let run (type state input packet out) ?(config = default_config) ?metrics
         | _ -> ()
       in
       inject ();
-      Mutex.lock wheel_lock;
-      let due, still = List.partition (fun (t, _, _) -> t <= now) !wheel in
-      wheel := still;
-      Mutex.unlock wheel_lock;
+      let due =
+        Lock.with_lock wheel_lock (fun () ->
+            let due, still =
+              List.partition (fun (t, _, _) -> t <= now) !wheel
+            in
+            wheel := still;
+            due)
+      in
       List.iter
         (fun (_, dst, env) -> deliver dst env)
         (List.stable_sort (fun (a, _, _) (b, _, _) -> Float.compare a b) due);
@@ -284,12 +282,12 @@ let run (type state input packet out) ?(config = default_config) ?metrics
     metrics;
   }
 
-let backend ?(config = default_config) () : Iface.backend =
+let backend ?(config = default_config) ?lock_registry () : Iface.backend =
   (module struct
     let name = "bus"
 
     let run ?metrics ?observe ?stop codec ~procs ~handlers ~init ~inputs
         ~failures ~until ~seed =
-      run ~config ?metrics ?observe ?stop codec ~procs ~handlers ~init ~inputs
-        ~failures ~until ~seed
+      run ~config ?metrics ?lock_registry ?observe ?stop codec ~procs
+        ~handlers ~init ~inputs ~failures ~until ~seed
   end)

@@ -46,6 +46,7 @@ val default_config : config
 val run :
   ?config:config ->
   ?metrics:Gcs_stdx.Metrics.t ->
+  ?lock_registry:Gcs_stdx.Lock.registry ->
   ?observe:(Proc.t -> 'state -> 'state -> unit) ->
   ?stop:(now:float -> outputs:int -> bool) ->
   'packet Iface.codec ->
@@ -68,7 +69,17 @@ val run :
     events processed, statuses applied, and the wall seconds spent.
 
     A handler exception (or a codec [Error]) on any node stops the whole
-    run and re-raises in the caller. *)
+    run and re-raises in the caller.
 
-val backend : ?config:config -> unit -> Iface.backend
+    [lock_registry] enrolls every bus lock (status matrix, trace, delay
+    wheel, observe serializer, one per mailbox) in a
+    {!Gcs_stdx.Lock.registry}: acquisition orders, contention counts and
+    any observed lock-order cycle are recorded for [gcs lockcheck]. The
+    bus's locks are all leaves, so a healthy instrumented run reports an
+    edge-free graph. Unset, the locks are plain wrappers with no
+    recording. *)
+
+val backend :
+  ?config:config -> ?lock_registry:Gcs_stdx.Lock.registry -> unit ->
+  Iface.backend
 (** The bus packaged as a pluggable {!Iface.BACKEND} (named ["bus"]). *)

@@ -1,16 +1,18 @@
+module Lock = Gcs_stdx.Lock
+
 type 'a t = {
-  lock : Mutex.t;
+  lock : Lock.t;
   cond : Condition.t;
   mutable front : 'a list;  (* oldest first *)
   mutable back : 'a list;  (* newest first *)
   mutable size : int;
   mutable wakes : int;  (* pushes + ticks; versions the condition *)
-  mutable closed : bool;  (* once set, wait never blocks again *)
+  mutable closed : bool;  (* once set, wait/recv never block again *)
 }
 
-let create () =
+let create ?registry ?(name = "mailbox") () =
   {
-    lock = Mutex.create ();
+    lock = Lock.create ?registry name;
     cond = Condition.create ();
     front = [];
     back = [];
@@ -19,54 +21,64 @@ let create () =
     closed = false;
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  match f () with
-  | v ->
-      Mutex.unlock t.lock;
-      v
-  | exception e ->
-      Mutex.unlock t.lock;
-      raise e
-
 let push t x =
-  locked t (fun () ->
+  Lock.with_lock t.lock (fun () ->
       t.back <- x :: t.back;
       t.size <- t.size + 1;
       t.wakes <- t.wakes + 1;
       Condition.broadcast t.cond)
 
-let pop_opt t =
-  locked t (fun () ->
-      match t.front with
+(* Caller holds [t.lock]. *)
+let pop_locked t =
+  match t.front with
+  | x :: rest ->
+      t.front <- rest;
+      t.size <- t.size - 1;
+      Some x
+  | [] -> (
+      match List.rev t.back with
+      | [] -> None
       | x :: rest ->
           t.front <- rest;
+          t.back <- [];
           t.size <- t.size - 1;
-          Some x
-      | [] -> (
-          match List.rev t.back with
-          | [] -> None
-          | x :: rest ->
-              t.front <- rest;
-              t.back <- [];
-              t.size <- t.size - 1;
-              Some x))
+          Some x)
 
-let length t = locked t (fun () -> t.size)
+let pop_opt t = Lock.with_lock t.lock (fun () -> pop_locked t)
+
+let length t = Lock.with_lock t.lock (fun () -> t.size)
 
 let wait t =
-  locked t (fun () ->
+  Lock.with_lock t.lock (fun () ->
       let entry = t.wakes in
       while (not t.closed) && t.wakes = entry && t.size = 0 do
-        Condition.wait t.cond t.lock
+        Lock.wait t.cond t.lock
       done)
 
+let recv t =
+  Lock.with_lock t.lock (fun () ->
+      let rec go () =
+        match pop_locked t with
+        | Some _ as v -> v
+        | None ->
+            (* Closed is a *state*, checked under the same lock that
+               [close] sets it under: a recv that parks after close
+               began cannot miss the broadcast, and one parked before it
+               is woken by it — either way it returns, never hangs. *)
+            if t.closed then None
+            else begin
+              Lock.wait t.cond t.lock;
+              go ()
+            end
+      in
+      go ())
+
 let tick t =
-  locked t (fun () ->
+  Lock.with_lock t.lock (fun () ->
       t.wakes <- t.wakes + 1;
       Condition.broadcast t.cond)
 
 let close t =
-  locked t (fun () ->
+  Lock.with_lock t.lock (fun () ->
       t.closed <- true;
       Condition.broadcast t.cond)

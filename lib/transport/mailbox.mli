@@ -14,13 +14,24 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?registry:Gcs_stdx.Lock.registry -> ?name:string -> unit -> 'a t
+(** The mailbox's internal lock is a {!Gcs_stdx.Lock}; pass [registry]
+    (and a distinguishing [name]) to enroll it in a lock-order /
+    contention observation run ([gcs lockcheck]). *)
 
 val push : 'a t -> 'a -> unit
 (** Append and wake the owner. *)
 
 val pop_opt : 'a t -> 'a option
 (** The oldest element, if any. Never blocks. *)
+
+val recv : 'a t -> 'a option
+(** Blocking receive: the oldest element, waiting for one if the
+    mailbox is empty. Returns [None] only once the mailbox is closed
+    {e and} drained. A recv blocked (or arriving) while [close] runs
+    must return — closed is a state checked under the mailbox lock, so
+    the close broadcast cannot slip between the emptiness check and the
+    park. *)
 
 val length : 'a t -> int
 
@@ -30,7 +41,8 @@ val wait : 'a t -> unit
     guarantee — callers recheck. *)
 
 val close : 'a t -> unit
-(** Make [wait] non-blocking forever after. Shutdown uses this instead
+(** Make [wait] non-blocking forever after (and [recv] return [None]
+    once drained). Shutdown uses this instead
     of a final [tick]: a tick only wakes waiters already parked, so a
     node that checks the stop flag and {e then} parks would sleep through
     it, whereas closing is a state, not an edge. [push]/[pop_opt] still

@@ -62,15 +62,47 @@ let test_exception_propagates () =
                xs)))
     [ 1; 2; 4 ]
 
+let test_concurrent_failures_deterministic_winner () =
+  (* Two workers raising in the same batch, on purpose in the same
+     scheduling window: indices are claimed in ascending order via
+     fetch_and_add, so the claimed set is a contiguous prefix and every
+     claimed item completes — the propagated exception is the lowest
+     raising index, whichever domain crosses the line first in wall
+     time. Repeat to give an unlucky interleaving every chance. *)
+  let xs = List.init 16 (fun i -> i) in
+  for round = 1 to 50 do
+    List.iter
+      (fun jobs ->
+        Alcotest.check_raises
+          (Printf.sprintf "round %d jobs=%d: lowest of two raisers" round
+             jobs)
+          (Boom 6)
+          (fun () ->
+            ignore
+              (Gcs_stdx.Pool.map ~jobs
+                 (fun i ->
+                   if i = 6 || i = 7 then raise (Boom i)
+                   else begin
+                     (* skew: later items finish first, so the higher
+                        raiser tends to fire before the lower one *)
+                     let acc = ref 0 in
+                     for k = 1 to (16 - i) * 500 do
+                       acc := (!acc + k) mod 7919
+                     done;
+                     ignore !acc;
+                     i
+                   end)
+                 xs)))
+      [ 2; 4 ]
+  done
+
 let test_iter_runs_everything () =
-  let hits = Array.make 50 0 in
-  (* Each index is claimed exactly once, so unsynchronized writes to
-     distinct cells are race-free. *)
-  Gcs_stdx.Pool.iter ~jobs:4 (fun i -> hits.(i) <- hits.(i) + 1)
+  let hits = Array.init 50 (fun _ -> Atomic.make 0) in
+  Gcs_stdx.Pool.iter ~jobs:4 (fun i -> Atomic.incr hits.(i))
     (List.init 50 (fun i -> i));
   Alcotest.(check (list int)) "every item visited once"
     (List.init 50 (fun _ -> 1))
-    (Array.to_list hits)
+    (Array.to_list (Array.map Atomic.get hits))
 
 (* ------------------------------------------------------------------ *)
 (* Determinism of the parallel nemesis sweep: the whole point of the
@@ -126,6 +158,8 @@ let () =
           Alcotest.test_case "default_jobs env" `Quick test_default_jobs_env;
           Alcotest.test_case "worker exception propagates" `Quick
             test_exception_propagates;
+          Alcotest.test_case "concurrent failures: deterministic winner"
+            `Quick test_concurrent_failures_deterministic_winner;
           Alcotest.test_case "iter visits every item" `Quick
             test_iter_runs_everything;
         ] );

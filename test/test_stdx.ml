@@ -392,9 +392,64 @@ let test_jsonx_accessors () =
       Alcotest.(check bool) "missing member" true
         (Gcs_stdx.Jsonx.member "zz" v = None)
 
+(* ------------------------------------------------------------------ *)
+(* Graphx: the cycle detector under both lock-order analyses. *)
+
+let sccs edges =
+  Gcs_stdx.Graphx.cyclic_sccs ~compare:String.compare ~edges
+
+let test_graphx_acyclic () =
+  Alcotest.(check (list (list string)))
+    "a chain has no cyclic SCC" []
+    (sccs [ ("a", "b"); ("b", "c"); ("a", "c") ])
+
+let test_graphx_two_cycle () =
+  Alcotest.(check (list (list string)))
+    "inverted pair" [ [ "a"; "b" ] ]
+    (sccs [ ("a", "b"); ("b", "a") ])
+
+let test_graphx_self_loop () =
+  Alcotest.(check (list (list string)))
+    "self-edge is a cycle" [ [ "x" ] ]
+    (sccs [ ("x", "x"); ("x", "y") ])
+
+let test_graphx_two_components () =
+  Alcotest.(check (list (list string)))
+    "distinct cycles kept apart, sorted"
+    [ [ "a"; "b" ]; [ "c"; "d" ] ]
+    (sccs [ ("c", "d"); ("d", "c"); ("a", "b"); ("b", "a"); ("b", "c") ])
+
+let test_graphx_edge_order_irrelevant () =
+  let edges = [ ("a", "b"); ("b", "c"); ("c", "a"); ("c", "d") ] in
+  Alcotest.(check (list (list string)))
+    "deterministic at any edge order"
+    (sccs edges)
+    (sccs (List.rev edges))
+
+let test_graphx_reachable () =
+  let reach =
+    Gcs_stdx.Graphx.reachable ~compare:String.compare
+      ~edges:[ ("a", "b"); ("b", "c"); ("c", "a"); ("x", "y") ]
+  in
+  Alcotest.(check (list string))
+    "cycle members reach themselves" [ "a"; "b"; "c" ] (reach "a");
+  Alcotest.(check (list string)) "dag tail" [ "y" ] (reach "x");
+  Alcotest.(check (list string)) "sink reaches nothing" [] (reach "y")
+
 let () =
   Alcotest.run "stdx"
     [
+      ( "graphx",
+        [
+          Alcotest.test_case "acyclic" `Quick test_graphx_acyclic;
+          Alcotest.test_case "two-cycle" `Quick test_graphx_two_cycle;
+          Alcotest.test_case "self-loop" `Quick test_graphx_self_loop;
+          Alcotest.test_case "two components" `Quick
+            test_graphx_two_components;
+          Alcotest.test_case "edge order irrelevant" `Quick
+            test_graphx_edge_order_irrelevant;
+          Alcotest.test_case "reachable" `Quick test_graphx_reachable;
+        ] );
       ( "seqx",
         [
           Alcotest.test_case "is_prefix" `Quick test_is_prefix;

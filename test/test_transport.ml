@@ -182,6 +182,87 @@ let contract_tests profile =
       case "close and clock monotonicity" test_close_and_clock;
     ] )
 
+(* ------------------------------------------------------------------ *)
+(* Mailbox close/recv semantics. The hazard: a blocking [recv] checks
+   emptiness, then parks on the condition — if closed were an *edge*
+   (a broadcast only), a close landing between the check and the park
+   would be missed and the receiver would hang forever. Closed is a
+   state checked under the mailbox lock, so every schedule must
+   terminate; these tests run the race many times across domains and
+   would hang (and time out) on a regression, which is the assertion. *)
+
+module Mailbox = Gcs_transport.Mailbox
+
+let test_recv_drains_then_none () =
+  let mb = Mailbox.create () in
+  Mailbox.push mb 1;
+  Mailbox.push mb 2;
+  Mailbox.close mb;
+  let r1 = Mailbox.recv mb in
+  let r2 = Mailbox.recv mb in
+  let r3 = Mailbox.recv mb in
+  let r4 = Mailbox.recv mb in
+  Alcotest.(check (list (option int)))
+    "push-then-close drains in order, then None"
+    [ Some 1; Some 2; None; None ]
+    [ r1; r2; r3; r4 ]
+
+let test_recv_closed_empty_returns () =
+  let mb : int Mailbox.t = Mailbox.create () in
+  Mailbox.close mb;
+  Alcotest.(check (option int)) "closed+empty is None" None (Mailbox.recv mb)
+
+let test_recv_blocked_during_close_returns () =
+  (* Many rounds: each parks a receiver on an empty mailbox, then closes
+     from another domain. A missed wakeup hangs the join. *)
+  for _ = 1 to 100 do
+    let mb : int Mailbox.t = Mailbox.create () in
+    let receiver = Domain.spawn (fun () -> Mailbox.recv mb) in
+    Domain.cpu_relax ();
+    let closer = Domain.spawn (fun () -> Mailbox.close mb) in
+    let got = Domain.join receiver in
+    Domain.join closer;
+    Alcotest.(check (option int)) "blocked recv returns None" None got
+  done
+
+let test_recv_race_push_close () =
+  (* Push and close race a parked receiver: it must get either the
+     element or None — and always return. *)
+  let some = ref 0 and none = ref 0 in
+  for _ = 1 to 100 do
+    let mb : int Mailbox.t = Mailbox.create () in
+    let receiver = Domain.spawn (fun () -> Mailbox.recv mb) in
+    let pusher =
+      Domain.spawn (fun () ->
+          Mailbox.push mb 7;
+          Mailbox.close mb)
+    in
+    (match Domain.join receiver with
+    | Some v ->
+        Alcotest.(check int) "the pushed element" 7 v;
+        incr some
+    | None -> incr none);
+    Domain.join pusher
+  done;
+  (* close happens strictly after push here, so a receiver that misses
+     the element can only be one that returned None before the push —
+     impossible: recv blocks until a wake, and both wakes leave it
+     either an element or the closed state. *)
+  Alcotest.(check int) "every element received" 100 !some
+
+let mailbox_tests =
+  ( "mailbox close/recv",
+    [
+      Alcotest.test_case "push-then-close drains, then None" `Quick
+        test_recv_drains_then_none;
+      Alcotest.test_case "closed+empty returns None" `Quick
+        test_recv_closed_empty_returns;
+      Alcotest.test_case "recv blocked during close returns" `Quick
+        test_recv_blocked_during_close_returns;
+      Alcotest.test_case "recv racing push+close never hangs" `Quick
+        test_recv_race_push_close;
+    ] )
+
 let () =
   Alcotest.run "transport contract"
-    [ contract_tests sim_profile; contract_tests bus_profile ]
+    [ contract_tests sim_profile; contract_tests bus_profile; mailbox_tests ]
