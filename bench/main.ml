@@ -1243,6 +1243,83 @@ let x21 () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* X22: differential fuzzing throughput — executions per second for each
+   backend pair (each execution runs the schedule twice and judges
+   per-node delivered orders), plus the fuzzy state-hash throughput.
+   These rates set the CI budgets for the 2000-exec differential
+   smokes. *)
+
+let x22 () =
+  row "%18s %8s %10s %12s %10s\n" "pair" "execs" "wall s" "execs/sec"
+    "features";
+  let n = 4 in
+  let procs = Proc.all ~n in
+  let config =
+    To_service.make_config
+      { Vs_node.procs; p0 = procs; pi = 8.0; mu = 10.0; delta = 1.0 }
+  in
+  let budget = function
+    | Gcs_fuzz.Differential.Sim_bus -> 12
+    | Gcs_fuzz.Differential.Skeen_bus -> 30
+    | Gcs_fuzz.Differential.Vstoto_skeen
+    | Gcs_fuzz.Differential.Vstoto_sequencer -> 400
+  in
+  let pair_rows =
+    List.map
+      (fun pair ->
+        let execs = budget pair in
+        let t0 = wall_now () in
+        let outcome =
+          Gcs_fuzz.Fuzz.run ~pair ~jobs:!jobs ~config ~seed:3 ~execs ()
+        in
+        let wall = wall_now () -. t0 in
+        let name = Gcs_fuzz.Differential.name pair in
+        let rate = float_of_int execs /. wall in
+        row "%18s %8d %10.2f %12.1f %10d\n" name execs wall rate
+          outcome.Gcs_fuzz.Fuzz.stats.Gcs_fuzz.Fuzz.features;
+        J.Obj
+          [
+            ("pair", J.Str name);
+            ("execs", J.Int execs);
+            ("wall_s", J.num wall);
+            ("execs_per_s", J.num rate);
+            ("features", J.Int outcome.Gcs_fuzz.Fuzz.stats.Gcs_fuzz.Fuzz.features);
+          ])
+      Gcs_fuzz.Differential.all
+  in
+  (* Fuzzy-hash throughput: snapshots per second through the rolling-hash
+     chunker, on synthetic node-state strings of realistic size. *)
+  let snaps =
+    List.init 200 (fun i ->
+        String.concat ","
+          (List.init 60 (fun k -> Printf.sprintf "field%d=%d" k (i * (k + 3)))))
+  in
+  let bytes =
+    List.fold_left (fun acc s -> acc + String.length s) 0 snaps
+  in
+  let reps = 50 in
+  let t0 = wall_now () in
+  for _ = 1 to reps do
+    ignore (Gcs_fuzz.Coverage.fuzzy_features ~tag:"bench" snaps)
+  done;
+  let wall = wall_now () -. t0 in
+  let snaps_per_s = float_of_int (List.length snaps * reps) /. wall in
+  let mb_per_s = float_of_int (bytes * reps) /. wall /. 1.0e6 in
+  row "%18s %8d %10.2f %12.0f %10.1f\n" "fuzzy-hash" (List.length snaps * reps)
+    wall snaps_per_s mb_per_s;
+  pair_rows
+  @ [
+      J.Obj
+        [
+          ("pair", J.Str "fuzzy-hash");
+          ("snapshots", J.Int (List.length snaps * reps));
+          ("wall_s", J.num wall);
+          ("snapshots_per_s", J.num snaps_per_s);
+          ("mb_per_s", J.num mb_per_s);
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* M: bechamel micro-benchmarks (M1–M7: core machinery; M8: incremental
    checker throughput at growing trace lengths; M9: pool dispatch
    overhead; M10: hot-path accumulation; M11: lock instrumentation
@@ -1487,6 +1564,7 @@ let () =
   section "X19" "bus transport throughput (wall-clock msgs/sec)" x19;
   section "X20" "batched throughput (open-loop load, both backends)" x20;
   section "X21" "total-order backends: VStoTO vs sequencer vs Skeen" x21;
+  section "X22" "differential fuzzing throughput (execs/sec per pair)" x22;
   if not quick then
     section "M" "micro-benchmarks (bechamel; time per run)" micro;
   (match json_file with

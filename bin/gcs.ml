@@ -578,19 +578,86 @@ let fuzz_cmd =
   let corpus_arg =
     Arg.(
       value & opt string ""
-      & info [ "corpus" ] ~docv:"DIR"
-          ~doc:"Write the final corpus to DIR (one .sched file per entry).")
+      & info [ "corpus-out"; "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Write the final corpus to DIR (one .sched file per entry, \
+             written atomically; stale entries from a previous save are \
+             removed).")
+  in
+  let corpus_in_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "corpus-in" ] ~docv:"DIR"
+          ~doc:
+            "Replay a saved corpus as extra seed schedules. Entries are \
+             loaded in name order, truncated or unparsable files are \
+             skipped with a warning, and admission minimizes the corpus \
+             deterministically (an entry survives only if it still adds \
+             coverage).")
+  in
+  let diff_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "diff" ] ~docv:"PAIR"
+          ~doc:
+            "Differential mode: run every schedule on two backends and \
+             treat any disagreement in per-node delivered orders as \
+             crash-grade. PAIR is one of $(b,sim-bus), $(b,skeen-bus), \
+             $(b,vstoto-skeen), $(b,vstoto-sequencer). Faults are \
+             stripped; mutation works the submission sequence and seed.")
+  in
+  let soak_arg =
+    Arg.(
+      value & flag
+      & info [ "soak" ]
+          ~doc:
+            "Long-horizon mode: keep fuzzing past failures (each failing \
+             input re-enters the corpus with boosted energy); report \
+             every failure at the end, shrink the first.")
+  in
+  let max_minutes_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "max-minutes" ] ~docv:"M"
+          ~doc:
+            "Wall-clock budget: stop at the end of the round running at \
+             M minutes (0: unlimited, the --execs budget governs).")
+  in
+  let snapshot_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Write a one-object JSON progress snapshot to FILE \
+             (atomically) every --snapshot-every rounds.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "snapshot-every" ] ~docv:"K"
+          ~doc:"Rounds between --snapshot writes (default 50).")
   in
   let mutant_arg =
     Arg.(
       value & opt string ""
       & info [ "mutant" ] ~docv:"NAME"
-          ~doc:"Fuzz against a planted bug (see --list-mutants).")
+          ~doc:
+            "Fuzz against a planted bug (see --list-mutants and \
+             --list-diff-mutants). A differential mutant implies its \
+             pair's --diff mode.")
   in
   let list_mutants_arg =
     Arg.(
       value & flag
       & info [ "list-mutants" ] ~doc:"List the planted-bug mutants.")
+  in
+  let list_diff_mutants_arg =
+    Arg.(
+      value & flag
+      & info [ "list-diff-mutants" ]
+          ~doc:
+            "List the planted divergence-only mutants (found only by \
+             --diff mode).")
   in
   let service_arg =
     Arg.(
@@ -640,12 +707,11 @@ let fuzz_cmd =
       & info [ "json" ] ~doc:"Print the run statistics as one JSON object.")
   in
   let write_file path contents =
-    let oc = open_out path in
-    output_string oc contents;
-    close_out oc
+    Gcs_stdx.Fileio.write_atomic ~path contents
   in
-  let run n delta pi mu seed jobs execs batch corpus mutant list_mutants service
-      expect repro replay shrink_budget json =
+  let run n delta pi mu seed jobs execs batch corpus corpus_in diff soak
+      max_minutes snapshot snapshot_every mutant list_mutants list_diff_mutants
+      service expect repro replay shrink_budget json =
     if list_mutants then begin
       List.iter
         (fun m ->
@@ -660,22 +726,60 @@ let fuzz_cmd =
             (String.concat ", " m.Gcs_fuzz.Skeen_mutant.expected_checks))
         Gcs_fuzz.Skeen_mutant.all
     end
+    else if list_diff_mutants then
+      List.iter
+        (fun m ->
+          Printf.printf "%-24s %s (pair: %s)\n" m.Gcs_fuzz.Diff_mutant.name
+            m.Gcs_fuzz.Diff_mutant.doc
+            (Gcs_fuzz.Differential.name m.Gcs_fuzz.Diff_mutant.pair))
+        Gcs_fuzz.Diff_mutant.all
     else begin
       let vs_config = mk_config n delta pi mu in
       let config = To_service.make_config vs_config in
-      let mutant, skeen_mutant =
+      let mutant, skeen_mutant, tamper, mutant_pair =
         match mutant with
-        | "" -> (None, None)
+        | "" -> (None, None, None, None)
         | name -> (
             match Gcs_fuzz.Mutant.find name with
-            | Some m -> (Some m, None)
+            | Some m -> (Some m, None, None, None)
             | None -> (
                 match Gcs_fuzz.Skeen_mutant.find name with
-                | Some m -> (None, Some m)
-                | None ->
+                | Some m -> (None, Some m, None, None)
+                | None -> (
+                    match Gcs_fuzz.Diff_mutant.find name with
+                    | Some m ->
+                        ( m.Gcs_fuzz.Diff_mutant.vs,
+                          m.Gcs_fuzz.Diff_mutant.skeen,
+                          m.Gcs_fuzz.Diff_mutant.tamper,
+                          Some m.Gcs_fuzz.Diff_mutant.pair )
+                    | None ->
+                        Printf.eprintf
+                          "error: unknown mutant %s (try --list-mutants, \
+                           --list-diff-mutants)\n"
+                          name;
+                        exit 2)))
+      in
+      let pair =
+        match (diff, mutant_pair) with
+        | "", p -> p
+        | s, _ -> (
+            match Gcs_fuzz.Differential.of_name s with
+            | None ->
+                Printf.eprintf
+                  "error: unknown pair %s (one of: %s)\n" s
+                  (String.concat ", "
+                     (List.map Gcs_fuzz.Differential.name
+                        Gcs_fuzz.Differential.all));
+                exit 2
+            | Some p -> (
+                match mutant_pair with
+                | Some mp when mp <> p ->
                     Printf.eprintf
-                      "error: unknown mutant %s (try --list-mutants)\n" name;
-                    exit 2))
+                      "error: mutant targets pair %s, not %s\n"
+                      (Gcs_fuzz.Differential.name mp)
+                      (Gcs_fuzz.Differential.name p);
+                    exit 2
+                | _ -> Some p))
       in
       let service =
         if Option.is_some skeen_mutant then Gcs_fuzz.Fuzz.Skeen_backend
@@ -701,12 +805,17 @@ let fuzz_cmd =
             exit 2
         | Ok input -> (
             let obs =
-              match service with
-              | Gcs_fuzz.Fuzz.Vstoto_stack ->
-                  Gcs_fuzz.Runner.execute ?mutant ~config input
-              | Gcs_fuzz.Fuzz.Skeen_backend ->
-                  Gcs_fuzz.Runner.execute_skeen ?mutant:skeen_mutant ~delta
-                    ~config:skeen_config input
+              match pair with
+              | Some p ->
+                  Gcs_fuzz.Differential.execute ?tamper ?vs_mutant:mutant
+                    ?skeen_mutant ~config p input
+              | None -> (
+                  match service with
+                  | Gcs_fuzz.Fuzz.Vstoto_stack ->
+                      Gcs_fuzz.Runner.execute ?mutant ~config input
+                  | Gcs_fuzz.Fuzz.Skeen_backend ->
+                      Gcs_fuzz.Runner.execute_skeen ?mutant:skeen_mutant ~delta
+                        ~config:skeen_config input)
             in
             match obs.Gcs_fuzz.Runner.verdict with
             | None ->
@@ -720,19 +829,56 @@ let fuzz_cmd =
       end
       else begin
         let jobs = resolve_jobs jobs in
+        let seeds =
+          if corpus_in = "" then []
+          else begin
+            let inputs, warnings = Gcs_fuzz.Corpus.load ~dir:corpus_in in
+            List.iter
+              (fun w -> Printf.eprintf "corpus-in: warning: %s\n%!" w)
+              warnings;
+            if not json then
+              Printf.printf "corpus-in: replaying %d entries from %s\n"
+                (List.length inputs) corpus_in;
+            inputs
+          end
+        in
+        (* The soak wall budget and snapshot timestamps are operator
+           telemetry about real elapsed time, not simulation state — the
+           same sanctioned sink as the bench harness's wall clocks. *)
+        let wall_now () = (Unix.gettimeofday [@gcs.lint.allow "D2"]) () in
+        let started = wall_now () in
+        let should_stop =
+          if max_minutes <= 0.0 then None
+          else Some (fun () -> wall_now () -. started >= max_minutes *. 60.0)
+        in
         let progress =
-          if json then None
-          else
-            Some
-              (fun s ->
-                if s.Gcs_fuzz.Fuzz.rounds mod 50 = 0 then
-                  Printf.printf "  execs %5d  corpus %3d  features %4d\n%!"
-                    s.Gcs_fuzz.Fuzz.execs s.Gcs_fuzz.Fuzz.corpus_size
-                    s.Gcs_fuzz.Fuzz.features)
+          let console s =
+            if (not json) && s.Gcs_fuzz.Fuzz.rounds mod 50 = 0 then
+              Printf.printf "  execs %5d  corpus %3d  features %4d\n%!"
+                s.Gcs_fuzz.Fuzz.execs s.Gcs_fuzz.Fuzz.corpus_size
+                s.Gcs_fuzz.Fuzz.features
+          in
+          let snap s =
+            if
+              snapshot <> ""
+              && s.Gcs_fuzz.Fuzz.rounds mod max 1 snapshot_every = 0
+            then
+              Gcs_stdx.Fileio.write_atomic ~path:snapshot
+                (Printf.sprintf
+                   {|{"execs":%d,"rounds":%d,"corpus":%d,"features":%d,"wall_s":%.1f}|}
+                   s.Gcs_fuzz.Fuzz.execs s.Gcs_fuzz.Fuzz.rounds
+                   s.Gcs_fuzz.Fuzz.corpus_size s.Gcs_fuzz.Fuzz.features
+                   (wall_now () -. started))
+          in
+          Some
+            (fun s ->
+              console s;
+              snap s)
         in
         let outcome =
-          Gcs_fuzz.Fuzz.run ?mutant ?skeen_mutant ~service ~jobs ~batch
-            ~shrink_budget ?progress ~config ~seed ~execs ()
+          Gcs_fuzz.Fuzz.run ?mutant ?skeen_mutant ?tamper ?pair ~service
+            ~seeds ~jobs ~batch ~shrink_budget ~stop_on_failure:(not soak)
+            ?should_stop ?progress ~config ~seed ~execs ()
         in
         if json then print_endline (Gcs_fuzz.Fuzz.stats_to_json outcome)
         else begin
@@ -743,6 +889,26 @@ let fuzz_cmd =
             outcome.Gcs_fuzz.Fuzz.stats.Gcs_fuzz.Fuzz.rounds
             outcome.Gcs_fuzz.Fuzz.stats.Gcs_fuzz.Fuzz.corpus_size
             outcome.Gcs_fuzz.Fuzz.stats.Gcs_fuzz.Fuzz.features seed jobs;
+          (if soak then
+             let tally = Hashtbl.create 8 in
+             List.iter
+               (fun (_, f) ->
+                 let c = f.Gcs_fuzz.Runner.check in
+                 Hashtbl.replace tally c
+                   (1 + Option.value ~default:0 (Hashtbl.find_opt tally c)))
+               outcome.Gcs_fuzz.Fuzz.failures;
+             Printf.printf "soak: %d failures%s\n"
+               (List.length outcome.Gcs_fuzz.Fuzz.failures)
+               (if Hashtbl.length tally = 0 then ""
+                else
+                  Printf.sprintf " (%s)"
+                    (String.concat ", "
+                       (List.map
+                          (fun (c, k) -> Printf.sprintf "%s: %d" c k)
+                          (List.sort compare
+                             (Hashtbl.fold
+                                (fun c k acc -> (c, k) :: acc)
+                                tally []))))));
           match outcome.Gcs_fuzz.Fuzz.failure with
           | None -> Printf.printf "no failures found\n"
           | Some (input, f) -> (
@@ -763,34 +929,38 @@ let fuzz_cmd =
                     (Gcs_fuzz.Input.to_string s.Gcs_fuzz.Shrink.input))
         end;
         if corpus <> "" then begin
-          (try Unix.mkdir corpus 0o755
-           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-          let entries = Gcs_fuzz.Fuzz.corpus_strings outcome in
-          List.iteri
-            (fun i s ->
-              write_file
-                (Filename.concat corpus (Printf.sprintf "%03d.sched" i))
-                s)
-            entries;
+          Gcs_fuzz.Corpus.save ~dir:corpus
+            (List.map
+               (fun e -> e.Gcs_fuzz.Fuzz.input)
+               outcome.Gcs_fuzz.Fuzz.corpus);
           if not json then
             Printf.printf "wrote %d corpus entries to %s\n"
-              (List.length entries) corpus
+              (List.length outcome.Gcs_fuzz.Fuzz.corpus)
+              corpus
         end;
         (match (outcome.Gcs_fuzz.Fuzz.shrunk, repro) with
-        | Some s, file when file <> "" ->
+        | Some s, file when file <> "" -> (
             let input = s.Gcs_fuzz.Shrink.input in
             write_file file (Gcs_fuzz.Input.to_string input);
-            let trace, _ =
-              match service with
-              | Gcs_fuzz.Fuzz.Vstoto_stack ->
-                  Gcs_fuzz.Runner.replay ?mutant ~config input
-              | Gcs_fuzz.Fuzz.Skeen_backend ->
-                  Gcs_fuzz.Runner.replay_skeen ?mutant:skeen_mutant ~delta
-                    ~config:skeen_config input
-            in
-            write_file (file ^ ".trace") (Trace_io.to_to_string trace ^ "\n");
-            if not json then
-              Printf.printf "wrote %s and %s.trace\n" file file
+            match pair with
+            | Some _ ->
+                (* A differential reproducer has two traces, not one;
+                   the schedule alone replays with gcs fuzz --diff
+                   --replay. *)
+                if not json then Printf.printf "wrote %s\n" file
+            | None ->
+                let trace, _ =
+                  match service with
+                  | Gcs_fuzz.Fuzz.Vstoto_stack ->
+                      Gcs_fuzz.Runner.replay ?mutant ~config input
+                  | Gcs_fuzz.Fuzz.Skeen_backend ->
+                      Gcs_fuzz.Runner.replay_skeen ?mutant:skeen_mutant ~delta
+                        ~config:skeen_config input
+                in
+                write_file (file ^ ".trace")
+                  (Trace_io.to_to_string trace ^ "\n");
+                if not json then
+                  Printf.printf "wrote %s and %s.trace\n" file file)
         | _ -> ());
         let found = Option.is_some outcome.Gcs_fuzz.Fuzz.failure in
         if expect <> found then exit 1
@@ -806,12 +976,17 @@ let fuzz_cmd =
           on a domain pool, check every oracle (trace conformance, the \
           Theorem 7.2 delivery bound, node-local invariants), and \
           delta-debug the first failing schedule to a locally minimal \
-          reproducer. Deterministic for a given --seed at any --jobs.")
+          reproducer. Deterministic for a given --seed at any --jobs. \
+          With --diff, every backend becomes an oracle: each schedule \
+          runs on two backends and any divergence in per-node delivered \
+          orders is crash-grade; --soak with --corpus-in/--corpus-out \
+          turns the mode into a resumable long-horizon campaign.")
     Term.(
       const run $ n_arg $ delta_arg $ pi_arg $ mu_arg $ seed_arg $ jobs_arg
-      $ execs_arg $ batch_arg $ corpus_arg $ mutant_arg $ list_mutants_arg
-      $ service_arg $ expect_arg $ repro_arg $ replay_arg $ shrink_arg
-      $ json_arg)
+      $ execs_arg $ batch_arg $ corpus_arg $ corpus_in_arg $ diff_arg
+      $ soak_arg $ max_minutes_arg $ snapshot_arg $ snapshot_every_arg
+      $ mutant_arg $ list_mutants_arg $ list_diff_mutants_arg $ service_arg
+      $ expect_arg $ repro_arg $ replay_arg $ shrink_arg $ json_arg)
 
 (* ------------------------------- lint ------------------------------- *)
 

@@ -26,28 +26,9 @@ let workload ?origins config ~seed ~count =
       let origin = Gcs_stdx.Prng.pick_exn prng procs in
       (0.0, origin, Printf.sprintf "m%d.p%d" i origin))
 
-(* Per-node delivered sequence, in trace order: "src:value" strings. *)
+(* Per-node delivered sequences via the shared comparator. *)
 let orders procs run =
-  let rev =
-    List.fold_left
-      (fun acc (_, action) ->
-        match action with
-        | To_action.Brcv { src; dst; value } ->
-            let prev =
-              match Proc.Map.find_opt dst acc with Some l -> l | None -> []
-            in
-            Proc.Map.add dst (Printf.sprintf "%d:%s" src value :: prev) acc
-        | _ -> acc)
-      Proc.Map.empty
-      (Timed.actions (To_service.client_trace run))
-  in
-  List.map
-    (fun p ->
-      ( p,
-        match Proc.Map.find_opt p rev with
-        | Some l -> List.rev l
-        | None -> [] ))
-    procs
+  Divergence.orders ~procs (To_service.client_trace run)
 
 (* With [batch_window] set, the anchoring leans on the deferred first
    launch (Vs_node's [first_launch_delay], set by the TO service to
@@ -93,11 +74,9 @@ let run_pair ?(n = 3) ?(count = 12) ?batch_window ~seed () =
       [ ("sim", sim_orders); ("bus", bus_orders) ]
   in
   let divergence =
-    List.find_map
-      (fun ((p, sim_seq), (_, bus_seq)) ->
-        if List.equal String.equal sim_seq bus_seq then None
-        else Some (p, sim_seq, bus_seq))
-      (List.combine sim_orders bus_orders)
+    match Divergence.compare_orders ~left:sim_orders ~right:bus_orders with
+    | Divergence.Agree -> None
+    | Divergence.Diverged { node; left; right; _ } -> Some (node, left, right)
   in
   {
     seed;
@@ -124,21 +103,7 @@ let pp_report ppf r =
     | None -> ""
     | Some (p, _, _) -> Printf.sprintf ", DIVERGED at node %d" p)
 
-let json_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
+let json_string = Divergence.json_string
 
 let dump r =
   let seq l = "[" ^ String.concat "," (List.map json_string l) ^ "]" in

@@ -1,0 +1,60 @@
+open Gcs_core
+open Gcs_impl
+
+let vstoto_invariants : Vstoto.state Gcs_automata.Invariant.t list =
+  [
+    Gcs_automata.Invariant.make_explained "counters-ordered"
+      (fun (st : Vstoto.state) ->
+        if
+          1 <= st.Vstoto.nextreport
+          && st.Vstoto.nextreport <= st.Vstoto.nextconfirm
+          && st.Vstoto.nextconfirm <= Gcs_stdx.Tape.length st.Vstoto.order + 1
+        then Ok ()
+        else
+          Error
+            (Printf.sprintf "nextreport=%d nextconfirm=%d |order|=%d"
+               st.Vstoto.nextreport st.Vstoto.nextconfirm
+               (Gcs_stdx.Tape.length st.Vstoto.order)));
+    Gcs_automata.Invariant.make_explained "order-duplicate-free"
+      (fun (st : Vstoto.state) ->
+        let sorted =
+          List.sort Label.compare (Gcs_stdx.Tape.to_list st.Vstoto.order)
+        in
+        let rec dup = function
+          | a :: (b :: _ as rest) ->
+              if Label.equal a b then Some a else dup rest
+          | [] | [ _ ] -> None
+        in
+        match dup sorted with
+        | None -> Ok ()
+        | Some l -> Error (Format.asprintf "label %a ordered twice" Label.pp l));
+    Gcs_automata.Invariant.make_explained "reported-prefix-content"
+      (fun (st : Vstoto.state) ->
+        let reported =
+          Gcs_stdx.Seqx.take (st.Vstoto.nextreport - 1)
+            (Gcs_stdx.Tape.to_list st.Vstoto.order)
+        in
+        match
+          List.find_opt
+            (fun l -> not (Label.Map.mem l st.Vstoto.content))
+            reported
+        with
+        | None -> Ok ()
+        | Some l ->
+            Error
+              (Format.asprintf "reported label %a has no content" Label.pp l));
+  ]
+
+let node_invariant_failure final_states =
+  List.find_map
+    (fun (p, node) ->
+      match
+        Gcs_automata.Invariant.first_failure vstoto_invariants
+          (To_service.node_app node)
+      with
+      | Some (name, detail) ->
+          Some
+            ( "node-invariant",
+              Printf.sprintf "proc %d: %s: %s" p name detail )
+      | None -> None)
+    (Proc.Map.bindings final_states)

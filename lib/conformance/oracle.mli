@@ -1,0 +1,18 @@
+open Gcs_impl
+
+(** Node-local VStoTO state invariants, shared by every judge.
+
+    These used to live inside the fuzzer's runner; they moved here so
+    the conformance suite, the CLI and the fuzzer (which now depends on
+    this library for the divergence comparator) all apply the exact same
+    oracle set without a dependency cycle. *)
+
+val vstoto_invariants :
+  Gcs_core.Vstoto.state Gcs_automata.Invariant.t list
+(** Counter ordering ([1 <= nextreport <= nextconfirm <= |order|+1]),
+    duplicate-free delivery order, reported-prefix content presence. *)
+
+val node_invariant_failure :
+  To_service.node Gcs_core.Proc.Map.t -> (string * string) option
+(** First {!vstoto_invariants} violation over a fleet's final states, as
+    a [(check, detail)] pair with [check = "node-invariant"]. *)

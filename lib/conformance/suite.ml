@@ -196,14 +196,8 @@ let check profile ~seed case =
             else (
               match batch_boundary_violation run with
               | Some detail -> Some ("batch-view-boundary", detail)
-              | None -> (
-                  match
-                    Gcs_fuzz.Runner.node_invariant_failure
-                      run.To_service.final_nodes
-                  with
-                  | Some f ->
-                      Some (f.Gcs_fuzz.Runner.check, f.Gcs_fuzz.Runner.detail)
-                  | None -> None)))
+              | None ->
+                  Oracle.node_invariant_failure run.To_service.final_nodes))
   in
   let bcasts =
     List.length

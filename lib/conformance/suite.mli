@@ -13,7 +13,7 @@ open Gcs_impl
     - the Theorem 7.2 delivery bound [b' + d'] past stabilization
       (every case ends with the world fully good, so the premise holds);
     - the VStoTO node-state invariants on every final state (the
-      fuzzer's exact oracle set, {!Gcs_fuzz.Runner.vstoto_invariants}).
+      fuzzer's exact oracle set, {!Oracle.vstoto_invariants}).
 
     The point of running this per backend: the oracles quantify over
     {e every} interleaving, so they transfer unchanged from the

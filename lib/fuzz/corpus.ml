@@ -1,0 +1,82 @@
+module Fileio = Gcs_stdx.Fileio
+
+(* One schedule per file, named by position, with an explicit end marker:
+   a reader can always tell a complete entry from a torn one, whatever
+   filesystem the cache was restored from. (Writes go through
+   {!Fileio.write_atomic}, so torn entries only arise from foreign
+   tooling — a CI cache restore interrupted mid-file, a manual copy —
+   but the loader still refuses to guess.) *)
+
+let entry_ext = ".sched"
+let end_marker = "# end"
+let entry_name i = Printf.sprintf "%06d%s" i entry_ext
+
+let is_entry name =
+  String.length name > String.length entry_ext
+  && Filename.check_suffix name entry_ext
+
+let save ~dir inputs =
+  Fileio.ensure_dir dir;
+  let written = Hashtbl.create 64 in
+  List.iteri
+    (fun i input ->
+      let name = entry_name i in
+      Hashtbl.replace written name ();
+      Fileio.write_atomic
+        ~path:(Filename.concat dir name)
+        (Input.to_string input ^ end_marker ^ "\n"))
+    inputs;
+  (* A shrinking corpus must not leave ghost entries from a previous,
+     larger save: stale schedules would be replayed forever. *)
+  Array.iter
+    (fun name ->
+      if is_entry name && not (Hashtbl.mem written name) then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (Sys.readdir dir)
+
+let complete contents =
+  let lines = String.split_on_char '\n' contents in
+  List.exists (fun l -> String.equal (String.trim l) end_marker) lines
+
+let load ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then ([], [])
+  else begin
+    let names = Array.to_list (Sys.readdir dir) in
+    let names = List.sort String.compare (List.filter is_entry names) in
+    let inputs, warnings =
+      List.fold_left
+        (fun (inputs, warnings) name ->
+          let path = Filename.concat dir name in
+          match Fileio.read_file path with
+          | Error e ->
+              (inputs, Printf.sprintf "%s: unreadable (%s)" name e :: warnings)
+          | Ok contents when not (complete contents) ->
+              ( inputs,
+                Printf.sprintf "%s: truncated (no end marker), skipped" name
+                :: warnings )
+          | Ok contents -> (
+              match Input.of_string contents with
+              | Ok input -> (input :: inputs, warnings)
+              | Error e ->
+                  (inputs, Printf.sprintf "%s: %s, skipped" name e :: warnings)))
+        ([], []) names
+    in
+    (List.rev inputs, List.rev warnings)
+  end
+
+(* Greedy set-cover in file order: an entry is kept iff it still adds a
+   feature given everything kept before it. Both the verdict and the
+   iteration order are deterministic, so two loads of the same corpus
+   minimize to the same byte-identical survivor set — the property the
+   round-trip test pins. *)
+let minimize ~execute inputs =
+  let kept, coverage =
+    List.fold_left
+      (fun (kept, acc) input ->
+        let cov = execute input in
+        if Coverage.novel ~base:acc cov > 0 then
+          (input :: kept, Coverage.union acc cov)
+        else (kept, acc))
+      ([], Coverage.empty) inputs
+  in
+  (List.rev kept, coverage)

@@ -1,0 +1,31 @@
+(** Persistent corpora: schedules on disk, crash-safe.
+
+    A corpus directory holds one {!Input} per file ([000000.sched],
+    [000001.sched], …), each the input's text form plus a trailing
+    [# end] marker. Writes are atomic ({!Gcs_stdx.Fileio.write_atomic}),
+    and the loader treats a missing marker as a torn entry — skipped
+    with a warning, never half-parsed — so a corpus restored from a CI
+    cache or an interrupted soak run is always usable.
+
+    Loading is deterministic (entries sort by name) and so is
+    {!minimize}, so corpus round-trips are byte-for-byte reproducible:
+    save → load → minimize yields the same survivors and the same
+    coverage on every machine. *)
+
+val entry_name : int -> string
+(** [entry_name 7] is ["000007.sched"]. *)
+
+val save : dir:string -> Input.t list -> unit
+(** Write the corpus, creating [dir] if needed; entries beyond the list
+    (from a previous, larger save) are removed. *)
+
+val load : dir:string -> Input.t list * string list
+(** [(inputs, warnings)] — entries in name order; unreadable, truncated
+    or unparsable entries are skipped, each contributing a warning. A
+    missing directory is an empty corpus. *)
+
+val minimize :
+  execute:(Input.t -> Coverage.t) -> Input.t list -> Input.t list * Coverage.t
+(** Greedy deterministic set-cover in load order: keep an input iff it
+    adds coverage over those kept before it; returns the survivors and
+    their union coverage. *)

@@ -28,3 +28,14 @@ val bucket : int -> int
 (** AFL-style count bucketing: exact 0-3, then 4, 8, 16, 32, 128.
     Counters contribute the bucket, not the raw count, so runs differing
     only in uninteresting magnitudes map to the same features. *)
+
+val fuzzy_features : tag:string -> string list -> t
+(** Locality-sensitive hash features over serialized node-state
+    snapshots (StateAFL-style): each snapshot is cut into
+    content-defined chunks by a rolling hash, each chunk contributes a
+    12-bit FNV hash, and the run's multiset of chunk hashes enters the
+    map as one feature per hash plus one per (hash, bucketed
+    multiplicity). A novel protocol state thus earns corpus energy
+    without any hand-curated feature — while a state differing only in
+    uninteresting magnitudes maps to the features already seen. The
+    result is independent of snapshot order. *)

@@ -1,0 +1,399 @@
+open Gcs_core
+open Gcs_impl
+open Gcs_skeen
+module Divergence = Gcs_conformance.Divergence
+
+type pair = Sim_bus | Skeen_bus | Vstoto_skeen | Vstoto_sequencer
+
+let all = [ Sim_bus; Skeen_bus; Vstoto_skeen; Vstoto_sequencer ]
+
+let name = function
+  | Sim_bus -> "sim-bus"
+  | Skeen_bus -> "skeen-bus"
+  | Vstoto_skeen -> "vstoto-skeen"
+  | Vstoto_sequencer -> "vstoto-sequencer"
+
+let of_name s = List.find_opt (fun p -> String.equal (name p) s) all
+
+let doc = function
+  | Sim_bus ->
+      "VStoTO: deterministic simulator vs multi-domain bus (anchored \
+       workload, exact per-node order equality)"
+  | Skeen_bus ->
+      "Skeen: simulator vs bus (serialized workload, exact per-node order \
+       equality)"
+  | Vstoto_skeen ->
+      "VStoTO vs Skeen, both simulated (full-group workload, per-node \
+       content equality)"
+  | Vstoto_sequencer ->
+      "VStoTO vs fixed-sequencer baseline, both simulated (per-node \
+       content equality)"
+
+(* Cross-backend delivered-order agreement is only specified fault-free
+   (retransmission timing and wall-clock fault injection legitimately
+   differ between executions), so the differential mode projects every
+   input onto its fault-free workload. The projection also reassigns
+   workload times per pair: the anchoring that makes a nondeterministic
+   backend's delivered order reproducible is a property of *when* the
+   submissions land, so the pair — not the mutated input — owns the
+   schedule; the input contributes the sequence (origins, values) and
+   the seed. *)
+let strip input = Input.normalize { input with Input.steps = [] }
+
+let sequence input =
+  List.map (fun (_, p, v) -> (p, v)) (strip input).Input.workload
+
+(* ----------------------------- verdicts ------------------------------ *)
+
+let incomplete_failure ~pair ~label ~expected orders =
+  match Divergence.incomplete ~expected orders with
+  | [] -> None
+  | missing ->
+      Some
+        {
+          Runner.check = "diff-incomplete";
+          detail =
+            Printf.sprintf "%s: %s side incomplete: %s" (name pair) label
+              (String.concat ", "
+                 (List.map
+                    (fun (p, got) ->
+                      Printf.sprintf "node %d delivered %d/%d" p got
+                        (expected p))
+                    missing));
+        }
+
+let divergence_failure ~pair ~left_label ~right_label verdict =
+  match verdict with
+  | Divergence.Agree -> None
+  | Divergence.Diverged _ as d ->
+      Some
+        {
+          Runner.check = "divergence";
+          detail =
+            Printf.sprintf "%s: %s" (name pair)
+              (Divergence.describe ~left_label ~right_label d);
+        }
+
+(* Incompleteness is judged before ordering so a missing tail reads as
+   "node X delivered 3/8", not as a confusing order mismatch at the cut
+   point; both are crash-grade in this mode. *)
+let judge ~pair ~left_label ~right_label ~compare_fn ~expected left_orders
+    right_orders =
+  match incomplete_failure ~pair ~label:left_label ~expected left_orders with
+  | Some f -> Some f
+  | None -> (
+      match
+        incomplete_failure ~pair ~label:right_label ~expected right_orders
+      with
+      | Some f -> Some f
+      | None ->
+          divergence_failure ~pair ~left_label ~right_label
+            (compare_fn ~left:left_orders ~right:right_orders))
+
+let count_actions trace =
+  List.fold_left
+    (fun (b, d) (_, a) ->
+      match a with
+      | To_action.Bcast _ -> (b + 1, d)
+      | To_action.Brcv _ -> (b, d + 1)
+      | _ -> (b, d))
+    (0, 0) (Timed.actions trace)
+
+(* ------------------------------ sim-bus ------------------------------ *)
+
+(* The workload anchoring (everything at t = 0) and the timing profile
+   (δ large, μ huge, π small) come from the conformance differential
+   harness: under them the token fixes one transport-independent total
+   order, so the bus — for all its wall-clock nondeterminism — must
+   reproduce the simulator's delivered sequences byte for byte. *)
+let execute_sim_bus ?tamper ?vs_mutant ~n input =
+  let seq = sequence input in
+  let n_msgs = List.length seq in
+  let seed = input.Input.seed in
+  let config = Gcs_conformance.Differential.config ~n () in
+  let procs = config.To_service.vs.Vs_node.procs in
+  let workload = List.map (fun (p, v) -> (0.0, p, v)) seq in
+  (* Reference: the deterministic simulator, with the single-execution
+     coverage instrumentation (transitions, counters, state hashes). *)
+  let cov = ref Coverage.empty in
+  let snaps = ref [] in
+  let metrics = Gcs_stdx.Metrics.create () in
+  let observe me pre post =
+    cov := Runner.transition_features config me pre post !cov;
+    if
+      To_service.node_views_installed post
+      > To_service.node_views_installed pre
+    then snaps := Runner.snapshot_vstoto post :: !snaps
+  in
+  let sim_run =
+    To_service.run_on ~metrics ~observe
+      ~backend:
+        (Gcs_sim.Backend.of_config (Gcs_sim.Engine.default_config ~delta:5.0))
+      config ~workload ~failures:[] ~until:400.0 ~seed
+  in
+  let bcasts, deliveries = count_actions (To_service.client_trace sim_run) in
+  cov := Runner.counter_features metrics ~bcasts ~deliveries !cov;
+  let finals =
+    List.map
+      (fun (_, node) -> Runner.snapshot_vstoto node)
+      (Proc.Map.bindings sim_run.To_service.final_nodes)
+  in
+  cov :=
+    Coverage.union !cov (Coverage.fuzzy_features ~tag:"vs" (finals @ !snaps));
+  let sim_orders = Divergence.orders ~procs (To_service.client_trace sim_run) in
+  (* Candidate: the bus, stopping as soon as every node has reported the
+     whole workload (the horizon is only the failure fallback). A
+     planted bug, if any, applies here — a transport tamper baked into
+     the backend, or a handler rewrite instrumenting the VStoTO
+     automata — while the simulator side stays the oracle. Handlers are
+     built by hand (rather than via [To_service.run_on]) precisely so
+     the mutant can instrument them. *)
+  let progress = Array.init n (fun _ -> Atomic.make 0) in
+  let bus_observe p _pre post =
+    let st = To_service.node_app post in
+    Gcs_stdx.Atomicx.store_max progress.(p) (st.Vstoto.nextreport - 1)
+  in
+  let stop ~now:_ ~outputs:_ =
+    Array.for_all (fun a -> Atomic.get a >= n_msgs) progress
+  in
+  let bus_metrics = Gcs_stdx.Metrics.create () in
+  let handlers = To_service.handlers ~metrics:bus_metrics config in
+  let handlers =
+    match vs_mutant with
+    | Some m -> m.Mutant.instrument config handlers
+    | None -> handlers
+  in
+  let (module B : Gcs_transport.Iface.BACKEND) =
+    Gcs_transport.Bus.backend ?tamper ()
+  in
+  let result =
+    B.run ~metrics:bus_metrics ~observe:bus_observe ~stop
+      Wire.msg_packet_codec ~procs ~handlers
+      ~init:(To_service.initial config)
+      ~inputs:workload ~failures:[] ~until:30.0 ~seed
+  in
+  let bus_run =
+    {
+      To_service.trace = result.Gcs_sim.Engine.trace;
+      final_nodes = result.Gcs_sim.Engine.final_states;
+      packets_sent = result.Gcs_sim.Engine.packets_sent;
+      packets_dropped = result.Gcs_sim.Engine.packets_dropped;
+      events_processed = result.Gcs_sim.Engine.events_processed;
+      metrics = bus_metrics;
+    }
+  in
+  let bus_orders = Divergence.orders ~procs (To_service.client_trace bus_run) in
+  let verdict =
+    judge ~pair:Sim_bus ~left_label:"sim" ~right_label:"bus"
+      ~compare_fn:Divergence.compare_orders
+      ~expected:(fun _ -> n_msgs)
+      sim_orders bus_orders
+  in
+  {
+    Runner.coverage = !cov;
+    verdict;
+    bcasts;
+    deliveries;
+    events_processed =
+      sim_run.To_service.events_processed + bus_run.To_service.events_processed;
+  }
+
+(* ----------------------------- skeen-bus ----------------------------- *)
+
+(* Skeen's total order is decided by timestamp races, so concurrency on
+   a wall-clock backend is honest nondeterminism. The anchoring here is
+   temporal instead of token-based: submissions are spaced further apart
+   than a full propose/proposal/commit round on either clock (3δ in the
+   simulator, microseconds in-process on the bus), so each message
+   commits before the next is born and the delivered order must equal
+   the submission order on both sides. *)
+let skeen_spacing = 0.01
+let skeen_delta = 0.003
+
+let skeen_project input =
+  let seq = sequence input in
+  let workload =
+    List.mapi
+      (fun i (p, v) -> (skeen_spacing *. float_of_int (i + 1), p, v))
+      seq
+  in
+  { Input.seed = input.Input.seed; steps = []; workload }
+
+let execute_skeen_bus ?tamper ?skeen_mutant ~procs input =
+  let config = Skeen.make_config ~procs in
+  let input = skeen_project input in
+  let n_msgs = List.length input.Input.workload in
+  (* Reference: the FIFO simulator, with the single-execution Skeen
+     oracle battery and coverage instrumentation. *)
+  let ref_obs, ref_trace =
+    Runner.execute_skeen_full ~delta:skeen_delta ~dests:`Full ~config input
+  in
+  let ref_orders = Divergence.orders ~procs ref_trace in
+  (* Candidate: the same schedule on the bus; a planted mutant (handler
+     rewrite or transport tamper) applies to this side only, so the
+     reference stays the oracle. The candidate's own single-execution
+     verdicts are deliberately ignored (crashes excepted): the planted
+     bugs this mode gauges are the ones no single execution can see. *)
+  (* Early exit once every submission and delivery is on the trace (one
+     Bcast per message, one Brcv per message per member); the wall-clock
+     horizon is only the fallback for runs a mutant wedges. *)
+  let expected_outputs = n_msgs * (1 + List.length procs) in
+  let stop ~now:_ ~outputs = outputs >= expected_outputs in
+  (* Causal admission: submission [index] enters the bus only after the
+     previous submissions are fully processed (one Bcast plus one Brcv
+     per member each). Wall-clock spacing alone breaks under controller
+     jitter: a collapsed gap overlaps two proposal rounds and Skeen
+     commits a different — valid — total order than the serialized
+     reference, a false divergence. *)
+  let per_msg = 1 + List.length procs in
+  let admit ~outputs ~index = outputs >= index * per_msg in
+  let cand_obs, cand_trace =
+    Runner.execute_skeen_full ?mutant:skeen_mutant
+      ~backend:(Gcs_transport.Bus.backend ?tamper ~admit ())
+      ~stop ~delta:skeen_delta ~dests:`Full ~config input
+  in
+  let cand_orders = Divergence.orders ~procs cand_trace in
+  let verdict =
+    match ref_obs.Runner.verdict with
+    | Some f -> Some f
+    | None -> (
+        match cand_obs.Runner.verdict with
+        | Some ({ Runner.check = "crash"; _ } as f) -> Some f
+        | Some _ | None ->
+            judge ~pair:Skeen_bus ~left_label:"sim" ~right_label:"bus"
+              ~compare_fn:Divergence.compare_orders
+              ~expected:(fun _ -> n_msgs)
+              ref_orders cand_orders)
+  in
+  {
+    ref_obs with
+    Runner.verdict;
+    events_processed =
+      ref_obs.Runner.events_processed + cand_obs.Runner.events_processed;
+  }
+
+(* --------------------------- cross-protocol -------------------------- *)
+
+(* Two protocols pick different total orders, legitimately: the
+   comparison is per-node content (same messages to the same members),
+   which fault-free executions must agree on however they order. *)
+let execute_vstoto_skeen ?skeen_mutant ~config input =
+  let procs = config.To_service.vs.Vs_node.procs in
+  let input = strip input in
+  let n_msgs = List.length input.Input.workload in
+  let ref_obs, ref_trace = Runner.execute_full ~config input in
+  let ref_orders = Divergence.orders ~procs ref_trace in
+  let skeen_config = Skeen.make_config ~procs in
+  let cand_obs, cand_trace =
+    Runner.execute_skeen_full ?mutant:skeen_mutant
+      ~delta:config.To_service.vs.Vs_node.delta ~dests:`Full
+      ~config:skeen_config input
+  in
+  let cand_orders = Divergence.orders ~procs cand_trace in
+  let verdict =
+    match ref_obs.Runner.verdict with
+    | Some f -> Some f
+    | None -> (
+        match cand_obs.Runner.verdict with
+        | Some ({ Runner.check = "crash"; _ } as f) -> Some f
+        | Some _ | None ->
+            judge ~pair:Vstoto_skeen ~left_label:"vstoto" ~right_label:"skeen"
+              ~compare_fn:Divergence.compare_contents
+              ~expected:(fun _ -> n_msgs)
+              ref_orders cand_orders)
+  in
+  {
+    ref_obs with
+    Runner.coverage =
+      Coverage.union ref_obs.Runner.coverage cand_obs.Runner.coverage;
+    verdict;
+    events_processed =
+      ref_obs.Runner.events_processed + cand_obs.Runner.events_processed;
+  }
+
+let execute_vstoto_sequencer ~config input =
+  let procs = config.To_service.vs.Vs_node.procs in
+  let delta = config.To_service.vs.Vs_node.delta in
+  let input = strip input in
+  let n_msgs = List.length input.Input.workload in
+  let ref_obs, ref_trace = Runner.execute_full ~config input in
+  let ref_orders = Divergence.orders ~procs ref_trace in
+  let seq_config = Gcs_baseline.Sequencer.make_config ~procs in
+  let workload_end =
+    List.fold_left
+      (fun acc (t, _, _) -> Float.max acc t)
+      0.0 input.Input.workload
+  in
+  let cand_run =
+    Gcs_baseline.Sequencer.run ~delta seq_config ~workload:input.Input.workload
+      ~failures:[]
+      ~until:(workload_end +. (50.0 *. delta))
+      ~seed:input.Input.seed
+  in
+  let cand_orders =
+    Divergence.orders ~procs cand_run.Gcs_baseline.Sequencer.trace
+  in
+  let verdict =
+    match ref_obs.Runner.verdict with
+    | Some f -> Some f
+    | None ->
+        judge ~pair:Vstoto_sequencer ~left_label:"vstoto"
+          ~right_label:"sequencer" ~compare_fn:Divergence.compare_contents
+          ~expected:(fun _ -> n_msgs)
+          ref_orders cand_orders
+  in
+  { ref_obs with Runner.verdict }
+
+(* ------------------------------ dispatch ----------------------------- *)
+
+let execute ?tamper ?vs_mutant ?skeen_mutant ~config pair input =
+  let procs = config.To_service.vs.Vs_node.procs in
+  (try
+     match pair with
+     | Sim_bus ->
+         execute_sim_bus ?tamper ?vs_mutant ~n:(List.length procs) input
+     | Skeen_bus -> execute_skeen_bus ?tamper ?skeen_mutant ~procs input
+     | Vstoto_skeen -> execute_vstoto_skeen ?skeen_mutant ~config input
+     | Vstoto_sequencer -> execute_vstoto_sequencer ~config input
+   with e ->
+     {
+       Runner.coverage = Coverage.empty;
+       verdict = Some { Runner.check = "crash"; detail = Printexc.to_string e };
+       bcasts = 0;
+       deliveries = 0;
+       events_processed = 0;
+     })
+  [@gcs.lint.allow "P2" (* crash-as-verdict, same policy as Runner *)]
+
+let oracle ?tamper ?vs_mutant ?skeen_mutant ~config ~check pair input =
+  match
+    (execute ?tamper ?vs_mutant ?skeen_mutant ~config pair input).Runner.verdict
+  with
+  | Some f when String.equal f.Runner.check check -> Some f
+  | Some _ | None -> None
+
+(* --------------------------- seed schedules -------------------------- *)
+
+(* Fault-free seed corpus for the differential mode: a round-robin burst
+   (adjacent submissions from different origins — the profile under
+   which a delivery-order tamper is pure divergence), a single-origin
+   stream, and a seeded random mix. Times are irrelevant (each pair
+   reassigns them); sequence order and origins are the genome. *)
+let seed_inputs ~procs ~prng =
+  match procs with
+  | [] -> []
+  | p0 :: _ ->
+      let n = List.length procs in
+      let round_robin =
+        List.init 8 (fun i ->
+            (0.0, List.nth procs (i mod n), Printf.sprintf "r%d" i))
+      in
+      let single = List.init 6 (fun i -> (0.0, p0, Printf.sprintf "s%d" i)) in
+      let random =
+        List.init 10 (fun i ->
+            (0.0, Gcs_stdx.Prng.pick_exn prng procs, Printf.sprintf "x%d" i))
+      in
+      List.map
+        (fun workload ->
+          Input.normalize { Input.seed = 1; steps = []; workload })
+        [ round_robin; single; random ]

@@ -18,6 +18,7 @@ type outcome = {
   corpus : entry list;
   coverage : Coverage.t;
   failure : (Input.t * Runner.failure) option;
+  failures : (Input.t * Runner.failure) list;
   shrunk : Shrink.result option;
 }
 
@@ -75,7 +76,39 @@ let pick_entry prng corpus =
 
 let delete_nth k xs = List.filteri (fun i _ -> i <> k) xs
 
-let mutate ~procs ~prng ~fresh ~max_events corpus =
+(* The default profile spans the whole fault model; the differential
+   profile touches only what that mode's genome reads — the submission
+   sequence (order, origins, count) and the seed. Faults would be
+   stripped at execution, and workload times are reassigned by the pair,
+   so the diff ops work on sequence {e positions}: a swap exchanges the
+   (origin, value) payloads of two adjacent slots, a retarget moves one
+   submission to another origin, and a time jitter is a position move
+   (the workload is kept time-sorted). *)
+let default_choices =
+  [
+    (3, `Perturb_step);
+    (2, `Delete_step);
+    (3, `Insert_fault);
+    (2, `Insert_partition);
+    (2, `Perturb_load);
+    (2, `Delete_load);
+    (3, `Insert_load);
+    (2, `Reseed);
+    (2, `Splice);
+  ]
+
+let diff_choices =
+  [
+    (3, `Swap_load);
+    (2, `Retarget_load);
+    (2, `Perturb_load);
+    (2, `Delete_load);
+    (3, `Insert_load);
+    (2, `Reseed);
+    (2, `Splice);
+  ]
+
+let mutate ~procs ~prng ~fresh ~max_events ~choices corpus =
   let base = pick_entry prng corpus in
   let t = ref base.input in
   (* Mostly single mutations; occasionally a havoc burst of 2-4. *)
@@ -84,20 +117,7 @@ let mutate ~procs ~prng ~fresh ~max_events corpus =
     let x = !t in
     let nsteps = List.length x.Input.steps in
     let nload = List.length x.Input.workload in
-    let choice =
-      Prng.weighted prng
-        [
-          (3, `Perturb_step);
-          (2, `Delete_step);
-          (3, `Insert_fault);
-          (2, `Insert_partition);
-          (2, `Perturb_load);
-          (2, `Delete_load);
-          (3, `Insert_load);
-          (2, `Reseed);
-          (2, `Splice);
-        ]
-    in
+    let choice = Prng.weighted prng choices in
     t :=
       (match choice with
       | `Perturb_step when nsteps > 0 ->
@@ -164,6 +184,26 @@ let mutate ~procs ~prng ~fresh ~max_events corpus =
             Input.workload =
               x.Input.workload @ [ (at, p, Printf.sprintf "f%d" !fresh) ];
           }
+      | `Swap_load when nload > 1 ->
+          (* Exchange payloads, keep times: the swap survives
+             [Input.normalize]'s stable time sort, so it really
+             transposes two adjacent sequence slots. *)
+          let k = Prng.int prng (nload - 1) in
+          let arr = Array.of_list x.Input.workload in
+          let t1, p1, v1 = arr.(k) and t2, p2, v2 = arr.(k + 1) in
+          arr.(k) <- (t1, p2, v2);
+          arr.(k + 1) <- (t2, p1, v1);
+          { x with Input.workload = Array.to_list arr }
+      | `Retarget_load when nload > 0 ->
+          let k = Prng.int prng nload in
+          let p' = Prng.pick_exn prng procs in
+          {
+            x with
+            Input.workload =
+              List.mapi
+                (fun i (at, p, v) -> if i = k then (at, p', v) else (at, p, v))
+                x.Input.workload;
+          }
       | `Reseed -> { x with Input.seed = Prng.int prng 1_000_000 }
       | `Splice ->
           let other = (pick_entry prng corpus).input in
@@ -199,9 +239,9 @@ let mutate ~procs ~prng ~fresh ~max_events corpus =
 
 type service = Vstoto_stack | Skeen_backend
 
-let run ?mutant ?skeen_mutant ?service ?jobs ?(batch = 8)
-    ?(shrink_budget = 600) ?(max_events = 40) ?progress ~config ~seed ~execs
-    () =
+let run ?mutant ?skeen_mutant ?tamper ?pair ?service ?(seeds = []) ?jobs
+    ?(batch = 8) ?(shrink_budget = 600) ?(max_events = 40)
+    ?(stop_on_failure = true) ?should_stop ?progress ~config ~seed ~execs () =
   let procs = config.To_service.vs.Vs_node.procs in
   (* A Skeen mutant implies the Skeen service: `gcs fuzz --mutant
      skeen-*` needs no extra flag, so the CI canary loop iterates one
@@ -214,12 +254,20 @@ let run ?mutant ?skeen_mutant ?service ?jobs ?(batch = 8)
   in
   let skeen_config = Gcs_skeen.Skeen.make_config ~procs in
   let delta = config.To_service.vs.Vs_node.delta in
+  (* In differential mode [mutant] and [skeen_mutant] instrument the
+     candidate side of the pair (they are the planted-bug hooks of
+     {!Diff_mutant}); single-execution modes use them as before. *)
   let execute input =
-    match service with
-    | Vstoto_stack -> Runner.execute ?mutant ~config input
-    | Skeen_backend ->
-        Runner.execute_skeen ?mutant:skeen_mutant ~delta ~config:skeen_config
+    match pair with
+    | Some p ->
+        Differential.execute ?tamper ?vs_mutant:mutant ?skeen_mutant ~config p
           input
+    | None -> (
+        match service with
+        | Vstoto_stack -> Runner.execute ?mutant ~config input
+        | Skeen_backend ->
+            Runner.execute_skeen ?mutant:skeen_mutant ~delta
+              ~config:skeen_config input)
   in
   let prng = Prng.create seed in
   let fresh = ref 0 in
@@ -227,7 +275,7 @@ let run ?mutant ?skeen_mutant ?service ?jobs ?(batch = 8)
   let corpus = ref [] in
   let spent = ref 0 in
   let rounds = ref 0 in
-  let failure = ref None in
+  let failures = ref [] in
   let stats () =
     {
       execs = !spent;
@@ -248,37 +296,67 @@ let run ?mutant ?skeen_mutant ?service ?jobs ?(batch = 8)
         let novelty = Coverage.novel ~base:!coverage obs.Runner.coverage in
         coverage := Coverage.union !coverage obs.Runner.coverage;
         match obs.Runner.verdict with
-        | Some f -> if Option.is_none !failure then failure := Some (input, f)
+        | Some f ->
+            failures := !failures @ [ (input, f) ];
+            (* A soak run keeps going, so the failing input re-enters the
+               corpus with boosted energy: its neighbourhood is where
+               more divergence lives. *)
+            if (not stop_on_failure) && List.length !corpus < 256 then
+              corpus := !corpus @ [ { input; novelty = novelty + 32 } ]
         | None ->
             if novelty > 0 && List.length !corpus < 256 then
               corpus := !corpus @ [ { input; novelty } ])
       inputs results;
     match progress with Some f -> f (stats ()) | None -> ()
   in
-  run_batch (Seqx.take (max 1 execs) (seed_inputs ~procs ~prng));
+  let choices =
+    match pair with Some _ -> diff_choices | None -> default_choices
+  in
+  let builtin =
+    match pair with
+    | Some _ -> Differential.seed_inputs ~procs ~prng
+    | None -> seed_inputs ~procs ~prng
+  in
+  run_batch (Seqx.take (max 1 execs) (builtin @ seeds));
+  let halted () =
+    match should_stop with Some f -> f () | None -> false
+  in
   while
-    Option.is_none !failure
+    ((not stop_on_failure) || List.is_empty !failures)
     && !spent < execs
-    && not (List.is_empty !corpus)
+    && (not (List.is_empty !corpus))
+    && not (halted ())
   do
     incr rounds;
     let wanted = min batch (execs - !spent) in
     let rec gen k acc =
       if k = 0 then List.rev acc
-      else gen (k - 1) (mutate ~procs ~prng ~fresh ~max_events !corpus :: acc)
+      else
+        gen (k - 1)
+          (mutate ~procs ~prng ~fresh ~max_events ~choices !corpus :: acc)
     in
     run_batch (gen wanted [])
   done;
+  let failure = match !failures with [] -> None | f :: _ -> Some f in
   let shrunk =
-    match !failure with
+    match failure with
     | None -> None
     | Some (input, f) ->
         let oracle =
-          match service with
-          | Vstoto_stack -> Runner.oracle ?mutant ~config ~check:f.Runner.check
-          | Skeen_backend ->
-              Runner.skeen_oracle ?mutant:skeen_mutant ~delta
-                ~config:skeen_config ~check:f.Runner.check
+          match pair with
+          | Some p ->
+              fun input ->
+                Differential.oracle ?tamper ?vs_mutant:mutant ?skeen_mutant
+                  ~config ~check:f.Runner.check p input
+          | None -> (
+              match service with
+              | Vstoto_stack ->
+                  fun input ->
+                    Runner.oracle ?mutant ~config ~check:f.Runner.check input
+              | Skeen_backend ->
+                  fun input ->
+                    Runner.skeen_oracle ?mutant:skeen_mutant ~delta
+                      ~config:skeen_config ~check:f.Runner.check input)
         in
         Some (Shrink.minimize ~budget:shrink_budget ~oracle input f)
   in
@@ -286,7 +364,8 @@ let run ?mutant ?skeen_mutant ?service ?jobs ?(batch = 8)
     stats = stats ();
     corpus = !corpus;
     coverage = !coverage;
-    failure = !failure;
+    failure;
+    failures = !failures;
     shrunk;
   }
 
@@ -307,9 +386,11 @@ let stats_to_json outcome =
     | None, _ -> "null"
   in
   Printf.sprintf
-    {|{"execs":%d,"rounds":%d,"corpus":%d,"features":%d,"failure":%s}|}
+    {|{"execs":%d,"rounds":%d,"corpus":%d,"features":%d,"failures":%d,"failure":%s}|}
     outcome.stats.execs outcome.stats.rounds outcome.stats.corpus_size
-    outcome.stats.features failure_json
+    outcome.stats.features
+    (List.length outcome.failures)
+    failure_json
 
 let corpus_strings outcome =
   List.map (fun e -> Input.to_string e.input) outcome.corpus

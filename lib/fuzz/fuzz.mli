@@ -32,6 +32,9 @@ type outcome = {
   coverage : Coverage.t;
   failure : (Input.t * Runner.failure) option;
       (** first failing input, pre-shrink *)
+  failures : (Input.t * Runner.failure) list;
+      (** every failing input in discovery order — more than one only
+          when [stop_on_failure] is false (soak mode) *)
   shrunk : Shrink.result option;
 }
 
@@ -43,11 +46,16 @@ type service = Vstoto_stack | Skeen_backend
 val run :
   ?mutant:Mutant.t ->
   ?skeen_mutant:Skeen_mutant.t ->
+  ?tamper:Gcs_transport.Bus.tamper ->
+  ?pair:Differential.pair ->
   ?service:service ->
+  ?seeds:Input.t list ->
   ?jobs:int ->
   ?batch:int ->
   ?shrink_budget:int ->
   ?max_events:int ->
+  ?stop_on_failure:bool ->
+  ?should_stop:(unit -> bool) ->
   ?progress:(stats -> unit) ->
   config:To_service.config ->
   seed:int ->
@@ -62,7 +70,26 @@ val run :
     [skeen_mutant] implies the Skeen service (the Skeen run reuses the
     config's processor set and δ). [mutant] and [skeen_mutant] are
     mutually exclusive in intent — the one matching the active service
-    is used, the other ignored. *)
+    is used, the other ignored.
+
+    [pair] switches the loop to differential mode: every execution is
+    {!Differential.execute} on that pair, the seed corpus is
+    {!Differential.seed_inputs}, and mutation works the diff genome only
+    (sequence order, origins, count, seed — no fault steps). In this
+    mode [tamper], [mutant] and [skeen_mutant] are the {!Diff_mutant}
+    hooks infecting the candidate side.
+
+    [seeds] are extra schedules replayed after the built-in seed corpus
+    — a loaded {!Corpus} — and admitted under the same novelty rule,
+    which deterministically minimizes a restored corpus on load.
+
+    [stop_on_failure:false] is soak mode: the loop keeps fuzzing past
+    failures (each is recorded in [failures], and its input re-enters
+    the corpus with boosted energy); only the first failure is shrunk.
+    [should_stop] is polled once per round — the CLI's wall-clock
+    budget. Both leave the per-round determinism story intact: a soak
+    interrupted at round [r] saw exactly the rounds a longer run sees
+    first. *)
 
 val stats_to_json : outcome -> string
 (** Flat deterministic JSON of the run's observable results (stats,

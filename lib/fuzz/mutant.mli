@@ -31,6 +31,17 @@ type t = {
           inside, so instrumented runs on a domain pool stay independent *)
 }
 
+val rewrite :
+  (Proc.t ->
+   To_service.node ->
+   (Msg.t Wire.packet, To_service.out) Gcs_sim.Engine.effect list ->
+   (Msg.t Wire.packet, To_service.out) Gcs_sim.Engine.effect list) ->
+  handlers ->
+  handlers
+(** Route every handler's effect batch through [f me post_state effects]
+    — the building block for mutants with richer per-node state than the
+    fire-once latch (e.g. {!Diff_mutant}'s delivery-delay rewrite). *)
+
 val all : t list
 val find : string -> t option
 val names : string list

@@ -26,6 +26,47 @@ let view_feature = function
       Printf.sprintf "%d.%d" (Coverage.bucket v.View.id.View_id.num)
         (Proc.Set.cardinal v.View.set)
 
+let view_changed pre post =
+  match (To_service.node_view pre, To_service.node_view post) with
+  | None, None -> false
+  | Some a, Some b -> not (View_id.equal a.View.id b.View.id)
+  | None, Some _ | Some _, None -> true
+
+(* Deterministic serialization of a node's VStoTO-visible state — the
+   raw material for fuzzy-hashed state coverage: status, view, delivery
+   counters, the full delivered order, and the sizes of every queue the
+   protocol keeps (buffer, delay, pipeline holds, exchange bookkeeping),
+   plus the service-level view-install count and staging depth. *)
+let snapshot_vstoto node =
+  let st = To_service.node_app node in
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "status=%s view=%s installed=%d staging=%d\n"
+    (match To_service.node_status node with
+    | Vstoto.Normal -> "normal"
+    | Vstoto.Send -> "send"
+    | Vstoto.Collect -> "collect")
+    (match To_service.node_view node with
+    | None -> "-"
+    | Some v ->
+        Printf.sprintf "%d/%d" v.View.id.View_id.num
+          (Proc.Set.cardinal v.View.set))
+    (To_service.node_views_installed node)
+    (List.length (To_service.node_staging node));
+  Printf.bprintf buf "nr=%d nc=%d seq=%d\n" st.Vstoto.nextreport
+    st.Vstoto.nextconfirm st.Vstoto.nextseqno;
+  List.iter
+    (fun l -> Printf.bprintf buf "o %s\n" (Format.asprintf "%a" Label.pp l))
+    (Gcs_stdx.Tape.to_list st.Vstoto.order);
+  Printf.bprintf buf "buf=%d delay=%d held=%d hsafe=%d got=%d sx=%d sl=%d\n"
+    (Gcs_stdx.Tape.length st.Vstoto.buffer)
+    (Gcs_stdx.Tape.length st.Vstoto.delay)
+    (Gcs_stdx.Tape.length st.Vstoto.held)
+    (Gcs_stdx.Tape.length st.Vstoto.held_safe)
+    (Proc.Map.cardinal st.Vstoto.gotstate)
+    (Proc.Set.cardinal st.Vstoto.safe_exch)
+    (Label.Set.cardinal st.Vstoto.safe_labels);
+  Buffer.contents buf
+
 (* Features of one handler application: VStoTO status-pair transitions,
    primary/non-primary switches, and (bucketed view number, membership
    size) edges. Deliberately processor-free: the abstraction should
@@ -90,65 +131,16 @@ let counter_features metrics ~bcasts ~deliveries acc =
 
 (* -------------------------- node invariants -------------------------- *)
 
-let vstoto_invariants : Vstoto.state Gcs_automata.Invariant.t list =
-  [
-    Gcs_automata.Invariant.make_explained "counters-ordered"
-      (fun (st : Vstoto.state) ->
-        if
-          1 <= st.Vstoto.nextreport
-          && st.Vstoto.nextreport <= st.Vstoto.nextconfirm
-          && st.Vstoto.nextconfirm <= Gcs_stdx.Tape.length st.Vstoto.order + 1
-        then Ok ()
-        else
-          Error
-            (Printf.sprintf "nextreport=%d nextconfirm=%d |order|=%d"
-               st.Vstoto.nextreport st.Vstoto.nextconfirm
-               (Gcs_stdx.Tape.length st.Vstoto.order)));
-    Gcs_automata.Invariant.make_explained "order-duplicate-free"
-      (fun (st : Vstoto.state) ->
-        let sorted =
-          List.sort Label.compare (Gcs_stdx.Tape.to_list st.Vstoto.order)
-        in
-        let rec dup = function
-          | a :: (b :: _ as rest) ->
-              if Label.equal a b then Some a else dup rest
-          | [] | [ _ ] -> None
-        in
-        match dup sorted with
-        | None -> Ok ()
-        | Some l -> Error (Format.asprintf "label %a ordered twice" Label.pp l));
-    Gcs_automata.Invariant.make_explained "reported-prefix-content"
-      (fun (st : Vstoto.state) ->
-        let reported =
-          Gcs_stdx.Seqx.take (st.Vstoto.nextreport - 1)
-            (Gcs_stdx.Tape.to_list st.Vstoto.order)
-        in
-        match
-          List.find_opt
-            (fun l -> not (Label.Map.mem l st.Vstoto.content))
-            reported
-        with
-        | None -> Ok ()
-        | Some l ->
-            Error
-              (Format.asprintf "reported label %a has no content" Label.pp l));
-  ]
+(* The invariants themselves live in {!Gcs_conformance.Oracle} (the
+   conformance suite needs them, and the fuzzer now depends on the
+   conformance library for the divergence comparator, so the dependency
+   points that way). *)
+let vstoto_invariants = Gcs_conformance.Oracle.vstoto_invariants
 
 let node_invariant_failure final_states =
-  List.find_map
-    (fun (p, node) ->
-      match
-        Gcs_automata.Invariant.first_failure vstoto_invariants
-          (To_service.node_app node)
-      with
-      | Some (name, detail) ->
-          Some
-            {
-              check = "node-invariant";
-              detail = Printf.sprintf "proc %d: %s: %s" p name detail;
-            }
-      | None -> None)
-    (Proc.Map.bindings final_states)
+  match Gcs_conformance.Oracle.node_invariant_failure final_states with
+  | Some (check, detail) -> Some { check; detail }
+  | None -> None
 
 (* ------------------------------ verdict ------------------------------ *)
 
@@ -198,8 +190,14 @@ let execute_full ?mutant ?backend ~config input =
        | Some m -> m.Mutant.instrument config handlers
        | None -> handlers
      in
+     (* State snapshots at quiescent points — every view install is a
+        stable cut of the node's state — plus the final states below.
+        On the bus, [observe] calls are serialized by the backend, so
+        the accumulator needs no extra locking. *)
+     let snaps = ref [] in
      let observe me pre post =
-       cov := transition_features config me pre post !cov
+       cov := transition_features config me pre post !cov;
+       if view_changed pre post then snaps := snapshot_vstoto post :: !snaps
      in
      let result =
        match backend with
@@ -235,6 +233,14 @@ let execute_full ?mutant ?backend ~config input =
      in
      let deliveries = To_service.deliveries run in
      cov := counter_features metrics ~bcasts ~deliveries !cov;
+     let finals =
+       List.map
+         (fun (_, node) -> snapshot_vstoto node)
+         (Proc.Map.bindings result.Engine.final_states)
+     in
+     cov :=
+       Coverage.union !cov
+         (Coverage.fuzzy_features ~tag:"vs" (finals @ !snaps));
      ( {
          coverage = !cov;
          verdict = verdict config ~procs ~until run result.Engine.final_states;
@@ -287,11 +293,18 @@ let skeen_dests ~procs origin value =
   in
   List.filter (fun p -> (h lsr (p mod 12)) land 1 = 1) procs
 
-let skeen_workload ~procs workload =
-  List.map
-    (fun (t, p, v) ->
-      (t, p, { Skeen.value = v; dests = skeen_dests ~procs p v }))
-    workload
+(* [`Full] is the differential mode's dest-subset replay hook: the
+   VStoTO stack and the sequencer always address the whole group, so a
+   cross-protocol comparison must force Skeen onto the same footing. *)
+let skeen_workload ?(dests = `Hashed) ~procs workload =
+  match dests with
+  | `Full ->
+      List.map (fun (t, p, v) -> (t, p, Skeen.full_group v)) workload
+  | `Hashed ->
+      List.map
+        (fun (t, p, v) ->
+          (t, p, { Skeen.value = v; dests = skeen_dests ~procs p v }))
+        workload
 
 (* Processor-free abstract-state features: bucketed pending-set size,
    delivery count and logical-clock transitions. *)
@@ -349,10 +362,11 @@ let skeen_verdict config ~workload ~faulty trace final_nodes =
             | Error detail -> Some { check = "skeen-completeness"; detail }
             | Ok () -> None))
 
-let execute_skeen_full ?mutant ?backend ?(delta = 1.0) ~config input =
+let execute_skeen_full ?mutant ?backend ?stop ?(delta = 1.0) ?dests ~config
+    input =
   let procs = config.Skeen.procs in
   let scenario = Input.scenario ~procs input in
-  let workload = skeen_workload ~procs input.Input.workload in
+  let workload = skeen_workload ?dests ~procs input.Input.workload in
   let workload_end =
     List.fold_left (fun acc (t, _, _) -> Float.max acc t) 0.0 workload
   in
@@ -371,8 +385,15 @@ let execute_skeen_full ?mutant ?backend ?(delta = 1.0) ~config input =
        | Some m -> m.Skeen_mutant.instrument config handlers
        | None -> handlers
      in
+     let snaps = ref [] in
      let observe _me pre post =
-       cov := skeen_transition_features pre post !cov
+       cov := skeen_transition_features pre post !cov;
+       (* Quiescent point: a delivery crossing a count bucket — the
+          pending set just drained past a threshold. *)
+       if
+         Coverage.bucket (Skeen.node_delivered pre)
+         <> Coverage.bucket (Skeen.node_delivered post)
+       then snaps := Skeen.snapshot_node post :: !snaps
      in
      let trace, final_nodes, events_processed =
        match backend with
@@ -389,7 +410,7 @@ let execute_skeen_full ?mutant ?backend ?(delta = 1.0) ~config input =
              result.Engine.events_processed )
        | Some (module B : Gcs_transport.Iface.BACKEND) ->
            let result =
-             B.run ~metrics ~observe Skeen.packet_codec ~procs ~handlers
+             B.run ?stop ~metrics ~observe Skeen.packet_codec ~procs ~handlers
                ~init:Skeen.initial ~inputs:workload ~failures ~until
                ~seed:input.Input.seed
            in
@@ -410,6 +431,14 @@ let execute_skeen_full ?mutant ?backend ?(delta = 1.0) ~config input =
             (Timed.actions trace))
      in
      cov := skeen_counter_features metrics ~bcasts ~deliveries !cov;
+     let final_snaps =
+       List.map
+         (fun (_, node) -> Skeen.snapshot_node node)
+         (Proc.Map.bindings final_nodes)
+     in
+     cov :=
+       Coverage.union !cov
+         (Coverage.fuzzy_features ~tag:"sk" (final_snaps @ !snaps));
      ( {
          coverage = !cov;
          verdict = skeen_verdict config ~workload ~faulty trace final_nodes;
@@ -429,14 +458,18 @@ let execute_skeen_full ?mutant ?backend ?(delta = 1.0) ~config input =
        [] ))
   [@gcs.lint.allow "P2"]
 
-let execute_skeen ?mutant ?backend ?delta ~config input =
-  fst (execute_skeen_full ?mutant ?backend ?delta ~config input)
+let execute_skeen ?mutant ?backend ?delta ?dests ~config input =
+  fst (execute_skeen_full ?mutant ?backend ?delta ?dests ~config input)
 
-let replay_skeen ?mutant ?backend ?delta ~config input =
-  let obs, trace = execute_skeen_full ?mutant ?backend ?delta ~config input in
+let replay_skeen ?mutant ?backend ?delta ?dests ~config input =
+  let obs, trace =
+    execute_skeen_full ?mutant ?backend ?delta ?dests ~config input
+  in
   (trace, obs.verdict)
 
-let skeen_oracle ?mutant ?backend ?delta ~config ~check input =
-  match (execute_skeen ?mutant ?backend ?delta ~config input).verdict with
+let skeen_oracle ?mutant ?backend ?delta ?dests ~config ~check input =
+  match
+    (execute_skeen ?mutant ?backend ?delta ?dests ~config input).verdict
+  with
   | Some f when String.equal f.check check -> Some f
   | Some _ | None -> None

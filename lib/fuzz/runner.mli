@@ -51,6 +51,41 @@ val execute :
     counters degenerates to zero buckets, which only matters to the
     coverage-guided loop — the verdict oracles apply unchanged). *)
 
+val execute_full :
+  ?mutant:Mutant.t ->
+  ?backend:Gcs_transport.Iface.backend ->
+  config:To_service.config ->
+  Input.t ->
+  observation * Gcs_core.Value.t Gcs_core.To_action.t Gcs_core.Timed.t
+(** {!execute} returning the client trace too — the differential mode
+    extracts per-node delivered orders from it. *)
+
+(** {2 Coverage building blocks}
+
+    Exported for the differential mode, whose reference executions run
+    with custom horizons and stop conditions but must produce the same
+    deterministic coverage as {!execute}. *)
+
+val transition_features :
+  To_service.config ->
+  Gcs_core.Proc.t ->
+  To_service.node ->
+  To_service.node ->
+  Coverage.t ->
+  Coverage.t
+(** Status-pair / primary-switch / view-edge features of one handler
+    application. *)
+
+val counter_features :
+  Gcs_stdx.Metrics.t -> bcasts:int -> deliveries:int -> Coverage.t ->
+  Coverage.t
+(** Bucketed run-level counter features. *)
+
+val snapshot_vstoto : To_service.node -> string
+(** Deterministic node-state serialization (status, view, counters, the
+    delivered order, queue depths) — input to
+    {!Coverage.fuzzy_features}. *)
+
 val replay :
   ?mutant:Mutant.t ->
   ?backend:Gcs_transport.Iface.backend ->
@@ -93,16 +128,35 @@ val execute_skeen :
   ?mutant:Skeen_mutant.t ->
   ?backend:Gcs_transport.Iface.backend ->
   ?delta:float ->
+  ?dests:[ `Hashed | `Full ] ->
   config:Gcs_skeen.Skeen.config ->
   Input.t ->
   observation
 (** [delta] (default 1.0) sets the simulated link bound; the simulator
-    runs with FIFO links (Skeen's per-origin FIFO rests on them). *)
+    runs with FIFO links (Skeen's per-origin FIFO rests on them).
+    [dests] (default [`Hashed]) is the dest-subset replay hook:
+    [`Full] addresses every message to the whole group, which the
+    cross-protocol differential pairs require (VStoTO and the sequencer
+    cannot express subsets). *)
+
+val execute_skeen_full :
+  ?mutant:Skeen_mutant.t ->
+  ?backend:Gcs_transport.Iface.backend ->
+  ?stop:(now:float -> outputs:int -> bool) ->
+  ?delta:float ->
+  ?dests:[ `Hashed | `Full ] ->
+  config:Gcs_skeen.Skeen.config ->
+  Input.t ->
+  observation * Gcs_core.Value.t Gcs_core.To_action.t Gcs_core.Timed.t
+(** [stop] is forwarded to a pluggable backend (early exit once the
+    expected outputs landed — the wall-clock horizon is only the failure
+    fallback); the simulator path ignores it, virtual time being free. *)
 
 val replay_skeen :
   ?mutant:Skeen_mutant.t ->
   ?backend:Gcs_transport.Iface.backend ->
   ?delta:float ->
+  ?dests:[ `Hashed | `Full ] ->
   config:Gcs_skeen.Skeen.config ->
   Input.t ->
   Gcs_core.Value.t Gcs_core.To_action.t Gcs_core.Timed.t * failure option
@@ -111,6 +165,7 @@ val skeen_oracle :
   ?mutant:Skeen_mutant.t ->
   ?backend:Gcs_transport.Iface.backend ->
   ?delta:float ->
+  ?dests:[ `Hashed | `Full ] ->
   config:Gcs_skeen.Skeen.config ->
   check:string ->
   Input.t ->

@@ -22,6 +22,17 @@ type t = {
   instrument : Skeen.config -> handlers -> handlers;
 }
 
+val rewrite :
+  (Proc.t ->
+   Skeen.node ->
+   (Skeen.packet, Value.t To_action.t) Gcs_sim.Engine.effect list ->
+   (Skeen.packet, Value.t To_action.t) Gcs_sim.Engine.effect list) ->
+  handlers ->
+  handlers
+(** Route every handler's effect batch through [f me post_state effects]
+    — the building block for mutants with richer per-node state than the
+    fire-once latch (e.g. {!Diff_mutant}'s delivery-delay rewrite). *)
+
 val all : t list
 val find : string -> t option
 val names : string list

@@ -79,6 +79,30 @@ let node_delivered node = node.delivered
 let node_pending node = Mid_map.cardinal node.pending
 let node_outstanding node = Mid_map.cardinal node.coords
 
+(* Deterministic node-state serialization for the fuzzer's fuzzy-hashed
+   state coverage: Lamport clock, delivery count, every pending entry
+   with its proposed/committed timestamps, every outstanding
+   coordination with its proposal count. Map iteration order is the key
+   order, so equal states render to equal bytes. *)
+let snapshot_node node =
+  let buf = Buffer.create 128 in
+  let ts (t : ts) = Printf.sprintf "%d.%d" t.clock t.origin in
+  Printf.bprintf buf "me=%d clk=%d seq=%d del=%d\n" node.me node.clock
+    node.next_seq node.delivered;
+  Mid_map.iter
+    (fun m e ->
+      Printf.bprintf buf "pend %d.%d %s %s %s\n" m.sender m.seq e.value
+        (ts e.proposed)
+        (match e.final with None -> "-" | Some f -> ts f))
+    node.pending;
+  Mid_map.iter
+    (fun m c ->
+      Printf.bprintf buf "coord %d.%d %s %d/%d\n" m.sender m.seq c.c_value
+        (Proc.Map.cardinal c.proposals)
+        (List.length c.c_dests))
+    node.coords;
+  Buffer.contents buf
+
 (* A committed message is deliverable once its final timestamp is below
    every uncommitted pending message's proposed timestamp: a proposed
    timestamp lower-bounds the final one (final = max over proposals), and

@@ -76,6 +76,12 @@ val node_pending : node -> int
 val node_outstanding : node -> int
 (** Messages this node originated whose proposal round is incomplete. *)
 
+val snapshot_node : node -> string
+(** Deterministic serialization of a node's protocol state (clock,
+    delivery count, pending entries with proposed/committed timestamps,
+    outstanding coordinations) — the raw material for the fuzzer's
+    fuzzy-hashed state coverage. Equal states render to equal bytes. *)
+
 (** {2 Byte codec} *)
 
 val encode_packet : packet -> string

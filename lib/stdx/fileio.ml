@@ -1,0 +1,20 @@
+let ensure_dir path =
+  if not (Sys.file_exists path) then Sys.mkdir path 0o755
+
+let write_atomic ~path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try output_string oc contents
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let contents = In_channel.input_all ic in
+      close_in_noerr ic;
+      Ok contents

@@ -1,0 +1,18 @@
+(** Crash-safe file helpers.
+
+    Artifacts the fuzzer must be able to trust across interrupted runs —
+    corpus entries, repro schedules, JSON progress snapshots — are
+    written with the classic write-then-rename dance: the bytes land in
+    a sibling [.tmp] file which is renamed over the target only once
+    fully written. A reader therefore sees either the old file or the
+    complete new one, never a torn prefix (rename within a directory is
+    atomic on POSIX). *)
+
+val ensure_dir : string -> unit
+(** Create the directory if it does not exist (single level). *)
+
+val write_atomic : path:string -> string -> unit
+(** Write the contents to [path ^ ".tmp"], then rename over [path]. *)
+
+val read_file : string -> (string, string) result
+(** Whole-file read; [Error] carries the system message. *)

@@ -12,11 +12,16 @@ type config = {
 let default_config =
   { poll_interval = 0.002; ugly_drop_prob = 0.5; ugly_delay_max = 0.05 }
 
+type tamper = { swap_inputs_at : (Proc.t * int) option }
+
+let no_tamper = { swap_inputs_at = None }
+
 (* What travels through a mailbox: serialized packets from peers (and
    self), or client inputs injected by the controller. *)
 type 'input envelope = Packet of { src : Proc.t; data : string } | Input of 'input
 
-let run (type state input packet out) ?(config = default_config) ?metrics
+let run (type state input packet out) ?(config = default_config)
+    ?(tamper = no_tamper) ?admit ?metrics
     ?lock_registry ?observe ?stop (codec : packet Iface.codec) ~procs
     ~(handlers : (state, input, packet, out) Iface.handlers) ~init ~inputs
     ~failures ~until ~seed =
@@ -126,6 +131,17 @@ let run (type state input packet out) ?(config = default_config) ?metrics
       (match observe with Some g -> g me pre post | None -> ());
       List.iter apply_effect effects
     in
+    let process_env ~now = function
+      | Input input -> handle (fun s -> handlers.Iface.on_input me ~now input s)
+      | Packet { src; data } -> (
+          match codec.Iface.dec data with
+          | Ok packet ->
+              handle (fun s -> handlers.Iface.on_packet me ~now ~src packet s)
+          | Error e ->
+              failwith
+                (Printf.sprintf "bus: undecodable packet %d -> %d: %s" src me e)
+          )
+    in
     (* Lexicographic (deadline, id) minimum: the winner is the same
        whatever order the fold visits entries in. *)
     let due_timer now =
@@ -164,20 +180,9 @@ let run (type state input packet out) ?(config = default_config) ?metrics
                      loop ()
                  | None -> (
                      match Mailbox.pop_opt mb with
-                     | Some (Input input) ->
-                         handle (fun s -> handlers.Iface.on_input me ~now input s);
+                     | Some env ->
+                         process_env ~now env;
                          loop ()
-                     | Some (Packet { src; data }) -> (
-                         match codec.Iface.dec data with
-                         | Ok packet ->
-                             handle (fun s ->
-                                 handlers.Iface.on_packet me ~now ~src packet s);
-                             loop ()
-                         | Error e ->
-                             failwith
-                               (Printf.sprintf
-                                  "bus: undecodable packet %d -> %d: %s" src me
-                                  e))
                      | None ->
                          Mailbox.wait mb;
                          loop ()))
@@ -193,9 +198,42 @@ let run (type state input packet out) ?(config = default_config) ?metrics
   let inputs =
     List.stable_sort (fun (a, _, _) (b, _, _) -> Float.compare a b) inputs
   in
+  (* Input-swap tamper: exchange the payloads of one processor's [k]-th
+     and [k+1]-th submissions (0-based, in schedule order), keeping the
+     times — the transport pretending to reorder a client's stream. *)
+  let inputs =
+    match tamper.swap_inputs_at with
+    | None -> inputs
+    | Some (p, k) ->
+        let arr = Array.of_list inputs in
+        let mine =
+          List.filter_map
+            (fun (i, q) -> if Proc.equal q p then Some i else None)
+            (List.mapi (fun i (_, q, _) -> (i, q)) inputs)
+        in
+        (match (List.nth_opt mine k, List.nth_opt mine (k + 1)) with
+        | Some i, Some j ->
+            let ti, pi, vi = arr.(i) and tj, pj, vj = arr.(j) in
+            arr.(i) <- (ti, pi, vj);
+            arr.(j) <- (tj, pj, vi)
+        | _ -> ());
+        Array.to_list arr
+  in
   let now_inputs, later_inputs = List.partition (fun (t, _, _) -> t <= 0.0) inputs in
   List.iter (fun (_, p, input) -> deliver p (Input input)) now_inputs;
   let pending_inputs = ref later_inputs in
+  (* Causal admission: [admit] can hold an input past its scheduled time
+     until the outputs counter shows the previous submissions fully
+     processed — wall-clock spacing alone cannot serialize submissions
+     when the controller domain is descheduled longer than the gap, and
+     a collapsed gap lets a timestamp protocol pick a different (valid)
+     total order than the reference run. [admit_grace] bounds the hold:
+     an input stalled that long past its last sibling is injected
+     anyway, so an instrumented (mutant) run that withholds outputs
+     degrades to today's time-based pacing instead of wedging. *)
+  let injected = ref (List.length now_inputs) in
+  let last_inject = ref 0.0 in
+  let admit_grace = 0.05 in
   let pending_failures =
     ref (List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) failures)
   in
@@ -219,10 +257,19 @@ let run (type state input packet out) ?(config = default_config) ?metrics
         | _ -> ()
       in
       apply_failures ();
+      let admitted () =
+        match admit with
+        | None -> true
+        | Some f ->
+            f ~outputs:(Atomic.get outputs) ~index:!injected
+            || now -. !last_inject >= admit_grace
+      in
       let rec inject () =
         match !pending_inputs with
-        | (t, p, input) :: rest when t <= now ->
+        | (t, p, input) :: rest when t <= now && admitted () ->
             deliver p (Input input);
+            incr injected;
+            last_inject := now;
             pending_inputs := rest;
             inject ()
         | _ -> ()
@@ -282,12 +329,13 @@ let run (type state input packet out) ?(config = default_config) ?metrics
     metrics;
   }
 
-let backend ?(config = default_config) ?lock_registry () : Iface.backend =
+let backend ?(config = default_config) ?(tamper = no_tamper) ?admit
+    ?lock_registry () : Iface.backend =
   (module struct
     let name = "bus"
 
     let run ?metrics ?observe ?stop codec ~procs ~handlers ~init ~inputs
         ~failures ~until ~seed =
-      run ~config ?metrics ?lock_registry ?observe ?stop codec ~procs
-        ~handlers ~init ~inputs ~failures ~until ~seed
+      run ~config ~tamper ?admit ?metrics ?lock_registry ?observe ?stop codec
+        ~procs ~handlers ~init ~inputs ~failures ~until ~seed
   end)

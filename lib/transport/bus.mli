@@ -43,8 +43,26 @@ type config = {
 val default_config : config
 (** 2 ms ticks, drop probability 0.5, 50 ms maximum ugly delay. *)
 
+type tamper = {
+  swap_inputs_at : (Proc.t * int) option;
+      (** at (node, k): exchange the payloads of that node's [k]-th and
+          [k+1]-th client submissions (0-based), keeping their times *)
+}
+(** Planted transport fault for the differential fuzzer's mutant
+    gauntlet: an input-queue transposition a single execution cannot
+    distinguish from legal client-side timing — the run is a valid
+    execution of the {e transposed} schedule, so no trace-conformance
+    or invariant oracle fires; its {e only} symptom is divergence from
+    a reference execution of the real schedule. It never drops or
+    duplicates; with fewer than [k+2] submissions at the node it
+    degrades to a no-op. *)
+
+val no_tamper : tamper
+
 val run :
   ?config:config ->
+  ?tamper:tamper ->
+  ?admit:(outputs:int -> index:int -> bool) ->
   ?metrics:Gcs_stdx.Metrics.t ->
   ?lock_registry:Gcs_stdx.Lock.registry ->
   ?observe:(Proc.t -> 'state -> 'state -> unit) ->
@@ -68,6 +86,20 @@ val run :
     The run's [metrics] gains a [bus.*] section: packets sent/dropped,
     events processed, statuses applied, and the wall seconds spent.
 
+    [admit] adds causal admission control on top of the time schedule:
+    a pending input at 0-based schedule position [index] is injected
+    only once [admit ~outputs ~index] holds (where [outputs] is the
+    number of outputs recorded so far) — or once it has waited a fixed
+    grace period past the previous injection, so an instrumented run
+    that withholds outputs degrades to time-based pacing instead of
+    wedging. The differential fuzzer uses it to keep submissions
+    serialized under controller-scheduling jitter: wall-clock spacing
+    alone cannot guarantee submission [i+1] lands after submission [i]
+    is fully processed, and for a timestamp protocol a collapsed gap
+    yields a different (valid) total order than the reference run — a
+    false divergence. Inputs preloaded at time [<= 0] bypass admission
+    but count toward [index].
+
     A handler exception (or a codec [Error]) on any node stops the whole
     run and re-raises in the caller.
 
@@ -80,6 +112,13 @@ val run :
     recording. *)
 
 val backend :
-  ?config:config -> ?lock_registry:Gcs_stdx.Lock.registry -> unit ->
+  ?config:config ->
+  ?tamper:tamper ->
+  ?admit:(outputs:int -> index:int -> bool) ->
+  ?lock_registry:Gcs_stdx.Lock.registry ->
+  unit ->
   Iface.backend
-(** The bus packaged as a pluggable {!Iface.BACKEND} (named ["bus"]). *)
+(** The bus packaged as a pluggable {!Iface.BACKEND} (named ["bus"]).
+    [tamper] bakes a planted transport fault into the backend — the
+    differential fuzzer hands such a backend to the candidate side
+    only — and [admit] bakes in the admission predicate (see {!run}). *)

@@ -1,0 +1,170 @@
+(* The persistent corpus: save → load → minimize must reproduce inputs
+   and coverage byte-for-byte, torn entries must be skipped with a
+   warning (never half-parsed), stale entries must not survive a
+   smaller save, and the checked-in fixture corpus must load cleanly in
+   every checkout. *)
+
+open Gcs_core
+open Gcs_impl
+open Gcs_nemesis
+open Gcs_fuzz
+
+let n = 4
+let procs = Proc.all ~n
+let vs_config = { Vs_node.procs; p0 = procs; pi = 6.0; mu = 8.0; delta = 1.0 }
+let config = To_service.make_config vs_config
+
+(* Relative to the test's working directory, i.e. inside dune's build
+   sandbox — never the source tree. *)
+let fresh_dir =
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    Printf.sprintf "corpus-under-test-%d" !k
+
+let inputs =
+  List.map Input.normalize
+    [
+      { Input.seed = 1; steps = []; workload = [ (5.0, 0, "a"); (6.0, 1, "b") ] };
+      {
+        Input.seed = 2;
+        steps =
+          [
+            Scenario.at 20.0 (Scenario.Partition [ [ 0; 1 ]; [ 2; 3 ] ]);
+            Scenario.at 50.0 Scenario.Heal;
+          ];
+        workload = [ (25.0, 2, "with space"); (30.0, 3, "100%x") ];
+      };
+      { Input.seed = 3; steps = []; workload = [ (8.0, 2, "c") ] };
+    ]
+
+let strings xs = List.map Input.to_string xs
+
+let test_roundtrip () =
+  let dir = fresh_dir () in
+  Corpus.save ~dir inputs;
+  let loaded, warnings = Corpus.load ~dir in
+  Alcotest.(check (list string)) "no warnings" [] warnings;
+  Alcotest.(check (list string)) "inputs survive" (strings inputs)
+    (strings loaded);
+  (* Saving the loaded corpus reproduces the files byte-for-byte. *)
+  let dir2 = fresh_dir () in
+  Corpus.save ~dir:dir2 loaded;
+  List.iteri
+    (fun i _ ->
+      let file d = Filename.concat d (Corpus.entry_name i) in
+      let read d =
+        match Gcs_stdx.Fileio.read_file (file d) with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "read %s: %s" (file d) e
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "entry %d byte-identical" i)
+        (read dir) (read dir2))
+    inputs
+
+let test_truncated_skipped () =
+  let dir = fresh_dir () in
+  Corpus.save ~dir inputs;
+  (* A torn entry: valid prefix, no end marker — as left by an
+     interrupted copy or a partial cache restore. *)
+  let oc = open_out (Filename.concat dir (Corpus.entry_name 1)) in
+  output_string oc "seed 2\nload 25.000000 2 t";
+  close_out oc;
+  let loaded, warnings = Corpus.load ~dir in
+  Alcotest.(check int) "one warning" 1 (List.length warnings);
+  (match warnings with
+  | [ w ] ->
+      let mentions =
+        let name = Corpus.entry_name 1 in
+        String.length w >= String.length name
+        && String.sub w 0 (String.length name) = name
+      in
+      if not mentions then Alcotest.failf "warning does not name entry: %s" w
+  | _ -> ());
+  Alcotest.(check (list string))
+    "others load"
+    (strings [ List.nth inputs 0; List.nth inputs 2 ])
+    (strings loaded)
+
+let test_stale_removed () =
+  let dir = fresh_dir () in
+  Corpus.save ~dir inputs;
+  Corpus.save ~dir [ List.hd inputs ];
+  let loaded, warnings = Corpus.load ~dir in
+  Alcotest.(check (list string)) "no warnings" [] warnings;
+  Alcotest.(check int) "stale entries removed" 1 (List.length loaded)
+
+let test_missing_dir_empty () =
+  let loaded, warnings = Corpus.load ~dir:"no-such-corpus-dir" in
+  Alcotest.(check (list string)) "no warnings" [] warnings;
+  Alcotest.(check int) "empty" 0 (List.length loaded)
+
+(* save → load → minimize reproduces the survivors and the coverage map
+   byte-for-byte: minimization is greedy in entry order and execution is
+   deterministic, so two independent loads cannot disagree. *)
+let test_minimize_deterministic () =
+  let execute input = (Runner.execute ~config input).Runner.coverage in
+  let dir = fresh_dir () in
+  Corpus.save ~dir inputs;
+  let minimize () =
+    let loaded, _ = Corpus.load ~dir in
+    Corpus.minimize ~execute loaded
+  in
+  let kept1, cov1 = minimize () in
+  let kept2, cov2 = minimize () in
+  Alcotest.(check (list string)) "same survivors" (strings kept1)
+    (strings kept2);
+  Alcotest.(check (list string))
+    "same coverage bytes" (Coverage.to_list cov1) (Coverage.to_list cov2);
+  (* The first entry always survives (everything is novel against an
+     empty map), and survivors cover no less than their own replay. *)
+  Alcotest.(check bool) "nonempty" true (List.length kept1 > 0);
+  let replayed =
+    List.fold_left
+      (fun acc i -> Coverage.union acc (execute i))
+      Coverage.empty kept1
+  in
+  Alcotest.(check (list string))
+    "survivor coverage reproduced" (Coverage.to_list cov1)
+    (Coverage.to_list replayed)
+
+let test_fixture_corpus_loads () =
+  (* dune runtest runs in the test directory, dune exec in the
+     workspace root. *)
+  let dir =
+    if Sys.file_exists "fixtures/corpus" then "fixtures/corpus"
+    else "test/fixtures/corpus"
+  in
+  let loaded, warnings = Corpus.load ~dir in
+  Alcotest.(check (list string)) "no warnings" [] warnings;
+  Alcotest.(check int) "both fixtures load" 2 (List.length loaded);
+  (* Each fixture executes cleanly under the standard oracle battery —
+     a fixture that trips an oracle would poison every corpus-seeded
+     fuzz run. *)
+  List.iter
+    (fun input ->
+      match (Runner.execute ~config input).Runner.verdict with
+      | None -> ()
+      | Some f ->
+          Alcotest.failf "fixture fails %s:\n%s" f.Runner.check
+            (Input.to_string input))
+    loaded
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "persistence",
+        [
+          Alcotest.test_case "save/load round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "truncated entry skipped" `Quick
+            test_truncated_skipped;
+          Alcotest.test_case "stale entries removed" `Quick test_stale_removed;
+          Alcotest.test_case "missing dir is empty" `Quick
+            test_missing_dir_empty;
+          Alcotest.test_case "minimize deterministic" `Quick
+            test_minimize_deterministic;
+          Alcotest.test_case "fixture corpus loads" `Quick
+            test_fixture_corpus_loads;
+        ] );
+    ]

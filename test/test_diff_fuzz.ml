@@ -1,0 +1,146 @@
+(* The differential fuzzing mode end to end: clean runs on every pair
+   find nothing (zero false positives), every planted divergence-only
+   mutant is found and shrunk within CI budgets, and the fuzzy-hashed
+   state-snapshot coverage is byte-deterministic — across job counts and
+   across same-seed repeats, for both services and for the differential
+   mode (a qcheck property over random master seeds). *)
+
+open Gcs_core
+open Gcs_impl
+open Gcs_fuzz
+
+let n = 4
+let procs = Proc.all ~n
+let vs_config = { Vs_node.procs; p0 = procs; pi = 6.0; mu = 8.0; delta = 1.0 }
+let config = To_service.make_config vs_config
+
+(* ------------------------- clean pair smokes ------------------------- *)
+
+(* Budgets are per-pair: the bus-backed pairs cost real wall-clock per
+   execution, the simulated cross-protocol pairs are practically free. *)
+let clean_budget = function
+  | Differential.Sim_bus -> 10
+  | Differential.Skeen_bus -> 16
+  | Differential.Vstoto_skeen | Differential.Vstoto_sequencer -> 120
+
+let test_clean_pair pair () =
+  let outcome =
+    Fuzz.run ~pair ~jobs:2 ~config ~seed:3 ~execs:(clean_budget pair) ()
+  in
+  match outcome.Fuzz.failure with
+  | None -> ()
+  | Some (input, f) ->
+      Alcotest.failf "clean %s run failed %s:\n%s\n%s"
+        (Differential.name pair) f.Runner.check f.Runner.detail
+        (Input.to_string input)
+
+(* --------------------------- planted bugs ---------------------------- *)
+
+let test_diff_mutant (m : Diff_mutant.t) () =
+  let outcome =
+    Fuzz.run ?mutant:m.Diff_mutant.vs ?skeen_mutant:m.Diff_mutant.skeen
+      ?tamper:m.Diff_mutant.tamper ~pair:m.Diff_mutant.pair ~jobs:2 ~config
+      ~seed:7 ~execs:200 ~shrink_budget:300 ()
+  in
+  match (outcome.Fuzz.failure, outcome.Fuzz.shrunk) with
+  | None, _ ->
+      Alcotest.failf "diff mutant %s not found within budget"
+        m.Diff_mutant.name
+  | Some _, None ->
+      Alcotest.failf "diff mutant %s found but not shrunk" m.Diff_mutant.name
+  | Some (original, f), Some s ->
+      Alcotest.(check string)
+        "blamed check is divergence" "divergence" f.Runner.check;
+      let before = Input.events original
+      and after = Input.events s.Shrink.input in
+      if after > before then
+        Alcotest.failf "diff mutant %s: shrink grew %d -> %d events"
+          m.Diff_mutant.name before after;
+      if after > 25 then
+        Alcotest.failf "diff mutant %s: shrunk repro still has %d events"
+          m.Diff_mutant.name after;
+      Alcotest.(check string)
+        "shrunk failure check" f.Runner.check s.Shrink.failure.Runner.check
+
+(* ------------------- snapshot-hash determinism ----------------------- *)
+
+(* The locality-sensitive state-snapshot hashes enter the coverage map
+   as "sh:*" / "shx:*" features. They steer the power schedule, so any
+   nondeterminism in them would silently fork fuzzing campaigns between
+   machines or job counts. The property: for a random master seed, the
+   snapshot-hash features of a whole fuzz run are byte-identical across
+   --jobs 1 vs --jobs 4 and across same-seed repeats. *)
+let snapshot_hashes outcome =
+  List.filter
+    (fun f ->
+      (String.length f >= 3 && String.sub f 0 3 = "sh:")
+      || (String.length f >= 4 && String.sub f 0 4 = "shx:"))
+    (Coverage.to_list outcome.Fuzz.coverage)
+
+let run_mode mode ~jobs ~seed =
+  match mode with
+  | `Vstoto -> Fuzz.run ~service:Fuzz.Vstoto_stack ~jobs ~config ~seed ~execs:40 ()
+  | `Skeen -> Fuzz.run ~service:Fuzz.Skeen_backend ~jobs ~config ~seed ~execs:40 ()
+  | `Diff ->
+      Fuzz.run ~pair:Differential.Vstoto_skeen ~jobs ~config ~seed ~execs:40 ()
+
+let mode_name = function
+  | `Vstoto -> "vstoto"
+  | `Skeen -> "skeen"
+  | `Diff -> "diff:vstoto-skeen"
+
+let prop_snapshot_hash_determinism mode =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "snapshot hashes deterministic (%s)" (mode_name mode))
+    ~count:4
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let a = run_mode mode ~jobs:1 ~seed in
+      let b = run_mode mode ~jobs:4 ~seed in
+      let c = run_mode mode ~jobs:4 ~seed in
+      let ha = snapshot_hashes a
+      and hb = snapshot_hashes b
+      and hc = snapshot_hashes c in
+      if ha = [] then
+        QCheck.Test.fail_reportf "%s: run produced no snapshot hashes"
+          (mode_name mode);
+      if ha <> hb then
+        QCheck.Test.fail_reportf "%s seed %d: jobs 1 vs 4 hash sets differ"
+          (mode_name mode) seed;
+      if hb <> hc then
+        QCheck.Test.fail_reportf "%s seed %d: same-seed repeats differ"
+          (mode_name mode) seed;
+      Fuzz.stats_to_json a = Fuzz.stats_to_json b
+      && Fuzz.corpus_strings a = Fuzz.corpus_strings b)
+
+(* --------------------------- registration ---------------------------- *)
+
+let clean_cases =
+  List.map
+    (fun pair ->
+      Alcotest.test_case
+        (Printf.sprintf "clean %s finds nothing" (Differential.name pair))
+        `Slow (test_clean_pair pair))
+    Differential.all
+
+let mutant_cases =
+  List.map
+    (fun m ->
+      Alcotest.test_case
+        (m.Diff_mutant.name ^ " found and shrunk")
+        `Slow (test_diff_mutant m))
+    Diff_mutant.all
+
+let () =
+  Alcotest.run "diff-fuzz"
+    [
+      ("clean", clean_cases);
+      ("planted", mutant_cases);
+      ( "state-hash determinism",
+        [
+          QCheck_alcotest.to_alcotest (prop_snapshot_hash_determinism `Vstoto);
+          QCheck_alcotest.to_alcotest (prop_snapshot_hash_determinism `Skeen);
+          QCheck_alcotest.to_alcotest (prop_snapshot_hash_determinism `Diff);
+        ] );
+    ]
